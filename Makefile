@@ -1,0 +1,38 @@
+GO ?= go
+
+.PHONY: all build test race bench repro examples fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every figure of the paper's evaluation.
+repro:
+	$(GO) run ./cmd/prinsbench all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/tpcc
+	$(GO) run ./examples/filesync
+	$(GO) run ./examples/wansim
+	$(GO) run ./examples/recovery
+	$(GO) run ./examples/raidnode
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,175 @@
+// Command prinsbench regenerates the paper's evaluation: every figure
+// (4-10) plus the overhead and change-density measurements, printed as
+// text tables.
+//
+// Usage:
+//
+//	prinsbench [-effort N] [-measured] [fig4|fig5|fig6|fig7|fig8|fig9|fig10|overhead|density|all]...
+//
+// -effort scales how long the measured workload phases run (the
+// reported quantities are ratios and stabilize quickly; the paper's
+// hour-long runs correspond to large efforts). -measured derives the
+// queueing-model payload parameters from a live TPC-C run instead of
+// the calibrated defaults.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"prins/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "prinsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("prinsbench", flag.ContinueOnError)
+	effort := fs.Int("effort", 1, "workload length multiplier")
+	measured := fs.Bool("measured", false, "derive queueing parameters from a live TPC-C run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	targets := fs.Args()
+	if len(targets) == 0 {
+		targets = []string{"all"}
+	}
+
+	e := experiments.Effort(*effort)
+	var params *experiments.ModelParams
+	queueParams := func() (*experiments.ModelParams, error) {
+		if params != nil {
+			return params, nil
+		}
+		var err error
+		if *measured {
+			fmt.Println("measuring queueing-model parameters from TPC-C at 8KB ...")
+			params, err = experiments.MeasureModelParams(e)
+		} else {
+			params = experiments.DefaultModelParams()
+		}
+		return params, err
+	}
+
+	out := os.Stdout
+	for _, target := range expand(targets) {
+		switch target {
+		case "fig4":
+			fig, err := experiments.Fig4TPCCOracle(e)
+			if err != nil {
+				return err
+			}
+			if err := fig.Table("Figure 4: TPC-C (Oracle config) replication traffic vs block size").Render(out); err != nil {
+				return err
+			}
+		case "fig5":
+			fig, err := experiments.Fig5TPCCPostgres(e)
+			if err != nil {
+				return err
+			}
+			if err := fig.Table("Figure 5: TPC-C (Postgres config) replication traffic vs block size").Render(out); err != nil {
+				return err
+			}
+		case "fig6":
+			fig, err := experiments.Fig6TPCW(e)
+			if err != nil {
+				return err
+			}
+			if err := fig.Table("Figure 6: TPC-W (MySQL config) replication traffic vs block size").Render(out); err != nil {
+				return err
+			}
+		case "fig7":
+			fig, err := experiments.Fig7Ext2Micro(e)
+			if err != nil {
+				return err
+			}
+			if err := fig.Table("Figure 7: Ext2 tar micro-benchmark replication traffic vs block size").Render(out); err != nil {
+				return err
+			}
+		case "fig8":
+			p, err := queueParams()
+			if err != nil {
+				return err
+			}
+			fig, err := experiments.Fig8ResponseT1(p)
+			if err != nil {
+				return err
+			}
+			if err := fig.Table("Figure 8: response time vs population, T1, 2 routers, 8KB").Render(out); err != nil {
+				return err
+			}
+		case "fig9":
+			p, err := queueParams()
+			if err != nil {
+				return err
+			}
+			fig, err := experiments.Fig9ResponseT3(p)
+			if err != nil {
+				return err
+			}
+			if err := fig.Table("Figure 9: response time vs population, T3, 2 routers, 8KB").Render(out); err != nil {
+				return err
+			}
+		case "fig10":
+			p, err := queueParams()
+			if err != nil {
+				return err
+			}
+			fig, err := experiments.Fig10MM1(p)
+			if err != nil {
+				return err
+			}
+			if err := fig.Table("Figure 10: router queueing time vs write rate, T1, 8KB").Render(out); err != nil {
+				return err
+			}
+		case "overhead":
+			res, err := experiments.MeasureOverhead(8<<10, 500*max(1, *effort), 200*time.Microsecond)
+			if err != nil {
+				return err
+			}
+			if err := res.Table().Render(out); err != nil {
+				return err
+			}
+		case "fanout":
+			fig, err := experiments.FanoutSweep(e, experiments.ReplicaCounts)
+			if err != nil {
+				return err
+			}
+			if err := fig.Table("Extension: replication traffic vs replica fan-out").Render(out); err != nil {
+				return err
+			}
+		case "density":
+			res, err := experiments.MeasureDensity(e)
+			if err != nil {
+				return err
+			}
+			if err := experiments.DensityTable(res).Render(out); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown target %q (want fig4..fig10, overhead, density, fanout, all)", target)
+		}
+	}
+	return nil
+}
+
+// expand replaces "all" with every target.
+func expand(targets []string) []string {
+	var out []string
+	for _, t := range targets {
+		if t == "all" {
+			out = append(out,
+				"density", "fig4", "fig5", "fig6", "fig7",
+				"fig8", "fig9", "fig10", "overhead", "fanout")
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestQueueingTargetsRun(t *testing.T) {
+	// The model-only figures are fast enough for unit tests.
+	for _, target := range []string{"fig8", "fig9", "fig10"} {
+		if err := run([]string{target}); err != nil {
+			t.Errorf("%s: %v", target, err)
+		}
+	}
+}
+
+func TestUnknownTargetRejected(t *testing.T) {
+	if err := run([]string{"fig99"}); err == nil {
+		t.Error("unknown target accepted")
+	}
+}
+
+func TestExpand(t *testing.T) {
+	out := expand([]string{"all"})
+	if len(out) != 10 {
+		t.Errorf("expand(all) = %d targets, want 10", len(out))
+	}
+	out = expand([]string{"fig4", "fig5"})
+	if len(out) != 2 || out[0] != "fig4" {
+		t.Errorf("expand passthrough wrong: %v", out)
+	}
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"testing"
+
+	"prins"
+)
+
+// startNode serves an in-memory replica export for the CLI to talk to.
+func startNode(t *testing.T) string {
+	t.Helper()
+	store, err := prins.NewMemStore(512, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica := prins.NewReplica(store)
+	addr, err := replica.Serve("127.0.0.1:0", "vol0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { replica.Close() })
+	return addr.String()
+}
+
+func TestCLICommands(t *testing.T) {
+	addr := startNode(t)
+	base := []string{"-addr", addr, "-export", "vol0"}
+
+	run2 := func(extra ...string) error {
+		return run(append(append([]string(nil), base...), extra...))
+	}
+
+	if err := run2("info"); err != nil {
+		t.Errorf("info: %v", err)
+	}
+	if err := run2("-lba", "5", "-data", "hello", "write"); err != nil {
+		t.Errorf("write: %v", err)
+	}
+	if err := run2("-lba", "5", "read"); err != nil {
+		t.Errorf("read: %v", err)
+	}
+	if err := run2("-writes", "20", "bench"); err != nil {
+		t.Errorf("bench: %v", err)
+	}
+}
+
+func TestCLIVerify(t *testing.T) {
+	addrA := startNode(t)
+	addrB := startNode(t)
+
+	// Fresh identical stores verify clean.
+	if err := run([]string{"-addr", addrA, "-export", "vol0",
+		"-against", addrB + "/vol0", "verify"}); err != nil {
+		t.Errorf("verify identical: %v", err)
+	}
+
+	// Diverge one and verify fails.
+	if err := run([]string{"-addr", addrA, "-export", "vol0",
+		"-lba", "0", "-data", "x", "write"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-addr", addrA, "-export", "vol0",
+		"-against", addrB + "/vol0", "verify"}); err == nil {
+		t.Error("verify of divergent stores should fail")
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	addr := startNode(t)
+	if err := run([]string{"-addr", addr, "-export", "vol0"}); err == nil {
+		t.Error("missing command accepted")
+	}
+	if err := run([]string{"-addr", addr, "-export", "vol0", "frobnicate"}); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if err := run([]string{"-addr", addr, "-export", "nope", "info"}); err == nil {
+		t.Error("bad export accepted")
+	}
+	if err := run([]string{"-addr", addr, "-export", "vol0", "verify"}); err == nil {
+		t.Error("verify without -against accepted")
+	}
+	if err := run([]string{"-addr", addr, "-export", "vol0", "-against", "junk", "verify"}); err == nil {
+		t.Error("bad -against accepted")
+	}
+	if err := run([]string{"-addr", addr, "-export", "vol0", "-lba", "9999", "read"}); err == nil {
+		t.Error("OOB read accepted")
+	}
+}
+
+func TestCLIResync(t *testing.T) {
+	addrA := startNode(t)
+	addrB := startNode(t)
+
+	// Diverge A from B, then repair B from A.
+	if err := run([]string{"-addr", addrA, "-export", "vol0",
+		"-lba", "2", "-data", "difference", "write"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-addr", addrA, "-export", "vol0",
+		"-against", addrB + "/vol0", "resync"}); err != nil {
+		t.Fatalf("resync: %v", err)
+	}
+	if err := run([]string{"-addr", addrA, "-export", "vol0",
+		"-against", addrB + "/vol0", "verify"}); err != nil {
+		t.Errorf("verify after resync: %v", err)
+	}
+	// Missing/invalid -against.
+	if err := run([]string{"-addr", addrA, "-export", "vol0", "resync"}); err == nil {
+		t.Error("resync without -against accepted")
+	}
+	if err := run([]string{"-addr", addrA, "-export", "vol0",
+		"-against", "junk", "resync"}); err == nil {
+		t.Error("bad -against accepted")
+	}
+}

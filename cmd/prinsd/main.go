@@ -1,0 +1,177 @@
+// Command prinsd runs one PRINS storage node: it exports a block
+// device over the iSCSI-flavoured protocol and, when replicas are
+// configured, replicates every write to them in the chosen mode.
+//
+// A two-node mirror:
+//
+//	# replica machine
+//	prinsd -listen :3260 -export vol0 -file replica.img -size 1024 -bs 8192 -role replica
+//
+//	# primary machine
+//	prinsd -listen :3260 -export vol0 -file primary.img -size 1024 -bs 8192 \
+//	       -mode prins -replica replicahost:3260/vol0
+//
+// Applications then mount the primary with prinsctl or the library's
+// Dial.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"prins"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "prinsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("prinsd", flag.ContinueOnError)
+	var (
+		listen     = fs.String("listen", "127.0.0.1:3260", "address to serve on")
+		exportName = fs.String("export", "vol0", "export name clients log in to")
+		file       = fs.String("file", "", "backing file (empty = in-memory)")
+		size       = fs.Uint64("size", 4096, "device size in blocks")
+		bs         = fs.Int("bs", 8192, "block size in bytes")
+		role       = fs.String("role", "primary", "primary or replica")
+		mode       = fs.String("mode", "prins", "replication mode: prins, traditional, compressed")
+		replicas   = fs.String("replica", "", "comma-separated replica endpoints host:port/export")
+		statsEvery = fs.Duration("stats", 30*time.Second, "stats logging interval (0 = off)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	store, err := openStore(*file, *bs, *size)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	switch *role {
+	case "replica":
+		replica := prins.NewReplica(store)
+		addr, err := replica.Serve(*listen, *exportName)
+		if err != nil {
+			return err
+		}
+		defer replica.Close()
+		log.Printf("prinsd: replica serving %q on %s (%d x %dB blocks)",
+			*exportName, addr, store.NumBlocks(), store.BlockSize())
+		<-stop
+		return nil
+
+	case "primary":
+		m, err := parseMode(*mode)
+		if err != nil {
+			return err
+		}
+		primary, err := prins.NewPrimary(store, prins.Config{
+			Mode:          m,
+			Async:         true,
+			SkipUnchanged: true,
+			RecordDensity: m == prins.ModePRINS,
+		})
+		if err != nil {
+			return err
+		}
+		defer primary.Close()
+
+		if *replicas != "" {
+			for _, ep := range strings.Split(*replicas, ",") {
+				addr, export, err := splitEndpoint(ep)
+				if err != nil {
+					return err
+				}
+				if err := primary.AttachReplicaAddr(addr, export); err != nil {
+					return fmt.Errorf("attach replica %s: %w", ep, err)
+				}
+				log.Printf("prinsd: replicating to %s (%s mode)", ep, m)
+			}
+		}
+
+		addr, err := primary.Serve(*listen, *exportName)
+		if err != nil {
+			return err
+		}
+		log.Printf("prinsd: primary serving %q on %s (%d x %dB blocks)",
+			*exportName, addr, store.NumBlocks(), store.BlockSize())
+
+		if *statsEvery > 0 {
+			ticker := time.NewTicker(*statsEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					s := primary.Stats()
+					log.Printf("prinsd: writes=%d shipped=%s saved=%.1fx",
+						s.Writes, formatBytes(s.PayloadBytes), s.SavingsVsRaw)
+				case <-stop:
+					return primary.Drain()
+				}
+			}
+		}
+		<-stop
+		return primary.Drain()
+
+	default:
+		return fmt.Errorf("unknown role %q (want primary or replica)", *role)
+	}
+}
+
+func openStore(file string, bs int, size uint64) (prins.Store, error) {
+	if file == "" {
+		return prins.NewMemStore(bs, size)
+	}
+	if _, err := os.Stat(file); err == nil {
+		return prins.OpenFileStore(file, bs)
+	}
+	return prins.NewFileStore(file, bs, size)
+}
+
+func parseMode(s string) (prins.Mode, error) {
+	switch s {
+	case "prins":
+		return prins.ModePRINS, nil
+	case "traditional":
+		return prins.ModeTraditional, nil
+	case "compressed":
+		return prins.ModeCompressed, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q", s)
+	}
+}
+
+func splitEndpoint(ep string) (addr, export string, err error) {
+	i := strings.LastIndex(ep, "/")
+	if i <= 0 || i == len(ep)-1 {
+		return "", "", fmt.Errorf("bad replica endpoint %q (want host:port/export)", ep)
+	}
+	return ep[:i], ep[i+1:], nil
+}
+
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGB", float64(n)/float64(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2fMB", float64(n)/float64(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/float64(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"prins"
+)
+
+func TestParseMode(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    prins.Mode
+		wantErr bool
+	}{
+		{in: "prins", want: prins.ModePRINS},
+		{in: "traditional", want: prins.ModeTraditional},
+		{in: "compressed", want: prins.ModeCompressed},
+		{in: "bogus", wantErr: true},
+		{in: "", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := parseMode(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseMode(%q) err = %v, wantErr %v", tt.in, err, tt.wantErr)
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("parseMode(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestSplitEndpoint(t *testing.T) {
+	tests := []struct {
+		in         string
+		addr, name string
+		wantErr    bool
+	}{
+		{in: "host:3260/vol0", addr: "host:3260", name: "vol0"},
+		{in: "1.2.3.4:99/a/b", addr: "1.2.3.4:99/a", name: "b"},
+		{in: "nohost", wantErr: true},
+		{in: "host:3260/", wantErr: true},
+		{in: "/vol", wantErr: true},
+	}
+	for _, tt := range tests {
+		addr, name, err := splitEndpoint(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("splitEndpoint(%q) err = %v", tt.in, err)
+			continue
+		}
+		if err == nil && (addr != tt.addr || name != tt.name) {
+			t.Errorf("splitEndpoint(%q) = %q,%q", tt.in, addr, name)
+		}
+	}
+}
+
+func TestOpenStore(t *testing.T) {
+	// In-memory.
+	s, err := openStore("", 512, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.BlockSize() != 512 || s.NumBlocks() != 16 {
+		t.Error("mem store geometry wrong")
+	}
+	s.Close()
+
+	// File-backed: create then reopen.
+	path := filepath.Join(t.TempDir(), "vol.img")
+	s, err = openStore(path, 512, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 512)
+	buf[0] = 7
+	if err := s.WriteBlock(3, buf); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := openStore(path, 512, 0 /* size ignored on reopen */)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got := make([]byte, 512)
+	if err := s2.ReadBlock(3, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 7 {
+		t.Error("file store did not persist")
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	tests := []struct {
+		n    int64
+		want string
+	}{
+		{100, "100B"},
+		{4096, "4.0KB"},
+		{5 << 20, "5.00MB"},
+		{3 << 30, "3.00GB"},
+	}
+	for _, tt := range tests {
+		if got := formatBytes(tt.n); got != tt.want {
+			t.Errorf("formatBytes(%d) = %q, want %q", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-role", "nonsense"}); err == nil {
+		t.Error("bad role accepted")
+	}
+	if err := run([]string{"-mode", "nonsense"}); err == nil {
+		t.Error("bad mode accepted")
+	}
+	if err := run([]string{"-replica", "garbage"}); err == nil {
+		t.Error("bad replica endpoint accepted")
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRecordInfoReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "t.trace")
+
+	// Record a tiny micro workload (fastest of the three).
+	if err := run([]string{"record", "-workload", "micro", "-bs", "4096",
+		"-n", "2", "-out", out}); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	if st, err := os.Stat(out); err != nil || st.Size() == 0 {
+		t.Fatalf("trace file missing: %v", err)
+	}
+
+	if err := run([]string{"info", "-in", out}); err != nil {
+		t.Errorf("info: %v", err)
+	}
+
+	for _, mode := range []string{"prins", "traditional", "compressed"} {
+		if err := run([]string{"replay", "-in", out, "-mode", mode}); err != nil {
+			t.Errorf("replay %s: %v", mode, err)
+		}
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no command accepted")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if err := run([]string{"record", "-workload", "bogus"}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run([]string{"replay", "-in", "/does/not/exist"}); err == nil {
+		t.Error("missing trace accepted")
+	}
+	if err := run([]string{"replay", "-mode", "bogus", "-in", "/dev/null"}); err == nil {
+		t.Error("bad mode accepted")
+	}
+	if err := run([]string{"info", "-in", "/does/not/exist"}); err == nil {
+		t.Error("missing trace accepted by info")
+	}
+}

@@ -1,0 +1,29 @@
+// Package prins is a block-level replication library implementing
+// PRINS — Parity Replication in IP-Network Storages (Yang, Xiao, Ren;
+// ICDCS 2006) — together with the traditional replication baselines
+// the paper measures against.
+//
+// On every block write, a PRINS primary ships the encoded forward
+// parity P' = A_new XOR A_old instead of the block itself; the replica
+// recovers A_new = P' XOR A_old against its own copy and writes it in
+// place. Because real workloads change only 5-20% of a block per
+// write, the parity is mostly zeros and encodes to a fraction of the
+// block size, cutting replication traffic by one to two orders of
+// magnitude.
+//
+// The top-level API deals in three roles:
+//
+//   - A Store is a block device (in-memory, file-backed, or remote).
+//   - A Primary wraps a local Store and replicates every write to its
+//     attached replicas in a configurable Mode (PRINS, traditional, or
+//     traditional+compression).
+//   - A Replica receives pushes and maintains a byte-identical copy.
+//
+// Nodes interconnect over an iSCSI-flavoured TCP protocol: a Primary
+// or Replica can Serve its device to the network, applications mount
+// remote devices with Dial, and replication runs engine-to-engine over
+// the same protocol — the architecture of the paper's testbed.
+//
+// See the examples directory for runnable end-to-end setups and
+// EXPERIMENTS.md for the reproduction of the paper's evaluation.
+package prins

@@ -1,0 +1,125 @@
+// Recovery: the CDP/TRAP companion feature the paper's conclusion
+// ships with PRINS. A protected primary journals every write's parity;
+// after an "operator accident" we roll the volume back to the exact
+// pre-accident write, then delta-resync the (now divergent) replica
+// over the wire — shipping only the blocks that differ.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"prins"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		blockSize = 4096
+		numBlocks = 128
+	)
+
+	// A journaled ("protected") primary device.
+	primaryDisk, err := prins.NewMemStore(blockSize, numBlocks)
+	if err != nil {
+		return err
+	}
+	protected, history, err := prins.Protect(primaryDisk)
+	if err != nil {
+		return err
+	}
+
+	// Replicate it over TCP as usual.
+	replicaDisk, err := prins.NewMemStore(blockSize, numBlocks)
+	if err != nil {
+		return err
+	}
+	replica := prins.NewReplica(replicaDisk)
+	addr, err := replica.Serve("127.0.0.1:0", "vol0")
+	if err != nil {
+		return err
+	}
+	defer replica.Close()
+
+	primary, err := prins.NewPrimary(protected, prins.Config{Mode: prins.ModePRINS})
+	if err != nil {
+		return err
+	}
+	defer primary.Close()
+	if err := primary.AttachReplicaAddr(addr.String(), "vol0"); err != nil {
+		return err
+	}
+
+	// Normal operation: write a dataset.
+	rng := rand.New(rand.NewSource(7))
+	golden := make(map[uint64][]byte)
+	buf := make([]byte, blockSize)
+	for i := 0; i < 200; i++ {
+		lba := uint64(rng.Intn(numBlocks))
+		rng.Read(buf)
+		if err := primary.WriteBlock(lba, buf); err != nil {
+			return err
+		}
+		golden[lba] = append([]byte(nil), buf...)
+	}
+	goodSeq := history.Seq()
+	fmt.Printf("healthy state reached at write #%d (history: %d KB of parities)\n",
+		goodSeq, history.Bytes()/1024)
+
+	// Disaster: a runaway job scribbles over 30 blocks. PRINS
+	// faithfully replicates the damage — replication is not backup.
+	for i := 0; i < 30; i++ {
+		rng.Read(buf)
+		if err := primary.WriteBlock(uint64(rng.Intn(numBlocks)), buf); err != nil {
+			return err
+		}
+	}
+	if err := primary.Drain(); err != nil {
+		return err
+	}
+	fmt.Printf("disaster: %d bad writes replicated to the replica too\n",
+		history.Seq()-goodSeq)
+
+	// Timely recovery to the pre-accident point using the parity
+	// journal: A_old = A_new XOR P'.
+	if err := history.RecoverTo(primaryDisk, goodSeq); err != nil {
+		return err
+	}
+	for lba, want := range golden {
+		if err := primaryDisk.ReadBlock(lba, buf); err != nil {
+			return err
+		}
+		if !bytes.Equal(buf, want) {
+			return fmt.Errorf("recovery mismatch at lba %d", lba)
+		}
+	}
+	fmt.Printf("primary rolled back to write #%d and verified against golden data\n", goodSeq)
+
+	// The replica still holds the damage; repair it with a hash-based
+	// delta resync instead of a full copy.
+	stats, err := prins.Resync(primaryDisk, addr.String(), "vol0", false)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("resync: scanned %d blocks, repaired %d, shipped %d KB (full copy would be %d KB)\n",
+		stats.BlocksScanned, stats.BlocksRepaired,
+		(stats.HashBytes+stats.DataBytes)/1024,
+		int64(numBlocks)*blockSize/1024)
+
+	eq, err := prins.Equal(primaryDisk, replicaDisk)
+	if err != nil {
+		return err
+	}
+	if !eq {
+		return fmt.Errorf("replica still diverged")
+	}
+	fmt.Println("replica verified byte-identical to the recovered primary")
+	return nil
+}

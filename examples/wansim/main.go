@@ -1,0 +1,93 @@
+// Wansim: a what-if explorer for replicated-storage WAN performance
+// using the paper's queueing model. Give it a line type, router count,
+// block size and replica fan-out, and it prints the response-time
+// curves for PRINS vs the traditional techniques — Figures 8-10
+// generalized to your own deployment parameters.
+//
+//	wansim -line t1 -routers 2 -nodes 10 -replicas 4 -payload-prins 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"prins/internal/core"
+	"prins/internal/queueing"
+	"prins/internal/wan"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wansim", flag.ContinueOnError)
+	var (
+		lineName  = fs.String("line", "t1", "WAN line: t1 or t3")
+		routers   = fs.Int("routers", 2, "routers between primary and replicas")
+		nodes     = fs.Int("nodes", 10, "storage nodes generating writes")
+		replicas  = fs.Int("replicas", 4, "replicas per write")
+		blockSize = fs.Int("bs", 8192, "block size in bytes (traditional payload)")
+		prinsPay  = fs.Int("payload-prins", 500, "mean PRINS parity payload in bytes")
+		compPay   = fs.Int("payload-comp", 2800, "mean compressed payload in bytes")
+		think     = fs.Duration("think", 100*time.Millisecond, "per-node think time between writes")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var line wan.Line
+	switch *lineName {
+	case "t1":
+		line = wan.T1
+	case "t3":
+		line = wan.T3
+	default:
+		return fmt.Errorf("unknown line %q", *lineName)
+	}
+
+	population := *nodes * *replicas
+	payloads := map[core.Mode]int{
+		core.ModeTraditional: *blockSize,
+		core.ModeCompressed:  *compPay,
+		core.ModePRINS:       *prinsPay,
+	}
+
+	fmt.Printf("closed queueing network: %d nodes x %d replicas = population %d\n",
+		*nodes, *replicas, population)
+	fmt.Printf("line %s, %d routers, think time %v\n\n", line, *routers, *think)
+	fmt.Printf("%-13s %10s %12s %12s %12s %10s\n",
+		"technique", "payload", "svc/router", "response", "throughput", "util")
+
+	for _, mode := range core.AllModes() {
+		payload := payloads[mode]
+		svc := wan.RouterServiceTime(payload, line)
+		net := queueing.Network{
+			ThinkTime:     *think,
+			RouterService: queueing.UniformRouters(svc, *routers),
+		}
+		res, err := queueing.Solve(net, population)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-13s %8d B %12s %12s %9.1f/s %9.0f%%\n",
+			mode, payload,
+			svc.Round(time.Microsecond),
+			res.ResponseTime.Round(time.Microsecond),
+			res.Throughput,
+			res.Utilization[0]*100)
+	}
+
+	// Where does each technique saturate a single router (Fig 10)?
+	fmt.Printf("\nsingle-router saturation rates (M/M/1):\n")
+	for _, mode := range core.AllModes() {
+		q := queueing.MM1{Service: wan.RouterServiceTime(payloads[mode], line)}
+		fmt.Printf("  %-13s %6.1f writes/s\n", mode, q.SaturationRate())
+	}
+	return nil
+}

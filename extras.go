@@ -1,0 +1,98 @@
+package prins
+
+import (
+	"prins/internal/block"
+	"prins/internal/cdp"
+	"prins/internal/iscsi"
+	"prins/internal/resync"
+)
+
+// ResyncStats reports a delta-resync run.
+type ResyncStats struct {
+	// BlocksScanned is the device size compared.
+	BlocksScanned uint64
+	// BlocksRepaired is how many blocks differed and were rewritten.
+	BlocksRepaired uint64
+	// HashBytes is the hash traffic fetched from the replica.
+	HashBytes int64
+	// DataBytes is the block data shipped to repair divergence.
+	DataBytes int64
+	// WireBytes is the modelled total on-the-wire cost.
+	WireBytes int64
+}
+
+// Resync repairs a diverged replica by comparing per-block content
+// hashes and rewriting only differing blocks — the way a PRINS
+// deployment re-establishes the synchronized-copy precondition after a
+// replica has been offline. local is the source of truth; the remote
+// device is the export served at addr. With dryRun the divergence is
+// only counted.
+func Resync(local Store, addr, exportName string, dryRun bool) (ResyncStats, error) {
+	remote, err := iscsi.Dial(addr)
+	if err != nil {
+		return ResyncStats{}, err
+	}
+	defer remote.Close()
+	if err := remote.Login(exportName); err != nil {
+		return ResyncStats{}, err
+	}
+	s, err := resync.Run(local, remote, resync.Config{DryRun: dryRun})
+	if err != nil {
+		return ResyncStats{}, err
+	}
+	return ResyncStats{
+		BlocksScanned:  s.BlocksScanned,
+		BlocksRepaired: s.BlocksRepaired,
+		HashBytes:      s.HashBytes,
+		DataBytes:      s.DataBytes,
+		WireBytes:      s.WireBytes,
+	}, nil
+}
+
+// History is a continuous-data-protection journal: the chain of
+// per-write parities that lets a protected volume be rolled back to
+// any past write (the paper's CDP/TRAP companion functionality).
+type History struct {
+	log *cdp.Log
+}
+
+// Protect wraps local so every write's parity is journaled. Writes go
+// through the returned Store; the History can later recover any past
+// state.
+func Protect(local Store) (Store, *History, error) {
+	log := cdp.NewLog(local.BlockSize())
+	s, err := cdp.NewStore(local, log)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, &History{log: log}, nil
+}
+
+// Seq returns the sequence number of the latest journaled write.
+func (h *History) Seq() uint64 { return h.log.Seq() }
+
+// Bytes returns the space the retained history occupies.
+func (h *History) Bytes() int64 { return h.log.Bytes() }
+
+// Truncate drops history up to and including seq, bounding the
+// protection window.
+func (h *History) Truncate(seq uint64) { h.log.Truncate(seq) }
+
+// RecoverTo rolls live back to its state as of seq (0 = before the
+// first journaled write). live must be the protected store's current
+// state.
+func (h *History) RecoverTo(live Store, seq uint64) error {
+	return h.log.Recover(live, seq)
+}
+
+// RecoverInto materializes the state as of seq into dst without
+// touching the live store; head is the current state.
+func (h *History) RecoverInto(dst, head Store, seq uint64) error {
+	return h.log.RecoverInto(dst, head, seq)
+}
+
+// CopyStore copies src's full contents into dst (matching geometry
+// required) — the initial full sync primitive.
+func CopyStore(dst, src Store) error {
+	return block.Copy(dst, src)
+}

@@ -1,0 +1,3 @@
+module prins
+
+go 1.22

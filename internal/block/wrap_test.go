@@ -1,0 +1,98 @@
+package block
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDelayedStorePassesThrough(t *testing.T) {
+	inner, err := NewMem(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewDelayedRW(inner, 0, 0)
+	data := make([]byte, 64)
+	data[0] = 9
+	if err := s.WriteBlock(3, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 64)
+	if err := s.ReadBlock(3, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 9 {
+		t.Error("delayed store corrupted data")
+	}
+	if s.BlockSize() != 64 || s.NumBlocks() != 8 {
+		t.Error("geometry passthrough wrong")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelayedStoreAddsLatency(t *testing.T) {
+	inner, err := NewMem(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const delay = 5 * time.Millisecond
+	s := NewDelayed(inner, delay)
+	buf := make([]byte, 64)
+
+	start := time.Now()
+	if err := s.WriteBlock(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < delay {
+		t.Errorf("write took %v, want >= %v", elapsed, delay)
+	}
+	start = time.Now()
+	if err := s.ReadBlock(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < delay {
+		t.Errorf("read took %v, want >= %v", elapsed, delay)
+	}
+
+	// Write-only latency leaves reads fast.
+	fastReads := NewDelayedRW(inner, 0, delay)
+	start = time.Now()
+	if err := fastReads.ReadBlock(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > delay {
+		t.Errorf("zero-delay read took %v", elapsed)
+	}
+}
+
+func TestSparseForEachMaterialized(t *testing.T) {
+	s, err := NewSparse(64, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint64]byte{5: 1, 99: 2, 100000: 3}
+	buf := make([]byte, 64)
+	for lba, v := range want {
+		buf[0] = v
+		if err := s.WriteBlock(lba, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := make(map[uint64]byte)
+	err = s.ForEachMaterialized(func(lba uint64, data []byte) error {
+		seen[lba] = data[0]
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("visited %d blocks, want %d", len(seen), len(want))
+	}
+	for lba, v := range want {
+		if seen[lba] != v {
+			t.Errorf("lba %d = %d, want %d", lba, seen[lba], v)
+		}
+	}
+}

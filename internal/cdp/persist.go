@@ -1,0 +1,110 @@
+package cdp
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Log persistence: the journal serializes to a compact stream so the
+// protection history survives restarts (or ships to an archive tier).
+//
+// Stream format: "PCDP" magic, version u8, blockSize u32, then records
+// of seq u64, lba u64, frameLen u32, frame bytes.
+const (
+	persistMagic   = "PCDP"
+	persistVersion = 1
+)
+
+// ErrBadStream reports a malformed persisted log.
+var ErrBadStream = errors.New("cdp: malformed log stream")
+
+// Save writes the retained history to w.
+func (l *Log) Save(w io.Writer) error {
+	l.mu.Lock()
+	records := make([]Record, len(l.records))
+	copy(records, l.records)
+	blockSize := l.blockSize
+	l.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(persistMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(persistVersion); err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(blockSize))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [20]byte
+	for _, r := range records {
+		binary.BigEndian.PutUint64(rec[0:], r.Seq)
+		binary.BigEndian.PutUint64(rec[8:], r.LBA)
+		binary.BigEndian.PutUint32(rec[16:], uint32(len(r.Frame)))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(r.Frame); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadLog reads a log previously written by Save.
+func LoadLog(r io.Reader) (*Log, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadStream, err)
+	}
+	if string(magic) != persistMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadStream)
+	}
+	ver, err := br.ReadByte()
+	if err != nil || ver != persistVersion {
+		return nil, fmt.Errorf("%w: version", ErrBadStream)
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadStream, err)
+	}
+	blockSize := int(binary.BigEndian.Uint32(hdr[:]))
+	if blockSize <= 0 || blockSize > 16<<20 {
+		return nil, fmt.Errorf("%w: block size %d", ErrBadStream, blockSize)
+	}
+
+	log := NewLog(blockSize)
+	var rec [20]byte
+	var lastSeq uint64
+	for {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("%w: truncated record header", ErrBadStream)
+		}
+		seq := binary.BigEndian.Uint64(rec[0:])
+		lba := binary.BigEndian.Uint64(rec[8:])
+		frameLen := binary.BigEndian.Uint32(rec[16:])
+		if frameLen > uint32(16<<20) {
+			return nil, fmt.Errorf("%w: frame %d bytes", ErrBadStream, frameLen)
+		}
+		if seq <= lastSeq {
+			return nil, fmt.Errorf("%w: non-increasing seq %d", ErrBadStream, seq)
+		}
+		lastSeq = seq
+		frame := make([]byte, frameLen)
+		if _, err := io.ReadFull(br, frame); err != nil {
+			return nil, fmt.Errorf("%w: truncated frame", ErrBadStream)
+		}
+		log.records = append(log.records, Record{Seq: seq, LBA: lba, Frame: frame})
+	}
+	log.seq = lastSeq
+	return log, nil
+}

@@ -1,0 +1,409 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"prins/internal/block"
+	"prins/internal/iscsi"
+	"prins/internal/metrics"
+	"prins/internal/parity"
+	"prins/internal/wan"
+	"prins/internal/xcode"
+)
+
+// ReplicaClient transports one encoded replication frame to a replica
+// node. iscsi.Initiator implements it for remote replicas; Loopback
+// implements it in-process for tests and benchmarks.
+type ReplicaClient interface {
+	ReplicaWrite(mode uint8, seq uint64, lba uint64, frame []byte) error
+}
+
+var _ ReplicaClient = (*iscsi.Initiator)(nil)
+
+// ParityWriter is the optional fast path a RAID array provides: a
+// write that returns the forward parity it computed anyway while
+// updating the parity disk. When the primary store implements it and
+// the engine runs in ModePRINS, replication adds no XOR of its own —
+// the paper's zero-overhead case.
+type ParityWriter interface {
+	WriteBlockWithParity(lba uint64, data []byte) ([]byte, error)
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Mode selects the replication technique. Required.
+	Mode Mode
+	// Codecs are the candidate codecs for ModePRINS parity encoding;
+	// the smallest frame wins. Defaults to ZRL only (the fast path).
+	Codecs []xcode.Codec
+	// Async, when true, ships frames from a background worker fed by
+	// a bounded queue (the paper's separate PRINS-engine thread with a
+	// shared queue). When false every write blocks until all replicas
+	// acknowledged.
+	Async bool
+	// QueueDepth bounds the async queue. Defaults to 256. When the
+	// queue is full the write path blocks, bounding memory.
+	QueueDepth int
+	// SkipUnchanged, when true, elides replication of writes whose
+	// parity is all zeros (the block did not change). Only meaningful
+	// in ModePRINS.
+	SkipUnchanged bool
+	// RecordDensity enables per-write change-density accounting.
+	RecordDensity bool
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Codecs) == 0 {
+		c.Codecs = []xcode.Codec{xcode.CodecZRL}
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if !c.Mode.Valid() {
+		return fmt.Errorf("core: invalid mode %d", uint8(c.Mode))
+	}
+	for _, cc := range c.Codecs {
+		if !cc.Valid() {
+			return fmt.Errorf("core: invalid codec %d", uint8(cc))
+		}
+	}
+	return nil
+}
+
+// ErrEngineClosed is returned for writes after Close.
+var ErrEngineClosed = errors.New("core: engine closed")
+
+// Engine is the primary-side PRINS engine. It wraps the local block
+// store; writes through the engine hit local storage and are
+// replicated to every attached replica in the configured mode.
+// Engine implements block.Store, so a filesystem, database pager, or
+// iSCSI target backend can sit directly on top of it.
+type Engine struct {
+	cfg      Config
+	local    block.Store
+	pw       ParityWriter // non-nil if local supports the RAID fast path
+	traffic  *metrics.Traffic
+	density  *parity.DensityStats
+	replicas []ReplicaClient
+
+	mu     sync.Mutex // serializes the write path (order = seq order)
+	seq    uint64
+	oldBuf []byte
+	fpBuf  []byte
+	closed bool
+
+	queue   chan repMsg
+	done    chan struct{}
+	errMu   sync.Mutex
+	repErr  error
+	pending sync.WaitGroup
+}
+
+var _ block.Store = (*Engine)(nil)
+var _ iscsi.Backend = (*Engine)(nil)
+
+// repMsg is one queued replication job.
+type repMsg struct {
+	seq   uint64
+	lba   uint64
+	frame []byte
+}
+
+// NewEngine wraps local with a replication engine in the given config.
+// Replicas are attached afterwards with AttachReplica.
+func NewEngine(local block.Store, cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:     cfg,
+		local:   local,
+		traffic: &metrics.Traffic{},
+		density: &parity.DensityStats{},
+		oldBuf:  make([]byte, local.BlockSize()),
+		fpBuf:   make([]byte, local.BlockSize()),
+	}
+	if pw, ok := local.(ParityWriter); ok {
+		e.pw = pw
+	}
+	if cfg.Async {
+		e.queue = make(chan repMsg, cfg.QueueDepth)
+		e.done = make(chan struct{})
+		go e.shipLoop()
+	}
+	return e, nil
+}
+
+// AttachReplica adds a replication destination. Not safe to call
+// concurrently with writes; attach replicas before serving I/O.
+func (e *Engine) AttachReplica(rc ReplicaClient) {
+	e.replicas = append(e.replicas, rc)
+}
+
+// Traffic returns the engine's traffic counters.
+func (e *Engine) Traffic() *metrics.Traffic { return e.traffic }
+
+// Density returns the change-density statistics (populated only when
+// Config.RecordDensity is set and the mode computes parity).
+func (e *Engine) Density() *parity.DensityStats { return e.density }
+
+// Mode returns the configured replication mode.
+func (e *Engine) Mode() Mode { return e.cfg.Mode }
+
+// ReadBlock implements block.Store by delegating to local storage.
+func (e *Engine) ReadBlock(lba uint64, buf []byte) error {
+	return e.local.ReadBlock(lba, buf)
+}
+
+// BlockSize implements block.Store.
+func (e *Engine) BlockSize() int { return e.local.BlockSize() }
+
+// NumBlocks implements block.Store.
+func (e *Engine) NumBlocks() uint64 { return e.local.NumBlocks() }
+
+// WriteBlock implements block.Store: local write plus replication.
+func (e *Engine) WriteBlock(lba uint64, data []byte) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrEngineClosed
+	}
+
+	frame, err := e.applyLocal(lba, data)
+	if err != nil {
+		e.mu.Unlock()
+		return err
+	}
+	if frame == nil { // unchanged block elided
+		e.mu.Unlock()
+		return nil
+	}
+	e.seq++
+	seq := e.seq
+
+	if e.cfg.Async {
+		// Enqueue while still holding the lock: frames must enter the
+		// queue in sequence order, or two racing writers could deliver
+		// same-LBA updates to the replica out of order. The queue send
+		// can block on backpressure, which then (deliberately) throttles
+		// all writers — the paper's bounded shared queue.
+		e.pending.Add(1)
+		defer e.mu.Unlock()
+		select {
+		case e.queue <- repMsg{seq: seq, lba: lba, frame: frame}:
+		case <-e.done:
+			e.pending.Done()
+			return ErrEngineClosed
+		}
+		return nil
+	}
+	// Synchronous mode ships under the engine lock so frames reach the
+	// replicas in sequence order even with concurrent writers; applying
+	// traditional-mode frames out of order would leave the replica on a
+	// stale version of a twice-written block. (XOR parities commute,
+	// but the ordering guarantee must not depend on the mode.)
+	defer e.mu.Unlock()
+	return e.ship(seq, lba, frame)
+}
+
+// applyLocal performs the local write and produces the encoded frame
+// to replicate, or nil if the write needs no replication. Called with
+// e.mu held.
+func (e *Engine) applyLocal(lba uint64, data []byte) ([]byte, error) {
+	bs := e.local.BlockSize()
+	if len(data) != bs {
+		return nil, fmt.Errorf("%w: %d != %d", block.ErrBadBufSize, len(data), bs)
+	}
+	e.traffic.AddWrite(bs)
+
+	switch e.cfg.Mode {
+	case ModeTraditional, ModeCompressed:
+		if err := e.local.WriteBlock(lba, data); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		codec := xcode.CodecRaw
+		if e.cfg.Mode == ModeCompressed {
+			codec = xcode.CodecFlate
+		}
+		frame, err := xcode.Encode(codec, data)
+		e.traffic.AddEncodeTime(time.Since(start))
+		if err != nil {
+			return nil, fmt.Errorf("core: encode: %w", err)
+		}
+		return frame, nil
+
+	case ModePRINS:
+		start := time.Now()
+		fp := e.fpBuf
+		if e.pw != nil {
+			// RAID fast path: the array hands us P' it computed anyway.
+			var err error
+			fp, err = e.pw.WriteBlockWithParity(lba, data)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			if err := e.local.ReadBlock(lba, e.oldBuf); err != nil {
+				return nil, fmt.Errorf("core: read pre-image: %w", err)
+			}
+			if err := parity.ForwardInto(fp, data, e.oldBuf); err != nil {
+				return nil, err
+			}
+			if err := e.local.WriteBlock(lba, data); err != nil {
+				return nil, err
+			}
+		}
+		if e.cfg.RecordDensity {
+			e.density.Record(parity.MeasureDensity(fp))
+		}
+		if e.cfg.SkipUnchanged && parity.IsZero(fp) {
+			e.traffic.AddSkipped()
+			e.traffic.AddEncodeTime(time.Since(start))
+			return nil, nil
+		}
+		frame, err := xcode.EncodeBest(fp, e.cfg.Codecs...)
+		e.traffic.AddEncodeTime(time.Since(start))
+		if err != nil {
+			return nil, fmt.Errorf("core: encode parity: %w", err)
+		}
+		return frame, nil
+
+	default:
+		return nil, fmt.Errorf("core: invalid mode %d", uint8(e.cfg.Mode))
+	}
+}
+
+// ship sends one frame to every replica and records traffic.
+func (e *Engine) ship(seq, lba uint64, frame []byte) error {
+	var firstErr error
+	for _, rc := range e.replicas {
+		e.traffic.AddReplicated(len(frame), wan.WireBytesDiscrete(len(frame)))
+		if err := rc.ReplicaWrite(uint8(e.cfg.Mode), seq, lba, frame); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("core: replicate seq %d lba %d: %w", seq, lba, err)
+		}
+	}
+	return firstErr
+}
+
+// shipLoop is the async worker: the paper's PRINS-engine thread
+// draining the shared queue.
+func (e *Engine) shipLoop() {
+	for {
+		select {
+		case msg := <-e.queue:
+			if err := e.ship(msg.seq, msg.lba, msg.frame); err != nil {
+				e.errMu.Lock()
+				if e.repErr == nil {
+					e.repErr = err
+				}
+				e.errMu.Unlock()
+			}
+			e.pending.Done()
+		case <-e.done:
+			// Drain whatever is already queued, then exit.
+			for {
+				select {
+				case msg := <-e.queue:
+					if err := e.ship(msg.seq, msg.lba, msg.frame); err != nil {
+						e.errMu.Lock()
+						if e.repErr == nil {
+							e.repErr = err
+						}
+						e.errMu.Unlock()
+					}
+					e.pending.Done()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Drain blocks until every queued replication has been shipped and
+// returns the first replication error observed so far (async mode
+// reports errors here rather than on the triggering write).
+func (e *Engine) Drain() error {
+	e.pending.Wait()
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.repErr
+}
+
+// Close drains outstanding replication, stops the worker, and closes
+// nothing else: the caller owns the local store and replica clients.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+
+	if e.cfg.Async {
+		e.pending.Wait()
+		close(e.done)
+	}
+	return nil
+}
+
+// Geometry implements iscsi.Backend so a primary node can export the
+// engine directly through a target.
+func (e *Engine) Geometry() (int, uint64) {
+	return e.local.BlockSize(), e.local.NumBlocks()
+}
+
+// HandleRead implements iscsi.Backend.
+func (e *Engine) HandleRead(lba uint64, blocks uint32) ([]byte, iscsi.Status) {
+	bs := e.local.BlockSize()
+	out := make([]byte, int(blocks)*bs)
+	for i := uint32(0); i < blocks; i++ {
+		if err := e.local.ReadBlock(lba+uint64(i), out[int(i)*bs:int(i+1)*bs]); err != nil {
+			return nil, statusOf(err)
+		}
+	}
+	return out, iscsi.StatusOK
+}
+
+// HandleWrite implements iscsi.Backend: writes arriving over the wire
+// from application initiators go through the replicating write path.
+func (e *Engine) HandleWrite(lba uint64, data []byte) iscsi.Status {
+	bs := e.local.BlockSize()
+	if len(data) == 0 || len(data)%bs != 0 {
+		return iscsi.StatusBadRequest
+	}
+	for i := 0; i*bs < len(data); i++ {
+		if err := e.WriteBlock(lba+uint64(i), data[i*bs:(i+1)*bs]); err != nil {
+			return statusOf(err)
+		}
+	}
+	return iscsi.StatusOK
+}
+
+// HandleReplica implements iscsi.Backend. A primary engine does not
+// accept pushes; use ReplicaEngine on replica nodes.
+func (e *Engine) HandleReplica(uint8, uint64, uint64, []byte) iscsi.Status {
+	return iscsi.StatusBadRequest
+}
+
+func statusOf(err error) iscsi.Status {
+	switch {
+	case errors.Is(err, block.ErrOutOfRange):
+		return iscsi.StatusOutOfRange
+	case errors.Is(err, block.ErrBadBufSize):
+		return iscsi.StatusBadRequest
+	default:
+		return iscsi.StatusError
+	}
+}

@@ -1,0 +1,53 @@
+// Package core implements the PRINS-engine: the block-level
+// replication module the paper embeds inside the iSCSI target. The
+// engine intercepts every block write to the primary device, performs
+// the local write, computes the forward parity P' = A_new XOR A_old,
+// encodes it, and ships it to each replica node; the replica-side
+// engine decodes, performs the backward parity computation
+// A_new = P' XOR A_old against its own copy, and writes the result
+// in place at the same LBA.
+//
+// The two baselines the paper measures against — traditional
+// replication (ship the whole changed block) and traditional with
+// compression (ship the DEFLATE-compressed block) — are the same
+// engine in different modes, so every experiment compares identical
+// machinery differing only in what goes on the wire.
+package core
+
+import "fmt"
+
+// Mode selects what the engine ships per write.
+type Mode uint8
+
+// Replication modes. Values appear on the wire in the PDU mode byte.
+const (
+	// ModeTraditional ships the full new block (raw frame).
+	ModeTraditional Mode = iota + 1
+	// ModeCompressed ships the DEFLATE-compressed new block.
+	ModeCompressed
+	// ModePRINS ships the encoded forward parity.
+	ModePRINS
+)
+
+// String returns the mode name used in reports.
+func (m Mode) String() string {
+	switch m {
+	case ModeTraditional:
+		return "traditional"
+	case ModeCompressed:
+		return "compressed"
+	case ModePRINS:
+		return "prins"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Valid reports whether m is a defined replication mode.
+func (m Mode) Valid() bool { return m >= ModeTraditional && m <= ModePRINS }
+
+// AllModes lists every mode in presentation order (the order the
+// paper's figures use: traditional, compressed, PRINS).
+func AllModes() []Mode {
+	return []Mode{ModeTraditional, ModeCompressed, ModePRINS}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"prins/internal/block"
+	"prins/internal/iscsi"
+	"prins/internal/metrics"
+	"prins/internal/parity"
+	"prins/internal/xcode"
+)
+
+// ReplicaEngine is the replica-side PRINS engine: it receives encoded
+// frames pushed by a primary, recovers the data block, and stores it
+// in place at the same LBA. For ModePRINS frames that means the
+// backward parity computation A_new = P' XOR A_old against the
+// replica's own old copy, which exists because replication starts from
+// an initial sync.
+//
+// It implements iscsi.Backend so a replica node simply exports it
+// through a target; it also applies frames directly via Apply for
+// in-process (loopback) replication.
+type ReplicaEngine struct {
+	store   block.Store
+	traffic *metrics.Traffic
+
+	mu      sync.Mutex // serializes applies; order matters
+	lastSeq uint64
+	oldBuf  []byte
+	newBuf  []byte
+}
+
+var _ iscsi.Backend = (*ReplicaEngine)(nil)
+
+// NewReplicaEngine wraps the replica's local store.
+func NewReplicaEngine(store block.Store) *ReplicaEngine {
+	return &ReplicaEngine{
+		store:   store,
+		traffic: &metrics.Traffic{},
+		oldBuf:  make([]byte, store.BlockSize()),
+		newBuf:  make([]byte, store.BlockSize()),
+	}
+}
+
+// Traffic returns the replica's counters (decode time, applied writes).
+func (r *ReplicaEngine) Traffic() *metrics.Traffic { return r.traffic }
+
+// LastSeq returns the highest sequence number applied.
+func (r *ReplicaEngine) LastSeq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastSeq
+}
+
+// Store returns the underlying replica store (read-only use expected).
+func (r *ReplicaEngine) Store() block.Store { return r.store }
+
+// Apply decodes one replication frame and applies it to the replica
+// store.
+func (r *ReplicaEngine) Apply(mode Mode, seq uint64, lba uint64, frame []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	start := time.Now()
+	payload, err := xcode.Decode(frame)
+	if err != nil {
+		return fmt.Errorf("core: replica decode seq %d: %w", seq, err)
+	}
+	if len(payload) != r.store.BlockSize() {
+		return fmt.Errorf("%w: frame decodes to %d bytes, block size %d",
+			block.ErrBadBufSize, len(payload), r.store.BlockSize())
+	}
+
+	switch mode {
+	case ModeTraditional, ModeCompressed:
+		if err := r.store.WriteBlock(lba, payload); err != nil {
+			return fmt.Errorf("core: replica write seq %d: %w", seq, err)
+		}
+	case ModePRINS:
+		if err := r.store.ReadBlock(lba, r.oldBuf); err != nil {
+			return fmt.Errorf("core: replica read old seq %d: %w", seq, err)
+		}
+		if err := parity.BackwardInto(r.newBuf, payload, r.oldBuf); err != nil {
+			return err
+		}
+		if err := r.store.WriteBlock(lba, r.newBuf); err != nil {
+			return fmt.Errorf("core: replica write seq %d: %w", seq, err)
+		}
+	default:
+		return fmt.Errorf("core: replica: invalid mode %d", uint8(mode))
+	}
+
+	r.traffic.AddDecodeTime(time.Since(start))
+	r.traffic.AddReplicaWrite()
+	if seq > r.lastSeq {
+		r.lastSeq = seq
+	}
+	return nil
+}
+
+// Geometry implements iscsi.Backend.
+func (r *ReplicaEngine) Geometry() (int, uint64) {
+	return r.store.BlockSize(), r.store.NumBlocks()
+}
+
+// HandleRead implements iscsi.Backend, serving reads off the replica
+// copy (e.g. for verification or failover).
+func (r *ReplicaEngine) HandleRead(lba uint64, blocks uint32) ([]byte, iscsi.Status) {
+	bs := r.store.BlockSize()
+	out := make([]byte, int(blocks)*bs)
+	for i := uint32(0); i < blocks; i++ {
+		if err := r.store.ReadBlock(lba+uint64(i), out[int(i)*bs:int(i+1)*bs]); err != nil {
+			return nil, statusOf(err)
+		}
+	}
+	return out, iscsi.StatusOK
+}
+
+// HandleWrite implements iscsi.Backend. Direct writes are used by the
+// initial sync; they bypass replication (a replica does not re-
+// replicate).
+func (r *ReplicaEngine) HandleWrite(lba uint64, data []byte) iscsi.Status {
+	bs := r.store.BlockSize()
+	if len(data) == 0 || len(data)%bs != 0 {
+		return iscsi.StatusBadRequest
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := 0; i*bs < len(data); i++ {
+		if err := r.store.WriteBlock(lba+uint64(i), data[i*bs:(i+1)*bs]); err != nil {
+			return statusOf(err)
+		}
+	}
+	return iscsi.StatusOK
+}
+
+// HandleReplica implements iscsi.Backend: the wire entry point for
+// pushes from the primary's engine.
+func (r *ReplicaEngine) HandleReplica(mode uint8, seq uint64, lba uint64, frame []byte) iscsi.Status {
+	if err := r.Apply(Mode(mode), seq, lba, frame); err != nil {
+		return statusOf(err)
+	}
+	return iscsi.StatusOK
+}
+
+// Loopback adapts a ReplicaEngine into a ReplicaClient, replicating
+// in-process with no transport. Benchmarks use it to measure pure
+// engine behaviour; it also models co-located replicas.
+type Loopback struct {
+	Replica *ReplicaEngine
+}
+
+var _ ReplicaClient = (*Loopback)(nil)
+
+// ReplicaWrite implements ReplicaClient.
+func (l *Loopback) ReplicaWrite(mode uint8, seq uint64, lba uint64, frame []byte) error {
+	return l.Replica.Apply(Mode(mode), seq, lba, frame)
+}

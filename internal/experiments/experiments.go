@@ -1,0 +1,78 @@
+// Package experiments is the reproduction harness for the paper's
+// evaluation (Section 4): one entry point per table/figure, each
+// running the real stack — workload on minidb/memfs over a replicating
+// engine — and printing the same rows/series the paper reports.
+// cmd/prinsbench and the root bench_test.go both drive this package.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result: a title, column headers, and
+// rows of cells, printable as aligned text.
+type Table struct {
+	Title   string
+	Note    string
+	Columns []string
+	Rows    [][]string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		return strings.Join(parts, "  ")
+	}
+
+	if _, err := fmt.Fprintf(w, "\n%s\n", t.Title); err != nil {
+		return err
+	}
+	if t.Note != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Note); err != nil {
+			return err
+		}
+	}
+	header := line(t.Columns)
+	if _, err := fmt.Fprintf(w, "%s\n%s\n", header, strings.Repeat("-", len(header))); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintf(w, "%s\n", line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// BlockSizes are the five block sizes of Figures 4-7.
+var BlockSizes = []int{4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10}
+
+// KB formats a byte count as fractional kilobytes the way the paper's
+// bar charts label them.
+func KB(n int64) string {
+	return fmt.Sprintf("%.1f", float64(n)/1024)
+}

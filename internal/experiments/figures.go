@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+
+	"prins/internal/core"
+	"prins/internal/memfs"
+	"prins/internal/metrics"
+	"prins/internal/tpcc"
+	"prins/internal/tpcw"
+)
+
+// Effort scales how long the measured phases run. 1 is a quick
+// shape-check; the paper's hour-long runs correspond to much larger
+// values (the reported quantities are ratios, which stabilize fast).
+type Effort int
+
+// transactions returns the measured-phase length for a base count.
+func (e Effort) scale(base int) int {
+	if e < 1 {
+		e = 1
+	}
+	return base * int(e)
+}
+
+// TrafficCell is one bar of Figures 4-7.
+type TrafficCell struct {
+	Mode        core.Mode
+	BlockSize   int
+	Snapshot    metrics.Snapshot
+	MeanChanged float64
+}
+
+// TrafficFigure is a full traffic figure: cells for every block size
+// and mode.
+type TrafficFigure struct {
+	Name  string
+	Cells []TrafficCell
+}
+
+// runTrafficFigure measures a workload across all block sizes and
+// modes.
+func runTrafficFigure(name string, mk func(blockSize int) Workload, sizes []int) (*TrafficFigure, error) {
+	fig := &TrafficFigure{Name: name}
+	for _, bs := range sizes {
+		for _, mode := range core.AllModes() {
+			snap, density, err := MeasureCell(mk(bs), mode, bs)
+			if err != nil {
+				return nil, fmt.Errorf("%s bs=%d mode=%v: %w", name, bs, mode, err)
+			}
+			cell := TrafficCell{Mode: mode, BlockSize: bs, Snapshot: snap}
+			if mode == core.ModePRINS {
+				cell.MeanChanged = density.Mean()
+			}
+			fig.Cells = append(fig.Cells, cell)
+		}
+	}
+	return fig, nil
+}
+
+// cell fetches a specific figure cell.
+func (f *TrafficFigure) cell(mode core.Mode, bs int) (TrafficCell, bool) {
+	for _, c := range f.Cells {
+		if c.Mode == mode && c.BlockSize == bs {
+			return c, true
+		}
+	}
+	return TrafficCell{}, false
+}
+
+// Table renders the figure the way the paper's bar charts read:
+// one row per block size, one traffic column per technique, plus the
+// savings factors the text quotes.
+func (f *TrafficFigure) Table(title string) *Table {
+	t := &Table{
+		Title: title,
+		Note:  "replication traffic (payload KB shipped to one replica)",
+		Columns: []string{
+			"block", "traditional", "compressed", "prins",
+			"trad/prins", "comp/prins",
+		},
+	}
+	sizes := map[int]bool{}
+	var order []int
+	for _, c := range f.Cells {
+		if !sizes[c.BlockSize] {
+			sizes[c.BlockSize] = true
+			order = append(order, c.BlockSize)
+		}
+	}
+	for _, bs := range order {
+		trad, _ := f.cell(core.ModeTraditional, bs)
+		comp, _ := f.cell(core.ModeCompressed, bs)
+		prins, _ := f.cell(core.ModePRINS, bs)
+		row := []string{
+			fmt.Sprintf("%dKB", bs>>10),
+			KB(trad.Snapshot.PayloadBytes),
+			KB(comp.Snapshot.PayloadBytes),
+			KB(prins.Snapshot.PayloadBytes),
+			ratio(trad.Snapshot.PayloadBytes, prins.Snapshot.PayloadBytes),
+			ratio(comp.Snapshot.PayloadBytes, prins.Snapshot.PayloadBytes),
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+func ratio(a, b int64) string {
+	if b == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fx", float64(a)/float64(b))
+}
+
+// Fig4TPCCOracle reproduces Figure 4: TPC-C on the Oracle-style
+// configuration (paper: 5 warehouses, 25 users), traffic vs block
+// size for the three techniques.
+func Fig4TPCCOracle(effort Effort) (*TrafficFigure, error) {
+	return runTrafficFigure("fig4/tpcc-oracle", func(bs int) Workload {
+		return &TPCCWorkload{
+			Label:        "tpcc-oracle",
+			Scale:        tpcc.DefaultScale(2),
+			Transactions: effort.scale(300),
+			Seed:         4001,
+		}
+	}, BlockSizes)
+}
+
+// Fig5TPCCPostgres reproduces Figure 5: TPC-C on the Postgres-style
+// configuration (paper: 10 warehouses, 50 users — double Figure 4's).
+func Fig5TPCCPostgres(effort Effort) (*TrafficFigure, error) {
+	return runTrafficFigure("fig5/tpcc-postgres", func(bs int) Workload {
+		return &TPCCWorkload{
+			Label:        "tpcc-postgres",
+			Scale:        tpcc.DefaultScale(4),
+			Transactions: effort.scale(600),
+			Seed:         5001,
+		}
+	}, BlockSizes)
+}
+
+// Fig6TPCW reproduces Figure 6: TPC-W with 30 emulated browsers on
+// the MySQL-style configuration.
+func Fig6TPCW(effort Effort) (*TrafficFigure, error) {
+	return runTrafficFigure("fig6/tpcw", func(bs int) Workload {
+		return &TPCWWorkload{
+			Config:       tpcw.DefaultConfig(),
+			Interactions: effort.scale(900),
+			Seed:         6001,
+		}
+	}, BlockSizes)
+}
+
+// Fig7Ext2Micro reproduces Figure 7: the Ext2 tar micro-benchmark
+// (5 directories, random edits, 5 tar rounds).
+func Fig7Ext2Micro(effort Effort) (*TrafficFigure, error) {
+	return runTrafficFigure("fig7/ext2-micro", func(bs int) Workload {
+		cfg := memfs.DefaultMicroBenchmark()
+		return &MicroWorkload{
+			Config: cfg,
+			Rounds: 5 * int(max64(1, int64(effort))),
+			Seed:   7001,
+		}
+	}, BlockSizes)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// microDefault returns the Figure 7 micro-benchmark shape.
+func microDefault() memfs.MicroBenchmark {
+	return memfs.DefaultMicroBenchmark()
+}

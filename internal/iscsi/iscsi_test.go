@@ -1,0 +1,439 @@
+package iscsi
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"prins/internal/block"
+)
+
+func TestPDURoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		pdu  PDU
+	}{
+		{name: "empty nop", pdu: PDU{Op: OpNop}},
+		{name: "read cmd", pdu: PDU{Op: OpReadCmd, ITT: 7, LBA: 123456, Blocks: 4}},
+		{name: "write with data", pdu: PDU{Op: OpWriteCmd, ITT: 8, LBA: 9, Data: []byte("payload")}},
+		{name: "replica", pdu: PDU{Op: OpReplicaWrite, Mode: 3, Seq: 1 << 40, LBA: 42, Data: []byte{1, 2, 3}}},
+		{name: "status resp", pdu: PDU{Op: OpResp, Status: StatusOutOfRange, ITT: 1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			n, err := tt.pdu.WriteTo(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int(n) != tt.pdu.WireSize() || buf.Len() != tt.pdu.WireSize() {
+				t.Errorf("wire size %d, WriteTo %d, buffered %d", tt.pdu.WireSize(), n, buf.Len())
+			}
+			got, err := ReadPDU(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Op != tt.pdu.Op || got.Status != tt.pdu.Status || got.Mode != tt.pdu.Mode ||
+				got.ITT != tt.pdu.ITT || got.LBA != tt.pdu.LBA || got.Blocks != tt.pdu.Blocks ||
+				got.Seq != tt.pdu.Seq || !bytes.Equal(got.Data, tt.pdu.Data) {
+				t.Errorf("round trip mismatch: got %+v, want %+v", got, tt.pdu)
+			}
+		})
+	}
+}
+
+func TestPDURoundTripQuick(t *testing.T) {
+	f := func(op, mode uint8, itt uint32, lba, seq uint64, blocks uint32, data []byte) bool {
+		in := PDU{
+			Op: Opcode(op), Mode: mode, ITT: itt, LBA: lba,
+			Seq: seq, Blocks: blocks, Data: data,
+		}
+		var buf bytes.Buffer
+		if _, err := in.WriteTo(&buf); err != nil {
+			return false
+		}
+		out, err := ReadPDU(&buf)
+		if err != nil {
+			return false
+		}
+		return out.Op == in.Op && out.Mode == in.Mode && out.ITT == in.ITT &&
+			out.LBA == in.LBA && out.Seq == in.Seq && out.Blocks == in.Blocks &&
+			bytes.Equal(out.Data, in.Data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadPDUErrors(t *testing.T) {
+	t.Run("clean EOF", func(t *testing.T) {
+		if _, err := ReadPDU(bytes.NewReader(nil)); !errors.Is(err, io.EOF) {
+			t.Errorf("err = %v, want io.EOF", err)
+		}
+	})
+	t.Run("truncated header", func(t *testing.T) {
+		if _, err := ReadPDU(bytes.NewReader([]byte{protoMagic, protoVersion, 1})); err == nil {
+			t.Error("want error")
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		buf := make([]byte, headerLen)
+		buf[0] = 0xFF
+		if _, err := ReadPDU(bytes.NewReader(buf)); !errors.Is(err, ErrBadMagic) {
+			t.Errorf("err = %v, want ErrBadMagic", err)
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		buf := make([]byte, headerLen)
+		buf[0] = protoMagic
+		buf[1] = 99
+		if _, err := ReadPDU(bytes.NewReader(buf)); !errors.Is(err, ErrBadVersion) {
+			t.Errorf("err = %v, want ErrBadVersion", err)
+		}
+	})
+	t.Run("oversized segment", func(t *testing.T) {
+		var p PDU
+		var buf bytes.Buffer
+		p.Op = OpNop
+		if _, err := p.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		raw := buf.Bytes()
+		raw[24] = 0xFF // length = ~4GB
+		raw[25] = 0xFF
+		raw[26] = 0xFF
+		raw[27] = 0xFF
+		if _, err := ReadPDU(bytes.NewReader(raw)); !errors.Is(err, ErrTooLarge) {
+			t.Errorf("err = %v, want ErrTooLarge", err)
+		}
+	})
+	t.Run("truncated data", func(t *testing.T) {
+		var buf bytes.Buffer
+		p := PDU{Op: OpWriteCmd, Data: []byte("hello")}
+		if _, err := p.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		raw := buf.Bytes()[:buf.Len()-2]
+		if _, err := ReadPDU(bytes.NewReader(raw)); err == nil {
+			t.Error("want error for truncated data segment")
+		}
+	})
+}
+
+// TestDigestDetectsCorruption flips single bits anywhere in a PDU and
+// requires the CRC-32C digest to reject the frame (the iSCSI
+// header+data digest role).
+func TestDigestDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	p := PDU{Op: OpReplicaWrite, Mode: 3, Seq: 7, LBA: 42, ITT: 1, Data: []byte("payload bytes")}
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for i := 2; i < len(raw); i++ { // skip magic/version: different errors
+		corrupted := append([]byte(nil), raw...)
+		corrupted[i] ^= 0x40
+		_, err := ReadPDU(bytes.NewReader(corrupted))
+		if err == nil {
+			t.Fatalf("bit flip at offset %d went undetected", i)
+		}
+	}
+	// And the pristine frame still parses.
+	if _, err := ReadPDU(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("pristine frame rejected: %v", err)
+	}
+}
+
+func TestWriteRejectsOversizedData(t *testing.T) {
+	p := PDU{Op: OpWriteCmd, Data: make([]byte, MaxDataSegment+1)}
+	if _, err := p.WriteTo(io.Discard); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+// startPair wires an initiator to a target over net.Pipe and logs in.
+func startPair(t *testing.T, name string, backend Backend) *Initiator {
+	t.Helper()
+	target := NewTarget()
+	target.Export(name, backend)
+	client, server := net.Pipe()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		target.ServeConn(server)
+	}()
+	init := NewInitiator(client)
+	t.Cleanup(func() {
+		init.Close()
+		wg.Wait()
+	})
+	return init
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	store, err := block.NewMem(512, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := startPair(t, "disk0", &StoreBackend{Store: store})
+
+	// I/O before login is rejected.
+	if _, err := init.ReadBlocks(0, 1); !errors.Is(err, ErrStatus) {
+		t.Errorf("read before login: err = %v, want ErrStatus", err)
+	}
+
+	// Wrong target name.
+	if err := init.Login("nope"); !errors.Is(err, ErrStatus) {
+		t.Errorf("bad target login: err = %v, want ErrStatus", err)
+	}
+
+	if err := init.Login("disk0"); err != nil {
+		t.Fatalf("login: %v", err)
+	}
+	if init.BlockSize() != 512 || init.NumBlocks() != 32 {
+		t.Errorf("geometry = %d x %d, want 512 x 32", init.BlockSize(), init.NumBlocks())
+	}
+
+	// Write then read back through the wire.
+	data := bytes.Repeat([]byte{0xCD}, 512)
+	if err := init.WriteBlock(7, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 512)
+	if err := init.ReadBlock(7, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("remote round trip mismatch")
+	}
+
+	// Verify it actually hit the backing store.
+	direct := make([]byte, 512)
+	if err := store.ReadBlock(7, direct); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(direct, data) {
+		t.Error("write did not reach backing store")
+	}
+
+	// Multi-block read.
+	multi, err := init.ReadBlocks(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(multi) != 3*512 || !bytes.Equal(multi[512:1024], data) {
+		t.Error("multi-block read wrong")
+	}
+
+	// Out-of-range surfaces as a status error.
+	if _, err := init.ReadBlocks(32, 1); !errors.Is(err, ErrStatus) {
+		t.Errorf("OOB read: err = %v, want ErrStatus", err)
+	}
+	if err := init.WriteBlock(99, data); !errors.Is(err, ErrStatus) {
+		t.Errorf("OOB write: err = %v, want ErrStatus", err)
+	}
+
+	// Bad buffer sizes are caught client-side.
+	if err := init.ReadBlock(0, make([]byte, 10)); !errors.Is(err, block.ErrBadBufSize) {
+		t.Errorf("short read buf: %v", err)
+	}
+	if err := init.WriteBlock(0, make([]byte, 10)); !errors.Is(err, block.ErrBadBufSize) {
+		t.Errorf("short write buf: %v", err)
+	}
+
+	// Ping and logout.
+	if _, err := init.Ping(); err != nil {
+		t.Errorf("ping: %v", err)
+	}
+	if err := init.Logout(); err != nil {
+		t.Errorf("logout: %v", err)
+	}
+}
+
+func TestReplicaWriteAgainstPlainStore(t *testing.T) {
+	store, _ := block.NewMem(512, 8)
+	init := startPair(t, "disk0", &StoreBackend{Store: store})
+	if err := init.Login("disk0"); err != nil {
+		t.Fatal(err)
+	}
+	// A plain store backend rejects replica pushes.
+	if err := init.ReplicaWrite(1, 1, 0, []byte{1}); !errors.Is(err, ErrStatus) {
+		t.Errorf("replica write: err = %v, want ErrStatus", err)
+	}
+}
+
+func TestZeroBlockReadRejected(t *testing.T) {
+	store, _ := block.NewMem(512, 8)
+	init := startPair(t, "d", &StoreBackend{Store: store})
+	if err := init.Login("d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := init.ReadBlocks(0, 0); !errors.Is(err, ErrStatus) {
+		t.Errorf("0-block read: err = %v, want ErrStatus", err)
+	}
+}
+
+func TestTargetOverTCP(t *testing.T) {
+	store, err := block.NewMem(4096, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := NewTarget()
+	target.Export("tcp0", &StoreBackend{Store: store})
+	addr, err := target.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer target.Close()
+
+	// Several concurrent initiators hammer disjoint LBA ranges.
+	var wg sync.WaitGroup
+	errCh := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			init, err := Dial(addr.String())
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer init.Close()
+			if err := init.Login("tcp0"); err != nil {
+				errCh <- err
+				return
+			}
+			rng := rand.New(rand.NewSource(int64(g)))
+			base := uint64(g * 16)
+			buf := make([]byte, 4096)
+			for i := 0; i < 50; i++ {
+				lba := base + uint64(rng.Intn(16))
+				rng.Read(buf)
+				if err := init.WriteBlock(lba, buf); err != nil {
+					errCh <- err
+					return
+				}
+				got := make([]byte, 4096)
+				if err := init.ReadBlock(lba, got); err != nil {
+					errCh <- err
+					return
+				}
+				if !bytes.Equal(got, buf) {
+					errCh <- errors.New("read-after-write mismatch")
+					return
+				}
+			}
+			if err := init.Logout(); err != nil {
+				errCh <- err
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
+
+func TestTargetCloseStopsAccepting(t *testing.T) {
+	target := NewTarget()
+	store, _ := block.NewMem(512, 4)
+	target.Export("x", &StoreBackend{Store: store})
+	addr, err := target.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := target.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// New connections should fail (or be immediately closed).
+	if conn, err := net.Dial("tcp", addr.String()); err == nil {
+		conn.Close()
+		// Accept loop is gone; at minimum a second Serve must refuse.
+		if err := target.Serve(nil); !errors.Is(err, net.ErrClosed) {
+			t.Errorf("Serve after close: %v, want net.ErrClosed", err)
+		}
+	}
+	// Double close is fine.
+	if err := target.Close(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGarbageStreamDropsSession(t *testing.T) {
+	target := NewTarget()
+	store, _ := block.NewMem(512, 4)
+	target.Export("x", &StoreBackend{Store: store})
+
+	client, server := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		target.ServeConn(server)
+	}()
+	if _, err := client.Write(bytes.Repeat([]byte{0xEE}, headerLen)); err != nil {
+		t.Fatal(err)
+	}
+	<-done // session must terminate on garbage
+	client.Close()
+}
+
+func TestOpcodeAndStatusStrings(t *testing.T) {
+	if OpReadCmd.String() != "READ" || Opcode(200).String() != "OP(200)" {
+		t.Error("opcode strings wrong")
+	}
+	if StatusOK.String() != "OK" || Status(200).String() != "STATUS(200)" {
+		t.Error("status strings wrong")
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	// A server that accepts but never responds.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		<-done2 // hold the connection open, silent
+	}()
+
+	init, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer init.Close()
+	init.SetRequestTimeout(50 * time.Millisecond)
+
+	start := time.Now()
+	_, err = init.Ping()
+	if err == nil {
+		t.Fatal("ping against silent server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("timeout took %v, want ~50ms", elapsed)
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Errorf("err = %v, want a net timeout", err)
+	}
+	close(done2)
+	<-done
+}
+
+// done2 releases the silent server in TestRequestTimeout.
+var done2 = make(chan struct{})

@@ -1,0 +1,290 @@
+// Package iscsi implements the block transport the PRINS prototype was
+// built on: an iSCSI-flavoured request/response protocol over TCP. An
+// initiator issues SCSI-like block commands (READ, WRITE) against a
+// target that serves a block device; the same PDU stream also carries
+// the PRINS replication pushes (REPLICA WRITE) between the engines of
+// the primary and replica nodes, mirroring how the paper embeds the
+// PRINS-engine inside the iSCSI target with a second initiator for
+// inter-node traffic.
+//
+// The wire protocol is a simplification of RFC 3720: fixed 40-byte
+// basic header segment followed by an optional data segment, one
+// outstanding task per connection phase handled synchronously. It is
+// not interoperable with real iSCSI but preserves its shape — login
+// with target-name validation, tagged tasks, status codes, and block
+// addressing by LBA.
+package iscsi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Opcode identifies the PDU type.
+type Opcode uint8
+
+// PDU opcodes. Request opcodes flow initiator->target; response
+// opcodes flow back.
+const (
+	OpLoginReq Opcode = iota + 1
+	OpLoginResp
+	OpReadCmd
+	OpWriteCmd
+	OpReplicaWrite // replication push carrying an xcode frame
+	OpResp         // generic command response
+	OpNop          // keepalive / RTT probe
+	OpNopResp
+	OpLogout
+	OpLogoutResp
+	OpHashCmd // per-block content hashes for delta resync
+)
+
+// String returns the opcode mnemonic.
+func (o Opcode) String() string {
+	switch o {
+	case OpLoginReq:
+		return "LOGIN"
+	case OpLoginResp:
+		return "LOGIN-RESP"
+	case OpReadCmd:
+		return "READ"
+	case OpWriteCmd:
+		return "WRITE"
+	case OpReplicaWrite:
+		return "REPLICA-WRITE"
+	case OpResp:
+		return "RESP"
+	case OpNop:
+		return "NOP"
+	case OpNopResp:
+		return "NOP-RESP"
+	case OpLogout:
+		return "LOGOUT"
+	case OpLogoutResp:
+		return "LOGOUT-RESP"
+	case OpHashCmd:
+		return "HASH"
+	default:
+		return fmt.Sprintf("OP(%d)", uint8(o))
+	}
+}
+
+// Status is the completion status carried in response PDUs.
+type Status uint8
+
+// Response statuses.
+const (
+	StatusOK Status = iota
+	StatusError
+	StatusBadRequest
+	StatusOutOfRange
+	StatusBadTarget
+	StatusNotLoggedIn
+)
+
+// String returns the status mnemonic.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusError:
+		return "ERROR"
+	case StatusBadRequest:
+		return "BAD-REQUEST"
+	case StatusOutOfRange:
+		return "OUT-OF-RANGE"
+	case StatusBadTarget:
+		return "BAD-TARGET"
+	case StatusNotLoggedIn:
+		return "NOT-LOGGED-IN"
+	default:
+		return fmt.Sprintf("STATUS(%d)", uint8(s))
+	}
+}
+
+// Wire-format constants.
+const (
+	// headerLen is the fixed basic header segment size.
+	headerLen = 40
+	// protoMagic guards against desynchronized or foreign streams.
+	protoMagic = 0x69 // 'i'
+	// protoVersion is bumped on incompatible changes.
+	protoVersion = 2
+	// MaxDataSegment bounds a PDU's data segment; larger is rejected
+	// before allocation.
+	MaxDataSegment = 17 << 20
+)
+
+// Protocol error values.
+var (
+	ErrBadMagic   = errors.New("iscsi: bad protocol magic")
+	ErrBadVersion = errors.New("iscsi: protocol version mismatch")
+	ErrBadDigest  = errors.New("iscsi: digest mismatch")
+	ErrTooLarge   = errors.New("iscsi: data segment too large")
+	ErrStatus     = errors.New("iscsi: request failed")
+)
+
+// PDU is one protocol data unit: the decoded header fields plus the
+// data segment.
+//
+// Header layout (big endian):
+//
+//	off 0  : magic
+//	off 1  : version
+//	off 2  : opcode
+//	off 3  : status
+//	off 4  : mode (replication mode for OpReplicaWrite)
+//	off 5-7: reserved
+//	off 8  : ITT  (uint32)  initiator task tag
+//	off 12 : LBA  (uint64)
+//	off 20 : blocks (uint32) block count for READ
+//	off 24 : data length (uint32)
+//	off 28 : sequence (uint64) engine-assigned replication sequence
+//	off 36 : digest (uint32) CRC-32C over header (digest zeroed) + data
+//
+// The digest plays the role of iSCSI's header+data digests: corrupted
+// or torn PDUs are rejected with ErrBadDigest instead of being applied
+// to a replica.
+type PDU struct {
+	Op     Opcode
+	Status Status
+	Mode   uint8
+	ITT    uint32
+	LBA    uint64
+	Blocks uint32
+	Seq    uint64
+	Data   []byte
+}
+
+// WriteTo encodes and writes the PDU to w as one header + data stream.
+func (p *PDU) WriteTo(w io.Writer) (int64, error) {
+	if len(p.Data) > MaxDataSegment {
+		return 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(p.Data))
+	}
+	var hdr [headerLen]byte
+	hdr[0] = protoMagic
+	hdr[1] = protoVersion
+	hdr[2] = byte(p.Op)
+	hdr[3] = byte(p.Status)
+	hdr[4] = p.Mode
+	binary.BigEndian.PutUint32(hdr[8:], p.ITT)
+	binary.BigEndian.PutUint64(hdr[12:], p.LBA)
+	binary.BigEndian.PutUint32(hdr[20:], p.Blocks)
+	binary.BigEndian.PutUint32(hdr[24:], uint32(len(p.Data)))
+	binary.BigEndian.PutUint64(hdr[28:], p.Seq)
+	binary.BigEndian.PutUint32(hdr[36:], digest(hdr[:], p.Data))
+
+	n, err := w.Write(hdr[:])
+	if err != nil {
+		return int64(n), fmt.Errorf("iscsi: write header: %w", err)
+	}
+	total := int64(n)
+	if len(p.Data) > 0 {
+		m, err := w.Write(p.Data)
+		total += int64(m)
+		if err != nil {
+			return total, fmt.Errorf("iscsi: write data: %w", err)
+		}
+	}
+	return total, nil
+}
+
+// ReadPDU reads and decodes one PDU from r. It returns io.EOF on a
+// clean end of stream before any header byte, and wraps other short
+// reads as io.ErrUnexpectedEOF.
+func ReadPDU(r io.Reader) (*PDU, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("iscsi: read header: %w", err)
+	}
+	if hdr[0] != protoMagic {
+		return nil, fmt.Errorf("%w: 0x%02x", ErrBadMagic, hdr[0])
+	}
+	if hdr[1] != protoVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, hdr[1])
+	}
+	dataLen := binary.BigEndian.Uint32(hdr[24:])
+	if dataLen > MaxDataSegment {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, dataLen)
+	}
+	p := &PDU{
+		Op:     Opcode(hdr[2]),
+		Status: Status(hdr[3]),
+		Mode:   hdr[4],
+		ITT:    binary.BigEndian.Uint32(hdr[8:]),
+		LBA:    binary.BigEndian.Uint64(hdr[12:]),
+		Blocks: binary.BigEndian.Uint32(hdr[20:]),
+		Seq:    binary.BigEndian.Uint64(hdr[28:]),
+	}
+	if dataLen > 0 {
+		p.Data = make([]byte, dataLen)
+		if _, err := io.ReadFull(r, p.Data); err != nil {
+			return nil, fmt.Errorf("iscsi: read data segment: %w", err)
+		}
+	}
+	want := binary.BigEndian.Uint32(hdr[36:])
+	if got := digest(hdr[:], p.Data); got != want {
+		return nil, fmt.Errorf("%w: got %08x, want %08x", ErrBadDigest, got, want)
+	}
+	return p, nil
+}
+
+// digest computes the PDU's CRC-32C over the header (with the digest
+// field zeroed) and the data segment.
+func digest(hdr, data []byte) uint32 {
+	var scratch [headerLen]byte
+	copy(scratch[:], hdr)
+	scratch[36], scratch[37], scratch[38], scratch[39] = 0, 0, 0, 0
+	crc := crc32.New(castagnoli)
+	crc.Write(scratch[:])
+	crc.Write(data)
+	return crc.Sum32()
+}
+
+// castagnoli is the CRC-32C table iSCSI digests use.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// WireSize returns the bytes this PDU occupies on the wire.
+func (p *PDU) WireSize() int { return headerLen + len(p.Data) }
+
+// loginPayload carries the negotiated session parameters.
+//
+// Login request data: uvarint name length + target name bytes.
+// Login response data: blockSize uint32 + numBlocks uint64.
+const loginRespLen = 12
+
+func encodeLoginReq(targetName string) []byte {
+	buf := make([]byte, 0, len(targetName)+5)
+	var tmp [5]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(targetName)))
+	buf = append(buf, tmp[:n]...)
+	return append(buf, targetName...)
+}
+
+func decodeLoginReq(data []byte) (string, error) {
+	nameLen, n := binary.Uvarint(data)
+	if n <= 0 || nameLen > 4096 || uint64(len(data)-n) < nameLen {
+		return "", fmt.Errorf("iscsi: malformed login request")
+	}
+	return string(data[n : n+int(nameLen)]), nil
+}
+
+func encodeLoginResp(blockSize int, numBlocks uint64) []byte {
+	buf := make([]byte, loginRespLen)
+	binary.BigEndian.PutUint32(buf, uint32(blockSize))
+	binary.BigEndian.PutUint64(buf[4:], numBlocks)
+	return buf
+}
+
+func decodeLoginResp(data []byte) (blockSize int, numBlocks uint64, err error) {
+	if len(data) != loginRespLen {
+		return 0, 0, fmt.Errorf("iscsi: malformed login response (%d bytes)", len(data))
+	}
+	return int(binary.BigEndian.Uint32(data)), binary.BigEndian.Uint64(data[4:]), nil
+}

@@ -1,0 +1,136 @@
+package iscsi
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"prins/internal/block"
+)
+
+// Pool is a bundle of initiator sessions to one target export. Each
+// Initiator serializes its requests (one outstanding task per
+// connection, like the paper's conservative model); a Pool lets
+// callers with concurrent I/O — a multi-session application or a
+// parallel resync — drive several connections at once while still
+// presenting a single block.Store.
+type Pool struct {
+	mu    sync.Mutex
+	conns []*Initiator
+	next  int
+}
+
+var _ block.Store = (*Pool)(nil)
+
+// DialPool opens n sessions to the named export at addr.
+func DialPool(addr, exportName string, n int) (*Pool, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("iscsi: pool size %d", n)
+	}
+	p := &Pool{conns: make([]*Initiator, 0, n)}
+	for i := 0; i < n; i++ {
+		init, err := Dial(addr)
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		if err := init.Login(exportName); err != nil {
+			init.Close()
+			p.Close()
+			return nil, err
+		}
+		p.conns = append(p.conns, init)
+	}
+	return p, nil
+}
+
+// NewPool builds a pool over pre-established connections; every
+// initiator must already be logged in to the same export.
+func NewPool(conns []*Initiator) (*Pool, error) {
+	if len(conns) == 0 {
+		return nil, fmt.Errorf("iscsi: empty pool")
+	}
+	bs, nb := conns[0].BlockSize(), conns[0].NumBlocks()
+	for i, c := range conns {
+		if c.BlockSize() != bs || c.NumBlocks() != nb {
+			return nil, fmt.Errorf("iscsi: pool conn %d geometry mismatch", i)
+		}
+	}
+	return &Pool{conns: conns}, nil
+}
+
+// pick returns the next session round-robin.
+func (p *Pool) pick() *Initiator {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c := p.conns[p.next%len(p.conns)]
+	p.next++
+	return c
+}
+
+// Size returns the number of sessions.
+func (p *Pool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.conns)
+}
+
+// ReadBlock implements block.Store.
+func (p *Pool) ReadBlock(lba uint64, buf []byte) error {
+	return p.pick().ReadBlock(lba, buf)
+}
+
+// WriteBlock implements block.Store.
+func (p *Pool) WriteBlock(lba uint64, data []byte) error {
+	return p.pick().WriteBlock(lba, data)
+}
+
+// ReplicaWrite implements the engine's ReplicaClient over the pool,
+// letting a primary pipeline pushes across sessions.
+func (p *Pool) ReplicaWrite(mode uint8, seq uint64, lba uint64, frame []byte) error {
+	return p.pick().ReplicaWrite(mode, seq, lba, frame)
+}
+
+// BlockSize implements block.Store.
+func (p *Pool) BlockSize() int { return p.conns[0].BlockSize() }
+
+// NumBlocks implements block.Store.
+func (p *Pool) NumBlocks() uint64 { return p.conns[0].NumBlocks() }
+
+// WireSent totals bytes sent across all sessions.
+func (p *Pool) WireSent() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var total int64
+	for _, c := range p.conns {
+		total += c.WireSent()
+	}
+	return total
+}
+
+// Logout ends every session politely.
+func (p *Pool) Logout() error {
+	var firstErr error
+	for _, c := range p.conns {
+		if err := c.Logout(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Close implements block.Store, severing every session.
+func (p *Pool) Close() error {
+	var firstErr error
+	for _, c := range p.conns {
+		if err := c.Close(); err != nil && firstErr == nil &&
+			!isClosedErr(err) {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func isClosedErr(err error) bool {
+	return err == nil || err == net.ErrClosed
+}

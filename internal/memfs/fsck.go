@@ -1,0 +1,152 @@
+package memfs
+
+import (
+	"fmt"
+)
+
+// FsckReport summarizes a filesystem consistency check.
+type FsckReport struct {
+	// Files and Dirs are the reachable object counts.
+	Files int
+	Dirs  int
+	// UsedBlocks is the number of data blocks reachable from inodes
+	// (plus metadata blocks).
+	UsedBlocks uint64
+	// Problems lists every inconsistency found; empty means clean.
+	Problems []string
+}
+
+// Clean reports whether the check found no problems.
+func (r *FsckReport) Clean() bool { return len(r.Problems) == 0 }
+
+// Fsck walks the directory tree from the root and cross-checks it
+// against the allocation bitmaps, the way e2fsck audits Ext2:
+//
+//   - every reachable inode must be marked used in the inode bitmap;
+//   - every block referenced by a reachable inode (data, indirect)
+//     must be marked used in the block bitmap and referenced only once;
+//   - every block marked used must be metadata or referenced (no leaks);
+//   - directory entries must point at valid, live inodes;
+//   - file sizes must fit the blocks actually mapped.
+func (fs *FS) Fsck() (*FsckReport, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+
+	report := &FsckReport{}
+	blockRefs := make(map[uint64]int) // device block -> reference count
+	inodeSeen := make(map[uint32]bool)
+
+	// Metadata blocks are implicitly used.
+	for b := uint64(0); b < fs.sb.dataAt; b++ {
+		blockRefs[b]++
+	}
+
+	var walk func(ino uint32, path string) error
+	walk = func(ino uint32, path string) error {
+		if inodeSeen[ino] {
+			report.Problems = append(report.Problems,
+				fmt.Sprintf("inode %d reachable twice (at %s)", ino, path))
+			return nil
+		}
+		inodeSeen[ino] = true
+
+		used, err := fs.bitmapBit(fs.sb.inodeBitmapAt, uint64(ino), false, false)
+		if err != nil {
+			return err
+		}
+		if !used {
+			report.Problems = append(report.Problems,
+				fmt.Sprintf("inode %d (%s) not marked used", ino, path))
+		}
+
+		in, err := fs.readInode(ino)
+		if err != nil {
+			return err
+		}
+		if in.mode == modeFree {
+			report.Problems = append(report.Problems,
+				fmt.Sprintf("inode %d (%s) is free but referenced", ino, path))
+			return nil
+		}
+
+		// Account the inode's blocks.
+		bs := uint64(fs.sb.blockSize)
+		mapped := uint64(0)
+		maxBlocks := fs.maxFileBlocks()
+		for idx := uint64(0); idx < maxBlocks; idx++ {
+			dev, _, err := fs.blockOfFile(in, idx, false)
+			if err != nil {
+				return err
+			}
+			if dev != 0 {
+				blockRefs[dev]++
+				mapped++
+			}
+		}
+		if in.indirect != 0 {
+			blockRefs[in.indirect]++
+		}
+		if in.size > mapped*bs && mapped*bs != 0 || (mapped == 0 && in.size > 0) {
+			// Holes make size > mapped legal in general filesystems;
+			// memfs only creates holes via WriteAt-past-EOF, so a size
+			// beyond every mapped block with no mapped blocks at all is
+			// suspicious but legal. Only flag sizes beyond max capacity.
+			if in.size > maxBlocks*bs {
+				report.Problems = append(report.Problems,
+					fmt.Sprintf("%s: size %d exceeds maximum", path, in.size))
+			}
+		}
+
+		if in.mode != modeDir {
+			report.Files++
+			return nil
+		}
+		report.Dirs++
+		entries, err := fs.readDirMap(in)
+		if err != nil {
+			report.Problems = append(report.Problems,
+				fmt.Sprintf("%s: corrupt directory: %v", path, err))
+			return nil
+		}
+		for _, name := range sortedNames(entries) {
+			child := entries[name]
+			if child == 0 || child >= fs.sb.inodeCount {
+				report.Problems = append(report.Problems,
+					fmt.Sprintf("%s/%s: bad inode %d", path, name, child))
+				continue
+			}
+			if err := walk(child, path+"/"+name); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if err := walk(rootInode, ""); err != nil {
+		return nil, err
+	}
+
+	// Cross-check the block bitmap both ways.
+	for b := uint64(0); b < fs.sb.numBlocks; b++ {
+		used, err := fs.bitmapBit(fs.sb.blockBitmapAt, b, false, false)
+		if err != nil {
+			return nil, err
+		}
+		refs := blockRefs[b]
+		switch {
+		case refs > 0 && !used:
+			report.Problems = append(report.Problems,
+				fmt.Sprintf("block %d referenced %dx but marked free", b, refs))
+		case refs == 0 && used:
+			report.Problems = append(report.Problems,
+				fmt.Sprintf("block %d marked used but unreferenced (leak)", b))
+		case refs > 1 && b >= fs.sb.dataAt:
+			report.Problems = append(report.Problems,
+				fmt.Sprintf("block %d referenced %d times", b, refs))
+		}
+		if refs > 0 {
+			report.UsedBlocks++
+		}
+	}
+	return report, nil
+}

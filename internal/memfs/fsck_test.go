@@ -1,0 +1,134 @@
+package memfs
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestFsckCleanAfterWorkload(t *testing.T) {
+	fs := newFS(t, 2048, 2048)
+
+	// A busy mixed workload: dirs, files, edits, deletes, truncates,
+	// archives.
+	if err := fs.MkdirAll("/a/b/c"); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 30; i++ {
+		data := make([]byte, rng.Intn(4000))
+		rng.Read(data)
+		if err := fs.WriteFile(fmt.Sprintf("/a/f%02d", i), data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 30; i += 3 {
+		if err := fs.Remove(fmt.Sprintf("/a/f%02d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < 30; i += 3 {
+		if err := fs.Truncate(fmt.Sprintf("/a/f%02d", i), 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := fs.Tar("/backup.tar", "/a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Tar("/backup.tar", "/a"); err != nil { // overwrite in place
+		t.Fatal(err)
+	}
+
+	report, err := fs.Fsck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Clean() {
+		t.Fatalf("fsck found problems: %v", report.Problems)
+	}
+	if report.Files == 0 || report.Dirs < 4 {
+		t.Errorf("fsck counts wrong: %+v", report)
+	}
+}
+
+func TestFsckAfterMicroBenchmark(t *testing.T) {
+	fs := newFS(t, 8192, 2048)
+	r, err := NewMicroRunner(fs, DefaultMicroBenchmark(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		if _, err := r.Round(round); err != nil {
+			t.Fatal(err)
+		}
+	}
+	report, err := fs.Fsck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Clean() {
+		t.Fatalf("fsck after micro-benchmark: %v", report.Problems)
+	}
+}
+
+func TestFsckDetectsLeak(t *testing.T) {
+	fs := newFS(t, 512, 256)
+	if err := fs.WriteFile("/f", make([]byte, 2000)); err != nil {
+		t.Fatal(err)
+	}
+	// Leak a block: mark one used without referencing it.
+	leaked, err := fs.allocBlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := fs.Fsck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Clean() {
+		t.Fatalf("fsck missed leaked block %d", leaked)
+	}
+}
+
+func TestFsckDetectsDoubleUse(t *testing.T) {
+	fs := newFS(t, 512, 256)
+	if err := fs.WriteFile("/a", make([]byte, 600)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/b", make([]byte, 600)); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: point b's first block at a's first block.
+	fs.mu.Lock()
+	_, inA, err := fs.lookupPath("/a")
+	if err != nil {
+		fs.mu.Unlock()
+		t.Fatal(err)
+	}
+	inoB, inB, err := fs.lookupPath("/b")
+	if err != nil {
+		fs.mu.Unlock()
+		t.Fatal(err)
+	}
+	stolen := inB.direct[0]
+	inB.direct[0] = inA.direct[0]
+	if err := fs.writeInode(inoB, inB); err != nil {
+		fs.mu.Unlock()
+		t.Fatal(err)
+	}
+	// The block b abandoned is now a leak too; free it so only the
+	// double-use remains.
+	if err := fs.freeBlock(stolen); err != nil {
+		fs.mu.Unlock()
+		t.Fatal(err)
+	}
+	fs.mu.Unlock()
+
+	report, err := fs.Fsck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Clean() {
+		t.Fatal("fsck missed cross-linked block")
+	}
+}

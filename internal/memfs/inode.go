@@ -1,0 +1,185 @@
+package memfs
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Inode modes.
+const (
+	modeFree byte = 0
+	modeFile byte = 1
+	modeDir  byte = 2
+)
+
+// inode is the on-disk file metadata: mode, link count, size, ten
+// direct block pointers, and one single-indirect pointer. Serialized
+// into a fixed 128-byte table slot.
+//
+// Layout: mode u8, pad u8, links u16, size u64, direct [10]u64,
+// indirect u64, mtime u64.
+type inode struct {
+	mode     byte
+	links    uint16
+	size     uint64
+	direct   [numDirect]uint64
+	indirect uint64
+	mtime    uint64
+}
+
+func (in *inode) encode(buf []byte) {
+	buf[0] = in.mode
+	binary.BigEndian.PutUint16(buf[2:], in.links)
+	binary.BigEndian.PutUint64(buf[4:], in.size)
+	for i := 0; i < numDirect; i++ {
+		binary.BigEndian.PutUint64(buf[12+8*i:], in.direct[i])
+	}
+	binary.BigEndian.PutUint64(buf[12+8*numDirect:], in.indirect)
+	binary.BigEndian.PutUint64(buf[20+8*numDirect:], in.mtime)
+}
+
+func (in *inode) decode(buf []byte) {
+	in.mode = buf[0]
+	in.links = binary.BigEndian.Uint16(buf[2:])
+	in.size = binary.BigEndian.Uint64(buf[4:])
+	for i := 0; i < numDirect; i++ {
+		in.direct[i] = binary.BigEndian.Uint64(buf[12+8*i:])
+	}
+	in.indirect = binary.BigEndian.Uint64(buf[12+8*numDirect:])
+	in.mtime = binary.BigEndian.Uint64(buf[20+8*numDirect:])
+}
+
+// inodeLoc returns the table block and byte offset of inode ino.
+func (fs *FS) inodeLoc(ino uint32) (uint64, int, error) {
+	if ino >= fs.sb.inodeCount {
+		return 0, 0, fmt.Errorf("memfs: inode %d out of range", ino)
+	}
+	per := fs.sb.blockSize / inodeSize
+	blk := fs.sb.inodeTableAt + uint64(int(ino)/per)
+	off := (int(ino) % per) * inodeSize
+	return blk, off, nil
+}
+
+// readInode loads inode ino from the table.
+func (fs *FS) readInode(ino uint32) (*inode, error) {
+	blk, off, err := fs.inodeLoc(ino)
+	if err != nil {
+		return nil, err
+	}
+	if err := fs.store.ReadBlock(blk, fs.buf); err != nil {
+		return nil, err
+	}
+	var in inode
+	in.decode(fs.buf[off : off+inodeSize])
+	return &in, nil
+}
+
+// writeInode stores inode ino into the table.
+func (fs *FS) writeInode(ino uint32, in *inode) error {
+	blk, off, err := fs.inodeLoc(ino)
+	if err != nil {
+		return err
+	}
+	if err := fs.store.ReadBlock(blk, fs.buf); err != nil {
+		return err
+	}
+	in.encode(fs.buf[off : off+inodeSize])
+	return fs.store.WriteBlock(blk, fs.buf)
+}
+
+// maxFileBlocks returns how many data blocks one file can address.
+func (fs *FS) maxFileBlocks() uint64 {
+	return numDirect + uint64(fs.sb.blockSize/8)
+}
+
+// blockOfFile returns the device block holding file block idx,
+// allocating it (and the indirect block) when alloc is set. Returns
+// the device block number and whether it was newly allocated.
+func (fs *FS) blockOfFile(in *inode, idx uint64, alloc bool) (uint64, bool, error) {
+	if idx >= fs.maxFileBlocks() {
+		return 0, false, ErrFileTooBig
+	}
+	if idx < numDirect {
+		if in.direct[idx] == 0 {
+			if !alloc {
+				return 0, false, nil
+			}
+			b, err := fs.allocBlock()
+			if err != nil {
+				return 0, false, err
+			}
+			in.direct[idx] = b
+			return b, true, nil
+		}
+		return in.direct[idx], false, nil
+	}
+
+	// Indirect.
+	slot := idx - numDirect
+	if in.indirect == 0 {
+		if !alloc {
+			return 0, false, nil
+		}
+		b, err := fs.allocBlock()
+		if err != nil {
+			return 0, false, err
+		}
+		zero := make([]byte, fs.sb.blockSize)
+		if err := fs.store.WriteBlock(b, zero); err != nil {
+			return 0, false, err
+		}
+		in.indirect = b
+	}
+	ind := make([]byte, fs.sb.blockSize)
+	if err := fs.store.ReadBlock(in.indirect, ind); err != nil {
+		return 0, false, err
+	}
+	ptr := binary.BigEndian.Uint64(ind[slot*8:])
+	if ptr == 0 {
+		if !alloc {
+			return 0, false, nil
+		}
+		b, err := fs.allocBlock()
+		if err != nil {
+			return 0, false, err
+		}
+		binary.BigEndian.PutUint64(ind[slot*8:], b)
+		if err := fs.store.WriteBlock(in.indirect, ind); err != nil {
+			return 0, false, err
+		}
+		return b, true, nil
+	}
+	return ptr, false, nil
+}
+
+// freeFileBlocks releases every data block of an inode (truncate to 0).
+func (fs *FS) freeFileBlocks(in *inode) error {
+	for i := 0; i < numDirect; i++ {
+		if in.direct[i] != 0 {
+			if err := fs.freeBlock(in.direct[i]); err != nil {
+				return err
+			}
+			in.direct[i] = 0
+		}
+	}
+	if in.indirect != 0 {
+		ind := make([]byte, fs.sb.blockSize)
+		if err := fs.store.ReadBlock(in.indirect, ind); err != nil {
+			return err
+		}
+		for slot := 0; slot < fs.sb.blockSize/8; slot++ {
+			ptr := binary.BigEndian.Uint64(ind[slot*8:])
+			if ptr != 0 {
+				if err := fs.freeBlock(ptr); err != nil {
+					return err
+				}
+			}
+		}
+		if err := fs.freeBlock(in.indirect); err != nil {
+			return err
+		}
+		in.indirect = 0
+	}
+	in.size = 0
+	return nil
+}

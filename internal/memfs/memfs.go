@@ -1,0 +1,310 @@
+// Package memfs is a small Ext2-flavoured block filesystem: a
+// superblock, inode and block bitmaps, a fixed inode table, and data
+// blocks addressed through direct plus single-indirect pointers, with
+// hierarchical directories. It reproduces the paper's file-system
+// micro-benchmark substrate: the block writes an editing-then-tar
+// workload generates — metadata blocks, bitmap churn, partial file
+// overwrites, sequential archive output — hit the underlying
+// block.Store exactly as Ext2's would.
+package memfs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"prins/internal/block"
+)
+
+// Filesystem errors.
+var (
+	ErrNotFormatted = errors.New("memfs: not a memfs filesystem")
+	ErrExist        = errors.New("memfs: file exists")
+	ErrNotExist     = errors.New("memfs: no such file or directory")
+	ErrNotDir       = errors.New("memfs: not a directory")
+	ErrIsDir        = errors.New("memfs: is a directory")
+	ErrNotEmpty     = errors.New("memfs: directory not empty")
+	ErrNoSpace      = errors.New("memfs: no space left on device")
+	ErrNoInodes     = errors.New("memfs: no free inodes")
+	ErrFileTooBig   = errors.New("memfs: file exceeds maximum size")
+	ErrBadPath      = errors.New("memfs: invalid path")
+)
+
+const (
+	superMagic   = 0x4d454653 // "MEFS"
+	superVersion = 1
+
+	inodeSize = 128
+	numDirect = 10
+	rootInode = 1
+)
+
+// superblock is block 0.
+//
+// Layout: magic u32, version u32, blockSize u32, numBlocks u64,
+// inodeCount u32, inodeBitmapAt u64, blockBitmapAt u64,
+// blockBitmapLen u32, inodeTableAt u64, inodeTableLen u32, dataAt u64.
+type superblock struct {
+	blockSize      int
+	numBlocks      uint64
+	inodeCount     uint32
+	inodeBitmapAt  uint64
+	blockBitmapAt  uint64
+	blockBitmapLen uint32
+	inodeTableAt   uint64
+	inodeTableLen  uint32
+	dataAt         uint64
+}
+
+func (sb *superblock) encode(buf []byte) {
+	binary.BigEndian.PutUint32(buf[0:], superMagic)
+	binary.BigEndian.PutUint32(buf[4:], superVersion)
+	binary.BigEndian.PutUint32(buf[8:], uint32(sb.blockSize))
+	binary.BigEndian.PutUint64(buf[12:], sb.numBlocks)
+	binary.BigEndian.PutUint32(buf[20:], sb.inodeCount)
+	binary.BigEndian.PutUint64(buf[24:], sb.inodeBitmapAt)
+	binary.BigEndian.PutUint64(buf[32:], sb.blockBitmapAt)
+	binary.BigEndian.PutUint32(buf[40:], sb.blockBitmapLen)
+	binary.BigEndian.PutUint64(buf[44:], sb.inodeTableAt)
+	binary.BigEndian.PutUint32(buf[52:], sb.inodeTableLen)
+	binary.BigEndian.PutUint64(buf[56:], sb.dataAt)
+}
+
+func (sb *superblock) decode(buf []byte) error {
+	if binary.BigEndian.Uint32(buf[0:]) != superMagic {
+		return ErrNotFormatted
+	}
+	if binary.BigEndian.Uint32(buf[4:]) != superVersion {
+		return fmt.Errorf("%w: version", ErrNotFormatted)
+	}
+	sb.blockSize = int(binary.BigEndian.Uint32(buf[8:]))
+	sb.numBlocks = binary.BigEndian.Uint64(buf[12:])
+	sb.inodeCount = binary.BigEndian.Uint32(buf[20:])
+	sb.inodeBitmapAt = binary.BigEndian.Uint64(buf[24:])
+	sb.blockBitmapAt = binary.BigEndian.Uint64(buf[32:])
+	sb.blockBitmapLen = binary.BigEndian.Uint32(buf[40:])
+	sb.inodeTableAt = binary.BigEndian.Uint64(buf[44:])
+	sb.inodeTableLen = binary.BigEndian.Uint32(buf[52:])
+	sb.dataAt = binary.BigEndian.Uint64(buf[56:])
+	return nil
+}
+
+// FS is a mounted filesystem. Safe for use by one goroutine at a time
+// per operation (an internal lock serializes metadata updates).
+type FS struct {
+	mu    sync.Mutex
+	store block.Store
+	sb    superblock
+	buf   []byte // scratch block
+}
+
+// Mkfs formats store and mounts the fresh filesystem.
+func Mkfs(store block.Store) (*FS, error) {
+	bs := store.BlockSize()
+	nb := store.NumBlocks()
+	if bs < 256 {
+		return nil, fmt.Errorf("memfs: block size %d too small", bs)
+	}
+	if nb < 16 {
+		return nil, fmt.Errorf("memfs: device too small (%d blocks)", nb)
+	}
+
+	// Size the regions: inodes ~ one per 4 data blocks, at least 64.
+	inodeCount := uint32(nb / 4)
+	if inodeCount < 64 {
+		inodeCount = 64
+	}
+	inodesPerBlock := uint32(bs / inodeSize)
+	inodeTableLen := (inodeCount + inodesPerBlock - 1) / inodesPerBlock
+	bitsPerBlock := uint64(bs * 8)
+	blockBitmapLen := uint32((nb + bitsPerBlock - 1) / bitsPerBlock)
+
+	sb := superblock{
+		blockSize:      bs,
+		numBlocks:      nb,
+		inodeCount:     inodeCount,
+		inodeBitmapAt:  1,
+		blockBitmapAt:  2,
+		blockBitmapLen: blockBitmapLen,
+		inodeTableAt:   2 + uint64(blockBitmapLen),
+		inodeTableLen:  inodeTableLen,
+	}
+	sb.dataAt = sb.inodeTableAt + uint64(inodeTableLen)
+	if sb.dataAt+8 > nb {
+		return nil, fmt.Errorf("memfs: device too small for metadata (%d blocks)", nb)
+	}
+
+	fs := &FS{store: store, sb: sb, buf: make([]byte, bs)}
+
+	// Zero all metadata blocks.
+	zero := make([]byte, bs)
+	for b := uint64(0); b < sb.dataAt; b++ {
+		if err := store.WriteBlock(b, zero); err != nil {
+			return nil, err
+		}
+	}
+	sb.encode(fs.buf)
+	if err := store.WriteBlock(0, fs.buf); err != nil {
+		return nil, err
+	}
+
+	// Mark metadata blocks used in the block bitmap.
+	for b := uint64(0); b < sb.dataAt; b++ {
+		if err := fs.setBlockUsed(b, true); err != nil {
+			return nil, err
+		}
+	}
+	// Inode 0 is reserved (invalid); create the root directory at 1.
+	if err := fs.setInodeUsed(0, true); err != nil {
+		return nil, err
+	}
+	if err := fs.setInodeUsed(rootInode, true); err != nil {
+		return nil, err
+	}
+	root := inode{mode: modeDir, links: 1}
+	if err := fs.writeInode(rootInode, &root); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// Mount opens an already-formatted filesystem.
+func Mount(store block.Store) (*FS, error) {
+	fs := &FS{store: store, buf: make([]byte, store.BlockSize())}
+	if err := store.ReadBlock(0, fs.buf); err != nil {
+		return nil, err
+	}
+	if err := fs.sb.decode(fs.buf); err != nil {
+		return nil, err
+	}
+	if fs.sb.blockSize != store.BlockSize() || fs.sb.numBlocks != store.NumBlocks() {
+		return nil, fmt.Errorf("%w: geometry mismatch", ErrNotFormatted)
+	}
+	return fs, nil
+}
+
+// BlockSize returns the filesystem block size.
+func (fs *FS) BlockSize() int { return fs.sb.blockSize }
+
+// --- bitmap helpers ---
+
+// bitmapOp reads or writes one bit in a bitmap region.
+func (fs *FS) bitmapBit(startBlock uint64, idx uint64, set bool, val bool) (bool, error) {
+	bs := uint64(fs.sb.blockSize)
+	blk := startBlock + idx/(bs*8)
+	bit := idx % (bs * 8)
+	if err := fs.store.ReadBlock(blk, fs.buf); err != nil {
+		return false, err
+	}
+	byteIdx, mask := bit/8, byte(1)<<(bit%8)
+	old := fs.buf[byteIdx]&mask != 0
+	if set {
+		if val {
+			fs.buf[byteIdx] |= mask
+		} else {
+			fs.buf[byteIdx] &^= mask
+		}
+		if err := fs.store.WriteBlock(blk, fs.buf); err != nil {
+			return false, err
+		}
+	}
+	return old, nil
+}
+
+func (fs *FS) setBlockUsed(b uint64, used bool) error {
+	_, err := fs.bitmapBit(fs.sb.blockBitmapAt, b, true, used)
+	return err
+}
+
+func (fs *FS) setInodeUsed(ino uint32, used bool) error {
+	_, err := fs.bitmapBit(fs.sb.inodeBitmapAt, uint64(ino), true, used)
+	return err
+}
+
+// allocBlock finds, marks, and returns a free data block.
+func (fs *FS) allocBlock() (uint64, error) {
+	bs := uint64(fs.sb.blockSize)
+	for blkIdx := uint64(0); blkIdx < uint64(fs.sb.blockBitmapLen); blkIdx++ {
+		blk := fs.sb.blockBitmapAt + blkIdx
+		if err := fs.store.ReadBlock(blk, fs.buf); err != nil {
+			return 0, err
+		}
+		for i, b := range fs.buf {
+			if b == 0xFF {
+				continue
+			}
+			for bit := 0; bit < 8; bit++ {
+				if b&(1<<bit) == 0 {
+					idx := blkIdx*bs*8 + uint64(i)*8 + uint64(bit)
+					if idx >= fs.sb.numBlocks {
+						return 0, ErrNoSpace
+					}
+					fs.buf[i] |= 1 << bit
+					if err := fs.store.WriteBlock(blk, fs.buf); err != nil {
+						return 0, err
+					}
+					return idx, nil
+				}
+			}
+		}
+	}
+	return 0, ErrNoSpace
+}
+
+// freeBlock returns a data block to the bitmap.
+func (fs *FS) freeBlock(b uint64) error {
+	return fs.setBlockUsed(b, false)
+}
+
+// allocInode finds, marks, and returns a free inode number.
+func (fs *FS) allocInode() (uint32, error) {
+	if err := fs.store.ReadBlock(fs.sb.inodeBitmapAt, fs.buf); err != nil {
+		return 0, err
+	}
+	limit := int(fs.sb.inodeCount)
+	for i := 0; i < limit; i++ {
+		byteIdx, mask := i/8, byte(1)<<(i%8)
+		if fs.buf[byteIdx]&mask == 0 {
+			fs.buf[byteIdx] |= mask
+			if err := fs.store.WriteBlock(fs.sb.inodeBitmapAt, fs.buf); err != nil {
+				return 0, err
+			}
+			return uint32(i), nil
+		}
+	}
+	return 0, ErrNoInodes
+}
+
+// splitPath validates and splits an absolute slash path.
+func splitPath(path string) ([]string, error) {
+	if path == "" || path[0] != '/' {
+		return nil, fmt.Errorf("%w: %q must be absolute", ErrBadPath, path)
+	}
+	var parts []string
+	for _, p := range strings.Split(path, "/") {
+		switch p {
+		case "", ".":
+		case "..":
+			return nil, fmt.Errorf("%w: %q ('..' unsupported)", ErrBadPath, path)
+		default:
+			if len(p) > 255 {
+				return nil, fmt.Errorf("%w: component too long", ErrBadPath)
+			}
+			parts = append(parts, p)
+		}
+	}
+	return parts, nil
+}
+
+// sortedNames returns map keys sorted, for deterministic listings.
+func sortedNames(m map[string]uint32) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,436 @@
+package memfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"prins/internal/block"
+)
+
+func newFS(t *testing.T, blockSize int, numBlocks uint64) *FS {
+	t.Helper()
+	store, err := block.NewMem(blockSize, numBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Mkfs(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestMkfsAndMount(t *testing.T) {
+	store, err := block.NewMem(1024, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Mkfs(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/hello.txt", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Remount and find the file.
+	fs2, err := Mount(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs2.ReadFile("/hello.txt")
+	if err != nil || string(data) != "hello" {
+		t.Errorf("remounted read = %q, %v", data, err)
+	}
+
+	// Mounting an unformatted store fails.
+	raw, _ := block.NewMem(1024, 64)
+	if _, err := Mount(raw); !errors.Is(err, ErrNotFormatted) {
+		t.Errorf("mount raw: err = %v, want ErrNotFormatted", err)
+	}
+}
+
+func TestFileCRUD(t *testing.T) {
+	fs := newFS(t, 512, 512)
+
+	if err := fs.Create("/a.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("/a.txt"); !errors.Is(err, ErrExist) {
+		t.Errorf("duplicate create: %v", err)
+	}
+	info, err := fs.Stat("/a.txt")
+	if err != nil || info.Size != 0 || info.IsDir {
+		t.Errorf("fresh file stat = %+v, %v", info, err)
+	}
+
+	content := []byte("the quick brown fox")
+	if err := fs.WriteFile("/a.txt", content); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/a.txt")
+	if err != nil || !bytes.Equal(got, content) {
+		t.Errorf("read = %q, %v", got, err)
+	}
+
+	// Overwrite with shorter content truncates.
+	if err := fs.WriteFile("/a.txt", []byte("tiny")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = fs.ReadFile("/a.txt")
+	if string(got) != "tiny" {
+		t.Errorf("after truncating write: %q", got)
+	}
+
+	if err := fs.Remove("/a.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFile("/a.txt"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("read after remove: %v", err)
+	}
+	if err := fs.Remove("/a.txt"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("double remove: %v", err)
+	}
+}
+
+func TestDirectories(t *testing.T) {
+	fs := newFS(t, 512, 512)
+
+	if err := fs.MkdirAll("/x/y/z"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/x/y/z/f.txt", []byte("deep")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/x/y/z/f.txt")
+	if err != nil || string(got) != "deep" {
+		t.Errorf("deep read = %q, %v", got, err)
+	}
+
+	entries, err := fs.ReadDir("/x/y")
+	if err != nil || len(entries) != 1 || entries[0].Name != "z" || !entries[0].IsDir {
+		t.Errorf("ReadDir(/x/y) = %+v, %v", entries, err)
+	}
+
+	// Non-empty directory cannot be removed.
+	if err := fs.Remove("/x/y/z"); !errors.Is(err, ErrNotEmpty) {
+		t.Errorf("remove non-empty: %v", err)
+	}
+	if err := fs.Remove("/x/y/z/f.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/x/y/z"); err != nil {
+		t.Errorf("remove empty dir: %v", err)
+	}
+
+	// Path errors.
+	if _, err := fs.ReadFile("relative"); !errors.Is(err, ErrBadPath) {
+		t.Errorf("relative path: %v", err)
+	}
+	if _, err := fs.ReadFile("/x/../etc"); !errors.Is(err, ErrBadPath) {
+		t.Errorf("dotdot path: %v", err)
+	}
+	if _, err := fs.ReadDir("/x/y"); err != nil {
+		t.Errorf("ReadDir after child removal: %v", err)
+	}
+	if _, err := fs.ReadFile("/x"); !errors.Is(err, ErrIsDir) {
+		t.Errorf("read dir as file: %v", err)
+	}
+	if err := fs.WriteFile("/x", []byte("no")); !errors.Is(err, ErrIsDir) {
+		t.Errorf("write dir as file: %v", err)
+	}
+	if _, err := fs.ReadDir("/x/nope"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("ReadDir missing: %v", err)
+	}
+}
+
+func TestLargeFileSpansIndirect(t *testing.T) {
+	fs := newFS(t, 512, 2048)
+	// 10 direct blocks of 512 = 5120 bytes; go well past that.
+	big := make([]byte, 30<<10)
+	rng := rand.New(rand.NewSource(1))
+	rng.Read(big)
+
+	if err := fs.WriteFile("/big.bin", big); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/big.bin")
+	if err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("big file round trip failed: %v (got %d bytes)", err, len(got))
+	}
+
+	// Delete frees the blocks: writing another big file must succeed.
+	if err := fs.Remove("/big.bin"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/big2.bin", big); err != nil {
+		t.Fatalf("free-block reuse failed: %v", err)
+	}
+}
+
+func TestFileTooBig(t *testing.T) {
+	fs := newFS(t, 256, 4096)
+	// Max = 10 direct + 256/8 indirect = 42 blocks of 256 = 10752.
+	max := int(fs.maxFileBlocks()) * 256
+	if err := fs.WriteFile("/ok.bin", make([]byte, max)); err != nil {
+		t.Fatalf("max-size file rejected: %v", err)
+	}
+	if err := fs.WriteFile("/big.bin", make([]byte, max+1)); !errors.Is(err, ErrFileTooBig) {
+		t.Errorf("oversized file: err = %v, want ErrFileTooBig", err)
+	}
+}
+
+func TestNoSpace(t *testing.T) {
+	fs := newFS(t, 512, 40)
+	var err error
+	for i := 0; i < 100; i++ {
+		err = fs.WriteFile(fmt.Sprintf("/f%d", i), make([]byte, 2048))
+		if err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrNoSpace) {
+		t.Errorf("err = %v, want ErrNoSpace", err)
+	}
+}
+
+func TestWriteAtPartialUpdate(t *testing.T) {
+	fs := newFS(t, 512, 512)
+	base := bytes.Repeat([]byte{'a'}, 4096)
+	if err := fs.WriteFile("/f.txt", base); err != nil {
+		t.Fatal(err)
+	}
+
+	patch := bytes.Repeat([]byte{'B'}, 100)
+	if err := fs.WriteAt("/f.txt", 1000, patch); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/f.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), base...)
+	copy(want[1000:], patch)
+	if !bytes.Equal(got, want) {
+		t.Error("partial update content wrong")
+	}
+
+	// Extend past EOF.
+	if err := fs.WriteAt("/f.txt", 5000, []byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := fs.Stat("/f.txt")
+	if info.Size != 5004 {
+		t.Errorf("size after extend = %d, want 5004", info.Size)
+	}
+	buf := make([]byte, 4)
+	n, err := fs.ReadAt("/f.txt", 5000, buf)
+	if err != nil || n != 4 || string(buf) != "tail" {
+		t.Errorf("ReadAt tail = %q (%d), %v", buf, n, err)
+	}
+	// The gap reads as zeros.
+	gap := make([]byte, 10)
+	if _, err := fs.ReadAt("/f.txt", 4096, gap); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range gap {
+		if b != 0 {
+			t.Error("hole not zero-filled")
+			break
+		}
+	}
+
+	// ReadAt past EOF is a short read.
+	n, err = fs.ReadAt("/f.txt", 6000, buf)
+	if err != nil || n != 0 {
+		t.Errorf("ReadAt past EOF = %d, %v", n, err)
+	}
+}
+
+// TestWriteAtOnlyTouchesAffectedBlocks is the property PRINS relies
+// on: a small in-place edit must write only the blocks it covers, not
+// the whole file.
+func TestWriteAtOnlyTouchesAffectedBlocks(t *testing.T) {
+	inner, err := block.NewMem(512, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counting := block.NewCounting(inner)
+	fs, err := Mkfs(counting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/f.bin", make([]byte, 16<<10)); err != nil {
+		t.Fatal(err)
+	}
+
+	before := counting.Writes()
+	if err := fs.WriteAt("/f.bin", 1024, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	// One data block + inode table block; allow a little metadata slop.
+	if delta := counting.Writes() - before; delta > 4 {
+		t.Errorf("small edit wrote %d blocks, want <= 4", delta)
+	}
+}
+
+func TestTarRoundTrip(t *testing.T) {
+	fs := newFS(t, 1024, 2048)
+	files := map[string]string{
+		"/src/a.txt":        "alpha content",
+		"/src/b.txt":        "bravo content bravo content",
+		"/src/sub/c.txt":    "charlie",
+		"/docs/readme.md":   "# readme\nhello\n",
+		"/docs/deep/d.conf": "key=value",
+	}
+	if err := fs.MkdirAll("/src/sub"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MkdirAll("/docs/deep"); err != nil {
+		t.Fatal(err)
+	}
+	for path, content := range files {
+		if err := fs.WriteFile(path, []byte(content)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	size, err := fs.Tar("/backup.tar", "/src", "/docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size == 0 {
+		t.Fatal("empty archive")
+	}
+	info, _ := fs.Stat("/backup.tar")
+	if info.Size != size {
+		t.Errorf("archive size %d != reported %d", info.Size, size)
+	}
+
+	// Extract into /restore and compare everything.
+	if err := fs.Mkdir("/restore"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Untar("/backup.tar", "/restore"); err != nil {
+		t.Fatal(err)
+	}
+	for path, content := range files {
+		got, err := fs.ReadFile("/restore" + path)
+		if err != nil {
+			t.Fatalf("restored %s: %v", path, err)
+		}
+		if string(got) != content {
+			t.Errorf("restored %s = %q, want %q", path, got, content)
+		}
+	}
+}
+
+func TestMicroBenchmark(t *testing.T) {
+	fs := newFS(t, 1024, 4096)
+	cfg := MicroBenchmark{
+		Dirs:           3,
+		FilesPerDir:    4,
+		FileSize:       2048,
+		ChangeFraction: 0.5,
+		EditFraction:   0.1,
+	}
+	r, err := NewMicroRunner(fs, cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Dirs()) != 3 {
+		t.Fatalf("dirs = %d", len(r.Dirs()))
+	}
+
+	// The paper runs five rounds.
+	for round := 0; round < 5; round++ {
+		size, err := r.Round(round)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		// Archive must hold all files: >= 3*4*2048 bytes of content.
+		if size < 3*4*2048 {
+			t.Errorf("round %d archive only %d bytes", round, size)
+		}
+	}
+
+	// Files still intact and the right size after the edits.
+	for _, dir := range r.Dirs() {
+		entries, err := fs.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != 4 {
+			t.Errorf("%s has %d files, want 4", dir, len(entries))
+		}
+		for _, e := range entries {
+			if e.Size != 2048 {
+				t.Errorf("%s/%s size = %d, want 2048", dir, e.Name, e.Size)
+			}
+		}
+	}
+
+	if _, err := NewMicroRunner(fs, MicroBenchmark{}, 1); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+// TestRandomOpsVsModel property-tests the FS against an in-memory map
+// of path -> content.
+func TestRandomOpsVsModel(t *testing.T) {
+	fs := newFS(t, 512, 4096)
+	rng := rand.New(rand.NewSource(9))
+	model := make(map[string][]byte)
+
+	paths := make([]string, 30)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/f%02d.bin", i)
+	}
+
+	for step := 0; step < 800; step++ {
+		path := paths[rng.Intn(len(paths))]
+		switch rng.Intn(4) {
+		case 0, 1: // write whole file
+			data := make([]byte, rng.Intn(3000))
+			rng.Read(data)
+			if err := fs.WriteFile(path, data); err != nil {
+				t.Fatalf("step %d write: %v", step, err)
+			}
+			model[path] = data
+		case 2: // partial update
+			old, ok := model[path]
+			if !ok || len(old) == 0 {
+				continue
+			}
+			off := rng.Intn(len(old))
+			n := 1 + rng.Intn(len(old)-off)
+			patch := make([]byte, n)
+			rng.Read(patch)
+			if err := fs.WriteAt(path, uint64(off), patch); err != nil {
+				t.Fatalf("step %d writeAt: %v", step, err)
+			}
+			copy(model[path][off:], patch)
+		case 3: // remove
+			if _, ok := model[path]; !ok {
+				continue
+			}
+			if err := fs.Remove(path); err != nil {
+				t.Fatalf("step %d remove: %v", step, err)
+			}
+			delete(model, path)
+		}
+	}
+
+	for path, want := range model {
+		got, err := fs.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s content mismatch (%d vs %d bytes)", path, len(got), len(want))
+		}
+	}
+}

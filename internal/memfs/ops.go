@@ -1,0 +1,594 @@
+package memfs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Directory entries are serialized sequentially in the directory
+// file's data: ino u32, nameLen u16, name bytes. Directories are
+// small, so updates reserialize the whole listing.
+
+// readDirMap loads a directory inode's entries.
+func (fs *FS) readDirMap(in *inode) (map[string]uint32, error) {
+	data, err := fs.readAll(in)
+	if err != nil {
+		return nil, err
+	}
+	entries := make(map[string]uint32)
+	pos := 0
+	for pos+6 <= len(data) {
+		ino := binary.BigEndian.Uint32(data[pos:])
+		nameLen := int(binary.BigEndian.Uint16(data[pos+4:]))
+		pos += 6
+		if pos+nameLen > len(data) {
+			return nil, fmt.Errorf("memfs: corrupt directory")
+		}
+		entries[string(data[pos:pos+nameLen])] = ino
+		pos += nameLen
+	}
+	return entries, nil
+}
+
+// writeDirMap reserializes a directory.
+func (fs *FS) writeDirMap(ino uint32, in *inode, entries map[string]uint32) error {
+	var data []byte
+	for _, name := range sortedNames(entries) {
+		var hdr [6]byte
+		binary.BigEndian.PutUint32(hdr[:], entries[name])
+		binary.BigEndian.PutUint16(hdr[4:], uint16(len(name)))
+		data = append(data, hdr[:]...)
+		data = append(data, name...)
+	}
+	if err := fs.writeAll(in, data); err != nil {
+		return err
+	}
+	return fs.writeInode(ino, in)
+}
+
+// lookup resolves a path to its inode number and inode.
+func (fs *FS) lookup(parts []string) (uint32, *inode, error) {
+	ino := uint32(rootInode)
+	in, err := fs.readInode(ino)
+	if err != nil {
+		return 0, nil, err
+	}
+	for _, part := range parts {
+		if in.mode != modeDir {
+			return 0, nil, fmt.Errorf("%w: %q", ErrNotDir, part)
+		}
+		entries, err := fs.readDirMap(in)
+		if err != nil {
+			return 0, nil, err
+		}
+		next, ok := entries[part]
+		if !ok {
+			return 0, nil, fmt.Errorf("%w: %q", ErrNotExist, part)
+		}
+		ino = next
+		if in, err = fs.readInode(ino); err != nil {
+			return 0, nil, err
+		}
+	}
+	return ino, in, nil
+}
+
+// lookupParent resolves the parent directory of a path, returning the
+// parent ino/inode and the final name component.
+func (fs *FS) lookupParent(path string) (uint32, *inode, string, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	if len(parts) == 0 {
+		return 0, nil, "", fmt.Errorf("%w: %q has no name", ErrBadPath, path)
+	}
+	pIno, pIn, err := fs.lookup(parts[:len(parts)-1])
+	if err != nil {
+		return 0, nil, "", err
+	}
+	if pIn.mode != modeDir {
+		return 0, nil, "", ErrNotDir
+	}
+	return pIno, pIn, parts[len(parts)-1], nil
+}
+
+// create makes a new inode of the given mode linked under path.
+func (fs *FS) create(path string, mode byte) (uint32, error) {
+	pIno, pIn, name, err := fs.lookupParent(path)
+	if err != nil {
+		return 0, err
+	}
+	entries, err := fs.readDirMap(pIn)
+	if err != nil {
+		return 0, err
+	}
+	if _, ok := entries[name]; ok {
+		return 0, fmt.Errorf("%w: %s", ErrExist, path)
+	}
+	ino, err := fs.allocInode()
+	if err != nil {
+		return 0, err
+	}
+	in := inode{mode: mode, links: 1}
+	if err := fs.writeInode(ino, &in); err != nil {
+		return 0, err
+	}
+	entries[name] = ino
+	if err := fs.writeDirMap(pIno, pIn, entries); err != nil {
+		return 0, err
+	}
+	return ino, nil
+}
+
+// Mkdir creates a directory at path.
+func (fs *FS) Mkdir(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, err := fs.create(path, modeDir)
+	return err
+}
+
+// MkdirAll creates path and any missing parents.
+func (fs *FS) MkdirAll(path string) error {
+	parts, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	cur := ""
+	for _, p := range parts {
+		cur += "/" + p
+		if err := fs.Mkdir(cur); err != nil && !isExist(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+func isExist(err error) bool {
+	return errors.Is(err, ErrExist)
+}
+
+// Create makes an empty regular file.
+func (fs *FS) Create(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, err := fs.create(path, modeFile)
+	return err
+}
+
+// WriteFile replaces the contents of path (creating it if missing).
+func (fs *FS) WriteFile(path string, data []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ino, in, err := fs.lookupPath(path)
+	if err != nil {
+		if !errors.Is(err, ErrNotExist) {
+			return err
+		}
+		if ino, err = fs.create(path, modeFile); err != nil {
+			return err
+		}
+		if in, err = fs.readInode(ino); err != nil {
+			return err
+		}
+	}
+	if in.mode == modeDir {
+		return fmt.Errorf("%w: %s", ErrIsDir, path)
+	}
+	if err := fs.writeAll(in, data); err != nil {
+		return err
+	}
+	return fs.writeInode(ino, in)
+}
+
+// ReadFile returns the full contents of path.
+func (fs *FS) ReadFile(path string) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, in, err := fs.lookupPath(path)
+	if err != nil {
+		return nil, err
+	}
+	if in.mode == modeDir {
+		return nil, fmt.Errorf("%w: %s", ErrIsDir, path)
+	}
+	return fs.readAll(in)
+}
+
+// WriteAt overwrites len(data) bytes at offset off, extending the file
+// if needed — the partial-update primitive the micro-benchmark uses to
+// "randomly change" files.
+func (fs *FS) WriteAt(path string, off uint64, data []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ino, in, err := fs.lookupPath(path)
+	if err != nil {
+		return err
+	}
+	if in.mode == modeDir {
+		return fmt.Errorf("%w: %s", ErrIsDir, path)
+	}
+	if err := fs.writeRange(in, off, data); err != nil {
+		return err
+	}
+	return fs.writeInode(ino, in)
+}
+
+// ReadAt reads len(buf) bytes from offset off; short reads at EOF
+// return the count read.
+func (fs *FS) ReadAt(path string, off uint64, buf []byte) (int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, in, err := fs.lookupPath(path)
+	if err != nil {
+		return 0, err
+	}
+	if in.mode == modeDir {
+		return 0, fmt.Errorf("%w: %s", ErrIsDir, path)
+	}
+	return fs.readRange(in, off, buf)
+}
+
+// Truncate cuts path down to size bytes (no-op if already smaller),
+// freeing whole blocks past the new end.
+func (fs *FS) Truncate(path string, size uint64) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ino, in, err := fs.lookupPath(path)
+	if err != nil {
+		return err
+	}
+	if in.mode == modeDir {
+		return fmt.Errorf("%w: %s", ErrIsDir, path)
+	}
+	if size >= in.size {
+		return nil
+	}
+	bs := uint64(fs.sb.blockSize)
+	keep := (size + bs - 1) / bs // file blocks to retain
+	for idx := keep; idx*bs < in.size+bs; idx++ {
+		if idx >= fs.maxFileBlocks() {
+			break
+		}
+		dev, _, err := fs.blockOfFile(in, idx, false)
+		if err != nil {
+			return err
+		}
+		if dev == 0 {
+			continue
+		}
+		if err := fs.freeBlock(dev); err != nil {
+			return err
+		}
+		if err := fs.clearFilePointer(in, idx); err != nil {
+			return err
+		}
+	}
+	in.size = size
+	in.mtime++
+	return fs.writeInode(ino, in)
+}
+
+// clearFilePointer zeroes the block pointer for file block idx.
+func (fs *FS) clearFilePointer(in *inode, idx uint64) error {
+	if idx < numDirect {
+		in.direct[idx] = 0
+		return nil
+	}
+	if in.indirect == 0 {
+		return nil
+	}
+	slot := idx - numDirect
+	ind := make([]byte, fs.sb.blockSize)
+	if err := fs.store.ReadBlock(in.indirect, ind); err != nil {
+		return err
+	}
+	binary.BigEndian.PutUint64(ind[slot*8:], 0)
+	return fs.store.WriteBlock(in.indirect, ind)
+}
+
+// FileInfo describes one file or directory.
+type FileInfo struct {
+	Name  string
+	Size  uint64
+	IsDir bool
+}
+
+// Stat describes the object at path.
+func (fs *FS) Stat(path string) (FileInfo, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parts, err := splitPath(path)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	_, in, err := fs.lookup(parts)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	name := "/"
+	if len(parts) > 0 {
+		name = parts[len(parts)-1]
+	}
+	return FileInfo{Name: name, Size: in.size, IsDir: in.mode == modeDir}, nil
+}
+
+// ReadDir lists a directory in sorted order.
+func (fs *FS) ReadDir(path string) ([]FileInfo, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parts, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	_, in, err := fs.lookup(parts)
+	if err != nil {
+		return nil, err
+	}
+	if in.mode != modeDir {
+		return nil, fmt.Errorf("%w: %s", ErrNotDir, path)
+	}
+	entries, err := fs.readDirMap(in)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]FileInfo, 0, len(entries))
+	for _, name := range sortedNames(entries) {
+		child, err := fs.readInode(entries[name])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, FileInfo{Name: name, Size: child.size, IsDir: child.mode == modeDir})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Remove deletes a file or an empty directory.
+func (fs *FS) Remove(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	pIno, pIn, name, err := fs.lookupParent(path)
+	if err != nil {
+		return err
+	}
+	entries, err := fs.readDirMap(pIn)
+	if err != nil {
+		return err
+	}
+	ino, ok := entries[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	in, err := fs.readInode(ino)
+	if err != nil {
+		return err
+	}
+	if in.mode == modeDir {
+		children, err := fs.readDirMap(in)
+		if err != nil {
+			return err
+		}
+		if len(children) > 0 {
+			return fmt.Errorf("%w: %s", ErrNotEmpty, path)
+		}
+	}
+	if err := fs.freeFileBlocks(in); err != nil {
+		return err
+	}
+	in.mode = modeFree
+	if err := fs.writeInode(ino, in); err != nil {
+		return err
+	}
+	if err := fs.setInodeUsed(ino, false); err != nil {
+		return err
+	}
+	delete(entries, name)
+	return fs.writeDirMap(pIno, pIn, entries)
+}
+
+// Rename moves the object at oldPath to newPath (which must not
+// exist). Directories move with their whole subtree, as the rename is
+// purely a directory-entry operation.
+func (fs *FS) Rename(oldPath, newPath string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+
+	oldPIno, oldPIn, oldName, err := fs.lookupParent(oldPath)
+	if err != nil {
+		return err
+	}
+	oldEntries, err := fs.readDirMap(oldPIn)
+	if err != nil {
+		return err
+	}
+	ino, ok := oldEntries[oldName]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, oldPath)
+	}
+
+	newPIno, newPIn, newName, err := fs.lookupParent(newPath)
+	if err != nil {
+		return err
+	}
+
+	if oldPIno == newPIno {
+		// Same directory: one entry map update.
+		if _, exists := oldEntries[newName]; exists {
+			return fmt.Errorf("%w: %s", ErrExist, newPath)
+		}
+		delete(oldEntries, oldName)
+		oldEntries[newName] = ino
+		return fs.writeDirMap(oldPIno, oldPIn, oldEntries)
+	}
+
+	newEntries, err := fs.readDirMap(newPIn)
+	if err != nil {
+		return err
+	}
+	if _, exists := newEntries[newName]; exists {
+		return fmt.Errorf("%w: %s", ErrExist, newPath)
+	}
+	// Guard against moving a directory into its own subtree: walk up
+	// from the destination parent is not possible without parent
+	// pointers, so walk down from the moved inode instead.
+	movedIn, err := fs.readInode(ino)
+	if err != nil {
+		return err
+	}
+	if movedIn.mode == modeDir {
+		contains, err := fs.subtreeContains(ino, newPIno)
+		if err != nil {
+			return err
+		}
+		if contains {
+			return fmt.Errorf("%w: cannot move %s into itself", ErrBadPath, oldPath)
+		}
+	}
+
+	newEntries[newName] = ino
+	if err := fs.writeDirMap(newPIno, newPIn, newEntries); err != nil {
+		return err
+	}
+	delete(oldEntries, oldName)
+	return fs.writeDirMap(oldPIno, oldPIn, oldEntries)
+}
+
+// subtreeContains reports whether the directory tree rooted at root
+// includes inode target.
+func (fs *FS) subtreeContains(root, target uint32) (bool, error) {
+	if root == target {
+		return true, nil
+	}
+	in, err := fs.readInode(root)
+	if err != nil {
+		return false, err
+	}
+	if in.mode != modeDir {
+		return false, nil
+	}
+	entries, err := fs.readDirMap(in)
+	if err != nil {
+		return false, err
+	}
+	for _, child := range entries {
+		found, err := fs.subtreeContains(child, target)
+		if err != nil || found {
+			return found, err
+		}
+	}
+	return false, nil
+}
+
+// lookupPath resolves a full path (must be under fs.mu).
+func (fs *FS) lookupPath(path string) (uint32, *inode, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	return fs.lookup(parts)
+}
+
+// --- file data I/O ---
+
+// readAll returns an inode's full contents.
+func (fs *FS) readAll(in *inode) ([]byte, error) {
+	out := make([]byte, in.size)
+	n, err := fs.readRange(in, 0, out)
+	if err != nil {
+		return nil, err
+	}
+	return out[:n], nil
+}
+
+// readRange fills buf from offset off, returning bytes read (short at
+// EOF).
+func (fs *FS) readRange(in *inode, off uint64, buf []byte) (int, error) {
+	if off >= in.size {
+		return 0, nil
+	}
+	if off+uint64(len(buf)) > in.size {
+		buf = buf[:in.size-off]
+	}
+	bs := uint64(fs.sb.blockSize)
+	scratch := make([]byte, bs)
+	read := 0
+	for read < len(buf) {
+		fileBlk := (off + uint64(read)) / bs
+		inBlk := (off + uint64(read)) % bs
+		n := int(bs - inBlk)
+		if n > len(buf)-read {
+			n = len(buf) - read
+		}
+		dev, _, err := fs.blockOfFile(in, fileBlk, false)
+		if err != nil {
+			return read, err
+		}
+		if dev == 0 {
+			// Hole: zeros.
+			for i := 0; i < n; i++ {
+				buf[read+i] = 0
+			}
+		} else {
+			if err := fs.store.ReadBlock(dev, scratch); err != nil {
+				return read, err
+			}
+			copy(buf[read:read+n], scratch[inBlk:])
+		}
+		read += n
+	}
+	return read, nil
+}
+
+// writeRange writes data at offset off, allocating blocks as needed
+// and extending the size. Partial-block writes read-modify-write only
+// the affected blocks.
+func (fs *FS) writeRange(in *inode, off uint64, data []byte) error {
+	bs := uint64(fs.sb.blockSize)
+	scratch := make([]byte, bs)
+	written := 0
+	for written < len(data) {
+		fileBlk := (off + uint64(written)) / bs
+		inBlk := (off + uint64(written)) % bs
+		n := int(bs - inBlk)
+		if n > len(data)-written {
+			n = len(data) - written
+		}
+		dev, fresh, err := fs.blockOfFile(in, fileBlk, true)
+		if err != nil {
+			return err
+		}
+		if fresh || (inBlk == 0 && n == int(bs)) {
+			for i := range scratch {
+				scratch[i] = 0
+			}
+		} else if err := fs.store.ReadBlock(dev, scratch); err != nil {
+			return err
+		}
+		copy(scratch[inBlk:], data[written:written+n])
+		if err := fs.store.WriteBlock(dev, scratch); err != nil {
+			return err
+		}
+		written += n
+	}
+	if off+uint64(len(data)) > in.size {
+		in.size = off + uint64(len(data))
+	}
+	in.mtime++
+	return nil
+}
+
+// writeAll truncates the inode and writes data from offset zero.
+func (fs *FS) writeAll(in *inode, data []byte) error {
+	if err := fs.freeFileBlocks(in); err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		in.mtime++
+		return nil
+	}
+	return fs.writeRange(in, 0, data)
+}

@@ -1,0 +1,85 @@
+package memfs
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRenameFile(t *testing.T) {
+	fs := newFS(t, 512, 256)
+	if err := fs.WriteFile("/a.txt", []byte("content")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/a.txt", "/b.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFile("/a.txt"); !errors.Is(err, ErrNotExist) {
+		t.Error("old name still present")
+	}
+	got, err := fs.ReadFile("/b.txt")
+	if err != nil || string(got) != "content" {
+		t.Errorf("renamed content = %q, %v", got, err)
+	}
+
+	// Cross-directory move of a whole subtree.
+	if err := fs.MkdirAll("/src/deep"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/dst"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/src/deep/f", []byte("deep")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/src", "/dst/moved"); err != nil {
+		t.Fatal(err)
+	}
+	got, err = fs.ReadFile("/dst/moved/deep/f")
+	if err != nil || string(got) != "deep" {
+		t.Errorf("moved subtree content = %q, %v", got, err)
+	}
+
+	// fsck stays clean after renames.
+	report, err := fs.Fsck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Clean() {
+		t.Fatalf("fsck after rename: %v", report.Problems)
+	}
+}
+
+func TestRenameErrors(t *testing.T) {
+	fs := newFS(t, 512, 256)
+	if err := fs.WriteFile("/a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/b", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MkdirAll("/d/sub"); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := fs.Rename("/missing", "/c"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("missing source: %v", err)
+	}
+	if err := fs.Rename("/a", "/b"); !errors.Is(err, ErrExist) {
+		t.Errorf("existing dest same dir: %v", err)
+	}
+	if err := fs.WriteFile("/d/b", []byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/a", "/d/b"); !errors.Is(err, ErrExist) {
+		t.Errorf("existing dest cross dir: %v", err)
+	}
+	if err := fs.Rename("/d", "/d/sub/evil"); !errors.Is(err, ErrBadPath) {
+		t.Errorf("move dir into own subtree: %v", err)
+	}
+	if err := fs.Rename("/a", "/missing/x"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("missing dest parent: %v", err)
+	}
+}

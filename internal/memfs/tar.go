@@ -1,0 +1,159 @@
+package memfs
+
+import (
+	"archive/tar"
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// fileWriter streams sequential writes into a memfs file, so
+// archive/tar can write straight into the filesystem the way GNU tar
+// writes into Ext2.
+type fileWriter struct {
+	fs   *FS
+	path string
+	off  uint64
+}
+
+var _ io.Writer = (*fileWriter)(nil)
+
+func (w *fileWriter) Write(p []byte) (int, error) {
+	if err := w.fs.WriteAt(w.path, w.off, p); err != nil {
+		return 0, err
+	}
+	w.off += uint64(len(p))
+	return len(p), nil
+}
+
+// Tar archives the trees rooted at srcDirs into a POSIX tar file
+// created at dstPath inside the same filesystem, replacing any
+// previous archive. Returns the archive size. Output is buffered to
+// block granularity, as the OS page cache would before Ext2 wrote the
+// archive to disk — tar's 512-byte records must not each become a
+// device write.
+func (fs *FS) Tar(dstPath string, srcDirs ...string) (uint64, error) {
+	// Create the destination if missing; an existing archive is
+	// overwritten in place so its blocks keep their addresses (as
+	// Ext2's goal-based allocator does in practice), then truncated to
+	// the new length.
+	if _, err := fs.Stat(dstPath); err != nil {
+		if !errors.Is(err, ErrNotExist) {
+			return 0, err
+		}
+		if err := fs.Create(dstPath); err != nil {
+			return 0, err
+		}
+	}
+	fw := &fileWriter{fs: fs, path: dstPath}
+	bw := bufio.NewWriterSize(fw, fs.BlockSize())
+	tw := tar.NewWriter(bw)
+
+	for _, dir := range srcDirs {
+		if err := fs.tarTree(tw, dir); err != nil {
+			return 0, fmt.Errorf("memfs: tar %s: %w", dir, err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		return 0, err
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, err
+	}
+	if err := fs.Truncate(dstPath, fw.off); err != nil {
+		return 0, err
+	}
+	return fw.off, nil
+}
+
+// tarTree recursively archives one directory.
+func (fs *FS) tarTree(tw *tar.Writer, path string) error {
+	info, err := fs.Stat(path)
+	if err != nil {
+		return err
+	}
+	if !info.IsDir {
+		return fs.tarFile(tw, path)
+	}
+	hdr := &tar.Header{
+		Name:     path[1:] + "/",
+		Typeflag: tar.TypeDir,
+		Mode:     0o755,
+		ModTime:  time.Unix(0, 0), // determinism over realism
+	}
+	if err := tw.WriteHeader(hdr); err != nil {
+		return err
+	}
+	entries, err := fs.ReadDir(path)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := fs.tarTree(tw, path+"/"+e.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (fs *FS) tarFile(tw *tar.Writer, path string) error {
+	data, err := fs.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	hdr := &tar.Header{
+		Name:     path[1:],
+		Typeflag: tar.TypeReg,
+		Mode:     0o644,
+		Size:     int64(len(data)),
+		ModTime:  time.Unix(0, 0),
+	}
+	if err := tw.WriteHeader(hdr); err != nil {
+		return err
+	}
+	_, err = tw.Write(data)
+	return err
+}
+
+// Untar extracts an archive previously produced by Tar into dstDir
+// (used by tests to verify archives round-trip).
+func (fs *FS) Untar(srcPath, dstDir string) error {
+	data, err := fs.ReadFile(srcPath)
+	if err != nil {
+		return err
+	}
+	tr := tar.NewReader(bytesReader(data))
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		target := dstDir + "/" + hdr.Name
+		switch hdr.Typeflag {
+		case tar.TypeDir:
+			if err := fs.MkdirAll(trimSlash(target)); err != nil {
+				return err
+			}
+		case tar.TypeReg:
+			content, err := io.ReadAll(tr)
+			if err != nil {
+				return err
+			}
+			if err := fs.WriteFile(trimSlash(target), content); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func trimSlash(p string) string {
+	for len(p) > 1 && p[len(p)-1] == '/' {
+		p = p[:len(p)-1]
+	}
+	return p
+}

@@ -1,0 +1,136 @@
+// Package metrics provides the atomic counters the replication engines
+// use to account for replication traffic — the quantity every figure in
+// the paper's evaluation measures. Counters distinguish raw payload
+// bytes from modelled wire bytes (payload plus per-packet protocol
+// headers) so both the measured figures (4-7) and the queueing model
+// inputs (8-10) come from one source.
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Traffic accumulates replication statistics for one engine. The zero
+// value is ready to use. All methods are safe for concurrent use.
+type Traffic struct {
+	writes        atomic.Int64 // block writes intercepted
+	replicated    atomic.Int64 // replication messages sent
+	skipped       atomic.Int64 // writes skipped (no-change parity)
+	payloadBytes  atomic.Int64 // encoded payload bytes shipped
+	wireBytes     atomic.Int64 // payload + modelled packet headers
+	rawBytes      atomic.Int64 // block bytes that traditional would ship
+	encodeNanos   atomic.Int64 // time in parity+encode
+	decodeNanos   atomic.Int64 // time in decode+backward parity (replica)
+	replicaWrites atomic.Int64 // in-place writes applied at a replica
+}
+
+// AddWrite records one intercepted block write of blockBytes.
+func (t *Traffic) AddWrite(blockBytes int) {
+	t.writes.Add(1)
+	t.rawBytes.Add(int64(blockBytes))
+}
+
+// AddReplicated records one replication message of payloadBytes
+// encoded payload and wireBytes modelled on-the-wire size.
+func (t *Traffic) AddReplicated(payloadBytes, wireBytes int) {
+	t.replicated.Add(1)
+	t.payloadBytes.Add(int64(payloadBytes))
+	t.wireBytes.Add(int64(wireBytes))
+}
+
+// AddSkipped records a write whose parity was all zeros, which the
+// engine did not ship.
+func (t *Traffic) AddSkipped() { t.skipped.Add(1) }
+
+// AddEncodeTime accumulates primary-side compute time.
+func (t *Traffic) AddEncodeTime(d time.Duration) { t.encodeNanos.Add(int64(d)) }
+
+// AddDecodeTime accumulates replica-side compute time.
+func (t *Traffic) AddDecodeTime(d time.Duration) { t.decodeNanos.Add(int64(d)) }
+
+// AddReplicaWrite records one in-place write applied at a replica.
+func (t *Traffic) AddReplicaWrite() { t.replicaWrites.Add(1) }
+
+// Snapshot is a consistent-enough point-in-time copy of the counters.
+type Snapshot struct {
+	Writes        int64
+	Replicated    int64
+	Skipped       int64
+	PayloadBytes  int64
+	WireBytes     int64
+	RawBytes      int64
+	EncodeTime    time.Duration
+	DecodeTime    time.Duration
+	ReplicaWrites int64
+}
+
+// Snapshot returns the current counter values.
+func (t *Traffic) Snapshot() Snapshot {
+	return Snapshot{
+		Writes:        t.writes.Load(),
+		Replicated:    t.replicated.Load(),
+		Skipped:       t.skipped.Load(),
+		PayloadBytes:  t.payloadBytes.Load(),
+		WireBytes:     t.wireBytes.Load(),
+		RawBytes:      t.rawBytes.Load(),
+		EncodeTime:    time.Duration(t.encodeNanos.Load()),
+		DecodeTime:    time.Duration(t.decodeNanos.Load()),
+		ReplicaWrites: t.replicaWrites.Load(),
+	}
+}
+
+// Reset zeroes all counters.
+func (t *Traffic) Reset() {
+	t.writes.Store(0)
+	t.replicated.Store(0)
+	t.skipped.Store(0)
+	t.payloadBytes.Store(0)
+	t.wireBytes.Store(0)
+	t.rawBytes.Store(0)
+	t.encodeNanos.Store(0)
+	t.decodeNanos.Store(0)
+	t.replicaWrites.Store(0)
+}
+
+// MeanPayload returns the mean encoded payload bytes per replication
+// message — the S_d the queueing model needs per technique.
+func (s Snapshot) MeanPayload() float64 {
+	if s.Replicated == 0 {
+		return 0
+	}
+	return float64(s.PayloadBytes) / float64(s.Replicated)
+}
+
+// SavingsVsRaw returns how many times smaller the shipped payload is
+// than the raw block bytes (the traditional baseline), e.g. 51.5 means
+// "51.5 times less data".
+func (s Snapshot) SavingsVsRaw() float64 {
+	if s.PayloadBytes == 0 {
+		return 0
+	}
+	return float64(s.RawBytes) / float64(s.PayloadBytes)
+}
+
+// String renders a compact summary.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("writes=%d replicated=%d skipped=%d payload=%s wire=%s raw=%s mean=%0.0fB",
+		s.Writes, s.Replicated, s.Skipped,
+		FormatBytes(s.PayloadBytes), FormatBytes(s.WireBytes), FormatBytes(s.RawBytes),
+		s.MeanPayload())
+}
+
+// FormatBytes renders n in a human unit (KB/MB/GB, powers of 1024).
+func FormatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGB", float64(n)/float64(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2fMB", float64(n)/float64(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/float64(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTrafficCounters(t *testing.T) {
+	var tr Traffic
+	tr.AddWrite(8192)
+	tr.AddWrite(8192)
+	tr.AddReplicated(400, 512)
+	tr.AddReplicated(600, 712)
+	tr.AddSkipped()
+	tr.AddEncodeTime(time.Millisecond)
+	tr.AddDecodeTime(2 * time.Millisecond)
+	tr.AddReplicaWrite()
+
+	s := tr.Snapshot()
+	if s.Writes != 2 || s.Replicated != 2 || s.Skipped != 1 || s.ReplicaWrites != 1 {
+		t.Errorf("counts wrong: %+v", s)
+	}
+	if s.PayloadBytes != 1000 || s.WireBytes != 1224 || s.RawBytes != 16384 {
+		t.Errorf("bytes wrong: %+v", s)
+	}
+	if s.EncodeTime != time.Millisecond || s.DecodeTime != 2*time.Millisecond {
+		t.Errorf("times wrong: %+v", s)
+	}
+	if got, want := s.MeanPayload(), 500.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("MeanPayload = %f, want %f", got, want)
+	}
+	if got, want := s.SavingsVsRaw(), 16.384; math.Abs(got-want) > 1e-9 {
+		t.Errorf("SavingsVsRaw = %f, want %f", got, want)
+	}
+	if !strings.Contains(s.String(), "writes=2") {
+		t.Errorf("String missing fields: %s", s)
+	}
+
+	tr.Reset()
+	if s := tr.Snapshot(); s.Writes != 0 || s.PayloadBytes != 0 {
+		t.Errorf("Reset incomplete: %+v", s)
+	}
+}
+
+func TestTrafficZeroDivision(t *testing.T) {
+	var s Snapshot
+	if s.MeanPayload() != 0 || s.SavingsVsRaw() != 0 {
+		t.Error("zero snapshot ratios should be 0")
+	}
+}
+
+func TestTrafficConcurrent(t *testing.T) {
+	var tr Traffic
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				tr.AddWrite(100)
+				tr.AddReplicated(10, 12)
+			}
+		}()
+	}
+	wg.Wait()
+	s := tr.Snapshot()
+	if s.Writes != 10000 || s.PayloadBytes != 100000 || s.WireBytes != 120000 {
+		t.Errorf("concurrent totals wrong: %+v", s)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	tests := []struct {
+		n    int64
+		want string
+	}{
+		{0, "0B"},
+		{512, "512B"},
+		{2048, "2.0KB"},
+		{3 << 20, "3.00MB"},
+		{5 << 30, "5.00GB"},
+	}
+	for _, tt := range tests {
+		if got := FormatBytes(tt.n); got != tt.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", tt.n, got, tt.want)
+		}
+	}
+}

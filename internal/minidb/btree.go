@@ -1,0 +1,522 @@
+package minidb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// BTree is a disk-resident B+tree over the pager. Keys and values are
+// byte strings; keys compare bytewise (see the Key* encoders in
+// row.go). The root page ID is fixed for the tree's lifetime so the
+// catalog can reference it permanently; root splits copy the old root
+// down instead of moving the root.
+//
+// Deletes are lazy: keys are removed from leaves but nodes are not
+// merged. This bounds code complexity without affecting correctness;
+// the workloads here delete far less than they insert (TPC-C's
+// NEW-ORDER table is the only heavy deleter).
+type BTree struct {
+	pager *Pager
+	root  PageID
+}
+
+// btree node page layout:
+//
+//	0:  pageType (pageTypeBTree)
+//	1:  isLeaf u8
+//	2:  nkeys u16
+//	4:  next u64 (leaf chain)
+//	12: body
+//
+// leaf body:     nkeys x (keyLen u16, key, valLen u16, val)
+// internal body: child0 u64, then nkeys x (keyLen u16, key, child u64)
+const btreeHeaderLen = 12
+
+// bnode is the in-memory image of one node page.
+type bnode struct {
+	leaf     bool
+	next     PageID
+	keys     [][]byte
+	vals     [][]byte // leaf only
+	children []PageID // internal only; len(keys)+1
+}
+
+// ErrTreeCorrupt reports a structurally invalid node page.
+var ErrTreeCorrupt = errors.New("minidb: btree corrupt")
+
+// NewBTree allocates an empty tree and returns it; its Root is stable.
+func NewBTree(pager *Pager) (*BTree, error) {
+	pg, err := pager.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	root := &bnode{leaf: true}
+	root.serialize(pg.Data)
+	pg.MarkDirty()
+	pager.Release(pg)
+	return &BTree{pager: pager, root: pg.ID}, nil
+}
+
+// OpenBTree attaches to an existing tree rooted at root.
+func OpenBTree(pager *Pager, root PageID) *BTree {
+	return &BTree{pager: pager, root: root}
+}
+
+// Root returns the tree's fixed root page.
+func (t *BTree) Root() PageID { return t.root }
+
+func (n *bnode) serializedSize() int {
+	size := btreeHeaderLen
+	if n.leaf {
+		for i := range n.keys {
+			size += 2 + len(n.keys[i]) + 2 + len(n.vals[i])
+		}
+	} else {
+		size += 8
+		for i := range n.keys {
+			size += 2 + len(n.keys[i]) + 8
+		}
+	}
+	return size
+}
+
+func (n *bnode) serialize(buf []byte) {
+	for i := range buf {
+		buf[i] = 0
+	}
+	buf[0] = pageTypeBTree
+	if n.leaf {
+		buf[1] = 1
+	}
+	binary.BigEndian.PutUint16(buf[2:], uint16(len(n.keys)))
+	binary.BigEndian.PutUint64(buf[4:], uint64(n.next))
+	pos := btreeHeaderLen
+	if n.leaf {
+		for i := range n.keys {
+			binary.BigEndian.PutUint16(buf[pos:], uint16(len(n.keys[i])))
+			pos += 2
+			pos += copy(buf[pos:], n.keys[i])
+			binary.BigEndian.PutUint16(buf[pos:], uint16(len(n.vals[i])))
+			pos += 2
+			pos += copy(buf[pos:], n.vals[i])
+		}
+		return
+	}
+	binary.BigEndian.PutUint64(buf[pos:], uint64(n.children[0]))
+	pos += 8
+	for i := range n.keys {
+		binary.BigEndian.PutUint16(buf[pos:], uint16(len(n.keys[i])))
+		pos += 2
+		pos += copy(buf[pos:], n.keys[i])
+		binary.BigEndian.PutUint64(buf[pos:], uint64(n.children[i+1]))
+		pos += 8
+	}
+}
+
+func parseBNode(buf []byte) (*bnode, error) {
+	if len(buf) < btreeHeaderLen || buf[0] != pageTypeBTree {
+		return nil, fmt.Errorf("%w: bad header", ErrTreeCorrupt)
+	}
+	n := &bnode{leaf: buf[1] == 1}
+	nkeys := int(binary.BigEndian.Uint16(buf[2:]))
+	n.next = PageID(binary.BigEndian.Uint64(buf[4:]))
+	pos := btreeHeaderLen
+	read := func(width int) ([]byte, error) {
+		if pos+width > len(buf) {
+			return nil, fmt.Errorf("%w: truncated node", ErrTreeCorrupt)
+		}
+		out := buf[pos : pos+width]
+		pos += width
+		return out, nil
+	}
+	readLen := func() (int, error) {
+		b, err := read(2)
+		if err != nil {
+			return 0, err
+		}
+		return int(binary.BigEndian.Uint16(b)), nil
+	}
+	n.keys = make([][]byte, 0, nkeys)
+	if n.leaf {
+		n.vals = make([][]byte, 0, nkeys)
+		for i := 0; i < nkeys; i++ {
+			kl, err := readLen()
+			if err != nil {
+				return nil, err
+			}
+			k, err := read(kl)
+			if err != nil {
+				return nil, err
+			}
+			vl, err := readLen()
+			if err != nil {
+				return nil, err
+			}
+			v, err := read(vl)
+			if err != nil {
+				return nil, err
+			}
+			n.keys = append(n.keys, append([]byte(nil), k...))
+			n.vals = append(n.vals, append([]byte(nil), v...))
+		}
+		return n, nil
+	}
+	c0, err := read(8)
+	if err != nil {
+		return nil, err
+	}
+	n.children = make([]PageID, 0, nkeys+1)
+	n.children = append(n.children, PageID(binary.BigEndian.Uint64(c0)))
+	for i := 0; i < nkeys; i++ {
+		kl, err := readLen()
+		if err != nil {
+			return nil, err
+		}
+		k, err := read(kl)
+		if err != nil {
+			return nil, err
+		}
+		c, err := read(8)
+		if err != nil {
+			return nil, err
+		}
+		n.keys = append(n.keys, append([]byte(nil), k...))
+		n.children = append(n.children, PageID(binary.BigEndian.Uint64(c)))
+	}
+	return n, nil
+}
+
+// load reads and parses a node page.
+func (t *BTree) load(id PageID) (*bnode, error) {
+	var n *bnode
+	err := t.pager.View(id, func(data []byte) error {
+		var err error
+		n, err = parseBNode(data)
+		return err
+	})
+	return n, err
+}
+
+// save serializes a node back to its page.
+func (t *BTree) save(id PageID, n *bnode) error {
+	return t.pager.Update(id, func(data []byte) (bool, error) {
+		if n.serializedSize() > len(data) {
+			return false, fmt.Errorf("%w: node overflows page", ErrTreeCorrupt)
+		}
+		n.serialize(data)
+		return true, nil
+	})
+}
+
+// search finds the index of key in n.keys: (idx, true) on exact match,
+// else (insertion point, false).
+func (n *bnode) search(key []byte) (int, bool) {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch bytes.Compare(n.keys[mid], key) {
+		case 0:
+			return mid, true
+		case -1:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return lo, false
+}
+
+// childIndex returns which child of an internal node covers key.
+func (n *bnode) childIndex(key []byte) int {
+	idx, ok := n.search(key)
+	if ok {
+		return idx + 1 // separator keys live in the right subtree
+	}
+	return idx
+}
+
+// Get returns the value stored under key.
+func (t *BTree) Get(key []byte) ([]byte, bool, error) {
+	id := t.root
+	for {
+		n, err := t.load(id)
+		if err != nil {
+			return nil, false, err
+		}
+		if n.leaf {
+			idx, ok := n.search(key)
+			if !ok {
+				return nil, false, nil
+			}
+			return append([]byte(nil), n.vals[idx]...), true, nil
+		}
+		id = n.children[n.childIndex(key)]
+	}
+}
+
+// split describes the new right sibling created by an overflow.
+type split struct {
+	sepKey []byte
+	right  PageID
+}
+
+// btreeMaxLen bounds keys and values: node entries carry 16-bit
+// lengths on disk.
+const btreeMaxLen = 0xFFFF
+
+// Put upserts key -> val.
+func (t *BTree) Put(key, val []byte) error {
+	if len(key) > btreeMaxLen || len(val) > btreeMaxLen {
+		return fmt.Errorf("%w: key/value too large", ErrBadRecord)
+	}
+	sp, err := t.insertRec(t.root, key, val)
+	if err != nil {
+		return err
+	}
+	if sp == nil {
+		return nil
+	}
+	// Root overflowed: keep the root page ID stable by copying the
+	// current root into a fresh left node and turning the root into an
+	// internal node over [left, right].
+	rootNode, err := t.load(t.root)
+	if err != nil {
+		return err
+	}
+	leftPg, err := t.pager.Alloc()
+	if err != nil {
+		return err
+	}
+	rootNode.serialize(leftPg.Data)
+	leftPg.MarkDirty()
+	leftID := leftPg.ID
+	t.pager.Release(leftPg)
+
+	newRoot := &bnode{
+		leaf:     false,
+		keys:     [][]byte{sp.sepKey},
+		children: []PageID{leftID, sp.right},
+	}
+	return t.save(t.root, newRoot)
+}
+
+// insertRec inserts below page id, returning a split if id overflowed.
+// The caller owns handling the split; for the root, Put does.
+func (t *BTree) insertRec(id PageID, key, val []byte) (*split, error) {
+	n, err := t.load(id)
+	if err != nil {
+		return nil, err
+	}
+
+	if n.leaf {
+		idx, ok := n.search(key)
+		if ok {
+			n.vals[idx] = append([]byte(nil), val...)
+		} else {
+			n.keys = insertAt(n.keys, idx, append([]byte(nil), key...))
+			n.vals = insertAt(n.vals, idx, append([]byte(nil), val...))
+		}
+		return t.finishInsert(id, n)
+	}
+
+	ci := n.childIndex(key)
+	childSplit, err := t.insertRec(n.children[ci], key, val)
+	if err != nil {
+		return nil, err
+	}
+	if childSplit == nil {
+		return nil, nil
+	}
+	n.keys = insertAt(n.keys, ci, childSplit.sepKey)
+	n.children = insertAt(n.children, ci+1, childSplit.right)
+	return t.finishInsert(id, n)
+}
+
+// finishInsert saves n, splitting first if it no longer fits its page.
+func (t *BTree) finishInsert(id PageID, n *bnode) (*split, error) {
+	if n.serializedSize() <= t.pager.PageSize() {
+		return nil, t.save(id, n)
+	}
+	// Split: move the upper half into a fresh right sibling.
+	mid := len(n.keys) / 2
+	right := &bnode{leaf: n.leaf}
+	var sepKey []byte
+	if n.leaf {
+		right.keys = append(right.keys, n.keys[mid:]...)
+		right.vals = append(right.vals, n.vals[mid:]...)
+		n.keys = n.keys[:mid]
+		n.vals = n.vals[:mid]
+		sepKey = append([]byte(nil), right.keys[0]...)
+	} else {
+		// The middle key moves up; it does not stay in either half.
+		sepKey = append([]byte(nil), n.keys[mid]...)
+		right.keys = append(right.keys, n.keys[mid+1:]...)
+		right.children = append(right.children, n.children[mid+1:]...)
+		n.keys = n.keys[:mid]
+		n.children = n.children[:mid+1]
+	}
+
+	rightPg, err := t.pager.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	rightID := rightPg.ID
+	if n.leaf {
+		right.next = n.next
+		n.next = rightID
+	}
+	right.serialize(rightPg.Data)
+	rightPg.MarkDirty()
+	t.pager.Release(rightPg)
+
+	if err := t.save(id, n); err != nil {
+		return nil, err
+	}
+	return &split{sepKey: sepKey, right: rightID}, nil
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *BTree) Delete(key []byte) (bool, error) {
+	id := t.root
+	for {
+		n, err := t.load(id)
+		if err != nil {
+			return false, err
+		}
+		if !n.leaf {
+			id = n.children[n.childIndex(key)]
+			continue
+		}
+		idx, ok := n.search(key)
+		if !ok {
+			return false, nil
+		}
+		n.keys = removeAt(n.keys, idx)
+		n.vals = removeAt(n.vals, idx)
+		return true, t.save(id, n)
+	}
+}
+
+// Len walks the leaf chain counting keys (O(n); for tests/stats).
+func (t *BTree) Len() (int, error) {
+	id, err := t.leftmostLeaf()
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+	for id != invalidPage {
+		n, err := t.load(id)
+		if err != nil {
+			return 0, err
+		}
+		count += len(n.keys)
+		id = n.next
+	}
+	return count, nil
+}
+
+func (t *BTree) leftmostLeaf() (PageID, error) {
+	id := t.root
+	for {
+		n, err := t.load(id)
+		if err != nil {
+			return invalidPage, err
+		}
+		if n.leaf {
+			return id, nil
+		}
+		id = n.children[0]
+	}
+}
+
+// Iterator walks keys in order from a seek position.
+type Iterator struct {
+	tree *BTree
+	node *bnode
+	idx  int
+	err  error
+}
+
+// Seek positions an iterator at the first key >= start (or the very
+// first key when start is nil).
+func (t *BTree) Seek(start []byte) *Iterator {
+	it := &Iterator{tree: t}
+	id := t.root
+	for {
+		n, err := t.load(id)
+		if err != nil {
+			it.err = err
+			return it
+		}
+		if n.leaf {
+			it.node = n
+			if start == nil {
+				it.idx = 0
+			} else {
+				it.idx, _ = n.search(start)
+			}
+			it.skipEmpty()
+			return it
+		}
+		if start == nil {
+			id = n.children[0]
+		} else {
+			id = n.children[n.childIndex(start)]
+		}
+	}
+}
+
+// skipEmpty advances across exhausted leaves.
+func (it *Iterator) skipEmpty() {
+	for it.node != nil && it.idx >= len(it.node.keys) {
+		if it.node.next == invalidPage {
+			it.node = nil
+			return
+		}
+		n, err := it.tree.load(it.node.next)
+		if err != nil {
+			it.err = err
+			it.node = nil
+			return
+		}
+		it.node = n
+		it.idx = 0
+	}
+}
+
+// Valid reports whether the iterator is positioned on an entry.
+func (it *Iterator) Valid() bool { return it.err == nil && it.node != nil }
+
+// Err returns the first error the iterator hit.
+func (it *Iterator) Err() error { return it.err }
+
+// Key returns the current key (valid until Next).
+func (it *Iterator) Key() []byte { return it.node.keys[it.idx] }
+
+// Value returns the current value (valid until Next).
+func (it *Iterator) Value() []byte { return it.node.vals[it.idx] }
+
+// Next advances to the following key.
+func (it *Iterator) Next() {
+	if !it.Valid() {
+		return
+	}
+	it.idx++
+	it.skipEmpty()
+}
+
+// insertAt inserts v into s at index i.
+func insertAt[T any](s []T, i int, v T) []T {
+	s = append(s, v)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// removeAt deletes index i from s.
+func removeAt[T any](s []T, i int) []T {
+	copy(s[i:], s[i+1:])
+	return s[:len(s)-1]
+}

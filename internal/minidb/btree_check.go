@@ -1,0 +1,106 @@
+package minidb
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// CheckInvariants audits the tree's structural invariants, the way a
+// database's index verifier (e.g. innochecksum / amcheck) does:
+//
+//   - every leaf is at the same depth;
+//   - keys are strictly increasing within every node;
+//   - every key in a subtree respects the separator bounds of its
+//     ancestors (left-exclusive, right-inclusive per our childIndex
+//     convention: separators live in the right subtree);
+//   - the leaf chain visits exactly the leaves, left to right;
+//   - internal nodes have len(children) == len(keys)+1.
+//
+// It returns the total key count so callers can cross-check Len.
+func (t *BTree) CheckInvariants() (int, error) {
+	var (
+		leafDepth = -1
+		leafChain []PageID
+		totalKeys int
+	)
+
+	var walk func(id PageID, depth int, lower, upper []byte) error
+	walk = func(id PageID, depth int, lower, upper []byte) error {
+		n, err := t.load(id)
+		if err != nil {
+			return err
+		}
+
+		// Keys strictly increasing and within (lower, upper].
+		for i, k := range n.keys {
+			if i > 0 && bytes.Compare(n.keys[i-1], k) >= 0 {
+				return fmt.Errorf("%w: page %d keys out of order at %d", ErrTreeCorrupt, id, i)
+			}
+			if lower != nil && bytes.Compare(k, lower) < 0 {
+				return fmt.Errorf("%w: page %d key %d below lower bound", ErrTreeCorrupt, id, i)
+			}
+			if upper != nil && bytes.Compare(k, upper) >= 0 {
+				return fmt.Errorf("%w: page %d key %d >= upper bound", ErrTreeCorrupt, id, i)
+			}
+		}
+
+		if n.leaf {
+			if len(n.vals) != len(n.keys) {
+				return fmt.Errorf("%w: page %d leaf vals/keys mismatch", ErrTreeCorrupt, id)
+			}
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if depth != leafDepth {
+				return fmt.Errorf("%w: leaf %d at depth %d, expected %d",
+					ErrTreeCorrupt, id, depth, leafDepth)
+			}
+			leafChain = append(leafChain, id)
+			totalKeys += len(n.keys)
+			return nil
+		}
+
+		if len(n.children) != len(n.keys)+1 {
+			return fmt.Errorf("%w: page %d has %d children for %d keys",
+				ErrTreeCorrupt, id, len(n.children), len(n.keys))
+		}
+		for i, child := range n.children {
+			childLower := lower
+			childUpper := upper
+			if i > 0 {
+				childLower = n.keys[i-1]
+			}
+			if i < len(n.keys) {
+				childUpper = n.keys[i]
+			}
+			if err := walk(child, depth+1, childLower, childUpper); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if err := walk(t.root, 0, nil, nil); err != nil {
+		return 0, err
+	}
+
+	// The next-pointers must reproduce the in-order leaf sequence.
+	id, err := t.leftmostLeaf()
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; id != invalidPage; i++ {
+		if i >= len(leafChain) {
+			return 0, fmt.Errorf("%w: leaf chain longer than tree", ErrTreeCorrupt)
+		}
+		if leafChain[i] != id {
+			return 0, fmt.Errorf("%w: leaf chain diverges at %d (%d != %d)",
+				ErrTreeCorrupt, i, id, leafChain[i])
+		}
+		n, err := t.load(id)
+		if err != nil {
+			return 0, err
+		}
+		id = n.next
+	}
+	return totalKeys, nil
+}

@@ -1,0 +1,259 @@
+package minidb
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func newTestTree(t *testing.T, pageSize int) (*BTree, *Pager) {
+	t.Helper()
+	store := memStore(t, pageSize, 4096)
+	p, err := NewPager(store, PagerConfig{Capacity: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := NewBTree(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, p
+}
+
+func TestBTreeBasic(t *testing.T) {
+	tree, _ := newTestTree(t, 512)
+
+	if _, found, err := tree.Get([]byte("missing")); err != nil || found {
+		t.Errorf("Get missing = %v,%v", found, err)
+	}
+
+	if err := tree.Put([]byte("b"), []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Put([]byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Put([]byte("c"), []byte("3")); err != nil {
+		t.Fatal(err)
+	}
+
+	for k, v := range map[string]string{"a": "1", "b": "2", "c": "3"} {
+		got, found, err := tree.Get([]byte(k))
+		if err != nil || !found || string(got) != v {
+			t.Errorf("Get(%q) = %q,%v,%v want %q", k, got, found, err, v)
+		}
+	}
+
+	// Upsert replaces.
+	if err := tree.Put([]byte("b"), []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ := tree.Get([]byte("b"))
+	if string(got) != "two" {
+		t.Errorf("upsert: got %q", got)
+	}
+
+	// Delete.
+	if ok, err := tree.Delete([]byte("b")); err != nil || !ok {
+		t.Errorf("Delete = %v,%v", ok, err)
+	}
+	if _, found, _ := tree.Get([]byte("b")); found {
+		t.Error("deleted key still present")
+	}
+	if ok, _ := tree.Delete([]byte("b")); ok {
+		t.Error("double delete reported success")
+	}
+
+	if n, err := tree.Len(); err != nil || n != 2 {
+		t.Errorf("Len = %d,%v want 2", n, err)
+	}
+}
+
+// TestBTreeLargeRandom inserts thousands of keys into small pages
+// (forcing many splits and multiple levels) and checks the tree
+// against a sorted model.
+func TestBTreeLargeRandom(t *testing.T) {
+	tree, _ := newTestTree(t, 256) // tiny pages => deep tree
+	rng := rand.New(rand.NewSource(42))
+	model := make(map[string]string)
+
+	for i := 0; i < 5000; i++ {
+		k := fmt.Sprintf("key-%06d", rng.Intn(3000))
+		v := fmt.Sprintf("val-%d", i)
+		if err := tree.Put([]byte(k), []byte(v)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+		model[k] = v
+	}
+
+	// Every model key retrievable with latest value.
+	for k, v := range model {
+		got, found, err := tree.Get([]byte(k))
+		if err != nil || !found || string(got) != v {
+			t.Fatalf("Get(%q) = %q,%v,%v want %q", k, got, found, err, v)
+		}
+	}
+	if n, err := tree.Len(); err != nil || n != len(model) {
+		t.Fatalf("Len = %d,%v want %d", n, err, len(model))
+	}
+
+	// Full scan yields sorted keys matching the model exactly.
+	keys := make([]string, 0, len(model))
+	for k := range model {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	it := tree.Seek(nil)
+	for i := 0; it.Valid(); i++ {
+		if i >= len(keys) {
+			t.Fatal("scan produced extra keys")
+		}
+		if string(it.Key()) != keys[i] {
+			t.Fatalf("scan[%d] = %q, want %q", i, it.Key(), keys[i])
+		}
+		if string(it.Value()) != model[keys[i]] {
+			t.Fatalf("scan[%d] value mismatch", i)
+		}
+		it.Next()
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Delete a random half; survivors intact, victims gone.
+	victims := keys[:len(keys)/2]
+	for _, k := range victims {
+		ok, err := tree.Delete([]byte(k))
+		if err != nil || !ok {
+			t.Fatalf("delete %q: %v %v", k, ok, err)
+		}
+		delete(model, k)
+	}
+	for _, k := range victims {
+		if _, found, _ := tree.Get([]byte(k)); found {
+			t.Fatalf("victim %q still present", k)
+		}
+	}
+	for k, v := range model {
+		got, found, _ := tree.Get([]byte(k))
+		if !found || string(got) != v {
+			t.Fatalf("survivor %q damaged", k)
+		}
+	}
+}
+
+func TestBTreeSeekRange(t *testing.T) {
+	tree, _ := newTestTree(t, 256)
+	for i := 0; i < 500; i += 5 {
+		k := Key(int64(i))
+		if err := tree.Put(k, []byte(fmt.Sprint(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Seek to an absent key lands on the next present one.
+	it := tree.Seek(Key(101))
+	if !it.Valid() {
+		t.Fatal("seek found nothing")
+	}
+	if string(it.Value()) != "105" {
+		t.Errorf("seek(101) = %q, want 105", it.Value())
+	}
+
+	// Count keys in [100, 200).
+	count := 0
+	for it = tree.Seek(Key(100)); it.Valid(); it.Next() {
+		if bytes.Compare(it.Key(), Key(200)) >= 0 {
+			break
+		}
+		count++
+	}
+	if count != 20 {
+		t.Errorf("range [100,200) = %d keys, want 20", count)
+	}
+
+	// Seek past the end.
+	it = tree.Seek(Key(10000))
+	if it.Valid() {
+		t.Error("seek past end should be invalid")
+	}
+}
+
+// TestBTreeSequentialInsert stresses the rightmost-split path.
+func TestBTreeSequentialInsert(t *testing.T) {
+	tree, _ := newTestTree(t, 256)
+	const n = 3000
+	for i := 0; i < n; i++ {
+		if err := tree.Put(Key(int64(i)), []byte{byte(i)}); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	if got, err := tree.Len(); err != nil || got != n {
+		t.Fatalf("Len = %d,%v want %d", got, err, n)
+	}
+	// Ordered scan sees 0..n-1.
+	i := 0
+	for it := tree.Seek(nil); it.Valid(); it.Next() {
+		if !bytes.Equal(it.Key(), Key(int64(i))) {
+			t.Fatalf("scan[%d] wrong key", i)
+		}
+		i++
+	}
+	if i != n {
+		t.Fatalf("scan count = %d, want %d", i, n)
+	}
+}
+
+// TestBTreeRootStability: the root page ID must never change, even
+// across many splits, because the catalog stores it forever.
+func TestBTreeRootStability(t *testing.T) {
+	tree, pager := newTestTree(t, 256)
+	root := tree.Root()
+	for i := 0; i < 2000; i++ {
+		if err := tree.Put(Key(int64(i)), bytes.Repeat([]byte{1}, 20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tree.Root() != root {
+		t.Fatal("root page ID changed")
+	}
+	// Reopen from the same root and find everything.
+	tree2 := OpenBTree(pager, root)
+	for i := 0; i < 2000; i += 97 {
+		if _, found, err := tree2.Get(Key(int64(i))); err != nil || !found {
+			t.Fatalf("reopened tree missing key %d", i)
+		}
+	}
+}
+
+func TestBTreeKeyOrderingInt64(t *testing.T) {
+	// Negative int64 keys must sort before positive ones bytewise.
+	tree, _ := newTestTree(t, 512)
+	values := []int64{-1000, -1, 0, 1, 999, -999999, 123456789}
+	for _, v := range values {
+		if err := tree.Put(Key(v), []byte(fmt.Sprint(v))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sorted := append([]int64(nil), values...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := 0
+	for it := tree.Seek(nil); it.Valid(); it.Next() {
+		if string(it.Value()) != fmt.Sprint(sorted[i]) {
+			t.Fatalf("order[%d] = %q, want %d", i, it.Value(), sorted[i])
+		}
+		i++
+	}
+	if i != len(values) {
+		t.Fatalf("scanned %d, want %d", i, len(values))
+	}
+}
+
+func TestBTreeRejectsOversized(t *testing.T) {
+	tree, _ := newTestTree(t, 512)
+	if err := tree.Put(make([]byte, maxRecordLen+1), []byte("v")); err == nil {
+		t.Error("oversized key accepted")
+	}
+}

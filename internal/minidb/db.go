@@ -1,0 +1,406 @@
+package minidb
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+
+	"prins/internal/block"
+)
+
+// DBConfig tunes the database engine.
+type DBConfig struct {
+	// CacheBytes sizes the buffer pool; <=0 means 8 MiB.
+	CacheBytes int
+	// WALPages sizes the log ring; <=0 means 64.
+	WALPages int
+	// CheckpointEvery flushes all dirty pages every N commits,
+	// modelling the periodic checkpoint of a real engine; <=0 means 64.
+	CheckpointEvery int
+}
+
+func (c DBConfig) withDefaults(pageSize int) DBConfig {
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 8 << 20
+	}
+	if c.WALPages <= 0 {
+		c.WALPages = 64
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 64
+	}
+	return c
+}
+
+// IndexSpec declares a secondary index over columns of a table.
+type IndexSpec struct {
+	Name string   `json:"name"`
+	Cols []string `json:"cols"`
+}
+
+// TableSpec declares a table: schema, primary-key columns, and
+// secondary indexes.
+type TableSpec struct {
+	Name      string      `json:"name"`
+	Schema    Schema      `json:"schema"`
+	PK        []string    `json:"pk"`
+	Secondary []IndexSpec `json:"secondary,omitempty"`
+}
+
+// catalogEntry is the persisted form of one table.
+type catalogEntry struct {
+	Spec     TableSpec         `json:"spec"`
+	HeapHead PageID            `json:"heapHead"`
+	PKRoot   PageID            `json:"pkRoot"`
+	SecRoots map[string]PageID `json:"secRoots,omitempty"`
+}
+
+// DB is the database engine instance.
+type DB struct {
+	pager  *Pager
+	wal    *WAL
+	cfg    DBConfig
+	tables map[string]*Table
+
+	commits int64
+}
+
+// DB errors.
+var (
+	ErrTableExists  = errors.New("minidb: table exists")
+	ErrNoTable      = errors.New("minidb: no such table")
+	ErrNoIndex      = errors.New("minidb: no such index")
+	ErrDuplicateKey = errors.New("minidb: duplicate primary key")
+	ErrBadSpec      = errors.New("minidb: invalid table spec")
+)
+
+// Create formats store as a fresh database.
+func Create(store block.Store, cfg DBConfig) (*DB, error) {
+	cfg = cfg.withDefaults(store.BlockSize())
+	pager, err := NewPager(store, PagerConfig{Capacity: cfg.CacheBytes / store.BlockSize()})
+	if err != nil {
+		return nil, err
+	}
+	wal, err := NewWAL(pager, uint32(cfg.WALPages))
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{pager: pager, wal: wal, cfg: cfg, tables: make(map[string]*Table)}
+	if err := db.saveCatalog(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// Open attaches to a database previously created on store.
+func Open(store block.Store, cfg DBConfig) (*DB, error) {
+	cfg = cfg.withDefaults(store.BlockSize())
+	pager, err := OpenPager(store, PagerConfig{Capacity: cfg.CacheBytes / store.BlockSize()})
+	if err != nil {
+		return nil, err
+	}
+	wal, err := OpenWAL(pager)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{pager: pager, wal: wal, cfg: cfg, tables: make(map[string]*Table)}
+	if err := db.loadCatalog(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// Pager exposes the pager (tests and stats).
+func (db *DB) Pager() *Pager { return db.pager }
+
+// WAL exposes the log (tests and stats).
+func (db *DB) WAL() *WAL { return db.wal }
+
+// CreateTable creates a table per spec and persists the catalog.
+func (db *DB) CreateTable(spec TableSpec) (*Table, error) {
+	if _, ok := db.tables[spec.Name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrTableExists, spec.Name)
+	}
+	if err := validateSpec(spec); err != nil {
+		return nil, err
+	}
+	heap, err := NewHeap(db.pager)
+	if err != nil {
+		return nil, err
+	}
+	pk, err := NewBTree(db.pager)
+	if err != nil {
+		return nil, err
+	}
+	tbl := &Table{
+		db:        db,
+		spec:      spec,
+		heap:      heap,
+		pk:        pk,
+		secondary: make(map[string]*BTree, len(spec.Secondary)),
+	}
+	for _, idx := range spec.Secondary {
+		tree, err := NewBTree(db.pager)
+		if err != nil {
+			return nil, err
+		}
+		tbl.secondary[idx.Name] = tree
+	}
+	if err := tbl.resolveColumns(); err != nil {
+		return nil, err
+	}
+	db.tables[spec.Name] = tbl
+	if err := db.saveCatalog(); err != nil {
+		return nil, err
+	}
+	return tbl, nil
+}
+
+// Table returns a table by name.
+func (db *DB) Table(name string) (*Table, error) {
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, name)
+	}
+	return t, nil
+}
+
+// TableNames lists tables in sorted order.
+func (db *DB) TableNames() []string {
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func validateSpec(spec TableSpec) error {
+	if spec.Name == "" || len(spec.Schema) == 0 || len(spec.PK) == 0 {
+		return fmt.Errorf("%w: name/schema/pk required", ErrBadSpec)
+	}
+	seen := make(map[string]bool, len(spec.Schema))
+	for _, c := range spec.Schema {
+		if c.Name == "" || seen[c.Name] {
+			return fmt.Errorf("%w: bad column %q", ErrBadSpec, c.Name)
+		}
+		if c.Type < TypeInt64 || c.Type > TypeString {
+			return fmt.Errorf("%w: column %q type", ErrBadSpec, c.Name)
+		}
+		seen[c.Name] = true
+	}
+	for _, pk := range spec.PK {
+		if !seen[pk] {
+			return fmt.Errorf("%w: pk column %q missing", ErrBadSpec, pk)
+		}
+	}
+	idxNames := make(map[string]bool, len(spec.Secondary))
+	for _, idx := range spec.Secondary {
+		if idx.Name == "" || idxNames[idx.Name] {
+			return fmt.Errorf("%w: bad index name %q", ErrBadSpec, idx.Name)
+		}
+		idxNames[idx.Name] = true
+		if len(idx.Cols) == 0 {
+			return fmt.Errorf("%w: index %q has no columns", ErrBadSpec, idx.Name)
+		}
+		for _, c := range idx.Cols {
+			if !seen[c] {
+				return fmt.Errorf("%w: index column %q missing", ErrBadSpec, c)
+			}
+		}
+	}
+	return nil
+}
+
+// saveCatalog serializes all table metadata into a fresh chain of raw
+// pages and points the meta page at it.
+func (db *DB) saveCatalog() error {
+	entries := make([]catalogEntry, 0, len(db.tables))
+	for _, name := range db.TableNames() {
+		t := db.tables[name]
+		e := catalogEntry{
+			Spec:     t.spec,
+			HeapHead: t.heap.Head(),
+			PKRoot:   t.pk.Root(),
+		}
+		if len(t.secondary) > 0 {
+			e.SecRoots = make(map[string]PageID, len(t.secondary))
+			for n, tree := range t.secondary {
+				e.SecRoots[n] = tree.Root()
+			}
+		}
+		entries = append(entries, e)
+	}
+	blob, err := json.Marshal(entries)
+	if err != nil {
+		return fmt.Errorf("minidb: encode catalog: %w", err)
+	}
+
+	// Write the blob across a chain of raw pages:
+	// page: type u8, pad 3, used u32, next u64, data...
+	const rawHeaderLen = 16
+	ps := db.pager.PageSize()
+	chunk := ps - rawHeaderLen
+
+	var head, prev PageID
+	for off := 0; off == 0 || off < len(blob); off += chunk {
+		pg, err := db.pager.Alloc()
+		if err != nil {
+			return err
+		}
+		end := off + chunk
+		if end > len(blob) {
+			end = len(blob)
+		}
+		pg.Data[0] = pageTypeCat
+		binary.BigEndian.PutUint32(pg.Data[4:], uint32(end-off))
+		copy(pg.Data[rawHeaderLen:], blob[off:end])
+		pg.MarkDirty()
+		id := pg.ID
+		db.pager.Release(pg)
+		if prev != invalidPage {
+			if err := db.pager.Update(prev, func(data []byte) (bool, error) {
+				binary.BigEndian.PutUint64(data[8:], uint64(id))
+				return true, nil
+			}); err != nil {
+				return err
+			}
+		} else {
+			head = id
+		}
+		prev = id
+	}
+
+	// Free the old chain.
+	old := db.pager.CatalogRoot()
+	db.pager.SetCatalogRoot(head)
+	for old != invalidPage {
+		var next PageID
+		if err := db.pager.View(old, func(data []byte) error {
+			next = PageID(binary.BigEndian.Uint64(data[8:]))
+			return nil
+		}); err != nil {
+			return err
+		}
+		if err := db.pager.Free(old); err != nil {
+			return err
+		}
+		old = next
+	}
+	return db.pager.Flush()
+}
+
+// loadCatalog rebuilds table handles from the persisted chain.
+func (db *DB) loadCatalog() error {
+	const rawHeaderLen = 16
+	var blob []byte
+	id := db.pager.CatalogRoot()
+	for id != invalidPage {
+		var next PageID
+		if err := db.pager.View(id, func(data []byte) error {
+			if data[0] != pageTypeCat {
+				return fmt.Errorf("minidb: page %d is not a catalog page", id)
+			}
+			used := binary.BigEndian.Uint32(data[4:])
+			if int(used) > len(data)-rawHeaderLen {
+				return errors.New("minidb: corrupt catalog page")
+			}
+			next = PageID(binary.BigEndian.Uint64(data[8:]))
+			blob = append(blob, data[rawHeaderLen:rawHeaderLen+int(used)]...)
+			return nil
+		}); err != nil {
+			return err
+		}
+		id = next
+	}
+	if len(blob) == 0 {
+		return nil
+	}
+	var entries []catalogEntry
+	if err := json.Unmarshal(blob, &entries); err != nil {
+		return fmt.Errorf("minidb: decode catalog: %w", err)
+	}
+	for _, e := range entries {
+		tbl := &Table{
+			db:        db,
+			spec:      e.Spec,
+			heap:      OpenHeap(db.pager, e.HeapHead),
+			pk:        OpenBTree(db.pager, e.PKRoot),
+			secondary: make(map[string]*BTree, len(e.SecRoots)),
+		}
+		for n, root := range e.SecRoots {
+			tbl.secondary[n] = OpenBTree(db.pager, root)
+		}
+		if err := tbl.resolveColumns(); err != nil {
+			return err
+		}
+		db.tables[e.Spec.Name] = tbl
+	}
+	return nil
+}
+
+// Txn is one transaction. The engine logs logical operations and
+// flushes the WAL at commit; data pages reach disk through eviction
+// and periodic checkpoints, like a real no-force engine.
+type Txn struct {
+	db   *DB
+	log  []byte
+	done bool
+}
+
+// Begin starts a transaction.
+func (db *DB) Begin() *Txn {
+	return &Txn{db: db}
+}
+
+// logOp appends one logical log entry (op tag, table, key, payload).
+func (t *Txn) logOp(op byte, table string, key, payload []byte) {
+	t.log = append(t.log, op)
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(table)))
+	t.log = append(t.log, tmp[:n]...)
+	t.log = append(t.log, table...)
+	n = binary.PutUvarint(tmp[:], uint64(len(key)))
+	t.log = append(t.log, tmp[:n]...)
+	t.log = append(t.log, key...)
+	n = binary.PutUvarint(tmp[:], uint64(len(payload)))
+	t.log = append(t.log, tmp[:n]...)
+	t.log = append(t.log, payload...)
+}
+
+// Commit durably appends the transaction's log record and runs a
+// checkpoint when due. An empty (read-only) transaction writes
+// nothing.
+func (t *Txn) Commit() error {
+	if t.done {
+		return errors.New("minidb: transaction already finished")
+	}
+	t.done = true
+	if len(t.log) == 0 {
+		return nil
+	}
+	if _, err := t.db.wal.Append(t.log); err != nil {
+		return err
+	}
+	t.db.commits++
+	if t.db.commits%int64(t.db.cfg.CheckpointEvery) == 0 {
+		return t.db.pager.Flush()
+	}
+	return nil
+}
+
+// Commits returns the number of committed write transactions.
+func (db *DB) Commits() int64 { return db.commits }
+
+// Checkpoint forces all dirty pages to the device.
+func (db *DB) Checkpoint() error { return db.pager.Flush() }
+
+// Close checkpoints and shuts down the engine.
+func (db *DB) Close() error {
+	if err := db.saveCatalog(); err != nil {
+		return err
+	}
+	return db.pager.Close()
+}

@@ -1,0 +1,438 @@
+package minidb
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"prins/internal/block"
+)
+
+func accountsSpec() TableSpec {
+	return TableSpec{
+		Name: "accounts",
+		Schema: Schema{
+			{Name: "id", Type: TypeInt64},
+			{Name: "branch", Type: TypeInt64},
+			{Name: "balance", Type: TypeFloat64},
+			{Name: "owner", Type: TypeString},
+		},
+		PK: []string{"id"},
+		Secondary: []IndexSpec{
+			{Name: "by_branch", Cols: []string{"branch"}},
+		},
+	}
+}
+
+func newTestDB(t *testing.T) (*DB, block.Store) {
+	t.Helper()
+	store := memStore(t, 4096, 4096)
+	db, err := Create(store, DBConfig{WALPages: 8, CheckpointEvery: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, store
+}
+
+func TestCreateTableValidation(t *testing.T) {
+	db, _ := newTestDB(t)
+	tests := []struct {
+		name string
+		spec TableSpec
+	}{
+		{name: "empty", spec: TableSpec{}},
+		{name: "no pk", spec: TableSpec{Name: "t", Schema: Schema{{Name: "a", Type: TypeInt64}}}},
+		{name: "pk missing col", spec: TableSpec{Name: "t", Schema: Schema{{Name: "a", Type: TypeInt64}}, PK: []string{"b"}}},
+		{name: "dup column", spec: TableSpec{Name: "t", Schema: Schema{{Name: "a", Type: TypeInt64}, {Name: "a", Type: TypeInt64}}, PK: []string{"a"}}},
+		{name: "bad index col", spec: TableSpec{
+			Name: "t", Schema: Schema{{Name: "a", Type: TypeInt64}}, PK: []string{"a"},
+			Secondary: []IndexSpec{{Name: "i", Cols: []string{"zz"}}},
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := db.CreateTable(tt.spec); !errors.Is(err, ErrBadSpec) {
+				t.Errorf("err = %v, want ErrBadSpec", err)
+			}
+		})
+	}
+
+	if _, err := db.CreateTable(accountsSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable(accountsSpec()); !errors.Is(err, ErrTableExists) {
+		t.Errorf("duplicate table: err = %v", err)
+	}
+	if _, err := db.Table("nope"); !errors.Is(err, ErrNoTable) {
+		t.Errorf("missing table: err = %v", err)
+	}
+}
+
+func TestTableCRUD(t *testing.T) {
+	db, _ := newTestDB(t)
+	tbl, err := db.CreateTable(accountsSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	txn := db.Begin()
+	for i := int64(0); i < 100; i++ {
+		row := Row{I64(i), I64(i % 5), F64(float64(i) * 1.5), Str(fmt.Sprintf("owner-%d", i))}
+		if err := tbl.Insert(txn, row); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Duplicate PK rejected.
+	if err := tbl.Insert(nil, Row{I64(5), I64(0), F64(0), Str("dup")}); !errors.Is(err, ErrDuplicateKey) {
+		t.Errorf("dup insert: err = %v", err)
+	}
+
+	// Point get.
+	row, err := tbl.Get(Key(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0].I != 42 || row[3].S != "owner-42" {
+		t.Errorf("Get(42) = %+v", row)
+	}
+	if _, err := tbl.Get(Key(4242)); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing get: err = %v", err)
+	}
+
+	// Update.
+	err = tbl.Update(nil, Key(42), func(r Row) (Row, error) {
+		r[2] = F64(999.5)
+		return r, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, _ = tbl.Get(Key(42))
+	if row[2].F != 999.5 {
+		t.Error("update lost")
+	}
+
+	// Update must not change the PK.
+	err = tbl.Update(nil, Key(42), func(r Row) (Row, error) {
+		r[0] = I64(777)
+		return r, nil
+	})
+	if err == nil {
+		t.Error("PK-changing update accepted")
+	}
+
+	// Delete.
+	if err := tbl.Delete(nil, Key(42)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Get(Key(42)); !errors.Is(err, ErrNotFound) {
+		t.Error("deleted row still present")
+	}
+	if err := tbl.Delete(nil, Key(42)); !errors.Is(err, ErrNotFound) {
+		t.Error("double delete should be ErrNotFound")
+	}
+
+	if n, err := tbl.Count(); err != nil || n != 99 {
+		t.Errorf("Count = %d,%v want 99", n, err)
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	db, _ := newTestDB(t)
+	tbl, err := db.CreateTable(accountsSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 50; i++ {
+		if err := tbl.Insert(nil, Row{I64(i), I64(0), F64(0), Str("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var got []int64
+	err = tbl.ScanRange(Key(10), Key(20), func(r Row) (bool, error) {
+		got = append(got, r[0].I)
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Errorf("range scan = %v", got)
+	}
+
+	// Early stop.
+	count := 0
+	if err := tbl.ScanRange(nil, nil, func(Row) (bool, error) {
+		count++
+		return count < 7, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 7 {
+		t.Errorf("early stop count = %d", count)
+	}
+}
+
+func TestSecondaryIndex(t *testing.T) {
+	db, _ := newTestDB(t)
+	tbl, err := db.CreateTable(accountsSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 60; i++ {
+		if err := tbl.Insert(nil, Row{I64(i), I64(i % 6), F64(0), Str("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Equality scan on branch 3: ids 3, 9, 15, ...
+	var ids []int64
+	err = tbl.ScanIndex("by_branch", Key(3), func(r Row) (bool, error) {
+		ids = append(ids, r[0].I)
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 10 {
+		t.Fatalf("index scan found %d rows, want 10: %v", len(ids), ids)
+	}
+	for _, id := range ids {
+		if id%6 != 3 {
+			t.Errorf("id %d not in branch 3", id)
+		}
+	}
+
+	// Update that changes the indexed column moves the entry.
+	if err := tbl.Update(nil, Key(3), func(r Row) (Row, error) {
+		r[1] = I64(5)
+		return r, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ids = nil
+	if err := tbl.ScanIndex("by_branch", Key(3), func(r Row) (bool, error) {
+		ids = append(ids, r[0].I)
+		return true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 9 {
+		t.Errorf("branch 3 after move = %d rows, want 9", len(ids))
+	}
+	found := false
+	if err := tbl.ScanIndex("by_branch", Key(5), func(r Row) (bool, error) {
+		if r[0].I == 3 {
+			found = true
+		}
+		return true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Error("moved row not found under new index key")
+	}
+
+	// Delete removes index entries.
+	if err := tbl.Delete(nil, Key(9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.ScanIndex("by_branch", Key(3), func(r Row) (bool, error) {
+		if r[0].I == 9 {
+			t.Error("deleted row still indexed")
+		}
+		return true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unknown index.
+	if err := tbl.ScanIndex("nope", nil, nil); !errors.Is(err, ErrNoIndex) {
+		t.Errorf("unknown index: err = %v", err)
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	store := memStore(t, 4096, 4096)
+	db, err := Create(store, DBConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := db.CreateTable(accountsSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 200; i++ {
+		if err := tbl.Insert(nil, Row{I64(i), I64(i % 3), F64(float64(i)), Str(fmt.Sprintf("o%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(store, DBConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names := db2.TableNames(); len(names) != 1 || names[0] != "accounts" {
+		t.Fatalf("tables after reopen = %v", names)
+	}
+	tbl2, err := db2.Table("accounts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := tbl2.Count(); err != nil || n != 200 {
+		t.Fatalf("count after reopen = %d,%v", n, err)
+	}
+	row, err := tbl2.Get(Key(123))
+	if err != nil || row[3].S != "o123" {
+		t.Errorf("row after reopen = %+v, %v", row, err)
+	}
+	// Secondary index still works.
+	count := 0
+	if err := tbl2.ScanIndex("by_branch", Key(1), func(Row) (bool, error) {
+		count++
+		return true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count == 0 {
+		t.Error("secondary index lost across reopen")
+	}
+}
+
+func TestWALAppendsOnCommit(t *testing.T) {
+	db, _ := newTestDB(t)
+	tbl, err := db.CreateTable(accountsSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	txn := db.Begin()
+	if err := tbl.Insert(txn, Row{I64(1), I64(0), F64(1), Str("a")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if db.WAL().Seq() != 1 {
+		t.Errorf("WAL seq = %d, want 1", db.WAL().Seq())
+	}
+
+	// Read-only txn writes nothing.
+	ro := db.Begin()
+	if _, err := tbl.Get(Key(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ro.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if db.WAL().Seq() != 1 {
+		t.Error("read-only commit wrote to WAL")
+	}
+
+	// Double commit rejected.
+	if err := ro.Commit(); err == nil {
+		t.Error("double commit accepted")
+	}
+
+	recs, err := db.WAL().Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || len(recs[0]) == 0 {
+		t.Errorf("WAL records = %d", len(recs))
+	}
+	if recs[0][0] != opInsert {
+		t.Errorf("first log op = %d, want opInsert", recs[0][0])
+	}
+}
+
+func TestWALRing(t *testing.T) {
+	store := memStore(t, 512, 256)
+	p, err := NewPager(store, PagerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWAL(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill well past the ring capacity.
+	payload := bytes.Repeat([]byte{0xAA}, 100)
+	for i := 0; i < 50; i++ {
+		if _, err := w.Append(payload); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if !w.Wrapped() {
+		t.Error("ring should have wrapped")
+	}
+	if w.Seq() != 50 {
+		t.Errorf("seq = %d, want 50", w.Seq())
+	}
+
+	// Surviving records parse and are consecutive.
+	recs, err := w.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no records recovered from wrapped ring")
+	}
+	for _, r := range recs {
+		if !bytes.Equal(r, payload) {
+			t.Error("recovered record corrupted")
+		}
+	}
+
+	// Oversized record rejected.
+	if _, err := w.Append(make([]byte, 4*512)); !errors.Is(err, ErrWALRecordTooLarge) {
+		t.Errorf("oversized append: err = %v", err)
+	}
+
+	// Tiny WAL rejected.
+	if _, err := NewWAL(p, 1); err == nil {
+		t.Error("1-page WAL accepted")
+	}
+}
+
+func TestCheckpointEvery(t *testing.T) {
+	store := memStore(t, 4096, 2048)
+	counting := block.NewCounting(store)
+	db, err := Create(counting, DBConfig{CheckpointEvery: 5, WALPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := db.CreateTable(accountsSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flushesBefore := db.Pager().Flushes()
+	for i := int64(0); i < 10; i++ {
+		txn := db.Begin()
+		if err := tbl.Insert(txn, Row{I64(i), I64(0), F64(0), Str("x")}); err != nil {
+			t.Fatal(err)
+		}
+		if err := txn.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.Commits() != 10 {
+		t.Errorf("commits = %d", db.Commits())
+	}
+	// 10 commits at CheckpointEvery=5 means 2 checkpoints happened:
+	// flush activity beyond WAL appends.
+	if db.Pager().Flushes() <= flushesBefore+10 {
+		t.Error("expected checkpoint flushes beyond WAL writes")
+	}
+}

@@ -1,0 +1,243 @@
+package minidb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// RID is a record identifier: the page and slot where a tuple lives.
+type RID struct {
+	Page PageID
+	Slot uint16
+}
+
+// Encode packs the RID into 10 bytes (B+tree value format).
+func (r RID) Encode() []byte {
+	out := make([]byte, 10)
+	binary.BigEndian.PutUint64(out, uint64(r.Page))
+	binary.BigEndian.PutUint16(out[8:], r.Slot)
+	return out
+}
+
+// DecodeRID unpacks a 10-byte RID.
+func DecodeRID(data []byte) (RID, error) {
+	if len(data) != 10 {
+		return RID{}, fmt.Errorf("minidb: RID must be 10 bytes, got %d", len(data))
+	}
+	return RID{
+		Page: PageID(binary.BigEndian.Uint64(data)),
+		Slot: binary.BigEndian.Uint16(data[8:]),
+	}, nil
+}
+
+// ErrNotFound reports a missing record.
+var ErrNotFound = errors.New("minidb: not found")
+
+// Heap is an unordered tuple file: a chain of slotted pages with an
+// in-memory free-space hint. Records are addressed by RID; moving
+// updates return the new RID so indexes can follow.
+type Heap struct {
+	pager *Pager
+	head  PageID // first page of the chain; fixed for the heap's life
+
+	// lastWithRoom remembers a page that recently had room, avoiding a
+	// full-chain walk per insert.
+	lastWithRoom PageID
+}
+
+// NewHeap allocates an empty heap and returns it; Head is stable.
+func NewHeap(pager *Pager) (*Heap, error) {
+	pg, err := pager.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	initSlotted(pg.Data, pageTypeHeap)
+	pg.MarkDirty()
+	head := pg.ID
+	pager.Release(pg)
+	return &Heap{pager: pager, head: head, lastWithRoom: head}, nil
+}
+
+// OpenHeap attaches to an existing heap chain.
+func OpenHeap(pager *Pager, head PageID) *Heap {
+	return &Heap{pager: pager, head: head, lastWithRoom: head}
+}
+
+// Head returns the fixed first page of the chain.
+func (h *Heap) Head() PageID { return h.head }
+
+// Insert stores rec and returns its RID.
+func (h *Heap) Insert(rec []byte) (RID, error) {
+	if len(rec) > h.pager.PageSize()-slottedHeaderLen-slotEntryLen {
+		return RID{}, fmt.Errorf("%w: %d bytes exceeds page capacity", ErrBadRecord, len(rec))
+	}
+
+	// Try the hinted page first, then walk the chain from it,
+	// extending the chain if everything is full.
+	id := h.lastWithRoom
+	for {
+		var (
+			slot int
+			ok   bool
+			next PageID
+		)
+		err := h.pager.Update(id, func(data []byte) (bool, error) {
+			s := asSlotted(data)
+			next = s.next()
+			n, err := s.insert(rec)
+			if errors.Is(err, ErrPageFull) {
+				return false, nil
+			}
+			if err != nil {
+				return false, err
+			}
+			slot, ok = n, true
+			return true, nil
+		})
+		if err != nil {
+			return RID{}, err
+		}
+		if ok {
+			h.lastWithRoom = id
+			return RID{Page: id, Slot: uint16(slot)}, nil
+		}
+		if next != invalidPage {
+			id = next
+			continue
+		}
+		// Extend the chain.
+		pg, err := h.pager.Alloc()
+		if err != nil {
+			return RID{}, err
+		}
+		initSlotted(pg.Data, pageTypeHeap)
+		pg.MarkDirty()
+		newID := pg.ID
+		h.pager.Release(pg)
+		if err := h.pager.Update(id, func(data []byte) (bool, error) {
+			asSlotted(data).setNext(newID)
+			return true, nil
+		}); err != nil {
+			return RID{}, err
+		}
+		id = newID
+	}
+}
+
+// Get returns a copy of the record at rid.
+func (h *Heap) Get(rid RID) ([]byte, error) {
+	var out []byte
+	err := h.pager.View(rid.Page, func(data []byte) error {
+		s := asSlotted(data)
+		if s.pageType() != pageTypeHeap {
+			return fmt.Errorf("%w: page %d is not a heap page", ErrBadSlot, rid.Page)
+		}
+		rec, err := s.record(int(rid.Slot))
+		if err != nil {
+			return err
+		}
+		out = append([]byte(nil), rec...)
+		return nil
+	})
+	if errors.Is(err, ErrDeadSlot) || errors.Is(err, ErrBadSlot) {
+		return nil, fmt.Errorf("%w: rid %v", ErrNotFound, rid)
+	}
+	return out, err
+}
+
+// Update replaces the record at rid. If the new record no longer fits
+// in its page the tuple moves; the returned RID is its (possibly new)
+// location.
+func (h *Heap) Update(rid RID, rec []byte) (RID, error) {
+	var full bool
+	err := h.pager.Update(rid.Page, func(data []byte) (bool, error) {
+		err := asSlotted(data).update(int(rid.Slot), rec)
+		if errors.Is(err, ErrPageFull) {
+			full = true
+			return false, nil
+		}
+		return err == nil, err
+	})
+	if err != nil {
+		if errors.Is(err, ErrDeadSlot) || errors.Is(err, ErrBadSlot) {
+			return RID{}, fmt.Errorf("%w: rid %v", ErrNotFound, rid)
+		}
+		return RID{}, err
+	}
+	if !full {
+		return rid, nil
+	}
+	// Relocate: delete then insert elsewhere.
+	if err := h.Delete(rid); err != nil {
+		return RID{}, err
+	}
+	return h.Insert(rec)
+}
+
+// Delete removes the record at rid.
+func (h *Heap) Delete(rid RID) error {
+	err := h.pager.Update(rid.Page, func(data []byte) (bool, error) {
+		err := asSlotted(data).del(int(rid.Slot))
+		return err == nil, err
+	})
+	if errors.Is(err, ErrDeadSlot) || errors.Is(err, ErrBadSlot) {
+		return fmt.Errorf("%w: rid %v", ErrNotFound, rid)
+	}
+	return err
+}
+
+// Scan invokes fn for every live record in the heap, in chain order.
+// Returning false from fn stops the scan early.
+func (h *Heap) Scan(fn func(rid RID, rec []byte) (bool, error)) error {
+	id := h.head
+	for id != invalidPage {
+		var next PageID
+		stop := false
+		err := h.pager.View(id, func(data []byte) error {
+			s := asSlotted(data)
+			next = s.next()
+			for i := 0; i < s.nSlots(); i++ {
+				rec, err := s.record(i)
+				if errors.Is(err, ErrDeadSlot) {
+					continue
+				}
+				if err != nil {
+					return err
+				}
+				more, err := fn(RID{Page: id, Slot: uint16(i)}, rec)
+				if err != nil {
+					return err
+				}
+				if !more {
+					stop = true
+					return nil
+				}
+			}
+			return nil
+		})
+		if err != nil || stop {
+			return err
+		}
+		id = next
+	}
+	return nil
+}
+
+// Pages counts the chain length.
+func (h *Heap) Pages() (int, error) {
+	count := 0
+	id := h.head
+	for id != invalidPage {
+		var next PageID
+		if err := h.pager.View(id, func(data []byte) error {
+			next = asSlotted(data).next()
+			return nil
+		}); err != nil {
+			return 0, err
+		}
+		count++
+		id = next
+	}
+	return count, nil
+}

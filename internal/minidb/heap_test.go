@@ -1,0 +1,248 @@
+package minidb
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func newTestHeap(t *testing.T, pageSize int) (*Heap, *Pager) {
+	t.Helper()
+	store := memStore(t, pageSize, 2048)
+	p, err := NewPager(store, PagerConfig{Capacity: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHeap(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, p
+}
+
+func TestHeapInsertGet(t *testing.T) {
+	h, _ := newTestHeap(t, 512)
+	recs := map[string]RID{}
+	for i := 0; i < 50; i++ {
+		rec := []byte(fmt.Sprintf("record number %d with some padding", i))
+		rid, err := h.Insert(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs[string(rec)] = rid
+	}
+	for rec, rid := range recs {
+		got, err := h.Get(rid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != rec {
+			t.Errorf("rid %v = %q, want %q", rid, got, rec)
+		}
+	}
+	// The heap chained across multiple pages.
+	if pages, err := h.Pages(); err != nil || pages < 2 {
+		t.Errorf("Pages = %d,%v; want >= 2", pages, err)
+	}
+}
+
+func TestHeapUpdateInPlaceAndMove(t *testing.T) {
+	h, _ := newTestHeap(t, 256)
+	rid, err := h.Insert(bytes.Repeat([]byte{1}, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the rest of the page so a growing update must relocate.
+	for {
+		_, err := h.Insert(bytes.Repeat([]byte{2}, 50))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pages, _ := h.Pages(); pages > 1 {
+			break
+		}
+	}
+
+	// Same-size: stays put.
+	same, err := h.Update(rid, bytes.Repeat([]byte{3}, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != rid {
+		t.Error("same-size update moved the record")
+	}
+
+	// Growing beyond the page: moves.
+	big := bytes.Repeat([]byte{4}, 180)
+	moved, err := h.Update(same, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == rid {
+		t.Error("expected relocation")
+	}
+	got, err := h.Get(moved)
+	if err != nil || !bytes.Equal(got, big) {
+		t.Error("moved record content wrong")
+	}
+	// Old RID is dead.
+	if _, err := h.Get(rid); !errors.Is(err, ErrNotFound) {
+		t.Errorf("old rid read: err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestHeapDelete(t *testing.T) {
+	h, _ := newTestHeap(t, 512)
+	rid, err := h.Insert([]byte("doomed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Delete(rid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Get(rid); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v, want ErrNotFound", err)
+	}
+	if err := h.Delete(rid); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete: err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestHeapScan(t *testing.T) {
+	h, _ := newTestHeap(t, 256)
+	want := make(map[string]bool)
+	for i := 0; i < 40; i++ {
+		rec := fmt.Sprintf("row-%02d", i)
+		if _, err := h.Insert([]byte(rec)); err != nil {
+			t.Fatal(err)
+		}
+		want[rec] = true
+	}
+	seen := make(map[string]bool)
+	err := h.Scan(func(rid RID, rec []byte) (bool, error) {
+		seen[string(rec)] = true
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(want) {
+		t.Errorf("scan saw %d records, want %d", len(seen), len(want))
+	}
+
+	// Early stop.
+	count := 0
+	err = h.Scan(func(RID, []byte) (bool, error) {
+		count++
+		return count < 5, nil
+	})
+	if err != nil || count != 5 {
+		t.Errorf("early stop: count = %d err = %v", count, err)
+	}
+}
+
+func TestHeapRejectsOversizedRecord(t *testing.T) {
+	h, _ := newTestHeap(t, 256)
+	if _, err := h.Insert(make([]byte, 256)); !errors.Is(err, ErrBadRecord) {
+		t.Errorf("err = %v, want ErrBadRecord", err)
+	}
+}
+
+// TestHeapRandomVsModel drives mixed operations against a model map.
+func TestHeapRandomVsModel(t *testing.T) {
+	h, _ := newTestHeap(t, 512)
+	rng := rand.New(rand.NewSource(5))
+	model := make(map[RID][]byte)
+
+	for step := 0; step < 2000; step++ {
+		switch rng.Intn(4) {
+		case 0, 1: // insert (weighted)
+			rec := make([]byte, 1+rng.Intn(80))
+			rng.Read(rec)
+			rid, err := h.Insert(rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, dup := model[rid]; dup {
+				t.Fatalf("step %d: duplicate rid %v", step, rid)
+			}
+			model[rid] = rec
+		case 2: // update
+			rid, ok := anyRID(rng, model)
+			if !ok {
+				continue
+			}
+			rec := make([]byte, 1+rng.Intn(80))
+			rng.Read(rec)
+			newRID, err := h.Update(rid, rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if newRID != rid {
+				delete(model, rid)
+			}
+			model[newRID] = rec
+		case 3: // delete
+			rid, ok := anyRID(rng, model)
+			if !ok {
+				continue
+			}
+			if err := h.Delete(rid); err != nil {
+				t.Fatal(err)
+			}
+			delete(model, rid)
+		}
+	}
+
+	for rid, want := range model {
+		got, err := h.Get(rid)
+		if err != nil {
+			t.Fatalf("get %v: %v", rid, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("rid %v content mismatch", rid)
+		}
+	}
+	// Scan agrees with model count.
+	count := 0
+	if err := h.Scan(func(RID, []byte) (bool, error) {
+		count++
+		return true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != len(model) {
+		t.Errorf("scan count = %d, model = %d", count, len(model))
+	}
+}
+
+func anyRID(rng *rand.Rand, m map[RID][]byte) (RID, bool) {
+	if len(m) == 0 {
+		return RID{}, false
+	}
+	n := rng.Intn(len(m))
+	for k := range m {
+		if n == 0 {
+			return k, true
+		}
+		n--
+	}
+	return RID{}, false
+}
+
+func TestRIDCodec(t *testing.T) {
+	rid := RID{Page: 123456789, Slot: 4321}
+	enc := rid.Encode()
+	if len(enc) != 10 {
+		t.Fatalf("encoded RID = %d bytes, want 10", len(enc))
+	}
+	got, err := DecodeRID(enc)
+	if err != nil || got != rid {
+		t.Errorf("DecodeRID = %v,%v want %v", got, err, rid)
+	}
+	if _, err := DecodeRID([]byte{1, 2, 3}); err == nil {
+		t.Error("short RID accepted")
+	}
+}

@@ -1,0 +1,294 @@
+package minidb
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"prins/internal/block"
+)
+
+func memStore(t *testing.T, blockSize int, numBlocks uint64) block.Store {
+	t.Helper()
+	s, err := block.NewMem(blockSize, numBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPagerAllocAcquireRelease(t *testing.T) {
+	store := memStore(t, 512, 64)
+	p, err := NewPager(store, PagerConfig{Capacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pg, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.ID != 1 {
+		t.Errorf("first alloc = page %d, want 1 (0 is meta)", pg.ID)
+	}
+	copy(pg.Data, []byte("hello pager"))
+	pg.MarkDirty()
+	p.Release(pg)
+
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Data must be on the device.
+	buf := make([]byte, 512)
+	if err := store.ReadBlock(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf, []byte("hello pager")) {
+		t.Error("flushed page content wrong")
+	}
+
+	// Re-acquire from cache.
+	pg2, err := p.Acquire(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(pg2.Data, []byte("hello pager")) {
+		t.Error("cached page content wrong")
+	}
+	p.Release(pg2)
+}
+
+func TestPagerEvictionWritesBack(t *testing.T) {
+	store := memStore(t, 512, 64)
+	p, err := NewPager(store, PagerConfig{Capacity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Dirty more pages than capacity; early ones must be evicted and
+	// written back.
+	for i := 0; i < 10; i++ {
+		pg, err := p.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg.Data[0] = byte(i + 1)
+		pg.MarkDirty()
+		p.Release(pg)
+	}
+	if p.Flushes() == 0 {
+		t.Error("expected evictions to write pages back")
+	}
+	// All content readable and correct regardless of cache state.
+	for i := 0; i < 10; i++ {
+		id := PageID(i + 1)
+		if err := p.View(id, func(data []byte) error {
+			if data[0] != byte(i+1) {
+				t.Errorf("page %d content = %d, want %d", id, data[0], i+1)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPagerFreeReuse(t *testing.T) {
+	store := memStore(t, 512, 16)
+	p, err := NewPager(store, PagerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := pg.ID
+	p.Release(pg)
+	if err := p.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	pg2, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Release(pg2)
+	if pg2.ID != id {
+		t.Errorf("freed page not reused: got %d, want %d", pg2.ID, id)
+	}
+	for _, b := range pg2.Data {
+		if b != 0 {
+			t.Fatal("recycled page not zeroed")
+		}
+	}
+}
+
+func TestPagerDeviceFull(t *testing.T) {
+	store := memStore(t, 512, 4)
+	p, err := NewPager(store, PagerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Page 0 is meta, so 3 allocs fit.
+	for i := 0; i < 3; i++ {
+		pg, err := p.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Release(pg)
+	}
+	if _, err := p.Alloc(); !errors.Is(err, ErrNoSpace) {
+		t.Errorf("err = %v, want ErrNoSpace", err)
+	}
+}
+
+func TestPagerPersistenceAcrossReopen(t *testing.T) {
+	store := memStore(t, 512, 32)
+	p, err := NewPager(store, PagerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(pg.Data, []byte("persistent"))
+	pg.MarkDirty()
+	id := pg.ID
+	p.Release(pg)
+	p.SetCatalogRoot(id)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := OpenPager(store, PagerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.CatalogRoot() != id {
+		t.Errorf("CatalogRoot = %d, want %d", p2.CatalogRoot(), id)
+	}
+	if p2.PagesAllocated() != uint64(id)+1 {
+		t.Errorf("PagesAllocated = %d, want %d", p2.PagesAllocated(), id+1)
+	}
+	if err := p2.View(id, func(data []byte) error {
+		if !bytes.HasPrefix(data, []byte("persistent")) {
+			t.Error("page content lost across reopen")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Opening garbage fails.
+	raw := memStore(t, 512, 4)
+	if _, err := OpenPager(raw, PagerConfig{}); !errors.Is(err, ErrBadMeta) {
+		t.Errorf("open unformatted store: err = %v, want ErrBadMeta", err)
+	}
+}
+
+func TestPagerClosedOps(t *testing.T) {
+	store := memStore(t, 512, 8)
+	p, err := NewPager(store, PagerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Acquire(0); !errors.Is(err, ErrPagerClosed) {
+		t.Errorf("Acquire after close: %v", err)
+	}
+	if _, err := p.Alloc(); !errors.Is(err, ErrPagerClosed) {
+		t.Errorf("Alloc after close: %v", err)
+	}
+	if err := p.Flush(); !errors.Is(err, ErrPagerClosed) {
+		t.Errorf("Flush after close: %v", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Error("double close should be nil")
+	}
+}
+
+func TestPagerFlushPagesTargets(t *testing.T) {
+	store := memStore(t, 512, 16)
+	counting := block.NewCounting(store)
+	p, err := NewPager(counting, PagerConfig{Capacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := p.Alloc()
+	b, _ := p.Alloc()
+	a.Data[0] = 1
+	b.Data[0] = 2
+	a.MarkDirty()
+	b.MarkDirty()
+	aID, bID := a.ID, b.ID
+	p.Release(a)
+	p.Release(b)
+
+	before := counting.Writes()
+	if err := p.FlushPages([]PageID{aID}); err != nil {
+		t.Fatal(err)
+	}
+	if counting.Writes() != before+1 {
+		t.Errorf("FlushPages wrote %d blocks, want 1", counting.Writes()-before)
+	}
+	// Flushing a clean or uncached page is a no-op.
+	if err := p.FlushPages([]PageID{aID, bID + 100}); err != nil {
+		t.Fatal(err)
+	}
+	if counting.Writes() != before+1 {
+		t.Error("FlushPages should skip clean/unknown pages")
+	}
+}
+
+func TestPagerStats(t *testing.T) {
+	store := memStore(t, 512, 64)
+	p, err := NewPager(store, PagerConfig{Capacity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s PagerStats
+	if s = p.Stats(); s.HitRate() != 0 {
+		t.Error("fresh pager hit rate should be 0")
+	}
+
+	pg, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := pg.ID
+	p.Release(pg)
+
+	// Cached re-acquire = hit.
+	pg, err = p.Acquire(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release(pg)
+	s = p.Stats()
+	if s.Hits != 1 {
+		t.Errorf("hits = %d, want 1", s.Hits)
+	}
+
+	// Evict it by filling the pool, then re-acquire = miss.
+	for i := 0; i < 6; i++ {
+		pg, err := p.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Release(pg)
+	}
+	if _, err := p.Acquire(id); err != nil {
+		t.Fatal(err)
+	}
+	s = p.Stats()
+	if s.Misses < 1 {
+		t.Errorf("misses = %d, want >= 1", s.Misses)
+	}
+	if s.Cached == 0 || s.HitRate() <= 0 || s.HitRate() >= 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}

@@ -1,0 +1,201 @@
+package minidb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ColType is a column's value type.
+type ColType uint8
+
+// Supported column types.
+const (
+	TypeInt64 ColType = iota + 1
+	TypeFloat64
+	TypeString
+)
+
+// String returns the SQL-ish type name.
+func (t ColType) String() string {
+	switch t {
+	case TypeInt64:
+		return "INT"
+	case TypeFloat64:
+		return "FLOAT"
+	case TypeString:
+		return "VARCHAR"
+	default:
+		return fmt.Sprintf("TYPE(%d)", uint8(t))
+	}
+}
+
+// Column describes one schema column.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Schema is an ordered column list.
+type Schema []Column
+
+// ColIndex returns the index of the named column, or -1.
+func (s Schema) ColIndex(name string) int {
+	for i, c := range s {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders the schema as "name TYPE, ...".
+func (s Schema) String() string {
+	parts := make([]string, len(s))
+	for i, c := range s {
+		parts[i] = c.Name + " " + c.Type.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Value is one typed cell. Exactly one field is meaningful, selected
+// by the schema's column type.
+type Value struct {
+	I int64
+	F float64
+	S string
+}
+
+// I64 builds an int64 value.
+func I64(v int64) Value { return Value{I: v} }
+
+// F64 builds a float64 value.
+func F64(v float64) Value { return Value{F: v} }
+
+// Str builds a string value.
+func Str(v string) Value { return Value{S: v} }
+
+// Row is one tuple, positionally matching a Schema.
+type Row []Value
+
+// Row codec errors.
+var (
+	ErrRowSchema = errors.New("minidb: row does not match schema")
+	ErrRowCodec  = errors.New("minidb: corrupt row encoding")
+)
+
+// EncodeRow serializes row per schema. Layout per column: int64 and
+// float64 are 8 fixed bytes; strings are uvarint length + bytes.
+func EncodeRow(schema Schema, row Row) ([]byte, error) {
+	if len(row) != len(schema) {
+		return nil, fmt.Errorf("%w: %d values for %d columns", ErrRowSchema, len(row), len(schema))
+	}
+	size := 0
+	for i, c := range schema {
+		switch c.Type {
+		case TypeInt64, TypeFloat64:
+			size += 8
+		case TypeString:
+			size += binary.MaxVarintLen32 + len(row[i].S)
+		default:
+			return nil, fmt.Errorf("%w: column %q", ErrRowSchema, c.Name)
+		}
+	}
+	out := make([]byte, 0, size)
+	var tmp [8]byte
+	for i, c := range schema {
+		switch c.Type {
+		case TypeInt64:
+			binary.BigEndian.PutUint64(tmp[:], uint64(row[i].I))
+			out = append(out, tmp[:]...)
+		case TypeFloat64:
+			binary.BigEndian.PutUint64(tmp[:], math.Float64bits(row[i].F))
+			out = append(out, tmp[:]...)
+		case TypeString:
+			var l [binary.MaxVarintLen32]byte
+			n := binary.PutUvarint(l[:], uint64(len(row[i].S)))
+			out = append(out, l[:n]...)
+			out = append(out, row[i].S...)
+		}
+	}
+	return out, nil
+}
+
+// DecodeRow parses data per schema.
+func DecodeRow(schema Schema, data []byte) (Row, error) {
+	row := make(Row, len(schema))
+	pos := 0
+	for i, c := range schema {
+		switch c.Type {
+		case TypeInt64:
+			if pos+8 > len(data) {
+				return nil, fmt.Errorf("%w: short int64 at col %d", ErrRowCodec, i)
+			}
+			row[i].I = int64(binary.BigEndian.Uint64(data[pos:]))
+			pos += 8
+		case TypeFloat64:
+			if pos+8 > len(data) {
+				return nil, fmt.Errorf("%w: short float64 at col %d", ErrRowCodec, i)
+			}
+			row[i].F = math.Float64frombits(binary.BigEndian.Uint64(data[pos:]))
+			pos += 8
+		case TypeString:
+			l, n := binary.Uvarint(data[pos:])
+			if n <= 0 || uint64(len(data)-pos-n) < l {
+				return nil, fmt.Errorf("%w: bad string at col %d", ErrRowCodec, i)
+			}
+			pos += n
+			row[i].S = string(data[pos : pos+int(l)])
+			pos += int(l)
+		default:
+			return nil, fmt.Errorf("%w: column %q", ErrRowSchema, c.Name)
+		}
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrRowCodec, len(data)-pos)
+	}
+	return row, nil
+}
+
+// Key encoding: keys are compared bytewise by the B+tree, so encoders
+// must be order-preserving per field. Integers use big-endian with the
+// sign bit flipped; floats use the IEEE total-order trick; strings are
+// appended raw and therefore only safe as the FINAL field of a
+// composite key (equality works regardless).
+
+// KeyInt64 appends an order-preserving encoding of v to key.
+func KeyInt64(key []byte, v int64) []byte {
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], uint64(v)^(1<<63))
+	return append(key, tmp[:]...)
+}
+
+// KeyFloat64 appends an order-preserving encoding of v to key.
+func KeyFloat64(key []byte, v float64) []byte {
+	bits := math.Float64bits(v)
+	if bits&(1<<63) != 0 {
+		bits = ^bits
+	} else {
+		bits |= 1 << 63
+	}
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], bits)
+	return append(key, tmp[:]...)
+}
+
+// KeyString appends s raw; order-preserving only as the final field.
+func KeyString(key []byte, s string) []byte {
+	return append(key, s...)
+}
+
+// Key builds a composite key from int64 fields, the common case for
+// the TPC-C/TPC-W schemas whose keys are all integers.
+func Key(fields ...int64) []byte {
+	key := make([]byte, 0, 8*len(fields))
+	for _, f := range fields {
+		key = KeyInt64(key, f)
+	}
+	return key
+}

@@ -1,0 +1,146 @@
+package minidb
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+var testSchema = Schema{
+	{Name: "id", Type: TypeInt64},
+	{Name: "balance", Type: TypeFloat64},
+	{Name: "name", Type: TypeString},
+	{Name: "note", Type: TypeString},
+}
+
+func TestRowRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		row  Row
+	}{
+		{name: "simple", row: Row{I64(7), F64(3.14), Str("alice"), Str("hello world")}},
+		{name: "zeros", row: Row{I64(0), F64(0), Str(""), Str("")}},
+		{name: "negatives", row: Row{I64(-99), F64(-1e300), Str("x"), Str("y")}},
+		{name: "unicode", row: Row{I64(1), F64(2), Str("héllo 世界"), Str("")}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			enc, err := EncodeRow(testSchema, tt.row)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := DecodeRow(testSchema, enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, tt.row) {
+				t.Errorf("round trip: got %+v, want %+v", got, tt.row)
+			}
+		})
+	}
+}
+
+func TestRowRoundTripQuick(t *testing.T) {
+	f := func(id int64, bal float64, name, note string) bool {
+		if math.IsNaN(bal) {
+			return true // NaN != NaN under DeepEqual; skip
+		}
+		row := Row{I64(id), F64(bal), Str(name), Str(note)}
+		enc, err := EncodeRow(testSchema, row)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeRow(testSchema, enc)
+		return err == nil && reflect.DeepEqual(got, row)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowSchemaErrors(t *testing.T) {
+	if _, err := EncodeRow(testSchema, Row{I64(1)}); err == nil {
+		t.Error("short row accepted")
+	}
+	enc, err := EncodeRow(testSchema, Row{I64(1), F64(2), Str("a"), Str("b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeRow(testSchema, enc[:5]); err == nil {
+		t.Error("truncated row accepted")
+	}
+	if _, err := DecodeRow(testSchema, append(enc, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestSchemaHelpers(t *testing.T) {
+	if testSchema.ColIndex("name") != 2 || testSchema.ColIndex("nope") != -1 {
+		t.Error("ColIndex wrong")
+	}
+	if s := testSchema.String(); s == "" {
+		t.Error("schema string empty")
+	}
+	if TypeInt64.String() != "INT" || TypeString.String() != "VARCHAR" || ColType(9).String() == "" {
+		t.Error("type strings wrong")
+	}
+}
+
+// TestKeyInt64OrderPreserving: bytewise comparison of encoded keys
+// must match numeric ordering, including negatives.
+func TestKeyInt64OrderPreserving(t *testing.T) {
+	f := func(a, b int64) bool {
+		ka, kb := Key(a), Key(b)
+		cmp := bytes.Compare(ka, kb)
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyFloat64OrderPreserving(t *testing.T) {
+	values := []float64{math.Inf(-1), -1e308, -3.5, -0.0, 0.0, 1e-9, 2.5, 1e308, math.Inf(1)}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	var keys [][]byte
+	for _, v := range values {
+		keys = append(keys, KeyFloat64(nil, v))
+	}
+	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 })
+	for i, v := range sorted {
+		want := KeyFloat64(nil, v)
+		if !bytes.Equal(keys[i], want) {
+			t.Errorf("float key order wrong at %d (%v)", i, v)
+		}
+	}
+}
+
+func TestCompositeKeyOrdering(t *testing.T) {
+	// (1,5) < (1,6) < (2,0).
+	k15, k16, k20 := Key(1, 5), Key(1, 6), Key(2, 0)
+	if !(bytes.Compare(k15, k16) < 0 && bytes.Compare(k16, k20) < 0) {
+		t.Error("composite key ordering broken")
+	}
+	// Prefix property: Key(1) is a prefix of Key(1, x).
+	if !bytes.HasPrefix(k15, Key(1)) {
+		t.Error("prefix property broken")
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	k := KeyString(Key(3), "SMITH")
+	if !bytes.HasPrefix(k, Key(3)) || !bytes.HasSuffix(k, []byte("SMITH")) {
+		t.Error("string key composition wrong")
+	}
+}

@@ -1,0 +1,259 @@
+package minidb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Slotted-page layout, the classic database heap page:
+//
+//	header (20 bytes):
+//	  0  type      u8   page type tag
+//	  1  flags     u8
+//	  2  nslots    u16  slot directory entries (including dead)
+//	  4  freeStart u32  first byte of the free hole
+//	  8  freeEnd   u32  page length (slot dir grows below it)
+//	  12 next      u64  chain pointer (heap page list)
+//
+//	records grow up from freeStart; the slot directory grows down from
+//	the page end, 8 bytes per slot: offset u32, length u32. A dead slot
+//	has offset == deadOffset. 32-bit offsets keep the format valid for
+//	the 64KB blocks of the paper's largest configuration.
+const (
+	slottedHeaderLen = 20
+	slotEntryLen     = 8
+	deadOffset       = 0xFFFFFFFF
+	maxRecordLen     = 1 << 24
+)
+
+// Page type tags stored in byte 0.
+const (
+	pageTypeFree  = 0
+	pageTypeHeap  = 1
+	pageTypeBTree = 2
+	pageTypeCat   = 3
+	pageTypeWAL   = 4
+	pageTypeRaw   = 5
+)
+
+// Slotted-page errors.
+var (
+	ErrPageFull  = errors.New("minidb: page full")
+	ErrBadSlot   = errors.New("minidb: invalid slot")
+	ErrDeadSlot  = errors.New("minidb: slot is dead")
+	ErrBadRecord = errors.New("minidb: record too large")
+)
+
+// slotted wraps a raw page buffer with slotted-page operations. It
+// does not own the buffer; mutations write through immediately.
+type slotted struct {
+	buf []byte
+}
+
+// initSlotted formats buf as an empty slotted page of the given type.
+func initSlotted(buf []byte, pageType byte) slotted {
+	for i := range buf {
+		buf[i] = 0
+	}
+	s := slotted{buf: buf}
+	buf[0] = pageType
+	s.setNSlots(0)
+	s.setFreeStart(slottedHeaderLen)
+	s.setFreeEnd(len(buf))
+	return s
+}
+
+// asSlotted views an existing formatted page.
+func asSlotted(buf []byte) slotted { return slotted{buf: buf} }
+
+func (s slotted) pageType() byte     { return s.buf[0] }
+func (s slotted) nSlots() int        { return int(binary.BigEndian.Uint16(s.buf[2:])) }
+func (s slotted) setNSlots(n int)    { binary.BigEndian.PutUint16(s.buf[2:], uint16(n)) }
+func (s slotted) freeStart() int     { return int(binary.BigEndian.Uint32(s.buf[4:])) }
+func (s slotted) setFreeStart(v int) { binary.BigEndian.PutUint32(s.buf[4:], uint32(v)) }
+func (s slotted) freeEnd() int       { return int(binary.BigEndian.Uint32(s.buf[8:])) }
+func (s slotted) setFreeEnd(v int)   { binary.BigEndian.PutUint32(s.buf[8:], uint32(v)) }
+func (s slotted) next() PageID       { return PageID(binary.BigEndian.Uint64(s.buf[12:])) }
+func (s slotted) setNext(id PageID)  { binary.BigEndian.PutUint64(s.buf[12:], uint64(id)) }
+
+func (s slotted) slotPos(i int) int { return len(s.buf) - (i+1)*slotEntryLen }
+
+func (s slotted) slot(i int) (off, length int) {
+	p := s.slotPos(i)
+	return int(binary.BigEndian.Uint32(s.buf[p:])), int(binary.BigEndian.Uint32(s.buf[p+4:]))
+}
+
+func (s slotted) setSlot(i, off, length int) {
+	p := s.slotPos(i)
+	binary.BigEndian.PutUint32(s.buf[p:], uint32(off))
+	binary.BigEndian.PutUint32(s.buf[p+4:], uint32(length))
+}
+
+// freeSpace returns the bytes available for a new record including its
+// slot entry.
+func (s slotted) freeSpace() int {
+	return s.freeEnd() - s.freeStart() - s.nSlots()*slotEntryLen
+}
+
+// insert stores rec and returns its slot number. Dead slots are
+// reused; otherwise a new slot is appended.
+func (s slotted) insert(rec []byte) (int, error) {
+	if len(rec) > maxRecordLen {
+		return 0, fmt.Errorf("%w: %d bytes", ErrBadRecord, len(rec))
+	}
+	// Find a dead slot to recycle.
+	slotIdx := -1
+	for i := 0; i < s.nSlots(); i++ {
+		if off, _ := s.slot(i); off == deadOffset {
+			slotIdx = i
+			break
+		}
+	}
+	need := len(rec)
+	if slotIdx < 0 {
+		need += slotEntryLen
+	}
+	if s.freeEnd()-s.freeStart()-s.nSlots()*slotEntryLen < need {
+		if s.compactGain() >= need {
+			s.compact()
+		} else {
+			return 0, ErrPageFull
+		}
+	}
+	off := s.freeStart()
+	copy(s.buf[off:], rec)
+	s.setFreeStart(off + len(rec))
+	if slotIdx < 0 {
+		slotIdx = s.nSlots()
+		s.setNSlots(slotIdx + 1)
+	}
+	s.setSlot(slotIdx, off, len(rec))
+	return slotIdx, nil
+}
+
+// record returns the bytes of slot i (a view into the page; copy if
+// retaining).
+func (s slotted) record(i int) ([]byte, error) {
+	if i < 0 || i >= s.nSlots() {
+		return nil, fmt.Errorf("%w: %d of %d", ErrBadSlot, i, s.nSlots())
+	}
+	off, length := s.slot(i)
+	if off == deadOffset {
+		return nil, ErrDeadSlot
+	}
+	if off+length > len(s.buf) {
+		return nil, fmt.Errorf("%w: slot %d overruns page", ErrBadSlot, i)
+	}
+	return s.buf[off : off+length], nil
+}
+
+// update replaces slot i's record. Same-size updates are in place;
+// shrinking updates leave a gap reclaimed by compaction; growing
+// updates relocate within the page if room allows, else ErrPageFull.
+func (s slotted) update(i int, rec []byte) error {
+	if i < 0 || i >= s.nSlots() {
+		return fmt.Errorf("%w: %d", ErrBadSlot, i)
+	}
+	off, length := s.slot(i)
+	if off == deadOffset {
+		return ErrDeadSlot
+	}
+	switch {
+	case len(rec) == length:
+		copy(s.buf[off:], rec)
+		return nil
+	case len(rec) < length:
+		copy(s.buf[off:], rec)
+		s.setSlot(i, off, len(rec))
+		return nil
+	default:
+		if len(rec) > maxRecordLen {
+			return fmt.Errorf("%w: %d bytes", ErrBadRecord, len(rec))
+		}
+		if s.freeEnd()-s.freeStart()-s.nSlots()*slotEntryLen < len(rec) {
+			if s.compactGainExcluding(i) >= len(rec) {
+				s.compactExcluding(i)
+			} else {
+				return ErrPageFull
+			}
+		}
+		newOff := s.freeStart()
+		copy(s.buf[newOff:], rec)
+		s.setFreeStart(newOff + len(rec))
+		s.setSlot(i, newOff, len(rec))
+		return nil
+	}
+}
+
+// del marks slot i dead; its space is reclaimed on compaction.
+func (s slotted) del(i int) error {
+	if i < 0 || i >= s.nSlots() {
+		return fmt.Errorf("%w: %d", ErrBadSlot, i)
+	}
+	if off, _ := s.slot(i); off == deadOffset {
+		return ErrDeadSlot
+	}
+	s.setSlot(i, deadOffset, 0)
+	return nil
+}
+
+// live returns the number of live (non-dead) slots.
+func (s slotted) live() int {
+	n := 0
+	for i := 0; i < s.nSlots(); i++ {
+		if off, _ := s.slot(i); off != deadOffset {
+			n++
+		}
+	}
+	return n
+}
+
+// compactGain computes how much contiguous free space compaction
+// would produce beyond the current hole.
+func (s slotted) compactGain() int { return s.compactGainExcluding(-1) }
+
+func (s slotted) compactGainExcluding(skip int) int {
+	used := 0
+	for i := 0; i < s.nSlots(); i++ {
+		if i == skip {
+			continue
+		}
+		if off, length := s.slot(i); off != deadOffset {
+			used += length
+		}
+	}
+	return s.freeEnd() - slottedHeaderLen - s.nSlots()*slotEntryLen - used
+}
+
+// compact rewrites live records contiguously from the header up.
+func (s slotted) compact() { s.compactExcluding(-1) }
+
+// compactExcluding compacts while treating slot skip as dead (used
+// before relocating that slot's record).
+func (s slotted) compactExcluding(skip int) {
+	type rec struct {
+		slot int
+		data []byte
+	}
+	var live []rec
+	for i := 0; i < s.nSlots(); i++ {
+		if i == skip {
+			continue
+		}
+		off, length := s.slot(i)
+		if off == deadOffset {
+			continue
+		}
+		cp := make([]byte, length)
+		copy(cp, s.buf[off:off+length])
+		live = append(live, rec{slot: i, data: cp})
+	}
+	pos := slottedHeaderLen
+	for _, r := range live {
+		copy(s.buf[pos:], r.data)
+		s.setSlot(r.slot, pos, len(r.data))
+		pos += len(r.data)
+	}
+	s.setFreeStart(pos)
+}

@@ -1,0 +1,294 @@
+package minidb
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestSlottedInsertGet(t *testing.T) {
+	buf := make([]byte, 512)
+	s := initSlotted(buf, pageTypeHeap)
+
+	if s.pageType() != pageTypeHeap {
+		t.Error("page type lost")
+	}
+	recs := [][]byte{
+		[]byte("alpha"),
+		[]byte("bravo charlie"),
+		{},
+		bytes.Repeat([]byte{7}, 100),
+	}
+	slots := make([]int, len(recs))
+	for i, r := range recs {
+		slot, err := s.insert(r)
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		slots[i] = slot
+	}
+	for i, r := range recs {
+		got, err := s.record(slots[i])
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(got, r) {
+			t.Errorf("record %d = %q, want %q", i, got, r)
+		}
+	}
+	if s.live() != len(recs) {
+		t.Errorf("live = %d, want %d", s.live(), len(recs))
+	}
+}
+
+func TestSlottedPageFull(t *testing.T) {
+	buf := make([]byte, 128)
+	s := initSlotted(buf, pageTypeHeap)
+	rec := bytes.Repeat([]byte{1}, 40)
+	inserted := 0
+	for {
+		if _, err := s.insert(rec); err != nil {
+			if !errors.Is(err, ErrPageFull) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			break
+		}
+		inserted++
+	}
+	// 128-byte page, 16-byte header: two 40-byte records + slots fit,
+	// a third does not.
+	if inserted != 2 {
+		t.Errorf("inserted %d records, want 2", inserted)
+	}
+}
+
+func TestSlottedDeleteAndReuse(t *testing.T) {
+	buf := make([]byte, 256)
+	s := initSlotted(buf, pageTypeHeap)
+	slot, err := s.insert([]byte("first"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.insert([]byte("second")); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.del(slot); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.record(slot); !errors.Is(err, ErrDeadSlot) {
+		t.Errorf("read dead slot: err = %v", err)
+	}
+	if err := s.del(slot); !errors.Is(err, ErrDeadSlot) {
+		t.Errorf("double delete: err = %v", err)
+	}
+	if s.live() != 1 {
+		t.Errorf("live = %d, want 1", s.live())
+	}
+
+	// New insert recycles the dead slot.
+	slot2, err := s.insert([]byte("third"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slot2 != slot {
+		t.Errorf("recycled slot = %d, want %d", slot2, slot)
+	}
+}
+
+func TestSlottedUpdate(t *testing.T) {
+	buf := make([]byte, 256)
+	s := initSlotted(buf, pageTypeHeap)
+	slot, err := s.insert(bytes.Repeat([]byte{1}, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same size: in place.
+	if err := s.update(slot, bytes.Repeat([]byte{2}, 50)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.record(slot)
+	if got[0] != 2 || len(got) != 50 {
+		t.Error("same-size update wrong")
+	}
+
+	// Shrink.
+	if err := s.update(slot, []byte("tiny")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = s.record(slot)
+	if !bytes.Equal(got, []byte("tiny")) {
+		t.Error("shrinking update wrong")
+	}
+
+	// Grow (needs relocation within page).
+	big := bytes.Repeat([]byte{9}, 120)
+	if err := s.update(slot, big); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = s.record(slot)
+	if !bytes.Equal(got, big) {
+		t.Error("growing update wrong")
+	}
+
+	// Errors.
+	if err := s.update(99, []byte("x")); !errors.Is(err, ErrBadSlot) {
+		t.Errorf("bad slot update: %v", err)
+	}
+}
+
+// TestSlottedCompaction fills a page, deletes half, and checks the
+// space is reclaimed by further inserts.
+func TestSlottedCompaction(t *testing.T) {
+	buf := make([]byte, 512)
+	s := initSlotted(buf, pageTypeHeap)
+	var slots []int
+	rec := bytes.Repeat([]byte{3}, 40)
+	for {
+		slot, err := s.insert(rec)
+		if err != nil {
+			break
+		}
+		slots = append(slots, slot)
+	}
+	for i := 0; i < len(slots); i += 2 {
+		if err := s.del(slots[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-insert as many as were deleted; compaction must make room.
+	freed := (len(slots) + 1) / 2
+	for i := 0; i < freed; i++ {
+		if _, err := s.insert(rec); err != nil {
+			t.Fatalf("insert %d after deletes: %v", i, err)
+		}
+	}
+	// Survivors intact.
+	for i := 1; i < len(slots); i += 2 {
+		got, err := s.record(slots[i])
+		if err != nil || !bytes.Equal(got, rec) {
+			t.Fatalf("survivor slot %d damaged: %v", slots[i], err)
+		}
+	}
+}
+
+// TestSlottedRandomOpsVsModel property-tests the page against a map
+// model under random insert/update/delete.
+func TestSlottedRandomOpsVsModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	buf := make([]byte, 1024)
+	s := initSlotted(buf, pageTypeHeap)
+	model := make(map[int][]byte)
+
+	randRec := func() []byte {
+		r := make([]byte, 1+rng.Intn(60))
+		rng.Read(r)
+		return r
+	}
+
+	for step := 0; step < 3000; step++ {
+		switch rng.Intn(3) {
+		case 0: // insert
+			rec := randRec()
+			slot, err := s.insert(rec)
+			if errors.Is(err, ErrPageFull) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("step %d insert: %v", step, err)
+			}
+			if _, exists := model[slot]; exists {
+				t.Fatalf("step %d: insert returned live slot %d", step, slot)
+			}
+			model[slot] = rec
+		case 1: // update random live slot
+			slot, ok := anyKey(rng, model)
+			if !ok {
+				continue
+			}
+			rec := randRec()
+			err := s.update(slot, rec)
+			if errors.Is(err, ErrPageFull) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("step %d update: %v", step, err)
+			}
+			model[slot] = rec
+		case 2: // delete random live slot
+			slot, ok := anyKey(rng, model)
+			if !ok {
+				continue
+			}
+			if err := s.del(slot); err != nil {
+				t.Fatalf("step %d delete: %v", step, err)
+			}
+			delete(model, slot)
+		}
+
+		// Invariants every step are too slow; check periodically.
+		if step%250 == 0 {
+			checkModel(t, s, model)
+		}
+	}
+	checkModel(t, s, model)
+}
+
+func anyKey(rng *rand.Rand, m map[int][]byte) (int, bool) {
+	if len(m) == 0 {
+		return 0, false
+	}
+	n := rng.Intn(len(m))
+	for k := range m {
+		if n == 0 {
+			return k, true
+		}
+		n--
+	}
+	return 0, false
+}
+
+func checkModel(t *testing.T, s slotted, model map[int][]byte) {
+	t.Helper()
+	if s.live() != len(model) {
+		t.Fatalf("live = %d, model = %d", s.live(), len(model))
+	}
+	for slot, want := range model {
+		got, err := s.record(slot)
+		if err != nil {
+			t.Fatalf("slot %d: %v", slot, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("slot %d content mismatch", slot)
+		}
+	}
+}
+
+func TestSlottedRejectsHugeRecord(t *testing.T) {
+	buf := make([]byte, 512)
+	s := initSlotted(buf, pageTypeHeap)
+	if _, err := s.insert(make([]byte, maxRecordLen+1)); !errors.Is(err, ErrBadRecord) {
+		t.Errorf("err = %v, want ErrBadRecord", err)
+	}
+}
+
+func TestSlottedChainPointer(t *testing.T) {
+	buf := make([]byte, 128)
+	s := initSlotted(buf, pageTypeHeap)
+	if s.next() != invalidPage {
+		t.Error("fresh page should have nil next")
+	}
+	s.setNext(42)
+	if s.next() != 42 {
+		t.Error("next pointer lost")
+	}
+	// Survives round trip through raw bytes.
+	s2 := asSlotted(buf)
+	if s2.next() != 42 {
+		t.Error("next pointer lost in raw view")
+	}
+	_ = fmt.Sprintf("%v", s2.pageType())
+}

@@ -1,0 +1,331 @@
+package minidb
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Table is one relation: a heap of tuples, a primary-key B+tree
+// mapping PK -> RID, and secondary B+trees mapping (index cols, PK)
+// -> RID.
+type Table struct {
+	db        *DB
+	spec      TableSpec
+	heap      *Heap
+	pk        *BTree
+	secondary map[string]*BTree
+
+	pkCols  []int // resolved PK column indexes
+	secCols map[string][]int
+}
+
+// Log-op tags recorded in WAL entries.
+const (
+	opInsert byte = 1
+	opUpdate byte = 2
+	opDelete byte = 3
+)
+
+// resolveColumns caches column index lookups for the PK and indexes.
+func (t *Table) resolveColumns() error {
+	t.pkCols = make([]int, len(t.spec.PK))
+	for i, name := range t.spec.PK {
+		idx := t.spec.Schema.ColIndex(name)
+		if idx < 0 {
+			return fmt.Errorf("%w: pk column %q", ErrBadSpec, name)
+		}
+		t.pkCols[i] = idx
+	}
+	t.secCols = make(map[string][]int, len(t.spec.Secondary))
+	for _, is := range t.spec.Secondary {
+		cols := make([]int, len(is.Cols))
+		for i, name := range is.Cols {
+			idx := t.spec.Schema.ColIndex(name)
+			if idx < 0 {
+				return fmt.Errorf("%w: index column %q", ErrBadSpec, name)
+			}
+			cols[i] = idx
+		}
+		t.secCols[is.Name] = cols
+	}
+	return nil
+}
+
+// Spec returns the table's declaration.
+func (t *Table) Spec() TableSpec { return t.spec }
+
+// Schema returns the table's schema.
+func (t *Table) Schema() Schema { return t.spec.Schema }
+
+// PrimaryKey computes the encoded PK for a row.
+func (t *Table) PrimaryKey(row Row) ([]byte, error) {
+	if len(row) != len(t.spec.Schema) {
+		return nil, fmt.Errorf("%w: %d values", ErrRowSchema, len(row))
+	}
+	return t.encodeKey(t.pkCols, row), nil
+}
+
+// encodeKey builds a composite key from the given column indexes.
+func (t *Table) encodeKey(cols []int, row Row) []byte {
+	var key []byte
+	for _, c := range cols {
+		switch t.spec.Schema[c].Type {
+		case TypeInt64:
+			key = KeyInt64(key, row[c].I)
+		case TypeFloat64:
+			key = KeyFloat64(key, row[c].F)
+		case TypeString:
+			key = KeyString(key, row[c].S)
+		}
+	}
+	return key
+}
+
+// secondaryKey is the index key plus the PK suffix for uniqueness.
+func (t *Table) secondaryKey(name string, row Row, pkKey []byte) []byte {
+	key := t.encodeKey(t.secCols[name], row)
+	return append(key, pkKey...)
+}
+
+// Insert adds a row; the PK must not exist.
+func (t *Table) Insert(txn *Txn, row Row) error {
+	pkKey, err := t.PrimaryKey(row)
+	if err != nil {
+		return err
+	}
+	if _, found, err := t.pk.Get(pkKey); err != nil {
+		return err
+	} else if found {
+		return fmt.Errorf("%w: table %q", ErrDuplicateKey, t.spec.Name)
+	}
+	rec, err := EncodeRow(t.spec.Schema, row)
+	if err != nil {
+		return err
+	}
+	rid, err := t.heap.Insert(rec)
+	if err != nil {
+		return err
+	}
+	if err := t.pk.Put(pkKey, rid.Encode()); err != nil {
+		return err
+	}
+	for name := range t.secondary {
+		if err := t.secondary[name].Put(t.secondaryKey(name, row, pkKey), rid.Encode()); err != nil {
+			return err
+		}
+	}
+	if txn != nil {
+		txn.logOp(opInsert, t.spec.Name, pkKey, rec)
+	}
+	return nil
+}
+
+// Get fetches the row with the given encoded PK.
+func (t *Table) Get(pkKey []byte) (Row, error) {
+	ridBytes, found, err := t.pk.Get(pkKey)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, fmt.Errorf("%w: table %q", ErrNotFound, t.spec.Name)
+	}
+	rid, err := DecodeRID(ridBytes)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := t.heap.Get(rid)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeRow(t.spec.Schema, rec)
+}
+
+// Update applies fn to the row with the given PK and stores the
+// result. fn must not change PK columns (enforced).
+func (t *Table) Update(txn *Txn, pkKey []byte, fn func(Row) (Row, error)) error {
+	ridBytes, found, err := t.pk.Get(pkKey)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("%w: table %q", ErrNotFound, t.spec.Name)
+	}
+	rid, err := DecodeRID(ridBytes)
+	if err != nil {
+		return err
+	}
+	rec, err := t.heap.Get(rid)
+	if err != nil {
+		return err
+	}
+	oldRow, err := DecodeRow(t.spec.Schema, rec)
+	if err != nil {
+		return err
+	}
+
+	// Hand fn its own copy: callers routinely mutate the row in place,
+	// and the index-maintenance diff below needs the pre-image.
+	workRow := make(Row, len(oldRow))
+	copy(workRow, oldRow)
+	newRow, err := fn(workRow)
+	if err != nil {
+		return err
+	}
+	newKey, err := t.PrimaryKey(newRow)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(newKey, pkKey) {
+		return fmt.Errorf("%w: update changed primary key", ErrRowSchema)
+	}
+	newRec, err := EncodeRow(t.spec.Schema, newRow)
+	if err != nil {
+		return err
+	}
+
+	newRID, err := t.heap.Update(rid, newRec)
+	if err != nil {
+		return err
+	}
+	moved := newRID != rid
+	if moved {
+		if err := t.pk.Put(pkKey, newRID.Encode()); err != nil {
+			return err
+		}
+	}
+	// Fix secondary entries whose key changed (or whose RID moved).
+	for name := range t.secondary {
+		oldSec := t.secondaryKey(name, oldRow, pkKey)
+		newSec := t.secondaryKey(name, newRow, pkKey)
+		if bytes.Equal(oldSec, newSec) {
+			if moved {
+				if err := t.secondary[name].Put(newSec, newRID.Encode()); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if _, err := t.secondary[name].Delete(oldSec); err != nil {
+			return err
+		}
+		if err := t.secondary[name].Put(newSec, newRID.Encode()); err != nil {
+			return err
+		}
+	}
+	if txn != nil {
+		txn.logOp(opUpdate, t.spec.Name, pkKey, newRec)
+	}
+	return nil
+}
+
+// Delete removes the row with the given PK.
+func (t *Table) Delete(txn *Txn, pkKey []byte) error {
+	ridBytes, found, err := t.pk.Get(pkKey)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("%w: table %q", ErrNotFound, t.spec.Name)
+	}
+	rid, err := DecodeRID(ridBytes)
+	if err != nil {
+		return err
+	}
+	rec, err := t.heap.Get(rid)
+	if err != nil {
+		return err
+	}
+	row, err := DecodeRow(t.spec.Schema, rec)
+	if err != nil {
+		return err
+	}
+
+	if err := t.heap.Delete(rid); err != nil {
+		return err
+	}
+	if _, err := t.pk.Delete(pkKey); err != nil {
+		return err
+	}
+	for name := range t.secondary {
+		if _, err := t.secondary[name].Delete(t.secondaryKey(name, row, pkKey)); err != nil {
+			return err
+		}
+	}
+	if txn != nil {
+		txn.logOp(opDelete, t.spec.Name, pkKey, nil)
+	}
+	return nil
+}
+
+// ScanRange iterates rows with start <= PK < end in key order (nil end
+// means to the last key). fn returns false to stop.
+func (t *Table) ScanRange(start, end []byte, fn func(Row) (bool, error)) error {
+	it := t.pk.Seek(start)
+	for it.Valid() {
+		if end != nil && bytes.Compare(it.Key(), end) >= 0 {
+			break
+		}
+		rid, err := DecodeRID(it.Value())
+		if err != nil {
+			return err
+		}
+		rec, err := t.heap.Get(rid)
+		if err != nil {
+			return err
+		}
+		row, err := DecodeRow(t.spec.Schema, rec)
+		if err != nil {
+			return err
+		}
+		more, err := fn(row)
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+		it.Next()
+	}
+	return it.Err()
+}
+
+// ScanIndex iterates rows whose secondary-index key starts with
+// prefix, in index order.
+func (t *Table) ScanIndex(name string, prefix []byte, fn func(Row) (bool, error)) error {
+	tree, ok := t.secondary[name]
+	if !ok {
+		return fmt.Errorf("%w: %q on table %q", ErrNoIndex, name, t.spec.Name)
+	}
+	it := tree.Seek(prefix)
+	for it.Valid() {
+		if !bytes.HasPrefix(it.Key(), prefix) {
+			break
+		}
+		rid, err := DecodeRID(it.Value())
+		if err != nil {
+			return err
+		}
+		rec, err := t.heap.Get(rid)
+		if err != nil {
+			return err
+		}
+		row, err := DecodeRow(t.spec.Schema, rec)
+		if err != nil {
+			return err
+		}
+		more, err := fn(row)
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+		it.Next()
+	}
+	return it.Err()
+}
+
+// Count returns the number of live rows (via the PK tree).
+func (t *Table) Count() (int, error) {
+	return t.pk.Len()
+}

@@ -1,0 +1,134 @@
+package parity
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Density describes how much of a block a single write actually
+// changed, derived from its forward parity. The paper's motivating
+// observation is that real workloads land in the 5-20% band.
+type Density struct {
+	// ChangedBytes is the number of byte positions whose value differs
+	// between the old and new block images.
+	ChangedBytes int
+	// BlockBytes is the block size.
+	BlockBytes int
+}
+
+// Fraction returns the changed fraction in [0,1].
+func (d Density) Fraction() float64 {
+	if d.BlockBytes == 0 {
+		return 0
+	}
+	return float64(d.ChangedBytes) / float64(d.BlockBytes)
+}
+
+// MeasureDensity computes the change density of a forward-parity block.
+func MeasureDensity(parityBlock []byte) Density {
+	return Density{
+		ChangedBytes: NonZeroBytes(parityBlock),
+		BlockBytes:   len(parityBlock),
+	}
+}
+
+// DensityStats accumulates change-density observations across many
+// writes. It is safe for concurrent use; the replication engine records
+// one observation per replicated write.
+type DensityStats struct {
+	mu sync.Mutex
+
+	samples []float64
+	bytes   int64
+	changed int64
+}
+
+// Record adds one observation.
+func (s *DensityStats) Record(d Density) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.samples = append(s.samples, d.Fraction())
+	s.bytes += int64(d.BlockBytes)
+	s.changed += int64(d.ChangedBytes)
+}
+
+// Count returns the number of recorded observations.
+func (s *DensityStats) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.samples)
+}
+
+// Mean returns the mean changed fraction across observations, or 0 if
+// none have been recorded.
+func (s *DensityStats) Mean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.samples {
+		sum += v
+	}
+	return sum / float64(len(s.samples))
+}
+
+// WeightedMean returns total changed bytes over total block bytes,
+// which weights large blocks proportionally.
+func (s *DensityStats) WeightedMean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.bytes == 0 {
+		return 0
+	}
+	return float64(s.changed) / float64(s.bytes)
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of the changed
+// fraction, using nearest-rank on a sorted copy.
+func (s *DensityStats) Percentile(p float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.samples) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(s.samples))
+	copy(sorted, s.samples)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Histogram buckets observations into nBuckets equal-width bins over
+// [0,1] and returns the per-bin counts.
+func (s *DensityStats) Histogram(nBuckets int) []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	counts := make([]int, nBuckets)
+	for _, v := range s.samples {
+		idx := int(v * float64(nBuckets))
+		if idx >= nBuckets {
+			idx = nBuckets - 1
+		}
+		counts[idx]++
+	}
+	return counts
+}
+
+// String renders a short human-readable summary.
+func (s *DensityStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "writes=%d mean=%.1f%% p50=%.1f%% p90=%.1f%%",
+		s.Count(), s.Mean()*100, s.Percentile(50)*100, s.Percentile(90)*100)
+	return b.String()
+}

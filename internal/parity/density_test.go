@@ -1,0 +1,94 @@
+package parity
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestMeasureDensity(t *testing.T) {
+	tests := []struct {
+		name         string
+		block        []byte
+		wantChanged  int
+		wantFraction float64
+	}{
+		{name: "all zero", block: make([]byte, 100), wantChanged: 0, wantFraction: 0},
+		{name: "half", block: append(make([]byte, 50), make16(0xFF, 50)...), wantChanged: 50, wantFraction: 0.5},
+		{name: "empty", block: nil, wantChanged: 0, wantFraction: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d := MeasureDensity(tt.block)
+			if d.ChangedBytes != tt.wantChanged {
+				t.Errorf("ChangedBytes = %d, want %d", d.ChangedBytes, tt.wantChanged)
+			}
+			if math.Abs(d.Fraction()-tt.wantFraction) > 1e-12 {
+				t.Errorf("Fraction = %f, want %f", d.Fraction(), tt.wantFraction)
+			}
+		})
+	}
+}
+
+func make16(v byte, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = v
+	}
+	return b
+}
+
+func TestDensityStats(t *testing.T) {
+	var s DensityStats
+	if s.Mean() != 0 || s.WeightedMean() != 0 || s.Percentile(50) != 0 {
+		t.Error("zero-value stats should report zeros")
+	}
+
+	s.Record(Density{ChangedBytes: 10, BlockBytes: 100})  // 0.10
+	s.Record(Density{ChangedBytes: 30, BlockBytes: 100})  // 0.30
+	s.Record(Density{ChangedBytes: 100, BlockBytes: 200}) // 0.50
+
+	if s.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", s.Count())
+	}
+	if got, want := s.Mean(), 0.3; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Mean = %f, want %f", got, want)
+	}
+	// Weighted: 140 changed / 400 total.
+	if got, want := s.WeightedMean(), 0.35; math.Abs(got-want) > 1e-12 {
+		t.Errorf("WeightedMean = %f, want %f", got, want)
+	}
+	if got := s.Percentile(50); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("P50 = %f, want 0.3", got)
+	}
+	if got := s.Percentile(100); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("P100 = %f, want 0.5", got)
+	}
+
+	hist := s.Histogram(10)
+	if hist[1] != 1 || hist[3] != 1 || hist[5] != 1 {
+		t.Errorf("Histogram = %v, want single counts in bins 1, 3, 5", hist)
+	}
+
+	if s.String() == "" {
+		t.Error("String() should be non-empty")
+	}
+}
+
+func TestDensityStatsConcurrent(t *testing.T) {
+	var s DensityStats
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.Record(Density{ChangedBytes: j % 50, BlockBytes: 100})
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Count() != 800 {
+		t.Errorf("Count = %d, want 800", s.Count())
+	}
+}

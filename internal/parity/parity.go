@@ -1,0 +1,129 @@
+// Package parity implements the XOR block mathematics at the heart of
+// PRINS: the forward parity computation P' = A_new XOR A_old performed
+// at the primary on every block write (Eq. 1 of the paper), and the
+// backward parity computation A_new = P' XOR A_old performed at the
+// replica (Eq. 2). It also provides change-density statistics used to
+// validate the paper's 5-20% block-change observation, and stripe
+// parity helpers shared with the RAID substrate.
+package parity
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrLengthMismatch is returned when operands of an XOR operation have
+// different lengths. Parity is only defined block-against-block.
+var ErrLengthMismatch = errors.New("parity: operand length mismatch")
+
+const wordSize = 8
+
+// XOR computes dst = a XOR b. All three slices must have the same
+// length; dst may alias a or b. It processes 8 bytes per step on the
+// aligned middle of the block and falls back to byte operations on the
+// tail, which for power-of-two block sizes never happens.
+func XOR(dst, a, b []byte) error {
+	if len(a) != len(b) || len(dst) != len(a) {
+		return fmt.Errorf("%w: dst=%d a=%d b=%d", ErrLengthMismatch, len(dst), len(a), len(b))
+	}
+	xorWords(dst, a, b)
+	return nil
+}
+
+// XORBytes computes and returns a XOR b in a freshly allocated slice.
+func XORBytes(a, b []byte) ([]byte, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("%w: a=%d b=%d", ErrLengthMismatch, len(a), len(b))
+	}
+	dst := make([]byte, len(a))
+	xorWords(dst, a, b)
+	return dst, nil
+}
+
+// XORInPlace computes dst ^= src.
+func XORInPlace(dst, src []byte) error {
+	return XOR(dst, dst, src)
+}
+
+// xorWords is the internal kernel: 8-byte wide XOR with a byte-wise
+// tail. binary.LittleEndian.Uint64 compiles to a single load on
+// little-endian machines, so this runs at memory bandwidth.
+func xorWords(dst, a, b []byte) {
+	n := len(a)
+	i := 0
+	for ; i+wordSize <= n; i += wordSize {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(a[i:])^binary.LittleEndian.Uint64(b[i:]))
+	}
+	for ; i < n; i++ {
+		dst[i] = a[i] ^ b[i]
+	}
+}
+
+// xorBytewise is a reference kernel kept for benchmarking the word-wide
+// implementation against (DESIGN.md ablation 4) and for verifying the
+// optimized kernel in tests.
+func xorBytewise(dst, a, b []byte) {
+	for i := range a {
+		dst[i] = a[i] ^ b[i]
+	}
+}
+
+// Forward computes the forward parity P' = newData XOR oldData that
+// PRINS replicates in place of the data block (paper Eq. 1, first
+// term). The result is written into a new slice.
+func Forward(newData, oldData []byte) ([]byte, error) {
+	return XORBytes(newData, oldData)
+}
+
+// ForwardInto computes the forward parity into p, avoiding allocation
+// on the hot write path.
+func ForwardInto(p, newData, oldData []byte) error {
+	return XOR(p, newData, oldData)
+}
+
+// Backward recovers the new data from the replicated parity and the old
+// data held at the replica: A_new = P' XOR A_old (paper Eq. 2).
+func Backward(parityBlock, oldData []byte) ([]byte, error) {
+	return XORBytes(parityBlock, oldData)
+}
+
+// BackwardInto recovers the new data into dst.
+func BackwardInto(dst, parityBlock, oldData []byte) error {
+	return XOR(dst, parityBlock, oldData)
+}
+
+// IsZero reports whether every byte of p is zero, i.e. the write did
+// not change the block at all. The engine may skip replication of such
+// writes entirely.
+func IsZero(p []byte) bool {
+	n := len(p)
+	i := 0
+	var acc uint64
+	for ; i+wordSize <= n; i += wordSize {
+		acc |= binary.LittleEndian.Uint64(p[i:])
+	}
+	if acc != 0 {
+		return false
+	}
+	for ; i < n; i++ {
+		if p[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NonZeroBytes counts the bytes of p that are non-zero. For a parity
+// block this is the number of byte positions at which the write changed
+// the block.
+func NonZeroBytes(p []byte) int {
+	count := 0
+	for _, v := range p {
+		if v != 0 {
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,251 @@
+package parity
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestXORBasic(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []byte
+		want []byte
+	}{
+		{name: "empty", a: nil, b: nil, want: []byte{}},
+		{name: "single", a: []byte{0xFF}, b: []byte{0x0F}, want: []byte{0xF0}},
+		{name: "identity", a: []byte{1, 2, 3}, b: []byte{0, 0, 0}, want: []byte{1, 2, 3}},
+		{name: "self cancels", a: []byte{9, 9, 9}, b: []byte{9, 9, 9}, want: []byte{0, 0, 0}},
+		{
+			name: "crosses word boundary",
+			a:    []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+			b:    []byte{10, 9, 8, 7, 6, 5, 4, 3, 2, 1},
+			want: []byte{11, 11, 11, 3, 3, 3, 3, 11, 11, 11},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := XORBytes(tt.a, tt.b)
+			if err != nil {
+				t.Fatalf("XORBytes: %v", err)
+			}
+			if !bytes.Equal(got, tt.want) {
+				t.Errorf("XORBytes(%v,%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestXORLengthMismatch(t *testing.T) {
+	if _, err := XORBytes([]byte{1}, []byte{1, 2}); err == nil {
+		t.Error("XORBytes with mismatched lengths: want error, got nil")
+	}
+	if err := XOR(make([]byte, 3), []byte{1, 2}, []byte{1, 2}); err == nil {
+		t.Error("XOR with short dst: want error, got nil")
+	}
+}
+
+func TestXORAliasing(t *testing.T) {
+	a := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	b := []byte{9, 8, 7, 6, 5, 4, 3, 2, 1}
+	want, _ := XORBytes(a, b)
+
+	aCopy := append([]byte(nil), a...)
+	if err := XOR(aCopy, aCopy, b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aCopy, want) {
+		t.Errorf("dst aliasing a: got %v, want %v", aCopy, want)
+	}
+
+	bCopy := append([]byte(nil), b...)
+	if err := XOR(bCopy, a, bCopy); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bCopy, want) {
+		t.Errorf("dst aliasing b: got %v, want %v", bCopy, want)
+	}
+}
+
+func TestKernelsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 7, 8, 9, 63, 64, 65, 4096, 4099} {
+		a := make([]byte, n)
+		b := make([]byte, n)
+		rng.Read(a)
+		rng.Read(b)
+		fast := make([]byte, n)
+		slow := make([]byte, n)
+		xorWords(fast, a, b)
+		xorBytewise(slow, a, b)
+		if !bytes.Equal(fast, slow) {
+			t.Errorf("kernels disagree at n=%d", n)
+		}
+	}
+}
+
+// TestForwardBackwardRoundTrip is the central PRINS invariant: the
+// replica recovers exactly the primary's new block from the shipped
+// parity and its own old copy.
+func TestForwardBackwardRoundTrip(t *testing.T) {
+	f := func(oldData, newData []byte) bool {
+		if len(oldData) > len(newData) {
+			oldData, newData = newData, oldData
+		}
+		newData = newData[:len(oldData)]
+		p, err := Forward(newData, oldData)
+		if err != nil {
+			return false
+		}
+		got, err := Backward(p, oldData)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, newData)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestXORProperties checks the algebraic laws the protocol relies on.
+func TestXORProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100}
+
+	commutative := func(a, b [32]byte) bool {
+		x, _ := XORBytes(a[:], b[:])
+		y, _ := XORBytes(b[:], a[:])
+		return bytes.Equal(x, y)
+	}
+	if err := quick.Check(commutative, cfg); err != nil {
+		t.Errorf("commutativity: %v", err)
+	}
+
+	associative := func(a, b, c [32]byte) bool {
+		ab, _ := XORBytes(a[:], b[:])
+		abc1, _ := XORBytes(ab, c[:])
+		bc, _ := XORBytes(b[:], c[:])
+		abc2, _ := XORBytes(a[:], bc)
+		return bytes.Equal(abc1, abc2)
+	}
+	if err := quick.Check(associative, cfg); err != nil {
+		t.Errorf("associativity: %v", err)
+	}
+
+	selfInverse := func(a [32]byte) bool {
+		x, _ := XORBytes(a[:], a[:])
+		return IsZero(x)
+	}
+	if err := quick.Check(selfInverse, cfg); err != nil {
+		t.Errorf("self-inverse: %v", err)
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []byte
+		want bool
+	}{
+		{name: "empty", in: nil, want: true},
+		{name: "zeros short", in: make([]byte, 5), want: true},
+		{name: "zeros long", in: make([]byte, 4096), want: true},
+		{name: "bit in head", in: append([]byte{1}, make([]byte, 100)...), want: false},
+		{name: "bit in tail", in: append(make([]byte, 100), 1), want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := IsZero(tt.in); got != tt.want {
+				t.Errorf("IsZero = %v, want %v", got, tt.want)
+			}
+		})
+	}
+
+	// A single non-zero byte at any position must be detected.
+	buf := make([]byte, 129)
+	for i := range buf {
+		buf[i] = 0xA5
+		if IsZero(buf) {
+			t.Fatalf("IsZero missed byte at offset %d", i)
+		}
+		buf[i] = 0
+	}
+}
+
+func TestNonZeroBytes(t *testing.T) {
+	if got := NonZeroBytes([]byte{0, 1, 0, 2, 0}); got != 2 {
+		t.Errorf("NonZeroBytes = %d, want 2", got)
+	}
+	if got := NonZeroBytes(nil); got != 0 {
+		t.Errorf("NonZeroBytes(nil) = %d, want 0", got)
+	}
+}
+
+func TestStripeParity(t *testing.T) {
+	if _, err := StripeParity(); err == nil {
+		t.Error("StripeParity(): want error for empty stripe")
+	}
+
+	a := []byte{1, 2, 3, 4}
+	b := []byte{4, 3, 2, 1}
+	c := []byte{5, 5, 5, 5}
+	p, err := StripeParity(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{1 ^ 4 ^ 5, 2 ^ 3 ^ 5, 3 ^ 2 ^ 5, 4 ^ 1 ^ 5}
+	if !bytes.Equal(p, want) {
+		t.Errorf("StripeParity = %v, want %v", p, want)
+	}
+
+	// Reconstruction: drop b, rebuild it from parity and survivors.
+	rebuilt, err := ReconstructBlock(p, a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rebuilt, b) {
+		t.Errorf("ReconstructBlock = %v, want %v", rebuilt, b)
+	}
+}
+
+// TestRAIDSmallWriteUpdate verifies that the small-write parity update
+// (the computation PRINS piggybacks on) leaves the stripe consistent.
+func TestRAIDSmallWriteUpdate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	blocks := make([][]byte, 4)
+	for i := range blocks {
+		blocks[i] = make([]byte, 64)
+		rng.Read(blocks[i])
+	}
+	p, err := StripeParity(blocks...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Overwrite block 2.
+	newBlock := make([]byte, 64)
+	rng.Read(newBlock)
+	fp, err := Forward(newBlock, blocks[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := UpdateParity(p, fp); err != nil {
+		t.Fatal(err)
+	}
+	blocks[2] = newBlock
+
+	wantP, err := StripeParity(blocks...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p, wantP) {
+		t.Error("incremental parity update diverged from full-stripe recompute")
+	}
+}
+
+func TestStripeParityLengthMismatch(t *testing.T) {
+	if _, err := StripeParity([]byte{1, 2}, []byte{1}); err == nil {
+		t.Error("StripeParity with ragged blocks: want error")
+	}
+}

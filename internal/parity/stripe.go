@@ -1,0 +1,41 @@
+package parity
+
+import "fmt"
+
+// StripeParity computes the parity block of a full stripe: the XOR of
+// every data block. Used by RAID for full-stripe writes and rebuilds.
+// All blocks must share one length. Returns an error on an empty
+// stripe or mismatched lengths.
+func StripeParity(blocks ...[]byte) ([]byte, error) {
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("parity: empty stripe")
+	}
+	p := make([]byte, len(blocks[0]))
+	copy(p, blocks[0])
+	for _, b := range blocks[1:] {
+		if err := XORInPlace(p, b); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// UpdateParity applies the RAID small-write parity update
+//
+//	P_new = A_new XOR A_old XOR P_old        (paper Eq. 1)
+//
+// into pOld in place, given the forward parity fp = A_new XOR A_old.
+// This is exactly the step PRINS piggybacks on: the fp operand is the
+// block it replicates.
+func UpdateParity(pOld, fp []byte) error {
+	return XORInPlace(pOld, fp)
+}
+
+// ReconstructBlock rebuilds a lost data block of a stripe from the
+// parity block and the surviving data blocks: the XOR of all of them.
+func ReconstructBlock(parityBlock []byte, survivors ...[]byte) ([]byte, error) {
+	all := make([][]byte, 0, len(survivors)+1)
+	all = append(all, parityBlock)
+	all = append(all, survivors...)
+	return StripeParity(all...)
+}

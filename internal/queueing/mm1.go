@@ -1,0 +1,76 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// MM1 models a single FIFO router as an M/M/1 queue, used for the
+// paper's Figure 10: router queueing time as the write request rate
+// rises until saturation.
+type MM1 struct {
+	// Service is the mean service time per request (1/mu).
+	Service time.Duration
+}
+
+// Utilization returns rho = lambda * S for arrival rate lambda
+// (requests per second).
+func (q MM1) Utilization(lambda float64) float64 {
+	return lambda * q.Service.Seconds()
+}
+
+// Saturated reports whether the router is at or beyond saturation for
+// the given arrival rate.
+func (q MM1) Saturated(lambda float64) bool {
+	return q.Utilization(lambda) >= 1
+}
+
+// SaturationRate returns the arrival rate at which the router
+// saturates (mu = 1/S).
+func (q MM1) SaturationRate() float64 {
+	s := q.Service.Seconds()
+	if s <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / s
+}
+
+// WaitTime returns the mean time spent queueing (excluding service),
+// Wq = rho/(mu - lambda) = rho*S/(1-rho). Returns +Inf at or beyond
+// saturation.
+func (q MM1) WaitTime(lambda float64) (time.Duration, error) {
+	if lambda < 0 {
+		return 0, fmt.Errorf("queueing: negative arrival rate %f", lambda)
+	}
+	rho := q.Utilization(lambda)
+	if rho >= 1 {
+		return time.Duration(math.MaxInt64), nil
+	}
+	wq := rho * q.Service.Seconds() / (1 - rho)
+	return time.Duration(wq * float64(time.Second)), nil
+}
+
+// ResponseTime returns the mean sojourn time W = S/(1-rho): queueing
+// plus service. Returns the maximum duration at saturation.
+func (q MM1) ResponseTime(lambda float64) (time.Duration, error) {
+	if lambda < 0 {
+		return 0, fmt.Errorf("queueing: negative arrival rate %f", lambda)
+	}
+	rho := q.Utilization(lambda)
+	if rho >= 1 {
+		return time.Duration(math.MaxInt64), nil
+	}
+	w := q.Service.Seconds() / (1 - rho)
+	return time.Duration(w * float64(time.Second)), nil
+}
+
+// QueueLength returns the mean number in system L = rho/(1-rho), or
+// +Inf at saturation.
+func (q MM1) QueueLength(lambda float64) float64 {
+	rho := q.Utilization(lambda)
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return rho / (1 - rho)
+}

@@ -1,0 +1,244 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNetworkValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		net     Network
+		wantErr bool
+	}{
+		{name: "ok", net: Network{ThinkTime: time.Second, RouterService: UniformRouters(time.Millisecond, 2)}},
+		{name: "no routers", net: Network{ThinkTime: time.Second}, wantErr: true},
+		{name: "negative think", net: Network{ThinkTime: -1, RouterService: UniformRouters(time.Millisecond, 1)}, wantErr: true},
+		{name: "zero service", net: Network{RouterService: []time.Duration{0}}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.net.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestSolveRejectsBadInput(t *testing.T) {
+	n := Network{ThinkTime: time.Second, RouterService: UniformRouters(time.Millisecond, 1)}
+	if _, err := Solve(n, 0); err == nil {
+		t.Error("population 0: want error")
+	}
+	if _, err := Solve(Network{}, 5); err == nil {
+		t.Error("invalid network: want error")
+	}
+}
+
+// TestSolveSingleCustomer: with N=1 there is no queueing, so response
+// time is exactly the sum of service times.
+func TestSolveSingleCustomer(t *testing.T) {
+	n := Network{
+		ThinkTime:     100 * time.Millisecond,
+		RouterService: UniformRouters(10*time.Millisecond, 2),
+	}
+	r, err := Solve(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ResponseTime != 20*time.Millisecond {
+		t.Errorf("ResponseTime = %v, want 20ms", r.ResponseTime)
+	}
+	// X = 1 / (Z + R) = 1/0.12.
+	if !almostEqual(r.Throughput, 1/0.12, 1e-9) {
+		t.Errorf("Throughput = %f, want %f", r.Throughput, 1/0.12)
+	}
+}
+
+// TestLittlesLaw: N = X * (Z + R) must hold exactly for exact MVA.
+func TestLittlesLaw(t *testing.T) {
+	n := Network{
+		ThinkTime:     100 * time.Millisecond,
+		RouterService: []time.Duration{57 * time.Millisecond, 57 * time.Millisecond},
+	}
+	for _, pop := range []int{1, 5, 20, 100} {
+		r, err := Solve(n, pop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := n.ThinkTime.Seconds() + r.ResponseTime.Seconds()
+		if got := r.Throughput * total; !almostEqual(got, float64(pop), 1e-6) {
+			t.Errorf("pop %d: X*(Z+R) = %f, want %d", pop, got, pop)
+		}
+		// Queue lengths are X*R_k (Little per centre).
+		for k, q := range r.QueueLengths {
+			want := r.Throughput * r.RouterResidence[k].Seconds()
+			if !almostEqual(q, want, 1e-6) {
+				t.Errorf("pop %d router %d: Q = %f, want %f", pop, k, q, want)
+			}
+		}
+	}
+}
+
+// TestAsymptoticBounds: as N grows, throughput approaches the
+// bottleneck bound 1/S_max and response time grows ~linearly N*S_max.
+func TestAsymptoticBounds(t *testing.T) {
+	s := 50 * time.Millisecond
+	n := Network{ThinkTime: 100 * time.Millisecond, RouterService: UniformRouters(s, 2)}
+	r, err := Solve(n, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := 1 / s.Seconds()
+	if r.Throughput > bound+1e-9 {
+		t.Errorf("throughput %f exceeds bottleneck bound %f", r.Throughput, bound)
+	}
+	if r.Throughput < 0.99*bound {
+		t.Errorf("throughput %f not near bound %f at N=500", r.Throughput, bound)
+	}
+	// Utilization of bottleneck approaches 1, never exceeds it.
+	for _, u := range r.Utilization {
+		if u > 1+1e-9 || u < 0.99 {
+			t.Errorf("utilization = %f, want ~1", u)
+		}
+	}
+}
+
+// TestMonotonicity: response time is nondecreasing in population;
+// throughput nondecreasing as well in a closed network with think time.
+func TestMonotonicity(t *testing.T) {
+	n := Network{ThinkTime: 100 * time.Millisecond, RouterService: UniformRouters(57*time.Millisecond, 2)}
+	pops := []int{1, 2, 5, 10, 20, 40, 80, 100}
+	results, err := SolveSweep(n, pops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].ResponseTime < results[i-1].ResponseTime {
+			t.Errorf("response time decreased from pop %d to %d", pops[i-1], pops[i])
+		}
+		if results[i].Throughput < results[i-1].Throughput-1e-9 {
+			t.Errorf("throughput decreased from pop %d to %d", pops[i-1], pops[i])
+		}
+	}
+}
+
+// TestSmallPayloadScalesFlat reproduces the paper's qualitative claim:
+// with PRINS-sized payloads the response curve stays nearly flat up to
+// population 100 on T1, while traditional-sized payloads blow up.
+func TestSmallPayloadScalesFlat(t *testing.T) {
+	// Service times ~ paper's model: traditional 8KB -> ~58ms/router;
+	// PRINS ~0.4KB -> ~3.7ms/router (T1).
+	trad := Network{ThinkTime: 100 * time.Millisecond, RouterService: UniformRouters(58*time.Millisecond, 2)}
+	prins := Network{ThinkTime: 100 * time.Millisecond, RouterService: UniformRouters(4*time.Millisecond, 2)}
+
+	rT, err := Solve(trad, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rP, err := Solve(prins, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rT.ResponseTime < 10*rP.ResponseTime {
+		t.Errorf("traditional %v vs PRINS %v: want >= 10x separation",
+			rT.ResponseTime, rP.ResponseTime)
+	}
+	// PRINS stays "relatively flat": well under a second at population
+	// 100 where traditional is already past several seconds.
+	if rP.ResponseTime > 500*time.Millisecond {
+		t.Errorf("PRINS response at pop 100 = %v, want well under 500ms", rP.ResponseTime)
+	}
+	if rT.ResponseTime < 2*time.Second {
+		t.Errorf("traditional response at pop 100 = %v, want multi-second blow-up", rT.ResponseTime)
+	}
+}
+
+func TestMM1(t *testing.T) {
+	q := MM1{Service: 100 * time.Millisecond} // mu = 10/s
+
+	if got := q.SaturationRate(); !almostEqual(got, 10, 1e-9) {
+		t.Errorf("SaturationRate = %f, want 10", got)
+	}
+	if q.Saturated(5) {
+		t.Error("rho=0.5 should not be saturated")
+	}
+	if !q.Saturated(10) {
+		t.Error("rho=1 should be saturated")
+	}
+
+	// rho = 0.5: Wq = 0.5*0.1/0.5 = 0.1s; W = 0.1/0.5 = 0.2s; L = 1.
+	wq, err := q.WaitTime(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(wq.Seconds(), 0.1, 1e-9) {
+		t.Errorf("WaitTime(5) = %v, want 100ms", wq)
+	}
+	w, err := q.ResponseTime(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(w.Seconds(), 0.2, 1e-9) {
+		t.Errorf("ResponseTime(5) = %v, want 200ms", w)
+	}
+	if got := q.QueueLength(5); !almostEqual(got, 1, 1e-9) {
+		t.Errorf("QueueLength(5) = %f, want 1", got)
+	}
+
+	// At saturation the wait is "infinite" (max duration).
+	wq, err = q.WaitTime(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wq != time.Duration(math.MaxInt64) {
+		t.Errorf("saturated WaitTime = %v, want max", wq)
+	}
+	if !math.IsInf(q.QueueLength(12), 1) {
+		t.Error("saturated QueueLength should be +Inf")
+	}
+
+	if _, err := q.WaitTime(-1); err == nil {
+		t.Error("negative lambda: want error")
+	}
+	if _, err := q.ResponseTime(-1); err == nil {
+		t.Error("negative lambda: want error")
+	}
+}
+
+// TestMM1SaturationOrdering mirrors Figure 10: the router saturates at
+// much lower write rates for traditional payloads than for PRINS.
+func TestMM1SaturationOrdering(t *testing.T) {
+	// Service times from the WAN model shape (T1, 8KB vs ~0.4KB).
+	trad := MM1{Service: 58 * time.Millisecond}
+	comp := MM1{Service: 20 * time.Millisecond}
+	prins := MM1{Service: 4 * time.Millisecond}
+
+	if !(trad.SaturationRate() < comp.SaturationRate() && comp.SaturationRate() < prins.SaturationRate()) {
+		t.Errorf("saturation rates not ordered: trad=%.1f comp=%.1f prins=%.1f",
+			trad.SaturationRate(), comp.SaturationRate(), prins.SaturationRate())
+	}
+	// Traditional saturates below 60 req/s sweep range; PRINS survives.
+	if trad.SaturationRate() > 60 {
+		t.Error("traditional should saturate within the Fig 10 sweep")
+	}
+	if prins.SaturationRate() < 60 {
+		t.Error("PRINS should sustain the full Fig 10 sweep")
+	}
+}
+
+func TestUniformRouters(t *testing.T) {
+	rs := UniformRouters(time.Millisecond, 3)
+	if len(rs) != 3 {
+		t.Fatalf("len = %d, want 3", len(rs))
+	}
+	for _, s := range rs {
+		if s != time.Millisecond {
+			t.Error("non-uniform service time")
+		}
+	}
+}

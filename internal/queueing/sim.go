@@ -1,0 +1,155 @@
+package queueing
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// SimulateClosed validates the MVA solution by discrete-event
+// simulation of the same closed network: population customers cycle
+// through an exponential think stage and the FIFO routers in series.
+// Service and think times are exponentially distributed with the
+// configured means (the M/M/1-style assumptions MVA makes exact).
+//
+// Returns the measured mean network response time (router residence
+// only, matching Result.ResponseTime) and throughput.
+func SimulateClosed(n Network, population int, cycles int, seed int64) (Result, error) {
+	if err := n.Validate(); err != nil {
+		return Result{}, err
+	}
+	if population < 1 || cycles < 1 {
+		return Result{}, fmt.Errorf("queueing: population %d / cycles %d", population, cycles)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	k := len(n.RouterService)
+
+	// Event-driven simulation. Each customer is either thinking (a
+	// scheduled wake-up event) or inside the router chain. Routers are
+	// FIFO single servers.
+	events := &eventHeap{}
+	heap.Init(events)
+
+	expo := func(mean float64) float64 {
+		return rng.ExpFloat64() * mean
+	}
+
+	think := n.ThinkTime.Seconds()
+	svc := make([]float64, k)
+	for i, s := range n.RouterService {
+		svc[i] = s.Seconds()
+	}
+
+	// Per-router FIFO queues hold customer ids; busy tracks service.
+	queues := make([][]int, k)
+	busy := make([]bool, k)
+	station := make([]int, population) // which router a customer is at
+	enteredNet := make([]float64, population)
+
+	for c := 0; c < population; c++ {
+		heap.Push(events, simEvent{at: expo(think), kind: 0, cust: c})
+	}
+
+	var (
+		now           float64
+		completed     int
+		totalResponse float64
+		warmup        = cycles / 5
+	)
+	startService := func(r int, c int) {
+		busy[r] = true
+		station[c] = r
+		heap.Push(events, simEvent{at: now + expo(svc[r]), kind: 1, cust: c})
+	}
+	arrive := func(r int, c int) {
+		if !busy[r] {
+			startService(r, c)
+		} else {
+			queues[r] = append(queues[r], c)
+		}
+	}
+
+	target := cycles + warmup
+	for completed < target && events.Len() > 0 {
+		ev, ok := heap.Pop(events).(simEvent)
+		if !ok {
+			return Result{}, fmt.Errorf("queueing: corrupt event heap")
+		}
+		now = ev.at
+		switch ev.kind {
+		case 0: // think finished; enter the network
+			enteredNet[ev.cust] = now
+			arrive(0, ev.cust)
+		case 1: // service finished at station[ev.cust]
+			r := station[ev.cust]
+			busy[r] = false
+			if len(queues[r]) > 0 {
+				next := queues[r][0]
+				queues[r] = queues[r][1:]
+				startService(r, next)
+			}
+			if r+1 < k {
+				arrive(r+1, ev.cust)
+			} else {
+				completed++
+				if completed > warmup {
+					totalResponse += now - enteredNet[ev.cust]
+				}
+				heap.Push(events, simEvent{at: now + expo(think), kind: 0, cust: ev.cust})
+			}
+		}
+	}
+
+	measured := completed - warmup
+	if measured < 1 {
+		return Result{}, fmt.Errorf("queueing: simulation completed no cycles")
+	}
+	res := Result{
+		Population:   population,
+		ResponseTime: time.Duration(totalResponse / float64(measured) * float64(time.Second)),
+	}
+	if now > 0 {
+		res.Throughput = float64(completed) / now
+	}
+	if math.IsNaN(res.Throughput) {
+		res.Throughput = 0
+	}
+	return res, nil
+}
+
+// simEvent is one scheduled simulation event: kind 0 = think finished
+// (the customer enters router 0), kind 1 = service finished at the
+// customer's current router.
+type simEvent struct {
+	at   float64
+	kind int
+	cust int
+}
+
+// eventHeap implements heap.Interface over simulation events.
+type eventHeap []simEvent
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+
+// Push implements heap.Interface.
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(simEvent)
+	if !ok {
+		return
+	}
+	*h = append(*h, ev)
+}
+
+// Pop implements heap.Interface.
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	out := old[n-1]
+	*h = old[:n-1]
+	return out
+}

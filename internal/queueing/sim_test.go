@@ -1,0 +1,91 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestSimulationValidatesMVA cross-checks the analytical solver
+// against discrete-event simulation of the same network: with
+// exponential service and think times, exact MVA and the simulation
+// must agree within sampling error. This validates the machinery
+// behind Figures 8 and 9.
+func TestSimulationValidatesMVA(t *testing.T) {
+	nets := []struct {
+		name string
+		net  Network
+	}{
+		{
+			name: "prins-T1",
+			net: Network{
+				ThinkTime:     100 * time.Millisecond,
+				RouterService: UniformRouters(4500*time.Microsecond, 2),
+			},
+		},
+		{
+			name: "traditional-T1",
+			net: Network{
+				ThinkTime:     100 * time.Millisecond,
+				RouterService: UniformRouters(58*time.Millisecond, 2),
+			},
+		},
+	}
+	for _, tc := range nets {
+		for _, pop := range []int{1, 10, 40} {
+			t.Run(tc.name, func(t *testing.T) {
+				mva, err := Solve(tc.net, pop)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sim, err := SimulateClosed(tc.net, pop, 60000, 7)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				relErr := func(a, b float64) float64 {
+					if b == 0 {
+						return math.Abs(a)
+					}
+					return math.Abs(a-b) / b
+				}
+				if e := relErr(sim.ResponseTime.Seconds(), mva.ResponseTime.Seconds()); e > 0.10 {
+					t.Errorf("pop %d: response sim=%v mva=%v (%.1f%% off)",
+						pop, sim.ResponseTime, mva.ResponseTime, e*100)
+				}
+				if e := relErr(sim.Throughput, mva.Throughput); e > 0.10 {
+					t.Errorf("pop %d: throughput sim=%.2f mva=%.2f (%.1f%% off)",
+						pop, sim.Throughput, mva.Throughput, e*100)
+				}
+			})
+		}
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	net := Network{ThinkTime: time.Second, RouterService: UniformRouters(time.Millisecond, 1)}
+	if _, err := SimulateClosed(net, 0, 100, 1); err == nil {
+		t.Error("population 0 accepted")
+	}
+	if _, err := SimulateClosed(net, 1, 0, 1); err == nil {
+		t.Error("0 cycles accepted")
+	}
+	if _, err := SimulateClosed(Network{}, 1, 100, 1); err == nil {
+		t.Error("invalid network accepted")
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	net := Network{ThinkTime: 50 * time.Millisecond, RouterService: UniformRouters(5*time.Millisecond, 2)}
+	a, err := SimulateClosed(net, 5, 5000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateClosed(net, 5, 5000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ResponseTime != b.ResponseTime || a.Throughput != b.Throughput {
+		t.Error("same seed produced different results")
+	}
+}

@@ -1,0 +1,398 @@
+// Package raid implements software RAID-4 and RAID-5 arrays over
+// block.Store members. Its role in the reproduction is the paper's
+// zero-overhead argument: a RAID small write already computes
+// P' = A_new XOR A_old to update the parity disk (Eq. 1), and
+// WriteBlockWithParity hands that P' to the PRINS engine for free, so
+// replication adds no extra parity computation on RAID primaries.
+//
+// The array also implements degraded reads and full rebuilds, which
+// double as a strong correctness check on the parity maintenance the
+// replication path reuses.
+package raid
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"prins/internal/block"
+	"prins/internal/parity"
+)
+
+// Level selects the parity placement policy.
+type Level int
+
+// Supported RAID levels.
+const (
+	// Level4 stores all parity on the last member disk.
+	Level4 Level = iota + 1
+	// Level5 rotates parity across members stripe by stripe.
+	Level5
+)
+
+// String returns the conventional level name.
+func (l Level) String() string {
+	switch l {
+	case Level4:
+		return "RAID-4"
+	case Level5:
+		return "RAID-5"
+	default:
+		return fmt.Sprintf("RAID(%d)", int(l))
+	}
+}
+
+// Error values.
+var (
+	ErrBadConfig   = errors.New("raid: invalid configuration")
+	ErrMemberDown  = errors.New("raid: member failed")
+	ErrTooManyDown = errors.New("raid: more than one member failed")
+)
+
+// Array is a single-parity array exposing a linear LBA space over its
+// data capacity. It implements block.Store.
+type Array struct {
+	mu sync.Mutex
+
+	level   Level
+	members []block.Store
+	down    int // index of failed member, -1 if healthy
+
+	blockSize  int
+	perMember  uint64 // blocks per member
+	dataBlocks uint64 // exported capacity in blocks
+	closed     bool
+}
+
+var _ block.Store = (*Array)(nil)
+
+// New assembles an array from members, which must share geometry.
+// RAID-4/5 need at least three members (two data + parity).
+func New(level Level, members []block.Store) (*Array, error) {
+	if level != Level4 && level != Level5 {
+		return nil, fmt.Errorf("%w: level %d", ErrBadConfig, level)
+	}
+	if len(members) < 3 {
+		return nil, fmt.Errorf("%w: %d members, need >= 3", ErrBadConfig, len(members))
+	}
+	bs := members[0].BlockSize()
+	per := members[0].NumBlocks()
+	for i, m := range members {
+		if m.BlockSize() != bs || m.NumBlocks() != per {
+			return nil, fmt.Errorf("%w: member %d geometry mismatch", ErrBadConfig, i)
+		}
+	}
+	n := uint64(len(members))
+	return &Array{
+		level:      level,
+		members:    members,
+		down:       -1,
+		blockSize:  bs,
+		perMember:  per,
+		dataBlocks: (n - 1) * per,
+	}, nil
+}
+
+// BlockSize implements block.Store.
+func (a *Array) BlockSize() int { return a.blockSize }
+
+// NumBlocks implements block.Store: the data capacity (parity
+// capacity is internal).
+func (a *Array) NumBlocks() uint64 { return a.dataBlocks }
+
+// Level returns the array's RAID level.
+func (a *Array) Level() Level { return a.level }
+
+// Members returns the member count.
+func (a *Array) Members() int { return len(a.members) }
+
+// locate maps a logical data LBA to (stripe, memberIndex, memberLBA,
+// parityMember).
+func (a *Array) locate(lba uint64) (stripe uint64, dataMember int, memberLBA uint64, parityMember int) {
+	n := uint64(len(a.members))
+	dataPerStripe := n - 1
+	stripe = lba / dataPerStripe
+	slot := int(lba % dataPerStripe) // 0..n-2: position among data blocks
+
+	if a.level == Level4 {
+		parityMember = len(a.members) - 1
+	} else {
+		// RAID-5 left-symmetric-ish rotation: parity walks backwards.
+		parityMember = int((n - 1 - stripe%n) % n)
+	}
+	// Data slots fill the members skipping the parity member.
+	dataMember = slot
+	if dataMember >= parityMember {
+		dataMember++
+	}
+	// Each stripe occupies exactly one block on every member, so the
+	// member LBA is the stripe index itself.
+	memberLBA = stripe
+	return stripe, dataMember, memberLBA, parityMember
+}
+
+// ReadBlock implements block.Store, serving degraded reads by
+// reconstruction when the owning member is failed.
+func (a *Array) ReadBlock(lba uint64, buf []byte) error {
+	if err := a.checkIO(lba, len(buf)); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return block.ErrClosed
+	}
+	_, dm, mlba, pm := a.locate(lba)
+	if dm != a.down {
+		return a.members[dm].ReadBlock(mlba, buf)
+	}
+	return a.reconstructInto(buf, dm, mlba, pm)
+}
+
+// reconstructInto rebuilds the block held by failed member dm at
+// member LBA mlba using all surviving members of the stripe.
+func (a *Array) reconstructInto(buf []byte, dm int, mlba uint64, pm int) error {
+	for i := range buf {
+		buf[i] = 0
+	}
+	tmp := make([]byte, a.blockSize)
+	for i, m := range a.members {
+		if i == dm {
+			continue
+		}
+		if err := m.ReadBlock(mlba, tmp); err != nil {
+			return fmt.Errorf("raid: degraded read member %d: %w", i, err)
+		}
+		if err := parity.XORInPlace(buf, tmp); err != nil {
+			return err
+		}
+	}
+	_ = pm // parity member participates through the loop above
+	return nil
+}
+
+// WriteBlock implements block.Store using the read-modify-write small
+// write: read old data and old parity, compute P' and the new parity,
+// write data and parity.
+func (a *Array) WriteBlock(lba uint64, data []byte) error {
+	_, err := a.writeBlock(lba, data, false)
+	return err
+}
+
+// WriteBlockWithParity performs the same small write but returns the
+// forward parity P' = A_new XOR A_old computed along the way — the
+// block PRINS replicates. The returned slice is freshly allocated and
+// owned by the caller.
+func (a *Array) WriteBlockWithParity(lba uint64, data []byte) ([]byte, error) {
+	return a.writeBlock(lba, data, true)
+}
+
+func (a *Array) writeBlock(lba uint64, data []byte, wantParity bool) ([]byte, error) {
+	if err := a.checkIO(lba, len(data)); err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return nil, block.ErrClosed
+	}
+	_, dm, mlba, pm := a.locate(lba)
+
+	switch {
+	case a.down == dm:
+		// Data member down: update parity so the write is recoverable.
+		// P_new = P_old XOR A_old XOR A_new, with A_old reconstructed.
+		oldData := make([]byte, a.blockSize)
+		if err := a.reconstructInto(oldData, dm, mlba, pm); err != nil {
+			return nil, err
+		}
+		fp, err := parity.Forward(data, oldData)
+		if err != nil {
+			return nil, err
+		}
+		pOld := make([]byte, a.blockSize)
+		if err := a.members[pm].ReadBlock(mlba, pOld); err != nil {
+			return nil, fmt.Errorf("raid: read parity: %w", err)
+		}
+		if err := parity.UpdateParity(pOld, fp); err != nil {
+			return nil, err
+		}
+		if err := a.members[pm].WriteBlock(mlba, pOld); err != nil {
+			return nil, fmt.Errorf("raid: write parity: %w", err)
+		}
+		if wantParity {
+			return fp, nil
+		}
+		return nil, nil
+
+	case a.down == pm:
+		// Parity member down: plain data write, parity lost until rebuild.
+		var fp []byte
+		if wantParity {
+			oldData := make([]byte, a.blockSize)
+			if err := a.members[dm].ReadBlock(mlba, oldData); err != nil {
+				return nil, fmt.Errorf("raid: read old data: %w", err)
+			}
+			var err error
+			fp, err = parity.Forward(data, oldData)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := a.members[dm].WriteBlock(mlba, data); err != nil {
+			return nil, fmt.Errorf("raid: write data: %w", err)
+		}
+		return fp, nil
+
+	default:
+		// Healthy small write: RMW.
+		oldData := make([]byte, a.blockSize)
+		if err := a.members[dm].ReadBlock(mlba, oldData); err != nil {
+			return nil, fmt.Errorf("raid: read old data: %w", err)
+		}
+		fp, err := parity.Forward(data, oldData)
+		if err != nil {
+			return nil, err
+		}
+		pOld := make([]byte, a.blockSize)
+		if err := a.members[pm].ReadBlock(mlba, pOld); err != nil {
+			return nil, fmt.Errorf("raid: read old parity: %w", err)
+		}
+		if err := parity.UpdateParity(pOld, fp); err != nil {
+			return nil, err
+		}
+		if err := a.members[dm].WriteBlock(mlba, data); err != nil {
+			return nil, fmt.Errorf("raid: write data: %w", err)
+		}
+		if err := a.members[pm].WriteBlock(mlba, pOld); err != nil {
+			return nil, fmt.Errorf("raid: write parity: %w", err)
+		}
+		if wantParity {
+			return fp, nil
+		}
+		return nil, nil
+	}
+}
+
+// FailMember marks one member as failed; reads become degraded and
+// writes maintain parity so a later rebuild restores everything.
+func (a *Array) FailMember(idx int) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if idx < 0 || idx >= len(a.members) {
+		return fmt.Errorf("%w: member %d", ErrBadConfig, idx)
+	}
+	if a.down >= 0 && a.down != idx {
+		return ErrTooManyDown
+	}
+	a.down = idx
+	return nil
+}
+
+// Rebuild reconstructs the failed member's contents onto replacement
+// (which must match member geometry), swaps it in, and returns the
+// array to healthy state.
+func (a *Array) Rebuild(replacement block.Store) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.down < 0 {
+		return errors.New("raid: no failed member")
+	}
+	if replacement.BlockSize() != a.blockSize || replacement.NumBlocks() != a.perMember {
+		return fmt.Errorf("%w: replacement geometry", ErrBadConfig)
+	}
+	buf := make([]byte, a.blockSize)
+	tmp := make([]byte, a.blockSize)
+	for mlba := uint64(0); mlba < a.perMember; mlba++ {
+		for i := range buf {
+			buf[i] = 0
+		}
+		for i, m := range a.members {
+			if i == a.down {
+				continue
+			}
+			if err := m.ReadBlock(mlba, tmp); err != nil {
+				return fmt.Errorf("raid: rebuild read member %d: %w", i, err)
+			}
+			if err := parity.XORInPlace(buf, tmp); err != nil {
+				return err
+			}
+		}
+		if err := replacement.WriteBlock(mlba, buf); err != nil {
+			return fmt.Errorf("raid: rebuild write: %w", err)
+		}
+	}
+	a.members[a.down] = replacement
+	a.down = -1
+	return nil
+}
+
+// Verify recomputes every stripe's parity from its data blocks and
+// reports the first inconsistent stripe, if any. Healthy arrays only.
+func (a *Array) Verify() (bad uint64, ok bool, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.down >= 0 {
+		return 0, false, ErrMemberDown
+	}
+	n := uint64(len(a.members))
+	want := make([]byte, a.blockSize)
+	tmp := make([]byte, a.blockSize)
+	have := make([]byte, a.blockSize)
+	for stripe := uint64(0); stripe < a.perMember; stripe++ {
+		pm := len(a.members) - 1
+		if a.level == Level5 {
+			pm = int((n - 1 - stripe%n) % n)
+		}
+		for i := range want {
+			want[i] = 0
+		}
+		for i, m := range a.members {
+			if i == pm {
+				continue
+			}
+			if err := m.ReadBlock(stripe, tmp); err != nil {
+				return 0, false, err
+			}
+			if err := parity.XORInPlace(want, tmp); err != nil {
+				return 0, false, err
+			}
+		}
+		if err := a.members[pm].ReadBlock(stripe, have); err != nil {
+			return 0, false, err
+		}
+		for i := range want {
+			if want[i] != have[i] {
+				return stripe, false, nil
+			}
+		}
+	}
+	return 0, true, nil
+}
+
+// Close implements block.Store, closing all members.
+func (a *Array) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return nil
+	}
+	a.closed = true
+	var firstErr error
+	for _, m := range a.members {
+		if err := m.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (a *Array) checkIO(lba uint64, n int) error {
+	if lba >= a.dataBlocks {
+		return fmt.Errorf("%w: lba %d >= %d", block.ErrOutOfRange, lba, a.dataBlocks)
+	}
+	if n != a.blockSize {
+		return fmt.Errorf("%w: %d != %d", block.ErrBadBufSize, n, a.blockSize)
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package resync
+
+import (
+	"fmt"
+	"sync"
+
+	"prins/internal/block"
+	"prins/internal/iscsi"
+)
+
+// ResilientClient is a replication client that survives connection
+// loss: when a push fails it re-dials the replica, logs in again, and
+// — because pushes were lost while the session was down — runs a
+// hash-based delta resync from the authoritative local store before
+// resuming. This turns the engine's fail-stop replication into
+// self-healing replication while preserving PRINS's precondition that
+// the replica holds the correct A_old.
+type ResilientClient struct {
+	addr   string
+	export string
+	local  block.Store
+
+	mu        sync.Mutex
+	conn      *iscsi.Initiator
+	reconnect int64
+	repaired  int64
+}
+
+// NewResilientClient dials the replica and returns a client that will
+// transparently reconnect and resync on failure. local is the
+// authoritative device replicated from.
+func NewResilientClient(local block.Store, addr, export string) (*ResilientClient, error) {
+	c := &ResilientClient{addr: addr, export: export, local: local}
+	conn, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	c.conn = conn
+	return c, nil
+}
+
+func (c *ResilientClient) dial() (*iscsi.Initiator, error) {
+	conn, err := iscsi.Dial(c.addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := conn.Login(c.export); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if conn.BlockSize() != c.local.BlockSize() || conn.NumBlocks() < c.local.NumBlocks() {
+		conn.Close()
+		return nil, fmt.Errorf("%w: replica %s", ErrGeometry, c.addr)
+	}
+	return conn, nil
+}
+
+// ReplicaWrite implements the engine's ReplicaClient contract. On
+// failure it reconnects, resyncs, and retries the push once.
+func (c *ResilientClient) ReplicaWrite(mode uint8, seq uint64, lba uint64, frame []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	if c.conn != nil {
+		if err := c.conn.ReplicaWrite(mode, seq, lba, frame); err == nil {
+			return nil
+		}
+		c.conn.Close()
+		c.conn = nil
+	}
+
+	// Reconnect and heal the gap. The resync covers this push's write
+	// too (the local store already holds it), so after a successful
+	// repair the push itself is redundant — but it must not be applied
+	// on top of the repaired state in PRINS mode, where re-XORing a
+	// parity would corrupt the block. Resync-then-skip is the correct
+	// sequence.
+	conn, err := c.dial()
+	if err != nil {
+		return fmt.Errorf("resync: reconnect %s: %w", c.addr, err)
+	}
+	c.reconnect++
+	stats, err := Run(c.local, conn, Config{})
+	if err != nil {
+		conn.Close()
+		return fmt.Errorf("resync: heal after reconnect: %w", err)
+	}
+	c.repaired += int64(stats.BlocksRepaired)
+	c.conn = conn
+	return nil
+}
+
+// Reconnects returns how many times the session was re-established.
+func (c *ResilientClient) Reconnects() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reconnect
+}
+
+// Repaired returns the total blocks healed by post-reconnect resyncs.
+func (c *ResilientClient) Repaired() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.repaired
+}
+
+// Close severs the session.
+func (c *ResilientClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}

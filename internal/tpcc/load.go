@@ -1,0 +1,208 @@
+package tpcc
+
+import (
+	"fmt"
+
+	"prins/internal/minidb"
+)
+
+// Load creates the TPC-C schema on db and populates it per the spec's
+// initial-population rules at the given scale. Deterministic for a
+// given seed.
+func Load(db *minidb.DB, scale Scale, seed int64) (*Client, error) {
+	if scale.Warehouses < 1 || scale.Districts < 1 || scale.CustomersPerDistrict < 3 ||
+		scale.Items < 10 || scale.InitialOrdersPerDistrict < 1 {
+		return nil, fmt.Errorf("tpcc: invalid scale %+v", scale)
+	}
+	for _, spec := range Specs() {
+		if _, err := db.CreateTable(spec); err != nil {
+			return nil, fmt.Errorf("tpcc: create %s: %w", spec.Name, err)
+		}
+	}
+	c, err := newClient(db, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.populate(); err != nil {
+		return nil, fmt.Errorf("tpcc: populate: %w", err)
+	}
+	return c, nil
+}
+
+// populate fills the initial database state.
+func (c *Client) populate() error {
+	g := c.g
+	now := int64(1_136_073_600) // fixed epoch: determinism over realism
+
+	// ITEM: shared across warehouses.
+	for i := int64(1); i <= int64(c.scale.Items); i++ {
+		row := minidb.Row{
+			minidb.I64(i),
+			minidb.I64(g.uniform(1, 10000)),
+			minidb.Str(g.aString(14, 24)),
+			minidb.F64(float64(g.uniform(100, 10000)) / 100),
+			minidb.Str(g.data()),
+		}
+		if err := c.item.Insert(nil, row); err != nil {
+			return err
+		}
+	}
+
+	for w := int64(1); w <= int64(c.scale.Warehouses); w++ {
+		row := minidb.Row{
+			minidb.I64(w),
+			minidb.Str(g.aString(6, 10)),
+			minidb.Str(g.aString(10, 20)),
+			minidb.Str(g.aString(10, 20)),
+			minidb.Str(g.aString(10, 20)),
+			minidb.Str(g.aString(2, 2)),
+			minidb.Str(g.zip()),
+			minidb.F64(float64(g.uniform(0, 2000)) / 10000),
+			minidb.F64(300000),
+		}
+		if err := c.warehouse.Insert(nil, row); err != nil {
+			return err
+		}
+
+		// STOCK: one row per item per warehouse.
+		for i := int64(1); i <= int64(c.scale.Items); i++ {
+			row := minidb.Row{
+				minidb.I64(w),
+				minidb.I64(i),
+				minidb.I64(g.uniform(10, 100)),
+				minidb.Str(g.aString(24, 24)),
+				minidb.I64(0),
+				minidb.I64(0),
+				minidb.I64(0),
+				minidb.Str(g.data()),
+			}
+			if err := c.stock.Insert(nil, row); err != nil {
+				return err
+			}
+		}
+
+		for d := int64(1); d <= int64(c.scale.Districts); d++ {
+			nextOID := int64(c.scale.InitialOrdersPerDistrict) + 1
+			row := minidb.Row{
+				minidb.I64(w),
+				minidb.I64(d),
+				minidb.Str(g.aString(6, 10)),
+				minidb.Str(g.aString(10, 20)),
+				minidb.Str(g.aString(10, 20)),
+				minidb.Str(g.aString(2, 2)),
+				minidb.Str(g.zip()),
+				minidb.F64(float64(g.uniform(0, 2000)) / 10000),
+				minidb.F64(30000),
+				minidb.I64(nextOID),
+			}
+			if err := c.district.Insert(nil, row); err != nil {
+				return err
+			}
+
+			// CUSTOMER.
+			nCust := int64(c.scale.CustomersPerDistrict)
+			for cu := int64(1); cu <= nCust; cu++ {
+				var last string
+				if cu <= nCust/3 {
+					// First third get spec names 0..; guarantees every
+					// syllable-name lookup key space is populated.
+					last = LastName(cu % 1000)
+				} else {
+					last = LastName(g.lastNameIdx(1000))
+				}
+				credit := "GC"
+				if g.rng.Intn(10) == 0 {
+					credit = "BC"
+				}
+				row := minidb.Row{
+					minidb.I64(w), minidb.I64(d), minidb.I64(cu),
+					minidb.Str(g.aString(8, 16)),
+					minidb.Str("OE"),
+					minidb.Str(last),
+					minidb.Str(g.aString(10, 20)),
+					minidb.Str(g.aString(10, 20)),
+					minidb.Str(g.aString(2, 2)),
+					minidb.Str(g.zip()),
+					minidb.Str(g.nString(16, 16)),
+					minidb.I64(now),
+					minidb.Str(credit),
+					minidb.F64(50000),
+					minidb.F64(float64(g.uniform(0, 5000)) / 10000),
+					minidb.F64(-10),
+					minidb.F64(10),
+					minidb.I64(1),
+					minidb.I64(0),
+					minidb.Str(g.aString(100, 200)),
+				}
+				if err := c.customer.Insert(nil, row); err != nil {
+					return err
+				}
+
+				// HISTORY: one row per customer.
+				c.histID++
+				hrow := minidb.Row{
+					minidb.I64(c.histID),
+					minidb.I64(w), minidb.I64(d), minidb.I64(cu),
+					minidb.I64(w), minidb.I64(d),
+					minidb.I64(now),
+					minidb.F64(10),
+					minidb.Str(g.aString(12, 24)),
+				}
+				if err := c.history.Insert(nil, hrow); err != nil {
+					return err
+				}
+			}
+
+			// ORDERS + ORDER_LINE + NEW_ORDER for the initial orders.
+			// The most recent ~30% of orders are undelivered (in
+			// NEW_ORDER), per the spec's 2100/900 split.
+			nOrders := int64(c.scale.InitialOrdersPerDistrict)
+			undeliveredFrom := nOrders - nOrders*3/10 + 1
+			for o := int64(1); o <= nOrders; o++ {
+				olCnt := g.uniform(5, 15)
+				carrier := g.uniform(1, 10)
+				if o >= undeliveredFrom {
+					carrier = 0 // undelivered
+				}
+				orow := minidb.Row{
+					minidb.I64(w), minidb.I64(d), minidb.I64(o),
+					minidb.I64(g.uniform(1, nCust)),
+					minidb.I64(now),
+					minidb.I64(carrier),
+					minidb.I64(olCnt),
+					minidb.I64(1),
+				}
+				if err := c.orders.Insert(nil, orow); err != nil {
+					return err
+				}
+				for ol := int64(1); ol <= olCnt; ol++ {
+					amount := 0.0
+					deliveryD := now
+					if o >= undeliveredFrom {
+						amount = float64(g.uniform(1, 999999)) / 100
+						deliveryD = 0
+					}
+					olrow := minidb.Row{
+						minidb.I64(w), minidb.I64(d), minidb.I64(o), minidb.I64(ol),
+						minidb.I64(g.uniform(1, int64(c.scale.Items))),
+						minidb.I64(w),
+						minidb.I64(deliveryD),
+						minidb.I64(5),
+						minidb.F64(amount),
+						minidb.Str(g.aString(24, 24)),
+					}
+					if err := c.orderLine.Insert(nil, olrow); err != nil {
+						return err
+					}
+				}
+				if o >= undeliveredFrom {
+					norow := minidb.Row{minidb.I64(w), minidb.I64(d), minidb.I64(o)}
+					if err := c.newOrder.Insert(nil, norow); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return c.db.Checkpoint()
+}

@@ -1,0 +1,116 @@
+package tpcc
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// TPC-C random-data helpers (spec clause 4.3).
+
+// nurand constants fixed per spec clause 2.1.6; cLast/cID/olID are the
+// run constants C.
+const (
+	nurandALast = 255
+	nurandAcID  = 1023
+	nurandAolID = 8191
+)
+
+// gen wraps the run's RNG with the spec's generation rules.
+type gen struct {
+	rng   *rand.Rand
+	cLast int64
+	cID   int64
+	olID  int64
+	clock int64 // synthetic timestamp counter
+}
+
+func newGen(seed int64) *gen {
+	rng := rand.New(rand.NewSource(seed))
+	return &gen{
+		rng:   rng,
+		cLast: rng.Int63n(256),
+		cID:   rng.Int63n(1024),
+		olID:  rng.Int63n(8192),
+	}
+}
+
+// uniform returns a value in [lo, hi] inclusive.
+func (g *gen) uniform(lo, hi int64) int64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + g.rng.Int63n(hi-lo+1)
+}
+
+// nurand implements NURand(A, x, y) from the spec: a non-uniform
+// distribution concentrating on hot values.
+func (g *gen) nurand(a, c, x, y int64) int64 {
+	return (((g.uniform(0, a) | g.uniform(x, y)) + c) % (y - x + 1)) + x
+}
+
+// customerID picks a skewed customer id in [1, n].
+func (g *gen) customerID(n int64) int64 {
+	return g.nurand(nurandAcID, g.cID, 1, n)
+}
+
+// itemID picks a skewed item id in [1, n].
+func (g *gen) itemID(n int64) int64 {
+	return g.nurand(nurandAolID, g.olID, 1, n)
+}
+
+// lastNameIdx picks a skewed last-name number in [0, max).
+func (g *gen) lastNameIdx(max int64) int64 {
+	return g.nurand(nurandALast, g.cLast, 0, max-1)
+}
+
+// syllables is the spec's last-name syllable table (clause 4.3.2.3).
+var syllables = [...]string{
+	"BAR", "OUGHT", "ABLE", "PRI", "PRES",
+	"ESE", "ANTI", "CALLY", "ATION", "EING",
+}
+
+// LastName builds the spec last name for a number in [0, 999].
+func LastName(num int64) string {
+	var b strings.Builder
+	b.WriteString(syllables[num/100%10])
+	b.WriteString(syllables[num/10%10])
+	b.WriteString(syllables[num%10])
+	return b.String()
+}
+
+const letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+
+// aString returns a random alphanumeric string with length in [lo, hi].
+func (g *gen) aString(lo, hi int64) string {
+	n := g.uniform(lo, hi)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[g.rng.Intn(len(letters))]
+	}
+	return string(b)
+}
+
+// nString returns a random numeric string with length in [lo, hi].
+func (g *gen) nString(lo, hi int64) string {
+	n := g.uniform(lo, hi)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('0' + g.rng.Intn(10))
+	}
+	return string(b)
+}
+
+// zip builds a spec zip code: 4 digits + "11111".
+func (g *gen) zip() string {
+	return g.nString(4, 4) + "11111"
+}
+
+// data builds the S_DATA/I_DATA field, 10% containing "ORIGINAL".
+func (g *gen) data() string {
+	s := g.aString(26, 50)
+	if g.rng.Intn(10) == 0 {
+		pos := g.rng.Intn(len(s) - 8)
+		s = s[:pos] + "ORIGINAL" + s[pos+8:]
+	}
+	return s
+}

@@ -1,0 +1,159 @@
+// Package tpcc implements a TPC-C workload generator over minidb,
+// standing in for the Hammerora (Oracle) and TPCC-UVA (Postgres)
+// drivers of the paper's testbed. It builds the nine-table TPC-C
+// schema with the spec's data-generation rules (NURand skew, syllable
+// last names, per-warehouse cardinalities, scalable for test speed)
+// and runs the five transaction types in the standard mix, producing
+// the page-level write pattern the paper measures: many transactions,
+// each dirtying a small fraction of the pages it touches.
+package tpcc
+
+import (
+	"prins/internal/minidb"
+)
+
+// Scale configures workload size. The TPC-C spec values are large
+// (100k items, 3000 customers per district); experiments scale down
+// uniformly, which preserves the access skew and write pattern.
+type Scale struct {
+	// Warehouses is the number of warehouses (spec: scaling unit).
+	Warehouses int
+	// Districts per warehouse (spec: 10).
+	Districts int
+	// CustomersPerDistrict (spec: 3000).
+	CustomersPerDistrict int
+	// Items in the catalog (spec: 100000).
+	Items int
+	// InitialOrdersPerDistrict pre-loaded orders (spec: 3000).
+	InitialOrdersPerDistrict int
+}
+
+// DefaultScale is a laptop-friendly configuration that keeps the
+// spec's shape (10 districts, skewed customers and items).
+func DefaultScale(warehouses int) Scale {
+	return Scale{
+		Warehouses:               warehouses,
+		Districts:                10,
+		CustomersPerDistrict:     60,
+		Items:                    1000,
+		InitialOrdersPerDistrict: 20,
+	}
+}
+
+// Table names.
+const (
+	TWarehouse = "warehouse"
+	TDistrict  = "district"
+	TCustomer  = "customer"
+	THistory   = "history"
+	TNewOrder  = "new_order"
+	TOrders    = "orders"
+	TOrderLine = "order_line"
+	TItem      = "item"
+	TStock     = "stock"
+)
+
+// Specs returns the nine TPC-C table declarations.
+func Specs() []minidb.TableSpec {
+	i64 := minidb.TypeInt64
+	f64 := minidb.TypeFloat64
+	str := minidb.TypeString
+	col := func(name string, t minidb.ColType) minidb.Column {
+		return minidb.Column{Name: name, Type: t}
+	}
+	return []minidb.TableSpec{
+		{
+			Name: TWarehouse,
+			Schema: minidb.Schema{
+				col("w_id", i64), col("w_name", str), col("w_street_1", str),
+				col("w_street_2", str), col("w_city", str), col("w_state", str),
+				col("w_zip", str), col("w_tax", f64), col("w_ytd", f64),
+			},
+			PK: []string{"w_id"},
+		},
+		{
+			Name: TDistrict,
+			Schema: minidb.Schema{
+				col("d_w_id", i64), col("d_id", i64), col("d_name", str),
+				col("d_street_1", str), col("d_city", str), col("d_state", str),
+				col("d_zip", str), col("d_tax", f64), col("d_ytd", f64),
+				col("d_next_o_id", i64),
+			},
+			PK: []string{"d_w_id", "d_id"},
+		},
+		{
+			Name: TCustomer,
+			Schema: minidb.Schema{
+				col("c_w_id", i64), col("c_d_id", i64), col("c_id", i64),
+				col("c_first", str), col("c_middle", str), col("c_last", str),
+				col("c_street_1", str), col("c_city", str), col("c_state", str),
+				col("c_zip", str), col("c_phone", str), col("c_since", i64),
+				col("c_credit", str), col("c_credit_lim", f64), col("c_discount", f64),
+				col("c_balance", f64), col("c_ytd_payment", f64),
+				col("c_payment_cnt", i64), col("c_delivery_cnt", i64), col("c_data", str),
+			},
+			PK: []string{"c_w_id", "c_d_id", "c_id"},
+			Secondary: []minidb.IndexSpec{
+				// Payment and Order-Status look customers up by last
+				// name 60% of the time.
+				{Name: "by_last", Cols: []string{"c_w_id", "c_d_id", "c_last"}},
+			},
+		},
+		{
+			Name: THistory,
+			Schema: minidb.Schema{
+				col("h_id", i64), col("h_c_w_id", i64), col("h_c_d_id", i64),
+				col("h_c_id", i64), col("h_w_id", i64), col("h_d_id", i64),
+				col("h_date", i64), col("h_amount", f64), col("h_data", str),
+			},
+			PK: []string{"h_id"},
+		},
+		{
+			Name: TNewOrder,
+			Schema: minidb.Schema{
+				col("no_w_id", i64), col("no_d_id", i64), col("no_o_id", i64),
+			},
+			PK: []string{"no_w_id", "no_d_id", "no_o_id"},
+		},
+		{
+			Name: TOrders,
+			Schema: minidb.Schema{
+				col("o_w_id", i64), col("o_d_id", i64), col("o_id", i64),
+				col("o_c_id", i64), col("o_entry_d", i64), col("o_carrier_id", i64),
+				col("o_ol_cnt", i64), col("o_all_local", i64),
+			},
+			PK: []string{"o_w_id", "o_d_id", "o_id"},
+			Secondary: []minidb.IndexSpec{
+				// Order-Status needs a customer's most recent order.
+				{Name: "by_customer", Cols: []string{"o_w_id", "o_d_id", "o_c_id"}},
+			},
+		},
+		{
+			Name: TOrderLine,
+			Schema: minidb.Schema{
+				col("ol_w_id", i64), col("ol_d_id", i64), col("ol_o_id", i64),
+				col("ol_number", i64), col("ol_i_id", i64), col("ol_supply_w_id", i64),
+				col("ol_delivery_d", i64), col("ol_quantity", i64),
+				col("ol_amount", f64), col("ol_dist_info", str),
+			},
+			PK: []string{"ol_w_id", "ol_d_id", "ol_o_id", "ol_number"},
+		},
+		{
+			Name: TItem,
+			Schema: minidb.Schema{
+				col("i_id", i64), col("i_im_id", i64), col("i_name", str),
+				col("i_price", f64), col("i_data", str),
+			},
+			PK: []string{"i_id"},
+		},
+		{
+			Name: TStock,
+			Schema: minidb.Schema{
+				col("s_w_id", i64), col("s_i_id", i64), col("s_quantity", i64),
+				col("s_dist", str), col("s_ytd", i64), col("s_order_cnt", i64),
+				col("s_remote_cnt", i64), col("s_data", str),
+			},
+			PK: []string{"s_w_id", "s_i_id"},
+		},
+	}
+}

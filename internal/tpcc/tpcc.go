@@ -1,0 +1,174 @@
+package tpcc
+
+import (
+	"fmt"
+
+	"prins/internal/minidb"
+)
+
+// TxType names the five TPC-C transaction profiles.
+type TxType int
+
+// Transaction profiles.
+const (
+	TxNewOrder TxType = iota + 1
+	TxPayment
+	TxOrderStatus
+	TxDelivery
+	TxStockLevel
+)
+
+// String returns the profile name.
+func (t TxType) String() string {
+	switch t {
+	case TxNewOrder:
+		return "NEW-ORDER"
+	case TxPayment:
+		return "PAYMENT"
+	case TxOrderStatus:
+		return "ORDER-STATUS"
+	case TxDelivery:
+		return "DELIVERY"
+	case TxStockLevel:
+		return "STOCK-LEVEL"
+	default:
+		return fmt.Sprintf("TX(%d)", int(t))
+	}
+}
+
+// Stats counts executed transactions by type.
+type Stats struct {
+	Counts map[TxType]int64
+	Total  int64
+}
+
+// Client drives the workload against one loaded database.
+type Client struct {
+	db    *minidb.DB
+	scale Scale
+	g     *gen
+
+	warehouse *minidb.Table
+	district  *minidb.Table
+	customer  *minidb.Table
+	history   *minidb.Table
+	newOrder  *minidb.Table
+	orders    *minidb.Table
+	orderLine *minidb.Table
+	item      *minidb.Table
+	stock     *minidb.Table
+
+	histID int64
+	stats  Stats
+}
+
+// Open attaches a client to an already-loaded TPC-C database (e.g.
+// reopened from disk).
+func Open(db *minidb.DB, scale Scale, seed int64) (*Client, error) {
+	c, err := newClient(db, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	// Resume the history PK above any loaded rows.
+	n, err := c.history.Count()
+	if err != nil {
+		return nil, err
+	}
+	c.histID = int64(n) + 1_000_000 // disjoint id space after reopen
+	return c, nil
+}
+
+func newClient(db *minidb.DB, scale Scale, seed int64) (*Client, error) {
+	c := &Client{
+		db:    db,
+		scale: scale,
+		g:     newGen(seed),
+		stats: Stats{Counts: make(map[TxType]int64)},
+	}
+	var err error
+	get := func(name string) *minidb.Table {
+		if err != nil {
+			return nil
+		}
+		var t *minidb.Table
+		t, err = db.Table(name)
+		return t
+	}
+	c.warehouse = get(TWarehouse)
+	c.district = get(TDistrict)
+	c.customer = get(TCustomer)
+	c.history = get(THistory)
+	c.newOrder = get(TNewOrder)
+	c.orders = get(TOrders)
+	c.orderLine = get(TOrderLine)
+	c.item = get(TItem)
+	c.stock = get(TStock)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Stats returns execution counts so far.
+func (c *Client) Stats() Stats {
+	out := Stats{Total: c.stats.Total, Counts: make(map[TxType]int64, len(c.stats.Counts))}
+	for k, v := range c.stats.Counts {
+		out.Counts[k] = v
+	}
+	return out
+}
+
+// Scale returns the loaded scale.
+func (c *Client) Scale() Scale { return c.scale }
+
+// NextType draws a transaction type from the spec mix: 45% New-Order,
+// 43% Payment, 4% each of the rest.
+func (c *Client) NextType() TxType {
+	switch r := c.g.uniform(1, 100); {
+	case r <= 45:
+		return TxNewOrder
+	case r <= 88:
+		return TxPayment
+	case r <= 92:
+		return TxOrderStatus
+	case r <= 96:
+		return TxDelivery
+	default:
+		return TxStockLevel
+	}
+}
+
+// RunOne executes a single transaction of the given type.
+func (c *Client) RunOne(t TxType) error {
+	var err error
+	switch t {
+	case TxNewOrder:
+		err = c.newOrderTx()
+	case TxPayment:
+		err = c.paymentTx()
+	case TxOrderStatus:
+		err = c.orderStatusTx()
+	case TxDelivery:
+		err = c.deliveryTx()
+	case TxStockLevel:
+		err = c.stockLevelTx()
+	default:
+		return fmt.Errorf("tpcc: unknown transaction %d", t)
+	}
+	if err != nil {
+		return fmt.Errorf("tpcc: %v: %w", t, err)
+	}
+	c.stats.Counts[t]++
+	c.stats.Total++
+	return nil
+}
+
+// Run executes n transactions drawn from the spec mix.
+func (c *Client) Run(n int) error {
+	for i := 0; i < n; i++ {
+		if err := c.RunOne(c.NextType()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

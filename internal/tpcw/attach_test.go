@@ -1,0 +1,68 @@
+package tpcw
+
+import (
+	"testing"
+
+	"prins/internal/block"
+	"prins/internal/minidb"
+)
+
+func TestAttachResumesExistingStore(t *testing.T) {
+	store, err := block.NewMem(4096, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := minidb.Create(store, minidb.DBConfig{WALPages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	c, err := Load(db, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Place some orders so Attach has to resume the order-id counter.
+	for i := 0; i < 50; i++ {
+		b := c.Browser(i % cfg.Browsers)
+		if err := c.RunOne(b, AddToCart); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.RunOne(b, BuyConfirm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ordersBefore, _ := c.orders.Count()
+	if ordersBefore == 0 {
+		t.Fatal("no orders placed in setup")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen and attach.
+	db2, err := minidb.Open(store, minidb.DBConfig{WALPages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Attach(db2, cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Run(150); err != nil {
+		t.Fatalf("attached run: %v", err)
+	}
+	ordersAfter, _ := c2.orders.Count()
+	if ordersAfter < ordersBefore {
+		t.Errorf("orders shrank: %d -> %d", ordersBefore, ordersAfter)
+	}
+
+	// Attach to a DB without the schema fails.
+	empty, _ := block.NewMem(4096, 1024)
+	db3, err := minidb.Create(empty, minidb.DBConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Attach(db3, cfg, 1); err == nil {
+		t.Error("attach to empty DB should fail")
+	}
+}

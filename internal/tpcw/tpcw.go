@@ -1,0 +1,561 @@
+// Package tpcw implements a TPC-W-style online-bookstore workload over
+// minidb, standing in for the paper's Java TPC-W on Tomcat + MySQL.
+// Emulated browsers (EBs) walk the shopping mix — home, product
+// detail, search, best-sellers reads, cart updates, and buy-confirm
+// order processing — against the bookstore schema (ITEM with 10,000
+// rows in the paper's configuration, AUTHOR, CUSTOMER, CART, ORDERS,
+// CC_XACTS). What reaches the block device is the same pattern the
+// paper measured: read-mostly traffic with localized writes to carts,
+// orders, and item stock.
+package tpcw
+
+import (
+	"fmt"
+	"math/rand"
+
+	"prins/internal/minidb"
+)
+
+// Config sizes the bookstore.
+type Config struct {
+	// Items in the catalog (paper: 10000).
+	Items int
+	// Authors (spec: items/4).
+	Authors int
+	// Customers pre-registered.
+	Customers int
+	// Browsers is the emulated-browser count (paper: 30).
+	Browsers int
+}
+
+// DefaultConfig mirrors the paper's configured workload, scaled.
+func DefaultConfig() Config {
+	return Config{Items: 1000, Authors: 250, Customers: 288, Browsers: 30}
+}
+
+// Interaction names the web interactions the EBs perform.
+type Interaction int
+
+// Interactions (a condensed version of TPC-W's 14 pages keeping the
+// read/write shape of the shopping mix).
+const (
+	Home Interaction = iota + 1
+	ProductDetail
+	SearchBySubject
+	BestSellers
+	AddToCart
+	BuyConfirm
+)
+
+// String returns the interaction name.
+func (i Interaction) String() string {
+	switch i {
+	case Home:
+		return "HOME"
+	case ProductDetail:
+		return "PRODUCT-DETAIL"
+	case SearchBySubject:
+		return "SEARCH"
+	case BestSellers:
+		return "BEST-SELLERS"
+	case AddToCart:
+		return "ADD-TO-CART"
+	case BuyConfirm:
+		return "BUY-CONFIRM"
+	default:
+		return fmt.Sprintf("INTERACTION(%d)", int(i))
+	}
+}
+
+// Table names.
+const (
+	TItem     = "tpcw_item"
+	TAuthor   = "tpcw_author"
+	TCustomer = "tpcw_customer"
+	TCart     = "tpcw_cart_line"
+	TOrders   = "tpcw_orders"
+	TOrderLn  = "tpcw_order_line"
+	TCCXact   = "tpcw_cc_xacts"
+)
+
+// subjects is TPC-W's subject list.
+var subjects = [...]string{
+	"ARTS", "BIOGRAPHIES", "BUSINESS", "CHILDREN", "COMPUTERS",
+	"COOKING", "HEALTH", "HISTORY", "HOME", "HUMOR", "LITERATURE",
+	"MYSTERY", "NON-FICTION", "PARENTING", "POLITICS", "REFERENCE",
+	"RELIGION", "ROMANCE", "SELF-HELP", "SCIENCE-NATURE", "SCIENCE-FICTION",
+	"SPORTS", "YOUTH", "TRAVEL",
+}
+
+// Specs returns the bookstore table declarations.
+func Specs() []minidb.TableSpec {
+	i64 := minidb.TypeInt64
+	f64 := minidb.TypeFloat64
+	str := minidb.TypeString
+	col := func(n string, t minidb.ColType) minidb.Column { return minidb.Column{Name: n, Type: t} }
+	return []minidb.TableSpec{
+		{
+			Name: TItem,
+			Schema: minidb.Schema{
+				col("i_id", i64), col("i_a_id", i64), col("i_title", str),
+				col("i_subject_id", i64), col("i_cost", f64), col("i_stock", i64),
+				col("i_total_sold", i64), col("i_desc", str),
+			},
+			PK: []string{"i_id"},
+			Secondary: []minidb.IndexSpec{
+				{Name: "by_subject", Cols: []string{"i_subject_id"}},
+			},
+		},
+		{
+			Name: TAuthor,
+			Schema: minidb.Schema{
+				col("a_id", i64), col("a_fname", str), col("a_lname", str), col("a_bio", str),
+			},
+			PK: []string{"a_id"},
+		},
+		{
+			Name: TCustomer,
+			Schema: minidb.Schema{
+				col("c_id", i64), col("c_uname", str), col("c_fname", str),
+				col("c_lname", str), col("c_since", i64), col("c_expiration", i64),
+				col("c_discount", f64), col("c_ytd_pmt", f64), col("c_data", str),
+			},
+			PK: []string{"c_id"},
+		},
+		{
+			Name: TCart,
+			Schema: minidb.Schema{
+				col("scl_c_id", i64), col("scl_i_id", i64), col("scl_qty", i64),
+			},
+			PK: []string{"scl_c_id", "scl_i_id"},
+		},
+		{
+			Name: TOrders,
+			Schema: minidb.Schema{
+				col("o_id", i64), col("o_c_id", i64), col("o_date", i64),
+				col("o_sub_total", f64), col("o_total", f64), col("o_status", str),
+			},
+			PK: []string{"o_id"},
+			Secondary: []minidb.IndexSpec{
+				{Name: "by_customer", Cols: []string{"o_c_id"}},
+			},
+		},
+		{
+			Name: TOrderLn,
+			Schema: minidb.Schema{
+				col("ol_o_id", i64), col("ol_i_id", i64), col("ol_qty", i64),
+				col("ol_discount", f64), col("ol_comment", str),
+			},
+			PK: []string{"ol_o_id", "ol_i_id"},
+		},
+		{
+			Name: TCCXact,
+			Schema: minidb.Schema{
+				col("cx_o_id", i64), col("cx_type", str), col("cx_num", str),
+				col("cx_amount", f64), col("cx_auth_id", str), col("cx_date", i64),
+			},
+			PK: []string{"cx_o_id"},
+		},
+	}
+}
+
+// Browser is one emulated browser's session state.
+type Browser struct {
+	customer int64
+	cartIDs  []int64 // items currently in cart
+}
+
+// Client drives the bookstore workload.
+type Client struct {
+	db  *minidb.DB
+	cfg Config
+	rng *rand.Rand
+
+	item     *minidb.Table
+	author   *minidb.Table
+	customer *minidb.Table
+	cart     *minidb.Table
+	orders   *minidb.Table
+	orderLn  *minidb.Table
+	ccXact   *minidb.Table
+
+	browsers []Browser
+	nextOID  int64
+	clock    int64
+	counts   map[Interaction]int64
+	total    int64
+}
+
+// Load creates and populates the bookstore, returning a client.
+func Load(db *minidb.DB, cfg Config, seed int64) (*Client, error) {
+	if cfg.Items < 10 || cfg.Authors < 1 || cfg.Customers < cfg.Browsers || cfg.Browsers < 1 {
+		return nil, fmt.Errorf("tpcw: invalid config %+v", cfg)
+	}
+	for _, spec := range Specs() {
+		if _, err := db.CreateTable(spec); err != nil {
+			return nil, fmt.Errorf("tpcw: create %s: %w", spec.Name, err)
+		}
+	}
+	c := &Client{
+		db:     db,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(seed)),
+		counts: make(map[Interaction]int64),
+	}
+	var err error
+	get := func(name string) *minidb.Table {
+		if err != nil {
+			return nil
+		}
+		var t *minidb.Table
+		t, err = db.Table(name)
+		return t
+	}
+	c.item = get(TItem)
+	c.author = get(TAuthor)
+	c.customer = get(TCustomer)
+	c.cart = get(TCart)
+	c.orders = get(TOrders)
+	c.orderLn = get(TOrderLn)
+	c.ccXact = get(TCCXact)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.populate(); err != nil {
+		return nil, fmt.Errorf("tpcw: populate: %w", err)
+	}
+	return c, nil
+}
+
+// Attach connects a client to an already-loaded bookstore (e.g. a
+// database reopened over a different device). Browser sessions start
+// fresh; the order-id counter resumes above existing orders.
+func Attach(db *minidb.DB, cfg Config, seed int64) (*Client, error) {
+	c := &Client{
+		db:     db,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(seed)),
+		counts: make(map[Interaction]int64),
+	}
+	var err error
+	get := func(name string) *minidb.Table {
+		if err != nil {
+			return nil
+		}
+		var t *minidb.Table
+		t, err = db.Table(name)
+		return t
+	}
+	c.item = get(TItem)
+	c.author = get(TAuthor)
+	c.customer = get(TCustomer)
+	c.cart = get(TCart)
+	c.orders = get(TOrders)
+	c.orderLn = get(TOrderLn)
+	c.ccXact = get(TCCXact)
+	if err != nil {
+		return nil, err
+	}
+	n, err := c.orders.Count()
+	if err != nil {
+		return nil, err
+	}
+	c.nextOID = int64(n)
+	c.browsers = make([]Browser, cfg.Browsers)
+	for i := range c.browsers {
+		c.browsers[i] = Browser{customer: int64(i + 1)}
+	}
+	return c, nil
+}
+
+func (c *Client) randString(lo, hi int) string {
+	const letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz "
+	n := lo + c.rng.Intn(hi-lo+1)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[c.rng.Intn(len(letters))]
+	}
+	return string(b)
+}
+
+func (c *Client) populate() error {
+	for a := int64(1); a <= int64(c.cfg.Authors); a++ {
+		row := minidb.Row{
+			minidb.I64(a),
+			minidb.Str(c.randString(3, 20)),
+			minidb.Str(c.randString(1, 20)),
+			minidb.Str(c.randString(125, 500)),
+		}
+		if err := c.author.Insert(nil, row); err != nil {
+			return err
+		}
+	}
+	for i := int64(1); i <= int64(c.cfg.Items); i++ {
+		row := minidb.Row{
+			minidb.I64(i),
+			minidb.I64(1 + c.rng.Int63n(int64(c.cfg.Authors))),
+			minidb.Str(c.randString(14, 60)),
+			minidb.I64(c.rng.Int63n(int64(len(subjects)))),
+			minidb.F64(float64(1+c.rng.Intn(9999)) / 100),
+			minidb.I64(int64(10 + c.rng.Intn(30))),
+			minidb.I64(0),
+			minidb.Str(c.randString(100, 500)),
+		}
+		if err := c.item.Insert(nil, row); err != nil {
+			return err
+		}
+	}
+	for cu := int64(1); cu <= int64(c.cfg.Customers); cu++ {
+		row := minidb.Row{
+			minidb.I64(cu),
+			minidb.Str(fmt.Sprintf("user%d", cu)),
+			minidb.Str(c.randString(8, 15)),
+			minidb.Str(c.randString(8, 15)),
+			minidb.I64(0),
+			minidb.I64(0),
+			minidb.F64(float64(c.rng.Intn(50)) / 100),
+			minidb.F64(0),
+			minidb.Str(c.randString(100, 400)),
+		}
+		if err := c.customer.Insert(nil, row); err != nil {
+			return err
+		}
+	}
+	c.browsers = make([]Browser, c.cfg.Browsers)
+	for i := range c.browsers {
+		c.browsers[i] = Browser{customer: int64(i + 1)}
+	}
+	return c.db.Checkpoint()
+}
+
+// Counts returns per-interaction execution counts.
+func (c *Client) Counts() map[Interaction]int64 {
+	out := make(map[Interaction]int64, len(c.counts))
+	for k, v := range c.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Total returns total interactions executed.
+func (c *Client) Total() int64 { return c.total }
+
+// nextInteraction draws from a shopping-mix-shaped distribution:
+// heavily read-biased with ~5% order processing.
+func (c *Client) nextInteraction(b *Browser) Interaction {
+	r := c.rng.Intn(100)
+	switch {
+	case r < 20:
+		return Home
+	case r < 50:
+		return ProductDetail
+	case r < 65:
+		return SearchBySubject
+	case r < 75:
+		return BestSellers
+	case r < 92:
+		return AddToCart
+	default:
+		if len(b.cartIDs) == 0 {
+			return AddToCart
+		}
+		return BuyConfirm
+	}
+}
+
+// Run executes n interactions round-robin across the emulated
+// browsers.
+func (c *Client) Run(n int) error {
+	for i := 0; i < n; i++ {
+		b := &c.browsers[i%len(c.browsers)]
+		action := c.nextInteraction(b)
+		if err := c.RunOne(b, action); err != nil {
+			return fmt.Errorf("tpcw: %v: %w", action, err)
+		}
+	}
+	return nil
+}
+
+// RunOne executes one interaction for a browser.
+func (c *Client) RunOne(b *Browser, action Interaction) error {
+	var err error
+	switch action {
+	case Home:
+		err = c.home(b)
+	case ProductDetail:
+		err = c.productDetail()
+	case SearchBySubject:
+		err = c.searchBySubject()
+	case BestSellers:
+		err = c.bestSellers()
+	case AddToCart:
+		err = c.addToCart(b)
+	case BuyConfirm:
+		err = c.buyConfirm(b)
+	default:
+		return fmt.Errorf("tpcw: unknown interaction %d", action)
+	}
+	if err != nil {
+		return err
+	}
+	c.counts[action]++
+	c.total++
+	return nil
+}
+
+// Browser returns the i-th emulated browser (for tests).
+func (c *Client) Browser(i int) *Browser { return &c.browsers[i] }
+
+func (c *Client) randItem() int64 { return 1 + c.rng.Int63n(int64(c.cfg.Items)) }
+
+func (c *Client) home(b *Browser) error {
+	if _, err := c.customer.Get(minidb.Key(b.customer)); err != nil {
+		return err
+	}
+	// Promotional items.
+	for i := 0; i < 5; i++ {
+		if _, err := c.item.Get(minidb.Key(c.randItem())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Client) productDetail() error {
+	row, err := c.item.Get(minidb.Key(c.randItem()))
+	if err != nil {
+		return err
+	}
+	_, err = c.author.Get(minidb.Key(row[1].I))
+	return err
+}
+
+func (c *Client) searchBySubject() error {
+	subject := c.rng.Int63n(int64(len(subjects)))
+	count := 0
+	return c.item.ScanIndex("by_subject", minidb.Key(subject), func(minidb.Row) (bool, error) {
+		count++
+		return count < 50, nil
+	})
+}
+
+func (c *Client) bestSellers() error {
+	// Scan recent orders' lines, tally items (a bounded window).
+	sold := make(map[int64]int64)
+	lowOID := c.nextOID - 100
+	if lowOID < 1 {
+		lowOID = 1
+	}
+	err := c.orderLn.ScanRange(minidb.Key(lowOID), nil, func(r minidb.Row) (bool, error) {
+		sold[r[1].I] += r[2].I
+		return true, nil
+	})
+	if err != nil {
+		return err
+	}
+	// Read the top items' rows (any 10).
+	read := 0
+	for id := range sold {
+		if read >= 10 {
+			break
+		}
+		if _, err := c.item.Get(minidb.Key(id)); err != nil {
+			return err
+		}
+		read++
+	}
+	return nil
+}
+
+func (c *Client) addToCart(b *Browser) error {
+	item := c.randItem()
+	txn := c.db.Begin()
+	key := minidb.Key(b.customer, item)
+	_, err := c.cart.Get(key)
+	switch {
+	case err == nil:
+		if err := c.cart.Update(txn, key, func(r minidb.Row) (minidb.Row, error) {
+			r[2] = minidb.I64(r[2].I + 1)
+			return r, nil
+		}); err != nil {
+			return err
+		}
+	default:
+		if err := c.cart.Insert(txn, minidb.Row{
+			minidb.I64(b.customer), minidb.I64(item), minidb.I64(1 + c.rng.Int63n(3)),
+		}); err != nil {
+			return err
+		}
+		b.cartIDs = append(b.cartIDs, item)
+	}
+	return txn.Commit()
+}
+
+func (c *Client) buyConfirm(b *Browser) error {
+	if len(b.cartIDs) == 0 {
+		return nil
+	}
+	txn := c.db.Begin()
+	c.nextOID++
+	c.clock++
+	oid := c.nextOID
+
+	subTotal := 0.0
+	for _, item := range b.cartIDs {
+		key := minidb.Key(b.customer, item)
+		cartRow, err := c.cart.Get(key)
+		if err != nil {
+			return err
+		}
+		qty := cartRow[2].I
+
+		itemRow, err := c.item.Get(minidb.Key(item))
+		if err != nil {
+			return err
+		}
+		subTotal += itemRow[4].F * float64(qty)
+
+		if err := c.orderLn.Insert(txn, minidb.Row{
+			minidb.I64(oid), minidb.I64(item), minidb.I64(qty),
+			minidb.F64(0), minidb.Str(c.randString(20, 100)),
+		}); err != nil {
+			return err
+		}
+		if err := c.item.Update(txn, minidb.Key(item), func(r minidb.Row) (minidb.Row, error) {
+			stock := r[5].I - qty
+			if stock < 0 {
+				stock += 21
+			}
+			r[5] = minidb.I64(stock)
+			r[6] = minidb.I64(r[6].I + qty)
+			return r, nil
+		}); err != nil {
+			return err
+		}
+		if err := c.cart.Delete(txn, key); err != nil {
+			return err
+		}
+	}
+
+	total := subTotal * 1.0825
+	if err := c.orders.Insert(txn, minidb.Row{
+		minidb.I64(oid), minidb.I64(b.customer), minidb.I64(c.clock),
+		minidb.F64(subTotal), minidb.F64(total), minidb.Str("PENDING"),
+	}); err != nil {
+		return err
+	}
+	if err := c.ccXact.Insert(txn, minidb.Row{
+		minidb.I64(oid), minidb.Str("VISA"), minidb.Str("1234567890123456"),
+		minidb.F64(total), minidb.Str(c.randString(5, 15)), minidb.I64(c.clock),
+	}); err != nil {
+		return err
+	}
+	if err := c.customer.Update(txn, minidb.Key(b.customer), func(r minidb.Row) (minidb.Row, error) {
+		r[7] = minidb.F64(r[7].F + total)
+		return r, nil
+	}); err != nil {
+		return err
+	}
+	b.cartIDs = nil
+	return txn.Commit()
+}

@@ -1,0 +1,152 @@
+package tpcw
+
+import (
+	"testing"
+
+	"prins/internal/block"
+	"prins/internal/minidb"
+)
+
+func testConfig() Config {
+	return Config{Items: 60, Authors: 15, Customers: 20, Browsers: 5}
+}
+
+func loadTestClient(t *testing.T, seed int64) *Client {
+	t.Helper()
+	store, err := block.NewMem(4096, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := minidb.Create(store, minidb.DBConfig{WALPages: 16, CheckpointEvery: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Load(db, testConfig(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestLoadPopulates(t *testing.T) {
+	c := loadTestClient(t, 1)
+	cfg := testConfig()
+	checks := map[*minidb.Table]int{
+		c.item:     cfg.Items,
+		c.author:   cfg.Authors,
+		c.customer: cfg.Customers,
+	}
+	for tbl, want := range checks {
+		got, err := tbl.Count()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%s count = %d, want %d", tbl.Spec().Name, got, want)
+		}
+	}
+}
+
+func TestLoadRejectsBadConfig(t *testing.T) {
+	store, _ := block.NewMem(4096, 1024)
+	db, err := minidb.Create(store, minidb.DBConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(db, Config{}, 1); err == nil {
+		t.Error("zero config accepted")
+	}
+	if _, err := Load(db, Config{Items: 100, Authors: 10, Customers: 2, Browsers: 5}, 1); err == nil {
+		t.Error("customers < browsers accepted")
+	}
+}
+
+func TestEachInteraction(t *testing.T) {
+	c := loadTestClient(t, 2)
+	b := c.Browser(0)
+	for _, action := range []Interaction{Home, ProductDetail, SearchBySubject, BestSellers, AddToCart} {
+		t.Run(action.String(), func(t *testing.T) {
+			for i := 0; i < 5; i++ {
+				if err := c.RunOne(b, action); err != nil {
+					t.Fatalf("iteration %d: %v", i, err)
+				}
+			}
+		})
+	}
+	// BuyConfirm after the carts were filled above.
+	if err := c.RunOne(b, BuyConfirm); err != nil {
+		t.Fatalf("buy confirm: %v", err)
+	}
+	if len(b.cartIDs) != 0 {
+		t.Error("cart not emptied by buy confirm")
+	}
+	orders, _ := c.orders.Count()
+	if orders != 1 {
+		t.Errorf("orders = %d, want 1", orders)
+	}
+	cc, _ := c.ccXact.Count()
+	if cc != 1 {
+		t.Errorf("cc_xacts = %d, want 1", cc)
+	}
+}
+
+func TestBuyConfirmEmptyCartIsNoop(t *testing.T) {
+	c := loadTestClient(t, 3)
+	b := c.Browser(1)
+	if err := c.RunOne(b, BuyConfirm); err != nil {
+		t.Fatal(err)
+	}
+	orders, _ := c.orders.Count()
+	if orders != 0 {
+		t.Error("empty-cart buy created an order")
+	}
+}
+
+func TestMixedRun(t *testing.T) {
+	c := loadTestClient(t, 4)
+	const n = 500
+	if err := c.Run(n); err != nil {
+		t.Fatal(err)
+	}
+	if c.Total() != n {
+		t.Fatalf("total = %d", c.Total())
+	}
+	counts := c.Counts()
+	// Read-heavy: browsing interactions dominate.
+	reads := counts[Home] + counts[ProductDetail] + counts[SearchBySubject] + counts[BestSellers]
+	if float64(reads)/float64(n) < 0.5 {
+		t.Errorf("browse fraction = %.2f, want > 0.5", float64(reads)/float64(n))
+	}
+	// Some orders actually completed.
+	orders, _ := c.orders.Count()
+	if orders == 0 {
+		t.Error("no orders placed in mixed run")
+	}
+	// Order lines reference the orders placed.
+	ol, _ := c.orderLn.Count()
+	if ol < orders {
+		t.Errorf("order lines %d < orders %d", ol, orders)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (int64, int) {
+		c := loadTestClient(t, 42)
+		if err := c.Run(300); err != nil {
+			t.Fatal(err)
+		}
+		orders, _ := c.orders.Count()
+		return c.Total(), orders
+	}
+	t1, o1 := run()
+	t2, o2 := run()
+	if t1 != t2 || o1 != o2 {
+		t.Errorf("nondeterministic: %d/%d orders %d/%d", t1, t2, o1, o2)
+	}
+}
+
+func TestInteractionString(t *testing.T) {
+	if Home.String() != "HOME" || Interaction(99).String() != "INTERACTION(99)" {
+		t.Error("interaction strings wrong")
+	}
+}

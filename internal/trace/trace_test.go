@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"prins/internal/block"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	type rec struct {
+		lba  uint64
+		data []byte
+	}
+	var recs []rec
+	for i := 0; i < 100; i++ {
+		data := make([]byte, 512)
+		rng.Read(data)
+		lba := uint64(rng.Intn(64))
+		if err := w.Record(lba, data); err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec{lba: lba, data: data})
+	}
+	if w.Count() != 100 {
+		t.Errorf("Count = %d", w.Count())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Error("double close should be nil")
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.BlockSize() != 512 {
+		t.Errorf("BlockSize = %d", r.BlockSize())
+	}
+	for i, want := range recs {
+		lba, data, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if lba != want.lba || !bytes.Equal(data, want.data) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	if _, _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("err = %v, want EOF", err)
+	}
+}
+
+func TestWriterValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf, 0); err == nil {
+		t.Error("zero block size accepted")
+	}
+	w, err := NewWriter(&buf, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Record(0, make([]byte, 100)); err == nil {
+		t.Error("wrong-size record accepted")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Record(0, make([]byte, 512)); err == nil {
+		t.Error("record after close accepted")
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	tests := []struct {
+		name string
+		data []byte
+	}{
+		{name: "empty", data: nil},
+		{name: "bad magic", data: []byte("NOPE\x01\x00\x00\x02\x00")},
+		{name: "bad version", data: []byte("PTRC\x09\x00\x00\x02\x00")},
+		{name: "truncated header", data: []byte("PTRC")},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewReader(bytes.NewReader(tt.data)); !errors.Is(err, ErrBadTrace) {
+				t.Errorf("err = %v, want ErrBadTrace", err)
+			}
+		})
+	}
+}
+
+func TestHookAndReplay(t *testing.T) {
+	src, err := block.NewMem(256, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook, hookErr := w.Hook()
+	observed := block.NewObserved(src, hook)
+
+	// Drive writes through the observed store.
+	rng := rand.New(rand.NewSource(2))
+	data := make([]byte, 256)
+	for i := 0; i < 50; i++ {
+		rng.Read(data)
+		if err := observed.WriteBlock(uint64(rng.Intn(32)), data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := hookErr(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay into a fresh store; final state must match the source.
+	dst, err := block.NewMem(256, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Replay(r, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 {
+		t.Errorf("replayed %d writes, want 50", n)
+	}
+	eq, err := block.Equal(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("replayed store differs from source")
+	}
+}
+
+func TestReplayGeometryMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 256)
+	if err := w.Record(0, make([]byte, 256)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, _ := block.NewMem(512, 32)
+	if _, err := Replay(r, dst); err == nil {
+		t.Error("geometry mismatch accepted")
+	}
+}

@@ -1,0 +1,88 @@
+package wan
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// LinkConfig shapes a live connection to behave like a WAN link.
+type LinkConfig struct {
+	// Latency is the one-way delay added to every write.
+	Latency time.Duration
+	// BytesPerSecond caps throughput with a token bucket; zero means
+	// unlimited.
+	BytesPerSecond float64
+	// BurstBytes is the token-bucket depth; defaults to one packet.
+	BurstBytes int
+}
+
+// ShapedConn wraps a net.Conn, delaying and rate-limiting writes so
+// the full replication stack can be exercised over an emulated T1/T3
+// link in integration tests. Reads pass through untouched: shaping the
+// sender side once is sufficient for a point-to-point link.
+type ShapedConn struct {
+	net.Conn
+
+	cfg    LinkConfig
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+	sleep  func(time.Duration) // injectable for tests
+}
+
+var _ net.Conn = (*ShapedConn)(nil)
+
+// Shape wraps conn with the given link behaviour.
+func Shape(conn net.Conn, cfg LinkConfig) *ShapedConn {
+	if cfg.BurstBytes <= 0 {
+		cfg.BurstBytes = PacketPayload + PacketHeader
+	}
+	return &ShapedConn{
+		Conn:   conn,
+		cfg:    cfg,
+		tokens: float64(cfg.BurstBytes),
+		last:   time.Now(),
+		sleep:  time.Sleep,
+	}
+}
+
+// Write implements net.Conn, applying latency and bandwidth limits.
+func (c *ShapedConn) Write(p []byte) (int, error) {
+	if c.cfg.Latency > 0 {
+		c.sleep(c.cfg.Latency)
+	}
+	if c.cfg.BytesPerSecond > 0 {
+		c.throttle(len(p))
+	}
+	return c.Conn.Write(p)
+}
+
+// throttle blocks until the token bucket covers n bytes.
+func (c *ShapedConn) throttle(n int) {
+	c.mu.Lock()
+	now := time.Now()
+	c.tokens += now.Sub(c.last).Seconds() * c.cfg.BytesPerSecond
+	if max := float64(c.cfg.BurstBytes); c.tokens > max {
+		c.tokens = max
+	}
+	c.last = now
+	c.tokens -= float64(n)
+	deficit := -c.tokens
+	c.mu.Unlock()
+
+	if deficit > 0 {
+		c.sleep(time.Duration(deficit / c.cfg.BytesPerSecond * float64(time.Second)))
+	}
+}
+
+// T1Link returns a LinkConfig matching a T1 line with typical WAN
+// propagation delay over two routers.
+func T1Link() LinkConfig {
+	return LinkConfig{Latency: 2 * PropDelay, BytesPerSecond: T1.BytesPerSecond}
+}
+
+// T3Link returns a LinkConfig matching a T3 line.
+func T3Link() LinkConfig {
+	return LinkConfig{Latency: 2 * PropDelay, BytesPerSecond: T3.BytesPerSecond}
+}

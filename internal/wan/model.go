@@ -1,0 +1,98 @@
+// Package wan models the wide-area network exactly as the paper's
+// Section 3.3 does — packetization into 1500-byte Ethernet payloads
+// with 112 bytes of Ethernet+IP+TCP headers each, T1/T3 line rates,
+// and the nodal delay decomposition
+//
+//	D_nodal = D_queue + D_trans + D_proc + D_prop    (Eq. 3)
+//
+// — and also provides live net.Conn shaping (added latency and
+// token-bucket bandwidth limiting) so integration tests can run the
+// real replication stack over an emulated WAN link.
+package wan
+
+import (
+	"fmt"
+	"time"
+)
+
+// Paper model constants (Section 3.3).
+const (
+	// PacketPayload is the Ethernet payload size assumed by the model.
+	PacketPayload = 1500
+	// PacketHeader is the Ethernet+IP+TCP header overhead per packet
+	// (0.112 KB in the paper).
+	PacketHeader = 112
+	// ProcDelay is the per-packet nodal processing delay (5 us).
+	ProcDelay = 5 * time.Microsecond
+	// PropDelay is the per-hop propagation delay: ~200 km at 2e8 m/s.
+	PropDelay = time.Millisecond
+)
+
+// Line is a WAN line type with its usable byte rate. The paper converts
+// line bit rates with 10 bits per byte (start/stop/parity overhead),
+// giving T1 = 154.4 KB/s and T3 = 4473.6 KB/s.
+type Line struct {
+	// Name is the human-readable line name.
+	Name string
+	// BytesPerSecond is the usable data rate.
+	BytesPerSecond float64
+}
+
+// The paper's two WAN configurations.
+var (
+	T1 = Line{Name: "T1", BytesPerSecond: 154.4e3}
+	T3 = Line{Name: "T3", BytesPerSecond: 4473.6e3}
+)
+
+// Packets returns the number of packets needed to carry payloadBytes.
+func Packets(payloadBytes int) int {
+	if payloadBytes <= 0 {
+		return 0
+	}
+	return (payloadBytes + PacketPayload - 1) / PacketPayload
+}
+
+// WireBytes returns the modelled on-the-wire size of a payload using
+// the paper's continuous approximation Sd + Sd/1.5KB*0.112KB. The
+// paper scales header overhead proportionally rather than per whole
+// packet; we follow it exactly so the model outputs match.
+func WireBytes(payloadBytes int) float64 {
+	if payloadBytes <= 0 {
+		return 0
+	}
+	return float64(payloadBytes) + float64(payloadBytes)/float64(PacketPayload)*float64(PacketHeader)
+}
+
+// WireBytesDiscrete returns the wire size charging a full 112-byte
+// header for every (possibly partial) packet — the discrete variant
+// used by the live traffic accounting.
+func WireBytesDiscrete(payloadBytes int) int {
+	return payloadBytes + Packets(payloadBytes)*PacketHeader
+}
+
+// TransDelay returns the transmission delay D_trans of a payload on a
+// line: modelled wire bytes divided by the line rate.
+func TransDelay(payloadBytes int, line Line) time.Duration {
+	seconds := WireBytes(payloadBytes) / line.BytesPerSecond
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// RouterServiceTime returns the queueing-model service time of one
+// router for a replication of payloadBytes (Eq. 4):
+//
+//	S_router = D_trans + D_proc + D_prop
+func RouterServiceTime(payloadBytes int, line Line) time.Duration {
+	return TransDelay(payloadBytes, line) + ProcDelay + PropDelay
+}
+
+// PathDelay returns the no-queueing path latency of a replication
+// through nRouters routers: the sum of their service times. Queueing
+// delay on top of this comes from the queueing package.
+func PathDelay(payloadBytes int, line Line, nRouters int) time.Duration {
+	return time.Duration(nRouters) * RouterServiceTime(payloadBytes, line)
+}
+
+// String implements fmt.Stringer.
+func (l Line) String() string {
+	return fmt.Sprintf("%s (%.1f KB/s)", l.Name, l.BytesPerSecond/1e3)
+}

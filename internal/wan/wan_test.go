@@ -1,0 +1,197 @@
+package wan
+
+import (
+	"bytes"
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPackets(t *testing.T) {
+	tests := []struct {
+		bytes int
+		want  int
+	}{
+		{0, 0},
+		{-5, 0},
+		{1, 1},
+		{1500, 1},
+		{1501, 2},
+		{8192, 6},
+		{65536, 44},
+	}
+	for _, tt := range tests {
+		if got := Packets(tt.bytes); got != tt.want {
+			t.Errorf("Packets(%d) = %d, want %d", tt.bytes, got, tt.want)
+		}
+	}
+}
+
+func TestWireBytes(t *testing.T) {
+	// Paper formula: Sd + Sd/1.5KB * 0.112KB.
+	if got, want := WireBytes(1500), 1612.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("WireBytes(1500) = %f, want %f", got, want)
+	}
+	if got := WireBytes(0); got != 0 {
+		t.Errorf("WireBytes(0) = %f, want 0", got)
+	}
+	// 8KB block: 8192 + 8192/1500*112.
+	want := 8192 + 8192.0/1500*112
+	if got := WireBytes(8192); math.Abs(got-want) > 1e-9 {
+		t.Errorf("WireBytes(8192) = %f, want %f", got, want)
+	}
+}
+
+func TestWireBytesDiscrete(t *testing.T) {
+	if got, want := WireBytesDiscrete(1500), 1612; got != want {
+		t.Errorf("discrete(1500) = %d, want %d", got, want)
+	}
+	if got, want := WireBytesDiscrete(1501), 1501+2*112; got != want {
+		t.Errorf("discrete(1501) = %d, want %d", got, want)
+	}
+	if got := WireBytesDiscrete(0); got != 0 {
+		t.Errorf("discrete(0) = %d, want 0", got)
+	}
+}
+
+func TestTransDelayPaperNumbers(t *testing.T) {
+	// From the paper: Dtrans = (Sd + Sd/1.5*0.112)/154.4 s for T1.
+	// For an 8KB block: wire = 8803.7 bytes; T1 = 154.4 KB/s
+	// => ~57.0 ms.
+	d := TransDelay(8192, T1)
+	wantMs := WireBytes(8192) / 154.4e3 * 1000
+	if gotMs := float64(d) / float64(time.Millisecond); math.Abs(gotMs-wantMs) > 0.01 {
+		t.Errorf("T1 TransDelay(8192) = %.3f ms, want %.3f ms", gotMs, wantMs)
+	}
+
+	// T3 is ~29x faster than T1 (44.736/1.544).
+	ratio := float64(TransDelay(8192, T1)) / float64(TransDelay(8192, T3))
+	if math.Abs(ratio-44.736/1.544) > 0.01 {
+		t.Errorf("T1/T3 delay ratio = %.2f, want %.2f", ratio, 44.736/1.544)
+	}
+}
+
+func TestRouterServiceTime(t *testing.T) {
+	s := RouterServiceTime(8192, T1)
+	want := TransDelay(8192, T1) + ProcDelay + PropDelay
+	if s != want {
+		t.Errorf("RouterServiceTime = %v, want %v", s, want)
+	}
+	// Service time ordering: PRINS' small payloads must cost less.
+	if RouterServiceTime(400, T1) >= RouterServiceTime(8192, T1) {
+		t.Error("smaller payload should have smaller service time")
+	}
+}
+
+func TestPathDelay(t *testing.T) {
+	one := PathDelay(8192, T1, 1)
+	two := PathDelay(8192, T1, 2)
+	if two != 2*one {
+		t.Errorf("PathDelay(2 routers) = %v, want %v", two, 2*one)
+	}
+	if PathDelay(8192, T1, 0) != 0 {
+		t.Error("zero routers should cost nothing")
+	}
+}
+
+func TestLineString(t *testing.T) {
+	if got := T1.String(); got != "T1 (154.4 KB/s)" {
+		t.Errorf("T1.String() = %q", got)
+	}
+}
+
+func TestShapedConnPassesData(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	shaped := Shape(a, LinkConfig{}) // no shaping
+
+	msg := []byte("hello over the WAN")
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := shaped.Write(msg); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	}()
+	got := make([]byte, len(msg))
+	if _, err := ioReadFull(b, got); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	wg.Wait()
+	if !bytes.Equal(got, msg) {
+		t.Errorf("got %q, want %q", got, msg)
+	}
+}
+
+// ioReadFull avoids importing io just for ReadFull in this small test.
+func ioReadFull(c net.Conn, buf []byte) (int, error) {
+	n := 0
+	for n < len(buf) {
+		m, err := c.Read(buf[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+func TestShapedConnAppliesLatencyAndThrottle(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	var slept time.Duration
+	var mu sync.Mutex
+	shaped := Shape(a, LinkConfig{
+		Latency:        5 * time.Millisecond,
+		BytesPerSecond: 1000,
+		BurstBytes:     100,
+	})
+	shaped.sleep = func(d time.Duration) {
+		mu.Lock()
+		slept += d
+		mu.Unlock()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 1024)
+		for {
+			if _, err := b.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+
+	// 300 bytes against a 100-byte bucket at 1000 B/s: ~200ms of
+	// throttle plus 5ms latency.
+	if _, err := shaped.Write(make([]byte, 300)); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	<-done
+
+	mu.Lock()
+	defer mu.Unlock()
+	if slept < 5*time.Millisecond {
+		t.Errorf("total sleep %v, want >= latency 5ms", slept)
+	}
+	if slept < 200*time.Millisecond {
+		t.Errorf("total sleep %v, want >= ~200ms of throttling", slept)
+	}
+}
+
+func TestLinkPresets(t *testing.T) {
+	if T1Link().BytesPerSecond != T1.BytesPerSecond {
+		t.Error("T1Link rate mismatch")
+	}
+	if T3Link().BytesPerSecond != T3.BytesPerSecond {
+		t.Error("T3Link rate mismatch")
+	}
+}

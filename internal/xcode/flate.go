@@ -1,0 +1,59 @@
+package xcode
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// DEFLATE codec used both for the traditional-with-compression baseline
+// (whole data blocks) and as the optional second stage of CodecZRLFlate.
+// Writers are pooled: compression is on the replication hot path and
+// flate.NewWriter allocates large internal tables.
+
+var flateWriterPool = sync.Pool{
+	New: func() any {
+		// flate.NewWriter only errors on invalid levels; 6 is valid.
+		w, err := flate.NewWriter(io.Discard, 6)
+		if err != nil {
+			panic(fmt.Sprintf("xcode: flate.NewWriter: %v", err))
+		}
+		return w
+	},
+}
+
+func flateEncode(data []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Grow(len(data)/2 + 64)
+	w, ok := flateWriterPool.Get().(*flate.Writer)
+	if !ok {
+		return nil, fmt.Errorf("xcode: bad pool element")
+	}
+	defer flateWriterPool.Put(w)
+	w.Reset(&buf)
+	if _, err := w.Write(data); err != nil {
+		return nil, fmt.Errorf("xcode: flate write: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return nil, fmt.Errorf("xcode: flate close: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// flateDecode inflates body, refusing to produce more than maxLen
+// bytes so that corrupt frames cannot balloon memory.
+func flateDecode(body []byte, maxLen int) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(body))
+	defer r.Close()
+	var buf bytes.Buffer
+	n, err := io.Copy(&buf, io.LimitReader(r, int64(maxLen)+1))
+	if err != nil {
+		return nil, fmt.Errorf("%w: inflate: %v", ErrBadFrame, err)
+	}
+	if n > int64(maxLen) {
+		return nil, fmt.Errorf("%w: inflated past %d bytes", ErrTooLarge, maxLen)
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,48 @@
+package xcode
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at the frame decoder: it must
+// never panic, and any frame it accepts must respect MaxBlockLen.
+func FuzzDecode(f *testing.F) {
+	seed, _ := Encode(CodecZRL, []byte("seed parity block"))
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{byte(CodecRaw), 0, 0, 0, 4, 1, 2, 3, 4})
+	f.Add([]byte{byte(CodecFlate), 0, 0, 0, 16, 0xde, 0xad})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := Decode(data)
+		if err == nil && len(out) > MaxBlockLen {
+			t.Fatalf("accepted frame decoding to %d bytes", len(out))
+		}
+	})
+}
+
+// FuzzRoundTrip checks that every input encodes and decodes back to
+// itself under every codec.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("hello world"))
+	f.Add(bytes.Repeat([]byte{0}, 512))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > MaxBlockLen {
+			return
+		}
+		for _, c := range []Codec{CodecRaw, CodecZRL, CodecFlate, CodecZRLFlate} {
+			frame, err := Encode(c, data)
+			if err != nil {
+				t.Fatalf("%v encode: %v", c, err)
+			}
+			got, err := Decode(frame)
+			if err != nil {
+				t.Fatalf("%v decode: %v", c, err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("%v round trip mismatch", c)
+			}
+		}
+	})
+}

@@ -1,0 +1,193 @@
+// Package xcode implements the encodings PRINS and its baselines use to
+// put blocks on the wire. A forward-parity block is mostly zeros (only
+// 5-20% of a block changes on a typical write), so a zero-run-length
+// scheme collapses it to little more than the changed bytes; the paper
+// calls this "a simple encoding scheme [that] can substantially reduce
+// the size of the parity". The traditional-with-compression baseline
+// compresses whole data blocks with DEFLATE, standing in for the
+// paper's zlib [22].
+//
+// Every encoded payload is a self-describing frame: a one-byte codec
+// identifier, a 4-byte big-endian decoded length, then the codec
+// payload. Decode picks the registered codec from the frame, so the
+// receiving engine needs no out-of-band negotiation.
+package xcode
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Codec identifies an encoding scheme within a frame.
+type Codec uint8
+
+// Supported codecs. The zero value is invalid on the wire so that an
+// all-zero (corrupt) frame never decodes silently.
+const (
+	// CodecRaw stores the payload verbatim (traditional replication).
+	CodecRaw Codec = iota + 1
+	// CodecZRL zero-run-length encodes sparse parity blocks.
+	CodecZRL
+	// CodecFlate DEFLATE-compresses the payload (compression baseline).
+	CodecFlate
+	// CodecZRLFlate applies ZRL then DEFLATE, squeezing residual
+	// redundancy out of the changed bytes themselves.
+	CodecZRLFlate
+)
+
+// String returns the codec's short name.
+func (c Codec) String() string {
+	switch c {
+	case CodecRaw:
+		return "raw"
+	case CodecZRL:
+		return "zrl"
+	case CodecFlate:
+		return "flate"
+	case CodecZRLFlate:
+		return "zrl+flate"
+	default:
+		return fmt.Sprintf("codec(%d)", uint8(c))
+	}
+}
+
+// Valid reports whether c names a supported codec.
+func (c Codec) Valid() bool {
+	return c >= CodecRaw && c <= CodecZRLFlate
+}
+
+// Frame layout constants.
+const (
+	headerLen = 5 // 1 byte codec + 4 bytes decoded length
+
+	// MaxBlockLen bounds the decoded length accepted from the wire,
+	// protecting the replica from hostile or corrupt frames that claim
+	// enormous sizes. 16 MiB is far above any block size in use.
+	MaxBlockLen = 16 << 20
+)
+
+// Error values callers can match with errors.Is.
+var (
+	ErrBadFrame    = errors.New("xcode: malformed frame")
+	ErrUnknownCode = errors.New("xcode: unknown codec")
+	ErrTooLarge    = errors.New("xcode: decoded length exceeds limit")
+)
+
+// Encode encodes block with the given codec and returns the framed
+// payload. The input block is not modified.
+func Encode(c Codec, block []byte) ([]byte, error) {
+	if len(block) > MaxBlockLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(block))
+	}
+	var body []byte
+	var err error
+	switch c {
+	case CodecRaw:
+		body = block
+	case CodecZRL:
+		body = zrlEncode(block)
+	case CodecFlate:
+		body, err = flateEncode(block)
+	case CodecZRLFlate:
+		body, err = flateEncode(zrlEncode(block))
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownCode, uint8(c))
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, headerLen+len(body))
+	out[0] = byte(c)
+	binary.BigEndian.PutUint32(out[1:5], uint32(len(block)))
+	copy(out[headerLen:], body)
+	return out, nil
+}
+
+// EncodeBest encodes block with every candidate codec and returns the
+// smallest frame. PRINS uses this opportunistically when CPU budget
+// allows; ZRL alone is the fast path.
+func EncodeBest(block []byte, candidates ...Codec) ([]byte, error) {
+	if len(candidates) == 0 {
+		return nil, errors.New("xcode: no candidate codecs")
+	}
+	var best []byte
+	for _, c := range candidates {
+		frame, err := Encode(c, block)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || len(frame) < len(best) {
+			best = frame
+		}
+	}
+	return best, nil
+}
+
+// Decode decodes a frame produced by Encode, returning the original
+// block. Corrupt or truncated frames yield ErrBadFrame; unregistered
+// codec bytes yield ErrUnknownCode.
+func Decode(frame []byte) ([]byte, error) {
+	c, decodedLen, body, err := splitFrame(frame)
+	if err != nil {
+		return nil, err
+	}
+	var out []byte
+	switch c {
+	case CodecRaw:
+		if len(body) != decodedLen {
+			return nil, fmt.Errorf("%w: raw body %d != declared %d", ErrBadFrame, len(body), decodedLen)
+		}
+		out = make([]byte, decodedLen)
+		copy(out, body)
+	case CodecZRL:
+		out, err = zrlDecode(body, decodedLen)
+	case CodecFlate:
+		out, err = flateDecode(body, decodedLen)
+	case CodecZRLFlate:
+		var mid []byte
+		// Inner ZRL stream length is unknown until inflated; bound it
+		// by the worst-case ZRL expansion of the block.
+		mid, err = flateDecode(body, zrlMaxEncodedLen(decodedLen))
+		if err == nil {
+			out, err = zrlDecode(mid, decodedLen)
+		}
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownCode, uint8(c))
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(out) != decodedLen {
+		return nil, fmt.Errorf("%w: decoded %d bytes, declared %d", ErrBadFrame, len(out), decodedLen)
+	}
+	return out, nil
+}
+
+// FrameCodec returns the codec identifier of a frame without decoding
+// its body.
+func FrameCodec(frame []byte) (Codec, error) {
+	c, _, _, err := splitFrame(frame)
+	return c, err
+}
+
+// DecodedLen returns the declared decoded length of a frame.
+func DecodedLen(frame []byte) (int, error) {
+	_, n, _, err := splitFrame(frame)
+	return n, err
+}
+
+func splitFrame(frame []byte) (Codec, int, []byte, error) {
+	if len(frame) < headerLen {
+		return 0, 0, nil, fmt.Errorf("%w: frame %d bytes", ErrBadFrame, len(frame))
+	}
+	c := Codec(frame[0])
+	if !c.Valid() {
+		return 0, 0, nil, fmt.Errorf("%w: %d", ErrUnknownCode, frame[0])
+	}
+	n := int(binary.BigEndian.Uint32(frame[1:5]))
+	if n > MaxBlockLen {
+		return 0, 0, nil, fmt.Errorf("%w: declared %d bytes", ErrTooLarge, n)
+	}
+	return c, n, frame[headerLen:], nil
+}

@@ -1,0 +1,227 @@
+package xcode
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var allCodecs = []Codec{CodecRaw, CodecZRL, CodecFlate, CodecZRLFlate}
+
+// sparseBlock builds a block of size n with the given fraction of bytes
+// changed (non-zero), clustered in short runs the way real page writes
+// look.
+func sparseBlock(rng *rand.Rand, n int, fraction float64) []byte {
+	b := make([]byte, n)
+	changed := int(float64(n) * fraction)
+	for changed > 0 {
+		runLen := 1 + rng.Intn(32)
+		if runLen > changed {
+			runLen = changed
+		}
+		off := rng.Intn(n)
+		for i := 0; i < runLen && off+i < n; i++ {
+			b[off+i] = byte(1 + rng.Intn(255))
+		}
+		changed -= runLen
+	}
+	return b
+}
+
+func TestRoundTripAllCodecs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	inputs := map[string][]byte{
+		"empty":       {},
+		"all zeros":   make([]byte, 4096),
+		"all ones":    bytes.Repeat([]byte{0xFF}, 4096),
+		"sparse 5%":   sparseBlock(rng, 8192, 0.05),
+		"sparse 20%":  sparseBlock(rng, 8192, 0.20),
+		"dense rand":  randBlock(rng, 8192),
+		"one byte":    {0x42},
+		"odd length":  randBlock(rng, 4099),
+		"single tail": append(make([]byte, 511), 1),
+		"single head": append([]byte{1}, make([]byte, 511)...),
+	}
+	for _, c := range allCodecs {
+		for name, in := range inputs {
+			t.Run(c.String()+"/"+name, func(t *testing.T) {
+				frame, err := Encode(c, in)
+				if err != nil {
+					t.Fatalf("Encode: %v", err)
+				}
+				got, err := Decode(frame)
+				if err != nil {
+					t.Fatalf("Decode: %v", err)
+				}
+				if !bytes.Equal(got, in) {
+					t.Errorf("round trip mismatch: got %d bytes, want %d", len(got), len(in))
+				}
+				gotCodec, err := FrameCodec(frame)
+				if err != nil || gotCodec != c {
+					t.Errorf("FrameCodec = %v,%v want %v", gotCodec, err, c)
+				}
+				n, err := DecodedLen(frame)
+				if err != nil || n != len(in) {
+					t.Errorf("DecodedLen = %d,%v want %d", n, err, len(in))
+				}
+			})
+		}
+	}
+}
+
+func randBlock(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+// TestZRLCompressesSparse asserts the core size claim: a 5%-changed
+// parity block must shrink by a large factor under ZRL.
+func TestZRLCompressesSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	block := sparseBlock(rng, 65536, 0.05)
+	frame, err := Encode(CodecZRL, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(len(block)) / float64(len(frame)); ratio < 5 {
+		t.Errorf("ZRL ratio on 5%% sparse block = %.1fx, want >= 5x (frame %d bytes)", ratio, len(frame))
+	}
+
+	zeros := make([]byte, 65536)
+	frame, err = Encode(CodecZRL, zeros)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame) > 32 {
+		t.Errorf("ZRL of all-zero 64K block = %d bytes, want tiny", len(frame))
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	for _, c := range allCodecs {
+		c := c
+		f := func(data []byte) bool {
+			frame, err := Encode(c, data)
+			if err != nil {
+				return false
+			}
+			got, err := Decode(frame)
+			if err != nil {
+				return false
+			}
+			return bytes.Equal(got, data)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+			t.Errorf("%v: %v", c, err)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruptFrames(t *testing.T) {
+	tests := []struct {
+		name    string
+		frame   []byte
+		wantErr error
+	}{
+		{name: "empty", frame: nil, wantErr: ErrBadFrame},
+		{name: "short header", frame: []byte{1, 0, 0}, wantErr: ErrBadFrame},
+		{name: "zero codec", frame: []byte{0, 0, 0, 0, 4}, wantErr: ErrUnknownCode},
+		{name: "unknown codec", frame: []byte{99, 0, 0, 0, 4}, wantErr: ErrUnknownCode},
+		{name: "raw length lie", frame: []byte{byte(CodecRaw), 0, 0, 0, 10, 1, 2}, wantErr: ErrBadFrame},
+		{name: "huge declared length", frame: []byte{byte(CodecRaw), 0xFF, 0xFF, 0xFF, 0xFF}, wantErr: ErrTooLarge},
+		{name: "garbage flate body", frame: []byte{byte(CodecFlate), 0, 0, 0, 8, 0xde, 0xad, 0xbe, 0xef}, wantErr: ErrBadFrame},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Decode(tt.frame)
+			if !errors.Is(err, tt.wantErr) {
+				t.Errorf("Decode err = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestZRLDecodeRejectsOverruns(t *testing.T) {
+	// Hand-built ZRL streams that overrun their declared block.
+	tests := []struct {
+		name   string
+		stream []byte
+	}{
+		{name: "skip overrun", stream: []byte{200, 1}},       // skip=200 > block 8
+		{name: "literal overrun", stream: []byte{0, 200, 1}}, // lit=200 > remaining
+		{name: "literal past stream", stream: []byte{0, 4, 1, 2}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := zrlDecode(tt.stream, 8); err == nil {
+				t.Error("zrlDecode: want error, got nil")
+			}
+		})
+	}
+}
+
+func TestDecodeFuzzedFramesNeverPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		frame := make([]byte, rng.Intn(64))
+		rng.Read(frame)
+		// Must not panic; error or success both acceptable.
+		out, err := Decode(frame)
+		if err == nil && len(out) > MaxBlockLen {
+			t.Fatal("decoded block exceeds MaxBlockLen")
+		}
+	}
+}
+
+func TestEncodeBest(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	block := sparseBlock(rng, 8192, 0.10)
+
+	if _, err := EncodeBest(block); err == nil {
+		t.Error("EncodeBest with no candidates: want error")
+	}
+
+	best, err := EncodeBest(block, CodecRaw, CodecZRL, CodecZRLFlate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := Encode(CodecRaw, block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(best) > len(raw) {
+		t.Errorf("EncodeBest produced %d bytes, larger than raw %d", len(best), len(raw))
+	}
+	got, err := Decode(best)
+	if err != nil || !bytes.Equal(got, block) {
+		t.Errorf("EncodeBest frame did not round trip: %v", err)
+	}
+}
+
+func TestEncodeRejectsOversize(t *testing.T) {
+	huge := make([]byte, MaxBlockLen+1)
+	if _, err := Encode(CodecRaw, huge); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("Encode oversize: err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestCodecString(t *testing.T) {
+	tests := []struct {
+		c    Codec
+		want string
+	}{
+		{CodecRaw, "raw"},
+		{CodecZRL, "zrl"},
+		{CodecFlate, "flate"},
+		{CodecZRLFlate, "zrl+flate"},
+		{Codec(42), "codec(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.c.String(); got != tt.want {
+			t.Errorf("Codec(%d).String() = %q, want %q", tt.c, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,326 @@
+package prins
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"prins/internal/block"
+	"prins/internal/core"
+	"prins/internal/iscsi"
+	"prins/internal/resync"
+	"prins/internal/xcode"
+)
+
+// Store is a fixed-geometry block device addressed by logical block
+// address. All library storage plugs in through this interface.
+type Store interface {
+	// ReadBlock fills buf (exactly BlockSize bytes) from block lba.
+	ReadBlock(lba uint64, buf []byte) error
+	// WriteBlock replaces block lba with data (exactly BlockSize bytes).
+	WriteBlock(lba uint64, data []byte) error
+	// BlockSize returns the device block size in bytes.
+	BlockSize() int
+	// NumBlocks returns the device capacity in blocks.
+	NumBlocks() uint64
+	// Close releases the device.
+	Close() error
+}
+
+// NewMemStore allocates a dense in-memory block device.
+func NewMemStore(blockSize int, numBlocks uint64) (Store, error) {
+	return block.NewMem(blockSize, numBlocks)
+}
+
+// NewSparseStore allocates a thin-provisioned in-memory device that
+// materializes only written blocks.
+func NewSparseStore(blockSize int, numBlocks uint64) (Store, error) {
+	return block.NewSparse(blockSize, numBlocks)
+}
+
+// NewFileStore creates (or truncates) a file-backed block device.
+func NewFileStore(path string, blockSize int, numBlocks uint64) (Store, error) {
+	return block.CreateFile(path, blockSize, numBlocks)
+}
+
+// OpenFileStore opens an existing file-backed device.
+func OpenFileStore(path string, blockSize int) (Store, error) {
+	return block.OpenFile(path, blockSize)
+}
+
+// Mode selects the replication technique.
+type Mode uint8
+
+// Replication modes, in the paper's presentation order.
+const (
+	// ModeTraditional ships every changed block whole.
+	ModeTraditional = Mode(core.ModeTraditional)
+	// ModeCompressed ships each changed block DEFLATE-compressed.
+	ModeCompressed = Mode(core.ModeCompressed)
+	// ModePRINS ships the zero-run-length-encoded forward parity.
+	ModePRINS = Mode(core.ModePRINS)
+)
+
+// String returns the mode name.
+func (m Mode) String() string { return core.Mode(m).String() }
+
+// Config parameterizes a Primary.
+type Config struct {
+	// Mode is the replication technique. Required.
+	Mode Mode
+	// Async ships frames from a background worker (the paper's
+	// PRINS-engine thread); writes return after the local write and
+	// enqueue. Errors surface on Drain.
+	Async bool
+	// QueueDepth bounds the async queue (default 256).
+	QueueDepth int
+	// SkipUnchanged elides replication of writes that did not change
+	// the block (PRINS mode only).
+	SkipUnchanged bool
+	// RecordDensity tracks per-write change density (PRINS mode only).
+	RecordDensity bool
+	// AggressiveEncoding additionally tries DEFLATE over the parity and
+	// ships whichever frame is smaller, trading CPU for bytes.
+	AggressiveEncoding bool
+}
+
+// Stats is a point-in-time snapshot of a Primary's replication
+// counters.
+type Stats struct {
+	// Writes is the number of block writes intercepted.
+	Writes int64
+	// Replicated is the number of frames shipped (writes x replicas).
+	Replicated int64
+	// Skipped counts writes elided because nothing changed.
+	Skipped int64
+	// PayloadBytes is the total encoded payload shipped.
+	PayloadBytes int64
+	// WireBytes models on-the-wire bytes (payload + packet headers).
+	WireBytes int64
+	// RawBytes is what traditional replication would have shipped.
+	RawBytes int64
+	// EncodeTime is the cumulative primary-side compute time.
+	EncodeTime time.Duration
+	// MeanPayload is the average frame payload in bytes.
+	MeanPayload float64
+	// SavingsVsRaw is RawBytes / PayloadBytes.
+	SavingsVsRaw float64
+	// MeanChangedFraction is the mean fraction of each block changed
+	// per write (only populated with Config.RecordDensity).
+	MeanChangedFraction float64
+}
+
+// Primary is the primary-side replication engine over a local Store.
+// It implements Store itself: reads and writes go to local storage,
+// and writes additionally replicate to every attached replica.
+type Primary struct {
+	engine    *core.Engine
+	target    *iscsi.Target
+	conns     []*iscsi.Initiator
+	resilient []*resync.ResilientClient
+}
+
+var _ Store = (*Primary)(nil)
+
+// NewPrimary wraps local with a replication engine.
+func NewPrimary(local Store, cfg Config) (*Primary, error) {
+	codecs := []xcode.Codec{xcode.CodecZRL}
+	if cfg.AggressiveEncoding {
+		codecs = append(codecs, xcode.CodecZRLFlate)
+	}
+	engine, err := core.NewEngine(local, core.Config{
+		Mode:          core.Mode(cfg.Mode),
+		Codecs:        codecs,
+		Async:         cfg.Async,
+		QueueDepth:    cfg.QueueDepth,
+		SkipUnchanged: cfg.SkipUnchanged,
+		RecordDensity: cfg.RecordDensity,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Primary{engine: engine}, nil
+}
+
+// AttachReplicaAddr connects to a replica node serving exportName at
+// addr and replicates to it from now on. Call before serving writes.
+func (p *Primary) AttachReplicaAddr(addr, exportName string) error {
+	init, err := iscsi.Dial(addr)
+	if err != nil {
+		return err
+	}
+	if err := init.Login(exportName); err != nil {
+		init.Close()
+		return err
+	}
+	bs, nb := p.engine.Geometry()
+	if init.BlockSize() != bs || init.NumBlocks() < nb {
+		init.Close()
+		return fmt.Errorf("prins: replica %s geometry %dx%d incompatible with primary %dx%d",
+			addr, init.NumBlocks(), init.BlockSize(), nb, bs)
+	}
+	p.conns = append(p.conns, init)
+	p.engine.AttachReplica(init)
+	return nil
+}
+
+// AttachReplica attaches an in-process replica.
+func (p *Primary) AttachReplica(r *Replica) {
+	p.engine.AttachReplica(&core.Loopback{Replica: r.engine})
+}
+
+// AttachReplicaResilient connects to a replica like AttachReplicaAddr
+// but survives session loss: on a failed push it reconnects, runs a
+// hash-based delta resync to heal the writes lost while disconnected,
+// and resumes. Use it when the WAN is expected to flap.
+func (p *Primary) AttachReplicaResilient(addr, exportName string) error {
+	rc, err := resync.NewResilientClient(p.engine, addr, exportName)
+	if err != nil {
+		return err
+	}
+	p.resilient = append(p.resilient, rc)
+	p.engine.AttachReplica(rc)
+	return nil
+}
+
+// InitialSync copies the primary's current contents to a replica over
+// its device interface, establishing the A_old state PRINS requires.
+func (p *Primary) InitialSync(r *Replica) error {
+	return block.Copy(r.engine.Store(), p.engine)
+}
+
+// ReadBlock implements Store.
+func (p *Primary) ReadBlock(lba uint64, buf []byte) error {
+	return p.engine.ReadBlock(lba, buf)
+}
+
+// WriteBlock implements Store: local write plus replication.
+func (p *Primary) WriteBlock(lba uint64, data []byte) error {
+	return p.engine.WriteBlock(lba, data)
+}
+
+// BlockSize implements Store.
+func (p *Primary) BlockSize() int { return p.engine.BlockSize() }
+
+// NumBlocks implements Store.
+func (p *Primary) NumBlocks() uint64 { return p.engine.NumBlocks() }
+
+// Serve exports the primary device over TCP so applications can mount
+// it with Dial. Returns the bound address.
+func (p *Primary) Serve(addr, exportName string) (net.Addr, error) {
+	if p.target == nil {
+		p.target = iscsi.NewTarget()
+	}
+	p.target.Export(exportName, p.engine)
+	return p.target.Listen(addr)
+}
+
+// Drain blocks until all queued replication has shipped and reports
+// the first asynchronous replication error.
+func (p *Primary) Drain() error { return p.engine.Drain() }
+
+// Stats snapshots the replication counters.
+func (p *Primary) Stats() Stats {
+	s := p.engine.Traffic().Snapshot()
+	return Stats{
+		Writes:              s.Writes,
+		Replicated:          s.Replicated,
+		Skipped:             s.Skipped,
+		PayloadBytes:        s.PayloadBytes,
+		WireBytes:           s.WireBytes,
+		RawBytes:            s.RawBytes,
+		EncodeTime:          s.EncodeTime,
+		MeanPayload:         s.MeanPayload(),
+		SavingsVsRaw:        s.SavingsVsRaw(),
+		MeanChangedFraction: p.engine.Density().Mean(),
+	}
+}
+
+// Close drains replication, stops serving, and closes replica
+// connections. The local store remains open (the caller owns it).
+func (p *Primary) Close() error {
+	err := p.engine.Close()
+	if p.target != nil {
+		if cerr := p.target.Close(); err == nil {
+			err = cerr
+		}
+	}
+	for _, c := range p.conns {
+		if cerr := c.Close(); err == nil && !errors.Is(cerr, net.ErrClosed) {
+			err = cerr
+		}
+	}
+	for _, c := range p.resilient {
+		if cerr := c.Close(); err == nil && !errors.Is(cerr, net.ErrClosed) {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Replica is the replica-side engine: it applies pushes from a
+// primary to its local store, keeping a byte-identical copy.
+type Replica struct {
+	engine *core.ReplicaEngine
+	target *iscsi.Target
+}
+
+// NewReplica wraps local as a replication target.
+func NewReplica(local Store) *Replica {
+	return &Replica{engine: core.NewReplicaEngine(local)}
+}
+
+// Serve exposes the replica on the network: primaries replicate to it
+// and clients may mount it (read-mostly) for verification or failover.
+func (r *Replica) Serve(addr, exportName string) (net.Addr, error) {
+	if r.target == nil {
+		r.target = iscsi.NewTarget()
+	}
+	r.target.Export(exportName, r.engine)
+	return r.target.Listen(addr)
+}
+
+// Store returns the replica's local device.
+func (r *Replica) Store() Store { return r.engine.Store() }
+
+// AppliedWrites returns how many pushes the replica has applied.
+func (r *Replica) AppliedWrites() int64 {
+	return r.engine.Traffic().Snapshot().ReplicaWrites
+}
+
+// Close stops serving.
+func (r *Replica) Close() error {
+	if r.target != nil {
+		return r.target.Close()
+	}
+	return nil
+}
+
+// RemoteStore is a Store mounted from a remote node plus session
+// control.
+type RemoteStore interface {
+	Store
+	// Logout ends the session politely before Close.
+	Logout() error
+}
+
+// Dial mounts the named export at addr as a local Store, the way the
+// paper's applications sit on an iSCSI initiator.
+func Dial(addr, exportName string) (RemoteStore, error) {
+	init, err := iscsi.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := init.Login(exportName); err != nil {
+		init.Close()
+		return nil, err
+	}
+	return init, nil
+}
+
+// Equal reports whether two stores hold identical contents — the
+// replica-convergence check.
+func Equal(a, b Store) (bool, error) {
+	return block.Equal(a, b)
+}
