@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: all build test race bench repro examples fmt vet clean
+.PHONY: all build test race bench fuzz check repro examples fmt vet clean
+
+# How long each fuzzer runs under `make fuzz` / `make check`.
+FUZZTIME ?= 10s
 
 all: build test
 
@@ -15,6 +18,17 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzz passes over the wire-facing decoders, seeded from the
+# checked-in corpora (regenerate with PRINS_REGEN_CORPUS=1 go test
+# -run TestRegenerateFuzzCorpus ./internal/core).
+fuzz:
+	$(GO) test -run='^$$' -fuzz='^FuzzReadPDU$$' -fuzztime=$(FUZZTIME) ./internal/iscsi
+	$(GO) test -run='^$$' -fuzz='^FuzzDecode$$' -fuzztime=$(FUZZTIME) ./internal/xcode
+
+# The pre-merge gate: static analysis, the full suite under the race
+# detector, then a short fuzz of the decoders.
+check: vet race fuzz
 
 # Regenerate every figure of the paper's evaluation.
 repro:

@@ -47,6 +47,11 @@ func run(args []string) error {
 		mode       = fs.String("mode", "prins", "replication mode: prins, traditional, compressed")
 		replicas   = fs.String("replica", "", "comma-separated replica endpoints host:port/export")
 		statsEvery = fs.Duration("stats", 30*time.Second, "stats logging interval (0 = off)")
+
+		retryAttempts = fs.Int("retry-attempts", 3, "replication push attempts before giving up on a replica")
+		retryTimeout  = fs.Duration("retry-timeout", 10*time.Second, "per-attempt replication timeout (0 = none)")
+		retryBackoff  = fs.Duration("retry-backoff", 250*time.Millisecond, "base backoff between push attempts, doubled with jitter")
+		degraded      = fs.Bool("degraded", true, "keep serving writes locally when a replica is down (recover with resync)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,6 +89,10 @@ func run(args []string) error {
 			Async:         true,
 			SkipUnchanged: true,
 			RecordDensity: m == prins.ModePRINS,
+			RetryAttempts: *retryAttempts,
+			RetryTimeout:  *retryTimeout,
+			RetryBackoff:  *retryBackoff,
+			AllowDegraded: *degraded,
 		})
 		if err != nil {
 			return err
@@ -117,8 +126,13 @@ func run(args []string) error {
 				select {
 				case <-ticker.C:
 					s := primary.Stats()
-					log.Printf("prinsd: writes=%d shipped=%s saved=%.1fx",
-						s.Writes, formatBytes(s.PayloadBytes), s.SavingsVsRaw)
+					if primary.Degraded() {
+						log.Printf("prinsd: DEGRADED lag=%d frames; writes=%d shipped=%s saved=%.1fx retries=%d",
+							primary.ReplicaLag(), s.Writes, formatBytes(s.PayloadBytes), s.SavingsVsRaw, s.Retries)
+					} else {
+						log.Printf("prinsd: writes=%d shipped=%s saved=%.1fx",
+							s.Writes, formatBytes(s.PayloadBytes), s.SavingsVsRaw)
+					}
 				case <-stop:
 					return primary.Drain()
 				}

@@ -1,0 +1,318 @@
+package core
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"prins/internal/block"
+	"prins/internal/faults"
+	"prins/internal/iscsi"
+	"prins/internal/resync"
+)
+
+// chaosRetry is the test retry policy: two fast attempts with a short
+// per-attempt timeout, no jitter, and recorded (not slept) backoff, so
+// a fault degrades the replica in well under a second.
+func chaosRetry() RetryPolicy {
+	return RetryPolicy{
+		Attempts: 2,
+		Timeout:  150 * time.Millisecond,
+		Backoff:  time.Millisecond,
+		Jitter:   NoJitter,
+		Sleep:    func(time.Duration) {},
+	}
+}
+
+// chaosBaseline replays the given workload seeds against a fresh
+// engine with no replicas and returns its store — the fault-free
+// reference content every chaos run must converge to.
+func chaosBaseline(t *testing.T, bs int, nb uint64, seeds []int64, writes int) block.Store {
+	t.Helper()
+	store, err := block.NewMem(bs, nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(store, Config{Mode: ModePRINS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range seeds {
+		writeWorkload(t, e, seed, writes)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+func mustEqual(t *testing.T, what string, a, b block.Store) {
+	t.Helper()
+	eq, err := block.Equal(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		lba, _, _ := block.FirstDiff(a, b)
+		t.Fatalf("%s diverged at lba %d", what, lba)
+	}
+}
+
+// TestChaosConnFaults runs a primary→replica workload over TCP while
+// the replication connection misbehaves in every scheduled way. In all
+// cases the primary must keep accepting writes (degrading the replica
+// rather than failing), stay byte-identical to a fault-free run, and a
+// post-fault resync must restore the replica to the same content.
+func TestChaosConnFaults(t *testing.T) {
+	const (
+		bs     = 1024
+		nb     = 64
+		seed   = 77
+		writes = 120
+	)
+	base := chaosBaseline(t, bs, nb, []int64{seed}, writes)
+
+	for _, fault := range []faults.ConnFault{
+		faults.FaultDrop, faults.FaultCorrupt, faults.FaultStall, faults.FaultReset,
+	} {
+		t.Run(fault.String(), func(t *testing.T) {
+			replicaStore, err := block.NewMem(bs, nb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			node := startNode(t, "replica", NewReplicaEngine(replicaStore))
+
+			// Replication session over a faulted transport: the fault
+			// trips mid-workload (a few clean frames first) and, with
+			// AfterBytes landing mid-PDU, tears a frame in transit.
+			raw, err := net.Dial("tcp", node.addr.String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan := faults.NewPlan(1)
+			repConn := iscsi.NewInitiator(plan.WrapConn(raw, faults.ConnFaults{
+				Fault:      fault,
+				AfterBytes: 4096,
+			}))
+			defer repConn.Close()
+			if err := repConn.Login("replica"); err != nil {
+				t.Fatal(err)
+			}
+
+			primaryStore, err := block.NewMem(bs, nb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := NewEngine(primaryStore, Config{
+				Mode:          ModePRINS,
+				Retry:         chaosRetry(),
+				AllowDegraded: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e.Close()
+			e.AttachReplica(repConn)
+
+			// Every write must succeed despite the fault.
+			writeWorkload(t, e, seed, writes)
+			if err := e.Drain(); err != nil {
+				t.Fatalf("degraded drain: %v", err)
+			}
+			if !e.Degraded() {
+				t.Fatalf("%v fault did not degrade the replica", fault)
+			}
+			if e.ReplicaLag() == 0 {
+				t.Error("degraded replica should report dropped frames")
+			}
+			if got := e.Traffic().Snapshot(); got.Dropped == 0 {
+				t.Error("traffic should count dropped frames")
+			}
+			mustEqual(t, "primary under "+fault.String(), primaryStore, base)
+
+			// Recovery: delta-resync the replica over a fresh session,
+			// then clear the degraded mark.
+			stats, err := resync.RunAddr(e, node.addr.String(), "replica", resync.Config{})
+			if err != nil {
+				t.Fatalf("resync: %v", err)
+			}
+			if stats.BlocksRepaired == 0 {
+				t.Error("fault should leave divergence for resync to repair")
+			}
+			mustEqual(t, "post-resync replica", replicaStore, base)
+			e.ClearDegraded()
+			if e.Degraded() || e.ReplicaLag() != 0 {
+				t.Error("ClearDegraded should reinstate the replica")
+			}
+		})
+	}
+}
+
+// TestChaosReplicaCrashDegradedResync is the acceptance scenario: the
+// replica node dies mid-workload, the primary keeps accepting writes
+// in degraded mode, the replica is restarted and healed with a delta
+// resync, and live replication resumes over a reconnected session —
+// ending byte-identical to a run that never saw the crash.
+func TestChaosReplicaCrashDegradedResync(t *testing.T) {
+	const (
+		bs     = 1024
+		nb     = 64
+		writes = 60
+	)
+	seeds := []int64{101, 202, 303}
+	base := chaosBaseline(t, bs, nb, seeds, writes)
+
+	replicaStore, err := block.NewMem(bs, nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repEngine := NewReplicaEngine(replicaStore)
+
+	target1 := iscsi.NewTarget()
+	target1.Export("replica", repEngine)
+	addr1, err := target1.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer target1.Close()
+
+	// The replica's address moves when it restarts; the reconnect hook
+	// always dials wherever it currently lives.
+	var addrMu sync.Mutex
+	currentAddr := addr1.String()
+	repConn, err := iscsi.Dial(addr1.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repConn.Close()
+	if err := repConn.Login("replica"); err != nil {
+		t.Fatal(err)
+	}
+	repConn.EnableReconnect("replica", func() (net.Conn, error) {
+		addrMu.Lock()
+		addr := currentAddr
+		addrMu.Unlock()
+		return net.DialTimeout("tcp", addr, time.Second)
+	})
+
+	primaryStore, err := block.NewMem(bs, nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(primaryStore, Config{
+		Mode:          ModePRINS,
+		Async:         true,
+		Retry:         chaosRetry(),
+		AllowDegraded: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.AttachReplica(repConn)
+
+	// Phase 1: healthy replication.
+	writeWorkload(t, e, seeds[0], writes)
+	if err := e.Drain(); err != nil {
+		t.Fatalf("healthy drain: %v", err)
+	}
+	if e.Degraded() {
+		t.Fatal("healthy phase should not degrade")
+	}
+
+	// Phase 2: kill the replica node mid-workload. Writes must keep
+	// succeeding; the engine degrades the replica and counts the gap.
+	target1.Close()
+	writeWorkload(t, e, seeds[1], writes)
+	if err := e.Drain(); err != nil {
+		t.Fatalf("drain with replica down: %v", err)
+	}
+	if !e.Degraded() {
+		t.Fatal("replica crash should degrade replication")
+	}
+	if e.ReplicaLag() == 0 {
+		t.Error("crash should leave a dropped-frame gap")
+	}
+
+	// Phase 3: restart the replica on its surviving store, heal it with
+	// a delta resync (writes are quiesced: Drain returned), then clear.
+	target2 := iscsi.NewTarget()
+	target2.Export("replica", repEngine)
+	addr2, err := target2.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer target2.Close()
+	addrMu.Lock()
+	currentAddr = addr2.String()
+	addrMu.Unlock()
+
+	stats, err := resync.RunAddr(e, addr2.String(), "replica", resync.Config{})
+	if err != nil {
+		t.Fatalf("resync: %v", err)
+	}
+	if stats.BlocksRepaired == 0 {
+		t.Error("crash should leave divergence for resync to repair")
+	}
+	e.ClearDegraded()
+
+	// Phase 4: live replication resumes — the session reconnects to the
+	// restarted node on first use.
+	writeWorkload(t, e, seeds[2], writes)
+	if err := e.Drain(); err != nil {
+		t.Fatalf("post-recovery drain: %v", err)
+	}
+	if e.Degraded() {
+		t.Fatal("recovered replica degraded again")
+	}
+	if repConn.Reconnects() == 0 {
+		t.Error("session should have reconnected to the restarted node")
+	}
+
+	mustEqual(t, "primary after crash+recovery", primaryStore, base)
+	mustEqual(t, "replica after crash+recovery", replicaStore, base)
+}
+
+// TestChaosPrimaryStoreFault: a failing local device surfaces on the
+// write (replication never sees a frame the store did not take), and
+// the engine keeps serving the blocks that were written before.
+func TestChaosPrimaryStoreFault(t *testing.T) {
+	inner, err := block.NewMem(512, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := faults.NewPlan(3)
+	store := plan.WrapStore(inner, faults.StoreFaults{FailWriteAt: 5})
+
+	e, err := NewEngine(store, Config{Mode: ModePRINS, AllowDegraded: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	rep, err := block.NewMem(512, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repEngine := NewReplicaEngine(rep)
+	e.AttachReplica(&Loopback{Replica: repEngine})
+
+	buf := make([]byte, 512)
+	var failed bool
+	for i := 0; i < 8; i++ {
+		buf[0] = byte(i + 1)
+		if err := e.WriteBlock(uint64(i), buf); err != nil {
+			if !errors.Is(err, faults.ErrInjected) {
+				t.Fatalf("write %d: %v", i, err)
+			}
+			failed = true
+		}
+	}
+	if !failed {
+		t.Fatal("store fault never fired")
+	}
+	// Replicated content must only ever reflect acknowledged writes:
+	// every block the replica holds matches the primary.
+	mustEqual(t, "replica after local store fault", rep, inner)
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"prins/internal/block"
@@ -53,6 +54,18 @@ type Config struct {
 	SkipUnchanged bool
 	// RecordDensity enables per-write change-density accounting.
 	RecordDensity bool
+	// Retry governs frame delivery to each replica: attempts, per-
+	// attempt timeout, and exponential backoff. The zero value keeps
+	// the historical single-attempt behaviour.
+	Retry RetryPolicy
+	// AllowDegraded keeps the write path available when a replica
+	// exhausts its retry budget: that replica is marked degraded,
+	// subsequent frames to it are counted as dropped instead of
+	// shipped, and writes keep succeeding locally. The way back is
+	// quiesce (Drain) → resync the replica → ClearDegraded. When false
+	// (the default) delivery failures surface as write errors (sync
+	// mode) or on Drain (async mode), as they always have.
+	AllowDegraded bool
 }
 
 func (c Config) withDefaults() Config {
@@ -88,11 +101,12 @@ var ErrEngineClosed = errors.New("core: engine closed")
 // iSCSI target backend can sit directly on top of it.
 type Engine struct {
 	cfg      Config
+	retry    RetryPolicy // cfg.Retry with defaults applied
 	local    block.Store
 	pw       ParityWriter // non-nil if local supports the RAID fast path
 	traffic  *metrics.Traffic
 	density  *parity.DensityStats
-	replicas []ReplicaClient
+	replicas []*replicaState
 
 	mu     sync.Mutex // serializes the write path (order = seq order)
 	seq    uint64
@@ -117,6 +131,16 @@ type repMsg struct {
 	frame []byte
 }
 
+// replicaState tracks one attached replica's delivery health. The
+// degraded flag and drop counter are atomics because ship (the write
+// path or the async worker) races with ClearDegraded and the Degraded
+// accessors.
+type replicaState struct {
+	client   ReplicaClient
+	degraded atomic.Bool
+	dropped  atomic.Int64 // frames dropped since the replica degraded
+}
+
 // NewEngine wraps local with a replication engine in the given config.
 // Replicas are attached afterwards with AttachReplica.
 func NewEngine(local block.Store, cfg Config) (*Engine, error) {
@@ -126,6 +150,7 @@ func NewEngine(local block.Store, cfg Config) (*Engine, error) {
 	cfg = cfg.withDefaults()
 	e := &Engine{
 		cfg:     cfg,
+		retry:   cfg.Retry.withDefaults(),
 		local:   local,
 		traffic: &metrics.Traffic{},
 		density: &parity.DensityStats{},
@@ -145,8 +170,53 @@ func NewEngine(local block.Store, cfg Config) (*Engine, error) {
 
 // AttachReplica adds a replication destination. Not safe to call
 // concurrently with writes; attach replicas before serving I/O.
+// When the retry policy carries a per-attempt timeout and the client
+// supports request deadlines, the timeout is installed here.
 func (e *Engine) AttachReplica(rc ReplicaClient) {
-	e.replicas = append(e.replicas, rc)
+	if e.retry.Timeout > 0 {
+		if rt, ok := rc.(requestTimeouter); ok {
+			rt.SetRequestTimeout(e.retry.Timeout)
+		}
+	}
+	e.replicas = append(e.replicas, &replicaState{client: rc})
+}
+
+// Degraded reports whether any attached replica has exhausted its
+// retry budget and been taken out of the ship path. Writes still
+// succeed locally; the dropped-frame gap is visible in
+// Traffic().Snapshot().ReplicaLag.
+func (e *Engine) Degraded() bool {
+	for _, rs := range e.replicas {
+		if rs.degraded.Load() {
+			return true
+		}
+	}
+	return false
+}
+
+// ReplicaLag returns the largest number of frames any degraded replica
+// is behind the primary — zero when all replicas are healthy.
+func (e *Engine) ReplicaLag() int64 {
+	var lag int64
+	for _, rs := range e.replicas {
+		if d := rs.dropped.Load(); d > lag {
+			lag = d
+		}
+	}
+	return lag
+}
+
+// ClearDegraded reinstates every degraded replica and zeroes the lag
+// gauge. Call it only after the gap has been healed — quiesce writes
+// (Drain), run a resync against each degraded replica, then clear;
+// clearing with writes in flight or an unhealed replica re-ships new
+// parities on top of stale blocks and silently corrupts the copy.
+func (e *Engine) ClearDegraded() {
+	for _, rs := range e.replicas {
+		rs.degraded.Store(false)
+		rs.dropped.Store(0)
+	}
+	e.traffic.ResetReplicaLag()
 }
 
 // Traffic returns the engine's traffic counters.
@@ -283,16 +353,47 @@ func (e *Engine) applyLocal(lba uint64, data []byte) ([]byte, error) {
 	}
 }
 
-// ship sends one frame to every replica and records traffic.
+// ship sends one frame to every replica and records traffic. A
+// delivery that fails past the retry budget either degrades that
+// replica (AllowDegraded: the frame is counted as dropped and the
+// write stays successful) or surfaces as the ship error.
 func (e *Engine) ship(seq, lba uint64, frame []byte) error {
 	var firstErr error
-	for _, rc := range e.replicas {
+	for _, rs := range e.replicas {
+		if rs.degraded.Load() {
+			rs.dropped.Add(1)
+			e.traffic.AddDropped()
+			continue
+		}
 		e.traffic.AddReplicated(len(frame), wan.WireBytesDiscrete(len(frame)))
-		if err := rc.ReplicaWrite(uint8(e.cfg.Mode), seq, lba, frame); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("core: replicate seq %d lba %d: %w", seq, lba, err)
+		if err := e.shipOne(rs, seq, lba, frame); err != nil {
+			if e.cfg.AllowDegraded {
+				rs.degraded.Store(true)
+				rs.dropped.Add(1)
+				e.traffic.AddDropped()
+				continue
+			}
+			if firstErr == nil {
+				firstErr = fmt.Errorf("core: replicate seq %d lba %d: %w", seq, lba, err)
+			}
 		}
 	}
 	return firstErr
+}
+
+// shipOne delivers one frame to one replica under the retry policy.
+func (e *Engine) shipOne(rs *replicaState, seq, lba uint64, frame []byte) error {
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = rs.client.ReplicaWrite(uint8(e.cfg.Mode), seq, lba, frame)
+		if err == nil || attempt >= e.retry.Attempts {
+			return err
+		}
+		e.traffic.AddRetry()
+		if d := e.retry.backoff(attempt); d > 0 {
+			e.retry.Sleep(d)
+		}
+	}
 }
 
 // shipLoop is the async worker: the paper's PRINS-engine thread

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestCloseDrainIdempotentConcurrent: Close and Drain are safe to call
+// twice and from racing goroutines, in both sync and async mode, and a
+// write after Close fails with ErrEngineClosed.
+func TestCloseDrainIdempotentConcurrent(t *testing.T) {
+	for _, async := range []bool{false, true} {
+		name := "sync"
+		if async {
+			name = "async"
+		}
+		t.Run(name, func(t *testing.T) {
+			e, _ := newPair(t, Config{Mode: ModePRINS, Async: async}, 512, 16)
+			writeWorkload(t, e, 7, 40)
+
+			var wg sync.WaitGroup
+			for i := 0; i < 4; i++ {
+				wg.Add(2)
+				go func() {
+					defer wg.Done()
+					if err := e.Drain(); err != nil {
+						t.Errorf("concurrent drain: %v", err)
+					}
+				}()
+				go func() {
+					defer wg.Done()
+					if err := e.Close(); err != nil {
+						t.Errorf("concurrent close: %v", err)
+					}
+				}()
+			}
+			wg.Wait()
+
+			if err := e.Close(); err != nil {
+				t.Errorf("repeated close: %v", err)
+			}
+			if err := e.Drain(); err != nil {
+				t.Errorf("drain after close: %v", err)
+			}
+			if err := e.WriteBlock(0, make([]byte, 512)); !errors.Is(err, ErrEngineClosed) {
+				t.Errorf("write after close = %v, want ErrEngineClosed", err)
+			}
+		})
+	}
+}

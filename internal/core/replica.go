@@ -59,9 +59,21 @@ func (r *ReplicaEngine) Store() block.Store { return r.store }
 
 // Apply decodes one replication frame and applies it to the replica
 // store.
+//
+// Deliveries are deduplicated by sequence number: the primary ships
+// frames in seq order, so a frame at or below lastSeq is a retried
+// delivery whose first copy already landed (the ack was lost, not the
+// push). It is acknowledged without being re-applied — essential in
+// ModePRINS, where XOR-ing the same parity twice would corrupt the
+// block rather than no-op.
 func (r *ReplicaEngine) Apply(mode Mode, seq uint64, lba uint64, frame []byte) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+
+	if seq != 0 && seq <= r.lastSeq {
+		r.traffic.AddDuplicate()
+		return nil
+	}
 
 	start := time.Now()
 	payload, err := xcode.Decode(frame)

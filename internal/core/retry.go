@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy governs how the engine delivers one replication frame to
+// one replica: how many attempts, how long each may take, and how long
+// to back off between them. The zero value means a single attempt with
+// no timeout — the engine's historical fail-fast behaviour.
+type RetryPolicy struct {
+	// Attempts is the total delivery attempts per frame (first try
+	// included). Values <= 1 mean no retry.
+	Attempts int
+	// Timeout bounds each attempt's full round trip. It is applied to
+	// replica clients that support per-request deadlines (anything with
+	// a SetRequestTimeout method, e.g. iscsi.Initiator); clients
+	// without one simply block until their transport fails.
+	Timeout time.Duration
+	// Backoff is the delay before the second attempt; it doubles per
+	// retry (exponential), capped at MaxBackoff.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth. Defaults to 1s when
+	// Backoff is set.
+	MaxBackoff time.Duration
+	// Jitter perturbs a computed backoff delay. Defaults to equal
+	// jitter (half fixed, half random); tests install the identity to
+	// make schedules exact.
+	Jitter func(time.Duration) time.Duration
+	// Sleep performs the backoff pause. Defaults to time.Sleep; tests
+	// install a no-op or a recorder.
+	Sleep func(time.Duration)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 1
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = time.Second
+	}
+	if p.Jitter == nil {
+		p.Jitter = EqualJitter
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// backoff returns the pause after the given failed attempt (1-based):
+// Backoff << (attempt-1), capped, then jittered.
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	if p.Backoff <= 0 {
+		return 0
+	}
+	d := p.Backoff
+	for i := 1; i < attempt && d < p.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return p.Jitter(d)
+}
+
+// EqualJitter is the default backoff jitter: half the delay fixed,
+// half uniformly random, de-synchronizing retry storms from concurrent
+// shippers without ever more than halving the pause.
+func EqualJitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)))
+}
+
+// NoJitter is the identity jitter hook: deterministic backoff
+// schedules for tests.
+func NoJitter(d time.Duration) time.Duration { return d }
+
+// requestTimeouter is the optional replica-client capability the
+// engine uses to enforce RetryPolicy.Timeout per attempt.
+type requestTimeouter interface {
+	SetRequestTimeout(time.Duration)
+}

@@ -1,0 +1,197 @@
+package faults
+
+import (
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// ConnFault selects how a faulted connection misbehaves once its
+// trigger fires.
+type ConnFault uint8
+
+// Connection fault kinds.
+const (
+	// FaultNone leaves the connection healthy.
+	FaultNone ConnFault = iota
+	// FaultDrop silently discards every written byte from the trigger
+	// on: the peer sees the stream go quiet mid-PDU. Senders only
+	// notice via timeouts.
+	FaultDrop
+	// FaultCorrupt flips one bit in every write from the trigger on;
+	// the iSCSI digest layer must catch it.
+	FaultCorrupt
+	// FaultStall blocks writes from the trigger on until the write
+	// deadline expires or the connection is closed — a peer that
+	// stopped reading (zero TCP window).
+	FaultStall
+	// FaultReset severs the transport at the trigger and fails writes
+	// with ErrReset — the classic RST mid-stream.
+	FaultReset
+)
+
+// String returns the fault mnemonic.
+func (f ConnFault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultDrop:
+		return "drop"
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultStall:
+		return "stall"
+	case FaultReset:
+		return "reset"
+	default:
+		return "fault(?)"
+	}
+}
+
+// ConnFaults schedules one fault on a wrapped net.Conn.
+type ConnFaults struct {
+	// Fault is the misbehaviour to inject.
+	Fault ConnFault
+	// AfterBytes triggers the fault on the first write that would push
+	// the cumulative written byte count past this threshold; 0 faults
+	// the very first write. The bytes written before the trigger pass
+	// through untouched, so a mid-frame trigger tears a PDU.
+	AfterBytes int64
+}
+
+// Conn wraps a net.Conn with one scheduled fault on the write side.
+// Reads pass through untouched (fault the peer's wrapper to break the
+// other direction), matching how wan.ShapedConn shapes only the
+// sender.
+type Conn struct {
+	net.Conn
+
+	plan *Plan
+	cfg  ConnFaults
+
+	mu        sync.Mutex
+	written   int64
+	tripped   bool
+	wdeadline time.Time
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+var _ net.Conn = (*Conn)(nil)
+
+// WrapConn wraps conn with the scheduled connection fault.
+func (p *Plan) WrapConn(conn net.Conn, cfg ConnFaults) *Conn {
+	return &Conn{Conn: conn, plan: p, cfg: cfg, closed: make(chan struct{})}
+}
+
+// Tripped reports whether the fault has fired.
+func (c *Conn) Tripped() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tripped
+}
+
+// Written returns the cumulative bytes offered to Write, including
+// bytes the fault discarded.
+func (c *Conn) Written() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.written
+}
+
+// Write implements net.Conn, applying the scheduled fault.
+func (c *Conn) Write(p []byte) (int, error) {
+	select {
+	case <-c.closed:
+		return 0, net.ErrClosed
+	default:
+	}
+
+	c.mu.Lock()
+	c.written += int64(len(p))
+	if !c.tripped && c.cfg.Fault != FaultNone && c.written > c.cfg.AfterBytes {
+		c.tripped = true
+	}
+	tripped := c.tripped
+	c.mu.Unlock()
+
+	if !tripped {
+		return c.Conn.Write(p)
+	}
+
+	switch c.cfg.Fault {
+	case FaultDrop:
+		return len(p), nil
+
+	case FaultCorrupt:
+		if len(p) == 0 {
+			return c.Conn.Write(p)
+		}
+		buf := make([]byte, len(p))
+		copy(buf, p)
+		buf[c.plan.intn(len(buf))] ^= 1 << uint(c.plan.intn(8))
+		return c.Conn.Write(buf)
+
+	case FaultStall:
+		return 0, c.stall()
+
+	case FaultReset:
+		c.closeOnce.Do(func() {
+			close(c.closed)
+			c.Conn.Close()
+		})
+		return 0, ErrReset
+
+	default:
+		return c.Conn.Write(p)
+	}
+}
+
+// stall blocks until the write deadline passes or the conn is closed.
+func (c *Conn) stall() error {
+	c.mu.Lock()
+	deadline := c.wdeadline
+	c.mu.Unlock()
+
+	var expired <-chan time.Time
+	if !deadline.IsZero() {
+		timer := time.NewTimer(time.Until(deadline))
+		defer timer.Stop()
+		expired = timer.C
+	}
+	select {
+	case <-c.closed:
+		return net.ErrClosed
+	case <-expired:
+		return os.ErrDeadlineExceeded
+	}
+}
+
+// SetDeadline implements net.Conn, tracking the write deadline locally
+// so stalls can honour it.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.wdeadline = t
+	c.mu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+// SetWriteDeadline implements net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.wdeadline = t
+	c.mu.Unlock()
+	return c.Conn.SetWriteDeadline(t)
+}
+
+// Close implements net.Conn, releasing any stalled writers.
+func (c *Conn) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		err = c.Conn.Close()
+	})
+	return err
+}

@@ -1,0 +1,56 @@
+// Package faults provides deterministic fault injection for chaos
+// testing the replication stack. A seeded Plan hands out wrappers for
+// the two surfaces where an internet storage system actually fails —
+// the local block device (I/O errors, latency spikes, torn writes) and
+// the replication link (dropped, corrupted, stalled, or reset
+// connections). Wrappers built from the same seed inject byte-for-byte
+// identical faults across runs, so a chaos test that fails is a chaos
+// test that reproduces.
+//
+// The Conn wrapper composes with wan.ShapedConn in either order: shape
+// the link, then fault it (a lossy slow WAN), or fault a raw conn
+// directly. Consumers are expected to survive every fault here via the
+// engine's retry policy and degraded mode; resync is the path back to
+// a converged replica.
+package faults
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+)
+
+// Injected fault errors. They are distinct sentinels so tests can
+// assert a failure came from the plan rather than the system under
+// test.
+var (
+	// ErrInjected is the default error returned by armed store faults.
+	ErrInjected = errors.New("faults: injected I/O error")
+	// ErrTornWrite reports a write that persisted only a prefix of the
+	// block before failing, as a power loss mid-write would.
+	ErrTornWrite = errors.New("faults: torn write")
+	// ErrReset reports a connection the plan reset mid-stream.
+	ErrReset = errors.New("faults: connection reset")
+)
+
+// Plan is a deterministic fault schedule. It owns the seeded random
+// source shared by every wrapper built from it, so corruption bytes
+// and any future randomized choices replay identically for a given
+// seed and operation sequence.
+type Plan struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewPlan creates a plan with the given seed.
+func NewPlan(seed int64) *Plan {
+	return &Plan{rng: rand.New(rand.NewSource(seed))}
+}
+
+// intn returns a deterministic value in [0, n), serialized across
+// wrappers.
+func (p *Plan) intn(n int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rng.Intn(n)
+}

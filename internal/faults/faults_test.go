@@ -1,0 +1,260 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"prins/internal/block"
+	"prins/internal/wan"
+)
+
+func newMem(t *testing.T) *block.MemStore {
+	t.Helper()
+	s, err := block.NewMem(512, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStoreFailAt(t *testing.T) {
+	s := NewPlan(1).WrapStore(newMem(t), StoreFaults{FailReadAt: 2, FailWriteAt: 3})
+	buf := make([]byte, 512)
+
+	if err := s.ReadBlock(0, buf); err != nil {
+		t.Fatalf("read 1 should pass: %v", err)
+	}
+	if err := s.ReadBlock(0, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read 2 = %v, want ErrInjected", err)
+	}
+	if err := s.ReadBlock(0, buf); !errors.Is(err, ErrInjected) {
+		t.Fatal("failures must persist once armed")
+	}
+
+	for i := 0; i < 2; i++ {
+		if err := s.WriteBlock(0, buf); err != nil {
+			t.Fatalf("write %d should pass: %v", i+1, err)
+		}
+	}
+	if err := s.WriteBlock(0, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 3 = %v, want ErrInjected", err)
+	}
+	if r, w := s.Ops(); r != 3 || w != 3 {
+		t.Errorf("ops = %d,%d, want 3,3", r, w)
+	}
+}
+
+func TestStoreCustomError(t *testing.T) {
+	boom := errors.New("boom")
+	s := NewPlan(1).WrapStore(newMem(t), StoreFaults{FailWriteAt: 1, Err: boom})
+	if err := s.WriteBlock(0, make([]byte, 512)); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want custom error", err)
+	}
+}
+
+func TestStoreTornWrite(t *testing.T) {
+	inner := newMem(t)
+	s := NewPlan(1).WrapStore(inner, StoreFaults{TornWriteAt: 2})
+
+	oldData := bytes.Repeat([]byte{0xAA}, 512)
+	newData := bytes.Repeat([]byte{0xBB}, 512)
+	if err := s.WriteBlock(3, oldData); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteBlock(3, newData); !errors.Is(err, ErrTornWrite) {
+		t.Fatalf("err = %v, want ErrTornWrite", err)
+	}
+
+	got := make([]byte, 512)
+	if err := inner.ReadBlock(3, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:256], newData[:256]) {
+		t.Error("torn write should persist the first half of the new data")
+	}
+	if !bytes.Equal(got[256:], oldData[256:]) {
+		t.Error("torn write should leave the second half old")
+	}
+
+	// The tear fires once; the device works again afterwards.
+	if err := s.WriteBlock(3, newData); err != nil {
+		t.Fatalf("write after tear: %v", err)
+	}
+	if err := inner.ReadBlock(3, got); err != nil || !bytes.Equal(got, newData) {
+		t.Error("store did not recover after the torn write")
+	}
+}
+
+func TestStoreGeometryAndClose(t *testing.T) {
+	s := NewPlan(1).WrapStore(newMem(t), StoreFaults{})
+	if s.BlockSize() != 512 || s.NumBlocks() != 8 {
+		t.Error("geometry not delegated")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReadBlock(0, make([]byte, 512)); !errors.Is(err, block.ErrClosed) {
+		t.Errorf("read after close = %v, want ErrClosed", err)
+	}
+}
+
+// pipePair returns a faulted client side and the raw server side of an
+// in-memory connection, with a cleanup closing both.
+func pipePair(t *testing.T, plan *Plan, cfg ConnFaults) (*Conn, net.Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	c := plan.WrapConn(a, cfg)
+	t.Cleanup(func() { c.Close(); b.Close() })
+	return c, b
+}
+
+func TestConnPrefixPassesThenDrops(t *testing.T) {
+	c, peer := pipePair(t, NewPlan(1), ConnFaults{Fault: FaultDrop, AfterBytes: 8})
+
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 8)
+		if _, err := io.ReadFull(peer, buf); err != nil {
+			t.Errorf("peer read: %v", err)
+		}
+		got <- buf
+	}()
+
+	if n, err := c.Write([]byte("12345678")); n != 8 || err != nil {
+		t.Fatalf("prefix write = %d, %v", n, err)
+	}
+	if prefix := <-got; string(prefix) != "12345678" {
+		t.Fatalf("prefix = %q, want it untouched", prefix)
+	}
+	if c.Tripped() {
+		t.Fatal("fault tripped before threshold")
+	}
+
+	// This write crosses the threshold: it must vanish entirely.
+	if n, err := c.Write([]byte("gone")); n != 4 || err != nil {
+		t.Fatalf("dropped write should report success, got %d, %v", n, err)
+	}
+	if !c.Tripped() {
+		t.Fatal("fault should have tripped")
+	}
+	if c.Written() != 12 {
+		t.Errorf("Written = %d, want 12", c.Written())
+	}
+
+	// The peer never sees the dropped bytes.
+	peer.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	buf := make([]byte, 4)
+	if _, err := peer.Read(buf); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Errorf("peer read after drop = %v, want deadline timeout", err)
+	}
+}
+
+func TestConnCorruptIsDeterministic(t *testing.T) {
+	flipOf := func(seed int64) []byte {
+		t.Helper()
+		c, peer := pipePair(t, NewPlan(seed), ConnFaults{Fault: FaultCorrupt})
+		msg := bytes.Repeat([]byte{0x00}, 64)
+		got := make([]byte, 64)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := io.ReadFull(peer, got); err != nil {
+				t.Errorf("peer read: %v", err)
+			}
+		}()
+		if _, err := c.Write(msg); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		return got
+	}
+
+	a, b, c := flipOf(42), flipOf(42), flipOf(43)
+	if bytes.Equal(a, bytes.Repeat([]byte{0x00}, 64)) {
+		t.Fatal("corruption did not flip any bit")
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("same seed must corrupt identically")
+	}
+	if bytes.Equal(a, c) {
+		t.Error("different seeds should corrupt differently")
+	}
+}
+
+func TestConnStallHonoursDeadline(t *testing.T) {
+	c, _ := pipePair(t, NewPlan(1), ConnFaults{Fault: FaultStall})
+	if err := c.SetWriteDeadline(time.Now().Add(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := c.Write([]byte("stuck"))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("stalled write = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Error("stall returned before the deadline")
+	}
+}
+
+func TestConnStallReleasedByClose(t *testing.T) {
+	c, _ := pipePair(t, NewPlan(1), ConnFaults{Fault: FaultStall})
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Write([]byte("stuck"))
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Errorf("stalled write after close = %v, want net.ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("close did not release the stalled writer")
+	}
+}
+
+func TestConnReset(t *testing.T) {
+	c, peer := pipePair(t, NewPlan(1), ConnFaults{Fault: FaultReset})
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrReset) {
+		t.Fatalf("write = %v, want ErrReset", err)
+	}
+	// The transport is really gone: the peer sees EOF...
+	if _, err := peer.Read(make([]byte, 1)); !errors.Is(err, io.EOF) {
+		t.Errorf("peer read = %v, want EOF", err)
+	}
+	// ...and later writes stay dead.
+	if _, err := c.Write([]byte("y")); err == nil {
+		t.Error("write after reset should fail")
+	}
+}
+
+// TestConnComposesWithShapedConn checks the intended layering: a WAN-
+// shaped link that then drops — the full lossy-slow-link emulation.
+func TestConnComposesWithShapedConn(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	shaped := wan.Shape(a, wan.LinkConfig{})
+	c := NewPlan(1).WrapConn(shaped, ConnFaults{Fault: FaultDrop, AfterBytes: 4})
+	defer c.Close()
+
+	go io.Copy(io.Discard, b) //nolint:errcheck // drain
+
+	if _, err := c.Write([]byte("1234")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte("5678")); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Tripped() {
+		t.Error("fault did not trip through the shaped layer")
+	}
+}

@@ -1,0 +1,124 @@
+package faults
+
+import (
+	"sync"
+	"time"
+
+	"prins/internal/block"
+)
+
+// StoreFaults schedules faults on a wrapped block.Store. Op indices
+// are 1-based and count reads and writes separately; zero disables a
+// fault.
+type StoreFaults struct {
+	// FailReadAt makes the Nth read (and every later one) fail.
+	FailReadAt int64
+	// FailWriteAt makes the Nth write (and every later one) fail.
+	FailWriteAt int64
+	// Err is the error injected for failed reads/writes; defaults to
+	// ErrInjected.
+	Err error
+	// TornWriteAt makes the Nth write persist only the first half of
+	// the block and then fail with ErrTornWrite — the mid-write power
+	// loss case. Later writes proceed normally, as a device does after
+	// power returns.
+	TornWriteAt int64
+	// ReadDelay and WriteDelay add fixed latency to every operation,
+	// modelling a device stalling under load.
+	ReadDelay, WriteDelay time.Duration
+}
+
+// Store wraps a block.Store with scheduled faults. It implements
+// block.Store; layers above must treat its errors exactly like device
+// errors.
+type Store struct {
+	inner block.Store
+	plan  *Plan
+	cfg   StoreFaults
+
+	mu     sync.Mutex
+	reads  int64
+	writes int64
+}
+
+var _ block.Store = (*Store)(nil)
+
+// WrapStore wraps inner with the scheduled store faults.
+func (p *Plan) WrapStore(inner block.Store, cfg StoreFaults) *Store {
+	if cfg.Err == nil {
+		cfg.Err = ErrInjected
+	}
+	return &Store{inner: inner, plan: p, cfg: cfg}
+}
+
+// Ops returns how many reads and writes the wrapper has seen.
+func (s *Store) Ops() (reads, writes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reads, s.writes
+}
+
+// ReadBlock implements block.Store.
+func (s *Store) ReadBlock(lba uint64, buf []byte) error {
+	s.mu.Lock()
+	s.reads++
+	fail := s.cfg.FailReadAt > 0 && s.reads >= s.cfg.FailReadAt
+	s.mu.Unlock()
+
+	if s.cfg.ReadDelay > 0 {
+		time.Sleep(s.cfg.ReadDelay)
+	}
+	if fail {
+		return s.cfg.Err
+	}
+	return s.inner.ReadBlock(lba, buf)
+}
+
+// WriteBlock implements block.Store.
+func (s *Store) WriteBlock(lba uint64, data []byte) error {
+	s.mu.Lock()
+	s.writes++
+	fail := s.cfg.FailWriteAt > 0 && s.writes >= s.cfg.FailWriteAt
+	torn := s.cfg.TornWriteAt > 0 && s.writes == s.cfg.TornWriteAt
+	s.mu.Unlock()
+
+	if s.cfg.WriteDelay > 0 {
+		time.Sleep(s.cfg.WriteDelay)
+	}
+	if torn {
+		return s.tearWrite(lba, data)
+	}
+	if fail {
+		return s.cfg.Err
+	}
+	return s.inner.WriteBlock(lba, data)
+}
+
+// tearWrite persists the first half of data over the existing block
+// and reports ErrTornWrite, leaving the device holding a block that is
+// neither old nor new.
+func (s *Store) tearWrite(lba uint64, data []byte) error {
+	bs := s.inner.BlockSize()
+	if len(data) != bs {
+		// Let the device report the size error itself.
+		return s.inner.WriteBlock(lba, data)
+	}
+	buf := make([]byte, bs)
+	if err := s.inner.ReadBlock(lba, buf); err != nil {
+		return err
+	}
+	copy(buf[:bs/2], data[:bs/2])
+	if err := s.inner.WriteBlock(lba, buf); err != nil {
+		return err
+	}
+	return ErrTornWrite
+}
+
+// BlockSize implements block.Store.
+func (s *Store) BlockSize() int { return s.inner.BlockSize() }
+
+// NumBlocks implements block.Store.
+func (s *Store) NumBlocks() uint64 { return s.inner.NumBlocks() }
+
+// Close implements block.Store.
+func (s *Store) Close() error { return s.inner.Close() }

@@ -19,9 +19,15 @@ import (
 // filesystem or database pager can run directly on a remote device —
 // the paper's architecture of FS/DBMS over an iSCSI initiator.
 type Initiator struct {
-	mu   sync.Mutex
-	conn net.Conn
-	itt  uint32
+	mu  sync.Mutex
+	itt uint32
+
+	// connMu guards the live connection separately from mu so Close can
+	// sever a session (unblocking a stuck round trip) without waiting
+	// for the request lock.
+	connMu sync.Mutex
+	conn   net.Conn
+	closed bool
 
 	loggedIn  bool
 	blockSize int
@@ -29,6 +35,13 @@ type Initiator struct {
 
 	// timeout bounds each request round trip; zero means no deadline.
 	timeout time.Duration
+
+	// redial, when set, re-establishes the session after a transport
+	// failure: dial a fresh conn, re-login to redialTarget, retry the
+	// failed request once. See EnableReconnect.
+	redial       func() (net.Conn, error)
+	redialTarget string
+	reconnects   int64
 
 	// wireSent accumulates bytes written to the connection, for
 	// measuring real (not modelled) protocol overhead.
@@ -85,26 +98,84 @@ func (i *Initiator) SetRequestTimeout(d time.Duration) {
 	i.timeout = d
 }
 
+// EnableReconnect arms transparent session recovery: after a transport
+// failure (broken conn, timeout, short read) the initiator dials a
+// fresh connection with dial, re-logs-in to targetName, and retries
+// the failed request once. Retried block writes are idempotent and
+// retried replication pushes are deduplicated by sequence number at
+// the replica, so the recovery is safe for every request type.
+func (i *Initiator) EnableReconnect(targetName string, dial func() (net.Conn, error)) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.redial = dial
+	i.redialTarget = targetName
+}
+
+// EnableReconnectTCP arms reconnection by re-dialing addr over TCP —
+// the common case for a session created with Dial.
+func (i *Initiator) EnableReconnectTCP(addr, targetName string) {
+	i.EnableReconnect(targetName, func() (net.Conn, error) {
+		return net.DialTimeout("tcp", addr, 10*time.Second)
+	})
+}
+
+// Reconnects reports how many times the session was re-established.
+func (i *Initiator) Reconnects() int64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.reconnects
+}
+
 // roundTrip sends one request and reads its response, serialized.
+// With reconnection armed, a transport failure triggers one
+// redial + re-login + resend before giving up.
 func (i *Initiator) roundTrip(req *PDU) (*PDU, error) {
 	i.mu.Lock()
 	defer i.mu.Unlock()
+
+	resp, err := i.do(req)
+	if err == nil || i.redial == nil {
+		return resp, err
+	}
+	if rerr := i.reconnectLocked(); rerr != nil {
+		return nil, fmt.Errorf("iscsi: reconnect after %v: %w", err, rerr)
+	}
+	return i.do(req)
+}
+
+// currentConn returns the live connection, or nil after Close.
+func (i *Initiator) currentConn() net.Conn {
+	i.connMu.Lock()
+	defer i.connMu.Unlock()
+	if i.closed {
+		return nil
+	}
+	return i.conn
+}
+
+// do performs one tagged request/response on the current connection.
+// Called with i.mu held.
+func (i *Initiator) do(req *PDU) (*PDU, error) {
+	conn := i.currentConn()
+	if conn == nil {
+		return nil, net.ErrClosed
+	}
 	i.itt++
 	req.ITT = i.itt
 
 	if i.timeout > 0 {
-		if err := i.conn.SetDeadline(time.Now().Add(i.timeout)); err != nil {
+		if err := conn.SetDeadline(time.Now().Add(i.timeout)); err != nil {
 			return nil, fmt.Errorf("iscsi: set deadline: %w", err)
 		}
-		defer i.conn.SetDeadline(time.Time{}) //nolint:errcheck // best-effort clear
+		defer conn.SetDeadline(time.Time{}) //nolint:errcheck // best-effort clear
 	}
 
-	n, err := req.WriteTo(i.conn)
+	n, err := req.WriteTo(conn)
 	i.wireSent += n
 	if err != nil {
 		return nil, err
 	}
-	resp, err := ReadPDU(i.conn)
+	resp, err := ReadPDU(conn)
 	if err != nil {
 		return nil, err
 	}
@@ -112,6 +183,53 @@ func (i *Initiator) roundTrip(req *PDU) (*PDU, error) {
 		return nil, fmt.Errorf("iscsi: response tag %d for request %d", resp.ITT, req.ITT)
 	}
 	return resp, nil
+}
+
+// reconnectLocked rebuilds the session: fresh conn, then a login on it
+// so the target binding and geometry are restored. Called with i.mu
+// held.
+func (i *Initiator) reconnectLocked() error {
+	i.connMu.Lock()
+	closed, old := i.closed, i.conn
+	i.connMu.Unlock()
+	if closed {
+		return net.ErrClosed
+	}
+
+	conn, err := i.redial()
+	if err != nil {
+		return err
+	}
+	if old != nil {
+		old.Close()
+	}
+	i.connMu.Lock()
+	if i.closed { // raced with Close: stay closed
+		i.connMu.Unlock()
+		conn.Close()
+		return net.ErrClosed
+	}
+	i.conn = conn
+	i.connMu.Unlock()
+
+	resp, err := i.do(&PDU{Op: OpLoginReq, Data: encodeLoginReq(i.redialTarget)})
+	if err != nil {
+		return err
+	}
+	if resp.Status != StatusOK {
+		return fmt.Errorf("%w: relogin %s: %v", ErrStatus, i.redialTarget, resp.Status)
+	}
+	bs, nb, err := decodeLoginResp(resp.Data)
+	if err != nil {
+		return err
+	}
+	if i.loggedIn && (bs != i.blockSize || nb != i.numBlocks) {
+		return fmt.Errorf("iscsi: reconnect geometry changed: %dx%d -> %dx%d",
+			i.numBlocks, i.blockSize, nb, bs)
+	}
+	i.blockSize, i.numBlocks, i.loggedIn = bs, nb, true
+	i.reconnects++
+	return nil
 }
 
 // ReadBlock implements block.Store.
@@ -215,9 +333,16 @@ func (i *Initiator) WireSent() int64 {
 }
 
 // Close implements block.Store; it severs the connection without a
-// logout handshake.
+// logout handshake and disarms reconnection.
 func (i *Initiator) Close() error {
-	return i.conn.Close()
+	i.connMu.Lock()
+	i.closed = true
+	conn := i.conn
+	i.connMu.Unlock()
+	if conn == nil {
+		return nil
+	}
+	return conn.Close()
 }
 
 func statusErr(op string, lba uint64, st Status) error {

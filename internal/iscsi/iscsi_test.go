@@ -437,3 +437,65 @@ func TestRequestTimeout(t *testing.T) {
 
 // done2 releases the silent server in TestRequestTimeout.
 var done2 = make(chan struct{})
+
+// TestInitiatorReconnect: with reconnection armed, a severed transport
+// is transparently replaced — redial, re-login, retry — and the failed
+// request still succeeds against the same target state.
+func TestInitiatorReconnect(t *testing.T) {
+	store, err := block.NewMem(512, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := NewTarget()
+	target.Export("x", &StoreBackend{Store: store})
+	t.Cleanup(func() { target.Close() })
+
+	serve := func() net.Conn {
+		client, server := net.Pipe()
+		go target.ServeConn(server)
+		return client
+	}
+	first := serve()
+	init := NewInitiator(first)
+	defer init.Close()
+	if err := init.Login("x"); err != nil {
+		t.Fatal(err)
+	}
+	init.EnableReconnect("x", func() (net.Conn, error) { return serve(), nil })
+
+	buf := make([]byte, 512)
+	buf[0] = 1
+	if err := init.WriteBlock(0, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sever the transport out from under the session.
+	first.Close()
+
+	buf[0] = 2
+	if err := init.WriteBlock(1, buf); err != nil {
+		t.Fatalf("write after severed conn: %v", err)
+	}
+	if n := init.Reconnects(); n != 1 {
+		t.Errorf("Reconnects = %d, want 1", n)
+	}
+
+	// Both the pre- and post-reconnect writes are on the device, and
+	// the new session serves reads.
+	got := make([]byte, 512)
+	if err := init.ReadBlock(0, got); err != nil || got[0] != 1 {
+		t.Errorf("block 0 = %d, %v; want 1, nil", got[0], err)
+	}
+	if err := init.ReadBlock(1, got); err != nil || got[0] != 2 {
+		t.Errorf("block 1 = %d, %v; want 2, nil", got[0], err)
+	}
+
+	// Close disarms recovery: the session must stay dead.
+	init.Close()
+	if err := init.WriteBlock(2, buf); err == nil {
+		t.Error("write after Close should fail, not resurrect the session")
+	}
+	if n := init.Reconnects(); n != 1 {
+		t.Errorf("Close must not reconnect; Reconnects = %d", n)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"prins/internal/block"
 )
@@ -73,6 +74,39 @@ func (p *Pool) Size() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return len(p.conns)
+}
+
+// SetRequestTimeout bounds every session's request round trips; the
+// replication engine uses this to enforce its per-attempt retry
+// timeout through a pool.
+func (p *Pool) SetRequestTimeout(d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.conns {
+		c.SetRequestTimeout(d)
+	}
+}
+
+// EnableReconnectTCP arms transparent reconnection on every session:
+// a failed request re-dials addr, re-logs-in to targetName, and
+// retries once.
+func (p *Pool) EnableReconnectTCP(addr, targetName string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.conns {
+		c.EnableReconnectTCP(addr, targetName)
+	}
+}
+
+// Reconnects totals session re-establishments across the pool.
+func (p *Pool) Reconnects() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var total int64
+	for _, c := range p.conns {
+		total += c.Reconnects()
+	}
+	return total
 }
 
 // ReadBlock implements block.Store.

@@ -24,6 +24,10 @@ type Traffic struct {
 	encodeNanos   atomic.Int64 // time in parity+encode
 	decodeNanos   atomic.Int64 // time in decode+backward parity (replica)
 	replicaWrites atomic.Int64 // in-place writes applied at a replica
+	retries       atomic.Int64 // replication delivery retries
+	dropped       atomic.Int64 // frames dropped while a replica was degraded
+	replicaLag    atomic.Int64 // gauge: frames a degraded replica is behind
+	duplicates    atomic.Int64 // duplicate pushes deduplicated at a replica
 }
 
 // AddWrite records one intercepted block write of blockBytes.
@@ -53,6 +57,25 @@ func (t *Traffic) AddDecodeTime(d time.Duration) { t.decodeNanos.Add(int64(d)) }
 // AddReplicaWrite records one in-place write applied at a replica.
 func (t *Traffic) AddReplicaWrite() { t.replicaWrites.Add(1) }
 
+// AddRetry records one re-delivery attempt of a replication frame.
+func (t *Traffic) AddRetry() { t.retries.Add(1) }
+
+// AddDropped records one frame not delivered because its replica was
+// degraded. It also advances the ReplicaLag gauge: the gap resync must
+// close before the replica is current again.
+func (t *Traffic) AddDropped() {
+	t.dropped.Add(1)
+	t.replicaLag.Add(1)
+}
+
+// ResetReplicaLag zeroes the lag gauge — called once a resync has
+// re-established the replica (Dropped stays as the historical total).
+func (t *Traffic) ResetReplicaLag() { t.replicaLag.Store(0) }
+
+// AddDuplicate records a pushed frame the replica had already applied
+// (a retried delivery whose first copy succeeded) and deduplicated.
+func (t *Traffic) AddDuplicate() { t.duplicates.Add(1) }
+
 // Snapshot is a consistent-enough point-in-time copy of the counters.
 type Snapshot struct {
 	Writes        int64
@@ -64,6 +87,10 @@ type Snapshot struct {
 	EncodeTime    time.Duration
 	DecodeTime    time.Duration
 	ReplicaWrites int64
+	Retries       int64
+	Dropped       int64
+	ReplicaLag    int64
+	Duplicates    int64
 }
 
 // Snapshot returns the current counter values.
@@ -78,6 +105,10 @@ func (t *Traffic) Snapshot() Snapshot {
 		EncodeTime:    time.Duration(t.encodeNanos.Load()),
 		DecodeTime:    time.Duration(t.decodeNanos.Load()),
 		ReplicaWrites: t.replicaWrites.Load(),
+		Retries:       t.retries.Load(),
+		Dropped:       t.dropped.Load(),
+		ReplicaLag:    t.replicaLag.Load(),
+		Duplicates:    t.duplicates.Load(),
 	}
 }
 
@@ -92,6 +123,10 @@ func (t *Traffic) Reset() {
 	t.encodeNanos.Store(0)
 	t.decodeNanos.Store(0)
 	t.replicaWrites.Store(0)
+	t.retries.Store(0)
+	t.dropped.Store(0)
+	t.replicaLag.Store(0)
+	t.duplicates.Store(0)
 }
 
 // MeanPayload returns the mean encoded payload bytes per replication

@@ -89,3 +89,40 @@ func TestFormatBytes(t *testing.T) {
 		}
 	}
 }
+
+func TestFaultCounters(t *testing.T) {
+	var tr Traffic
+	tr.AddRetry()
+	tr.AddRetry()
+	tr.AddDropped()
+	tr.AddDropped()
+	tr.AddDropped()
+	tr.AddDuplicate()
+
+	s := tr.Snapshot()
+	if s.Retries != 2 {
+		t.Errorf("Retries = %d, want 2", s.Retries)
+	}
+	if s.Dropped != 3 || s.ReplicaLag != 3 {
+		t.Errorf("Dropped = %d, ReplicaLag = %d, want 3 and 3", s.Dropped, s.ReplicaLag)
+	}
+	if s.Duplicates != 1 {
+		t.Errorf("Duplicates = %d, want 1", s.Duplicates)
+	}
+
+	// A resync clears the lag gauge but keeps the historical drop total.
+	tr.ResetReplicaLag()
+	s = tr.Snapshot()
+	if s.ReplicaLag != 0 {
+		t.Errorf("ReplicaLag after reset = %d, want 0", s.ReplicaLag)
+	}
+	if s.Dropped != 3 {
+		t.Errorf("Dropped after lag reset = %d, want 3", s.Dropped)
+	}
+
+	tr.Reset()
+	s = tr.Snapshot()
+	if s.Retries != 0 || s.Dropped != 0 || s.ReplicaLag != 0 || s.Duplicates != 0 {
+		t.Errorf("Reset left fault counters: %+v", s)
+	}
+}

@@ -108,3 +108,20 @@ func Run(local block.Store, remote *iscsi.Initiator, cfg Config) (Stats, error) 
 		int64(wan.WireBytesDiscrete(int(stats.DataBytes)))
 	return stats, nil
 }
+
+// RunAddr dials the replica exporting exportName at addr, runs a delta
+// resync from local, and closes the session. It is the documented
+// recovery step out of the engine's degraded mode: quiesce writes
+// (Drain), RunAddr against each degraded replica, then ClearDegraded
+// on the engine to resume live replication.
+func RunAddr(local block.Store, addr, exportName string, cfg Config) (Stats, error) {
+	remote, err := iscsi.Dial(addr)
+	if err != nil {
+		return Stats{}, fmt.Errorf("resync: dial %s: %w", addr, err)
+	}
+	defer remote.Close()
+	if err := remote.Login(exportName); err != nil {
+		return Stats{}, fmt.Errorf("resync: login %s/%s: %w", addr, exportName, err)
+	}
+	return Run(local, remote, cfg)
+}

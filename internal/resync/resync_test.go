@@ -167,3 +167,51 @@ func TestReadHashesValidation(t *testing.T) {
 		t.Errorf("full-device hash = %d,%v", len(hashes), err)
 	}
 }
+
+// TestRunAddr covers the dial-login-run-close convenience used to heal
+// a degraded replica: a real TCP round trip repairs divergence, and a
+// dead address fails cleanly.
+func TestRunAddr(t *testing.T) {
+	local, err := block.NewMem(512, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := block.NewMem(512, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 512)
+	for lba := uint64(0); lba < 4; lba++ {
+		buf[0] = byte(lba + 1)
+		if err := local.WriteBlock(lba, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	target := iscsi.NewTarget()
+	target.Export("vol", &iscsi.StoreBackend{Store: remote})
+	addr, err := target.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer target.Close()
+
+	stats, err := RunAddr(local, addr.String(), "vol", Config{})
+	if err != nil {
+		t.Fatalf("RunAddr: %v", err)
+	}
+	if stats.BlocksRepaired != 4 {
+		t.Errorf("BlocksRepaired = %d, want 4", stats.BlocksRepaired)
+	}
+	eq, err := block.Equal(local, remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Error("RunAddr left replica diverged")
+	}
+
+	if _, err := RunAddr(local, "127.0.0.1:1", "vol", Config{}); err == nil {
+		t.Error("RunAddr to a dead address should fail")
+	}
+}

@@ -47,6 +47,13 @@ func Shape(conn net.Conn, cfg LinkConfig) *ShapedConn {
 	}
 }
 
+// SetSleep replaces the function the shaper uses to pause for latency
+// and throttling (default time.Sleep). Tests install a recorder so the
+// token-bucket math can be verified deterministically, without
+// wall-clock sleeps. Set it before the conn carries traffic; it must
+// not be swapped mid-flight.
+func (c *ShapedConn) SetSleep(fn func(time.Duration)) { c.sleep = fn }
+
 // Write implements net.Conn, applying latency and bandwidth limits.
 func (c *ShapedConn) Write(p []byte) (int, error) {
 	if c.cfg.Latency > 0 {

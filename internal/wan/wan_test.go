@@ -187,6 +187,148 @@ func TestShapedConnAppliesLatencyAndThrottle(t *testing.T) {
 	}
 }
 
+// nullConn is a sink net.Conn for deterministic shaper tests: writes
+// succeed instantly, so every recorded sleep comes from the shaper's
+// own math rather than transport backpressure.
+type nullConn struct{ net.Conn }
+
+func (nullConn) Write(p []byte) (int, error) { return len(p), nil }
+func (nullConn) Close() error                { return nil }
+func (nullConn) SetDeadline(time.Time) error { return nil }
+func (nullConn) LocalAddr() net.Addr         { return nil }
+func (nullConn) RemoteAddr() net.Addr        { return nil }
+
+// sleepRecorder captures the shaper's sleep requests instead of
+// sleeping, making shaping tests run in microseconds.
+type sleepRecorder struct {
+	mu    sync.Mutex
+	calls []time.Duration
+}
+
+func (r *sleepRecorder) sleep(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.calls = append(r.calls, d)
+}
+
+func (r *sleepRecorder) total() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var sum time.Duration
+	for _, d := range r.calls {
+		sum += d
+	}
+	return sum
+}
+
+func (r *sleepRecorder) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.calls)
+}
+
+// TestShapedConnLatencyDeterministic: every write pays exactly the
+// configured one-way latency, independent of size.
+func TestShapedConnLatencyDeterministic(t *testing.T) {
+	rec := &sleepRecorder{}
+	c := Shape(nullConn{}, LinkConfig{Latency: 7 * time.Millisecond})
+	c.SetSleep(rec.sleep)
+
+	for i := 0; i < 5; i++ {
+		if _, err := c.Write(make([]byte, 1+i*1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := rec.count(); got != 5 {
+		t.Fatalf("sleep calls = %d, want 5 (one per write)", got)
+	}
+	if got, want := rec.total(), 35*time.Millisecond; got != want {
+		t.Errorf("total latency sleep = %v, want exactly %v", got, want)
+	}
+}
+
+// TestShapedConnTokenBucketMath verifies the throttle against the
+// token-bucket model computed by hand: rate 100 B/s, bucket 100 B.
+// Writes covered by the bucket cost nothing; a write overdrawing by D
+// bytes sleeps D/rate seconds. Only time.Now granularity between
+// writes (micro-refills at 100 B/s) separates measured from ideal, so
+// the assertions use a 10ms tolerance on multi-second ideals.
+func TestShapedConnTokenBucketMath(t *testing.T) {
+	rec := &sleepRecorder{}
+	c := Shape(nullConn{}, LinkConfig{BytesPerSecond: 100, BurstBytes: 100})
+	c.SetSleep(rec.sleep)
+
+	// Two writes inside the burst: no throttling at all.
+	if _, err := c.Write(make([]byte, 60)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(make([]byte, 40)); err != nil {
+		t.Fatal(err)
+	}
+	if rec.count() != 0 {
+		t.Fatalf("writes within the burst slept %d times: %v", rec.count(), rec.calls)
+	}
+
+	// Bucket is empty: a 200-byte write overdraws by ~200 bytes and
+	// must sleep ~2s (200 B at 100 B/s).
+	if _, err := c.Write(make([]byte, 200)); err != nil {
+		t.Fatal(err)
+	}
+	if rec.count() != 1 {
+		t.Fatalf("overdraw should sleep exactly once, slept %d", rec.count())
+	}
+	got, want := rec.total(), 2*time.Second
+	if got > want || want-got > 10*time.Millisecond {
+		t.Errorf("throttle sleep = %v, want %v (-10ms refill tolerance)", got, want)
+	}
+}
+
+// TestShapedConnBurstCap: token credit never exceeds BurstBytes, so a
+// long idle period cannot bank more than one bucket of burst.
+func TestShapedConnBurstCap(t *testing.T) {
+	rec := &sleepRecorder{}
+	c := Shape(nullConn{}, LinkConfig{BytesPerSecond: 1e9, BurstBytes: 50})
+	c.SetSleep(rec.sleep)
+
+	// At 1 GB/s the bucket refills instantly — but is capped at 50.
+	time.Sleep(time.Millisecond)
+	if _, err := c.Write(make([]byte, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if rec.count() != 0 {
+		t.Fatal("bucket-sized write should not sleep")
+	}
+	// 1000 bytes over a 50-byte bucket: deficit 950 at 1e9 B/s is under
+	// a microsecond but must still be charged.
+	if _, err := c.Write(make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if rec.count() != 1 {
+		t.Errorf("overdraw slept %d times, want 1", rec.count())
+	}
+}
+
+// TestShapedConnDefaultBurst: Shape defaults the bucket to one wire
+// packet (payload + header), the smallest burst the model speaks of.
+func TestShapedConnDefaultBurst(t *testing.T) {
+	rec := &sleepRecorder{}
+	c := Shape(nullConn{}, LinkConfig{BytesPerSecond: 10})
+	c.SetSleep(rec.sleep)
+
+	if _, err := c.Write(make([]byte, PacketPayload+PacketHeader)); err != nil {
+		t.Fatal(err)
+	}
+	if rec.count() != 0 {
+		t.Error("default burst should cover exactly one packet")
+	}
+	if _, err := c.Write(make([]byte, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if rec.count() != 1 {
+		t.Error("the next byte should overdraw the default burst")
+	}
+}
+
 func TestLinkPresets(t *testing.T) {
 	if T1Link().BytesPerSecond != T1.BytesPerSecond {
 		t.Error("T1Link rate mismatch")

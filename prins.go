@@ -83,6 +83,22 @@ type Config struct {
 	// AggressiveEncoding additionally tries DEFLATE over the parity and
 	// ships whichever frame is smaller, trading CPU for bytes.
 	AggressiveEncoding bool
+
+	// RetryAttempts is how many times a replication push is tried before
+	// the engine gives up on it (default 1 = no retry).
+	RetryAttempts int
+	// RetryTimeout bounds each push attempt; zero means no deadline.
+	RetryTimeout time.Duration
+	// RetryBackoff is the base delay between attempts, doubled each
+	// retry with jitter; zero retries immediately.
+	RetryBackoff time.Duration
+	// AllowDegraded keeps writes succeeding locally when a replica
+	// exhausts its retry budget: the replica is marked degraded and
+	// subsequent frames to it are dropped and counted rather than
+	// failing the write. Recover with Drain, a resync against the
+	// replica, then ClearDegraded. When false (default), a failed push
+	// fails the write (sync) or surfaces on Drain (async).
+	AllowDegraded bool
 }
 
 // Stats is a point-in-time snapshot of a Primary's replication
@@ -109,6 +125,10 @@ type Stats struct {
 	// MeanChangedFraction is the mean fraction of each block changed
 	// per write (only populated with Config.RecordDensity).
 	MeanChangedFraction float64
+	// Retries counts replication push attempts beyond the first.
+	Retries int64
+	// Dropped counts frames abandoned because a replica was degraded.
+	Dropped int64
 }
 
 // Primary is the primary-side replication engine over a local Store.
@@ -136,6 +156,12 @@ func NewPrimary(local Store, cfg Config) (*Primary, error) {
 		QueueDepth:    cfg.QueueDepth,
 		SkipUnchanged: cfg.SkipUnchanged,
 		RecordDensity: cfg.RecordDensity,
+		Retry: core.RetryPolicy{
+			Attempts: cfg.RetryAttempts,
+			Timeout:  cfg.RetryTimeout,
+			Backoff:  cfg.RetryBackoff,
+		},
+		AllowDegraded: cfg.AllowDegraded,
 	})
 	if err != nil {
 		return nil, err
@@ -220,6 +246,21 @@ func (p *Primary) Serve(addr, exportName string) (net.Addr, error) {
 // the first asynchronous replication error.
 func (p *Primary) Drain() error { return p.engine.Drain() }
 
+// Degraded reports whether any attached replica has been dropped from
+// live replication after exhausting its retry budget (requires
+// Config.AllowDegraded).
+func (p *Primary) Degraded() bool { return p.engine.Degraded() }
+
+// ReplicaLag returns the largest number of frames dropped for any
+// degraded replica — how far behind the worst replica is.
+func (p *Primary) ReplicaLag() int64 { return p.engine.ReplicaLag() }
+
+// ClearDegraded re-admits all replicas to live replication. Call it
+// only after quiescing writes (Drain) and healing each degraded
+// replica with a resync; clearing a stale replica corrupts it in
+// PRINS mode, which XORs against the replica's current content.
+func (p *Primary) ClearDegraded() { p.engine.ClearDegraded() }
+
 // Stats snapshots the replication counters.
 func (p *Primary) Stats() Stats {
 	s := p.engine.Traffic().Snapshot()
@@ -234,6 +275,8 @@ func (p *Primary) Stats() Stats {
 		MeanPayload:         s.MeanPayload(),
 		SavingsVsRaw:        s.SavingsVsRaw(),
 		MeanChangedFraction: p.engine.Density().Mean(),
+		Retries:             s.Retries,
+		Dropped:             s.Dropped,
 	}
 }
 
