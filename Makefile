@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench fuzz check repro examples fmt vet clean
+.PHONY: all build test race bench fuzz lint check repro examples fmt vet clean
 
 # How long each fuzzer runs under `make fuzz` / `make check`.
 FUZZTIME ?= 10s
@@ -26,9 +26,15 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzReadPDU$$' -fuzztime=$(FUZZTIME) ./internal/iscsi
 	$(GO) test -run='^$$' -fuzz='^FuzzDecode$$' -fuzztime=$(FUZZTIME) ./internal/xcode
 
+# prinslint is the project's own invariant analyzer (see DESIGN.md,
+# "Static analysis & invariants"): dropped I/O errors, parity aliasing,
+# nondeterministic chaos machinery, racy counters, unguarded decodes.
+lint:
+	$(GO) run ./cmd/prinslint ./...
+
 # The pre-merge gate: static analysis, the full suite under the race
 # detector, then a short fuzz of the decoders.
-check: vet race fuzz
+check: vet lint race fuzz
 
 # Regenerate every figure of the paper's evaluation.
 repro:

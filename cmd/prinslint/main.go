@@ -1,0 +1,91 @@
+// Command prinslint runs the PRINS invariant analyzer over the module:
+// a from-scratch static-analysis pass (internal/lint) enforcing the
+// data-path invariants go vet cannot see — dropped I/O errors, XOR
+// parity aliasing and buffer retention, nondeterministic chaos
+// machinery, non-atomic counter access, and unguarded wire-buffer
+// decoding.
+//
+// Usage:
+//
+//	prinslint [-json] [packages...]
+//
+// Packages default to ./... relative to the enclosing module. Exit
+// status is 0 when the tree is clean, 1 when findings exist, and 2
+// when the tree fails to load or type-check. Findings are suppressed
+// in source with `//lint:ignore rule-id reason` on or directly above
+// the offending line.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"prins/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("prinslint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON diagnostics")
+	rules := fs.Bool("rules", false, "list the rule set and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *rules {
+		for _, r := range lint.DefaultRules() {
+			fmt.Fprintf(stdout, "%-18s %s\n", r.Name(), r.Doc())
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "prinslint:", err)
+		return 2
+	}
+	runner, err := lint.NewRunner(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "prinslint:", err)
+		return 2
+	}
+	diags, err := runner.Run(patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "prinslint:", err)
+		return 2
+	}
+
+	if *jsonOut {
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, "prinslint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "prinslint: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"prins/internal/lint"
+)
+
+func TestRunCleanTree(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d on the real tree, want 0\n%s%s", code, out.String(), errb.String())
+	}
+}
+
+func TestRunFindingsExitOne(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"internal/lint/testdata/src/uncheckederr"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d on a dirty fixture, want 1\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "unchecked-error") {
+		t.Errorf("findings missing from stdout:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "finding(s)") {
+		t.Errorf("summary missing from stderr: %q", errb.String())
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", "internal/lint/testdata/src/unboundeddecode"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, errb.String())
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("stdout is not a JSON diagnostic array: %v\n%s", err, out.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("JSON output carries no findings")
+	}
+	for _, d := range diags {
+		if d.Rule != "unbounded-decode" || d.File == "" || d.Line == 0 {
+			t.Errorf("malformed diagnostic: %+v", d)
+		}
+	}
+}
+
+func TestRunJSONCleanIsEmptyArray(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "internal/parity"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, errb.String())
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil || diags == nil || len(diags) != 0 {
+		t.Errorf("clean -json run should print [], got %q (err %v)", out.String(), err)
+	}
+}
+
+func TestRunRulesFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-rules"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, r := range lint.DefaultRules() {
+		if !strings.Contains(out.String(), r.Name()) {
+			t.Errorf("-rules output misses %s:\n%s", r.Name(), out.String())
+		}
+	}
+}
+
+func TestRunBadPatternExitTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"no/such/dir"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d on a missing package, want 2", code)
+	}
+}

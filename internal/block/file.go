@@ -32,7 +32,7 @@ func CreateFile(path string, blockSize int, numBlocks uint64) (*FileStore, error
 		return nil, fmt.Errorf("block: create %s: %w", path, err)
 	}
 	if err := f.Truncate(int64(blockSize) * int64(numBlocks)); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("block: truncate %s: %w", path, err)
 	}
 	return &FileStore{f: f, blockSize: blockSize, numBlocks: numBlocks}, nil
@@ -50,11 +50,11 @@ func OpenFile(path string, blockSize int) (*FileStore, error) {
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("block: stat %s: %w", path, err)
 	}
 	if st.Size()%int64(blockSize) != 0 || st.Size() == 0 {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("%w: file size %d not a positive multiple of %d",
 			ErrBadGeometry, st.Size(), blockSize)
 	}

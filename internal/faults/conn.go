@@ -140,7 +140,7 @@ func (c *Conn) Write(p []byte) (int, error) {
 	case FaultReset:
 		c.closeOnce.Do(func() {
 			close(c.closed)
-			c.Conn.Close()
+			_ = c.Conn.Close()
 		})
 		return 0, ErrReset
 

@@ -148,6 +148,7 @@ func TestConnPrefixPassesThenDrops(t *testing.T) {
 	}
 
 	// The peer never sees the dropped bytes.
+	//lint:ignore nondeterminism net.Conn deadlines are wall-clock by contract; proving the read times out requires the real clock
 	peer.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
 	buf := make([]byte, 4)
 	if _, err := peer.Read(buf); !errors.Is(err, os.ErrDeadlineExceeded) {
@@ -190,9 +191,11 @@ func TestConnCorruptIsDeterministic(t *testing.T) {
 
 func TestConnStallHonoursDeadline(t *testing.T) {
 	c, _ := pipePair(t, NewPlan(1), ConnFaults{Fault: FaultStall})
+	//lint:ignore nondeterminism net.Conn deadlines are wall-clock by contract; the stall must be released by the real deadline
 	if err := c.SetWriteDeadline(time.Now().Add(20 * time.Millisecond)); err != nil {
 		t.Fatal(err)
 	}
+	//lint:ignore nondeterminism measuring real elapsed time is the point: the stall must hold until the deadline
 	start := time.Now()
 	_, err := c.Write([]byte("stuck"))
 	if !errors.Is(err, os.ErrDeadlineExceeded) {
@@ -210,6 +213,7 @@ func TestConnStallReleasedByClose(t *testing.T) {
 		_, err := c.Write([]byte("stuck"))
 		errCh <- err
 	}()
+	//lint:ignore nondeterminism the goroutine must really be parked in the stall before Close; the assertion holds either way if the sleep is short
 	time.Sleep(10 * time.Millisecond)
 	c.Close()
 	select {
@@ -217,6 +221,7 @@ func TestConnStallReleasedByClose(t *testing.T) {
 		if !errors.Is(err, net.ErrClosed) {
 			t.Errorf("stalled write after close = %v, want net.ErrClosed", err)
 		}
+	//lint:ignore nondeterminism watchdog against a hung test; fires only on failure
 	case <-time.After(time.Second):
 		t.Fatal("close did not release the stalled writer")
 	}

@@ -36,6 +36,8 @@ type Store struct {
 	plan  *Plan
 	cfg   StoreFaults
 
+	sleep func(time.Duration) // injectable for tests
+
 	mu     sync.Mutex
 	reads  int64
 	writes int64
@@ -48,8 +50,14 @@ func (p *Plan) WrapStore(inner block.Store, cfg StoreFaults) *Store {
 	if cfg.Err == nil {
 		cfg.Err = ErrInjected
 	}
-	return &Store{inner: inner, plan: p, cfg: cfg}
+	//lint:ignore nondeterminism approved entry point: real sleep is the default; tests inject via SetSleep
+	return &Store{inner: inner, plan: p, cfg: cfg, sleep: time.Sleep}
 }
+
+// SetSleep replaces the function used to realise ReadDelay/WriteDelay
+// (default time.Sleep), so tests can assert on injected latency
+// without waiting it out. Set it before the store carries I/O.
+func (s *Store) SetSleep(fn func(time.Duration)) { s.sleep = fn }
 
 // Ops returns how many reads and writes the wrapper has seen.
 func (s *Store) Ops() (reads, writes int64) {
@@ -66,7 +74,7 @@ func (s *Store) ReadBlock(lba uint64, buf []byte) error {
 	s.mu.Unlock()
 
 	if s.cfg.ReadDelay > 0 {
-		time.Sleep(s.cfg.ReadDelay)
+		s.sleep(s.cfg.ReadDelay)
 	}
 	if fail {
 		return s.cfg.Err
@@ -83,7 +91,7 @@ func (s *Store) WriteBlock(lba uint64, data []byte) error {
 	s.mu.Unlock()
 
 	if s.cfg.WriteDelay > 0 {
-		time.Sleep(s.cfg.WriteDelay)
+		s.sleep(s.cfg.WriteDelay)
 	}
 	if torn {
 		return s.tearWrite(lba, data)

@@ -2,6 +2,7 @@ package iscsi
 
 import (
 	"encoding/binary"
+	"fmt"
 	"hash/fnv"
 )
 
@@ -32,14 +33,20 @@ func HashBlocks(data []byte, blockSize int) []byte {
 	return out
 }
 
-// DecodeHashes parses a HashBlocks payload.
-func DecodeHashes(data []byte) []uint64 {
-	n := len(data) / HashSize
-	out := make([]uint64, n)
+// DecodeHashes parses a HashBlocks payload. The payload must be an
+// exact multiple of HashSize: a trailing partial hash means the frame
+// was truncated, and silently dropping it would let a delta resync
+// skip the very blocks it needed to compare.
+func DecodeHashes(data []byte) ([]uint64, error) {
+	if len(data)%HashSize != 0 {
+		return nil, fmt.Errorf("%w: hash payload of %d bytes is not a multiple of %d",
+			ErrShortFrame, len(data), HashSize)
+	}
+	out := make([]uint64, len(data)/HashSize)
 	for i := range out {
 		out[i] = binary.BigEndian.Uint64(data[i*HashSize:])
 	}
-	return out
+	return out, nil
 }
 
 // ReadHashes fetches the content hashes of count blocks starting at
@@ -52,5 +59,8 @@ func (i *Initiator) ReadHashes(lba uint64, count uint32) ([]uint64, error) {
 	if resp.Status != StatusOK {
 		return nil, statusErr("hash", lba, resp.Status)
 	}
-	return DecodeHashes(resp.Data), nil
+	if got, want := len(resp.Data), int(count)*HashSize; got != want {
+		return nil, fmt.Errorf("%w: hash response carries %d bytes, want %d", ErrShortFrame, got, want)
+	}
+	return DecodeHashes(resp.Data)
 }

@@ -201,12 +201,12 @@ func (i *Initiator) reconnectLocked() error {
 		return err
 	}
 	if old != nil {
-		old.Close()
+		_ = old.Close()
 	}
 	i.connMu.Lock()
 	if i.closed { // raced with Close: stay closed
 		i.connMu.Unlock()
-		conn.Close()
+		_ = conn.Close()
 		return net.ErrClosed
 	}
 	i.conn = conn
@@ -245,7 +245,10 @@ func (i *Initiator) ReadBlock(lba uint64, buf []byte) error {
 	return nil
 }
 
-// ReadBlocks reads count consecutive blocks starting at lba.
+// ReadBlocks reads count consecutive blocks starting at lba. The
+// response payload is length-checked against the session geometry: a
+// short or oversized frame is an ErrShortFrame protocol error, never a
+// partial result.
 func (i *Initiator) ReadBlocks(lba uint64, count uint32) ([]byte, error) {
 	resp, err := i.roundTrip(&PDU{Op: OpReadCmd, LBA: lba, Blocks: count})
 	if err != nil {
@@ -253,6 +256,11 @@ func (i *Initiator) ReadBlocks(lba uint64, count uint32) ([]byte, error) {
 	}
 	if resp.Status != StatusOK {
 		return nil, statusErr("read", lba, resp.Status)
+	}
+	if bs := i.BlockSize(); bs > 0 {
+		if got, want := len(resp.Data), int(count)*bs; got != want {
+			return nil, fmt.Errorf("%w: read response carries %d bytes, want %d", ErrShortFrame, got, want)
+		}
 	}
 	return resp.Data, nil
 }

@@ -499,3 +499,51 @@ func TestInitiatorReconnect(t *testing.T) {
 		t.Errorf("Close must not reconnect; Reconnects = %d", n)
 	}
 }
+
+// TestShortResponseRejected: a peer answering with a data segment that
+// does not match the length the request implies is a protocol error
+// (ErrShortFrame), never a partial result handed to the caller.
+func TestShortResponseRejected(t *testing.T) {
+	client, server := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			req, err := ReadPDU(server)
+			if err != nil {
+				return
+			}
+			resp := &PDU{ITT: req.ITT, Status: StatusOK, Op: OpResp}
+			switch req.Op {
+			case OpLoginReq:
+				resp.Op = OpLoginResp
+				resp.Data = encodeLoginResp(512, 8)
+			case OpReadCmd:
+				resp.Data = make([]byte, int(req.Blocks)*512-7) // truncated block data
+			case OpHashCmd:
+				resp.Data = make([]byte, int(req.Blocks)*HashSize+3) // misaligned hashes
+			}
+			if _, err := resp.WriteTo(server); err != nil {
+				return
+			}
+		}
+	}()
+	init := NewInitiator(client)
+	t.Cleanup(func() {
+		init.Close()
+		<-done
+	})
+	if err := init.Login("disk0"); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := init.ReadBlocks(0, 2); !errors.Is(err, ErrShortFrame) {
+		t.Errorf("short read response: err = %v, want ErrShortFrame", err)
+	}
+	if _, err := init.ReadHashes(0, 4); !errors.Is(err, ErrShortFrame) {
+		t.Errorf("misaligned hash response: err = %v, want ErrShortFrame", err)
+	}
+	if err := init.ReadBlock(0, make([]byte, 512)); !errors.Is(err, ErrShortFrame) {
+		t.Errorf("short single-block read: err = %v, want ErrShortFrame", err)
+	}
+}

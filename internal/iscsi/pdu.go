@@ -125,6 +125,10 @@ var (
 	ErrBadDigest  = errors.New("iscsi: digest mismatch")
 	ErrTooLarge   = errors.New("iscsi: data segment too large")
 	ErrStatus     = errors.New("iscsi: request failed")
+	// ErrShortFrame reports a response whose data segment does not match
+	// the length implied by the request — a truncated or misaligned
+	// payload from a buggy or hostile peer.
+	ErrShortFrame = errors.New("iscsi: truncated response payload")
 )
 
 // PDU is one protocol data unit: the decoded header fields plus the

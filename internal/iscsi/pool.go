@@ -32,12 +32,12 @@ func DialPool(addr, exportName string, n int) (*Pool, error) {
 	for i := 0; i < n; i++ {
 		init, err := Dial(addr)
 		if err != nil {
-			p.Close()
+			_ = p.Close()
 			return nil, err
 		}
 		if err := init.Login(exportName); err != nil {
-			init.Close()
-			p.Close()
+			_ = init.Close()
+			_ = p.Close()
 			return nil, err
 		}
 		p.conns = append(p.conns, init)

@@ -182,10 +182,10 @@ func (t *Target) Close() error {
 	t.mu.Unlock()
 
 	for _, ln := range lns {
-		ln.Close()
+		_ = ln.Close()
 	}
 	for _, c := range conns {
-		c.Close()
+		_ = c.Close()
 	}
 	t.wg.Wait()
 	return nil

@@ -1,0 +1,222 @@
+// Package lint implements prinslint, a from-scratch static analyzer
+// for the PRINS codebase built on the standard library's go/parser,
+// go/ast and go/types. It enforces the data-path invariants the
+// compiler and go vet cannot see: dropped I/O errors, XOR parity
+// aliasing and buffer retention, nondeterminism in the chaos
+// machinery, non-atomic counter access, and unguarded wire-buffer
+// decoding.
+//
+// Findings render as "file:line:col: rule-id: message" and can be
+// suppressed with a trailing or preceding comment of the form
+//
+//	//lint:ignore rule-id reason
+//
+// The reason is mandatory: a suppression without one is itself
+// reported (rule "directive"), as is a suppression naming an unknown
+// rule.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding. File is relative to the directory Run was
+// rooted at, so output is stable across checkouts.
+type Diagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// String renders the canonical file:line:col: rule-id: message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Rule, d.Message)
+}
+
+// Rule is one invariant checker. Check walks a type-checked package
+// and reports findings through the Reporter.
+type Rule interface {
+	// Name is the stable rule identifier used in output and in
+	// lint:ignore directives.
+	Name() string
+	// Doc is a one-line description of the protected invariant.
+	Doc() string
+	Check(p *Package, r *Reporter)
+}
+
+// DefaultRules returns the full prinslint rule set.
+func DefaultRules() []Rule {
+	return []Rule{
+		uncheckedErrorRule{},
+		xorAliasRule{},
+		nondeterminismRule{},
+		atomicCounterRule{},
+		unboundedDecodeRule{},
+	}
+}
+
+// directiveRule is the synthetic rule id for malformed or unknown
+// lint:ignore comments.
+const directiveRule = "directive"
+
+// Reporter collects diagnostics for one package, applying lint:ignore
+// suppression.
+type Reporter struct {
+	pkg   *Package
+	base  string // diagnostics render paths relative to this
+	skip  map[suppressKey]bool
+	diags []Diagnostic
+}
+
+type suppressKey struct {
+	file string
+	line int
+	rule string
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// newReporter scans the package's comments for lint:ignore directives.
+// known maps valid rule ids; a directive naming anything else is
+// reported immediately.
+func newReporter(p *Package, base string, known map[string]bool) *Reporter {
+	r := &Reporter{pkg: p, base: base, skip: make(map[suppressKey]bool)}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				pos := p.Fset.Position(c.Pos())
+				if len(fields) < 2 {
+					r.emit(pos, directiveRule,
+						"malformed directive: want //lint:ignore rule-id reason")
+					continue
+				}
+				rule := fields[0]
+				if !known[rule] {
+					r.emit(pos, directiveRule,
+						fmt.Sprintf("unknown rule %q in lint:ignore", rule))
+					continue
+				}
+				// The directive silences the rule on its own line (a
+				// trailing comment) and on the following line (a
+				// comment above the offending statement).
+				r.skip[suppressKey{pos.Filename, pos.Line, rule}] = true
+				r.skip[suppressKey{pos.Filename, pos.Line + 1, rule}] = true
+			}
+		}
+	}
+	return r
+}
+
+// Report files a finding at pos unless a lint:ignore directive covers
+// it.
+func (r *Reporter) Report(pos token.Pos, rule, msg string) {
+	position := r.pkg.Fset.Position(pos)
+	if r.skip[suppressKey{position.Filename, position.Line, rule}] {
+		return
+	}
+	r.emit(position, rule, msg)
+}
+
+func (r *Reporter) emit(pos token.Position, rule, msg string) {
+	file := pos.Filename
+	if rel, err := filepath.Rel(r.base, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	r.diags = append(r.diags, Diagnostic{
+		File:    file,
+		Line:    pos.Line,
+		Col:     pos.Column,
+		Rule:    rule,
+		Message: msg,
+	})
+}
+
+// Runner loads packages and applies the rule set.
+type Runner struct {
+	Loader *Loader
+	Rules  []Rule
+}
+
+// NewRunner builds a runner rooted at the module containing dir, with
+// the default rule set.
+func NewRunner(dir string) (*Runner, error) {
+	l, err := NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{Loader: l, Rules: DefaultRules()}, nil
+}
+
+// Run lints the packages matched by patterns (see Loader.Expand) and
+// returns the findings sorted by position. A non-nil error means the
+// tree could not be loaded or type-checked, not that findings exist.
+func (r *Runner) Run(patterns []string) ([]Diagnostic, error) {
+	dirs, err := r.Loader.Expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	known := make(map[string]bool)
+	for _, rule := range r.Rules {
+		known[rule.Name()] = true
+	}
+	var all []Diagnostic
+	for _, dir := range dirs {
+		pkgs, err := r.Loader.LoadTarget(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, pkg := range pkgs {
+			rep := newReporter(pkg, r.Loader.Root, known)
+			for _, rule := range r.Rules {
+				rule.Check(pkg, rep)
+			}
+			all = append(all, rep.diags...)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return all, nil
+}
+
+// inspectWithStack walks the file like ast.Inspect but hands the
+// visitor the stack of enclosing nodes (outermost first, current node
+// excluded). Several rules need the parent to classify an expression.
+func inspectWithStack(f *ast.File, visit func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !visit(n, stack) {
+			// Children are skipped, so Inspect will not deliver the
+			// closing nil for this node; keep the stack balanced.
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}

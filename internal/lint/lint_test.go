@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the fixture golden files")
+
+// fixtures maps each fixture package under testdata/src to the rule it
+// exercises; every one must produce the findings recorded in its
+// expected.txt golden, byte for byte.
+var fixtures = []string{
+	"uncheckederr",
+	"xoralias",
+	"nondet",
+	"atomiccounter",
+	"unboundeddecode",
+	"suppress",
+}
+
+func TestFixtures(t *testing.T) {
+	for _, name := range fixtures {
+		t.Run(name, func(t *testing.T) {
+			runner, err := NewRunner(".")
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags, err := runner.Run([]string{"internal/lint/testdata/src/" + name + "/..."})
+			if err != nil {
+				t.Fatalf("lint failed to run: %v", err)
+			}
+			if len(diags) == 0 {
+				t.Fatal("fixture produced no findings; the rule it exercises is dead")
+			}
+			var sb strings.Builder
+			for _, d := range diags {
+				fmt.Fprintln(&sb, d)
+			}
+			got := sb.String()
+
+			golden := filepath.Join("testdata", "src", name, "expected.txt")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != string(want) {
+				t.Errorf("findings diverge from %s (re-run with -update after verifying)\n--- got ---\n%s--- want ---\n%s",
+					golden, got, want)
+			}
+		})
+	}
+}
+
+// TestSuppressionSilencesFinding pins the semantics the suppress
+// fixture relies on: the aliasing call under the well-formed directive
+// must NOT appear among its findings.
+func TestSuppressionSilencesFinding(t *testing.T) {
+	runner, err := NewRunner(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := runner.Run([]string{"internal/lint/testdata/src/suppress"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if d.Rule == "xor-alias" {
+			t.Errorf("suppressed finding leaked through: %s", d)
+		}
+		if d.Rule != directiveRule {
+			t.Errorf("unexpected rule %q in suppress fixture: %s", d.Rule, d)
+		}
+	}
+}
+
+// TestRepoLintsClean is the meta-test: the real tree must lint clean,
+// so prinslint can gate CI. Any finding here means new code broke an
+// invariant (fix it) or needs a lint:ignore with a reason.
+func TestRepoLintsClean(t *testing.T) {
+	runner, err := NewRunner(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := runner.Run([]string{"./..."})
+	if err != nil {
+		t.Fatalf("lint failed to run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestDiagnosticString pins the canonical rendering other tools parse.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{File: "a/b.go", Line: 3, Col: 7, Rule: "xor-alias", Message: "boom"}
+	if got, want := d.String(), "a/b.go:3:7: xor-alias: boom"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestExpandRejectsMissingDir: a bad pattern is a load error, not an
+// empty (and therefore silently green) run.
+func TestExpandRejectsMissingDir(t *testing.T) {
+	runner, err := NewRunner(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runner.Run([]string{"internal/does-not-exist"}); err == nil {
+		t.Error("linting a missing directory should fail, not pass")
+	}
+}

@@ -1,0 +1,365 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked lint target: the package's files (test
+// files included) plus the type information rules need. External test
+// packages (package foo_test) are loaded as their own Package.
+type Package struct {
+	// Path is the import path ("prins/internal/parity"); external test
+	// packages carry a "_test" suffix.
+	Path string
+	// Name is the package name from the package clauses.
+	Name string
+	// Dir is the absolute directory the files live in.
+	Dir string
+	// Fset positions all files of this load.
+	Fset *token.FileSet
+	// Files are the parsed sources, comments attached.
+	Files []*ast.File
+	// Types and Info hold the go/types results.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// FileName returns the absolute file name holding pos.
+func (p *Package) FileName(pos token.Pos) string {
+	return p.Fset.File(pos).Name()
+}
+
+// IsTestFile reports whether f is a _test.go file.
+func (p *Package) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.FileName(f.Pos()), "_test.go")
+}
+
+// Loader parses and type-checks packages of a single module using only
+// the standard library: module-internal imports resolve by directory
+// under the module root, everything else goes to the compiler's export
+// data via importer.Default.
+type Loader struct {
+	// Root is the module root (the directory holding go.mod).
+	Root string
+	// ModPath is the module path declared in go.mod.
+	ModPath string
+
+	fset *token.FileSet
+	std  types.Importer
+	deps map[string]*types.Package // import path -> dependency (no test files)
+	busy map[string]bool           // cycle detection
+}
+
+// ModuleRoot walks up from dir to the nearest directory with a go.mod.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod at or above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// NewLoader builds a loader for the module containing dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, err := ModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	return &Loader{
+		Root:    root,
+		ModPath: modPath,
+		fset:    token.NewFileSet(),
+		std:     importer.Default(),
+		deps:    make(map[string]*types.Package),
+		busy:    make(map[string]bool),
+	}, nil
+}
+
+// modulePath extracts the module declaration from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module declaration in %s", gomod)
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Expand resolves command-line package patterns into package
+// directories. "dir/..." walks recursively; other patterns name one
+// directory. Patterns are interpreted relative to the module root.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = "."
+			}
+		}
+		dir := pat
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(l.Root, filepath.FromSlash(pat))
+		}
+		info, err := os.Stat(dir)
+		if err != nil || !info.IsDir() {
+			return nil, fmt.Errorf("lint: no such package directory: %s", pat)
+		}
+		if !recursive {
+			if hasGoFiles(dir) {
+				add(dir)
+			}
+			continue
+		}
+		err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != dir && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// importPathFor maps a directory under the module root to its import
+// path.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.ModPath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module %s", dir, l.Root)
+	}
+	return l.ModPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// dirFor maps a module-internal import path to its directory.
+func (l *Loader) dirFor(path string) string {
+	if path == l.ModPath {
+		return l.Root
+	}
+	rel := strings.TrimPrefix(path, l.ModPath+"/")
+	return filepath.Join(l.Root, filepath.FromSlash(rel))
+}
+
+// parseDir parses the .go files of one directory, split into the base
+// package's files and the external test package's files (package
+// foo_test). includeTests controls whether _test.go files are read at
+// all.
+func (l *Loader) parseDir(dir string, includeTests bool) (base, xtest []*ast.File, baseName string, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		files = append(files, f)
+	}
+	// The base package name is the one used by a non-test file, or by
+	// any file if the directory holds only tests.
+	for _, f := range files {
+		if !strings.HasSuffix(l.fset.File(f.Pos()).Name(), "_test.go") {
+			baseName = f.Name.Name
+			break
+		}
+	}
+	for _, f := range files {
+		name := f.Name.Name
+		if baseName != "" && name == baseName+"_test" {
+			xtest = append(xtest, f)
+			continue
+		}
+		if baseName == "" {
+			baseName = strings.TrimSuffix(name, "_test")
+		}
+		base = append(base, f)
+	}
+	return base, xtest, baseName, nil
+}
+
+// Import implements types.Importer: module-internal paths are
+// type-checked from source (without test files) and cached; all other
+// paths resolve through the standard importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path != l.ModPath && !strings.HasPrefix(path, l.ModPath+"/") {
+		return l.std.Import(path)
+	}
+	if pkg, ok := l.deps[path]; ok {
+		return pkg, nil
+	}
+	if l.busy[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.busy[path] = true
+	defer delete(l.busy, path)
+
+	dir := l.dirFor(path)
+	files, _, _, err := l.parseDir(dir, false)
+	if err != nil {
+		return nil, fmt.Errorf("lint: parse %s: %w", path, err)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %w", path, err)
+	}
+	l.deps[path] = pkg
+	return pkg, nil
+}
+
+// newInfo allocates the go/types fact tables the rules consume.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+// LoadTarget parses and type-checks the package in dir as a lint
+// target: test files included, with full type information. It returns
+// one Package for the package itself and, when present, one for the
+// external test package.
+func (l *Loader) LoadTarget(dir string) ([]*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	path, err := l.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	base, xtest, baseName, err := l.parseDir(dir, true)
+	if err != nil {
+		return nil, fmt.Errorf("lint: parse %s: %w", dir, err)
+	}
+	if len(base) == 0 && len(xtest) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	var pkgs []*Package
+	if len(base) > 0 {
+		p, err := l.check(path, baseName, dir, base)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	if len(xtest) > 0 {
+		p, err := l.check(path+"_test", baseName+"_test", dir, xtest)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// check runs the type checker over one file set and wraps the result.
+func (l *Loader) check(path, name, dir string, files []*ast.File) (*Package, error) {
+	info := newInfo()
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %w", path, err)
+	}
+	return &Package{
+		Path:  path,
+		Name:  name,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}

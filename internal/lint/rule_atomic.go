@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// atomicCounterRule guards the metrics counters (and any other shared
+// counter in the module) against torn or lost updates:
+//
+//  1. A struct field of a sync/atomic type (atomic.Int64, atomic.Bool,
+//     ...) may only be used as the receiver of one of its methods.
+//     Copying the value (s := t.writes) or passing it around tears the
+//     atomicity guarantee the field exists for.
+//
+//  2. Mixed access to plain integer counter fields: once any code in a
+//     package updates a field through the sync/atomic functions
+//     (atomic.AddInt64(&c.n, 1)), every other access to that field
+//     must go through sync/atomic too. A bare c.n++ or read of c.n
+//     races with the atomic writers.
+type atomicCounterRule struct{}
+
+func (atomicCounterRule) Name() string { return "atomic-counter" }
+
+func (atomicCounterRule) Doc() string {
+	return "counter fields must be accessed only through their atomic API"
+}
+
+func (atomicCounterRule) Check(p *Package, r *Reporter) {
+	checkAtomicTypedFields(p, r)
+	checkMixedAtomicAccess(p, r)
+}
+
+// checkAtomicTypedFields flags any selection of a sync/atomic-typed
+// struct field that is not immediately the receiver of a method call.
+func checkAtomicTypedFields(p *Package, r *Reporter) {
+	for _, f := range p.Files {
+		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection, ok := p.Info.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			if !isAtomicType(selection.Type()) {
+				return true
+			}
+			// Legitimate shape: x.field.Method(...) — the field is the
+			// X of a method SelectorExpr that is the Fun of a call.
+			if len(stack) >= 2 {
+				if parent, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && parent.X == sel {
+					if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok && call.Fun == parent {
+						return true
+					}
+				}
+			}
+			r.Report(sel.Pos(), "atomic-counter",
+				fmt.Sprintf("atomic field %s used outside its method set; call Load/Store/Add on it directly", sel.Sel.Name))
+			return true
+		})
+	}
+}
+
+// isAtomicType reports whether t is a named type from sync/atomic.
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// checkMixedAtomicAccess flags non-atomic reads/writes of plain fields
+// that are elsewhere in the package accessed through the sync/atomic
+// functions.
+func checkMixedAtomicAccess(p *Package, r *Reporter) {
+	atomicFields := make(map[types.Object]bool) // fields passed as &f to sync/atomic funcs
+	blessed := make(map[ast.Node]bool)          // the selector nodes inside those calls
+
+	// Pass 1: find atomic.XxxInt64(&x.f, ...) style uses.
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				unary, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok {
+					continue
+				}
+				sel, ok := ast.Unparen(unary.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				selection, ok := p.Info.Selections[sel]
+				if !ok || selection.Kind() != types.FieldVal {
+					continue
+				}
+				atomicFields[selection.Obj()] = true
+				blessed[sel] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+
+	// Pass 2: every other selection of those fields is a racy access.
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || blessed[sel] {
+				return true
+			}
+			selection, ok := p.Info.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			if atomicFields[selection.Obj()] {
+				r.Report(sel.Pos(), "atomic-counter",
+					fmt.Sprintf("non-atomic access to counter field %s, which is updated via sync/atomic elsewhere in this package", sel.Sel.Name))
+			}
+			return true
+		})
+	}
+}

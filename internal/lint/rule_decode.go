@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// unboundedDecodeRule audits the wire-facing decode paths (the iscsi
+// and xcode packages): indexing or slicing a []byte parameter, or
+// reading it through binary.BigEndian/LittleEndian fixed-width
+// accessors, must be dominated by a len() check of that buffer.
+// Without one, a truncated or hostile frame turns into a bounds panic
+// in the replication path instead of a protocol error.
+//
+// The dominance test is a source-order approximation: some expression
+// mentioning len(buf) must appear in the function before the access.
+// That matches the codebase's guard idioms (early short-buffer
+// returns, len-bounded loop conditions) while staying a from-scratch
+// AST pass; annotate the rare intentional exception with lint:ignore.
+type unboundedDecodeRule struct{}
+
+func (unboundedDecodeRule) Name() string { return "unbounded-decode" }
+
+func (unboundedDecodeRule) Doc() string {
+	return "wire-buffer decode paths must length-check the buffer before fixed-offset access"
+}
+
+// decodeScopePkgs are the package names holding wire decoders.
+var decodeScopePkgs = map[string]bool{
+	"iscsi": true, "iscsi_test": true,
+	"xcode": true, "xcode_test": true,
+}
+
+// decodeNameFragments mark a function as a decode path.
+var decodeNameFragments = []string{"decode", "parse", "split", "unmarshal", "readpdu"}
+
+func isDecodeFunc(name string) bool {
+	lower := strings.ToLower(name)
+	for _, frag := range decodeNameFragments {
+		if strings.Contains(lower, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+func (unboundedDecodeRule) Check(p *Package, r *Reporter) {
+	if !decodeScopePkgs[p.Name] {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isDecodeFunc(fd.Name.Name) {
+				continue
+			}
+			params := byteSliceParams(p, fd)
+			if len(params) == 0 {
+				continue
+			}
+			checkDecodeBody(p, r, fd, params)
+		}
+	}
+}
+
+func checkDecodeBody(p *Package, r *Reporter, fd *ast.FuncDecl, params map[types.Object]bool) {
+	// Pass 1: positions where len(param) is consulted.
+	guards := make(map[types.Object][]token.Pos)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || fun.Name != "len" {
+			return true
+		}
+		if _, isBuiltin := p.Info.Uses[fun].(*types.Builtin); !isBuiltin {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			if obj := p.Info.Uses[id]; obj != nil && params[obj] {
+				guards[obj] = append(guards[obj], call.Pos())
+			}
+		}
+		return true
+	})
+
+	guardedBefore := func(obj types.Object, pos token.Pos) bool {
+		for _, g := range guards[obj] {
+			if g < pos {
+				return true
+			}
+		}
+		return false
+	}
+	flag := func(obj types.Object, pos token.Pos, how string) {
+		if guardedBefore(obj, pos) {
+			return
+		}
+		r.Report(pos, "unbounded-decode",
+			fmt.Sprintf("%s of wire buffer %s without a preceding len(%s) guard; a short frame panics here",
+				how, obj.Name(), obj.Name()))
+	}
+
+	// Pass 2: raw accesses to the parameters.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.IndexExpr:
+			if obj := paramObj(p, params, e.X); obj != nil {
+				flag(obj, e.Pos(), "index")
+			}
+		case *ast.SliceExpr:
+			if obj := paramObj(p, params, e.X); obj != nil {
+				flag(obj, e.Pos(), "slice")
+			}
+		case *ast.CallExpr:
+			// binary.BigEndian.UintNN(param) / PutUintNN-style reads.
+			if isEndianAccessor(p, e) {
+				for _, arg := range e.Args {
+					if obj := paramObj(p, params, arg); obj != nil {
+						flag(obj, e.Pos(), "fixed-width read")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// paramObj resolves e to one of the tracked parameters, or nil.
+func paramObj(p *Package, params map[types.Object]bool, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := p.Info.Uses[id]
+	if obj != nil && params[obj] {
+		return obj
+	}
+	return nil
+}
+
+// isEndianAccessor reports calls to fixed-width methods of
+// encoding/binary's ByteOrder values (binary.BigEndian.Uint32, ...).
+func isEndianAccessor(p *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Uint16", "Uint32", "Uint64":
+	default:
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "encoding/binary"
+}

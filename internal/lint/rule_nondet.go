@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// nondeterminismRule keeps the chaos/fault machinery replayable: a
+// chaos test that fails must be a chaos test that reproduces. Inside
+// the fault-injection and WAN-shaping packages (all files) and the
+// core engine's tests, wall-clock and global-randomness escape hatches
+// are forbidden: time.Now, time.Sleep, time.After, and the global
+// math/rand functions. Injected clocks/sleepers and seeded *rand.Rand
+// sources (rand.New(rand.NewSource(seed))) are the approved entry
+// points; the few deliberate wall-clock defaults carry lint:ignore
+// annotations.
+type nondeterminismRule struct{}
+
+func (nondeterminismRule) Name() string { return "nondeterminism" }
+
+func (nondeterminismRule) Doc() string {
+	return "fault/WAN machinery and core tests must use injected clocks and seeded randomness"
+}
+
+// nondetAllFiles are package names whose every file is in scope.
+var nondetAllFiles = map[string]bool{"faults": true, "wan": true}
+
+// nondetTestFiles are package names where only test files are in
+// scope (the chaos and concurrency suites of the engine).
+var nondetTestFiles = map[string]bool{"core": true, "core_test": true}
+
+// globalRandFuncs are the math/rand package-level functions that draw
+// from the unseeded global source.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true, "N": true,
+}
+
+func (nondeterminismRule) Check(p *Package, r *Reporter) {
+	for _, f := range p.Files {
+		inScope := nondetAllFiles[p.Name] ||
+			(nondetTestFiles[p.Name] && p.IsTestFile(f))
+		if !inScope {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.Info.Uses[ident].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "time":
+				switch sel.Sel.Name {
+				case "Now", "Sleep", "After":
+					r.Report(sel.Pos(), "nondeterminism",
+						fmt.Sprintf("time.%s in deterministic scope; inject a clock/sleep hook instead", sel.Sel.Name))
+				}
+			case "math/rand", "math/rand/v2":
+				if globalRandFuncs[sel.Sel.Name] {
+					r.Report(sel.Pos(), "nondeterminism",
+						fmt.Sprintf("global rand.%s in deterministic scope; use a seeded rand.New(rand.NewSource(seed))", sel.Sel.Name))
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,22 @@
+// Package atomiccounter exercises the atomic-counter rule: atomic
+// fields escaping their method set and mixed atomic/plain access.
+package atomiccounter
+
+import "sync/atomic"
+
+type counters struct {
+	writes atomic.Int64
+	reads  int64
+}
+
+func (c *counters) bump() {
+	c.writes.Add(1) // ok: method call on the atomic field
+	w := c.writes   // finding: copying the atomic value
+	_ = w
+	atomic.AddInt64(&c.reads, 1) // ok: atomic update of the plain field
+	c.reads++                    // finding: plain access to an atomically-updated field
+}
+
+func (c *counters) read() int64 {
+	return atomic.LoadInt64(&c.reads) // ok
+}

@@ -1,0 +1,12 @@
+// Package core (a fixture named after the real engine package) has
+// only its test files in nondeterminism scope: this non-test file may
+// use the wall clock freely.
+package core
+
+import "time"
+
+// Uptime is deliberately wall-clock: non-test files of core are out of
+// scope.
+func Uptime(since time.Time) time.Duration {
+	return time.Now().Sub(since)
+}

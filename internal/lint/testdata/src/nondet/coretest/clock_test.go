@@ -1,0 +1,13 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestUptime(t *testing.T) {
+	time.Sleep(time.Millisecond)                   // finding: real sleep in a core test
+	if Uptime(time.Now().Add(-time.Second)) <= 0 { // finding: wall clock in a core test
+		t.Fatal("uptime went backwards")
+	}
+}

@@ -1,0 +1,25 @@
+// Package faults (a fixture named after the real fault-injection
+// package, which is what puts every file in scope) exercises the
+// nondeterminism rule.
+package faults
+
+import (
+	"math/rand"
+	"time"
+)
+
+func jitter() time.Duration {
+	start := time.Now()          // finding: wall clock
+	time.Sleep(time.Millisecond) // finding: real sleep
+	select {
+	case <-time.After(time.Millisecond): // finding: wall-clock timer
+	default:
+	}
+	n := rand.Intn(10) // finding: global rand source
+	return time.Since(start) + time.Duration(n)
+}
+
+func seeded() int {
+	r := rand.New(rand.NewSource(42)) // ok: seeded source is the approved entry point
+	return r.Intn(10)
+}

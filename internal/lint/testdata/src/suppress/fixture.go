@@ -1,0 +1,21 @@
+// Package suppress exercises lint:ignore handling: a well-formed
+// directive silences its finding, while malformed or unknown-rule
+// directives are findings themselves.
+package suppress
+
+import "prins/internal/parity"
+
+func suppressed(p []byte) {
+	//lint:ignore xor-alias fixture: deliberate aliasing to prove suppression works
+	_ = parity.XORInPlace(p, p) // ok: suppressed by the directive above
+}
+
+func malformed(p []byte) []byte {
+	//lint:ignore
+	return p // the directive above lacks a rule id and reason: finding
+}
+
+func unknownRule(p []byte) []byte {
+	//lint:ignore no-such-rule the rule id does not exist: finding
+	return p
+}

@@ -1,0 +1,23 @@
+// Package iscsi (a fixture named after the real wire package, which is
+// what puts it in scope) exercises the unbounded-decode rule.
+package iscsi
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+var errShort = errors.New("short frame")
+
+func decodeHeader(buf []byte) (uint32, byte) {
+	v := binary.BigEndian.Uint32(buf) // finding: fixed-width read without a len guard
+	b := buf[7]                       // finding: index without a len guard
+	return v, b
+}
+
+func decodeGuarded(buf []byte) (uint32, error) {
+	if len(buf) < 8 {
+		return 0, errShort
+	}
+	return binary.BigEndian.Uint32(buf[4:]), nil // ok: dominated by the len check
+}

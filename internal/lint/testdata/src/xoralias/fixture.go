@@ -1,0 +1,19 @@
+// Package xoralias exercises the xor-alias rule: parity kernel calls
+// whose destination aliases a source.
+package xoralias
+
+import "prins/internal/parity"
+
+func aliased(p, old []byte) error {
+	if err := parity.ForwardInto(p, p, old); err != nil { // finding: dst aliases newData
+		return err
+	}
+	return parity.XORInPlace(old, old) // finding: dst aliases src
+}
+
+func clean(p, newData, old []byte) error {
+	if err := parity.ForwardInto(p, newData, old); err != nil {
+		return err
+	}
+	return parity.BackwardInto(newData, p, old)
+}

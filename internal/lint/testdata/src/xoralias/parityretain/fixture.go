@@ -1,0 +1,21 @@
+// Package parity (a fixture named after the real kernel package, which
+// is what puts it in scope) exercises the buffer-retention half of the
+// xor-alias rule.
+package parity
+
+type cache struct {
+	buf []byte
+}
+
+var lastParity []byte
+
+func (c *cache) retain(p []byte) {
+	c.buf = p      // finding: struct field keeps the caller's slice
+	lastParity = p // finding: package variable keeps the caller's slice
+}
+
+func (c *cache) copyIn(p []byte) {
+	cp := make([]byte, len(p))
+	copy(cp, p)
+	c.buf = cp // ok: a private copy may be retained
+}

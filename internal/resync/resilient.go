@@ -45,11 +45,11 @@ func (c *ResilientClient) dial() (*iscsi.Initiator, error) {
 		return nil, err
 	}
 	if err := conn.Login(c.export); err != nil {
-		conn.Close()
+		_ = conn.Close()
 		return nil, err
 	}
 	if conn.BlockSize() != c.local.BlockSize() || conn.NumBlocks() < c.local.NumBlocks() {
-		conn.Close()
+		_ = conn.Close()
 		return nil, fmt.Errorf("%w: replica %s", ErrGeometry, c.addr)
 	}
 	return conn, nil
@@ -65,7 +65,7 @@ func (c *ResilientClient) ReplicaWrite(mode uint8, seq uint64, lba uint64, frame
 		if err := c.conn.ReplicaWrite(mode, seq, lba, frame); err == nil {
 			return nil
 		}
-		c.conn.Close()
+		_ = c.conn.Close()
 		c.conn = nil
 	}
 
@@ -82,7 +82,7 @@ func (c *ResilientClient) ReplicaWrite(mode uint8, seq uint64, lba uint64, frame
 	c.reconnect++
 	stats, err := Run(c.local, conn, Config{})
 	if err != nil {
-		conn.Close()
+		_ = conn.Close()
 		return fmt.Errorf("resync: heal after reconnect: %w", err)
 	}
 	c.repaired += int64(stats.BlocksRepaired)

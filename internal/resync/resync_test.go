@@ -144,9 +144,15 @@ func TestHashHelpers(t *testing.T) {
 		t.Error("distinct blocks hashed equal")
 	}
 	data := append(append([]byte(nil), a[:16]...), b[:16]...)
-	hashes := iscsi.DecodeHashes(iscsi.HashBlocks(data, 16))
+	hashes, err := iscsi.DecodeHashes(iscsi.HashBlocks(data, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(hashes) != 2 {
 		t.Fatalf("hashes = %d, want 2", len(hashes))
+	}
+	if _, err := iscsi.DecodeHashes(make([]byte, iscsi.HashSize+1)); err == nil {
+		t.Error("misaligned hash payload accepted")
 	}
 	if hashes[0] != iscsi.HashBlock(data[:16]) || hashes[1] != iscsi.HashBlock(data[16:]) {
 		t.Error("hash round trip wrong")

@@ -29,6 +29,7 @@ type ShapedConn struct {
 	tokens float64
 	last   time.Time
 	sleep  func(time.Duration) // injectable for tests
+	now    func() time.Time    // injectable for tests
 }
 
 var _ net.Conn = (*ShapedConn)(nil)
@@ -42,8 +43,12 @@ func Shape(conn net.Conn, cfg LinkConfig) *ShapedConn {
 		Conn:   conn,
 		cfg:    cfg,
 		tokens: float64(cfg.BurstBytes),
-		last:   time.Now(),
-		sleep:  time.Sleep,
+		//lint:ignore nondeterminism approved entry point: wall clock is the default; tests inject via SetClock
+		last: time.Now(),
+		//lint:ignore nondeterminism approved entry point: real sleep is the default; tests inject via SetSleep
+		sleep: time.Sleep,
+		//lint:ignore nondeterminism approved entry point: wall clock is the default; tests inject via SetClock
+		now: time.Now,
 	}
 }
 
@@ -53,6 +58,18 @@ func Shape(conn net.Conn, cfg LinkConfig) *ShapedConn {
 // wall-clock sleeps. Set it before the conn carries traffic; it must
 // not be swapped mid-flight.
 func (c *ShapedConn) SetSleep(fn func(time.Duration)) { c.sleep = fn }
+
+// SetClock replaces the clock the token bucket refills against
+// (default time.Now). Installing a fake clock together with SetSleep
+// makes shaping fully deterministic: tests advance the clock instead
+// of waiting out real refill intervals. Set it before the conn carries
+// traffic; the refill anchor resets to the new clock's current time.
+func (c *ShapedConn) SetClock(fn func() time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = fn
+	c.last = fn()
+}
 
 // Write implements net.Conn, applying latency and bandwidth limits.
 func (c *ShapedConn) Write(p []byte) (int, error) {
@@ -68,7 +85,7 @@ func (c *ShapedConn) Write(p []byte) (int, error) {
 // throttle blocks until the token bucket covers n bytes.
 func (c *ShapedConn) throttle(n int) {
 	c.mu.Lock()
-	now := time.Now()
+	now := c.now()
 	c.tokens += now.Sub(c.last).Seconds() * c.cfg.BytesPerSecond
 	if max := float64(c.cfg.BurstBytes); c.tokens > max {
 		c.tokens = max

@@ -289,9 +289,12 @@ func TestShapedConnBurstCap(t *testing.T) {
 	rec := &sleepRecorder{}
 	c := Shape(nullConn{}, LinkConfig{BytesPerSecond: 1e9, BurstBytes: 50})
 	c.SetSleep(rec.sleep)
+	clk := time.Unix(0, 0)
+	c.SetClock(func() time.Time { return clk })
 
-	// At 1 GB/s the bucket refills instantly — but is capped at 50.
-	time.Sleep(time.Millisecond)
+	// An hour idle at 1 GB/s would bank terabytes of credit — but the
+	// bucket is capped at 50, so a bucket-sized write still just fits.
+	clk = clk.Add(time.Hour)
 	if _, err := c.Write(make([]byte, 50)); err != nil {
 		t.Fatal(err)
 	}

@@ -177,12 +177,12 @@ func (p *Primary) AttachReplicaAddr(addr, exportName string) error {
 		return err
 	}
 	if err := init.Login(exportName); err != nil {
-		init.Close()
+		_ = init.Close()
 		return err
 	}
 	bs, nb := p.engine.Geometry()
 	if init.BlockSize() != bs || init.NumBlocks() < nb {
-		init.Close()
+		_ = init.Close()
 		return fmt.Errorf("prins: replica %s geometry %dx%d incompatible with primary %dx%d",
 			addr, init.NumBlocks(), init.BlockSize(), nb, bs)
 	}
@@ -356,7 +356,7 @@ func Dial(addr, exportName string) (RemoteStore, error) {
 		return nil, err
 	}
 	if err := init.Login(exportName); err != nil {
-		init.Close()
+		_ = init.Close()
 		return nil, err
 	}
 	return init, nil
