@@ -48,6 +48,7 @@ func run(args []string) error {
 		replicas   = fs.String("replica", "", "comma-separated replica endpoints host:port/export")
 		statsEvery = fs.Duration("stats", 30*time.Second, "stats logging interval (0 = off)")
 
+		queueDepth    = fs.Int("queue-depth", 256, "ship queue depth per replica")
 		retryAttempts = fs.Int("retry-attempts", 3, "replication push attempts before giving up on a replica")
 		retryTimeout  = fs.Duration("retry-timeout", 10*time.Second, "per-attempt replication timeout (0 = none)")
 		retryBackoff  = fs.Duration("retry-backoff", 250*time.Millisecond, "base backoff between push attempts, doubled with jitter")
@@ -87,6 +88,7 @@ func run(args []string) error {
 		primary, err := prins.NewPrimary(store, prins.Config{
 			Mode:          m,
 			Async:         true,
+			QueueDepth:    *queueDepth,
 			SkipUnchanged: true,
 			RecordDensity: m == prins.ModePRINS,
 			RetryAttempts: *retryAttempts,
@@ -127,8 +129,14 @@ func run(args []string) error {
 				case <-ticker.C:
 					s := primary.Stats()
 					if primary.Degraded() {
-						log.Printf("prinsd: DEGRADED lag=%d frames; writes=%d shipped=%s saved=%.1fx retries=%d",
-							primary.ReplicaLag(), s.Writes, formatBytes(s.PayloadBytes), s.SavingsVsRaw, s.Retries)
+						var lagged []string
+						for i, rs := range primary.ReplicaStats() {
+							if rs.Degraded {
+								lagged = append(lagged, fmt.Sprintf("r%d:%d", i, rs.Lag))
+							}
+						}
+						log.Printf("prinsd: DEGRADED lag=%d frames (%s); writes=%d shipped=%s saved=%.1fx retries=%d",
+							primary.ReplicaLag(), strings.Join(lagged, " "), s.Writes, formatBytes(s.PayloadBytes), s.SavingsVsRaw, s.Retries)
 					} else {
 						log.Printf("prinsd: writes=%d shipped=%s saved=%.1fx",
 							s.Writes, formatBytes(s.PayloadBytes), s.SavingsVsRaw)

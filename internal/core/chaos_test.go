@@ -127,8 +127,22 @@ func TestChaosConnFaults(t *testing.T) {
 			if e.ReplicaLag() == 0 {
 				t.Error("degraded replica should report dropped frames")
 			}
-			if got := e.Traffic().Snapshot(); got.Dropped == 0 {
+			got := e.Traffic().Snapshot()
+			if got.Dropped == 0 {
 				t.Error("traffic should count dropped frames")
+			}
+			// Accounting identity: with one replica, every frame was
+			// either delivered or dropped — never both, never neither.
+			// (The delivery that tripped the fault is a drop, not a
+			// shipped frame.)
+			if got.Replicated+got.Dropped != int64(writes) {
+				t.Errorf("replicated %d + dropped %d != %d writes",
+					got.Replicated, got.Dropped, writes)
+			}
+			if rs := e.ReplicaStats(); len(rs) != 1 ||
+				rs[0].Metrics.Shipped != got.Replicated ||
+				rs[0].Metrics.PayloadBytes != got.PayloadBytes {
+				t.Errorf("per-replica counters disagree with aggregate: %+v vs %+v", rs, got)
 			}
 			mustEqual(t, "primary under "+fault.String(), primaryStore, base)
 

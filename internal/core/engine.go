@@ -4,14 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"prins/internal/block"
 	"prins/internal/iscsi"
 	"prins/internal/metrics"
 	"prins/internal/parity"
-	"prins/internal/wan"
 	"prins/internal/xcode"
 )
 
@@ -38,15 +36,19 @@ type Config struct {
 	// Mode selects the replication technique. Required.
 	Mode Mode
 	// Codecs are the candidate codecs for ModePRINS parity encoding;
-	// the smallest frame wins. Defaults to ZRL only (the fast path).
+	// the smallest frame wins (never larger than raw framing — see
+	// xcode.EncodeBest). Defaults to ZRL only (the fast path).
 	Codecs []xcode.Codec
-	// Async, when true, ships frames from a background worker fed by
-	// a bounded queue (the paper's separate PRINS-engine thread with a
-	// shared queue). When false every write blocks until all replicas
-	// acknowledged.
+	// Async, when true, returns from a write as soon as the frame is
+	// enqueued on every replica's pipeline; delivery errors surface on
+	// Drain. When false every write blocks until all replicas
+	// acknowledged (the acks are awaited in parallel, outside the
+	// engine lock).
 	Async bool
-	// QueueDepth bounds the async queue. Defaults to 256. When the
-	// queue is full the write path blocks, bounding memory.
+	// QueueDepth bounds each replica's ship queue. Defaults to 256.
+	// When a replica's queue is full the write path blocks, bounding
+	// memory — a persistently slow replica eventually backpressures
+	// writers rather than buffering without limit.
 	QueueDepth int
 	// SkipUnchanged, when true, elides replication of writes whose
 	// parity is all zeros (the block did not change). Only meaningful
@@ -96,7 +98,8 @@ var ErrEngineClosed = errors.New("core: engine closed")
 
 // Engine is the primary-side PRINS engine. It wraps the local block
 // store; writes through the engine hit local storage and are
-// replicated to every attached replica in the configured mode.
+// replicated to every attached replica in the configured mode, each
+// replica through its own ship pipeline (see pipeline.go).
 // Engine implements block.Store, so a filesystem, database pager, or
 // iSCSI target backend can sit directly on top of it.
 type Engine struct {
@@ -114,32 +117,12 @@ type Engine struct {
 	fpBuf  []byte
 	closed bool
 
-	queue   chan repMsg
-	done    chan struct{}
-	errMu   sync.Mutex
-	repErr  error
-	pending sync.WaitGroup
+	done     chan struct{}  // closed once, after Close has quiesced
+	shippers sync.WaitGroup // one per attached replica pipeline
 }
 
 var _ block.Store = (*Engine)(nil)
 var _ iscsi.Backend = (*Engine)(nil)
-
-// repMsg is one queued replication job.
-type repMsg struct {
-	seq   uint64
-	lba   uint64
-	frame []byte
-}
-
-// replicaState tracks one attached replica's delivery health. The
-// degraded flag and drop counter are atomics because ship (the write
-// path or the async worker) races with ClearDegraded and the Degraded
-// accessors.
-type replicaState struct {
-	client   ReplicaClient
-	degraded atomic.Bool
-	dropped  atomic.Int64 // frames dropped since the replica degraded
-}
 
 // NewEngine wraps local with a replication engine in the given config.
 // Replicas are attached afterwards with AttachReplica.
@@ -156,35 +139,38 @@ func NewEngine(local block.Store, cfg Config) (*Engine, error) {
 		density: &parity.DensityStats{},
 		oldBuf:  make([]byte, local.BlockSize()),
 		fpBuf:   make([]byte, local.BlockSize()),
+		done:    make(chan struct{}),
 	}
 	if pw, ok := local.(ParityWriter); ok {
 		e.pw = pw
 	}
-	if cfg.Async {
-		e.queue = make(chan repMsg, cfg.QueueDepth)
-		e.done = make(chan struct{})
-		go e.shipLoop()
-	}
 	return e, nil
 }
 
-// AttachReplica adds a replication destination. Not safe to call
-// concurrently with writes; attach replicas before serving I/O.
-// When the retry policy carries a per-attempt timeout and the client
-// supports request deadlines, the timeout is installed here.
+// AttachReplica adds a replication destination and starts its ship
+// pipeline. Not safe to call concurrently with writes; attach replicas
+// before serving I/O. When the retry policy carries a per-attempt
+// timeout and the client supports request deadlines, the timeout is
+// installed here.
 func (e *Engine) AttachReplica(rc ReplicaClient) {
 	if e.retry.Timeout > 0 {
 		if rt, ok := rc.(requestTimeouter); ok {
 			rt.SetRequestTimeout(e.retry.Timeout)
 		}
 	}
-	e.replicas = append(e.replicas, &replicaState{client: rc})
+	rs := &replicaState{
+		client: rc,
+		queue:  make(chan repMsg, e.cfg.QueueDepth),
+	}
+	e.replicas = append(e.replicas, rs)
+	e.shippers.Add(1)
+	go e.shipper(rs)
 }
 
 // Degraded reports whether any attached replica has exhausted its
 // retry budget and been taken out of the ship path. Writes still
 // succeed locally; the dropped-frame gap is visible in
-// Traffic().Snapshot().ReplicaLag.
+// Traffic().Snapshot().ReplicaLag and per replica in ReplicaStats.
 func (e *Engine) Degraded() bool {
 	for _, rs := range e.replicas {
 		if rs.degraded.Load() {
@@ -195,26 +181,48 @@ func (e *Engine) Degraded() bool {
 }
 
 // ReplicaLag returns the largest number of frames any degraded replica
-// is behind the primary — zero when all replicas are healthy.
+// is behind the primary — zero when all replicas are healthy. The
+// Traffic snapshot's ReplicaLag gauge reports the same maximum.
 func (e *Engine) ReplicaLag() int64 {
 	var lag int64
 	for _, rs := range e.replicas {
-		if d := rs.dropped.Load(); d > lag {
+		if d := rs.m.Lag(); d > lag {
 			lag = d
 		}
 	}
 	return lag
 }
 
-// ClearDegraded reinstates every degraded replica and zeroes the lag
-// gauge. Call it only after the gap has been healed — quiesce writes
-// (Drain), run a resync against each degraded replica, then clear;
-// clearing with writes in flight or an unhealed replica re-ships new
-// parities on top of stale blocks and silently corrupts the copy.
+// ReplicaStat describes one attached replica's pipeline health.
+type ReplicaStat struct {
+	Degraded bool
+	Metrics  metrics.ReplicaSnapshot
+}
+
+// ReplicaStats returns a point-in-time snapshot of every attached
+// replica's pipeline, in attach order. The engine-wide Traffic view
+// aggregates the same counters across replicas.
+func (e *Engine) ReplicaStats() []ReplicaStat {
+	out := make([]ReplicaStat, len(e.replicas))
+	for i, rs := range e.replicas {
+		out[i] = ReplicaStat{Degraded: rs.degraded.Load(), Metrics: rs.m.Snapshot()}
+	}
+	return out
+}
+
+// ClearDegraded reinstates every degraded replica, zeroes the lag
+// gauges, and forgets any sticky replication error a previous Drain
+// reported — after the recovery lifecycle completes, the engine
+// reports healthy again. Call it only after the gap has been healed —
+// quiesce writes (Drain), run a resync against each degraded replica,
+// then clear; clearing with writes in flight or an unhealed replica
+// re-ships new parities on top of stale blocks and silently corrupts
+// the copy.
 func (e *Engine) ClearDegraded() {
 	for _, rs := range e.replicas {
 		rs.degraded.Store(false)
-		rs.dropped.Store(0)
+		rs.m.ResetLag()
+		rs.clearErr()
 	}
 	e.traffic.ResetReplicaLag()
 }
@@ -241,6 +249,16 @@ func (e *Engine) BlockSize() int { return e.local.BlockSize() }
 func (e *Engine) NumBlocks() uint64 { return e.local.NumBlocks() }
 
 // WriteBlock implements block.Store: local write plus replication.
+//
+// The engine lock covers the local apply and the enqueue onto every
+// replica pipeline — frames must enter each queue in sequence order,
+// or two racing writers could deliver same-LBA updates to a replica
+// out of order — but never a network round trip. A full queue blocks
+// the enqueue, which then (deliberately) throttles all writers: the
+// paper's bounded queue, now one per replica. In synchronous mode the
+// write then waits, outside the lock, for every replica's ack, so
+// concurrent writers overlap their fan-out waits instead of
+// serializing WAN round trips behind the lock.
 func (e *Engine) WriteBlock(lba uint64, data []byte) error {
 	e.mu.Lock()
 	if e.closed {
@@ -248,47 +266,60 @@ func (e *Engine) WriteBlock(lba uint64, data []byte) error {
 		return ErrEngineClosed
 	}
 
-	frame, err := e.applyLocal(lba, data)
+	fb, err := e.applyLocal(lba, data)
 	if err != nil {
 		e.mu.Unlock()
 		return err
 	}
-	if frame == nil { // unchanged block elided
+	if fb == nil { // unchanged block elided
 		e.mu.Unlock()
 		return nil
 	}
 	e.seq++
 	seq := e.seq
 
-	if e.cfg.Async {
-		// Enqueue while still holding the lock: frames must enter the
-		// queue in sequence order, or two racing writers could deliver
-		// same-LBA updates to the replica out of order. The queue send
-		// can block on backpressure, which then (deliberately) throttles
-		// all writers — the paper's bounded shared queue.
-		e.pending.Add(1)
-		defer e.mu.Unlock()
-		select {
-		case e.queue <- repMsg{seq: seq, lba: lba, frame: frame}:
-		case <-e.done:
-			e.pending.Done()
-			return ErrEngineClosed
-		}
+	n := len(e.replicas)
+	if n == 0 {
+		e.mu.Unlock()
+		framePool.Put(fb)
 		return nil
 	}
-	// Synchronous mode ships under the engine lock so frames reach the
-	// replicas in sequence order even with concurrent writers; applying
-	// traditional-mode frames out of order would leave the replica on a
-	// stale version of a twice-written block. (XOR parities commute,
-	// but the ordering guarantee must not depend on the mode.)
-	defer e.mu.Unlock()
-	return e.ship(seq, lba, frame)
+	fb.refs.Store(int32(n))
+	var ack chan error
+	if !e.cfg.Async {
+		ack = make(chan error, n)
+	}
+	enqueued := 0
+	for _, rs := range e.replicas {
+		rs.pending.Add(1)
+		select {
+		case rs.queue <- repMsg{seq: seq, lba: lba, frame: fb, ack: ack}:
+			enqueued++
+		case <-e.done:
+			rs.pending.Done()
+			fb.release(int32(n - enqueued))
+			e.mu.Unlock()
+			return ErrEngineClosed
+		}
+	}
+	e.mu.Unlock()
+
+	if ack == nil {
+		return nil
+	}
+	var firstErr error
+	for i := 0; i < n; i++ {
+		if err := <-ack; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // applyLocal performs the local write and produces the encoded frame
-// to replicate, or nil if the write needs no replication. Called with
-// e.mu held.
-func (e *Engine) applyLocal(lba uint64, data []byte) ([]byte, error) {
+// to replicate in a pooled buffer, or nil if the write needs no
+// replication. Called with e.mu held.
+func (e *Engine) applyLocal(lba uint64, data []byte) (*frameBuf, error) {
 	bs := e.local.BlockSize()
 	if len(data) != bs {
 		return nil, fmt.Errorf("%w: %d != %d", block.ErrBadBufSize, len(data), bs)
@@ -305,12 +336,15 @@ func (e *Engine) applyLocal(lba uint64, data []byte) ([]byte, error) {
 		if e.cfg.Mode == ModeCompressed {
 			codec = xcode.CodecFlate
 		}
-		frame, err := xcode.Encode(codec, data)
+		fb := getFrame()
+		buf, err := xcode.AppendEncode(fb.buf, codec, data)
 		e.traffic.AddEncodeTime(time.Since(start))
 		if err != nil {
+			framePool.Put(fb)
 			return nil, fmt.Errorf("core: encode: %w", err)
 		}
-		return frame, nil
+		fb.buf = buf
+		return fb, nil
 
 	case ModePRINS:
 		start := time.Now()
@@ -341,108 +375,42 @@ func (e *Engine) applyLocal(lba uint64, data []byte) ([]byte, error) {
 			e.traffic.AddEncodeTime(time.Since(start))
 			return nil, nil
 		}
-		frame, err := xcode.EncodeBest(fp, e.cfg.Codecs...)
+		fb := getFrame()
+		buf, err := xcode.AppendEncodeBest(fb.buf, fp, e.cfg.Codecs...)
 		e.traffic.AddEncodeTime(time.Since(start))
 		if err != nil {
+			framePool.Put(fb)
 			return nil, fmt.Errorf("core: encode parity: %w", err)
 		}
-		return frame, nil
+		fb.buf = buf
+		return fb, nil
 
 	default:
 		return nil, fmt.Errorf("core: invalid mode %d", uint8(e.cfg.Mode))
 	}
 }
 
-// ship sends one frame to every replica and records traffic. A
-// delivery that fails past the retry budget either degrades that
-// replica (AllowDegraded: the frame is counted as dropped and the
-// write stays successful) or surfaces as the ship error.
-func (e *Engine) ship(seq, lba uint64, frame []byte) error {
-	var firstErr error
+// Drain blocks until every replica pipeline has shipped its queued
+// frames and returns the first sticky replication error observed so
+// far (async mode reports errors here rather than on the triggering
+// write). A sticky error persists across Drains until the recovery
+// lifecycle completes: ClearDegraded forgets it once the replica has
+// been healed.
+func (e *Engine) Drain() error {
 	for _, rs := range e.replicas {
-		if rs.degraded.Load() {
-			rs.dropped.Add(1)
-			e.traffic.AddDropped()
-			continue
-		}
-		e.traffic.AddReplicated(len(frame), wan.WireBytesDiscrete(len(frame)))
-		if err := e.shipOne(rs, seq, lba, frame); err != nil {
-			if e.cfg.AllowDegraded {
-				rs.degraded.Store(true)
-				rs.dropped.Add(1)
-				e.traffic.AddDropped()
-				continue
-			}
-			if firstErr == nil {
-				firstErr = fmt.Errorf("core: replicate seq %d lba %d: %w", seq, lba, err)
-			}
-		}
+		rs.pending.Wait()
 	}
-	return firstErr
-}
-
-// shipOne delivers one frame to one replica under the retry policy.
-func (e *Engine) shipOne(rs *replicaState, seq, lba uint64, frame []byte) error {
-	var err error
-	for attempt := 1; ; attempt++ {
-		err = rs.client.ReplicaWrite(uint8(e.cfg.Mode), seq, lba, frame)
-		if err == nil || attempt >= e.retry.Attempts {
+	for _, rs := range e.replicas {
+		if err := rs.firstErr(); err != nil {
 			return err
 		}
-		e.traffic.AddRetry()
-		if d := e.retry.backoff(attempt); d > 0 {
-			e.retry.Sleep(d)
-		}
 	}
+	return nil
 }
 
-// shipLoop is the async worker: the paper's PRINS-engine thread
-// draining the shared queue.
-func (e *Engine) shipLoop() {
-	for {
-		select {
-		case msg := <-e.queue:
-			if err := e.ship(msg.seq, msg.lba, msg.frame); err != nil {
-				e.errMu.Lock()
-				if e.repErr == nil {
-					e.repErr = err
-				}
-				e.errMu.Unlock()
-			}
-			e.pending.Done()
-		case <-e.done:
-			// Drain whatever is already queued, then exit.
-			for {
-				select {
-				case msg := <-e.queue:
-					if err := e.ship(msg.seq, msg.lba, msg.frame); err != nil {
-						e.errMu.Lock()
-						if e.repErr == nil {
-							e.repErr = err
-						}
-						e.errMu.Unlock()
-					}
-					e.pending.Done()
-				default:
-					return
-				}
-			}
-		}
-	}
-}
-
-// Drain blocks until every queued replication has been shipped and
-// returns the first replication error observed so far (async mode
-// reports errors here rather than on the triggering write).
-func (e *Engine) Drain() error {
-	e.pending.Wait()
-	e.errMu.Lock()
-	defer e.errMu.Unlock()
-	return e.repErr
-}
-
-// Close drains outstanding replication, stops the worker, and closes
-// nothing else: the caller owns the local store and replica clients.
+// Close drains outstanding replication, stops the replica pipelines,
+// and closes nothing else: the caller owns the local store and replica
+// clients.
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	if e.closed {
@@ -452,10 +420,11 @@ func (e *Engine) Close() error {
 	e.closed = true
 	e.mu.Unlock()
 
-	if e.cfg.Async {
-		e.pending.Wait()
-		close(e.done)
+	for _, rs := range e.replicas {
+		rs.pending.Wait()
 	}
+	close(e.done)
+	e.shippers.Wait()
 	return nil
 }
 

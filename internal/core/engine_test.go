@@ -383,6 +383,112 @@ func TestMultipleReplicas(t *testing.T) {
 	}
 }
 
+// failClient is a ReplicaClient whose deliveries always fail.
+type failClient struct{ err error }
+
+func (f *failClient) ReplicaWrite(uint8, uint64, uint64, []byte) error { return f.err }
+
+// TestTrafficCountsOnlyDeliveredFrames is the accounting regression:
+// ship used to count a frame as replicated payload/wire bytes before
+// attempting delivery, so a frame that failed (and degraded the
+// replica) was double-counted as both replicated and dropped. Traffic
+// must count a frame in exactly one bucket.
+func TestTrafficCountsOnlyDeliveredFrames(t *testing.T) {
+	primary, _ := block.NewMem(512, 16)
+	e, err := NewEngine(primary, Config{Mode: ModePRINS, AllowDegraded: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	healthyStore, _ := block.NewMem(512, 16)
+	healthy := NewReplicaEngine(healthyStore)
+	e.AttachReplica(&Loopback{Replica: healthy})
+	e.AttachReplica(&failClient{err: errors.New("injected delivery failure")})
+
+	const writes = 25
+	writeWorkload(t, e, 9, writes)
+	if err := e.Drain(); err != nil {
+		t.Fatalf("degraded drain: %v", err)
+	}
+
+	s := e.Traffic().Snapshot()
+	stats := e.ReplicaStats()
+	if len(stats) != 2 {
+		t.Fatalf("ReplicaStats returned %d entries, want 2", len(stats))
+	}
+	good, bad := stats[0].Metrics, stats[1].Metrics
+
+	// Every frame to the failing replica was dropped, none delivered.
+	if bad.Shipped != 0 || bad.PayloadBytes != 0 {
+		t.Errorf("failing replica counted deliveries: %+v", bad)
+	}
+	if bad.Dropped != writes {
+		t.Errorf("failing replica dropped = %d, want %d", bad.Dropped, writes)
+	}
+	if !stats[1].Degraded || stats[0].Degraded {
+		t.Errorf("degraded flags wrong: %+v %+v", stats[0], stats[1])
+	}
+
+	// The aggregate view must equal the healthy replica's deliveries:
+	// failed frames contribute nothing to PayloadBytes/WireBytes.
+	if good.Shipped != writes {
+		t.Errorf("healthy replica shipped = %d, want %d", good.Shipped, writes)
+	}
+	if s.Replicated != good.Shipped || s.PayloadBytes != good.PayloadBytes || s.WireBytes != good.WireBytes {
+		t.Errorf("aggregate (%d msgs, %dB payload, %dB wire) != healthy deliveries (%d, %dB, %dB)",
+			s.Replicated, s.PayloadBytes, s.WireBytes, good.Shipped, good.PayloadBytes, good.WireBytes)
+	}
+	// Exactly-one-bucket identity across both replicas.
+	if s.Replicated+s.Dropped != 2*writes {
+		t.Errorf("replicated %d + dropped %d != %d frames enqueued", s.Replicated, s.Dropped, 2*writes)
+	}
+}
+
+// TestReplicaLagMaxAcrossDegraded is the lag-gauge regression: with
+// two degraded replicas each k frames behind, the snapshot gauge used
+// to read 2k (one increment per drop per replica) while ReplicaLag()
+// returned k. Both must report the documented value — the worst
+// per-replica gap, k.
+func TestReplicaLagMaxAcrossDegraded(t *testing.T) {
+	primary, _ := block.NewMem(512, 16)
+	e, err := NewEngine(primary, Config{Mode: ModePRINS, AllowDegraded: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.AttachReplica(&failClient{err: errors.New("replica one down")})
+	e.AttachReplica(&failClient{err: errors.New("replica two down")})
+
+	const writes = 30
+	writeWorkload(t, e, 4, writes)
+	if err := e.Drain(); err != nil {
+		t.Fatalf("degraded drain: %v", err)
+	}
+
+	if lag := e.ReplicaLag(); lag != writes {
+		t.Errorf("ReplicaLag() = %d, want %d", lag, writes)
+	}
+	s := e.Traffic().Snapshot()
+	if s.ReplicaLag != writes {
+		t.Errorf("snapshot ReplicaLag = %d, want %d (max per replica, not the %d sum)",
+			s.ReplicaLag, writes, 2*writes)
+	}
+	if s.Dropped != 2*writes {
+		t.Errorf("Dropped = %d, want %d (historical total keeps the sum)", s.Dropped, 2*writes)
+	}
+	for i, rs := range e.ReplicaStats() {
+		if rs.Metrics.Lag != writes {
+			t.Errorf("replica %d lag = %d, want %d", i, rs.Metrics.Lag, writes)
+		}
+	}
+
+	e.ClearDegraded()
+	if e.ReplicaLag() != 0 || e.Traffic().Snapshot().ReplicaLag != 0 {
+		t.Error("ClearDegraded should zero both lag views")
+	}
+}
+
 func TestEngineBackendStatuses(t *testing.T) {
 	e, _ := newPair(t, Config{Mode: ModePRINS}, 512, 8)
 

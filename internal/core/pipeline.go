@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"prins/internal/metrics"
+	"prins/internal/wan"
+)
+
+// Per-replica ship pipelines.
+//
+// Every attached replica owns a bounded FIFO queue drained by its own
+// shipper goroutine, so delivery to one replica never waits on another
+// replica's round trips, retries, or backoff — fan-out latency is the
+// slowest replica, not the sum. The write path enqueues onto every
+// queue while holding Engine.mu (frames enter each queue in sequence
+// order, which the replica's seq-dedupe relies on) but never performs
+// network I/O under the lock: synchronous writes wait for per-write
+// acks after the lock is released.
+//
+// Degraded state, retry accounting, and sticky async errors all live
+// here, per replica, and are aggregated into the engine-wide Traffic
+// view.
+
+// repMsg is one queued replication job for one replica.
+type repMsg struct {
+	seq   uint64
+	lba   uint64
+	frame *frameBuf
+	// ack receives the delivery result in synchronous mode; nil in
+	// async mode, where errors stick to the replica until Drain.
+	ack chan<- error
+}
+
+// replicaState is one attached replica's ship pipeline: its queue,
+// delivery health, and counters. The degraded flag is atomic because
+// the shipper races with ClearDegraded and the Degraded accessors.
+type replicaState struct {
+	client ReplicaClient
+	queue  chan repMsg
+	m      metrics.Replica
+
+	degraded atomic.Bool
+
+	// pending counts frames enqueued but not yet fully processed;
+	// Drain and Close wait on it per replica.
+	pending sync.WaitGroup
+
+	errMu sync.Mutex
+	err   error // first async delivery error, sticky until ClearDegraded
+}
+
+// setErr records the first sticky async delivery error.
+func (rs *replicaState) setErr(err error) {
+	rs.errMu.Lock()
+	if rs.err == nil {
+		rs.err = err
+	}
+	rs.errMu.Unlock()
+}
+
+// firstErr returns the sticky error, if any.
+func (rs *replicaState) firstErr() error {
+	rs.errMu.Lock()
+	defer rs.errMu.Unlock()
+	return rs.err
+}
+
+// clearErr forgets the sticky error (part of the recovery lifecycle).
+func (rs *replicaState) clearErr() {
+	rs.errMu.Lock()
+	rs.err = nil
+	rs.errMu.Unlock()
+}
+
+// frameBuf is a pooled, reference-counted encode buffer. One frame is
+// shared by every replica's queue; the last pipeline to finish with it
+// returns it to the pool, killing the per-write frame allocation.
+type frameBuf struct {
+	buf  []byte
+	refs atomic.Int32
+}
+
+var framePool = sync.Pool{New: func() any { return new(frameBuf) }}
+
+// getFrame fetches an empty frame buffer from the pool.
+func getFrame() *frameBuf {
+	fb, ok := framePool.Get().(*frameBuf)
+	if !ok {
+		fb = new(frameBuf)
+	}
+	fb.buf = fb.buf[:0]
+	return fb
+}
+
+// release drops n references and returns the buffer to the pool when
+// none remain.
+func (fb *frameBuf) release(n int32) {
+	if fb.refs.Add(-n) == 0 {
+		framePool.Put(fb)
+	}
+}
+
+// shipper is one replica's pipeline worker: it drains the replica's
+// queue in FIFO (= sequence) order until the engine closes, then
+// finishes whatever is still queued and exits.
+func (e *Engine) shipper(rs *replicaState) {
+	defer e.shippers.Done()
+	for {
+		select {
+		case msg := <-rs.queue:
+			e.process(rs, msg)
+		case <-e.done:
+			for {
+				select {
+				case msg := <-rs.queue:
+					e.process(rs, msg)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// process handles one queued frame for one replica: deliver (or drop
+// if degraded), account, then report — to the waiting writer in sync
+// mode, to the sticky per-replica error in async mode.
+func (e *Engine) process(rs *replicaState, msg repMsg) {
+	err := e.shipTo(rs, msg.seq, msg.lba, msg.frame.buf)
+	if msg.ack != nil {
+		msg.ack <- err
+	} else if err != nil {
+		rs.setErr(err)
+	}
+	msg.frame.release(1)
+	rs.pending.Done()
+}
+
+// shipTo delivers one frame to one replica under the retry policy. A
+// delivery that fails past the retry budget either degrades the
+// replica (AllowDegraded: the frame counts as dropped and the write
+// stays successful) or is returned as the delivery error. Traffic is
+// counted only on successful delivery, so PayloadBytes/WireBytes
+// measure what the replica actually acknowledged.
+func (e *Engine) shipTo(rs *replicaState, seq, lba uint64, frame []byte) error {
+	if rs.degraded.Load() {
+		e.dropFrame(rs)
+		return nil
+	}
+	if err := e.shipOne(rs, seq, lba, frame); err != nil {
+		if e.cfg.AllowDegraded {
+			rs.degraded.Store(true)
+			e.dropFrame(rs)
+			return nil
+		}
+		return fmt.Errorf("core: replicate seq %d lba %d: %w", seq, lba, err)
+	}
+	wire := wan.WireBytesDiscrete(len(frame))
+	rs.m.AddShipped(len(frame), wire)
+	e.traffic.AddReplicated(len(frame), wire)
+	return nil
+}
+
+// shipOne performs the delivery attempts for one frame to one replica.
+func (e *Engine) shipOne(rs *replicaState, seq, lba uint64, frame []byte) error {
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = rs.client.ReplicaWrite(uint8(e.cfg.Mode), seq, lba, frame)
+		if err == nil || attempt >= e.retry.Attempts {
+			return err
+		}
+		rs.m.AddRetry()
+		e.traffic.AddRetry()
+		if d := e.retry.backoff(attempt); d > 0 {
+			e.retry.Sleep(d)
+		}
+	}
+}
+
+// dropFrame accounts one frame elided because rs is degraded: the
+// replica's own dropped/lag counters advance, the engine-wide dropped
+// total advances, and the engine-wide lag gauge is raised to the worst
+// per-replica lag (max, not sum — see metrics.Traffic.RaiseReplicaLag).
+func (e *Engine) dropFrame(rs *replicaState) {
+	lag := rs.m.AddDropped()
+	e.traffic.AddDropped()
+	e.traffic.RaiseReplicaLag(lag)
+}

@@ -16,17 +16,17 @@ import (
 // value is ready to use. All methods are safe for concurrent use.
 type Traffic struct {
 	writes        atomic.Int64 // block writes intercepted
-	replicated    atomic.Int64 // replication messages sent
+	replicated    atomic.Int64 // replication messages delivered
 	skipped       atomic.Int64 // writes skipped (no-change parity)
-	payloadBytes  atomic.Int64 // encoded payload bytes shipped
+	payloadBytes  atomic.Int64 // encoded payload bytes delivered
 	wireBytes     atomic.Int64 // payload + modelled packet headers
 	rawBytes      atomic.Int64 // block bytes that traditional would ship
 	encodeNanos   atomic.Int64 // time in parity+encode
 	decodeNanos   atomic.Int64 // time in decode+backward parity (replica)
 	replicaWrites atomic.Int64 // in-place writes applied at a replica
 	retries       atomic.Int64 // replication delivery retries
-	dropped       atomic.Int64 // frames dropped while a replica was degraded
-	replicaLag    atomic.Int64 // gauge: frames a degraded replica is behind
+	dropped       atomic.Int64 // frames dropped across all degraded replicas
+	replicaLag    atomic.Int64 // gauge: frames the most-lagged replica is behind
 	duplicates    atomic.Int64 // duplicate pushes deduplicated at a replica
 }
 
@@ -36,8 +36,11 @@ func (t *Traffic) AddWrite(blockBytes int) {
 	t.rawBytes.Add(int64(blockBytes))
 }
 
-// AddReplicated records one replication message of payloadBytes
-// encoded payload and wireBytes modelled on-the-wire size.
+// AddReplicated records one successfully delivered replication message
+// of payloadBytes encoded payload and wireBytes modelled on-the-wire
+// size. Failed or dropped deliveries are never counted here — they go
+// through AddDropped — so PayloadBytes/WireBytes measure what actually
+// crossed the wire and was acknowledged.
 func (t *Traffic) AddReplicated(payloadBytes, wireBytes int) {
 	t.replicated.Add(1)
 	t.payloadBytes.Add(int64(payloadBytes))
@@ -61,11 +64,23 @@ func (t *Traffic) AddReplicaWrite() { t.replicaWrites.Add(1) }
 func (t *Traffic) AddRetry() { t.retries.Add(1) }
 
 // AddDropped records one frame not delivered because its replica was
-// degraded. It also advances the ReplicaLag gauge: the gap resync must
-// close before the replica is current again.
-func (t *Traffic) AddDropped() {
-	t.dropped.Add(1)
-	t.replicaLag.Add(1)
+// degraded. The ReplicaLag gauge is maintained separately (see
+// RaiseReplicaLag): summing drops across replicas would overstate how
+// far behind any one replica is.
+func (t *Traffic) AddDropped() { t.dropped.Add(1) }
+
+// RaiseReplicaLag lifts the lag gauge to v if it is currently lower.
+// The engine calls it with each replica's own lag after a drop, so the
+// gauge always reads the worst (max) per-replica lag — the gap resync
+// must close before the slowest replica is current again — rather than
+// a sum across replicas.
+func (t *Traffic) RaiseReplicaLag(v int64) {
+	for {
+		cur := t.replicaLag.Load()
+		if v <= cur || t.replicaLag.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // ResetReplicaLag zeroes the lag gauge — called once a resync has
@@ -154,6 +169,66 @@ func (s Snapshot) String() string {
 		s.Writes, s.Replicated, s.Skipped,
 		FormatBytes(s.PayloadBytes), FormatBytes(s.WireBytes), FormatBytes(s.RawBytes),
 		s.MeanPayload())
+}
+
+// Replica accumulates delivery statistics for one attached replica.
+// Each replica's shipper pipeline owns one; the engine aggregates them
+// into the engine-wide Traffic view. The zero value is ready to use
+// and all methods are safe for concurrent use.
+type Replica struct {
+	shipped      atomic.Int64 // frames delivered and acknowledged
+	payloadBytes atomic.Int64 // encoded payload bytes delivered
+	wireBytes    atomic.Int64 // payload + modelled packet headers
+	retries      atomic.Int64 // delivery retries to this replica
+	dropped      atomic.Int64 // frames dropped while degraded (historical total)
+	lag          atomic.Int64 // gauge: frames this replica is behind the primary
+}
+
+// AddShipped records one successfully delivered frame.
+func (r *Replica) AddShipped(payloadBytes, wireBytes int) {
+	r.shipped.Add(1)
+	r.payloadBytes.Add(int64(payloadBytes))
+	r.wireBytes.Add(int64(wireBytes))
+}
+
+// AddRetry records one re-delivery attempt to this replica.
+func (r *Replica) AddRetry() { r.retries.Add(1) }
+
+// AddDropped records one frame not delivered because this replica was
+// degraded, advances the replica's lag gauge, and returns the new lag —
+// the value the engine feeds into Traffic.RaiseReplicaLag.
+func (r *Replica) AddDropped() int64 {
+	r.dropped.Add(1)
+	return r.lag.Add(1)
+}
+
+// Lag returns how many frames this replica is behind the primary.
+func (r *Replica) Lag() int64 { return r.lag.Load() }
+
+// ResetLag zeroes the lag gauge after a resync has healed the replica
+// (Dropped stays as the historical total).
+func (r *Replica) ResetLag() { r.lag.Store(0) }
+
+// ReplicaSnapshot is a point-in-time copy of one replica's counters.
+type ReplicaSnapshot struct {
+	Shipped      int64
+	PayloadBytes int64
+	WireBytes    int64
+	Retries      int64
+	Dropped      int64
+	Lag          int64
+}
+
+// Snapshot returns the current per-replica counter values.
+func (r *Replica) Snapshot() ReplicaSnapshot {
+	return ReplicaSnapshot{
+		Shipped:      r.shipped.Load(),
+		PayloadBytes: r.payloadBytes.Load(),
+		WireBytes:    r.wireBytes.Load(),
+		Retries:      r.retries.Load(),
+		Dropped:      r.dropped.Load(),
+		Lag:          r.lag.Load(),
+	}
 }
 
 // FormatBytes renders n in a human unit (KB/MB/GB, powers of 1024).

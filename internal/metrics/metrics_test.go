@@ -72,6 +72,83 @@ func TestTrafficConcurrent(t *testing.T) {
 	}
 }
 
+// TestReplicaLagIsMaxNotSum pins the gauge's documented semantics:
+// with two replicas each 3 frames behind, the engine-wide lag reads 3
+// (the worst replica), not 6 (the sum).
+func TestReplicaLagIsMaxNotSum(t *testing.T) {
+	var tr Traffic
+	var a, b Replica
+	for i := 0; i < 3; i++ {
+		tr.AddDropped()
+		tr.RaiseReplicaLag(a.AddDropped())
+		tr.AddDropped()
+		tr.RaiseReplicaLag(b.AddDropped())
+	}
+	s := tr.Snapshot()
+	if s.Dropped != 6 {
+		t.Errorf("Dropped = %d, want 6 (historical total across replicas)", s.Dropped)
+	}
+	if s.ReplicaLag != 3 {
+		t.Errorf("ReplicaLag = %d, want 3 (max per-replica, not sum)", s.ReplicaLag)
+	}
+	if a.Lag() != 3 || b.Lag() != 3 {
+		t.Errorf("per-replica lag = %d, %d, want 3, 3", a.Lag(), b.Lag())
+	}
+}
+
+func TestReplicaCounters(t *testing.T) {
+	var r Replica
+	r.AddShipped(400, 512)
+	r.AddShipped(600, 712)
+	r.AddRetry()
+	if lag := r.AddDropped(); lag != 1 {
+		t.Errorf("AddDropped returned lag %d, want 1", lag)
+	}
+	if lag := r.AddDropped(); lag != 2 {
+		t.Errorf("AddDropped returned lag %d, want 2", lag)
+	}
+
+	s := r.Snapshot()
+	if s.Shipped != 2 || s.PayloadBytes != 1000 || s.WireBytes != 1224 {
+		t.Errorf("delivery counters wrong: %+v", s)
+	}
+	if s.Retries != 1 || s.Dropped != 2 || s.Lag != 2 {
+		t.Errorf("fault counters wrong: %+v", s)
+	}
+
+	r.ResetLag()
+	s = r.Snapshot()
+	if s.Lag != 0 {
+		t.Errorf("Lag after reset = %d, want 0", s.Lag)
+	}
+	if s.Dropped != 2 {
+		t.Errorf("Dropped after lag reset = %d, want 2", s.Dropped)
+	}
+}
+
+func TestReplicaConcurrent(t *testing.T) {
+	var r Replica
+	var tr Traffic
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.AddShipped(10, 12)
+				tr.RaiseReplicaLag(r.AddDropped())
+			}
+		}()
+	}
+	wg.Wait()
+	if s := r.Snapshot(); s.Shipped != 4000 || s.Dropped != 4000 || s.Lag != 4000 {
+		t.Errorf("concurrent replica totals wrong: %+v", s)
+	}
+	if lag := tr.Snapshot().ReplicaLag; lag != 4000 {
+		t.Errorf("raised lag = %d, want 4000", lag)
+	}
+}
+
 func TestFormatBytes(t *testing.T) {
 	tests := []struct {
 		n    int64
@@ -97,6 +174,9 @@ func TestFaultCounters(t *testing.T) {
 	tr.AddDropped()
 	tr.AddDropped()
 	tr.AddDropped()
+	tr.RaiseReplicaLag(2)
+	tr.RaiseReplicaLag(3)
+	tr.RaiseReplicaLag(1) // lower value must not pull the gauge down
 	tr.AddDuplicate()
 
 	s := tr.Snapshot()

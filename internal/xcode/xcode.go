@@ -75,53 +75,83 @@ var (
 )
 
 // Encode encodes block with the given codec and returns the framed
-// payload. The input block is not modified.
+// payload in a fresh buffer. The input block is not modified.
 func Encode(c Codec, block []byte) ([]byte, error) {
+	return AppendEncode(nil, c, block)
+}
+
+// AppendEncode appends the framed encoding of block to dst and returns
+// the extended slice. It is the allocation-free variant of Encode for
+// hot paths that pool frame buffers: pass dst with spare capacity and
+// no allocation happens beyond what the codec body itself needs. The
+// input block is not modified and never aliased into the result.
+func AppendEncode(dst []byte, c Codec, block []byte) ([]byte, error) {
 	if len(block) > MaxBlockLen {
 		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(block))
 	}
-	var body []byte
-	var err error
+	base := len(dst)
+	dst = append(dst, byte(c), 0, 0, 0, 0)
 	switch c {
 	case CodecRaw:
-		body = block
+		dst = append(dst, block...)
 	case CodecZRL:
-		body = zrlEncode(block)
+		dst = zrlAppend(dst, block)
 	case CodecFlate:
-		body, err = flateEncode(block)
-	case CodecZRLFlate:
-		body, err = flateEncode(zrlEncode(block))
-	default:
-		return nil, fmt.Errorf("%w: %d", ErrUnknownCode, uint8(c))
-	}
-	if err != nil {
-		return nil, err
-	}
-	out := make([]byte, headerLen+len(body))
-	out[0] = byte(c)
-	binary.BigEndian.PutUint32(out[1:5], uint32(len(block)))
-	copy(out[headerLen:], body)
-	return out, nil
-}
-
-// EncodeBest encodes block with every candidate codec and returns the
-// smallest frame. PRINS uses this opportunistically when CPU budget
-// allows; ZRL alone is the fast path.
-func EncodeBest(block []byte, candidates ...Codec) ([]byte, error) {
-	if len(candidates) == 0 {
-		return nil, errors.New("xcode: no candidate codecs")
-	}
-	var best []byte
-	for _, c := range candidates {
-		frame, err := Encode(c, block)
+		body, err := flateEncode(block)
 		if err != nil {
 			return nil, err
 		}
-		if best == nil || len(frame) < len(best) {
-			best = frame
+		dst = append(dst, body...)
+	case CodecZRLFlate:
+		body, err := flateEncode(zrlEncode(block))
+		if err != nil {
+			return nil, err
 		}
+		dst = append(dst, body...)
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownCode, uint8(c))
 	}
-	return best, nil
+	binary.BigEndian.PutUint32(dst[base+1:base+5], uint32(len(block)))
+	return dst, nil
+}
+
+// EncodeBest encodes block with every candidate codec and returns the
+// smallest frame, never larger than the raw framing of the block:
+// CodecRaw is always considered as a floor, because every candidate
+// codec can expand on dense, high-entropy input (ZRL's worst case is
+// ~3x) and shipping a frame larger than the block itself defeats the
+// point of encoding. PRINS uses this opportunistically when CPU budget
+// allows; ZRL alone is the fast path.
+func EncodeBest(block []byte, candidates ...Codec) ([]byte, error) {
+	return AppendEncodeBest(nil, block, candidates...)
+}
+
+// AppendEncodeBest is EncodeBest appending into dst (see AppendEncode).
+// The returned frame always satisfies len(frame) <= len(block) plus the
+// frame header, via the CodecRaw floor.
+func AppendEncodeBest(dst []byte, block []byte, candidates ...Codec) ([]byte, error) {
+	if len(candidates) == 0 {
+		return nil, errors.New("xcode: no candidate codecs")
+	}
+	base := len(dst)
+	best := -1
+	for _, c := range candidates {
+		cur := len(dst)
+		var err error
+		dst, err = AppendEncode(dst, c, block)
+		if err != nil {
+			return nil, err
+		}
+		if n := len(dst) - cur; best < 0 || n < best {
+			copy(dst[base:], dst[cur:]) // move the new best into the result slot
+			best = n
+		}
+		dst = dst[:base+best]
+	}
+	if best > headerLen+len(block) {
+		return AppendEncode(dst[:base], CodecRaw, block)
+	}
+	return dst, nil
 }
 
 // Decode decodes a frame produced by Encode, returning the original

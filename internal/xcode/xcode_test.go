@@ -201,6 +201,102 @@ func TestEncodeBest(t *testing.T) {
 	}
 }
 
+// TestEncodeBestRawFloor is the adversarial-density regression: the
+// engine's default PRINS candidate set is {CodecZRL}, and ZRL expands
+// on high-entropy parity (worst case every other byte non-zero costs
+// two varints per literal). EncodeBest must fall back to raw framing so
+// no write ever ships a frame larger than the block plus the header.
+func TestEncodeBestRawFloor(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const headerLen = 5
+
+	blocks := map[string][]byte{
+		"high-entropy": make([]byte, 8192),
+		"alternating":  make([]byte, 8192),
+	}
+	rng.Read(blocks["high-entropy"])
+	for i := range blocks["alternating"] {
+		if i%2 == 0 {
+			blocks["alternating"][i] = byte(1 + rng.Intn(255))
+		}
+	}
+
+	for name, block := range blocks {
+		for _, candidates := range [][]Codec{
+			{CodecZRL},
+			{CodecZRL, CodecZRLFlate},
+		} {
+			frame, err := EncodeBest(block, candidates...)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if len(frame) > len(block)+headerLen {
+				t.Errorf("%s via %v: frame %d bytes exceeds block %d + header %d",
+					name, candidates, len(frame), len(block), headerLen)
+			}
+			got, err := Decode(frame)
+			if err != nil || !bytes.Equal(got, block) {
+				t.Errorf("%s via %v: floor frame did not round trip: %v", name, candidates, err)
+			}
+		}
+		// The adversarial inputs above must actually trigger the floor.
+		frame, err := EncodeBest(block, CodecZRL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c, _ := FrameCodec(frame); c != CodecRaw {
+			t.Errorf("%s: expected raw floor to win over expanding ZRL, got %v", name, c)
+		}
+	}
+
+	// Sparse parity must still pick the compact codec, not the floor.
+	sparse := sparseBlock(rand.New(rand.NewSource(6)), 8192, 0.10)
+	frame, err := EncodeBest(sparse, CodecZRL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := FrameCodec(frame); c != CodecZRL {
+		t.Errorf("sparse block: got codec %v, want zrl", c)
+	}
+}
+
+// TestAppendEncode pins the append-style API the engine's frame pool
+// relies on: results are identical to Encode, appended after existing
+// contents, and a reused buffer with capacity triggers no growth.
+func TestAppendEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	block := sparseBlock(rng, 4096, 0.10)
+
+	for _, c := range []Codec{CodecRaw, CodecZRL, CodecFlate, CodecZRLFlate} {
+		want, err := Encode(c, block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prefix := []byte("prefix")
+		got, err := AppendEncode(append([]byte(nil), prefix...), c, block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.HasPrefix(got, prefix) || !bytes.Equal(got[len(prefix):], want) {
+			t.Errorf("%v: AppendEncode result differs from Encode", c)
+		}
+	}
+
+	// best-of append matches EncodeBest.
+	want, err := EncodeBest(block, CodecZRL, CodecZRLFlate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 0, zrlMaxEncodedLen(len(block)))
+	got, err := AppendEncodeBest(buf, block, CodecZRL, CodecZRLFlate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("AppendEncodeBest differs from EncodeBest")
+	}
+}
+
 func TestEncodeRejectsOversize(t *testing.T) {
 	huge := make([]byte, MaxBlockLen+1)
 	if _, err := Encode(CodecRaw, huge); !errors.Is(err, ErrTooLarge) {

@@ -21,7 +21,11 @@ import (
 func zrlEncode(block []byte) []byte {
 	// Worst case (alternating zero/non-zero) the output is bounded by
 	// zrlMaxEncodedLen; start smaller and let append grow as needed.
-	out := make([]byte, 0, len(block)/4+16)
+	return zrlAppend(make([]byte, 0, len(block)/4+16), block)
+}
+
+// zrlAppend appends the ZRL stream for block to out.
+func zrlAppend(out, block []byte) []byte {
 	var tmp [binary.MaxVarintLen64]byte
 
 	i := 0

@@ -69,11 +69,14 @@ func (m Mode) String() string { return core.Mode(m).String() }
 type Config struct {
 	// Mode is the replication technique. Required.
 	Mode Mode
-	// Async ships frames from a background worker (the paper's
-	// PRINS-engine thread); writes return after the local write and
-	// enqueue. Errors surface on Drain.
+	// Async ships frames from per-replica pipeline workers (the paper's
+	// PRINS-engine thread, one per replica); writes return after the
+	// local write and enqueue. Errors surface on Drain. When false,
+	// writes additionally wait for every replica's acknowledgement —
+	// the deliveries still run in parallel, so sync write latency
+	// tracks the slowest replica rather than the sum.
 	Async bool
-	// QueueDepth bounds the async queue (default 256).
+	// QueueDepth bounds each replica's ship queue (default 256).
 	QueueDepth int
 	// SkipUnchanged elides replication of writes that did not change
 	// the block (PRINS mode only).
@@ -255,11 +258,52 @@ func (p *Primary) Degraded() bool { return p.engine.Degraded() }
 // degraded replica — how far behind the worst replica is.
 func (p *Primary) ReplicaLag() int64 { return p.engine.ReplicaLag() }
 
-// ClearDegraded re-admits all replicas to live replication. Call it
-// only after quiescing writes (Drain) and healing each degraded
-// replica with a resync; clearing a stale replica corrupts it in
-// PRINS mode, which XORs against the replica's current content.
+// ClearDegraded re-admits all replicas to live replication, zeroes
+// their lag, and forgets any sticky asynchronous delivery error so a
+// healed Primary drains cleanly again. Call it only after quiescing
+// writes (Drain) and healing each degraded replica with a resync;
+// clearing a stale replica corrupts it in PRINS mode, which XORs
+// against the replica's current content.
 func (p *Primary) ClearDegraded() { p.engine.ClearDegraded() }
+
+// ReplicaStat is one attached replica's pipeline health and delivery
+// counters.
+type ReplicaStat struct {
+	// Degraded reports whether this replica has been dropped from live
+	// replication.
+	Degraded bool
+	// Shipped is the number of frames this replica acknowledged.
+	Shipped int64
+	// PayloadBytes is the encoded payload delivered to this replica.
+	PayloadBytes int64
+	// WireBytes models on-the-wire bytes delivered to this replica.
+	WireBytes int64
+	// Retries counts delivery attempts beyond the first.
+	Retries int64
+	// Dropped counts frames elided while the replica was degraded.
+	Dropped int64
+	// Lag is how many frames behind this replica currently is; zeroed
+	// by ClearDegraded after a resync.
+	Lag int64
+}
+
+// ReplicaStats reports each attached replica's state in attach order.
+func (p *Primary) ReplicaStats() []ReplicaStat {
+	stats := p.engine.ReplicaStats()
+	out := make([]ReplicaStat, len(stats))
+	for i, rs := range stats {
+		out[i] = ReplicaStat{
+			Degraded:     rs.Degraded,
+			Shipped:      rs.Metrics.Shipped,
+			PayloadBytes: rs.Metrics.PayloadBytes,
+			WireBytes:    rs.Metrics.WireBytes,
+			Retries:      rs.Metrics.Retries,
+			Dropped:      rs.Metrics.Dropped,
+			Lag:          rs.Metrics.Lag,
+		}
+	}
+	return out
+}
 
 // Stats snapshots the replication counters.
 func (p *Primary) Stats() Stats {
