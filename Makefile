@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench fuzz lint check repro examples fmt vet clean
+.PHONY: all build test race bench fuzz chaos lint check repro examples fmt vet clean
 
 # How long each fuzzer runs under `make fuzz` / `make check`.
 FUZZTIME ?= 10s
@@ -25,6 +25,13 @@ bench:
 fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzReadPDU$$' -fuzztime=$(FUZZTIME) ./internal/iscsi
 	$(GO) test -run='^$$' -fuzz='^FuzzDecode$$' -fuzztime=$(FUZZTIME) ./internal/xcode
+
+# The fault-injection suites under the race detector: connection and
+# store chaos, torn-write journal recovery, divergence detection and
+# dirty-range repair, resync cancellation, scrubbing.
+chaos:
+	$(GO) test -race -run 'Chaos|Torn|Diverged|Journal|Resync|Scrub|Fault' \
+		./internal/core ./internal/faults ./internal/journal ./internal/resync
 
 # prinslint is the project's own invariant analyzer (see DESIGN.md,
 # "Static analysis & invariants"): dropped I/O errors, parity aliasing,

@@ -297,9 +297,9 @@ type wanDelayClient struct {
 	inner core.ReplicaClient
 }
 
-func (c *wanDelayClient) ReplicaWrite(mode uint8, seq, lba uint64, frame []byte) error {
+func (c *wanDelayClient) ReplicaWrite(mode uint8, seq, lba, hash uint64, frame []byte) error {
 	time.Sleep(c.delay)
-	return c.inner.ReplicaWrite(mode, seq, lba, frame)
+	return c.inner.ReplicaWrite(mode, seq, lba, hash, frame)
 }
 
 // BenchmarkFanoutLatency measures synchronous write latency against 1,
@@ -477,7 +477,7 @@ func BenchmarkReplicaApply(b *testing.B) {
 	b.SetBytes(blockSize)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := replica.Apply(core.ModePRINS, uint64(i+1), uint64(i%64), frame); err != nil {
+		if err := replica.Apply(core.ModePRINS, uint64(i+1), uint64(i%64), 0, frame); err != nil {
 			b.Fatal(err)
 		}
 	}

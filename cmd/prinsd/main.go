@@ -53,6 +53,10 @@ func run(args []string) error {
 		retryTimeout  = fs.Duration("retry-timeout", 10*time.Second, "per-attempt replication timeout (0 = none)")
 		retryBackoff  = fs.Duration("retry-backoff", 250*time.Millisecond, "base backoff between push attempts, doubled with jitter")
 		degraded      = fs.Bool("degraded", true, "keep serving writes locally when a replica is down (recover with resync)")
+		noVerify      = fs.Bool("no-verify", false, "disable content-hash verification of replica applies")
+		journalPath   = fs.String("journal", "", "replica role: crash-safe apply journal file (empty = no journal)")
+		scrubEvery    = fs.Duration("scrub-interval", 0, "primary role: background scrub pass interval per replica (0 = off)")
+		scrubPause    = fs.Duration("scrub-pause", 2*time.Millisecond, "pause between scrub hash batches (rate limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,7 +73,16 @@ func run(args []string) error {
 
 	switch *role {
 	case "replica":
-		replica := prins.NewReplica(store)
+		var replica *prins.Replica
+		if *journalPath != "" {
+			replica, err = prins.NewReplicaJournaled(store, *journalPath)
+			if err != nil {
+				return fmt.Errorf("open journal %s: %w", *journalPath, err)
+			}
+			log.Printf("prinsd: crash-safe apply journal at %s", *journalPath)
+		} else {
+			replica = prins.NewReplica(store)
+		}
 		addr, err := replica.Serve(*listen, *exportName)
 		if err != nil {
 			return err
@@ -95,6 +108,7 @@ func run(args []string) error {
 			RetryTimeout:  *retryTimeout,
 			RetryBackoff:  *retryBackoff,
 			AllowDegraded: *degraded,
+			DisableVerify: *noVerify,
 		})
 		if err != nil {
 			return err
@@ -111,6 +125,12 @@ func run(args []string) error {
 					return fmt.Errorf("attach replica %s: %w", ep, err)
 				}
 				log.Printf("prinsd: replicating to %s (%s mode)", ep, m)
+				if *scrubEvery > 0 {
+					if err := primary.StartScrub(addr, export, *scrubEvery, *scrubPause); err != nil {
+						return fmt.Errorf("start scrub %s: %w", ep, err)
+					}
+					log.Printf("prinsd: scrubbing %s every %s", ep, *scrubEvery)
+				}
 			}
 		}
 
@@ -140,6 +160,17 @@ func run(args []string) error {
 					} else {
 						log.Printf("prinsd: writes=%d shipped=%s saved=%.1fx",
 							s.Writes, formatBytes(s.PayloadBytes), s.SavingsVsRaw)
+					}
+					if *scrubEvery > 0 {
+						var sc prins.ScrubStats
+						for _, one := range primary.ScrubStats() {
+							sc.Passes += one.Passes
+							sc.Scanned += one.Scanned
+							sc.Diverged += one.Diverged
+							sc.Repaired += one.Repaired
+						}
+						log.Printf("prinsd: scrub passes=%d scanned=%d diverged=%d repaired=%d",
+							sc.Passes, sc.Scanned, sc.Diverged, sc.Repaired)
 					}
 				case <-stop:
 					return primary.Drain()

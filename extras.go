@@ -40,13 +40,37 @@ func Resync(local Store, addr, exportName string, dryRun bool) (ResyncStats, err
 	if err != nil {
 		return ResyncStats{}, err
 	}
+	return resyncStats(s), nil
+}
+
+// ResyncRanges is Resync restricted to the given LBA runs — the
+// incremental repair path. Fed from Primary.DirtyRanges it heals
+// exactly the blocks the primary knows are suspect (dropped, failed,
+// or diverged) without scanning the rest of the device.
+func ResyncRanges(local Store, addr, exportName string, dryRun bool, ranges ...Range) (ResyncStats, error) {
+	remote, err := iscsi.Dial(addr)
+	if err != nil {
+		return ResyncStats{}, err
+	}
+	defer remote.Close()
+	if err := remote.Login(exportName); err != nil {
+		return ResyncStats{}, err
+	}
+	s, err := resync.RunRanges(local, remote, resync.Config{DryRun: dryRun}, toBlockRanges(ranges)...)
+	if err != nil {
+		return ResyncStats{}, err
+	}
+	return resyncStats(s), nil
+}
+
+func resyncStats(s resync.Stats) ResyncStats {
 	return ResyncStats{
 		BlocksScanned:  s.BlocksScanned,
 		BlocksRepaired: s.BlocksRepaired,
 		HashBytes:      s.HashBytes,
 		DataBytes:      s.DataBytes,
 		WireBytes:      s.WireBytes,
-	}, nil
+	}
 }
 
 // History is a continuous-data-protection journal: the chain of

@@ -1,0 +1,53 @@
+package block
+
+import "sort"
+
+// Range is a contiguous run of blocks [Start, Start+Count). The
+// replication engine's dirty maps and the ranged resync speak in
+// Ranges so recovery after a brief outage ships only the diverged
+// region instead of scanning the device.
+type Range struct {
+	Start uint64
+	Count uint64
+}
+
+// End returns the first LBA past the range.
+func (r Range) End() uint64 { return r.Start + r.Count }
+
+// NormalizeRanges sorts ranges by start, drops empties, clamps them to
+// a device of total blocks, and merges overlapping or adjacent runs.
+// The input slice is not modified.
+func NormalizeRanges(ranges []Range, total uint64) []Range {
+	work := make([]Range, 0, len(ranges))
+	for _, r := range ranges {
+		if r.Count == 0 || r.Start >= total {
+			continue
+		}
+		if r.End() > total || r.End() < r.Start { // clamp, incl. overflow
+			r.Count = total - r.Start
+		}
+		work = append(work, r)
+	}
+	sort.Slice(work, func(i, j int) bool { return work[i].Start < work[j].Start })
+
+	out := work[:0]
+	for _, r := range work {
+		if n := len(out); n > 0 && r.Start <= out[n-1].End() {
+			if r.End() > out[n-1].End() {
+				out[n-1].Count = r.End() - out[n-1].Start
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// CountBlocks sums the block count across ranges.
+func CountBlocks(ranges []Range) uint64 {
+	var n uint64
+	for _, r := range ranges {
+		n += r.Count
+	}
+	return n
+}

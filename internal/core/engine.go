@@ -15,9 +15,11 @@ import (
 
 // ReplicaClient transports one encoded replication frame to a replica
 // node. iscsi.Initiator implements it for remote replicas; Loopback
-// implements it in-process for tests and benchmarks.
+// implements it in-process for tests and benchmarks. hash is the
+// content hash of the decoded new block (iscsi.HashBlock); zero means
+// the primary did not verify and the replica applies unchecked.
 type ReplicaClient interface {
-	ReplicaWrite(mode uint8, seq uint64, lba uint64, frame []byte) error
+	ReplicaWrite(mode uint8, seq, lba, hash uint64, frame []byte) error
 }
 
 var _ ReplicaClient = (*iscsi.Initiator)(nil)
@@ -68,6 +70,13 @@ type Config struct {
 	// (the default) delivery failures surface as write errors (sync
 	// mode) or on Drain (async mode), as they always have.
 	AllowDegraded bool
+	// DisableVerify turns off content-hash verification of replica
+	// applies. By default every shipped frame carries the hash of the
+	// decoded new block and the replica refuses (StatusDiverged) an
+	// apply whose recovered block does not match — which in ModePRINS
+	// catches a replica whose pre-image has silently diverged before
+	// the bad XOR lands. Disabling restores the unverified wire cost.
+	DisableVerify bool
 }
 
 func (c Config) withDefaults() Config {
@@ -161,6 +170,7 @@ func (e *Engine) AttachReplica(rc ReplicaClient) {
 	rs := &replicaState{
 		client: rc,
 		queue:  make(chan repMsg, e.cfg.QueueDepth),
+		dirty:  newDirtyMap(),
 	}
 	e.replicas = append(e.replicas, rs)
 	e.shippers.Add(1)
@@ -208,6 +218,37 @@ func (e *Engine) ReplicaStats() []ReplicaStat {
 		out[i] = ReplicaStat{Degraded: rs.degraded.Load(), Metrics: rs.m.Snapshot()}
 	}
 	return out
+}
+
+// DirtyRanges returns the merged runs of LBAs replica i (attach order)
+// is not known to hold correctly — frames dropped while degraded,
+// deliveries that failed past the retry budget, and applies the
+// replica refused as diverged. A ranged resync over exactly these runs
+// (resync.RunRanges) heals the replica without scanning the device;
+// clear the map afterwards with ClearDirty.
+func (e *Engine) DirtyRanges(i int) []block.Range {
+	if i < 0 || i >= len(e.replicas) {
+		return nil
+	}
+	return e.replicas[i].dirty.ranges()
+}
+
+// DirtyBlocks returns how many LBAs replica i has dirty.
+func (e *Engine) DirtyBlocks(i int) uint64 {
+	if i < 0 || i >= len(e.replicas) {
+		return 0
+	}
+	return e.replicas[i].dirty.count()
+}
+
+// ClearDirty forgets the given runs from replica i's dirty map — call
+// it after a ranged resync repaired them. With no runs it forgets the
+// whole map.
+func (e *Engine) ClearDirty(i int, ranges ...block.Range) {
+	if i < 0 || i >= len(e.replicas) {
+		return
+	}
+	e.replicas[i].dirty.clear(ranges)
 }
 
 // ClearDegraded reinstates every degraded replica, zeroes the lag
@@ -277,6 +318,13 @@ func (e *Engine) WriteBlock(lba uint64, data []byte) error {
 	}
 	e.seq++
 	seq := e.seq
+	var hash uint64
+	if !e.cfg.DisableVerify {
+		// The decoded new block at the replica must equal data in every
+		// mode (PRINS recovers it as P' XOR A_old), so the hash of data
+		// is the contract the replica verifies before writing in place.
+		hash = iscsi.HashBlock(data)
+	}
 
 	n := len(e.replicas)
 	if n == 0 {
@@ -293,7 +341,7 @@ func (e *Engine) WriteBlock(lba uint64, data []byte) error {
 	for _, rs := range e.replicas {
 		rs.pending.Add(1)
 		select {
-		case rs.queue <- repMsg{seq: seq, lba: lba, frame: fb, ack: ack}:
+		case rs.queue <- repMsg{seq: seq, lba: lba, hash: hash, frame: fb, ack: ack}:
 			enqueued++
 		case <-e.done:
 			rs.pending.Done()
@@ -463,16 +511,26 @@ func (e *Engine) HandleWrite(lba uint64, data []byte) iscsi.Status {
 
 // HandleReplica implements iscsi.Backend. A primary engine does not
 // accept pushes; use ReplicaEngine on replica nodes.
-func (e *Engine) HandleReplica(uint8, uint64, uint64, []byte) iscsi.Status {
+func (e *Engine) HandleReplica(uint8, uint64, uint64, uint64, []byte) iscsi.Status {
 	return iscsi.StatusBadRequest
 }
 
+// statusOf maps an apply/store error to its wire status. The typed
+// replica-apply failures (diverged, decode, store) travel as distinct
+// statuses so the initiator can rebuild the same sentinel on its side
+// and the primary can tell detected corruption from transport loss.
 func statusOf(err error) iscsi.Status {
 	switch {
+	case errors.Is(err, iscsi.ErrDiverged):
+		return iscsi.StatusDiverged
+	case errors.Is(err, iscsi.ErrReplicaDecode):
+		return iscsi.StatusDecodeError
 	case errors.Is(err, block.ErrOutOfRange):
 		return iscsi.StatusOutOfRange
 	case errors.Is(err, block.ErrBadBufSize):
 		return iscsi.StatusBadRequest
+	case errors.Is(err, iscsi.ErrReplicaStore):
+		return iscsi.StatusStoreError
 	default:
 		return iscsi.StatusError
 	}

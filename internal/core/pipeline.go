@@ -1,10 +1,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"prins/internal/iscsi"
 	"prins/internal/metrics"
 	"prins/internal/wan"
 )
@@ -28,6 +30,7 @@ import (
 type repMsg struct {
 	seq   uint64
 	lba   uint64
+	hash  uint64 // content hash of the decoded new block; 0 = unverified
 	frame *frameBuf
 	// ack receives the delivery result in synchronous mode; nil in
 	// async mode, where errors stick to the replica until Drain.
@@ -41,6 +44,7 @@ type replicaState struct {
 	client ReplicaClient
 	queue  chan repMsg
 	m      metrics.Replica
+	dirty  *dirtyMap
 
 	degraded atomic.Bool
 
@@ -129,7 +133,7 @@ func (e *Engine) shipper(rs *replicaState) {
 // if degraded), account, then report — to the waiting writer in sync
 // mode, to the sticky per-replica error in async mode.
 func (e *Engine) process(rs *replicaState, msg repMsg) {
-	err := e.shipTo(rs, msg.seq, msg.lba, msg.frame.buf)
+	err := e.shipTo(rs, msg.seq, msg.lba, msg.hash, msg.frame.buf)
 	if msg.ack != nil {
 		msg.ack <- err
 	} else if err != nil {
@@ -142,18 +146,33 @@ func (e *Engine) process(rs *replicaState, msg repMsg) {
 // shipTo delivers one frame to one replica under the retry policy. A
 // delivery that fails past the retry budget either degrades the
 // replica (AllowDegraded: the frame counts as dropped and the write
-// stays successful) or is returned as the delivery error. Traffic is
-// counted only on successful delivery, so PayloadBytes/WireBytes
-// measure what the replica actually acknowledged.
-func (e *Engine) shipTo(rs *replicaState, seq, lba uint64, frame []byte) error {
+// stays successful) or is returned as the delivery error. A replica
+// that refuses the apply as diverged is handled separately: the write
+// stays successful, the LBA lands in the replica's dirty map, and a
+// ranged resync repairs it — divergence is detected corruption, not a
+// transport failure, so retrying the same frame cannot help and
+// degrading the whole replica would be overkill for one bad block.
+// Every other failed or dropped frame also marks its LBA dirty, so
+// DirtyRanges always names exactly what recovery must re-ship.
+// Traffic is counted only on successful delivery, so
+// PayloadBytes/WireBytes measure what the replica actually
+// acknowledged.
+func (e *Engine) shipTo(rs *replicaState, seq, lba, hash uint64, frame []byte) error {
 	if rs.degraded.Load() {
-		e.dropFrame(rs)
+		e.dropFrame(rs, lba)
 		return nil
 	}
-	if err := e.shipOne(rs, seq, lba, frame); err != nil {
+	if err := e.shipOne(rs, seq, lba, hash, frame); err != nil {
+		if errors.Is(err, iscsi.ErrDiverged) {
+			rs.dirty.mark(lba)
+			rs.m.AddDiverged()
+			e.traffic.AddDiverged()
+			return nil
+		}
+		rs.dirty.mark(lba)
 		if e.cfg.AllowDegraded {
 			rs.degraded.Store(true)
-			e.dropFrame(rs)
+			e.dropFrame(rs, lba)
 			return nil
 		}
 		return fmt.Errorf("core: replicate seq %d lba %d: %w", seq, lba, err)
@@ -165,11 +184,14 @@ func (e *Engine) shipTo(rs *replicaState, seq, lba uint64, frame []byte) error {
 }
 
 // shipOne performs the delivery attempts for one frame to one replica.
-func (e *Engine) shipOne(rs *replicaState, seq, lba uint64, frame []byte) error {
+// A diverged refusal short-circuits the retry loop: the replica
+// verified the frame against its own block and said no — redelivering
+// the identical frame is deterministic failure, not transient loss.
+func (e *Engine) shipOne(rs *replicaState, seq, lba, hash uint64, frame []byte) error {
 	var err error
 	for attempt := 1; ; attempt++ {
-		err = rs.client.ReplicaWrite(uint8(e.cfg.Mode), seq, lba, frame)
-		if err == nil || attempt >= e.retry.Attempts {
+		err = rs.client.ReplicaWrite(uint8(e.cfg.Mode), seq, lba, hash, frame)
+		if err == nil || errors.Is(err, iscsi.ErrDiverged) || attempt >= e.retry.Attempts {
 			return err
 		}
 		rs.m.AddRetry()
@@ -180,11 +202,13 @@ func (e *Engine) shipOne(rs *replicaState, seq, lba uint64, frame []byte) error 
 	}
 }
 
-// dropFrame accounts one frame elided because rs is degraded: the
-// replica's own dropped/lag counters advance, the engine-wide dropped
-// total advances, and the engine-wide lag gauge is raised to the worst
-// per-replica lag (max, not sum — see metrics.Traffic.RaiseReplicaLag).
-func (e *Engine) dropFrame(rs *replicaState) {
+// dropFrame accounts one frame elided because rs is degraded: the LBA
+// goes in the dirty map, the replica's own dropped/lag counters
+// advance, the engine-wide dropped total advances, and the engine-wide
+// lag gauge is raised to the worst per-replica lag (max, not sum — see
+// metrics.Traffic.RaiseReplicaLag).
+func (e *Engine) dropFrame(rs *replicaState, lba uint64) {
+	rs.dirty.mark(lba)
 	lag := rs.m.AddDropped()
 	e.traffic.AddDropped()
 	e.traffic.RaiseReplicaLag(lag)

@@ -7,6 +7,7 @@ import (
 
 	"prins/internal/block"
 	"prins/internal/iscsi"
+	"prins/internal/journal"
 	"prins/internal/metrics"
 	"prins/internal/parity"
 	"prins/internal/xcode"
@@ -30,11 +31,23 @@ type ReplicaEngine struct {
 	lastSeq uint64
 	oldBuf  []byte
 	newBuf  []byte
+
+	// jrnl, when non-nil, is the crash-safe apply journal: the decoded
+	// new block is persisted (Begin) before the in-place store write
+	// and cleared (Commit) after, so a write torn by a crash — fatal
+	// under PRINS, where the block would be neither A_old nor A_new
+	// and poison every later XOR — is healed by replaying the journal.
+	jrnl *journal.Journal
+	// replay is set when a Begin landed but the store write or Commit
+	// did not; the next Apply replays the journal before proceeding.
+	replay bool
 }
 
 var _ iscsi.Backend = (*ReplicaEngine)(nil)
 
-// NewReplicaEngine wraps the replica's local store.
+// NewReplicaEngine wraps the replica's local store with no journal;
+// applies are not crash-safe. Use NewReplicaEngineJournaled for the
+// durable variant.
 func NewReplicaEngine(store block.Store) *ReplicaEngine {
 	return &ReplicaEngine{
 		store:   store,
@@ -42,6 +55,55 @@ func NewReplicaEngine(store block.Store) *ReplicaEngine {
 		oldBuf:  make([]byte, store.BlockSize()),
 		newBuf:  make([]byte, store.BlockSize()),
 	}
+}
+
+// NewReplicaEngineJournaled wraps the replica's local store with a
+// crash-safe apply journal and immediately replays any intent a crash
+// left behind, restoring the invariant that every block holds either
+// its pre-image or its fully-applied new content before the first
+// push arrives.
+func NewReplicaEngineJournaled(store block.Store, jrnl *journal.Journal) (*ReplicaEngine, error) {
+	r := NewReplicaEngine(store)
+	r.jrnl = jrnl
+	if err := r.replayJournal(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// replayJournal redoes the journaled intent, if any. Called with r.mu
+// held (or before the engine is shared). Replay is an idempotent
+// whole-block rewrite, so replaying an intent whose store write had
+// in fact completed is harmless.
+func (r *ReplicaEngine) replayJournal() error {
+	e, err := r.jrnl.Pending()
+	if err != nil {
+		return fmt.Errorf("core: replica journal: %w", err)
+	}
+	r.replay = false
+	if e == nil {
+		return nil
+	}
+	if len(e.Block) != r.store.BlockSize() {
+		return fmt.Errorf("core: replica journal: entry is %d bytes, block size %d",
+			len(e.Block), r.store.BlockSize())
+	}
+	if err := r.store.WriteBlock(e.LBA, e.Block); err != nil {
+		r.replay = true // keep the intent; try again next apply
+		return fmt.Errorf("core: replica journal replay lba %d: %w: %w",
+			e.LBA, iscsi.ErrReplicaStore, err)
+	}
+	if err := r.jrnl.Commit(); err != nil {
+		r.replay = true
+		return fmt.Errorf("core: replica journal replay lba %d: %w", e.LBA, err)
+	}
+	// The journaled seq was applied; advancing lastSeq makes the
+	// primary's redelivery of it dedupe instead of double-XORing.
+	if e.Seq > r.lastSeq {
+		r.lastSeq = e.Seq
+	}
+	r.traffic.AddReplicaWrite()
+	return nil
 }
 
 // Traffic returns the replica's counters (decode time, applied writes).
@@ -57,8 +119,10 @@ func (r *ReplicaEngine) LastSeq() uint64 {
 // Store returns the underlying replica store (read-only use expected).
 func (r *ReplicaEngine) Store() block.Store { return r.store }
 
-// Apply decodes one replication frame and applies it to the replica
-// store.
+// Apply decodes one replication frame, verifies the recovered block
+// against the shipped content hash (when non-zero), and applies it to
+// the replica store — through the crash-safe journal when one is
+// attached.
 //
 // Deliveries are deduplicated by sequence number: the primary ships
 // frames in seq order, so a frame at or below lastSeq is a retried
@@ -66,10 +130,22 @@ func (r *ReplicaEngine) Store() block.Store { return r.store }
 // push). It is acknowledged without being re-applied — essential in
 // ModePRINS, where XOR-ing the same parity twice would corrupt the
 // block rather than no-op.
-func (r *ReplicaEngine) Apply(mode Mode, seq uint64, lba uint64, frame []byte) error {
+//
+// A hash mismatch returns an error wrapping iscsi.ErrDiverged without
+// touching the store: in ModePRINS it means the replica's pre-image
+// already differs from what the primary XORed against, so writing the
+// recovered block would replace silent corruption with fresh silent
+// corruption. The primary marks the LBA dirty and repairs it with a
+// ranged resync instead.
+func (r *ReplicaEngine) Apply(mode Mode, seq, lba, hash uint64, frame []byte) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 
+	if r.replay {
+		if err := r.replayJournal(); err != nil {
+			return err
+		}
+	}
 	if seq != 0 && seq <= r.lastSeq {
 		r.traffic.AddDuplicate()
 		return nil
@@ -78,18 +154,17 @@ func (r *ReplicaEngine) Apply(mode Mode, seq uint64, lba uint64, frame []byte) e
 	start := time.Now()
 	payload, err := xcode.Decode(frame)
 	if err != nil {
-		return fmt.Errorf("core: replica decode seq %d: %w", seq, err)
+		return fmt.Errorf("core: replica decode seq %d: %w: %w",
+			seq, iscsi.ErrReplicaDecode, err)
 	}
 	if len(payload) != r.store.BlockSize() {
 		return fmt.Errorf("%w: frame decodes to %d bytes, block size %d",
 			block.ErrBadBufSize, len(payload), r.store.BlockSize())
 	}
 
+	newBlock := payload
 	switch mode {
 	case ModeTraditional, ModeCompressed:
-		if err := r.store.WriteBlock(lba, payload); err != nil {
-			return fmt.Errorf("core: replica write seq %d: %w", seq, err)
-		}
 	case ModePRINS:
 		if err := r.store.ReadBlock(lba, r.oldBuf); err != nil {
 			return fmt.Errorf("core: replica read old seq %d: %w", seq, err)
@@ -97,11 +172,38 @@ func (r *ReplicaEngine) Apply(mode Mode, seq uint64, lba uint64, frame []byte) e
 		if err := parity.BackwardInto(r.newBuf, payload, r.oldBuf); err != nil {
 			return err
 		}
-		if err := r.store.WriteBlock(lba, r.newBuf); err != nil {
-			return fmt.Errorf("core: replica write seq %d: %w", seq, err)
-		}
+		newBlock = r.newBuf
 	default:
 		return fmt.Errorf("core: replica: invalid mode %d", uint8(mode))
+	}
+
+	if hash != 0 {
+		if got := iscsi.HashBlock(newBlock); got != hash {
+			r.traffic.AddDiverged()
+			return fmt.Errorf("core: replica apply seq %d lba %d: %w: hash %016x, primary sent %016x",
+				seq, lba, iscsi.ErrDiverged, got, hash)
+		}
+	}
+
+	if r.jrnl != nil {
+		if err := r.jrnl.Begin(seq, lba, hash, newBlock); err != nil {
+			return fmt.Errorf("core: replica seq %d: %w: %w", seq, iscsi.ErrReplicaStore, err)
+		}
+	}
+	if err := r.store.WriteBlock(lba, newBlock); err != nil {
+		if r.jrnl != nil {
+			// The intent stays journaled; the next apply (or restart)
+			// replays it before doing anything else.
+			r.replay = true
+		}
+		return fmt.Errorf("core: replica write seq %d: %w: %w",
+			seq, iscsi.ErrReplicaStore, err)
+	}
+	if r.jrnl != nil {
+		if err := r.jrnl.Commit(); err != nil {
+			r.replay = true
+			return fmt.Errorf("core: replica seq %d: %w: %w", seq, iscsi.ErrReplicaStore, err)
+		}
 	}
 
 	r.traffic.AddDecodeTime(time.Since(start))
@@ -150,8 +252,8 @@ func (r *ReplicaEngine) HandleWrite(lba uint64, data []byte) iscsi.Status {
 
 // HandleReplica implements iscsi.Backend: the wire entry point for
 // pushes from the primary's engine.
-func (r *ReplicaEngine) HandleReplica(mode uint8, seq uint64, lba uint64, frame []byte) iscsi.Status {
-	if err := r.Apply(Mode(mode), seq, lba, frame); err != nil {
+func (r *ReplicaEngine) HandleReplica(mode uint8, seq, lba, hash uint64, frame []byte) iscsi.Status {
+	if err := r.Apply(Mode(mode), seq, lba, hash, frame); err != nil {
 		return statusOf(err)
 	}
 	return iscsi.StatusOK
@@ -167,6 +269,6 @@ type Loopback struct {
 var _ ReplicaClient = (*Loopback)(nil)
 
 // ReplicaWrite implements ReplicaClient.
-func (l *Loopback) ReplicaWrite(mode uint8, seq uint64, lba uint64, frame []byte) error {
-	return l.Replica.Apply(Mode(mode), seq, lba, frame)
+func (l *Loopback) ReplicaWrite(mode uint8, seq, lba, hash uint64, frame []byte) error {
+	return l.Replica.Apply(Mode(mode), seq, lba, hash, frame)
 }

@@ -281,9 +281,14 @@ func (i *Initiator) WriteBlock(lba uint64, data []byte) error {
 }
 
 // ReplicaWrite pushes an encoded replication frame for the block at
-// lba; used engine-to-engine.
-func (i *Initiator) ReplicaWrite(mode uint8, seq uint64, lba uint64, frame []byte) error {
-	resp, err := i.roundTrip(&PDU{Op: OpReplicaWrite, Mode: mode, Seq: seq, LBA: lba, Data: frame})
+// lba; used engine-to-engine. hash is the content hash of the block
+// the replica must hold after the apply (HashBlock of A_new); zero
+// disables replica-side verification. Apply failures come back as
+// typed errors: ErrDiverged when the replica's recovered block failed
+// the hash check, ErrReplicaDecode and ErrReplicaStore for decode and
+// device failures — all of them still matching ErrStatus.
+func (i *Initiator) ReplicaWrite(mode uint8, seq, lba, hash uint64, frame []byte) error {
+	resp, err := i.roundTrip(&PDU{Op: OpReplicaWrite, Mode: mode, Seq: seq, LBA: lba, Hash: hash, Data: frame})
 	if err != nil {
 		return err
 	}
@@ -354,5 +359,8 @@ func (i *Initiator) Close() error {
 }
 
 func statusErr(op string, lba uint64, st Status) error {
+	if sent := st.sentinel(); sent != nil {
+		return fmt.Errorf("%w: %s lba %d: %w", ErrStatus, op, lba, sent)
+	}
 	return fmt.Errorf("%w: %s lba %d: %v", ErrStatus, op, lba, st)
 }

@@ -264,7 +264,7 @@ func TestReplicaWriteAgainstPlainStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	// A plain store backend rejects replica pushes.
-	if err := init.ReplicaWrite(1, 1, 0, []byte{1}); !errors.Is(err, ErrStatus) {
+	if err := init.ReplicaWrite(1, 1, 0, 0, []byte{1}); !errors.Is(err, ErrStatus) {
 		t.Errorf("replica write: err = %v, want ErrStatus", err)
 	}
 }

@@ -83,6 +83,18 @@ const (
 	StatusOutOfRange
 	StatusBadTarget
 	StatusNotLoggedIn
+	// StatusDiverged reports a verified replica apply whose recovered
+	// block did not match the content hash the primary shipped: the
+	// replica's A_old precondition no longer holds. The replica refuses
+	// the write (nothing was stored), so the block needs a resync, not a
+	// retry.
+	StatusDiverged
+	// StatusDecodeError reports a replica push whose frame failed to
+	// decode (bad codec byte, truncated payload, wrong decoded size).
+	StatusDecodeError
+	// StatusStoreError reports a replica push that decoded fine but
+	// whose local device read/write failed (including torn writes).
+	StatusStoreError
 )
 
 // String returns the status mnemonic.
@@ -100,19 +112,42 @@ func (s Status) String() string {
 		return "BAD-TARGET"
 	case StatusNotLoggedIn:
 		return "NOT-LOGGED-IN"
+	case StatusDiverged:
+		return "DIVERGED"
+	case StatusDecodeError:
+		return "DECODE-ERROR"
+	case StatusStoreError:
+		return "STORE-ERROR"
 	default:
 		return fmt.Sprintf("STATUS(%d)", uint8(s))
+	}
+}
+
+// sentinel returns the typed error a replica-apply status maps to, or
+// nil for statuses without one. Initiator.ReplicaWrite wraps it so
+// callers can switch on the failure class with errors.Is.
+func (s Status) sentinel() error {
+	switch s {
+	case StatusDiverged:
+		return ErrDiverged
+	case StatusDecodeError:
+		return ErrReplicaDecode
+	case StatusStoreError:
+		return ErrReplicaStore
+	default:
+		return nil
 	}
 }
 
 // Wire-format constants.
 const (
 	// headerLen is the fixed basic header segment size.
-	headerLen = 40
+	headerLen = 48
 	// protoMagic guards against desynchronized or foreign streams.
 	protoMagic = 0x69 // 'i'
-	// protoVersion is bumped on incompatible changes.
-	protoVersion = 2
+	// protoVersion is bumped on incompatible changes. v3 widened the
+	// header from 40 to 48 bytes for the replica-apply content hash.
+	protoVersion = 3
 	// MaxDataSegment bounds a PDU's data segment; larger is rejected
 	// before allocation.
 	MaxDataSegment = 17 << 20
@@ -131,6 +166,23 @@ var (
 	ErrShortFrame = errors.New("iscsi: truncated response payload")
 )
 
+// Typed replica-apply failures. The replica engine wraps its apply
+// errors with these so the target can map them to distinct statuses,
+// and Initiator.ReplicaWrite wraps the status back into the same
+// sentinel — errors.Is sees the identical failure class on both sides
+// of the wire (and through in-process loopback clients).
+var (
+	// ErrDiverged: the backward parity computation produced a block
+	// whose hash does not match what the primary shipped. The replica's
+	// copy of A_old is wrong (torn write, lost frame, bit rot); the
+	// block was NOT written and must be repaired by resync.
+	ErrDiverged = errors.New("iscsi: replica content diverged")
+	// ErrReplicaDecode: the pushed frame failed to decode.
+	ErrReplicaDecode = errors.New("iscsi: replica frame decode failed")
+	// ErrReplicaStore: the replica's local device failed the apply.
+	ErrReplicaStore = errors.New("iscsi: replica store failed")
+)
+
 // PDU is one protocol data unit: the decoded header fields plus the
 // data segment.
 //
@@ -147,11 +199,15 @@ var (
 //	off 20 : blocks (uint32) block count for READ
 //	off 24 : data length (uint32)
 //	off 28 : sequence (uint64) engine-assigned replication sequence
-//	off 36 : digest (uint32) CRC-32C over header (digest zeroed) + data
+//	off 36 : hash (uint64) content hash of the decoded new block
+//	off 44 : digest (uint32) CRC-32C over header (digest zeroed) + data
 //
 // The digest plays the role of iSCSI's header+data digests: corrupted
 // or torn PDUs are rejected with ErrBadDigest instead of being applied
-// to a replica.
+// to a replica. The hash field rides on OpReplicaWrite: it is the
+// 64-bit content hash (HashBlock) of the block the replica must hold
+// after applying the frame, letting the replica verify the backward
+// parity computation end to end; zero means "unverified push".
 type PDU struct {
 	Op     Opcode
 	Status Status
@@ -160,6 +216,7 @@ type PDU struct {
 	LBA    uint64
 	Blocks uint32
 	Seq    uint64
+	Hash   uint64
 	Data   []byte
 }
 
@@ -179,7 +236,8 @@ func (p *PDU) WriteTo(w io.Writer) (int64, error) {
 	binary.BigEndian.PutUint32(hdr[20:], p.Blocks)
 	binary.BigEndian.PutUint32(hdr[24:], uint32(len(p.Data)))
 	binary.BigEndian.PutUint64(hdr[28:], p.Seq)
-	binary.BigEndian.PutUint32(hdr[36:], digest(hdr[:], p.Data))
+	binary.BigEndian.PutUint64(hdr[36:], p.Hash)
+	binary.BigEndian.PutUint32(hdr[44:], digest(hdr[:], p.Data))
 
 	n, err := w.Write(hdr[:])
 	if err != nil {
@@ -225,6 +283,7 @@ func ReadPDU(r io.Reader) (*PDU, error) {
 		LBA:    binary.BigEndian.Uint64(hdr[12:]),
 		Blocks: binary.BigEndian.Uint32(hdr[20:]),
 		Seq:    binary.BigEndian.Uint64(hdr[28:]),
+		Hash:   binary.BigEndian.Uint64(hdr[36:]),
 	}
 	if dataLen > 0 {
 		p.Data = make([]byte, dataLen)
@@ -232,7 +291,7 @@ func ReadPDU(r io.Reader) (*PDU, error) {
 			return nil, fmt.Errorf("iscsi: read data segment: %w", err)
 		}
 	}
-	want := binary.BigEndian.Uint32(hdr[36:])
+	want := binary.BigEndian.Uint32(hdr[44:])
 	if got := digest(hdr[:], p.Data); got != want {
 		return nil, fmt.Errorf("%w: got %08x, want %08x", ErrBadDigest, got, want)
 	}
@@ -244,7 +303,7 @@ func ReadPDU(r io.Reader) (*PDU, error) {
 func digest(hdr, data []byte) uint32 {
 	var scratch [headerLen]byte
 	copy(scratch[:], hdr)
-	scratch[36], scratch[37], scratch[38], scratch[39] = 0, 0, 0, 0
+	scratch[44], scratch[45], scratch[46], scratch[47] = 0, 0, 0, 0
 	crc := crc32.New(castagnoli)
 	crc.Write(scratch[:])
 	crc.Write(data)

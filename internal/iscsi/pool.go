@@ -121,8 +121,8 @@ func (p *Pool) WriteBlock(lba uint64, data []byte) error {
 
 // ReplicaWrite implements the engine's ReplicaClient over the pool,
 // letting a primary pipeline pushes across sessions.
-func (p *Pool) ReplicaWrite(mode uint8, seq uint64, lba uint64, frame []byte) error {
-	return p.pick().ReplicaWrite(mode, seq, lba, frame)
+func (p *Pool) ReplicaWrite(mode uint8, seq, lba, hash uint64, frame []byte) error {
+	return p.pick().ReplicaWrite(mode, seq, lba, hash, frame)
 }
 
 // BlockSize implements block.Store.

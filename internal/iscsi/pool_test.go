@@ -105,7 +105,7 @@ func TestPoolAsReplicaClient(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer pool.Close()
-	if err := pool.ReplicaWrite(1, 1, 0, []byte{1}); err == nil {
+	if err := pool.ReplicaWrite(1, 1, 0, 0, []byte{1}); err == nil {
 		t.Error("replica write to plain backend should fail")
 	}
 }

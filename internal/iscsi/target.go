@@ -23,8 +23,10 @@ type Backend interface {
 	HandleWrite(lba uint64, data []byte) Status
 	// HandleReplica applies a replication push: an xcode frame for the
 	// block at lba, produced by a peer engine in the given mode with
-	// the given sequence number.
-	HandleReplica(mode uint8, seq uint64, lba uint64, frame []byte) Status
+	// the given sequence number. hash, when non-zero, is the content
+	// hash the decoded new block must verify against before the
+	// in-place write (StatusDiverged on mismatch).
+	HandleReplica(mode uint8, seq, lba, hash uint64, frame []byte) Status
 }
 
 // StoreBackend adapts a block.Store into a Backend with no replication
@@ -67,7 +69,7 @@ func (b *StoreBackend) HandleWrite(lba uint64, data []byte) Status {
 }
 
 // HandleReplica implements Backend; a plain store is not a replica.
-func (b *StoreBackend) HandleReplica(uint8, uint64, uint64, []byte) Status {
+func (b *StoreBackend) HandleReplica(uint8, uint64, uint64, uint64, []byte) Status {
 	return StatusBadRequest
 }
 
@@ -298,7 +300,7 @@ func (t *Target) ServeConn(conn net.Conn) {
 				resp.Status = StatusNotLoggedIn
 				break
 			}
-			resp.Status = backend.HandleReplica(pdu.Mode, pdu.Seq, pdu.LBA, pdu.Data)
+			resp.Status = backend.HandleReplica(pdu.Mode, pdu.Seq, pdu.LBA, pdu.Hash, pdu.Data)
 
 		case OpHashCmd:
 			resp.Op = OpResp

@@ -1,0 +1,161 @@
+package journal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBeginPendingCommit(t *testing.T) {
+	j := NewMem()
+
+	// Fresh journal: nothing pending.
+	if e, err := j.Pending(); err != nil || e != nil {
+		t.Fatalf("fresh Pending = %v, %v", e, err)
+	}
+
+	blockA := bytes.Repeat([]byte{0xAB}, 128)
+	if err := j.Begin(7, 42, 0xDEADBEEF, blockA); err != nil {
+		t.Fatal(err)
+	}
+	e, err := j.Pending()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e == nil {
+		t.Fatal("intent not pending after Begin")
+	}
+	if e.Seq != 7 || e.LBA != 42 || e.Hash != 0xDEADBEEF || !bytes.Equal(e.Block, blockA) {
+		t.Fatalf("entry = %+v", e)
+	}
+
+	if err := j.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if e, err := j.Pending(); err != nil || e != nil {
+		t.Fatalf("Pending after Commit = %v, %v", e, err)
+	}
+
+	// The slot is reusable: a later Begin overwrites cleanly, even with
+	// a different payload length.
+	blockB := bytes.Repeat([]byte{0x11}, 64)
+	if err := j.Begin(8, 3, 1, blockB); err != nil {
+		t.Fatal(err)
+	}
+	e, err = j.Pending()
+	if err != nil || e == nil {
+		t.Fatalf("Pending after re-Begin = %v, %v", e, err)
+	}
+	if e.Seq != 8 || !bytes.Equal(e.Block, blockB) {
+		t.Fatalf("re-Begin entry = %+v", e)
+	}
+}
+
+// A Begin torn mid-header (bad CRC) must read as an empty slot: the
+// in-place write never started, so there is nothing to redo.
+func TestTornHeaderDiscarded(t *testing.T) {
+	m := &Mem{}
+	j := New(m)
+	if err := j.Begin(1, 2, 3, make([]byte, 32)); err != nil {
+		t.Fatal(err)
+	}
+	m.Corrupt(16) // flip a bit inside the lba field
+	if e, err := j.Pending(); err != nil || e != nil {
+		t.Fatalf("torn header Pending = %v, %v; want nil, nil", e, err)
+	}
+}
+
+// A Begin torn mid-payload must likewise be discarded.
+func TestTornPayloadDiscarded(t *testing.T) {
+	m := &Mem{}
+	j := New(m)
+	if err := j.Begin(1, 2, 3, make([]byte, 32)); err != nil {
+		t.Fatal(err)
+	}
+	m.Corrupt(hdrLen + 5)
+	if e, err := j.Pending(); err != nil || e != nil {
+		t.Fatalf("torn payload Pending = %v, %v; want nil, nil", e, err)
+	}
+}
+
+// A journal file from some other program (wrong magic) is ignored, not
+// an error.
+func TestForeignFileIgnored(t *testing.T) {
+	m := &Mem{}
+	if _, err := m.WriteAt(bytes.Repeat([]byte{0x5A}, 128), 0); err != nil {
+		t.Fatal(err)
+	}
+	if e, err := New(m).Pending(); err != nil || e != nil {
+		t.Fatalf("foreign Pending = %v, %v; want nil, nil", e, err)
+	}
+}
+
+// A file-backed journal must survive close-and-reopen with its intent
+// intact — the crash-restart path.
+func TestFileReopenKeepsIntent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "apply.jnl")
+	j, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := bytes.Repeat([]byte{0xC3}, 256)
+	if err := j.Begin(9, 5, 77, blk); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	e, err := j2.Pending()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e == nil || e.Seq != 9 || e.LBA != 5 || e.Hash != 77 || !bytes.Equal(e.Block, blk) {
+		t.Fatalf("reopened entry = %+v", e)
+	}
+	if err := j2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if e, err := j2.Pending(); err != nil || e != nil {
+		t.Fatalf("Pending after reopen+Commit = %v, %v", e, err)
+	}
+}
+
+// A payload truncated off the end of the file (crash before the data
+// blocks hit disk) reads as empty, not as an error or a short block.
+func TestTruncatedPayloadDiscarded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "apply.jnl")
+	j, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Begin(1, 0, 0, make([]byte, 128)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, hdrLen+10); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if e, err := j2.Pending(); err != nil || e != nil {
+		t.Fatalf("truncated Pending = %v, %v; want nil, nil", e, err)
+	}
+}
+
+func TestDecodeHeaderShortBuffer(t *testing.T) {
+	if e, _, ok := decodeHeader(make([]byte, 10)); ok || e != nil {
+		t.Fatal("short header decoded")
+	}
+}

@@ -28,10 +28,14 @@ func (unboundedDecodeRule) Doc() string {
 	return "wire-buffer decode paths must length-check the buffer before fixed-offset access"
 }
 
-// decodeScopePkgs are the package names holding wire decoders.
+// decodeScopePkgs are the package names holding wire decoders. The
+// journal package qualifies too: its slot header is parsed from raw
+// bytes read back off disk, which a crash can truncate or tear just
+// like a hostile frame.
 var decodeScopePkgs = map[string]bool{
 	"iscsi": true, "iscsi_test": true,
 	"xcode": true, "xcode_test": true,
+	"journal": true, "journal_test": true,
 }
 
 // decodeNameFragments mark a function as a decode path.

@@ -1,0 +1,25 @@
+// Package journal (a fixture named after the real intent-journal
+// package, which is what puts it in scope) exercises the
+// unbounded-decode rule over on-disk slot headers: bytes read back
+// from a crashed journal can be truncated just like a hostile frame.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+var errTorn = errors.New("torn header")
+
+func decodeSlot(hdr []byte) (uint64, byte) {
+	seq := binary.BigEndian.Uint64(hdr) // finding: fixed-width read without a len guard
+	state := hdr[4]                     // finding: index without a len guard
+	return seq, state
+}
+
+func decodeSlotGuarded(hdr []byte) (uint64, error) {
+	if len(hdr) < 16 {
+		return 0, errTorn
+	}
+	return binary.BigEndian.Uint64(hdr[8:]), nil // ok: dominated by the len check
+}

@@ -28,6 +28,7 @@ type Traffic struct {
 	dropped       atomic.Int64 // frames dropped across all degraded replicas
 	replicaLag    atomic.Int64 // gauge: frames the most-lagged replica is behind
 	duplicates    atomic.Int64 // duplicate pushes deduplicated at a replica
+	diverged      atomic.Int64 // verified applies a replica refused (hash mismatch)
 }
 
 // AddWrite records one intercepted block write of blockBytes.
@@ -91,6 +92,11 @@ func (t *Traffic) ResetReplicaLag() { t.replicaLag.Store(0) }
 // (a retried delivery whose first copy succeeded) and deduplicated.
 func (t *Traffic) AddDuplicate() { t.duplicates.Add(1) }
 
+// AddDiverged records a verified apply a replica refused because the
+// recovered block failed the shipped content hash — detected
+// corruption, repaired later by a ranged resync of the dirty region.
+func (t *Traffic) AddDiverged() { t.diverged.Add(1) }
+
 // Snapshot is a consistent-enough point-in-time copy of the counters.
 type Snapshot struct {
 	Writes        int64
@@ -106,6 +112,7 @@ type Snapshot struct {
 	Dropped       int64
 	ReplicaLag    int64
 	Duplicates    int64
+	Diverged      int64
 }
 
 // Snapshot returns the current counter values.
@@ -124,6 +131,7 @@ func (t *Traffic) Snapshot() Snapshot {
 		Dropped:       t.dropped.Load(),
 		ReplicaLag:    t.replicaLag.Load(),
 		Duplicates:    t.duplicates.Load(),
+		Diverged:      t.diverged.Load(),
 	}
 }
 
@@ -142,6 +150,7 @@ func (t *Traffic) Reset() {
 	t.dropped.Store(0)
 	t.replicaLag.Store(0)
 	t.duplicates.Store(0)
+	t.diverged.Store(0)
 }
 
 // MeanPayload returns the mean encoded payload bytes per replication
@@ -182,6 +191,7 @@ type Replica struct {
 	retries      atomic.Int64 // delivery retries to this replica
 	dropped      atomic.Int64 // frames dropped while degraded (historical total)
 	lag          atomic.Int64 // gauge: frames this replica is behind the primary
+	diverged     atomic.Int64 // verified applies this replica refused
 }
 
 // AddShipped records one successfully delivered frame.
@@ -202,6 +212,10 @@ func (r *Replica) AddDropped() int64 {
 	return r.lag.Add(1)
 }
 
+// AddDiverged records a verified apply this replica refused because
+// the recovered block failed the shipped content hash.
+func (r *Replica) AddDiverged() { r.diverged.Add(1) }
+
 // Lag returns how many frames this replica is behind the primary.
 func (r *Replica) Lag() int64 { return r.lag.Load() }
 
@@ -217,6 +231,7 @@ type ReplicaSnapshot struct {
 	Retries      int64
 	Dropped      int64
 	Lag          int64
+	Diverged     int64
 }
 
 // Snapshot returns the current per-replica counter values.
@@ -228,7 +243,55 @@ func (r *Replica) Snapshot() ReplicaSnapshot {
 		Retries:      r.retries.Load(),
 		Dropped:      r.dropped.Load(),
 		Lag:          r.lag.Load(),
+		Diverged:     r.diverged.Load(),
 	}
+}
+
+// Scrub accumulates background-scrubber statistics: how much of the
+// device has been hash-compared, how much divergence was found, and
+// how much of it was repaired. The zero value is ready to use and all
+// methods are safe for concurrent use.
+type Scrub struct {
+	passes   atomic.Int64 // completed full scrub passes
+	scanned  atomic.Int64 // blocks hash-compared
+	diverged atomic.Int64 // blocks found differing
+	repaired atomic.Int64 // blocks rewritten to heal divergence
+}
+
+// AddPass records one completed scrub pass over the device.
+func (s *Scrub) AddPass() { s.passes.Add(1) }
+
+// AddScanned records n blocks hash-compared.
+func (s *Scrub) AddScanned(n int64) { s.scanned.Add(n) }
+
+// AddDiverged records n blocks found differing from the primary.
+func (s *Scrub) AddDiverged(n int64) { s.diverged.Add(n) }
+
+// AddRepaired records n diverged blocks rewritten.
+func (s *Scrub) AddRepaired(n int64) { s.repaired.Add(n) }
+
+// ScrubSnapshot is a point-in-time copy of the scrubber counters.
+type ScrubSnapshot struct {
+	Passes   int64
+	Scanned  int64
+	Diverged int64
+	Repaired int64
+}
+
+// Snapshot returns the current scrub counter values.
+func (s *Scrub) Snapshot() ScrubSnapshot {
+	return ScrubSnapshot{
+		Passes:   s.passes.Load(),
+		Scanned:  s.scanned.Load(),
+		Diverged: s.diverged.Load(),
+		Repaired: s.repaired.Load(),
+	}
+}
+
+// String renders a compact scrub summary.
+func (s ScrubSnapshot) String() string {
+	return fmt.Sprintf("passes=%d scanned=%d diverged=%d repaired=%d",
+		s.Passes, s.Scanned, s.Diverged, s.Repaired)
 }
 
 // FormatBytes renders n in a human unit (KB/MB/GB, powers of 1024).

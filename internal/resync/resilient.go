@@ -1,6 +1,7 @@
 package resync
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -56,14 +57,29 @@ func (c *ResilientClient) dial() (*iscsi.Initiator, error) {
 }
 
 // ReplicaWrite implements the engine's ReplicaClient contract. On
-// failure it reconnects, resyncs, and retries the push once.
-func (c *ResilientClient) ReplicaWrite(mode uint8, seq uint64, lba uint64, frame []byte) error {
+// transport failure it reconnects, resyncs, and retries the push once.
+// A diverged refusal is healed in place: the replica verified the
+// frame and found its own block wrong, so the session is fine — the
+// block is repaired with a one-block ranged resync on the live
+// connection (the local store already holds the new content, making
+// the refused push redundant; it must NOT be re-applied on top of the
+// repair in PRINS mode, where the extra XOR would corrupt the block).
+func (c *ResilientClient) ReplicaWrite(mode uint8, seq, lba, hash uint64, frame []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
 	if c.conn != nil {
-		if err := c.conn.ReplicaWrite(mode, seq, lba, frame); err == nil {
+		err := c.conn.ReplicaWrite(mode, seq, lba, hash, frame)
+		if err == nil {
 			return nil
+		}
+		if errors.Is(err, iscsi.ErrDiverged) {
+			stats, rerr := RunRanges(c.local, c.conn, Config{}, block.Range{Start: lba, Count: 1})
+			if rerr == nil {
+				c.repaired += int64(stats.BlocksRepaired)
+				return nil
+			}
+			// Repair failed; fall through to reconnect + full resync.
 		}
 		_ = c.conn.Close()
 		c.conn = nil

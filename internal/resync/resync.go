@@ -42,6 +42,10 @@ type Config struct {
 	Batch uint32
 	// DryRun compares and counts but repairs nothing.
 	DryRun bool
+	// Cancel, when non-nil, aborts the run between batches: Run and
+	// RunRanges return ErrCanceled with Stats counting exactly the
+	// work completed so far. A nil channel never cancels.
+	Cancel <-chan struct{}
 }
 
 func (c Config) withDefaults() Config {
@@ -57,11 +61,29 @@ func (c Config) withDefaults() Config {
 // ErrGeometry reports mismatched device shapes.
 var ErrGeometry = errors.New("resync: geometry mismatch")
 
-// Run compares local against the remote device and repairs remote
-// blocks that differ. local is the source of truth.
+// ErrCanceled reports a run aborted through Config.Cancel. The Stats
+// returned alongside it are consistent: they count exactly the batches
+// completed before the abort.
+var ErrCanceled = errors.New("resync: canceled")
+
+// Run compares local against the whole remote device and repairs
+// remote blocks that differ. local is the source of truth.
 func Run(local block.Store, remote *iscsi.Initiator, cfg Config) (Stats, error) {
+	return RunRanges(local, remote, cfg, block.Range{Start: 0, Count: local.NumBlocks()})
+}
+
+// RunRanges is Run restricted to the given LBA runs — the incremental
+// repair path. Fed from Engine.DirtyRanges it heals a replica after a
+// drop, divergence, or outage by scanning only the blocks the primary
+// knows are suspect, instead of the whole device. Ranges are
+// normalized (sorted, merged, clamped to the device) first; an empty
+// set is a successful no-op.
+func RunRanges(local block.Store, remote *iscsi.Initiator, cfg Config, ranges ...block.Range) (stats Stats, err error) {
 	cfg = cfg.withDefaults()
-	var stats Stats
+	defer func() {
+		stats.WireBytes = int64(wan.WireBytesDiscrete(int(stats.HashBytes))) +
+			int64(wan.WireBytesDiscrete(int(stats.DataBytes)))
+	}()
 
 	if remote.BlockSize() != local.BlockSize() || remote.NumBlocks() < local.NumBlocks() {
 		return stats, fmt.Errorf("%w: local %dx%d, remote %dx%d", ErrGeometry,
@@ -70,42 +92,46 @@ func Run(local block.Store, remote *iscsi.Initiator, cfg Config) (Stats, error) 
 
 	bs := local.BlockSize()
 	buf := make([]byte, bs)
-	total := local.NumBlocks()
-	for base := uint64(0); base < total; base += uint64(cfg.Batch) {
-		count := uint32(total - base)
-		if count > cfg.Batch {
-			count = cfg.Batch
-		}
-		remoteHashes, err := remote.ReadHashes(base, count)
-		if err != nil {
-			return stats, fmt.Errorf("resync: fetch hashes at %d: %w", base, err)
-		}
-		if len(remoteHashes) != int(count) {
-			return stats, fmt.Errorf("resync: got %d hashes for %d blocks", len(remoteHashes), count)
-		}
-		stats.HashBytes += int64(count) * iscsi.HashSize
+	for _, r := range block.NormalizeRanges(ranges, local.NumBlocks()) {
+		for base := r.Start; base < r.End(); base += uint64(cfg.Batch) {
+			select {
+			case <-cfg.Cancel:
+				return stats, ErrCanceled
+			default:
+			}
+			count := uint32(cfg.Batch)
+			if left := r.End() - base; left < uint64(count) {
+				count = uint32(left)
+			}
+			remoteHashes, err := remote.ReadHashes(base, count)
+			if err != nil {
+				return stats, fmt.Errorf("resync: fetch hashes at %d: %w", base, err)
+			}
+			if len(remoteHashes) != int(count) {
+				return stats, fmt.Errorf("resync: got %d hashes for %d blocks", len(remoteHashes), count)
+			}
+			stats.HashBytes += int64(count) * iscsi.HashSize
 
-		for i := uint32(0); i < count; i++ {
-			lba := base + uint64(i)
-			if err := local.ReadBlock(lba, buf); err != nil {
-				return stats, fmt.Errorf("resync: local read %d: %w", lba, err)
+			for i := uint32(0); i < count; i++ {
+				lba := base + uint64(i)
+				if err := local.ReadBlock(lba, buf); err != nil {
+					return stats, fmt.Errorf("resync: local read %d: %w", lba, err)
+				}
+				stats.BlocksScanned++
+				if iscsi.HashBlock(buf) == remoteHashes[i] {
+					continue
+				}
+				stats.BlocksRepaired++
+				if cfg.DryRun {
+					continue
+				}
+				if err := remote.WriteBlock(lba, buf); err != nil {
+					return stats, fmt.Errorf("resync: repair %d: %w", lba, err)
+				}
+				stats.DataBytes += int64(bs)
 			}
-			stats.BlocksScanned++
-			if iscsi.HashBlock(buf) == remoteHashes[i] {
-				continue
-			}
-			stats.BlocksRepaired++
-			if cfg.DryRun {
-				continue
-			}
-			if err := remote.WriteBlock(lba, buf); err != nil {
-				return stats, fmt.Errorf("resync: repair %d: %w", lba, err)
-			}
-			stats.DataBytes += int64(bs)
 		}
 	}
-	stats.WireBytes = int64(wan.WireBytesDiscrete(int(stats.HashBytes))) +
-		int64(wan.WireBytesDiscrete(int(stats.DataBytes)))
 	return stats, nil
 }
 

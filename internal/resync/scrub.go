@@ -1,0 +1,165 @@
+package resync
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"prins/internal/block"
+	"prins/internal/iscsi"
+	"prins/internal/metrics"
+)
+
+// Scrubber continuously audits a replica against the authoritative
+// local store: it walks the device in ReadHashes batches, compares
+// content hashes, and rewrites any block that differs — catching the
+// divergence the write path's verified apply cannot see (bit rot,
+// torn writes on un-journaled replicas, blocks diverged while no
+// write touched them). It is the proactive counterpart of the
+// reactive dirty-range repair.
+//
+// Scrubbing is rate limited: the configured pause is slept between
+// batches so a scrub pass trickles along under live replication
+// instead of monopolizing the session.
+type Scrubber struct {
+	local  block.Store
+	remote *iscsi.Initiator
+	cfg    Config
+	pause  time.Duration
+
+	// Sleep is the injectable pause hook; tests replace it to run
+	// passes instantly. Defaults to time.Sleep.
+	Sleep func(time.Duration)
+
+	m metrics.Scrub
+
+	mu     sync.Mutex
+	stop   chan struct{}
+	done   chan struct{}
+	runErr error
+}
+
+// NewScrubber builds a scrubber over an established replica session.
+// pause is slept between hash batches (zero disables rate limiting);
+// cfg tunes batch size exactly as for Run.
+func NewScrubber(local block.Store, remote *iscsi.Initiator, cfg Config, pause time.Duration) *Scrubber {
+	return &Scrubber{
+		local:  local,
+		remote: remote,
+		cfg:    cfg,
+		pause:  pause,
+		Sleep:  time.Sleep,
+	}
+}
+
+// Metrics returns a snapshot of the scrub counters.
+func (s *Scrubber) Metrics() metrics.ScrubSnapshot { return s.m.Snapshot() }
+
+// Pass runs one full scrub of the device, repairing every diverged
+// block, and records the work in the scrub counters. It honours
+// cfg.Cancel (and Stop, while running in the background) between
+// batches.
+func (s *Scrubber) Pass() (Stats, error) {
+	cfg := s.cfg.withDefaults()
+	var stats Stats
+	total := s.local.NumBlocks()
+
+	for base := uint64(0); base < total; base += uint64(cfg.Batch) {
+		if s.canceled(cfg.Cancel) {
+			return stats, ErrCanceled
+		}
+		count := uint32(cfg.Batch)
+		if left := total - base; left < uint64(count) {
+			count = uint32(left)
+		}
+		batch, err := RunRanges(s.local, s.remote, Config{Batch: cfg.Batch, DryRun: cfg.DryRun},
+			block.Range{Start: base, Count: uint64(count)})
+		stats.BlocksScanned += batch.BlocksScanned
+		stats.BlocksRepaired += batch.BlocksRepaired
+		stats.HashBytes += batch.HashBytes
+		stats.DataBytes += batch.DataBytes
+		stats.WireBytes += batch.WireBytes
+		s.m.AddScanned(int64(batch.BlocksScanned))
+		s.m.AddDiverged(int64(batch.BlocksRepaired))
+		if !cfg.DryRun {
+			s.m.AddRepaired(int64(batch.BlocksRepaired))
+		}
+		if err != nil {
+			return stats, err
+		}
+		if s.pause > 0 {
+			s.Sleep(s.pause)
+		}
+	}
+	s.m.AddPass()
+	return stats, nil
+}
+
+// canceled reports whether cfg.Cancel or Stop fired.
+func (s *Scrubber) canceled(cancel <-chan struct{}) bool {
+	s.mu.Lock()
+	stop := s.stop
+	s.mu.Unlock()
+	select {
+	case <-cancel:
+		return true
+	default:
+	}
+	if stop != nil {
+		select {
+		case <-stop:
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+// Start launches the background scrub loop: one Pass every interval
+// until Stop. Calling Start on a running scrubber is a no-op.
+func (s *Scrubber) Start(interval time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	s.stop, s.done = stop, done
+
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				if _, err := s.Pass(); err != nil && !errors.Is(err, ErrCanceled) {
+					s.mu.Lock()
+					s.runErr = err
+					s.mu.Unlock()
+					return
+				}
+			}
+		}
+	}()
+}
+
+// Stop halts the background loop and waits for it to exit, returning
+// the error that terminated it early, if any.
+func (s *Scrubber) Stop() error {
+	s.mu.Lock()
+	stop, done := s.stop, s.done
+	s.stop, s.done = nil, nil
+	s.mu.Unlock()
+	if stop == nil {
+		return nil
+	}
+	close(stop)
+	<-done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runErr
+}

@@ -1,0 +1,121 @@
+package resync
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"prins/internal/block"
+)
+
+func TestScrubberPassRepairsAndCounts(t *testing.T) {
+	const (
+		bs    = 512
+		nb    = 128
+		batch = 32
+	)
+	local, replica := seededPair(t, bs, nb, 8, []uint64{2, 33, 34, 90, 127})
+	remote := remoteFor(t, replica, "r")
+
+	s := NewScrubber(local, remote, Config{Batch: batch}, time.Millisecond)
+	var sleeps int
+	s.Sleep = func(time.Duration) { sleeps++ }
+
+	stats, err := s.Pass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BlocksScanned != nb || stats.BlocksRepaired != 5 {
+		t.Fatalf("pass scanned=%d repaired=%d, want %d/5", stats.BlocksScanned, stats.BlocksRepaired, nb)
+	}
+	if sleeps != nb/batch {
+		t.Errorf("rate-limit pauses = %d, want %d (one per batch)", sleeps, nb/batch)
+	}
+	if eq, _ := block.Equal(local, replica); !eq {
+		t.Fatal("scrub pass left divergence")
+	}
+	m := s.Metrics()
+	if m.Passes != 1 || m.Scanned != nb || m.Diverged != 5 || m.Repaired != 5 {
+		t.Errorf("metrics = %+v", m)
+	}
+
+	// A clean device scrubs clean; counters accumulate across passes.
+	stats, err = s.Pass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BlocksRepaired != 0 {
+		t.Errorf("second pass repaired %d blocks", stats.BlocksRepaired)
+	}
+	m = s.Metrics()
+	if m.Passes != 2 || m.Scanned != 2*nb || m.Diverged != 5 || m.Repaired != 5 {
+		t.Errorf("metrics after second pass = %+v", m)
+	}
+}
+
+func TestScrubberDryRunAudits(t *testing.T) {
+	local, replica := seededPair(t, 512, 64, 9, []uint64{10, 40})
+	remote := remoteFor(t, replica, "r")
+
+	s := NewScrubber(local, remote, Config{DryRun: true}, 0)
+	stats, err := s.Pass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BlocksRepaired != 2 || stats.DataBytes != 0 {
+		t.Fatalf("dry pass = %+v", stats)
+	}
+	m := s.Metrics()
+	if m.Diverged != 2 || m.Repaired != 0 {
+		t.Errorf("dry-run metrics = %+v; divergence should count, repairs should not", m)
+	}
+	if eq, _ := block.Equal(local, replica); eq {
+		t.Error("dry-run scrub repaired the replica")
+	}
+}
+
+func TestScrubberCancel(t *testing.T) {
+	local, replica := seededPair(t, 512, 64, 10, nil)
+	remote := remoteFor(t, replica, "r")
+
+	cancel := make(chan struct{})
+	close(cancel)
+	s := NewScrubber(local, remote, Config{Cancel: cancel}, 0)
+	if _, err := s.Pass(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if m := s.Metrics(); m.Passes != 0 {
+		t.Errorf("canceled pass counted as complete: %+v", m)
+	}
+}
+
+func TestScrubberStartStop(t *testing.T) {
+	local, replica := seededPair(t, 512, 32, 11, []uint64{7})
+	remote := remoteFor(t, replica, "r")
+
+	s := NewScrubber(local, remote, Config{}, 0)
+	s.Start(time.Millisecond)
+	s.Start(time.Millisecond) // no-op on a running scrubber
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Metrics().Passes == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	if err := s.Stop(); err != nil { // idempotent
+		t.Fatalf("second Stop: %v", err)
+	}
+
+	m := s.Metrics()
+	if m.Passes == 0 {
+		t.Fatal("background scrub never completed a pass")
+	}
+	if m.Repaired == 0 {
+		t.Error("background scrub did not repair the diverged block")
+	}
+	if eq, _ := block.Equal(local, replica); !eq {
+		t.Error("replica diverged after background scrub")
+	}
+}

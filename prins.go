@@ -9,6 +9,7 @@ import (
 	"prins/internal/block"
 	"prins/internal/core"
 	"prins/internal/iscsi"
+	"prins/internal/journal"
 	"prins/internal/resync"
 	"prins/internal/xcode"
 )
@@ -102,6 +103,12 @@ type Config struct {
 	// replica, then ClearDegraded. When false (default), a failed push
 	// fails the write (sync) or surfaces on Drain (async).
 	AllowDegraded bool
+	// DisableVerify turns off end-to-end verification of replica
+	// applies. By default every push carries the content hash of the
+	// new block and a replica refuses an apply whose recovered block
+	// does not match; the primary marks the block dirty and repairs it
+	// with an incremental resync (see DirtyRanges).
+	DisableVerify bool
 }
 
 // Stats is a point-in-time snapshot of a Primary's replication
@@ -132,6 +139,9 @@ type Stats struct {
 	Retries int64
 	// Dropped counts frames abandoned because a replica was degraded.
 	Dropped int64
+	// Diverged counts applies a replica refused because the recovered
+	// block failed hash verification (detected corruption).
+	Diverged int64
 }
 
 // Primary is the primary-side replication engine over a local Store.
@@ -142,6 +152,14 @@ type Primary struct {
 	target    *iscsi.Target
 	conns     []*iscsi.Initiator
 	resilient []*resync.ResilientClient
+	scrubs    []*scrubSession
+}
+
+// scrubSession pairs a background scrubber with the dedicated replica
+// session it audits over.
+type scrubSession struct {
+	conn *iscsi.Initiator
+	s    *resync.Scrubber
 }
 
 var _ Store = (*Primary)(nil)
@@ -165,6 +183,7 @@ func NewPrimary(local Store, cfg Config) (*Primary, error) {
 			Backoff:  cfg.RetryBackoff,
 		},
 		AllowDegraded: cfg.AllowDegraded,
+		DisableVerify: cfg.DisableVerify,
 	})
 	if err != nil {
 		return nil, err
@@ -258,6 +277,88 @@ func (p *Primary) Degraded() bool { return p.engine.Degraded() }
 // degraded replica — how far behind the worst replica is.
 func (p *Primary) ReplicaLag() int64 { return p.engine.ReplicaLag() }
 
+// Range is a contiguous run of blocks [Start, Start+Count).
+type Range struct {
+	Start uint64
+	Count uint64
+}
+
+// DirtyRanges returns the merged runs of blocks replica i (attach
+// order) is not known to hold correctly — dropped while degraded,
+// failed past the retry budget, or refused as diverged. Repair them
+// with ResyncRanges and then forget them with ClearDirty.
+func (p *Primary) DirtyRanges(i int) []Range {
+	rs := p.engine.DirtyRanges(i)
+	out := make([]Range, len(rs))
+	for j, r := range rs {
+		out[j] = Range{Start: r.Start, Count: r.Count}
+	}
+	return out
+}
+
+// ClearDirty forgets the given dirty runs of replica i after they have
+// been repaired; with no runs it forgets all of them.
+func (p *Primary) ClearDirty(i int, ranges ...Range) {
+	p.engine.ClearDirty(i, toBlockRanges(ranges)...)
+}
+
+func toBlockRanges(ranges []Range) []block.Range {
+	out := make([]block.Range, len(ranges))
+	for i, r := range ranges {
+		out[i] = block.Range{Start: r.Start, Count: r.Count}
+	}
+	return out
+}
+
+// ScrubStats is a snapshot of one background scrubber's counters.
+type ScrubStats struct {
+	// Passes is how many full device scrubs have completed.
+	Passes int64
+	// Scanned is how many blocks have been hash-compared.
+	Scanned int64
+	// Diverged is how many blocks were found differing.
+	Diverged int64
+	// Repaired is how many diverged blocks were rewritten.
+	Repaired int64
+}
+
+// StartScrub launches a background scrubber against the replica
+// export at addr: every interval it walks the whole device comparing
+// content hashes and rewrites any block that differs, pausing for
+// pause between hash batches so the audit trickles along under live
+// replication. The scrubber uses its own session and is stopped by
+// Close.
+func (p *Primary) StartScrub(addr, exportName string, interval, pause time.Duration) error {
+	conn, err := iscsi.Dial(addr)
+	if err != nil {
+		return err
+	}
+	if err := conn.Login(exportName); err != nil {
+		_ = conn.Close()
+		return err
+	}
+	s := resync.NewScrubber(p.engine, conn, resync.Config{}, pause)
+	s.Start(interval)
+	p.scrubs = append(p.scrubs, &scrubSession{conn: conn, s: s})
+	return nil
+}
+
+// ScrubStats reports each running scrubber's counters, in StartScrub
+// order.
+func (p *Primary) ScrubStats() []ScrubStats {
+	out := make([]ScrubStats, len(p.scrubs))
+	for i, sc := range p.scrubs {
+		m := sc.s.Metrics()
+		out[i] = ScrubStats{
+			Passes:   m.Passes,
+			Scanned:  m.Scanned,
+			Diverged: m.Diverged,
+			Repaired: m.Repaired,
+		}
+	}
+	return out
+}
+
 // ClearDegraded re-admits all replicas to live replication, zeroes
 // their lag, and forgets any sticky asynchronous delivery error so a
 // healed Primary drains cleanly again. Call it only after quiescing
@@ -285,6 +386,9 @@ type ReplicaStat struct {
 	// Lag is how many frames behind this replica currently is; zeroed
 	// by ClearDegraded after a resync.
 	Lag int64
+	// Diverged counts applies this replica refused after hash
+	// verification failed; the refused blocks are in DirtyRanges.
+	Diverged int64
 }
 
 // ReplicaStats reports each attached replica's state in attach order.
@@ -300,6 +404,7 @@ func (p *Primary) ReplicaStats() []ReplicaStat {
 			Retries:      rs.Metrics.Retries,
 			Dropped:      rs.Metrics.Dropped,
 			Lag:          rs.Metrics.Lag,
+			Diverged:     rs.Metrics.Diverged,
 		}
 	}
 	return out
@@ -321,13 +426,22 @@ func (p *Primary) Stats() Stats {
 		MeanChangedFraction: p.engine.Density().Mean(),
 		Retries:             s.Retries,
 		Dropped:             s.Dropped,
+		Diverged:            s.Diverged,
 	}
 }
 
-// Close drains replication, stops serving, and closes replica
-// connections. The local store remains open (the caller owns it).
+// Close drains replication, stops the scrubbers, stops serving, and
+// closes replica connections. The local store remains open (the
+// caller owns it).
 func (p *Primary) Close() error {
 	err := p.engine.Close()
+	for _, sc := range p.scrubs {
+		if serr := sc.s.Stop(); err == nil {
+			err = serr
+		}
+		_ = sc.conn.Close()
+	}
+	p.scrubs = nil
 	if p.target != nil {
 		if cerr := p.target.Close(); err == nil {
 			err = cerr
@@ -351,11 +465,32 @@ func (p *Primary) Close() error {
 type Replica struct {
 	engine *core.ReplicaEngine
 	target *iscsi.Target
+	jrnl   *journal.Journal
 }
 
-// NewReplica wraps local as a replication target.
+// NewReplica wraps local as a replication target. Applies are not
+// crash-safe; see NewReplicaJournaled.
 func NewReplica(local Store) *Replica {
 	return &Replica{engine: core.NewReplicaEngine(local)}
+}
+
+// NewReplicaJournaled wraps local as a replication target whose
+// applies go through a crash-safe intent journal at journalPath: the
+// decoded new block is persisted before the in-place write, so a
+// write torn by a crash is replayed — here, on reopen — instead of
+// leaving a block that is neither old nor new (fatal under PRINS's
+// XOR recovery).
+func NewReplicaJournaled(local Store, journalPath string) (*Replica, error) {
+	jrnl, err := journal.OpenFile(journalPath)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := core.NewReplicaEngineJournaled(local, jrnl)
+	if err != nil {
+		_ = jrnl.Close()
+		return nil, err
+	}
+	return &Replica{engine: engine, jrnl: jrnl}, nil
 }
 
 // Serve exposes the replica on the network: primaries replicate to it
@@ -376,12 +511,24 @@ func (r *Replica) AppliedWrites() int64 {
 	return r.engine.Traffic().Snapshot().ReplicaWrites
 }
 
-// Close stops serving.
+// Diverged returns how many pushes the replica refused because the
+// recovered block failed hash verification.
+func (r *Replica) Diverged() int64 {
+	return r.engine.Traffic().Snapshot().Diverged
+}
+
+// Close stops serving and releases the journal, if any.
 func (r *Replica) Close() error {
+	var err error
 	if r.target != nil {
-		return r.target.Close()
+		err = r.target.Close()
 	}
-	return nil
+	if r.jrnl != nil {
+		if jerr := r.jrnl.Close(); err == nil {
+			err = jerr
+		}
+	}
+	return err
 }
 
 // RemoteStore is a Store mounted from a remote node plus session
