@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench fuzz chaos lint check repro examples fmt vet clean
+.PHONY: all build test race bench bench-json fuzz chaos lint check repro examples fmt vet clean
 
 # How long each fuzzer runs under `make fuzz` / `make check`.
 FUZZTIME ?= 10s
@@ -19,11 +19,23 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Machine-readable report for the replication-batching benches: runs
+# the batching/coalescing/counting benchmarks and converts the output
+# to BENCH_batch.json via cmd/benchjson. CI smoke-runs this with
+# BENCHTIME=1x; use the default for numbers worth comparing.
+BENCHTIME ?= 100x
+bench-json:
+	$(GO) test -run='^$$' -bench='BatchShip|AblationCoalesce' -benchtime=$(BENCHTIME) . \
+		| $(GO) run ./cmd/benchjson -out BENCH_batch.json
+	$(GO) test -run='^$$' -bench='NonZeroBytes' -benchtime=$(BENCHTIME) ./internal/parity \
+		| $(GO) run ./cmd/benchjson -out BENCH_nonzero.json
+
 # Short fuzz passes over the wire-facing decoders, seeded from the
 # checked-in corpora (regenerate with PRINS_REGEN_CORPUS=1 go test
 # -run TestRegenerateFuzzCorpus ./internal/core).
 fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzReadPDU$$' -fuzztime=$(FUZZTIME) ./internal/iscsi
+	$(GO) test -run='^$$' -fuzz='^FuzzDecodeBatch$$' -fuzztime=$(FUZZTIME) ./internal/iscsi
 	$(GO) test -run='^$$' -fuzz='^FuzzDecode$$' -fuzztime=$(FUZZTIME) ./internal/xcode
 
 # The fault-injection suites under the race detector: connection and

@@ -1,0 +1,128 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON report. Input lines pass through to stdout
+// unchanged, so it can sit at the end of a pipe without hiding the
+// human-readable results:
+//
+//	go test -bench=BatchShip . | go run ./cmd/benchjson -out BENCH_batch.json
+//
+// The report captures the environment header (goos, goarch, pkg, cpu)
+// and, per benchmark, the iteration count and every value/unit metric
+// pair — both the standard ns/op style metrics and the custom ones
+// emitted with b.ReportMetric (writes/s, frames/batch, ratio, ...).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one result line of `go test -bench` output.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the whole run: the environment header lines plus every
+// benchmark result, in input order.
+type Report struct {
+	Env        map[string]string `json:"env,omitempty"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "file to write the JSON report to (empty = stdout only)")
+	flag.Parse()
+
+	report, err := parse(os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		if _, err := os.Stdout.Write(enc); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(report.Benchmarks), *out)
+}
+
+// parse reads `go test -bench` output from r, echoing every line to
+// echo, and returns the structured report. Unrecognized lines (PASS,
+// ok, test log output) are passed through and otherwise ignored.
+func parse(r io.Reader, echo io.Writer) (*Report, error) {
+	report := &Report{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(echo, line)
+		if env, ok := parseEnvLine(line); ok {
+			if report.Env == nil {
+				report.Env = map[string]string{}
+			}
+			for k, v := range env {
+				report.Env[k] = v
+			}
+			continue
+		}
+		if b, ok := parseBenchLine(line); ok {
+			report.Benchmarks = append(report.Benchmarks, b)
+		}
+	}
+	return report, sc.Err()
+}
+
+// envKeys are the header lines `go test -bench` prints before results.
+var envKeys = map[string]bool{"goos": true, "goarch": true, "pkg": true, "cpu": true}
+
+func parseEnvLine(line string) (map[string]string, bool) {
+	key, val, ok := strings.Cut(line, ": ")
+	if !ok || !envKeys[key] {
+		return nil, false
+	}
+	return map[string]string{key: strings.TrimSpace(val)}, true
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkBatchShip/frames-64-8   300   67433 ns/op   61.78 frames/batch
+//
+// i.e. name, iteration count, then value/unit pairs.
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: prins
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkBatchShip/frames-1-8         	     300	   2282801 ns/op	       438.1 writes/s
+BenchmarkBatchShip/frames-64-8        	     300	     67433 ns/op	        61.78 frames/batch	     14830 writes/s
+some test log line
+PASS
+ok  	prins	1.936s
+`
+
+func TestParse(t *testing.T) {
+	var echo bytes.Buffer
+	report, err := parse(strings.NewReader(sample), &echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pass-through: every input line reaches the echo writer verbatim.
+	if echo.String() != sample {
+		t.Error("echoed output differs from input")
+	}
+
+	if got, want := report.Env["goos"], "linux"; got != want {
+		t.Errorf("env goos = %q, want %q", got, want)
+	}
+	if got, want := report.Env["cpu"], "Intel(R) Xeon(R) Processor @ 2.70GHz"; got != want {
+		t.Errorf("env cpu = %q, want %q", got, want)
+	}
+
+	if len(report.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(report.Benchmarks))
+	}
+	b := report.Benchmarks[1]
+	if b.Name != "BenchmarkBatchShip/frames-64-8" {
+		t.Errorf("name = %q", b.Name)
+	}
+	if b.Iterations != 300 {
+		t.Errorf("iterations = %d, want 300", b.Iterations)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 67433, "frames/batch": 61.78, "writes/s": 14830,
+	} {
+		if got := b.Metrics[unit]; got != want {
+			t.Errorf("metric %s = %v, want %v", unit, got, want)
+		}
+	}
+}
+
+func TestParseIgnoresMalformedLines(t *testing.T) {
+	in := strings.Join([]string{
+		"BenchmarkNoIterations",           // too few fields
+		"BenchmarkBadCount abc 5 ns/op",   // non-numeric count
+		"BenchmarkBadValue 10 five ns/op", // non-numeric value
+		"NotABenchmark 10 5 ns/op",        // wrong prefix
+		"BenchmarkGood 10 5 ns/op",        // valid
+		"",
+	}, "\n")
+	report, err := parse(strings.NewReader(in), &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Benchmarks) != 1 || report.Benchmarks[0].Name != "BenchmarkGood" {
+		t.Errorf("benchmarks = %+v, want just BenchmarkGood", report.Benchmarks)
+	}
+}

@@ -49,6 +49,8 @@ func run(args []string) error {
 		statsEvery = fs.Duration("stats", 30*time.Second, "stats logging interval (0 = off)")
 
 		queueDepth    = fs.Int("queue-depth", 256, "ship queue depth per replica")
+		batchFrames   = fs.Int("batch-frames", 32, "max frames drained into one batched push (1 = no batching)")
+		batchBytes    = fs.Int("batch-bytes", 1<<20, "soft cap on batched frame payload bytes per push")
 		retryAttempts = fs.Int("retry-attempts", 3, "replication push attempts before giving up on a replica")
 		retryTimeout  = fs.Duration("retry-timeout", 10*time.Second, "per-attempt replication timeout (0 = none)")
 		retryBackoff  = fs.Duration("retry-backoff", 250*time.Millisecond, "base backoff between push attempts, doubled with jitter")
@@ -109,6 +111,8 @@ func run(args []string) error {
 			RetryBackoff:  *retryBackoff,
 			AllowDegraded: *degraded,
 			DisableVerify: *noVerify,
+			BatchFrames:   *batchFrames,
+			BatchBytes:    *batchBytes,
 		})
 		if err != nil {
 			return err

@@ -24,6 +24,18 @@ type ReplicaClient interface {
 
 var _ ReplicaClient = (*iscsi.Initiator)(nil)
 
+// BatchReplicaClient is the optional batching extension of
+// ReplicaClient: ship several frames in one round trip and get one
+// status per entry back, so a single diverged block cannot fail its
+// batch-mates. iscsi.Initiator and Loopback implement it; the pipeline
+// falls back to single-frame shipping for clients that don't.
+type BatchReplicaClient interface {
+	ReplicaClient
+	ReplicaWriteBatch(mode uint8, entries []iscsi.BatchEntry) ([]iscsi.Status, error)
+}
+
+var _ BatchReplicaClient = (*iscsi.Initiator)(nil)
+
 // ParityWriter is the optional fast path a RAID array provides: a
 // write that returns the forward parity it computed anyway while
 // updating the parity disk. When the primary store implements it and
@@ -70,6 +82,21 @@ type Config struct {
 	// (the default) delivery failures surface as write errors (sync
 	// mode) or on Drain (async mode), as they always have.
 	AllowDegraded bool
+	// BatchFrames caps how many queued frames one shipper delivery may
+	// carry in a single batched wire PDU. The shipper drains
+	// opportunistically: whatever is queued when it wakes (up to the
+	// caps) goes out as one batch, so an idle pipeline still ships each
+	// frame immediately and it is backlog — WAN latency, bursts — that
+	// forms batches. Zero means the default (32); 1 disables batching
+	// entirely (every frame ships as a single-frame op, byte-identical
+	// to the pre-batching wire format). Ignored for replica clients
+	// that do not implement BatchReplicaClient.
+	BatchFrames int
+	// BatchBytes soft-caps the encoded payload bytes of one batch:
+	// draining stops once the accumulated frames reach it (the frame
+	// that crosses the line still rides along). Zero means the default
+	// (1 MiB).
+	BatchBytes int
 	// DisableVerify turns off content-hash verification of replica
 	// applies. By default every shipped frame carries the hash of the
 	// decoded new block and the replica refuses (StatusDiverged) an
@@ -85,6 +112,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 256
+	}
+	if c.BatchFrames == 0 {
+		c.BatchFrames = 32
+	}
+	if c.BatchFrames < 1 {
+		c.BatchFrames = 1
+	}
+	if c.BatchFrames > iscsi.MaxBatchFrames {
+		c.BatchFrames = iscsi.MaxBatchFrames
+	}
+	if c.BatchBytes <= 0 {
+		c.BatchBytes = 1 << 20
 	}
 	return c
 }
@@ -171,6 +210,11 @@ func (e *Engine) AttachReplica(rc ReplicaClient) {
 		client: rc,
 		queue:  make(chan repMsg, e.cfg.QueueDepth),
 		dirty:  newDirtyMap(),
+	}
+	if e.cfg.BatchFrames > 1 {
+		if bc, ok := rc.(BatchReplicaClient); ok {
+			rs.batch = bc
+		}
 	}
 	e.replicas = append(e.replicas, rs)
 	e.shippers.Add(1)

@@ -3,12 +3,15 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"prins/internal/iscsi"
 	"prins/internal/metrics"
+	"prins/internal/parity"
 	"prins/internal/wan"
+	"prins/internal/xcode"
 )
 
 // Per-replica ship pipelines.
@@ -42,9 +45,13 @@ type repMsg struct {
 // the shipper races with ClearDegraded and the Degraded accessors.
 type replicaState struct {
 	client ReplicaClient
-	queue  chan repMsg
-	m      metrics.Replica
-	dirty  *dirtyMap
+	// batch is client's batching extension when it has one and
+	// Config.BatchFrames allows batching; nil keeps the single-frame
+	// ship path.
+	batch BatchReplicaClient
+	queue chan repMsg
+	m     metrics.Replica
+	dirty *dirtyMap
 
 	degraded atomic.Bool
 
@@ -115,12 +122,12 @@ func (e *Engine) shipper(rs *replicaState) {
 	for {
 		select {
 		case msg := <-rs.queue:
-			e.process(rs, msg)
+			e.deliver(rs, msg)
 		case <-e.done:
 			for {
 				select {
 				case msg := <-rs.queue:
-					e.process(rs, msg)
+					e.deliver(rs, msg)
 				default:
 					return
 				}
@@ -129,11 +136,29 @@ func (e *Engine) shipper(rs *replicaState) {
 	}
 }
 
+// deliver routes one dequeued message: the batching path drains the
+// queue behind it into one wire PDU; clients without batching support
+// keep the original single-frame path.
+func (e *Engine) deliver(rs *replicaState, msg repMsg) {
+	if rs.batch == nil {
+		e.process(rs, msg)
+		return
+	}
+	e.processBatch(rs, e.drainBatch(rs, msg))
+}
+
 // process handles one queued frame for one replica: deliver (or drop
 // if degraded), account, then report — to the waiting writer in sync
 // mode, to the sticky per-replica error in async mode.
 func (e *Engine) process(rs *replicaState, msg repMsg) {
-	err := e.shipTo(rs, msg.seq, msg.lba, msg.hash, msg.frame.buf)
+	e.finish(rs, msg, e.shipTo(rs, msg.seq, msg.lba, msg.hash, msg.frame.buf))
+}
+
+// finish settles one queued message exactly once: report the delivery
+// result (to the waiting writer in sync mode, to the sticky
+// per-replica error in async mode), release its frame reference, and
+// retire it from the pending count.
+func (e *Engine) finish(rs *replicaState, msg repMsg, err error) {
 	if msg.ack != nil {
 		msg.ack <- err
 	} else if err != nil {
@@ -141,6 +166,241 @@ func (e *Engine) process(rs *replicaState, msg repMsg) {
 	}
 	msg.frame.release(1)
 	rs.pending.Done()
+}
+
+// drainBatch opportunistically drains rs's queue behind first, up to
+// the configured frame/byte caps, without ever blocking: batches form
+// only from backlog already sitting in the queue, so an idle pipeline
+// keeps single-write latency while a pipeline behind a slow link
+// amortizes its round trips over everything that queued up meanwhile.
+func (e *Engine) drainBatch(rs *replicaState, first repMsg) []repMsg {
+	msgs := []repMsg{first}
+	bytes := len(first.frame.buf)
+	for len(msgs) < e.cfg.BatchFrames && bytes < e.cfg.BatchBytes {
+		select {
+		case msg := <-rs.queue:
+			msgs = append(msgs, msg)
+			bytes += len(msg.frame.buf)
+		default:
+			return msgs
+		}
+	}
+	return msgs
+}
+
+// batchGroup is one wire entry of a drained batch plus the queued
+// messages it settles: more than one when same-LBA parities were
+// XOR-merged into a single frame.
+type batchGroup struct {
+	entry iscsi.BatchEntry
+	msgs  []repMsg
+}
+
+func singleGroup(m repMsg) batchGroup {
+	return batchGroup{
+		entry: iscsi.BatchEntry{Seq: m.seq, LBA: m.lba, Hash: m.hash, Frame: m.frame.buf},
+		msgs:  []repMsg{m},
+	}
+}
+
+func plainGroups(msgs []repMsg) []batchGroup {
+	groups := make([]batchGroup, 0, len(msgs))
+	for _, m := range msgs {
+		groups = append(groups, singleGroup(m))
+	}
+	return groups
+}
+
+// processBatch delivers one drained batch: coalesce same-LBA PRINS
+// parities, ship the entries in one round trip, then settle every
+// message from its own entry's status — one diverged block marks its
+// LBA dirty without failing its batch-mates. A batch of one takes the
+// plain single-frame path, which on the wire is the v3 OpReplicaWrite
+// PDU, byte-identical to pre-batching shipping.
+func (e *Engine) processBatch(rs *replicaState, msgs []repMsg) {
+	e.traffic.ObserveBatch(len(msgs))
+	if len(msgs) == 1 {
+		e.process(rs, msgs[0])
+		return
+	}
+	if rs.degraded.Load() {
+		for _, m := range msgs {
+			e.dropFrame(rs, m.lba)
+			e.finish(rs, m, nil)
+		}
+		return
+	}
+
+	groups := e.coalesce(msgs)
+	if merged := int64(len(msgs) - len(groups)); merged > 0 {
+		rs.m.AddCoalesced(merged)
+		e.traffic.AddCoalesced(merged)
+	}
+	entries := make([]iscsi.BatchEntry, len(groups))
+	for k, g := range groups {
+		entries[k] = g.entry
+	}
+
+	statuses, err := e.shipBatch(rs, entries)
+	if err != nil {
+		// Transport-level failure: the replica acknowledged nothing.
+		for _, g := range groups {
+			rs.dirty.mark(g.entry.LBA)
+		}
+		if e.cfg.AllowDegraded {
+			rs.degraded.Store(true)
+			for _, m := range msgs {
+				e.dropFrame(rs, m.lba)
+				e.finish(rs, m, nil)
+			}
+			return
+		}
+		werr := fmt.Errorf("core: replicate batch of %d: %w", len(entries), err)
+		for _, m := range msgs {
+			e.finish(rs, m, werr)
+		}
+		return
+	}
+
+	// Per-frame wire sizes must be read before any message is settled:
+	// finish releases each message's pooled frame, and a released
+	// frameBuf may be concurrently reused by a writer's getFrame.
+	var unbatched int64
+	for _, m := range msgs {
+		unbatched += int64(wan.WireBytesDiscrete(len(m.frame.buf)))
+	}
+
+	// The round trip succeeded; settle each entry on its own status.
+	// okMsgs counts settled source messages, not wire entries, so
+	// Replicated keeps the "logical pushes delivered" meaning the
+	// Replicated+Dropped accounting identity depends on.
+	var okMsgs int
+	var payload int64
+	for k, g := range groups {
+		switch statuses[k] {
+		case iscsi.StatusOK:
+			okMsgs += len(g.msgs)
+			payload += int64(len(g.entry.Frame))
+			for _, m := range g.msgs {
+				e.finish(rs, m, nil)
+			}
+		case iscsi.StatusDiverged:
+			// Detected corruption at one block: dirty-map it for a ranged
+			// resync; the write stays successful (see shipTo).
+			rs.dirty.mark(g.entry.LBA)
+			rs.m.AddDiverged()
+			e.traffic.AddDiverged()
+			for _, m := range g.msgs {
+				e.finish(rs, m, nil)
+			}
+		default:
+			rs.dirty.mark(g.entry.LBA)
+			if e.cfg.AllowDegraded {
+				rs.degraded.Store(true)
+				for _, m := range g.msgs {
+					e.dropFrame(rs, m.lba)
+					e.finish(rs, m, nil)
+				}
+				continue
+			}
+			werr := fmt.Errorf("core: replicate seq %d lba %d: %w",
+				g.entry.Seq, g.entry.LBA, iscsi.ReplicaStatusErr(g.entry.LBA, statuses[k]))
+			for _, m := range g.msgs {
+				e.finish(rs, m, werr)
+			}
+		}
+	}
+
+	// Batch wire accounting covers every entry the replica processed
+	// (matching the single-frame convention of modelling the data
+	// segment, not the PDU header); saved is measured against shipping
+	// each original frame as its own PDU, coalescing elisions included.
+	wire := int64(wan.WireBytesDiscrete(iscsi.BatchWireLen(entries)))
+	rs.m.AddBatch(okMsgs, payload, wire, unbatched-wire)
+	e.traffic.AddBatch(okMsgs, payload, wire, unbatched-wire)
+}
+
+// coalesce folds a drained batch into wire entries. In ModePRINS,
+// same-LBA parities XOR-merge into one frame — P'1 xor P'2 is the
+// combined delta of back-to-back writes — and the merged entry keeps
+// the LAST message's seq and hash: the hash describes the block after
+// the newest write, and the newest seq keeps the replica's dedupe
+// monotonic. Entries are then sorted by seq, because a merged entry
+// carries a later seq than frames queued after its first appearance;
+// shipping in first-appearance order could put that higher seq ahead
+// of a lower one and trip the replica's dedupe into silently dropping
+// a batch-mate. Other modes ship one entry per message unmerged (a
+// whole-block frame already supersedes its predecessors, and dropping
+// one would skip its ack).
+func (e *Engine) coalesce(msgs []repMsg) []batchGroup {
+	if e.cfg.Mode != ModePRINS {
+		return plainGroups(msgs)
+	}
+	groups := make([]batchGroup, 0, len(msgs))
+	idx := make(map[uint64]int, len(msgs)) // lba -> open group index
+	parities := make(map[int][]byte)       // group index -> decoded XOR accumulator
+	for _, m := range msgs {
+		gi, seen := idx[m.lba]
+		if !seen {
+			idx[m.lba] = len(groups)
+			groups = append(groups, singleGroup(m))
+			continue
+		}
+		acc := parities[gi]
+		if acc == nil {
+			dec, err := xcode.Decode(groups[gi].entry.Frame)
+			if err != nil {
+				// Unmergeable frame (cannot happen for frames we encoded
+				// ourselves); ship this message as its own entry — the
+				// replica applies same-LBA entries in seq order regardless.
+				idx[m.lba] = len(groups)
+				groups = append(groups, singleGroup(m))
+				continue
+			}
+			acc = dec
+		}
+		add, err := xcode.Decode(m.frame.buf)
+		if err != nil || len(add) != len(acc) || parity.XORInPlace(acc, add) != nil {
+			idx[m.lba] = len(groups)
+			groups = append(groups, singleGroup(m))
+			continue
+		}
+		parities[gi] = acc
+		g := &groups[gi]
+		g.entry.Seq, g.entry.Hash = m.seq, m.hash
+		g.msgs = append(g.msgs, m)
+	}
+	for gi, acc := range parities {
+		frame, err := xcode.EncodeBest(acc, e.cfg.Codecs...)
+		if err != nil {
+			// Cannot happen with a validated config; rather than ship a
+			// wrong frame, fall back to the uncoalesced batch.
+			return plainGroups(msgs)
+		}
+		groups[gi].entry.Frame = frame
+	}
+	sort.Slice(groups, func(a, b int) bool { return groups[a].entry.Seq < groups[b].entry.Seq })
+	return groups
+}
+
+// shipBatch performs the delivery attempts for one batch. Transport
+// failures retry the whole batch under the retry policy — entries the
+// replica already applied dedupe by seq and come back StatusOK, so
+// redelivery cannot double-XOR — while per-entry refusals ride the
+// returned status vector and are never retried here (a diverged entry
+// is deterministic corruption, not transient loss).
+func (e *Engine) shipBatch(rs *replicaState, entries []iscsi.BatchEntry) ([]iscsi.Status, error) {
+	for attempt := 1; ; attempt++ {
+		statuses, err := rs.batch.ReplicaWriteBatch(uint8(e.cfg.Mode), entries)
+		if err == nil || attempt >= e.retry.Attempts {
+			return statuses, err
+		}
+		rs.m.AddRetry()
+		e.traffic.AddRetry()
+		if d := e.retry.backoff(attempt); d > 0 {
+			e.retry.Sleep(d)
+		}
+	}
 }
 
 // shipTo delivers one frame to one replica under the retry policy. A

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -44,6 +45,7 @@ type ReplicaEngine struct {
 }
 
 var _ iscsi.Backend = (*ReplicaEngine)(nil)
+var _ iscsi.BatchBackend = (*ReplicaEngine)(nil)
 
 // NewReplicaEngine wraps the replica's local store with no journal;
 // applies are not crash-safe. Use NewReplicaEngineJournaled for the
@@ -214,6 +216,41 @@ func (r *ReplicaEngine) Apply(mode Mode, seq, lba, hash uint64, frame []byte) er
 	return nil
 }
 
+// ApplyBatch applies a batched push and returns one status per entry,
+// in the caller's order. Entries are walked in ascending seq order
+// through the same verify/journal Apply path as single pushes — the
+// primary ships batches seq-sorted already, so the stable re-sort is
+// normally a no-op — and each entry dedupes by seq exactly like a
+// retried single push: when a connection drops mid-batch and the whole
+// batch is redelivered, the already-applied prefix is acknowledged
+// instead of double-XORed. One refused entry (diverged, decode, store)
+// reports its own status without failing its batch-mates.
+func (r *ReplicaEngine) ApplyBatch(mode Mode, entries []iscsi.BatchEntry) []iscsi.Status {
+	order := make([]int, len(entries))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return entries[order[a]].Seq < entries[order[b]].Seq
+	})
+	statuses := make([]iscsi.Status, len(entries))
+	for _, k := range order {
+		e := entries[k]
+		if err := r.Apply(mode, e.Seq, e.LBA, e.Hash, e.Frame); err != nil {
+			statuses[k] = statusOf(err)
+		} else {
+			statuses[k] = iscsi.StatusOK
+		}
+	}
+	return statuses
+}
+
+// HandleReplicaBatch implements iscsi.BatchBackend: the wire entry
+// point for batched pushes from the primary's engine.
+func (r *ReplicaEngine) HandleReplicaBatch(mode uint8, entries []iscsi.BatchEntry) []iscsi.Status {
+	return r.ApplyBatch(Mode(mode), entries)
+}
+
 // Geometry implements iscsi.Backend.
 func (r *ReplicaEngine) Geometry() (int, uint64) {
 	return r.store.BlockSize(), r.store.NumBlocks()
@@ -267,8 +304,14 @@ type Loopback struct {
 }
 
 var _ ReplicaClient = (*Loopback)(nil)
+var _ BatchReplicaClient = (*Loopback)(nil)
 
 // ReplicaWrite implements ReplicaClient.
 func (l *Loopback) ReplicaWrite(mode uint8, seq, lba, hash uint64, frame []byte) error {
 	return l.Replica.Apply(Mode(mode), seq, lba, hash, frame)
+}
+
+// ReplicaWriteBatch implements BatchReplicaClient.
+func (l *Loopback) ReplicaWriteBatch(mode uint8, entries []iscsi.BatchEntry) ([]iscsi.Status, error) {
+	return l.Replica.ApplyBatch(Mode(mode), entries), nil
 }

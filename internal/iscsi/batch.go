@@ -1,0 +1,330 @@
+package iscsi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"time"
+)
+
+// Batch wire format (proto v4). The data segment of an
+// OpReplicaWriteBatch PDU is a count-prefixed sequence of replication
+// pushes, each the {seq, lba, hash, frame} tuple a single
+// OpReplicaWrite would have carried in its header and data segment:
+//
+//	off 0: count (uint32)
+//	then, per entry:
+//	  off +0 : seq      (uint64)
+//	  off +8 : lba      (uint64)
+//	  off +16: hash     (uint64)  content hash of the decoded new block
+//	  off +24: frameLen (uint32)
+//	  off +28: frame    (frameLen bytes, an xcode frame)
+//
+// The response is an OpResp whose data segment holds one status byte
+// per entry, in entry order, so a single diverged block reports its
+// own StatusDiverged without failing its batch-mates. The response's
+// header-level Status covers the transport/decode layer only.
+const (
+	// batchCountLen prefixes the data segment with the entry count.
+	batchCountLen = 4
+	// batchEntryLen is the fixed per-entry header: seq, lba, hash,
+	// frameLen.
+	batchEntryLen = 28
+	// MaxBatchFrames bounds the entries in one OpReplicaWriteBatch.
+	MaxBatchFrames = 4096
+)
+
+// BatchEntry is one replication push inside an OpReplicaWriteBatch:
+// the same seq/lba/hash/frame tuple ReplicaWrite ships one at a time.
+type BatchEntry struct {
+	Seq   uint64
+	LBA   uint64
+	Hash  uint64
+	Frame []byte
+}
+
+// BatchBackend is the optional batching extension of Backend. A target
+// hands a decoded batch to HandleReplicaBatch when the backend
+// implements it; otherwise it falls back to per-entry HandleReplica
+// calls, so an un-upgraded backend behind an upgraded target still
+// works. Implementations return exactly one status per entry, in
+// entry order.
+type BatchBackend interface {
+	Backend
+	HandleReplicaBatch(mode uint8, entries []BatchEntry) []Status
+}
+
+// batchDataLen validates entries against the protocol bounds and
+// returns the batch's data-segment length.
+func batchDataLen(entries []BatchEntry) (int, error) {
+	if len(entries) == 0 {
+		return 0, fmt.Errorf("iscsi: empty replica batch")
+	}
+	if len(entries) > MaxBatchFrames {
+		return 0, fmt.Errorf("%w: batch of %d entries", ErrTooLarge, len(entries))
+	}
+	n := batchCountLen
+	for _, e := range entries {
+		n += batchEntryLen + len(e.Frame)
+	}
+	if n > MaxDataSegment {
+		return 0, fmt.Errorf("%w: batch of %d bytes", ErrTooLarge, n)
+	}
+	return n, nil
+}
+
+// BatchWireLen returns the data-segment bytes a batch of entries
+// occupies on the wire (header PDU excluded); used for modelled wire
+// accounting. It assumes entries already passed batchDataLen bounds.
+func BatchWireLen(entries []BatchEntry) int {
+	n := batchCountLen
+	for _, e := range entries {
+		n += batchEntryLen + len(e.Frame)
+	}
+	return n
+}
+
+// batchMeta builds the contiguous count prefix plus every fixed-size
+// entry header. Frames are not copied in; the vectored writer
+// interleaves them from the caller's buffers.
+func batchMeta(entries []BatchEntry) []byte {
+	meta := make([]byte, batchCountLen+batchEntryLen*len(entries))
+	binary.BigEndian.PutUint32(meta, uint32(len(entries)))
+	off := batchCountLen
+	for _, e := range entries {
+		binary.BigEndian.PutUint64(meta[off:], e.Seq)
+		binary.BigEndian.PutUint64(meta[off+8:], e.LBA)
+		binary.BigEndian.PutUint64(meta[off+16:], e.Hash)
+		binary.BigEndian.PutUint32(meta[off+24:], uint32(len(e.Frame)))
+		off += batchEntryLen
+	}
+	return meta
+}
+
+// EncodeBatch assembles the contiguous data segment for a batch.
+// The initiator's send path does not use it (it writes the pieces
+// vectored, without assembling a copy); it serves tests, fuzz seeds,
+// and callers that need the segment as one buffer.
+func EncodeBatch(entries []BatchEntry) ([]byte, error) {
+	dataLen, err := batchDataLen(entries)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, dataLen)
+	meta := batchMeta(entries)
+	buf = append(buf, meta[:batchCountLen]...)
+	off := batchCountLen
+	for _, e := range entries {
+		buf = append(buf, meta[off:off+batchEntryLen]...)
+		off += batchEntryLen
+		buf = append(buf, e.Frame...)
+	}
+	return buf, nil
+}
+
+// DecodeBatch parses the data segment of an OpReplicaWriteBatch PDU.
+// Frames alias data (no copies); the caller owns data until the
+// entries are consumed. Decoding is strict and bounded: the declared
+// count must be in (0, MaxBatchFrames] and plausible for the buffer
+// size before anything is allocated, every entry must be fully
+// present, and trailing bytes are rejected. Truncation reports
+// ErrShortFrame and structural violations report ErrBadFrame —
+// hostile input never panics or over-allocates.
+func DecodeBatch(data []byte) ([]BatchEntry, error) {
+	if len(data) < batchCountLen {
+		return nil, fmt.Errorf("%w: batch segment of %d bytes", ErrShortFrame, len(data))
+	}
+	count := binary.BigEndian.Uint32(data)
+	if count == 0 || count > MaxBatchFrames {
+		return nil, fmt.Errorf("%w: batch count %d", ErrBadFrame, count)
+	}
+	if uint64(len(data)-batchCountLen) < uint64(count)*batchEntryLen {
+		return nil, fmt.Errorf("%w: %d entries cannot fit in %d bytes", ErrShortFrame, count, len(data))
+	}
+	entries := make([]BatchEntry, 0, count)
+	off := batchCountLen
+	for k := uint32(0); k < count; k++ {
+		if len(data)-off < batchEntryLen {
+			return nil, fmt.Errorf("%w: batch entry %d header", ErrShortFrame, k)
+		}
+		e := BatchEntry{
+			Seq:  binary.BigEndian.Uint64(data[off:]),
+			LBA:  binary.BigEndian.Uint64(data[off+8:]),
+			Hash: binary.BigEndian.Uint64(data[off+16:]),
+		}
+		frameLen := binary.BigEndian.Uint32(data[off+24:])
+		off += batchEntryLen
+		if uint64(frameLen) > uint64(len(data)-off) {
+			return nil, fmt.Errorf("%w: batch entry %d frame of %d bytes", ErrShortFrame, k, frameLen)
+		}
+		e.Frame = data[off : off+int(frameLen)]
+		off += int(frameLen)
+		entries = append(entries, e)
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after batch", ErrBadFrame, len(data)-off)
+	}
+	return entries, nil
+}
+
+// EncodeBatchStatuses packs a batch response's per-entry status
+// vector: one status byte per entry, in entry order.
+func EncodeBatchStatuses(statuses []Status) []byte {
+	out := make([]byte, len(statuses))
+	for i, s := range statuses {
+		out[i] = byte(s)
+	}
+	return out
+}
+
+// DecodeBatchStatuses unpacks a batch response's status vector and
+// checks it covers exactly want entries.
+func DecodeBatchStatuses(data []byte, want int) ([]Status, error) {
+	if len(data) != want {
+		return nil, fmt.Errorf("%w: batch response carries %d statuses, want %d", ErrShortFrame, len(data), want)
+	}
+	out := make([]Status, want)
+	for i, b := range data {
+		out[i] = Status(b)
+	}
+	return out, nil
+}
+
+// ReplicaStatusErr converts a per-entry batch status into the same
+// error a single-frame ReplicaWrite round trip would have returned,
+// typed sentinel included, so engines treat batched and unbatched
+// apply failures uniformly. Only meaningful for non-OK statuses.
+func ReplicaStatusErr(lba uint64, st Status) error {
+	return statusErr("replica-write", lba, st)
+}
+
+// buffersWriter is implemented by connections that can deliver a
+// vectored batch as one shaped send (wan.ShapedConn charges its
+// one-way latency once per call); plain conns fall back to
+// net.Buffers.WriteTo, which uses writev on TCP.
+type buffersWriter interface {
+	WriteBuffers(bufs net.Buffers) (int64, error)
+}
+
+// writeBatchPDU encodes and sends one OpReplicaWriteBatch without
+// assembling a contiguous copy of the payload: the header, the entry
+// metadata, and the caller's frames go out as one vectored write. The
+// digest streams over the pieces in wire order, so the bytes are
+// indistinguishable from a contiguously-built PDU.
+func writeBatchPDU(w io.Writer, mode uint8, itt uint32, entries []BatchEntry) (int64, error) {
+	dataLen, err := batchDataLen(entries)
+	if err != nil {
+		return 0, err
+	}
+	meta := batchMeta(entries)
+
+	var hdr [headerLen]byte
+	hdr[0] = protoMagic
+	hdr[1] = protoVersion // the one v4 opcode
+	hdr[2] = byte(OpReplicaWriteBatch)
+	hdr[4] = mode
+	binary.BigEndian.PutUint32(hdr[8:], itt)
+	binary.BigEndian.PutUint32(hdr[24:], uint32(dataLen))
+
+	crc := crc32.New(castagnoli)
+	crc.Write(hdr[:]) // digest field still zero here, as digest() requires
+	crc.Write(meta[:batchCountLen])
+	for k, e := range entries {
+		start := batchCountLen + k*batchEntryLen
+		crc.Write(meta[start : start+batchEntryLen])
+		crc.Write(e.Frame)
+	}
+	binary.BigEndian.PutUint32(hdr[44:], crc.Sum32())
+
+	bufs := make(net.Buffers, 0, 1+2*len(entries))
+	bufs = append(bufs, hdr[:])
+	for k, e := range entries {
+		start := batchCountLen + k*batchEntryLen
+		if k == 0 {
+			start = 0 // the count prefix rides with the first entry header
+		}
+		bufs = append(bufs, meta[start:batchCountLen+(k+1)*batchEntryLen])
+		if len(e.Frame) > 0 {
+			bufs = append(bufs, e.Frame)
+		}
+	}
+	if bw, ok := w.(buffersWriter); ok {
+		return bw.WriteBuffers(bufs)
+	}
+	return bufs.WriteTo(w)
+}
+
+// ReplicaWriteBatch pushes several replication frames in one round
+// trip and returns one status per entry, in entry order. A transport
+// or protocol failure returns an error and no statuses; per-entry
+// apply failures (diverged, decode, store) come back in the vector —
+// convert them with ReplicaStatusErr. A batch of one is sent as a
+// plain v3 OpReplicaWrite, byte-identical to unbatched shipping, so
+// un-upgraded replicas interoperate; like every request, a batch is
+// retried once over a fresh session when reconnection is armed
+// (replica seq-dedupe makes redelivery safe).
+func (i *Initiator) ReplicaWriteBatch(mode uint8, entries []BatchEntry) ([]Status, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("iscsi: empty replica batch")
+	}
+	if len(entries) == 1 {
+		e := entries[0]
+		resp, err := i.roundTrip(&PDU{Op: OpReplicaWrite, Mode: mode, Seq: e.Seq, LBA: e.LBA, Hash: e.Hash, Data: e.Frame})
+		if err != nil {
+			return nil, err
+		}
+		return []Status{resp.Status}, nil
+	}
+
+	i.mu.Lock()
+	defer i.mu.Unlock()
+
+	resp, err := i.doBatch(mode, entries)
+	if err != nil && i.redial != nil {
+		if rerr := i.reconnectLocked(); rerr != nil {
+			return nil, fmt.Errorf("iscsi: reconnect after %v: %w", err, rerr)
+		}
+		resp, err = i.doBatch(mode, entries)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != StatusOK {
+		return nil, fmt.Errorf("%w: replica-write-batch of %d: %v", ErrStatus, len(entries), resp.Status)
+	}
+	return DecodeBatchStatuses(resp.Data, len(entries))
+}
+
+// doBatch performs one tagged batch request/response on the current
+// connection via the vectored writer. Called with i.mu held.
+func (i *Initiator) doBatch(mode uint8, entries []BatchEntry) (*PDU, error) {
+	conn := i.currentConn()
+	if conn == nil {
+		return nil, net.ErrClosed
+	}
+	i.itt++
+	itt := i.itt
+
+	if i.timeout > 0 {
+		if err := conn.SetDeadline(time.Now().Add(i.timeout)); err != nil {
+			return nil, fmt.Errorf("iscsi: set deadline: %w", err)
+		}
+		defer conn.SetDeadline(time.Time{}) //nolint:errcheck // best-effort clear
+	}
+
+	n, err := writeBatchPDU(conn, mode, itt, entries)
+	i.wireSent += n
+	if err != nil {
+		return nil, err
+	}
+	resp, err := ReadPDU(conn)
+	if err != nil {
+		return nil, err
+	}
+	if resp.ITT != itt {
+		return nil, fmt.Errorf("iscsi: response tag %d for request %d", resp.ITT, itt)
+	}
+	return resp, nil
+}

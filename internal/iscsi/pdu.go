@@ -40,6 +40,13 @@ const (
 	OpLogout
 	OpLogoutResp
 	OpHashCmd // per-block content hashes for delta resync
+	// OpReplicaWriteBatch ships several replication pushes in one PDU:
+	// a count-prefixed sequence of {seq, lba, hash, frameLen, frame}
+	// entries (see DecodeBatch). The response carries one status byte
+	// per entry, so a single diverged block does not fail its
+	// batch-mates. The only proto-v4 opcode; a batch of one is sent as
+	// a plain OpReplicaWrite so v3 peers interoperate.
+	OpReplicaWriteBatch
 )
 
 // String returns the opcode mnemonic.
@@ -67,6 +74,8 @@ func (o Opcode) String() string {
 		return "LOGOUT-RESP"
 	case OpHashCmd:
 		return "HASH"
+	case OpReplicaWriteBatch:
+		return "REPLICA-WRITE-BATCH"
 	default:
 		return fmt.Sprintf("OP(%d)", uint8(o))
 	}
@@ -146,8 +155,14 @@ const (
 	// protoMagic guards against desynchronized or foreign streams.
 	protoMagic = 0x69 // 'i'
 	// protoVersion is bumped on incompatible changes. v3 widened the
-	// header from 40 to 48 bytes for the replica-apply content hash.
-	protoVersion = 3
+	// header from 40 to 48 bytes for the replica-apply content hash; v4
+	// added OpReplicaWriteBatch. Every pre-batch opcode is still
+	// stamped baseVersion on the wire — byte-identical to a v3 peer's
+	// framing — so mixed-version nodes interoperate until the first
+	// batched push, and a batch of one is sent as a v3 OpReplicaWrite.
+	protoVersion = 4
+	// baseVersion is the framing version of all single-command opcodes.
+	baseVersion = 3
 	// MaxDataSegment bounds a PDU's data segment; larger is rejected
 	// before allocation.
 	MaxDataSegment = 17 << 20
@@ -164,6 +179,9 @@ var (
 	// the length implied by the request — a truncated or misaligned
 	// payload from a buggy or hostile peer.
 	ErrShortFrame = errors.New("iscsi: truncated response payload")
+	// ErrBadFrame reports a structurally invalid batch segment (zero or
+	// oversized entry count, trailing bytes after the last entry).
+	ErrBadFrame = errors.New("iscsi: malformed batch segment")
 )
 
 // Typed replica-apply failures. The replica engine wraps its apply
@@ -227,7 +245,10 @@ func (p *PDU) WriteTo(w io.Writer) (int64, error) {
 	}
 	var hdr [headerLen]byte
 	hdr[0] = protoMagic
-	hdr[1] = protoVersion
+	hdr[1] = baseVersion
+	if p.Op == OpReplicaWriteBatch {
+		hdr[1] = protoVersion
+	}
 	hdr[2] = byte(p.Op)
 	hdr[3] = byte(p.Status)
 	hdr[4] = p.Mode
@@ -268,7 +289,7 @@ func ReadPDU(r io.Reader) (*PDU, error) {
 	if hdr[0] != protoMagic {
 		return nil, fmt.Errorf("%w: 0x%02x", ErrBadMagic, hdr[0])
 	}
-	if hdr[1] != protoVersion {
+	if hdr[1] != baseVersion && hdr[1] != protoVersion {
 		return nil, fmt.Errorf("%w: %d", ErrBadVersion, hdr[1])
 	}
 	dataLen := binary.BigEndian.Uint32(hdr[24:])

@@ -218,6 +218,21 @@ func (t *Target) logf(format string, args ...any) {
 	}
 }
 
+// applyBatch dispatches a decoded batch to the backend: natively when
+// it implements BatchBackend, otherwise entry by entry through the v3
+// single-frame handler, so an un-upgraded backend behind an upgraded
+// target still serves batched sessions.
+func applyBatch(backend Backend, mode uint8, entries []BatchEntry) []Status {
+	if bb, ok := backend.(BatchBackend); ok {
+		return bb.HandleReplicaBatch(mode, entries)
+	}
+	statuses := make([]Status, len(entries))
+	for i, e := range entries {
+		statuses[i] = backend.HandleReplica(mode, e.Seq, e.LBA, e.Hash, e.Frame)
+	}
+	return statuses
+}
+
 // ServeConn runs one session on conn until logout, EOF, a protocol
 // error, or target shutdown. It owns conn and closes it on return.
 func (t *Target) ServeConn(conn net.Conn) {
@@ -301,6 +316,20 @@ func (t *Target) ServeConn(conn net.Conn) {
 				break
 			}
 			resp.Status = backend.HandleReplica(pdu.Mode, pdu.Seq, pdu.LBA, pdu.Hash, pdu.Data)
+
+		case OpReplicaWriteBatch:
+			resp.Op = OpResp
+			if backend == nil {
+				resp.Status = StatusNotLoggedIn
+				break
+			}
+			entries, err := DecodeBatch(pdu.Data)
+			if err != nil {
+				resp.Status = StatusBadRequest
+				break
+			}
+			resp.Status = StatusOK
+			resp.Data = EncodeBatchStatuses(applyBatch(backend, pdu.Mode, entries))
 
 		case OpHashCmd:
 			resp.Op = OpResp

@@ -29,7 +29,18 @@ type Traffic struct {
 	replicaLag    atomic.Int64 // gauge: frames the most-lagged replica is behind
 	duplicates    atomic.Int64 // duplicate pushes deduplicated at a replica
 	diverged      atomic.Int64 // verified applies a replica refused (hash mismatch)
+	batches       atomic.Int64 // multi-frame batch PDUs delivered
+	coalesced     atomic.Int64 // frames XOR-merged away inside batches
+	batchSaved    atomic.Int64 // modelled wire bytes saved vs single-frame shipping
+
+	// batchHist is the frames-per-delivery histogram of the batching
+	// shippers, power-of-two buckets: 1, 2, ≤4, ≤8, ≤16, ≤32, ≤64, >64.
+	batchHist [BatchHistBuckets]atomic.Int64
 }
+
+// BatchHistBuckets is the number of power-of-two buckets in the
+// frames-per-batch histogram: 1, 2, ≤4, ≤8, ≤16, ≤32, ≤64, >64.
+const BatchHistBuckets = 8
 
 // AddWrite records one intercepted block write of blockBytes.
 func (t *Traffic) AddWrite(blockBytes int) {
@@ -97,6 +108,37 @@ func (t *Traffic) AddDuplicate() { t.duplicates.Add(1) }
 // corruption, repaired later by a ranged resync of the dirty region.
 func (t *Traffic) AddDiverged() { t.diverged.Add(1) }
 
+// AddBatch records one delivered multi-frame batch PDU: frames queued
+// messages acknowledged OK (coalesced messages count individually, so
+// Replicated keeps meaning "logical pushes delivered"), their encoded
+// payload bytes, the batch's modelled wire bytes, and the wire bytes
+// saved versus shipping each frame as its own PDU. saved can dip
+// negative for frames sitting just under a packet boundary, where the
+// per-entry headers cost more than the saved packets; it is recorded
+// as-is so the gauge stays honest.
+func (t *Traffic) AddBatch(frames int, payloadBytes, wireBytes, saved int64) {
+	t.batches.Add(1)
+	t.replicated.Add(int64(frames))
+	t.payloadBytes.Add(payloadBytes)
+	t.wireBytes.Add(wireBytes)
+	t.batchSaved.Add(saved)
+}
+
+// AddCoalesced records n frames XOR-merged away inside batches (hot
+// same-LBA parities combined into one wire frame).
+func (t *Traffic) AddCoalesced(n int64) { t.coalesced.Add(n) }
+
+// ObserveBatch records one shipper delivery of n frames in the
+// frames-per-batch histogram (single-frame deliveries included, so the
+// histogram shows how often batching actually engages).
+func (t *Traffic) ObserveBatch(n int) {
+	b := 0
+	for b < BatchHistBuckets-1 && n > 1<<b {
+		b++
+	}
+	t.batchHist[b].Add(1)
+}
+
 // Snapshot is a consistent-enough point-in-time copy of the counters.
 type Snapshot struct {
 	Writes        int64
@@ -113,26 +155,40 @@ type Snapshot struct {
 	ReplicaLag    int64
 	Duplicates    int64
 	Diverged      int64
+	Batches       int64
+	Coalesced     int64
+	// BatchSavedWire is the modelled wire bytes batching saved versus
+	// single-frame shipping.
+	BatchSavedWire int64
+	// FramesPerBatch is the delivery-size histogram; see ObserveBatch.
+	FramesPerBatch [BatchHistBuckets]int64
 }
 
 // Snapshot returns the current counter values.
 func (t *Traffic) Snapshot() Snapshot {
-	return Snapshot{
-		Writes:        t.writes.Load(),
-		Replicated:    t.replicated.Load(),
-		Skipped:       t.skipped.Load(),
-		PayloadBytes:  t.payloadBytes.Load(),
-		WireBytes:     t.wireBytes.Load(),
-		RawBytes:      t.rawBytes.Load(),
-		EncodeTime:    time.Duration(t.encodeNanos.Load()),
-		DecodeTime:    time.Duration(t.decodeNanos.Load()),
-		ReplicaWrites: t.replicaWrites.Load(),
-		Retries:       t.retries.Load(),
-		Dropped:       t.dropped.Load(),
-		ReplicaLag:    t.replicaLag.Load(),
-		Duplicates:    t.duplicates.Load(),
-		Diverged:      t.diverged.Load(),
+	s := Snapshot{
+		Writes:         t.writes.Load(),
+		Replicated:     t.replicated.Load(),
+		Skipped:        t.skipped.Load(),
+		PayloadBytes:   t.payloadBytes.Load(),
+		WireBytes:      t.wireBytes.Load(),
+		RawBytes:       t.rawBytes.Load(),
+		EncodeTime:     time.Duration(t.encodeNanos.Load()),
+		DecodeTime:     time.Duration(t.decodeNanos.Load()),
+		ReplicaWrites:  t.replicaWrites.Load(),
+		Retries:        t.retries.Load(),
+		Dropped:        t.dropped.Load(),
+		ReplicaLag:     t.replicaLag.Load(),
+		Duplicates:     t.duplicates.Load(),
+		Diverged:       t.diverged.Load(),
+		Batches:        t.batches.Load(),
+		Coalesced:      t.coalesced.Load(),
+		BatchSavedWire: t.batchSaved.Load(),
 	}
+	for i := 0; i < BatchHistBuckets; i++ {
+		s.FramesPerBatch[i] = t.batchHist[i].Load()
+	}
+	return s
 }
 
 // Reset zeroes all counters.
@@ -151,6 +207,12 @@ func (t *Traffic) Reset() {
 	t.replicaLag.Store(0)
 	t.duplicates.Store(0)
 	t.diverged.Store(0)
+	t.batches.Store(0)
+	t.coalesced.Store(0)
+	t.batchSaved.Store(0)
+	for i := 0; i < BatchHistBuckets; i++ {
+		t.batchHist[i].Store(0)
+	}
 }
 
 // MeanPayload returns the mean encoded payload bytes per replication
@@ -192,6 +254,9 @@ type Replica struct {
 	dropped      atomic.Int64 // frames dropped while degraded (historical total)
 	lag          atomic.Int64 // gauge: frames this replica is behind the primary
 	diverged     atomic.Int64 // verified applies this replica refused
+	batches      atomic.Int64 // multi-frame batch PDUs delivered to this replica
+	coalesced    atomic.Int64 // frames XOR-merged away en route to this replica
+	batchSaved   atomic.Int64 // modelled wire bytes saved vs single-frame shipping
 }
 
 // AddShipped records one successfully delivered frame.
@@ -200,6 +265,20 @@ func (r *Replica) AddShipped(payloadBytes, wireBytes int) {
 	r.payloadBytes.Add(int64(payloadBytes))
 	r.wireBytes.Add(int64(wireBytes))
 }
+
+// AddBatch records one delivered multi-frame batch PDU to this
+// replica; see Traffic.AddBatch for the field semantics.
+func (r *Replica) AddBatch(frames int, payloadBytes, wireBytes, saved int64) {
+	r.batches.Add(1)
+	r.shipped.Add(int64(frames))
+	r.payloadBytes.Add(payloadBytes)
+	r.wireBytes.Add(wireBytes)
+	r.batchSaved.Add(saved)
+}
+
+// AddCoalesced records n frames XOR-merged away inside batches bound
+// for this replica.
+func (r *Replica) AddCoalesced(n int64) { r.coalesced.Add(n) }
 
 // AddRetry records one re-delivery attempt to this replica.
 func (r *Replica) AddRetry() { r.retries.Add(1) }
@@ -232,18 +311,26 @@ type ReplicaSnapshot struct {
 	Dropped      int64
 	Lag          int64
 	Diverged     int64
+	Batches      int64
+	Coalesced    int64
+	// BatchSavedWire is the modelled wire bytes batching saved for this
+	// replica versus single-frame shipping.
+	BatchSavedWire int64
 }
 
 // Snapshot returns the current per-replica counter values.
 func (r *Replica) Snapshot() ReplicaSnapshot {
 	return ReplicaSnapshot{
-		Shipped:      r.shipped.Load(),
-		PayloadBytes: r.payloadBytes.Load(),
-		WireBytes:    r.wireBytes.Load(),
-		Retries:      r.retries.Load(),
-		Dropped:      r.dropped.Load(),
-		Lag:          r.lag.Load(),
-		Diverged:     r.diverged.Load(),
+		Shipped:        r.shipped.Load(),
+		PayloadBytes:   r.payloadBytes.Load(),
+		WireBytes:      r.wireBytes.Load(),
+		Retries:        r.retries.Load(),
+		Dropped:        r.dropped.Load(),
+		Lag:            r.lag.Load(),
+		Diverged:       r.diverged.Load(),
+		Batches:        r.batches.Load(),
+		Coalesced:      r.coalesced.Load(),
+		BatchSavedWire: r.batchSaved.Load(),
 	}
 }
 

@@ -3,6 +3,7 @@ package parity
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"strings"
 	"sync"
@@ -35,50 +36,78 @@ func MeasureDensity(parityBlock []byte) Density {
 	}
 }
 
+// densityReservoirSize bounds the sample memory DensityStats keeps for
+// percentile and histogram estimation: one float64 per slot, ~32KB
+// total, regardless of how many writes a long-running primary records.
+const densityReservoirSize = 4096
+
 // DensityStats accumulates change-density observations across many
 // writes. It is safe for concurrent use; the replication engine records
 // one observation per replicated write.
+//
+// Memory is bounded: Count, Mean, and WeightedMean come from exact
+// running counters, while Percentile and Histogram are estimated from a
+// fixed-size uniform random sample of the stream (reservoir sampling,
+// Algorithm R: once the reservoir is full, the k-th observation
+// replaces a uniformly chosen slot with probability size/k). Through
+// the first densityReservoirSize observations the reservoir holds
+// everything and the estimates are exact; beyond that they converge on
+// the stream's distribution with error on the order of 1/sqrt(size).
+// Replacement choices come from a fixed-seed generator, so a given
+// observation stream always yields the same estimates.
 type DensityStats struct {
 	mu sync.Mutex
 
-	samples []float64
+	samples []float64 // reservoir; at most densityReservoirSize entries
+	seen    int64     // total observations (exact)
+	sum     float64   // sum of all fractions (exact)
 	bytes   int64
 	changed int64
+	rng     *rand.Rand // lazily created on first eviction; guarded by mu
 }
 
 // Record adds one observation.
 func (s *DensityStats) Record(d Density) {
+	f := d.Fraction()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.samples = append(s.samples, d.Fraction())
+	s.seen++
+	s.sum += f
 	s.bytes += int64(d.BlockBytes)
 	s.changed += int64(d.ChangedBytes)
+	if len(s.samples) < densityReservoirSize {
+		s.samples = append(s.samples, f)
+		return
+	}
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(0x5ca1ab1e))
+	}
+	if j := s.rng.Int63n(s.seen); j < densityReservoirSize {
+		s.samples[j] = f
+	}
 }
 
 // Count returns the number of recorded observations.
 func (s *DensityStats) Count() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.samples)
+	return int(s.seen)
 }
 
-// Mean returns the mean changed fraction across observations, or 0 if
-// none have been recorded.
+// Mean returns the mean changed fraction across all observations (an
+// exact running mean, not a reservoir estimate), or 0 if none have
+// been recorded.
 func (s *DensityStats) Mean() float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.samples) == 0 {
+	if s.seen == 0 {
 		return 0
 	}
-	sum := 0.0
-	for _, v := range s.samples {
-		sum += v
-	}
-	return sum / float64(len(s.samples))
+	return s.sum / float64(s.seen)
 }
 
 // WeightedMean returns total changed bytes over total block bytes,
-// which weights large blocks proportionally.
+// which weights large blocks proportionally. Exact, like Mean.
 func (s *DensityStats) WeightedMean() float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -89,7 +118,9 @@ func (s *DensityStats) WeightedMean() float64 {
 }
 
 // Percentile returns the p-th percentile (p in [0,100]) of the changed
-// fraction, using nearest-rank on a sorted copy.
+// fraction, using nearest-rank on a sorted copy of the reservoir —
+// exact until the reservoir fills, an estimate after (see the type
+// docs).
 func (s *DensityStats) Percentile(p float64) float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -109,8 +140,9 @@ func (s *DensityStats) Percentile(p float64) float64 {
 	return sorted[rank]
 }
 
-// Histogram buckets observations into nBuckets equal-width bins over
-// [0,1] and returns the per-bin counts.
+// Histogram buckets the reservoir into nBuckets equal-width bins over
+// [0,1] and returns the per-bin counts — exact counts until the
+// reservoir fills, a uniform-sample estimate after (see the type docs).
 func (s *DensityStats) Histogram(nBuckets int) []int {
 	s.mu.Lock()
 	defer s.mu.Unlock()

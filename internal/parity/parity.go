@@ -117,8 +117,36 @@ func IsZero(p []byte) bool {
 
 // NonZeroBytes counts the bytes of p that are non-zero. For a parity
 // block this is the number of byte positions at which the write changed
-// the block.
+// the block. It runs on every write when density recording is on, so
+// like the XOR kernel it walks the block 8 bytes at a time: an all-zero
+// word — the overwhelmingly common case for sparse parity — costs one
+// load and one compare, and only the occasional non-zero word pays the
+// per-byte count.
 func NonZeroBytes(p []byte) int {
+	count := 0
+	n := len(p)
+	i := 0
+	for ; i+wordSize <= n; i += wordSize {
+		if binary.LittleEndian.Uint64(p[i:]) == 0 {
+			continue
+		}
+		for j := i; j < i+wordSize; j++ {
+			if p[j] != 0 {
+				count++
+			}
+		}
+	}
+	for ; i < n; i++ {
+		if p[i] != 0 {
+			count++
+		}
+	}
+	return count
+}
+
+// nonZeroBytesBytewise is the reference kernel kept as the test oracle
+// for the word-wide NonZeroBytes (mirrors xorBytewise).
+func nonZeroBytesBytewise(p []byte) int {
 	count := 0
 	for _, v := range p {
 		if v != 0 {

@@ -2,6 +2,7 @@ package parity
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -179,6 +180,86 @@ func TestNonZeroBytes(t *testing.T) {
 	}
 	if got := NonZeroBytes(nil); got != 0 {
 		t.Errorf("NonZeroBytes(nil) = %d, want 0", got)
+	}
+}
+
+// TestNonZeroBytesMatchesBytewise cross-checks the word-wide counter
+// against the byte-wise oracle (mirrors TestKernelsAgree for the XOR
+// kernels): word-boundary sizes, unaligned tails, and the densities the
+// skip-zero-words fast path is tuned for.
+func TestNonZeroBytesMatchesBytewise(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{0, 1, 7, 8, 9, 63, 64, 65, 4096, 4099} {
+		dense := make([]byte, n)
+		rng.Read(dense)
+		sparse := make([]byte, n)
+		for i := 0; i < n; i += 17 {
+			sparse[i] = byte(1 + rng.Intn(255))
+		}
+		for name, buf := range map[string][]byte{
+			"zero": make([]byte, n), "dense": dense, "sparse": sparse,
+		} {
+			if got, want := NonZeroBytes(buf), nonZeroBytesBytewise(buf); got != want {
+				t.Errorf("n=%d %s: NonZeroBytes = %d, oracle = %d", n, name, got, want)
+			}
+		}
+	}
+
+	// A single non-zero byte at any position — head, tail, and both
+	// sides of every word boundary — must be counted exactly once.
+	buf := make([]byte, 25)
+	for i := range buf {
+		buf[i] = 0xA5
+		if got := NonZeroBytes(buf); got != 1 {
+			t.Fatalf("lone byte at offset %d counted as %d", i, got)
+		}
+		buf[i] = 0
+	}
+}
+
+// benchCount keeps the counting benchmarks' results observable.
+var benchCount int
+
+// BenchmarkNonZeroBytes is the ablation for the word-wide counting
+// kernel (DESIGN.md): the skip-zero-words fast path against the
+// byte-wise oracle, on sparse (10%, clustered) and dense blocks.
+func BenchmarkNonZeroBytes(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	kernels := []struct {
+		name string
+		fn   func([]byte) int
+	}{
+		{name: "words", fn: NonZeroBytes},
+		{name: "bytewise", fn: nonZeroBytesBytewise},
+	}
+	for _, size := range []int{4 << 10, 64 << 10} {
+		sparse := make([]byte, size)
+		for changed := 0; changed < size/10; {
+			run := 8 + rng.Intn(48)
+			off := rng.Intn(size - run)
+			for i := off; i < off+run; i++ {
+				sparse[i] = byte(1 + rng.Intn(255))
+			}
+			changed += run
+		}
+		dense := make([]byte, size)
+		rng.Read(dense)
+		for _, in := range []struct {
+			name string
+			buf  []byte
+		}{
+			{name: "sparse", buf: sparse},
+			{name: "dense", buf: dense},
+		} {
+			for _, k := range kernels {
+				b.Run(fmt.Sprintf("%s-%s-%dKB", k.name, in.name, size>>10), func(b *testing.B) {
+					b.SetBytes(int64(size))
+					for i := 0; i < b.N; i++ {
+						benchCount = k.fn(in.buf)
+					}
+				})
+			}
+		}
 	}
 }
 

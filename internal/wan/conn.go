@@ -82,6 +82,26 @@ func (c *ShapedConn) Write(p []byte) (int, error) {
 	return c.Conn.Write(p)
 }
 
+// WriteBuffers sends a vectored batch through the shaper as one
+// operation: the one-way latency is charged once for the whole batch —
+// the point of batched shipping, N frames no longer pay N delays — and
+// the token bucket is charged the total byte count up front. The
+// buffers then flush to the underlying conn via writev where the
+// platform supports it.
+func (c *ShapedConn) WriteBuffers(bufs net.Buffers) (int64, error) {
+	if c.cfg.Latency > 0 {
+		c.sleep(c.cfg.Latency)
+	}
+	if c.cfg.BytesPerSecond > 0 {
+		total := 0
+		for _, b := range bufs {
+			total += len(b)
+		}
+		c.throttle(total)
+	}
+	return bufs.WriteTo(c.Conn)
+}
+
 // throttle blocks until the token bucket covers n bytes.
 func (c *ShapedConn) throttle(n int) {
 	c.mu.Lock()

@@ -163,6 +163,58 @@ func TestZRLDecodeRejectsOverruns(t *testing.T) {
 	}
 }
 
+// TestZRLEarlyEndingStream pins the trailing-zeros contract documented
+// on zrlDecode: a stream may stop accounting for the block before
+// decodedLen, and the unaccounted tail decodes as zeros. The encoder
+// always emits an explicit trailing zero-run segment, but the decoder
+// must accept the shorter form.
+func TestZRLEarlyEndingStream(t *testing.T) {
+	// skip=1, literal {0xAA, 0xBB}, then the stream just ends with five
+	// block bytes unaccounted for.
+	want := []byte{0, 0xAA, 0xBB, 0, 0, 0, 0, 0}
+	got, err := zrlDecode([]byte{1, 2, 0xAA, 0xBB}, len(want))
+	if err != nil {
+		t.Fatalf("zrlDecode early-ending stream: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("zrlDecode = %v, want %v", got, want)
+	}
+
+	// The degenerate case: an empty stream decodes to an all-zero block.
+	got, err = zrlDecode(nil, 16)
+	if err != nil {
+		t.Fatalf("zrlDecode empty stream: %v", err)
+	}
+	if !bytes.Equal(got, make([]byte, 16)) {
+		t.Errorf("zrlDecode(nil, 16) = %v, want all zeros", got)
+	}
+
+	// The same stream must be accepted through the frame layer, and
+	// agree with decoding the canonical (explicitly terminated) frame.
+	frame := append([]byte{byte(CodecZRL), 0, 0, 0, byte(len(want))}, 1, 2, 0xAA, 0xBB)
+	got, err = Decode(frame)
+	if err != nil {
+		t.Fatalf("Decode early-ending frame: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("Decode = %v, want %v", got, want)
+	}
+	canon, err := Encode(CodecZRL, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(canon) <= len(frame) {
+		t.Errorf("canonical frame (%dB) not longer than early-ended frame (%dB)", len(canon), len(frame))
+	}
+	canonOut, err := Decode(canon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(canonOut, got) {
+		t.Error("early-ended and canonical frames decode differently")
+	}
+}
+
 func TestDecodeFuzzedFramesNeverPanic(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	for i := 0; i < 2000; i++ {

@@ -100,13 +100,10 @@ func zrlDecode(stream []byte, decodedLen int) ([]byte, error) {
 		pos += int(litLen)
 		i += int(litLen)
 	}
-	if pos != decodedLen {
-		// Trailing zeros are implied only if the stream chose to end
-		// early; accept that as the remaining bytes are already zero.
-		// But a stream longer than needed was rejected above, so this
-		// branch is fine to accept silently.
-		_ = pos
-	}
+	// Trailing-zeros contract: a stream may end with pos < decodedLen,
+	// and the remaining bytes are implied zeros — out was allocated
+	// zeroed, so there is nothing to do. Streams that would overrun
+	// decodedLen were rejected above, so pos never exceeds it.
 	return out, nil
 }
 

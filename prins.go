@@ -88,6 +88,18 @@ type Config struct {
 	// ships whichever frame is smaller, trading CPU for bytes.
 	AggressiveEncoding bool
 
+	// BatchFrames caps how many queued frames a replica pipeline worker
+	// drains into one wire-level batch. Batching is opportunistic: a
+	// worker never waits for a batch to fill, it just takes whatever has
+	// queued behind the frame in hand, so an idle pipeline still ships
+	// every write immediately. Zero selects the default (32); 1 disables
+	// batching entirely and every frame ships as a single-frame push.
+	BatchFrames int
+	// BatchBytes soft-caps the encoded payload of one batch: draining
+	// stops once the batch reaches this many frame bytes. Zero selects
+	// the default (1 MiB).
+	BatchBytes int
+
 	// RetryAttempts is how many times a replication push is tried before
 	// the engine gives up on it (default 1 = no retry).
 	RetryAttempts int
@@ -142,6 +154,15 @@ type Stats struct {
 	// Diverged counts applies a replica refused because the recovered
 	// block failed hash verification (detected corruption).
 	Diverged int64
+	// Batches counts multi-frame batch deliveries.
+	Batches int64
+	// CoalescedFrames counts frames merged away by same-LBA parity
+	// coalescing before shipping.
+	CoalescedFrames int64
+	// BatchSavedWireBytes is the modeled wire bytes saved by batching:
+	// what the batched frames would have cost as single pushes minus
+	// what their batches cost.
+	BatchSavedWireBytes int64
 }
 
 // Primary is the primary-side replication engine over a local Store.
@@ -184,6 +205,8 @@ func NewPrimary(local Store, cfg Config) (*Primary, error) {
 		},
 		AllowDegraded: cfg.AllowDegraded,
 		DisableVerify: cfg.DisableVerify,
+		BatchFrames:   cfg.BatchFrames,
+		BatchBytes:    cfg.BatchBytes,
 	})
 	if err != nil {
 		return nil, err
@@ -427,6 +450,9 @@ func (p *Primary) Stats() Stats {
 		Retries:             s.Retries,
 		Dropped:             s.Dropped,
 		Diverged:            s.Diverged,
+		Batches:             s.Batches,
+		CoalescedFrames:     s.Coalesced,
+		BatchSavedWireBytes: s.BatchSavedWire,
 	}
 }
 
