@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-json fuzz chaos lint check repro examples fmt vet clean
+.PHONY: all build test race bench bench-json stress fuzz chaos lint check repro examples fmt vet clean
 
 # How long each fuzzer runs under `make fuzz` / `make check`.
 FUZZTIME ?= 10s
@@ -19,16 +19,30 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Machine-readable report for the replication-batching benches: runs
-# the batching/coalescing/counting benchmarks and converts the output
-# to BENCH_batch.json via cmd/benchjson. CI smoke-runs this with
-# BENCHTIME=1x; use the default for numbers worth comparing.
+# Machine-readable reports for the replication benches: runs the
+# batching/coalescing/counting/sharding benchmarks and converts the
+# output to BENCH_*.json via cmd/benchjson. CI smoke-runs this with
+# BENCHTIME=1x SHARDTIME=50x; use the defaults for numbers worth
+# comparing. The shard-scaling bench gets its own iteration count
+# because each op is a deliberate 1ms I/O sleep — 100x would be all
+# startup noise, and the default 1000x still finishes in seconds.
 BENCHTIME ?= 100x
+SHARDTIME ?= 1000x
 bench-json:
 	$(GO) test -run='^$$' -bench='BatchShip|AblationCoalesce' -benchtime=$(BENCHTIME) . \
 		| $(GO) run ./cmd/benchjson -out BENCH_batch.json
 	$(GO) test -run='^$$' -bench='NonZeroBytes' -benchtime=$(BENCHTIME) ./internal/parity \
 		| $(GO) run ./cmd/benchjson -out BENCH_nonzero.json
+	$(GO) test -run='^$$' -bench='ShardScaling' -benchtime=$(SHARDTIME) . \
+		| $(GO) run ./cmd/benchjson -out BENCH_shard.json
+
+# The sharded-engine and multi-volume concurrency battery, repeated
+# under the race detector: cross-shard parallel writers, same-LBA
+# ordering, randomized crash/heal invariants, mid-batch chaos, volume
+# lifecycle and shared-session isolation.
+STRESSCOUNT ?= 3
+stress:
+	$(GO) test -race -count=$(STRESSCOUNT) -run 'Shard|Volume' ./internal/core .
 
 # Short fuzz passes over the wire-facing decoders, seeded from the
 # checked-in corpora (regenerate with PRINS_REGEN_CORPUS=1 go test

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -537,6 +538,102 @@ func BenchmarkBatchShip(b *testing.B) {
 			if s := engine.Traffic().Snapshot(); frames > 1 && s.Batches > 0 {
 				b.ReportMetric(float64(s.Replicated)/float64(s.Batches), "frames/batch")
 			}
+		})
+	}
+}
+
+// slowStore wraps a block store with a fixed write latency, standing in
+// for a real disk. The sleep sits inside the engine's per-shard
+// critical section, so it overlaps across shards (even on one CPU) but
+// serializes within a shard — exactly the contention the sharded
+// engine exists to remove.
+type slowStore struct {
+	block.Store
+	delay time.Duration
+}
+
+func (s *slowStore) WriteBlock(lba uint64, data []byte) error {
+	time.Sleep(s.delay)
+	return s.Store.WriteBlock(lba, data)
+}
+
+// BenchmarkShardScaling measures aggregate write throughput of 8
+// concurrent writers against a 1ms-write store as the engine's shard
+// count grows 1 -> 8. One shard serializes every writer behind one
+// mutex (~1/latency writes/s); N shards let up to N writes overlap, so
+// throughput should scale near-linearly until writers collide on
+// shards. Alongside the measurement it reports the closed-network MVA
+// prediction for the same system — writers as customers, shards as k
+// service centres of demand S/k (uniform LBAs visit each shard with
+// probability 1/k) — cross-validating the queueing model against the
+// implementation.
+func BenchmarkShardScaling(b *testing.B) {
+	const (
+		blockSize = 4 << 10
+		numBlocks = 1 << 10
+		// 1ms, not less: the platform timer rounds sub-millisecond
+		// sleeps up to ~1.1ms, which would skew the MVA cross-check.
+		ioDelay = time.Millisecond
+		writers = 8
+	)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			mem, err := block.NewMem(blockSize, numBlocks)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink, err := block.NewMem(blockSize, numBlocks)
+			if err != nil {
+				b.Fatal(err)
+			}
+			engine, err := core.NewEngine(&slowStore{Store: mem, delay: ioDelay}, core.Config{
+				Mode:       core.ModePRINS,
+				Async:      true,
+				QueueDepth: 256,
+				Shards:     shards,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer engine.Close()
+			if err := engine.AttachReplica(&core.Loopback{Replica: core.NewReplicaEngine(sink)}); err != nil {
+				b.Fatal(err)
+			}
+
+			var seed, writeErr atomic.Int64
+			var firstErr atomic.Value
+			b.SetParallelism(writers) // writers goroutines even at GOMAXPROCS=1
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(seed.Add(1)))
+				buf := make([]byte, blockSize)
+				rng.Read(buf)
+				for pb.Next() {
+					buf[0] = byte(rng.Intn(256))
+					if err := engine.WriteBlock(uint64(rng.Intn(numBlocks)), buf); err != nil {
+						if writeErr.Add(1) == 1 {
+							firstErr.Store(err)
+						}
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			if err, _ := firstErr.Load().(error); err != nil {
+				b.Fatal(err)
+			}
+			if err := engine.Drain(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "writes/s")
+
+			mva, err := queueing.Solve(queueing.Network{
+				RouterService: queueing.UniformRouters(ioDelay/time.Duration(shards), shards),
+			}, writers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(mva.Throughput, "mvaWrites/s")
 		})
 	}
 }

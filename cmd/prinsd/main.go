@@ -48,6 +48,9 @@ func run(args []string) error {
 		replicas   = fs.String("replica", "", "comma-separated replica endpoints host:port/export")
 		statsEvery = fs.Duration("stats", 30*time.Second, "stats logging interval (0 = off)")
 
+		shards  = fs.Int("shards", 1, "LBA-range shards per volume: independent write locks, seq spaces, and ship pipelines")
+		volumes = fs.Int("volumes", 1, "logical volumes to serve; >1 multiplexes them over shared replica sessions")
+
 		queueDepth    = fs.Int("queue-depth", 256, "ship queue depth per replica")
 		batchFrames   = fs.Int("batch-frames", 32, "max frames drained into one batched push (1 = no batching)")
 		batchBytes    = fs.Int("batch-bytes", 1<<20, "soft cap on batched frame payload bytes per push")
@@ -64,14 +67,44 @@ func run(args []string) error {
 		return err
 	}
 
+	if *volumes < 1 || *volumes > 65535 {
+		return fmt.Errorf("bad -volumes %d (want 1..65535)", *volumes)
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	if *volumes > 1 {
+		m, err := parseMode(*mode)
+		if err != nil {
+			return err
+		}
+		return runVolumes(volumeOpts{
+			listen: *listen, export: *exportName, file: *file, bs: *bs, size: *size,
+			role: *role, volumes: *volumes, journal: *journalPath,
+			replicas: *replicas, statsEvery: *statsEvery, stop: stop,
+			cfg: prins.Config{
+				Mode:          m,
+				Async:         true,
+				QueueDepth:    *queueDepth,
+				SkipUnchanged: true,
+				RetryAttempts: *retryAttempts,
+				RetryTimeout:  *retryTimeout,
+				RetryBackoff:  *retryBackoff,
+				AllowDegraded: *degraded,
+				DisableVerify: *noVerify,
+				BatchFrames:   *batchFrames,
+				BatchBytes:    *batchBytes,
+				Shards:        *shards,
+			},
+		})
+	}
+
 	store, err := openStore(*file, *bs, *size)
 	if err != nil {
 		return err
 	}
 	defer store.Close()
-
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 
 	switch *role {
 	case "replica":
@@ -113,6 +146,7 @@ func run(args []string) error {
 			DisableVerify: *noVerify,
 			BatchFrames:   *batchFrames,
 			BatchBytes:    *batchBytes,
+			Shards:        *shards,
 		})
 		if err != nil {
 			return err
@@ -186,6 +220,140 @@ func run(args []string) error {
 
 	default:
 		return fmt.Errorf("unknown role %q (want primary or replica)", *role)
+	}
+}
+
+// volumeOpts carries the flag set a multi-volume node needs.
+type volumeOpts struct {
+	listen, export, file string
+	bs                   int
+	size                 uint64
+	role                 string
+	volumes              int
+	journal              string
+	replicas             string
+	statsEvery           time.Duration
+	stop                 chan os.Signal
+	cfg                  prins.Config
+}
+
+// runVolumes serves a multi-volume node: volume ids 1..N, each with
+// its own backing store (file-backed stores use "<file>.<id>"), all
+// multiplexed over shared replica sessions. The replica role hosts the
+// matching volume set and demultiplexes pushes by the wire's stream
+// tag.
+func runVolumes(o volumeOpts) error {
+	stores := make([]prins.Store, 0, o.volumes)
+	defer func() {
+		for _, s := range stores {
+			_ = s.Close()
+		}
+	}()
+	openVolStore := func(id uint16) (prins.Store, error) {
+		path := o.file
+		if path != "" {
+			path = fmt.Sprintf("%s.%d", o.file, id)
+		}
+		s, err := openStore(path, o.bs, o.size)
+		if err != nil {
+			return nil, fmt.Errorf("volume %d: %w", id, err)
+		}
+		stores = append(stores, s)
+		return s, nil
+	}
+
+	switch o.role {
+	case "replica":
+		rv := prins.NewReplicaVolumes()
+		for id := uint16(1); int(id) <= o.volumes; id++ {
+			store, err := openVolStore(id)
+			if err != nil {
+				return err
+			}
+			var r *prins.Replica
+			if o.journal != "" {
+				r, err = prins.NewReplicaJournaled(store, fmt.Sprintf("%s.%d", o.journal, id))
+				if err != nil {
+					return fmt.Errorf("volume %d journal: %w", id, err)
+				}
+			} else {
+				r = prins.NewReplica(store)
+			}
+			if err := rv.AddVolume(id, r); err != nil {
+				return err
+			}
+		}
+		addr, err := rv.Serve(o.listen, o.export)
+		if err != nil {
+			return err
+		}
+		defer rv.Close()
+		log.Printf("prinsd: replica serving %d volumes under %q on %s (%d x %dB blocks each)",
+			o.volumes, o.export, addr, o.size, o.bs)
+		<-o.stop
+		return nil
+
+	case "primary":
+		vm, err := prins.NewVolumeManager(o.cfg)
+		if err != nil {
+			return err
+		}
+		defer vm.Close()
+		for id := uint16(1); int(id) <= o.volumes; id++ {
+			store, err := openVolStore(id)
+			if err != nil {
+				return err
+			}
+			if _, err := vm.AddVolume(id, store); err != nil {
+				return err
+			}
+		}
+		if o.replicas != "" {
+			for _, ep := range strings.Split(o.replicas, ",") {
+				addr, export, err := splitEndpoint(ep)
+				if err != nil {
+					return err
+				}
+				if err := vm.AttachReplicaAddr(addr, export); err != nil {
+					return fmt.Errorf("attach replica %s: %w", ep, err)
+				}
+				log.Printf("prinsd: replicating %d volumes to %s (%s mode, shared session)",
+					o.volumes, ep, o.cfg.Mode)
+			}
+		}
+		addr, err := vm.Serve(o.listen, o.export)
+		if err != nil {
+			return err
+		}
+		log.Printf("prinsd: primary serving volumes %q.1..%d on %s (%d shards each)",
+			o.export, o.volumes, addr, o.cfg.Shards)
+
+		if o.statsEvery > 0 {
+			ticker := time.NewTicker(o.statsEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					for _, id := range vm.Volumes() {
+						v := vm.Volume(id)
+						s := v.Stats()
+						state := ""
+						if v.Degraded() {
+							state = " DEGRADED"
+						}
+						log.Printf("prinsd: vol%d%s writes=%d shipped=%s saved=%.1fx",
+							id, state, s.Writes, formatBytes(s.PayloadBytes), s.SavingsVsRaw)
+					}
+				case <-o.stop:
+					return vm.Drain()
+				}
+			}
+		}
+		<-o.stop
+		return vm.Drain()
+
+	default:
+		return fmt.Errorf("unknown role %q (want primary or replica)", o.role)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"prins/internal/block"
@@ -36,6 +37,29 @@ type BatchReplicaClient interface {
 
 var _ BatchReplicaClient = (*iscsi.Initiator)(nil)
 
+// StreamReplicaClient is the stream-tagging extension of
+// ReplicaClient: a push carries the (vol, shard) replication stream it
+// belongs to, and the replica dedupes per stream. A sharded or
+// multi-volume engine requires it — interleaving independent per-shard
+// seq spaces into a replica's single dedupe cursor would silently drop
+// frames — so AttachReplica refuses plain clients when the engine has
+// more than one shard or a nonzero volume id.
+type StreamReplicaClient interface {
+	ReplicaClient
+	ReplicaWriteStream(mode, shard uint8, vol uint16, seq, lba, hash uint64, frame []byte) error
+}
+
+var _ StreamReplicaClient = (*iscsi.Initiator)(nil)
+
+// StreamBatchReplicaClient combines stream tagging with batching: one
+// wire batch whose entries all belong to one (vol, shard) stream.
+type StreamBatchReplicaClient interface {
+	StreamReplicaClient
+	ReplicaWriteBatchStream(mode, shard uint8, vol uint16, entries []iscsi.BatchEntry) ([]iscsi.Status, error)
+}
+
+var _ StreamBatchReplicaClient = (*iscsi.Initiator)(nil)
+
 // ParityWriter is the optional fast path a RAID array provides: a
 // write that returns the forward parity it computed anyway while
 // updating the parity disk. When the primary store implements it and
@@ -44,6 +68,10 @@ var _ BatchReplicaClient = (*iscsi.Initiator)(nil)
 type ParityWriter interface {
 	WriteBlockWithParity(lba uint64, data []byte) ([]byte, error)
 }
+
+// MaxShards bounds Config.Shards: the wire protocol carries the shard
+// index as a uint8.
+const MaxShards = 256
 
 // Config parameterizes an Engine.
 type Config struct {
@@ -59,10 +87,10 @@ type Config struct {
 	// acknowledged (the acks are awaited in parallel, outside the
 	// engine lock).
 	Async bool
-	// QueueDepth bounds each replica's ship queue. Defaults to 256.
-	// When a replica's queue is full the write path blocks, bounding
-	// memory — a persistently slow replica eventually backpressures
-	// writers rather than buffering without limit.
+	// QueueDepth bounds each (shard, replica) ship queue. Defaults to
+	// 256. When a pipeline's queue is full the write path blocks,
+	// bounding memory — a persistently slow replica eventually
+	// backpressures writers rather than buffering without limit.
 	QueueDepth int
 	// SkipUnchanged, when true, elides replication of writes whose
 	// parity is all zeros (the block did not change). Only meaningful
@@ -104,6 +132,23 @@ type Config struct {
 	// catches a replica whose pre-image has silently diverged before
 	// the bad XOR lands. Disabling restores the unverified wire cost.
 	DisableVerify bool
+	// Shards splits the device into that many contiguous LBA ranges,
+	// each with its own write lock, sequence space, dirty maps, and
+	// per-replica ship pipelines, so writers on different shards never
+	// contend. Same-LBA ordering is preserved (an LBA always maps to
+	// the same shard); cross-shard ordering is undefined, which is safe
+	// because shards own disjoint LBA ranges. Zero or one keeps the
+	// historical single-lock engine with untagged wire framing; more
+	// than one requires stream-capable replica clients (see
+	// StreamReplicaClient). Maximum MaxShards.
+	Shards int
+	// Volume tags every replication stream this engine ships with a
+	// volume id, so several logical volumes can multiplex their pushes
+	// over one shared replica session (see VolumeManager). Zero — the
+	// default for a standalone engine — leaves single-shard framing
+	// untagged and wire-compatible with pre-sharding peers; nonzero
+	// requires stream-capable replica clients.
+	Volume uint16
 }
 
 func (c Config) withDefaults() Config {
@@ -125,6 +170,9 @@ func (c Config) withDefaults() Config {
 	if c.BatchBytes <= 0 {
 		c.BatchBytes = 1 << 20
 	}
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
 	return c
 }
 
@@ -138,35 +186,63 @@ func (c Config) Validate() error {
 			return fmt.Errorf("core: invalid codec %d", uint8(cc))
 		}
 	}
+	if c.Shards > MaxShards {
+		return fmt.Errorf("core: %d shards exceeds the maximum %d", c.Shards, MaxShards)
+	}
 	return nil
 }
 
 // ErrEngineClosed is returned for writes after Close.
 var ErrEngineClosed = errors.New("core: engine closed")
 
-// Engine is the primary-side PRINS engine. It wraps the local block
-// store; writes through the engine hit local storage and are
-// replicated to every attached replica in the configured mode, each
-// replica through its own ship pipeline (see pipeline.go).
-// Engine implements block.Store, so a filesystem, database pager, or
-// iSCSI target backend can sit directly on top of it.
-type Engine struct {
-	cfg      Config
-	retry    RetryPolicy // cfg.Retry with defaults applied
-	local    block.Store
-	pw       ParityWriter // non-nil if local supports the RAID fast path
-	traffic  *metrics.Traffic
-	density  *parity.DensityStats
-	replicas []*replicaState
+// ErrStreamClient reports a replica client attached to a sharded or
+// multi-volume engine without stream-tagging support.
+var ErrStreamClient = errors.New("core: sharded engine requires a stream-capable replica client")
 
-	mu     sync.Mutex // serializes the write path (order = seq order)
+// shard is one contiguous LBA range's independent write path: its own
+// lock (write order = seq order within the shard), sequence space,
+// scratch buffers, and one ship pipeline per attached replica.
+type shard struct {
+	id     uint8
+	mu     sync.Mutex
 	seq    uint64
 	oldBuf []byte
 	fpBuf  []byte
-	closed bool
+	pipes  []*pipe // one per replica, attach order
+}
 
+// Engine is the primary-side PRINS engine. It wraps the local block
+// store; writes through the engine hit local storage and are
+// replicated to every attached replica in the configured mode.
+//
+// The write path is sharded: the device is split into Config.Shards
+// contiguous LBA ranges, and each shard owns its lock, seq space, and
+// per-replica ship pipelines (see pipeline.go), so writers on
+// different shards proceed in parallel end to end. An LBA always maps
+// to the same shard, preserving same-LBA ordering; the replica keeps
+// one dedupe cursor per shard stream, so cross-shard interleaving on
+// the wire is harmless.
+//
+// Engine implements block.Store, so a filesystem, database pager, or
+// iSCSI target backend can sit directly on top of it.
+type Engine struct {
+	cfg     Config
+	retry   RetryPolicy // cfg.Retry with defaults applied
+	local   block.Store
+	pw      ParityWriter // non-nil if local supports the RAID fast path
+	pwMu    sync.Mutex   // serializes the shared fast path across shards
+	traffic *metrics.Traffic
+	density *parity.DensityStats
+	shardM  *metrics.ShardSet
+
+	replicas []*replicaState
+
+	shards    []*shard
+	shardSize uint64 // LBAs per shard (the last shard may be short)
+
+	closed   atomic.Bool
 	done     chan struct{}  // closed once, after Close has quiesced
-	shippers sync.WaitGroup // one per attached replica pipeline
+	shippers sync.WaitGroup // one per (shard, replica) pipeline
 }
 
 var _ block.Store = (*Engine)(nil)
@@ -179,15 +255,34 @@ func NewEngine(local block.Store, cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
+
+	nb := local.NumBlocks()
+	n := cfg.Shards
+	if nb > 0 && uint64(n) > nb {
+		n = int(nb) // never more shards than blocks
+	}
+	shardSize := uint64(1)
+	if nb > 0 {
+		shardSize = (nb + uint64(n) - 1) / uint64(n)
+	}
+
 	e := &Engine{
-		cfg:     cfg,
-		retry:   cfg.Retry.withDefaults(),
-		local:   local,
-		traffic: &metrics.Traffic{},
-		density: &parity.DensityStats{},
-		oldBuf:  make([]byte, local.BlockSize()),
-		fpBuf:   make([]byte, local.BlockSize()),
-		done:    make(chan struct{}),
+		cfg:       cfg,
+		retry:     cfg.Retry.withDefaults(),
+		local:     local,
+		traffic:   &metrics.Traffic{},
+		density:   &parity.DensityStats{},
+		shardM:    metrics.NewShardSet(n),
+		shards:    make([]*shard, n),
+		shardSize: shardSize,
+		done:      make(chan struct{}),
+	}
+	for i := range e.shards {
+		e.shards[i] = &shard{
+			id:     uint8(i),
+			oldBuf: make([]byte, local.BlockSize()),
+			fpBuf:  make([]byte, local.BlockSize()),
+		}
 	}
 	if pw, ok := local.(ParityWriter); ok {
 		e.pw = pw
@@ -195,30 +290,87 @@ func NewEngine(local block.Store, cfg Config) (*Engine, error) {
 	return e, nil
 }
 
-// AttachReplica adds a replication destination and starts its ship
-// pipeline. Not safe to call concurrently with writes; attach replicas
-// before serving I/O. When the retry policy carries a per-attempt
-// timeout and the client supports request deadlines, the timeout is
-// installed here.
-func (e *Engine) AttachReplica(rc ReplicaClient) {
+// needsStream reports whether this engine's pushes must carry stream
+// tags: more than one shard, or a volume id to multiplex under.
+func (e *Engine) needsStream() bool {
+	return len(e.shards) > 1 || e.cfg.Volume != 0
+}
+
+// shardOf routes an LBA to its shard. Out-of-range LBAs clamp to the
+// last shard; the store rejects them with ErrOutOfRange anyway.
+func (e *Engine) shardOf(lba uint64) *shard {
+	i := lba / e.shardSize
+	if i >= uint64(len(e.shards)) {
+		i = uint64(len(e.shards)) - 1
+	}
+	return e.shards[i]
+}
+
+// Shards returns how many LBA-range shards the engine runs.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// ShardRange returns the LBA range shard s owns.
+func (e *Engine) ShardRange(s int) block.Range {
+	if s < 0 || s >= len(e.shards) {
+		return block.Range{}
+	}
+	start := uint64(s) * e.shardSize
+	count := e.shardSize
+	if nb := e.local.NumBlocks(); start+count > nb {
+		count = nb - start
+	}
+	return block.Range{Start: start, Count: count}
+}
+
+// ShardStats snapshots the per-shard write-path counters, indexed by
+// shard id.
+func (e *Engine) ShardStats() []metrics.ShardSnapshot { return e.shardM.Snapshot() }
+
+// AttachReplica adds a replication destination and starts one ship
+// pipeline per shard for it. Not safe to call concurrently with
+// writes; attach replicas before serving I/O. When the engine is
+// sharded or volume-tagged the client must implement
+// StreamReplicaClient — per-shard seq spaces folded into a replica's
+// single dedupe cursor would silently drop frames — so plain clients
+// are refused with ErrStreamClient. When the retry policy carries a
+// per-attempt timeout and the client supports request deadlines, the
+// timeout is installed here.
+func (e *Engine) AttachReplica(rc ReplicaClient) error {
+	rs := &replicaState{client: rc}
+	if sc, ok := rc.(StreamReplicaClient); ok {
+		rs.stream = sc
+	}
+	if e.needsStream() && rs.stream == nil {
+		return ErrStreamClient
+	}
 	if e.retry.Timeout > 0 {
 		if rt, ok := rc.(requestTimeouter); ok {
 			rt.SetRequestTimeout(e.retry.Timeout)
 		}
 	}
-	rs := &replicaState{
-		client: rc,
-		queue:  make(chan repMsg, e.cfg.QueueDepth),
-		dirty:  newDirtyMap(),
+	if bc, ok := rc.(BatchReplicaClient); ok {
+		rs.batch = bc
 	}
-	if e.cfg.BatchFrames > 1 {
-		if bc, ok := rc.(BatchReplicaClient); ok {
-			rs.batch = bc
-		}
+	if sbc, ok := rc.(StreamBatchReplicaClient); ok {
+		rs.sbatch = sbc
 	}
 	e.replicas = append(e.replicas, rs)
-	e.shippers.Add(1)
-	go e.shipper(rs)
+	rs.pipes = make([]*pipe, len(e.shards))
+	for i, s := range e.shards {
+		p := &pipe{
+			rs:    rs,
+			shard: s,
+			queue: make(chan repMsg, e.cfg.QueueDepth),
+			dirty: newDirtyMap(),
+		}
+		rs.pipes[i] = p
+		s.mu.Lock()
+		s.pipes = append(s.pipes, p)
+		s.mu.Unlock()
+		e.shippers.Add(1)
+		go e.shipper(p)
+	}
+	return nil
 }
 
 // Degraded reports whether any attached replica has exhausted its
@@ -267,32 +419,53 @@ func (e *Engine) ReplicaStats() []ReplicaStat {
 // DirtyRanges returns the merged runs of LBAs replica i (attach order)
 // is not known to hold correctly — frames dropped while degraded,
 // deliveries that failed past the retry budget, and applies the
-// replica refused as diverged. A ranged resync over exactly these runs
-// (resync.RunRanges) heals the replica without scanning the device;
-// clear the map afterwards with ClearDirty.
+// replica refused as diverged — aggregated across every shard. A
+// ranged resync over exactly these runs (resync.RunRanges) heals the
+// replica without scanning the device; clear the map afterwards with
+// ClearDirty.
 func (e *Engine) DirtyRanges(i int) []block.Range {
 	if i < 0 || i >= len(e.replicas) {
 		return nil
 	}
-	return e.replicas[i].dirty.ranges()
+	var all []block.Range
+	for _, p := range e.replicas[i].pipes {
+		all = append(all, p.dirty.ranges()...)
+	}
+	return block.NormalizeRanges(all, e.local.NumBlocks())
 }
 
-// DirtyBlocks returns how many LBAs replica i has dirty.
+// ShardDirtyRanges returns replica i's dirty runs restricted to shard
+// s — the unit a per-shard ranged resync repairs.
+func (e *Engine) ShardDirtyRanges(i, s int) []block.Range {
+	if i < 0 || i >= len(e.replicas) || s < 0 || s >= len(e.shards) {
+		return nil
+	}
+	return e.replicas[i].pipes[s].dirty.ranges()
+}
+
+// DirtyBlocks returns how many LBAs replica i has dirty across all
+// shards.
 func (e *Engine) DirtyBlocks(i int) uint64 {
 	if i < 0 || i >= len(e.replicas) {
 		return 0
 	}
-	return e.replicas[i].dirty.count()
+	var total uint64
+	for _, p := range e.replicas[i].pipes {
+		total += p.dirty.count()
+	}
+	return total
 }
 
-// ClearDirty forgets the given runs from replica i's dirty map — call
-// it after a ranged resync repaired them. With no runs it forgets the
-// whole map.
+// ClearDirty forgets the given runs from replica i's dirty maps — call
+// it after a ranged resync repaired them. With no runs it forgets
+// everything.
 func (e *Engine) ClearDirty(i int, ranges ...block.Range) {
 	if i < 0 || i >= len(e.replicas) {
 		return
 	}
-	e.replicas[i].dirty.clear(ranges)
+	for _, p := range e.replicas[i].pipes {
+		p.dirty.clear(ranges)
+	}
 }
 
 // ClearDegraded reinstates every degraded replica, zeroes the lag
@@ -335,33 +508,35 @@ func (e *Engine) NumBlocks() uint64 { return e.local.NumBlocks() }
 
 // WriteBlock implements block.Store: local write plus replication.
 //
-// The engine lock covers the local apply and the enqueue onto every
-// replica pipeline — frames must enter each queue in sequence order,
-// or two racing writers could deliver same-LBA updates to a replica
-// out of order — but never a network round trip. A full queue blocks
-// the enqueue, which then (deliberately) throttles all writers: the
-// paper's bounded queue, now one per replica. In synchronous mode the
-// write then waits, outside the lock, for every replica's ack, so
-// concurrent writers overlap their fan-out waits instead of
-// serializing WAN round trips behind the lock.
+// The shard lock covers the local apply and the enqueue onto every
+// pipeline of that shard — frames must enter each queue in sequence
+// order, or two racing writers could deliver same-LBA updates to a
+// replica out of order — but never a network round trip, and never
+// another shard's writes. A full queue blocks the enqueue, which then
+// (deliberately) throttles that shard's writers: the paper's bounded
+// queue, now one per (shard, replica). In synchronous mode the write
+// then waits, outside the lock, for every replica's ack, so concurrent
+// writers overlap their fan-out waits instead of serializing WAN round
+// trips behind a lock.
 func (e *Engine) WriteBlock(lba uint64, data []byte) error {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	s := e.shardOf(lba)
+	s.mu.Lock()
+	if e.closed.Load() {
+		s.mu.Unlock()
 		return ErrEngineClosed
 	}
 
-	fb, err := e.applyLocal(lba, data)
+	fb, err := e.applyLocal(s, lba, data)
 	if err != nil {
-		e.mu.Unlock()
+		s.mu.Unlock()
 		return err
 	}
 	if fb == nil { // unchanged block elided
-		e.mu.Unlock()
+		s.mu.Unlock()
 		return nil
 	}
-	e.seq++
-	seq := e.seq
+	s.seq++
+	seq := s.seq
 	var hash uint64
 	if !e.cfg.DisableVerify {
 		// The decoded new block at the replica must equal data in every
@@ -370,9 +545,9 @@ func (e *Engine) WriteBlock(lba uint64, data []byte) error {
 		hash = iscsi.HashBlock(data)
 	}
 
-	n := len(e.replicas)
+	n := len(s.pipes)
 	if n == 0 {
-		e.mu.Unlock()
+		s.mu.Unlock()
 		framePool.Put(fb)
 		return nil
 	}
@@ -382,19 +557,19 @@ func (e *Engine) WriteBlock(lba uint64, data []byte) error {
 		ack = make(chan error, n)
 	}
 	enqueued := 0
-	for _, rs := range e.replicas {
-		rs.pending.Add(1)
+	for _, p := range s.pipes {
+		p.rs.pending.Add(1)
 		select {
-		case rs.queue <- repMsg{seq: seq, lba: lba, hash: hash, frame: fb, ack: ack}:
+		case p.queue <- repMsg{seq: seq, lba: lba, hash: hash, frame: fb, ack: ack}:
 			enqueued++
 		case <-e.done:
-			rs.pending.Done()
+			p.rs.pending.Done()
 			fb.release(int32(n - enqueued))
-			e.mu.Unlock()
+			s.mu.Unlock()
 			return ErrEngineClosed
 		}
 	}
-	e.mu.Unlock()
+	s.mu.Unlock()
 
 	if ack == nil {
 		return nil
@@ -410,13 +585,15 @@ func (e *Engine) WriteBlock(lba uint64, data []byte) error {
 
 // applyLocal performs the local write and produces the encoded frame
 // to replicate in a pooled buffer, or nil if the write needs no
-// replication. Called with e.mu held.
-func (e *Engine) applyLocal(lba uint64, data []byte) (*frameBuf, error) {
+// replication. Called with s.mu held; scratch buffers are the shard's
+// own.
+func (e *Engine) applyLocal(s *shard, lba uint64, data []byte) (*frameBuf, error) {
 	bs := e.local.BlockSize()
 	if len(data) != bs {
 		return nil, fmt.Errorf("%w: %d != %d", block.ErrBadBufSize, len(data), bs)
 	}
 	e.traffic.AddWrite(bs)
+	e.shardM.AddWrite(int(s.id))
 
 	switch e.cfg.Mode {
 	case ModeTraditional, ModeCompressed:
@@ -440,19 +617,25 @@ func (e *Engine) applyLocal(lba uint64, data []byte) (*frameBuf, error) {
 
 	case ModePRINS:
 		start := time.Now()
-		fp := e.fpBuf
+		fp := s.fpBuf
 		if e.pw != nil {
 			// RAID fast path: the array hands us P' it computed anyway.
-			var err error
-			fp, err = e.pw.WriteBlockWithParity(lba, data)
+			// The array's parity buffer is shared, so the call serializes
+			// across shards and the result is copied into the shard's own
+			// scratch before the lock is released.
+			e.pwMu.Lock()
+			res, err := e.pw.WriteBlockWithParity(lba, data)
 			if err != nil {
+				e.pwMu.Unlock()
 				return nil, err
 			}
+			copy(fp, res)
+			e.pwMu.Unlock()
 		} else {
-			if err := e.local.ReadBlock(lba, e.oldBuf); err != nil {
+			if err := e.local.ReadBlock(lba, s.oldBuf); err != nil {
 				return nil, fmt.Errorf("core: read pre-image: %w", err)
 			}
-			if err := parity.ForwardInto(fp, data, e.oldBuf); err != nil {
+			if err := parity.ForwardInto(fp, data, s.oldBuf); err != nil {
 				return nil, err
 			}
 			if err := e.local.WriteBlock(lba, data); err != nil {
@@ -464,6 +647,7 @@ func (e *Engine) applyLocal(lba uint64, data []byte) (*frameBuf, error) {
 		}
 		if e.cfg.SkipUnchanged && parity.IsZero(fp) {
 			e.traffic.AddSkipped()
+			e.shardM.AddSkipped(int(s.id))
 			e.traffic.AddEncodeTime(time.Since(start))
 			return nil, nil
 		}
@@ -504,14 +688,16 @@ func (e *Engine) Drain() error {
 // and closes nothing else: the caller owns the local store and replica
 // clients.
 func (e *Engine) Close() error {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	if e.closed.Swap(true) {
 		return nil
 	}
-	e.closed = true
-	e.mu.Unlock()
-
+	// Barrier: once every shard lock has been cycled, no writer is
+	// still inside a critical section entered before closed was set,
+	// and every later writer observes it.
+	for _, s := range e.shards {
+		s.mu.Lock()
+		s.mu.Unlock() //nolint:staticcheck // empty section is the barrier
+	}
 	for _, rs := range e.replicas {
 		rs.pending.Wait()
 	}

@@ -14,20 +14,23 @@ import (
 	"prins/internal/xcode"
 )
 
-// Per-replica ship pipelines.
+// Per-(shard, replica) ship pipelines.
 //
-// Every attached replica owns a bounded FIFO queue drained by its own
-// shipper goroutine, so delivery to one replica never waits on another
-// replica's round trips, retries, or backoff — fan-out latency is the
-// slowest replica, not the sum. The write path enqueues onto every
-// queue while holding Engine.mu (frames enter each queue in sequence
-// order, which the replica's seq-dedupe relies on) but never performs
-// network I/O under the lock: synchronous writes wait for per-write
-// acks after the lock is released.
+// Every attached replica owns one bounded FIFO queue per shard, each
+// drained by its own shipper goroutine, so delivery to one replica
+// never waits on another replica's round trips — fan-out latency is
+// the slowest replica, not the sum — and one shard's backlog never
+// blocks another shard's pipeline to the same replica. The write path
+// enqueues onto every pipe of the owning shard while holding that
+// shard's lock (frames enter each queue in per-shard sequence order,
+// which the replica's per-stream seq-dedupe relies on) but never
+// performs network I/O under the lock: synchronous writes wait for
+// per-write acks after the lock is released.
 //
-// Degraded state, retry accounting, and sticky async errors all live
-// here, per replica, and are aggregated into the engine-wide Traffic
-// view.
+// Degraded state, retry accounting, and sticky async errors live on
+// the replica (shared across its pipes — a dead session is dead for
+// every shard); dirty maps live on the pipe, so recovery can resync
+// shard ranges independently.
 
 // repMsg is one queued replication job for one replica.
 type repMsg struct {
@@ -40,23 +43,29 @@ type repMsg struct {
 	ack chan<- error
 }
 
-// replicaState is one attached replica's ship pipeline: its queue,
-// delivery health, and counters. The degraded flag is atomic because
-// the shipper races with ClearDegraded and the Degraded accessors.
+// replicaState is one attached replica's shared delivery health and
+// counters; the per-shard queues hang off its pipes. The degraded flag
+// is atomic because shippers race with ClearDegraded and the Degraded
+// accessors.
 type replicaState struct {
 	client ReplicaClient
-	// batch is client's batching extension when it has one and
-	// Config.BatchFrames allows batching; nil keeps the single-frame
-	// ship path.
+	// batch is client's batching extension when it has one; nil keeps
+	// the single-frame ship path. Used for untagged pipes only.
 	batch BatchReplicaClient
-	queue chan repMsg
+	// stream is client's stream-tagging extension; required (non-nil)
+	// when the engine is sharded or volume-tagged.
+	stream StreamReplicaClient
+	// sbatch combines both; nil disables batching on tagged pipes.
+	sbatch StreamBatchReplicaClient
+
 	m     metrics.Replica
-	dirty *dirtyMap
+	pipes []*pipe // one per shard, shard order
 
 	degraded atomic.Bool
 
-	// pending counts frames enqueued but not yet fully processed;
-	// Drain and Close wait on it per replica.
+	// pending counts frames enqueued but not yet fully processed,
+	// across all of this replica's pipes; Drain and Close wait on it
+	// per replica.
 	pending sync.WaitGroup
 
 	errMu sync.Mutex
@@ -84,6 +93,24 @@ func (rs *replicaState) clearErr() {
 	rs.errMu.Lock()
 	rs.err = nil
 	rs.errMu.Unlock()
+}
+
+// pipe is one (shard, replica) ship pipeline: the shard's frames to
+// that replica flow through its queue in seq order, and the blocks the
+// replica is missing from that shard accumulate in its dirty map.
+type pipe struct {
+	rs    *replicaState
+	shard *shard
+	queue chan repMsg
+	dirty *dirtyMap
+}
+
+// tagged reports whether this pipe's wire frames carry a stream tag.
+// Shard 0 of a volume-0 engine ships untagged, byte-identical to the
+// pre-sharding wire format — which is consistent, because the replica
+// folds the untagged stream and stream (0,0) into the same cursor.
+func (e *Engine) tagged(p *pipe) bool {
+	return p.shard.id != 0 || e.cfg.Volume != 0
 }
 
 // frameBuf is a pooled, reference-counted encode buffer. One frame is
@@ -114,20 +141,20 @@ func (fb *frameBuf) release(n int32) {
 	}
 }
 
-// shipper is one replica's pipeline worker: it drains the replica's
-// queue in FIFO (= sequence) order until the engine closes, then
-// finishes whatever is still queued and exits.
-func (e *Engine) shipper(rs *replicaState) {
+// shipper is one pipe's pipeline worker: it drains the queue in FIFO
+// (= per-shard sequence) order until the engine closes, then finishes
+// whatever is still queued and exits.
+func (e *Engine) shipper(p *pipe) {
 	defer e.shippers.Done()
 	for {
 		select {
-		case msg := <-rs.queue:
-			e.deliver(rs, msg)
+		case msg := <-p.queue:
+			e.deliver(p, msg)
 		case <-e.done:
 			for {
 				select {
-				case msg := <-rs.queue:
-					e.deliver(rs, msg)
+				case msg := <-p.queue:
+					e.deliver(p, msg)
 				default:
 					return
 				}
@@ -136,22 +163,36 @@ func (e *Engine) shipper(rs *replicaState) {
 	}
 }
 
+// batcher returns the batching client a pipe's drained backlog ships
+// through, or nil when this pipe must ship frame by frame: tagged
+// pipes need the stream-batch extension, untagged pipes the plain one,
+// and BatchFrames: 1 disables batching everywhere.
+func (e *Engine) batcher(p *pipe) bool {
+	if e.cfg.BatchFrames <= 1 {
+		return false
+	}
+	if e.tagged(p) {
+		return p.rs.sbatch != nil
+	}
+	return p.rs.batch != nil
+}
+
 // deliver routes one dequeued message: the batching path drains the
 // queue behind it into one wire PDU; clients without batching support
 // keep the original single-frame path.
-func (e *Engine) deliver(rs *replicaState, msg repMsg) {
-	if rs.batch == nil {
-		e.process(rs, msg)
+func (e *Engine) deliver(p *pipe, msg repMsg) {
+	if !e.batcher(p) {
+		e.process(p, msg)
 		return
 	}
-	e.processBatch(rs, e.drainBatch(rs, msg))
+	e.processBatch(p, e.drainBatch(p, msg))
 }
 
 // process handles one queued frame for one replica: deliver (or drop
 // if degraded), account, then report — to the waiting writer in sync
 // mode, to the sticky per-replica error in async mode.
-func (e *Engine) process(rs *replicaState, msg repMsg) {
-	e.finish(rs, msg, e.shipTo(rs, msg.seq, msg.lba, msg.hash, msg.frame.buf))
+func (e *Engine) process(p *pipe, msg repMsg) {
+	e.finish(p.rs, msg, e.shipTo(p, msg.seq, msg.lba, msg.hash, msg.frame.buf))
 }
 
 // finish settles one queued message exactly once: report the delivery
@@ -168,17 +209,17 @@ func (e *Engine) finish(rs *replicaState, msg repMsg, err error) {
 	rs.pending.Done()
 }
 
-// drainBatch opportunistically drains rs's queue behind first, up to
+// drainBatch opportunistically drains p's queue behind first, up to
 // the configured frame/byte caps, without ever blocking: batches form
 // only from backlog already sitting in the queue, so an idle pipeline
 // keeps single-write latency while a pipeline behind a slow link
 // amortizes its round trips over everything that queued up meanwhile.
-func (e *Engine) drainBatch(rs *replicaState, first repMsg) []repMsg {
+func (e *Engine) drainBatch(p *pipe, first repMsg) []repMsg {
 	msgs := []repMsg{first}
 	bytes := len(first.frame.buf)
 	for len(msgs) < e.cfg.BatchFrames && bytes < e.cfg.BatchBytes {
 		select {
-		case msg := <-rs.queue:
+		case msg := <-p.queue:
 			msgs = append(msgs, msg)
 			bytes += len(msg.frame.buf)
 		default:
@@ -216,16 +257,18 @@ func plainGroups(msgs []repMsg) []batchGroup {
 // message from its own entry's status — one diverged block marks its
 // LBA dirty without failing its batch-mates. A batch of one takes the
 // plain single-frame path, which on the wire is the v3 OpReplicaWrite
-// PDU, byte-identical to pre-batching shipping.
-func (e *Engine) processBatch(rs *replicaState, msgs []repMsg) {
+// PDU (or its stream-tagged v5 form), byte-identical to pre-batching
+// shipping for untagged pipes.
+func (e *Engine) processBatch(p *pipe, msgs []repMsg) {
+	rs := p.rs
 	e.traffic.ObserveBatch(len(msgs))
 	if len(msgs) == 1 {
-		e.process(rs, msgs[0])
+		e.process(p, msgs[0])
 		return
 	}
 	if rs.degraded.Load() {
 		for _, m := range msgs {
-			e.dropFrame(rs, m.lba)
+			e.dropFrame(p, m.lba)
 			e.finish(rs, m, nil)
 		}
 		return
@@ -241,16 +284,16 @@ func (e *Engine) processBatch(rs *replicaState, msgs []repMsg) {
 		entries[k] = g.entry
 	}
 
-	statuses, err := e.shipBatch(rs, entries)
+	statuses, err := e.shipBatch(p, entries)
 	if err != nil {
 		// Transport-level failure: the replica acknowledged nothing.
 		for _, g := range groups {
-			rs.dirty.mark(g.entry.LBA)
+			p.dirty.mark(g.entry.LBA)
 		}
 		if e.cfg.AllowDegraded {
 			rs.degraded.Store(true)
 			for _, m := range msgs {
-				e.dropFrame(rs, m.lba)
+				e.dropFrame(p, m.lba)
 				e.finish(rs, m, nil)
 			}
 			return
@@ -287,18 +330,18 @@ func (e *Engine) processBatch(rs *replicaState, msgs []repMsg) {
 		case iscsi.StatusDiverged:
 			// Detected corruption at one block: dirty-map it for a ranged
 			// resync; the write stays successful (see shipTo).
-			rs.dirty.mark(g.entry.LBA)
+			p.dirty.mark(g.entry.LBA)
 			rs.m.AddDiverged()
 			e.traffic.AddDiverged()
 			for _, m := range g.msgs {
 				e.finish(rs, m, nil)
 			}
 		default:
-			rs.dirty.mark(g.entry.LBA)
+			p.dirty.mark(g.entry.LBA)
 			if e.cfg.AllowDegraded {
 				rs.degraded.Store(true)
 				for _, m := range g.msgs {
-					e.dropFrame(rs, m.lba)
+					e.dropFrame(p, m.lba)
 					e.finish(rs, m, nil)
 				}
 				continue
@@ -318,6 +361,7 @@ func (e *Engine) processBatch(rs *replicaState, msgs []repMsg) {
 	wire := int64(wan.WireBytesDiscrete(iscsi.BatchWireLen(entries)))
 	rs.m.AddBatch(okMsgs, payload, wire, unbatched-wire)
 	e.traffic.AddBatch(okMsgs, payload, wire, unbatched-wire)
+	e.shardM.AddShipped(int(p.shard.id), int64(okMsgs))
 }
 
 // coalesce folds a drained batch into wire entries. In ModePRINS,
@@ -388,10 +432,20 @@ func (e *Engine) coalesce(msgs []repMsg) []batchGroup {
 // replica already applied dedupe by seq and come back StatusOK, so
 // redelivery cannot double-XOR — while per-entry refusals ride the
 // returned status vector and are never retried here (a diverged entry
-// is deterministic corruption, not transient loss).
-func (e *Engine) shipBatch(rs *replicaState, entries []iscsi.BatchEntry) ([]iscsi.Status, error) {
+// is deterministic corruption, not transient loss). Tagged pipes ship
+// through the stream-batch client so the whole batch lands on this
+// pipe's (vol, shard) dedupe cursor.
+func (e *Engine) shipBatch(p *pipe, entries []iscsi.BatchEntry) ([]iscsi.Status, error) {
+	rs := p.rs
+	tagged := e.tagged(p)
 	for attempt := 1; ; attempt++ {
-		statuses, err := rs.batch.ReplicaWriteBatch(uint8(e.cfg.Mode), entries)
+		var statuses []iscsi.Status
+		var err error
+		if tagged {
+			statuses, err = rs.sbatch.ReplicaWriteBatchStream(uint8(e.cfg.Mode), p.shard.id, e.cfg.Volume, entries)
+		} else {
+			statuses, err = rs.batch.ReplicaWriteBatch(uint8(e.cfg.Mode), entries)
+		}
 		if err == nil || attempt >= e.retry.Attempts {
 			return statuses, err
 		}
@@ -408,7 +462,7 @@ func (e *Engine) shipBatch(rs *replicaState, entries []iscsi.BatchEntry) ([]iscs
 // replica (AllowDegraded: the frame counts as dropped and the write
 // stays successful) or is returned as the delivery error. A replica
 // that refuses the apply as diverged is handled separately: the write
-// stays successful, the LBA lands in the replica's dirty map, and a
+// stays successful, the LBA lands in the pipe's dirty map, and a
 // ranged resync repairs it — divergence is detected corruption, not a
 // transport failure, so retrying the same frame cannot help and
 // degrading the whole replica would be overkill for one bad block.
@@ -417,22 +471,23 @@ func (e *Engine) shipBatch(rs *replicaState, entries []iscsi.BatchEntry) ([]iscs
 // Traffic is counted only on successful delivery, so
 // PayloadBytes/WireBytes measure what the replica actually
 // acknowledged.
-func (e *Engine) shipTo(rs *replicaState, seq, lba, hash uint64, frame []byte) error {
+func (e *Engine) shipTo(p *pipe, seq, lba, hash uint64, frame []byte) error {
+	rs := p.rs
 	if rs.degraded.Load() {
-		e.dropFrame(rs, lba)
+		e.dropFrame(p, lba)
 		return nil
 	}
-	if err := e.shipOne(rs, seq, lba, hash, frame); err != nil {
+	if err := e.shipOne(p, seq, lba, hash, frame); err != nil {
 		if errors.Is(err, iscsi.ErrDiverged) {
-			rs.dirty.mark(lba)
+			p.dirty.mark(lba)
 			rs.m.AddDiverged()
 			e.traffic.AddDiverged()
 			return nil
 		}
-		rs.dirty.mark(lba)
+		p.dirty.mark(lba)
 		if e.cfg.AllowDegraded {
 			rs.degraded.Store(true)
-			e.dropFrame(rs, lba)
+			e.dropFrame(p, lba)
 			return nil
 		}
 		return fmt.Errorf("core: replicate seq %d lba %d: %w", seq, lba, err)
@@ -440,6 +495,7 @@ func (e *Engine) shipTo(rs *replicaState, seq, lba, hash uint64, frame []byte) e
 	wire := wan.WireBytesDiscrete(len(frame))
 	rs.m.AddShipped(len(frame), wire)
 	e.traffic.AddReplicated(len(frame), wire)
+	e.shardM.AddShipped(int(p.shard.id), 1)
 	return nil
 }
 
@@ -447,10 +503,18 @@ func (e *Engine) shipTo(rs *replicaState, seq, lba, hash uint64, frame []byte) e
 // A diverged refusal short-circuits the retry loop: the replica
 // verified the frame against its own block and said no — redelivering
 // the identical frame is deterministic failure, not transient loss.
-func (e *Engine) shipOne(rs *replicaState, seq, lba, hash uint64, frame []byte) error {
+// Tagged pipes ship through the stream client so the frame lands on
+// this pipe's (vol, shard) dedupe cursor.
+func (e *Engine) shipOne(p *pipe, seq, lba, hash uint64, frame []byte) error {
+	rs := p.rs
+	tagged := e.tagged(p)
 	var err error
 	for attempt := 1; ; attempt++ {
-		err = rs.client.ReplicaWrite(uint8(e.cfg.Mode), seq, lba, hash, frame)
+		if tagged {
+			err = rs.stream.ReplicaWriteStream(uint8(e.cfg.Mode), p.shard.id, e.cfg.Volume, seq, lba, hash, frame)
+		} else {
+			err = rs.client.ReplicaWrite(uint8(e.cfg.Mode), seq, lba, hash, frame)
+		}
 		if err == nil || errors.Is(err, iscsi.ErrDiverged) || attempt >= e.retry.Attempts {
 			return err
 		}
@@ -462,14 +526,15 @@ func (e *Engine) shipOne(rs *replicaState, seq, lba, hash uint64, frame []byte) 
 	}
 }
 
-// dropFrame accounts one frame elided because rs is degraded: the LBA
-// goes in the dirty map, the replica's own dropped/lag counters
-// advance, the engine-wide dropped total advances, and the engine-wide
-// lag gauge is raised to the worst per-replica lag (max, not sum — see
-// metrics.Traffic.RaiseReplicaLag).
-func (e *Engine) dropFrame(rs *replicaState, lba uint64) {
-	rs.dirty.mark(lba)
-	lag := rs.m.AddDropped()
+// dropFrame accounts one frame elided because the pipe's replica is
+// degraded: the LBA goes in the pipe's dirty map, the replica's own
+// dropped/lag counters advance, the engine-wide dropped total
+// advances, and the engine-wide lag gauge is raised to the worst
+// per-replica lag (max, not sum — see metrics.Traffic.RaiseReplicaLag).
+func (e *Engine) dropFrame(p *pipe, lba uint64) {
+	p.dirty.mark(lba)
+	lag := p.rs.m.AddDropped()
 	e.traffic.AddDropped()
 	e.traffic.RaiseReplicaLag(lag)
+	e.shardM.AddDropped(int(p.shard.id))
 }

@@ -14,6 +14,27 @@ import (
 	"prins/internal/xcode"
 )
 
+// streamKey packs a (vol, shard) replication stream tag into one map
+// key. The zero key is the default stream untagged (v3/v4) pushes
+// apply against.
+func streamKey(shard uint8, vol uint16) uint32 {
+	return uint32(vol)<<8 | uint32(shard)
+}
+
+// replicaStream is one (vol, shard) replication stream's apply state:
+// its own dedupe cursor and scratch buffers, behind its own lock, so
+// streams with disjoint LBA ranges apply concurrently. The merge-layer
+// ordering rule: order is guaranteed within a stream (the primary
+// ships each shard's frames in seq order over its own pipeline) and
+// undefined across streams, which is safe because shards own disjoint
+// LBA ranges.
+type replicaStream struct {
+	mu      sync.Mutex
+	lastSeq uint64
+	oldBuf  []byte
+	newBuf  []byte
+}
+
 // ReplicaEngine is the replica-side PRINS engine: it receives encoded
 // frames pushed by a primary, recovers the data block, and stores it
 // in place at the same LBA. For ModePRINS frames that means the
@@ -21,31 +42,51 @@ import (
 // replica's own old copy, which exists because replication starts from
 // an initial sync.
 //
-// It implements iscsi.Backend so a replica node simply exports it
-// through a target; it also applies frames directly via Apply for
-// in-process (loopback) replication.
+// A sharded primary ships one seq stream per (vol, shard); the engine
+// keeps an independent dedupe cursor per stream (the merge layer), so
+// interleaved streams over one session never trip each other's
+// seq-dedupe. Untagged pushes apply against the zero stream, which is
+// exactly the pre-sharding behaviour.
+//
+// It implements iscsi.Backend (and the stream/batch extensions) so a
+// replica node simply exports it through a target; it also applies
+// frames directly via Apply for in-process (loopback) replication.
 type ReplicaEngine struct {
 	store   block.Store
 	traffic *metrics.Traffic
 
-	mu      sync.Mutex // serializes applies; order matters
-	lastSeq uint64
-	oldBuf  []byte
-	newBuf  []byte
+	// mu serializes direct (non-replication) writes: the initial sync
+	// and resync repairs. Stream applies do not take it — repairs must
+	// be quiesced per the recovery lifecycle (Drain → resync →
+	// ClearDegraded) before they may touch LBAs with applies in flight.
+	mu sync.Mutex
+
+	// streamsMu guards the stream table only; each stream has its own
+	// apply lock.
+	streamsMu sync.Mutex
+	streams   map[uint32]*replicaStream
 
 	// jrnl, when non-nil, is the crash-safe apply journal: the decoded
 	// new block is persisted (Begin) before the in-place store write
 	// and cleared (Commit) after, so a write torn by a crash — fatal
 	// under PRINS, where the block would be neither A_old nor A_new
 	// and poison every later XOR — is healed by replaying the journal.
+	// The journal is single-slot, so journaled applies serialize on
+	// jmu across all streams (the durable write per apply is the
+	// bottleneck anyway); jmu is always acquired before any stream
+	// lock.
 	jrnl *journal.Journal
+	jmu  sync.Mutex
 	// replay is set when a Begin landed but the store write or Commit
 	// did not; the next Apply replays the journal before proceeding.
+	// Guarded by jmu.
 	replay bool
 }
 
 var _ iscsi.Backend = (*ReplicaEngine)(nil)
 var _ iscsi.BatchBackend = (*ReplicaEngine)(nil)
+var _ iscsi.StreamBackend = (*ReplicaEngine)(nil)
+var _ iscsi.StreamBatchBackend = (*ReplicaEngine)(nil)
 
 // NewReplicaEngine wraps the replica's local store with no journal;
 // applies are not crash-safe. Use NewReplicaEngineJournaled for the
@@ -54,8 +95,7 @@ func NewReplicaEngine(store block.Store) *ReplicaEngine {
 	return &ReplicaEngine{
 		store:   store,
 		traffic: &metrics.Traffic{},
-		oldBuf:  make([]byte, store.BlockSize()),
-		newBuf:  make([]byte, store.BlockSize()),
+		streams: make(map[uint32]*replicaStream),
 	}
 }
 
@@ -67,16 +107,37 @@ func NewReplicaEngine(store block.Store) *ReplicaEngine {
 func NewReplicaEngineJournaled(store block.Store, jrnl *journal.Journal) (*ReplicaEngine, error) {
 	r := NewReplicaEngine(store)
 	r.jrnl = jrnl
-	if err := r.replayJournal(); err != nil {
+	r.jmu.Lock()
+	err := r.replayJournal()
+	r.jmu.Unlock()
+	if err != nil {
 		return nil, err
 	}
 	return r, nil
 }
 
-// replayJournal redoes the journaled intent, if any. Called with r.mu
-// held (or before the engine is shared). Replay is an idempotent
-// whole-block rewrite, so replaying an intent whose store write had
-// in fact completed is harmless.
+// stream returns the (vol, shard) stream's state, creating it on first
+// use.
+func (r *ReplicaEngine) stream(shard uint8, vol uint16) *replicaStream {
+	key := streamKey(shard, vol)
+	r.streamsMu.Lock()
+	defer r.streamsMu.Unlock()
+	st, ok := r.streams[key]
+	if !ok {
+		st = &replicaStream{
+			oldBuf: make([]byte, r.store.BlockSize()),
+			newBuf: make([]byte, r.store.BlockSize()),
+		}
+		r.streams[key] = st
+	}
+	return st
+}
+
+// replayJournal redoes the journaled intent, if any. Called with r.jmu
+// held (or before the engine is shared) and no stream lock held — the
+// entry's stream cursor is advanced under that stream's own lock.
+// Replay is an idempotent whole-block rewrite, so replaying an intent
+// whose store write had in fact completed is harmless.
 func (r *ReplicaEngine) replayJournal() error {
 	e, err := r.jrnl.Pending()
 	if err != nil {
@@ -99,11 +160,15 @@ func (r *ReplicaEngine) replayJournal() error {
 		r.replay = true
 		return fmt.Errorf("core: replica journal replay lba %d: %w", e.LBA, err)
 	}
-	// The journaled seq was applied; advancing lastSeq makes the
-	// primary's redelivery of it dedupe instead of double-XORing.
-	if e.Seq > r.lastSeq {
-		r.lastSeq = e.Seq
+	// The journaled seq was applied; advancing its stream's lastSeq
+	// makes the primary's redelivery of it dedupe instead of
+	// double-XORing.
+	st := r.stream(e.Shard, e.Vol)
+	st.mu.Lock()
+	if e.Seq > st.lastSeq {
+		st.lastSeq = e.Seq
 	}
+	st.mu.Unlock()
 	r.traffic.AddReplicaWrite()
 	return nil
 }
@@ -111,11 +176,17 @@ func (r *ReplicaEngine) replayJournal() error {
 // Traffic returns the replica's counters (decode time, applied writes).
 func (r *ReplicaEngine) Traffic() *metrics.Traffic { return r.traffic }
 
-// LastSeq returns the highest sequence number applied.
-func (r *ReplicaEngine) LastSeq() uint64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.lastSeq
+// LastSeq returns the highest sequence number applied on the default
+// (zero) stream.
+func (r *ReplicaEngine) LastSeq() uint64 { return r.StreamLastSeq(0, 0) }
+
+// StreamLastSeq returns the highest sequence number applied on the
+// (vol, shard) stream.
+func (r *ReplicaEngine) StreamLastSeq(shard uint8, vol uint16) uint64 {
+	st := r.stream(shard, vol)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.lastSeq
 }
 
 // Store returns the underlying replica store (read-only use expected).
@@ -123,15 +194,21 @@ func (r *ReplicaEngine) Store() block.Store { return r.store }
 
 // Apply decodes one replication frame, verifies the recovered block
 // against the shipped content hash (when non-zero), and applies it to
-// the replica store — through the crash-safe journal when one is
-// attached.
+// the replica store against the default stream — through the
+// crash-safe journal when one is attached. See ApplyStream.
+func (r *ReplicaEngine) Apply(mode Mode, seq, lba, hash uint64, frame []byte) error {
+	return r.ApplyStream(mode, 0, 0, seq, lba, hash, frame)
+}
+
+// ApplyStream applies one replication frame against the (vol, shard)
+// stream's sequence space.
 //
-// Deliveries are deduplicated by sequence number: the primary ships
-// frames in seq order, so a frame at or below lastSeq is a retried
-// delivery whose first copy already landed (the ack was lost, not the
-// push). It is acknowledged without being re-applied — essential in
-// ModePRINS, where XOR-ing the same parity twice would corrupt the
-// block rather than no-op.
+// Deliveries are deduplicated by sequence number per stream: the
+// primary ships each stream's frames in seq order, so a frame at or
+// below the stream's lastSeq is a retried delivery whose first copy
+// already landed (the ack was lost, not the push). It is acknowledged
+// without being re-applied — essential in ModePRINS, where XOR-ing the
+// same parity twice would corrupt the block rather than no-op.
 //
 // A hash mismatch returns an error wrapping iscsi.ErrDiverged without
 // touching the store: in ModePRINS it means the replica's pre-image
@@ -139,16 +216,24 @@ func (r *ReplicaEngine) Store() block.Store { return r.store }
 // recovered block would replace silent corruption with fresh silent
 // corruption. The primary marks the LBA dirty and repairs it with a
 // ranged resync instead.
-func (r *ReplicaEngine) Apply(mode Mode, seq, lba, hash uint64, frame []byte) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-
-	if r.replay {
-		if err := r.replayJournal(); err != nil {
-			return err
+func (r *ReplicaEngine) ApplyStream(mode Mode, shard uint8, vol uint16, seq, lba, hash uint64, frame []byte) error {
+	if r.jrnl != nil {
+		// The single-slot journal serializes journaled applies; taking
+		// jmu before the stream lock also lets replay lock any stream.
+		r.jmu.Lock()
+		defer r.jmu.Unlock()
+		if r.replay {
+			if err := r.replayJournal(); err != nil {
+				return err
+			}
 		}
 	}
-	if seq != 0 && seq <= r.lastSeq {
+
+	st := r.stream(shard, vol)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+
+	if seq != 0 && seq <= st.lastSeq {
 		r.traffic.AddDuplicate()
 		return nil
 	}
@@ -168,13 +253,13 @@ func (r *ReplicaEngine) Apply(mode Mode, seq, lba, hash uint64, frame []byte) er
 	switch mode {
 	case ModeTraditional, ModeCompressed:
 	case ModePRINS:
-		if err := r.store.ReadBlock(lba, r.oldBuf); err != nil {
+		if err := r.store.ReadBlock(lba, st.oldBuf); err != nil {
 			return fmt.Errorf("core: replica read old seq %d: %w", seq, err)
 		}
-		if err := parity.BackwardInto(r.newBuf, payload, r.oldBuf); err != nil {
+		if err := parity.BackwardInto(st.newBuf, payload, st.oldBuf); err != nil {
 			return err
 		}
-		newBlock = r.newBuf
+		newBlock = st.newBuf
 	default:
 		return fmt.Errorf("core: replica: invalid mode %d", uint8(mode))
 	}
@@ -188,7 +273,7 @@ func (r *ReplicaEngine) Apply(mode Mode, seq, lba, hash uint64, frame []byte) er
 	}
 
 	if r.jrnl != nil {
-		if err := r.jrnl.Begin(seq, lba, hash, newBlock); err != nil {
+		if err := r.jrnl.BeginStream(shard, vol, seq, lba, hash, newBlock); err != nil {
 			return fmt.Errorf("core: replica seq %d: %w: %w", seq, iscsi.ErrReplicaStore, err)
 		}
 	}
@@ -210,22 +295,29 @@ func (r *ReplicaEngine) Apply(mode Mode, seq, lba, hash uint64, frame []byte) er
 
 	r.traffic.AddDecodeTime(time.Since(start))
 	r.traffic.AddReplicaWrite()
-	if seq > r.lastSeq {
-		r.lastSeq = seq
+	if seq > st.lastSeq {
+		st.lastSeq = seq
 	}
 	return nil
 }
 
-// ApplyBatch applies a batched push and returns one status per entry,
-// in the caller's order. Entries are walked in ascending seq order
-// through the same verify/journal Apply path as single pushes — the
-// primary ships batches seq-sorted already, so the stable re-sort is
-// normally a no-op — and each entry dedupes by seq exactly like a
-// retried single push: when a connection drops mid-batch and the whole
-// batch is redelivered, the already-applied prefix is acknowledged
-// instead of double-XORed. One refused entry (diverged, decode, store)
-// reports its own status without failing its batch-mates.
+// ApplyBatch applies a batched push against the default stream. See
+// ApplyBatchStream.
 func (r *ReplicaEngine) ApplyBatch(mode Mode, entries []iscsi.BatchEntry) []iscsi.Status {
+	return r.ApplyBatchStream(mode, 0, 0, entries)
+}
+
+// ApplyBatchStream applies a batched push against the (vol, shard)
+// stream and returns one status per entry, in the caller's order.
+// Entries are walked in ascending seq order through the same
+// verify/journal ApplyStream path as single pushes — the primary ships
+// batches seq-sorted already, so the stable re-sort is normally a
+// no-op — and each entry dedupes by seq exactly like a retried single
+// push: when a connection drops mid-batch and the whole batch is
+// redelivered, the already-applied prefix is acknowledged instead of
+// double-XORed. One refused entry (diverged, decode, store) reports
+// its own status without failing its batch-mates.
+func (r *ReplicaEngine) ApplyBatchStream(mode Mode, shard uint8, vol uint16, entries []iscsi.BatchEntry) []iscsi.Status {
 	order := make([]int, len(entries))
 	for i := range order {
 		order[i] = i
@@ -236,7 +328,7 @@ func (r *ReplicaEngine) ApplyBatch(mode Mode, entries []iscsi.BatchEntry) []iscs
 	statuses := make([]iscsi.Status, len(entries))
 	for _, k := range order {
 		e := entries[k]
-		if err := r.Apply(mode, e.Seq, e.LBA, e.Hash, e.Frame); err != nil {
+		if err := r.ApplyStream(mode, shard, vol, e.Seq, e.LBA, e.Hash, e.Frame); err != nil {
 			statuses[k] = statusOf(err)
 		} else {
 			statuses[k] = iscsi.StatusOK
@@ -246,9 +338,15 @@ func (r *ReplicaEngine) ApplyBatch(mode Mode, entries []iscsi.BatchEntry) []iscs
 }
 
 // HandleReplicaBatch implements iscsi.BatchBackend: the wire entry
-// point for batched pushes from the primary's engine.
+// point for untagged batched pushes from the primary's engine.
 func (r *ReplicaEngine) HandleReplicaBatch(mode uint8, entries []iscsi.BatchEntry) []iscsi.Status {
 	return r.ApplyBatch(Mode(mode), entries)
+}
+
+// HandleReplicaBatchStream implements iscsi.StreamBatchBackend: the
+// wire entry point for stream-tagged batched pushes.
+func (r *ReplicaEngine) HandleReplicaBatchStream(mode, shard uint8, vol uint16, entries []iscsi.BatchEntry) []iscsi.Status {
+	return r.ApplyBatchStream(Mode(mode), shard, vol, entries)
 }
 
 // Geometry implements iscsi.Backend.
@@ -270,8 +368,8 @@ func (r *ReplicaEngine) HandleRead(lba uint64, blocks uint32) ([]byte, iscsi.Sta
 }
 
 // HandleWrite implements iscsi.Backend. Direct writes are used by the
-// initial sync; they bypass replication (a replica does not re-
-// replicate).
+// initial sync and resync repairs; they bypass replication (a replica
+// does not re-replicate).
 func (r *ReplicaEngine) HandleWrite(lba uint64, data []byte) iscsi.Status {
 	bs := r.store.BlockSize()
 	if len(data) == 0 || len(data)%bs != 0 {
@@ -288,9 +386,18 @@ func (r *ReplicaEngine) HandleWrite(lba uint64, data []byte) iscsi.Status {
 }
 
 // HandleReplica implements iscsi.Backend: the wire entry point for
-// pushes from the primary's engine.
+// untagged pushes from the primary's engine.
 func (r *ReplicaEngine) HandleReplica(mode uint8, seq, lba, hash uint64, frame []byte) iscsi.Status {
 	if err := r.Apply(Mode(mode), seq, lba, hash, frame); err != nil {
+		return statusOf(err)
+	}
+	return iscsi.StatusOK
+}
+
+// HandleReplicaStream implements iscsi.StreamBackend: the wire entry
+// point for stream-tagged pushes.
+func (r *ReplicaEngine) HandleReplicaStream(mode, shard uint8, vol uint16, seq, lba, hash uint64, frame []byte) iscsi.Status {
+	if err := r.ApplyStream(Mode(mode), shard, vol, seq, lba, hash, frame); err != nil {
 		return statusOf(err)
 	}
 	return iscsi.StatusOK
@@ -305,6 +412,8 @@ type Loopback struct {
 
 var _ ReplicaClient = (*Loopback)(nil)
 var _ BatchReplicaClient = (*Loopback)(nil)
+var _ StreamReplicaClient = (*Loopback)(nil)
+var _ StreamBatchReplicaClient = (*Loopback)(nil)
 
 // ReplicaWrite implements ReplicaClient.
 func (l *Loopback) ReplicaWrite(mode uint8, seq, lba, hash uint64, frame []byte) error {
@@ -314,4 +423,14 @@ func (l *Loopback) ReplicaWrite(mode uint8, seq, lba, hash uint64, frame []byte)
 // ReplicaWriteBatch implements BatchReplicaClient.
 func (l *Loopback) ReplicaWriteBatch(mode uint8, entries []iscsi.BatchEntry) ([]iscsi.Status, error) {
 	return l.Replica.ApplyBatch(Mode(mode), entries), nil
+}
+
+// ReplicaWriteStream implements StreamReplicaClient.
+func (l *Loopback) ReplicaWriteStream(mode, shard uint8, vol uint16, seq, lba, hash uint64, frame []byte) error {
+	return l.Replica.ApplyStream(Mode(mode), shard, vol, seq, lba, hash, frame)
+}
+
+// ReplicaWriteBatchStream implements StreamReplicaClient.
+func (l *Loopback) ReplicaWriteBatchStream(mode, shard uint8, vol uint16, entries []iscsi.BatchEntry) ([]iscsi.Status, error) {
+	return l.Replica.ApplyBatchStream(Mode(mode), shard, vol, entries), nil
 }

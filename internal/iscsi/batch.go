@@ -56,6 +56,15 @@ type BatchBackend interface {
 	HandleReplicaBatch(mode uint8, entries []BatchEntry) []Status
 }
 
+// StreamBatchBackend extends BatchBackend with stream-tagged batches:
+// the whole batch belongs to one (vol, shard) replication stream — a
+// sharded primary ships each shard's pipeline as its own batches, so
+// the tag rides once in the PDU header rather than per entry.
+type StreamBatchBackend interface {
+	StreamBackend
+	HandleReplicaBatchStream(mode, shard uint8, vol uint16, entries []BatchEntry) []Status
+}
+
 // batchDataLen validates entries against the protocol bounds and
 // returns the batch's data-segment length.
 func batchDataLen(entries []BatchEntry) (int, error) {
@@ -212,8 +221,9 @@ type buffersWriter interface {
 // assembling a contiguous copy of the payload: the header, the entry
 // metadata, and the caller's frames go out as one vectored write. The
 // digest streams over the pieces in wire order, so the bytes are
-// indistinguishable from a contiguously-built PDU.
-func writeBatchPDU(w io.Writer, mode uint8, itt uint32, entries []BatchEntry) (int64, error) {
+// indistinguishable from a contiguously-built PDU. A nonzero
+// (shard, vol) stream tag stamps the v5 framing.
+func writeBatchPDU(w io.Writer, mode, shard uint8, vol uint16, itt uint32, entries []BatchEntry) (int64, error) {
 	dataLen, err := batchDataLen(entries)
 	if err != nil {
 		return 0, err
@@ -223,8 +233,13 @@ func writeBatchPDU(w io.Writer, mode uint8, itt uint32, entries []BatchEntry) (i
 	var hdr [headerLen]byte
 	hdr[0] = protoMagic
 	hdr[1] = protoVersion // the one v4 opcode
+	if shard != 0 || vol != 0 {
+		hdr[1] = streamVersion
+	}
 	hdr[2] = byte(OpReplicaWriteBatch)
 	hdr[4] = mode
+	hdr[5] = shard
+	binary.BigEndian.PutUint16(hdr[6:], vol)
 	binary.BigEndian.PutUint32(hdr[8:], itt)
 	binary.BigEndian.PutUint32(hdr[24:], uint32(dataLen))
 
@@ -266,12 +281,21 @@ func writeBatchPDU(w io.Writer, mode uint8, itt uint32, entries []BatchEntry) (i
 // retried once over a fresh session when reconnection is armed
 // (replica seq-dedupe makes redelivery safe).
 func (i *Initiator) ReplicaWriteBatch(mode uint8, entries []BatchEntry) ([]Status, error) {
+	return i.ReplicaWriteBatchStream(mode, 0, 0, entries)
+}
+
+// ReplicaWriteBatchStream is ReplicaWriteBatch tagged with a
+// (vol, shard) replication stream: the whole batch applies against
+// that stream's sequence space on the replica, so a sharded primary
+// can interleave per-shard batches over one session. A zero tag is
+// byte-identical to ReplicaWriteBatch.
+func (i *Initiator) ReplicaWriteBatchStream(mode, shard uint8, vol uint16, entries []BatchEntry) ([]Status, error) {
 	if len(entries) == 0 {
 		return nil, fmt.Errorf("iscsi: empty replica batch")
 	}
 	if len(entries) == 1 {
 		e := entries[0]
-		resp, err := i.roundTrip(&PDU{Op: OpReplicaWrite, Mode: mode, Seq: e.Seq, LBA: e.LBA, Hash: e.Hash, Data: e.Frame})
+		resp, err := i.roundTrip(&PDU{Op: OpReplicaWrite, Mode: mode, Shard: shard, Vol: vol, Seq: e.Seq, LBA: e.LBA, Hash: e.Hash, Data: e.Frame})
 		if err != nil {
 			return nil, err
 		}
@@ -281,12 +305,12 @@ func (i *Initiator) ReplicaWriteBatch(mode uint8, entries []BatchEntry) ([]Statu
 	i.mu.Lock()
 	defer i.mu.Unlock()
 
-	resp, err := i.doBatch(mode, entries)
+	resp, err := i.doBatch(mode, shard, vol, entries)
 	if err != nil && i.redial != nil {
 		if rerr := i.reconnectLocked(); rerr != nil {
 			return nil, fmt.Errorf("iscsi: reconnect after %v: %w", err, rerr)
 		}
-		resp, err = i.doBatch(mode, entries)
+		resp, err = i.doBatch(mode, shard, vol, entries)
 	}
 	if err != nil {
 		return nil, err
@@ -299,7 +323,7 @@ func (i *Initiator) ReplicaWriteBatch(mode uint8, entries []BatchEntry) ([]Statu
 
 // doBatch performs one tagged batch request/response on the current
 // connection via the vectored writer. Called with i.mu held.
-func (i *Initiator) doBatch(mode uint8, entries []BatchEntry) (*PDU, error) {
+func (i *Initiator) doBatch(mode, shard uint8, vol uint16, entries []BatchEntry) (*PDU, error) {
 	conn := i.currentConn()
 	if conn == nil {
 		return nil, net.ErrClosed
@@ -314,7 +338,7 @@ func (i *Initiator) doBatch(mode uint8, entries []BatchEntry) (*PDU, error) {
 		defer conn.SetDeadline(time.Time{}) //nolint:errcheck // best-effort clear
 	}
 
-	n, err := writeBatchPDU(conn, mode, itt, entries)
+	n, err := writeBatchPDU(conn, mode, shard, vol, itt, entries)
 	i.wireSent += n
 	if err != nil {
 		return nil, err

@@ -288,7 +288,16 @@ func (i *Initiator) WriteBlock(lba uint64, data []byte) error {
 // the hash check, ErrReplicaDecode and ErrReplicaStore for decode and
 // device failures — all of them still matching ErrStatus.
 func (i *Initiator) ReplicaWrite(mode uint8, seq, lba, hash uint64, frame []byte) error {
-	resp, err := i.roundTrip(&PDU{Op: OpReplicaWrite, Mode: mode, Seq: seq, LBA: lba, Hash: hash, Data: frame})
+	return i.ReplicaWriteStream(mode, 0, 0, seq, lba, hash, frame)
+}
+
+// ReplicaWriteStream is ReplicaWrite tagged with a (vol, shard)
+// replication stream: seq is assigned within that stream's own
+// sequence space and the replica dedupes per stream, so a sharded
+// primary can interleave independent seq streams over one session. A
+// zero tag is byte-identical to ReplicaWrite.
+func (i *Initiator) ReplicaWriteStream(mode, shard uint8, vol uint16, seq, lba, hash uint64, frame []byte) error {
+	resp, err := i.roundTrip(&PDU{Op: OpReplicaWrite, Mode: mode, Shard: shard, Vol: vol, Seq: seq, LBA: lba, Hash: hash, Data: frame})
 	if err != nil {
 		return err
 	}

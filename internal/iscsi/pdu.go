@@ -163,6 +163,16 @@ const (
 	protoVersion = 4
 	// baseVersion is the framing version of all single-command opcodes.
 	baseVersion = 3
+	// streamVersion (v5) carries a replication stream tag in the
+	// previously-reserved header bytes: off 5 is the shard index and
+	// off 6-7 the volume id. Each (vol, shard) pair is an independent
+	// sequence space on the replica, so a sharded primary can ship N
+	// interleaved seq streams over one session without breaking
+	// seq-dedupe. The version byte is stamped 5 only when the tag is
+	// nonzero — an untagged push from a sharded-capable peer is
+	// byte-identical to v3/v4 framing, so un-sharded nodes interoperate
+	// until the first tagged push.
+	streamVersion = 5
 	// MaxDataSegment bounds a PDU's data segment; larger is rejected
 	// before allocation.
 	MaxDataSegment = 17 << 20
@@ -211,7 +221,8 @@ var (
 //	off 2  : opcode
 //	off 3  : status
 //	off 4  : mode (replication mode for OpReplicaWrite)
-//	off 5-7: reserved
+//	off 5  : shard (uint8)  replication stream shard index (v5)
+//	off 6-7: vol (uint16)   replication stream volume id (v5)
 //	off 8  : ITT  (uint32)  initiator task tag
 //	off 12 : LBA  (uint64)
 //	off 20 : blocks (uint32) block count for READ
@@ -230,6 +241,8 @@ type PDU struct {
 	Op     Opcode
 	Status Status
 	Mode   uint8
+	Shard  uint8  // replication stream shard index; zero = untagged
+	Vol    uint16 // replication stream volume id; zero = untagged
 	ITT    uint32
 	LBA    uint64
 	Blocks uint32
@@ -249,9 +262,14 @@ func (p *PDU) WriteTo(w io.Writer) (int64, error) {
 	if p.Op == OpReplicaWriteBatch {
 		hdr[1] = protoVersion
 	}
+	if p.Shard != 0 || p.Vol != 0 {
+		hdr[1] = streamVersion
+	}
 	hdr[2] = byte(p.Op)
 	hdr[3] = byte(p.Status)
 	hdr[4] = p.Mode
+	hdr[5] = p.Shard
+	binary.BigEndian.PutUint16(hdr[6:], p.Vol)
 	binary.BigEndian.PutUint32(hdr[8:], p.ITT)
 	binary.BigEndian.PutUint64(hdr[12:], p.LBA)
 	binary.BigEndian.PutUint32(hdr[20:], p.Blocks)
@@ -289,7 +307,7 @@ func ReadPDU(r io.Reader) (*PDU, error) {
 	if hdr[0] != protoMagic {
 		return nil, fmt.Errorf("%w: 0x%02x", ErrBadMagic, hdr[0])
 	}
-	if hdr[1] != baseVersion && hdr[1] != protoVersion {
+	if hdr[1] != baseVersion && hdr[1] != protoVersion && hdr[1] != streamVersion {
 		return nil, fmt.Errorf("%w: %d", ErrBadVersion, hdr[1])
 	}
 	dataLen := binary.BigEndian.Uint32(hdr[24:])
@@ -300,6 +318,8 @@ func ReadPDU(r io.Reader) (*PDU, error) {
 		Op:     Opcode(hdr[2]),
 		Status: Status(hdr[3]),
 		Mode:   hdr[4],
+		Shard:  hdr[5],
+		Vol:    binary.BigEndian.Uint16(hdr[6:]),
 		ITT:    binary.BigEndian.Uint32(hdr[8:]),
 		LBA:    binary.BigEndian.Uint64(hdr[12:]),
 		Blocks: binary.BigEndian.Uint32(hdr[20:]),

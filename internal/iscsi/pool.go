@@ -125,6 +125,13 @@ func (p *Pool) ReplicaWrite(mode uint8, seq, lba, hash uint64, frame []byte) err
 	return p.pick().ReplicaWrite(mode, seq, lba, hash, frame)
 }
 
+// ReplicaWriteStream implements the engine's stream-tagged push over
+// the pool: the replica orders each (vol, shard) stream by seq, so
+// frames from one stream may fan out across sessions.
+func (p *Pool) ReplicaWriteStream(mode, shard uint8, vol uint16, seq, lba, hash uint64, frame []byte) error {
+	return p.pick().ReplicaWriteStream(mode, shard, vol, seq, lba, hash, frame)
+}
+
 // BlockSize implements block.Store.
 func (p *Pool) BlockSize() int { return p.conns[0].BlockSize() }
 

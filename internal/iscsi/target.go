@@ -29,6 +29,20 @@ type Backend interface {
 	HandleReplica(mode uint8, seq, lba, hash uint64, frame []byte) Status
 }
 
+// StreamBackend is the optional stream-aware extension of Backend: a
+// replica that keeps one sequence space per (vol, shard) replication
+// stream. A v5 stream-tagged push routed at a backend that does not
+// implement StreamBackend is refused with StatusBadRequest — folding
+// tagged streams into a single sequence space would make the replica's
+// seq-dedupe silently drop frames from other shards.
+type StreamBackend interface {
+	Backend
+	// HandleReplicaStream applies a replication push against the
+	// (vol, shard) stream's sequence space. A zero tag is the default
+	// stream and behaves exactly like HandleReplica.
+	HandleReplicaStream(mode, shard uint8, vol uint16, seq, lba, hash uint64, frame []byte) Status
+}
+
 // StoreBackend adapts a block.Store into a Backend with no replication
 // support.
 type StoreBackend struct {
@@ -218,17 +232,37 @@ func (t *Target) logf(format string, args ...any) {
 	}
 }
 
+// applyReplica dispatches one replication push: stream-tagged pushes
+// require a StreamBackend (refused otherwise — see StreamBackend),
+// untagged pushes prefer the stream handler's default stream but fall
+// back to the v3 handler for un-upgraded backends.
+func applyReplica(backend Backend, mode, shard uint8, vol uint16, seq, lba, hash uint64, frame []byte) Status {
+	if sb, ok := backend.(StreamBackend); ok {
+		return sb.HandleReplicaStream(mode, shard, vol, seq, lba, hash, frame)
+	}
+	if shard != 0 || vol != 0 {
+		return StatusBadRequest
+	}
+	return backend.HandleReplica(mode, seq, lba, hash, frame)
+}
+
 // applyBatch dispatches a decoded batch to the backend: natively when
-// it implements BatchBackend, otherwise entry by entry through the v3
-// single-frame handler, so an un-upgraded backend behind an upgraded
-// target still serves batched sessions.
-func applyBatch(backend Backend, mode uint8, entries []BatchEntry) []Status {
-	if bb, ok := backend.(BatchBackend); ok {
-		return bb.HandleReplicaBatch(mode, entries)
+// it implements the (stream) batch interface, otherwise entry by entry
+// through the single-frame handlers, so an un-upgraded backend behind
+// an upgraded target still serves batched sessions. Stream-tagged
+// batches require stream support end to end.
+func applyBatch(backend Backend, mode, shard uint8, vol uint16, entries []BatchEntry) []Status {
+	if sbb, ok := backend.(StreamBatchBackend); ok {
+		return sbb.HandleReplicaBatchStream(mode, shard, vol, entries)
+	}
+	if shard == 0 && vol == 0 {
+		if bb, ok := backend.(BatchBackend); ok {
+			return bb.HandleReplicaBatch(mode, entries)
+		}
 	}
 	statuses := make([]Status, len(entries))
 	for i, e := range entries {
-		statuses[i] = backend.HandleReplica(mode, e.Seq, e.LBA, e.Hash, e.Frame)
+		statuses[i] = applyReplica(backend, mode, shard, vol, e.Seq, e.LBA, e.Hash, e.Frame)
 	}
 	return statuses
 }
@@ -315,7 +349,7 @@ func (t *Target) ServeConn(conn net.Conn) {
 				resp.Status = StatusNotLoggedIn
 				break
 			}
-			resp.Status = backend.HandleReplica(pdu.Mode, pdu.Seq, pdu.LBA, pdu.Hash, pdu.Data)
+			resp.Status = applyReplica(backend, pdu.Mode, pdu.Shard, pdu.Vol, pdu.Seq, pdu.LBA, pdu.Hash, pdu.Data)
 
 		case OpReplicaWriteBatch:
 			resp.Op = OpResp
@@ -329,7 +363,7 @@ func (t *Target) ServeConn(conn net.Conn) {
 				break
 			}
 			resp.Status = StatusOK
-			resp.Data = EncodeBatchStatuses(applyBatch(backend, pdu.Mode, entries))
+			resp.Data = EncodeBatchStatuses(applyBatch(backend, pdu.Mode, pdu.Shard, pdu.Vol, entries))
 
 		case OpHashCmd:
 			resp.Op = OpResp

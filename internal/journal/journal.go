@@ -44,7 +44,8 @@ type Backing interface {
 //
 //	off 0  : magic "PJN1" (4)
 //	off 4  : state (1): stateEmpty or stateIntent
-//	off 5-7: reserved
+//	off 5  : shard (uint8)  replication stream shard index
+//	off 6-7: vol (uint16)   replication stream volume id
 //	off 8  : seq  (uint64)
 //	off 16 : lba  (uint64)
 //	off 24 : hash (uint64) content hash of the new block
@@ -67,11 +68,16 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // the header promises with a valid header CRC).
 var ErrCorrupt = errors.New("journal: corrupt entry")
 
-// Entry is one decoded intent record.
+// Entry is one decoded intent record. Shard and Vol identify the
+// replication stream the intent belongs to, so replay advances the
+// right stream's dedupe cursor on a sharded replica; journals written
+// before stream tagging decode as the zero (default) stream.
 type Entry struct {
 	Seq   uint64
 	LBA   uint64
 	Hash  uint64
+	Shard uint8
+	Vol   uint16
 	Block []byte
 }
 
@@ -100,14 +106,24 @@ func NewMem() *Journal { return New(&Mem{}) }
 // Begin persists the intent to write block (the decoded A_new) at lba
 // with the given replication seq and content hash, durably, before the
 // caller performs the in-place store write. The slot must be clear
-// (committed or replayed); a new Begin simply overwrites it.
+// (committed or replayed); a new Begin simply overwrites it. The
+// intent is recorded against the zero (default) replication stream.
 func (j *Journal) Begin(seq, lba, hash uint64, block []byte) error {
+	return j.BeginStream(0, 0, seq, lba, hash, block)
+}
+
+// BeginStream is Begin tagged with the (vol, shard) replication stream
+// the intent belongs to, so replay advances that stream's dedupe
+// cursor on a sharded replica.
+func (j *Journal) BeginStream(shard uint8, vol uint16, seq, lba, hash uint64, block []byte) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 
 	buf := make([]byte, hdrLen+len(block))
 	copy(buf[0:4], journalMagic[:])
 	buf[4] = stateIntent
+	buf[5] = shard
+	binary.BigEndian.PutUint16(buf[6:], vol)
 	binary.BigEndian.PutUint64(buf[8:], seq)
 	binary.BigEndian.PutUint64(buf[16:], lba)
 	binary.BigEndian.PutUint64(buf[24:], hash)
@@ -185,9 +201,11 @@ func decodeHeader(hdr []byte) (e *Entry, plen uint32, ok bool) {
 		return nil, 0, false
 	}
 	return &Entry{
-		Seq:  binary.BigEndian.Uint64(hdr[8:]),
-		LBA:  binary.BigEndian.Uint64(hdr[16:]),
-		Hash: binary.BigEndian.Uint64(hdr[24:]),
+		Seq:   binary.BigEndian.Uint64(hdr[8:]),
+		LBA:   binary.BigEndian.Uint64(hdr[16:]),
+		Hash:  binary.BigEndian.Uint64(hdr[24:]),
+		Shard: hdr[5],
+		Vol:   binary.BigEndian.Uint16(hdr[6:]),
 	}, binary.BigEndian.Uint32(hdr[32:]), true
 }
 

@@ -33,35 +33,65 @@ func (atomicCounterRule) Check(p *Package, r *Reporter) {
 }
 
 // checkAtomicTypedFields flags any selection of a sync/atomic-typed
-// struct field that is not immediately the receiver of a method call.
+// struct field — or any indexing into a slice/array-of-atomics field,
+// the per-shard counter-bank shape ([]atomic.Int64) — that is not
+// immediately the receiver of a method call.
 func checkAtomicTypedFields(p *Package, r *Reporter) {
 	for _, f := range p.Files {
 		inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			selection, ok := p.Info.Selections[sel]
-			if !ok || selection.Kind() != types.FieldVal {
-				return true
-			}
-			if !isAtomicType(selection.Type()) {
-				return true
-			}
-			// Legitimate shape: x.field.Method(...) — the field is the
-			// X of a method SelectorExpr that is the Fun of a call.
-			if len(stack) >= 2 {
-				if parent, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && parent.X == sel {
-					if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok && call.Fun == parent {
-						return true
-					}
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				selection, ok := p.Info.Selections[n]
+				if !ok || selection.Kind() != types.FieldVal {
+					return true
 				}
+				if !isAtomicType(selection.Type()) {
+					return true
+				}
+				if isMethodReceiver(n, stack) {
+					return true
+				}
+				r.Report(n.Pos(), "atomic-counter",
+					fmt.Sprintf("atomic field %s used outside its method set; call Load/Store/Add on it directly", n.Sel.Name))
+			case *ast.IndexExpr:
+				// s.counters[i] where counters is a []atomic.X (or
+				// [N]atomic.X) field: the element is an atomic value,
+				// so everything but s.counters[i].Method(...) tears it.
+				sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				selection, ok := p.Info.Selections[sel]
+				if !ok || selection.Kind() != types.FieldVal {
+					return true
+				}
+				if !isAtomicElemType(selection.Type()) {
+					return true
+				}
+				if isMethodReceiver(n, stack) {
+					return true
+				}
+				r.Report(n.Pos(), "atomic-counter",
+					fmt.Sprintf("atomic element of field %s used outside its method set; call Load/Store/Add on it directly", sel.Sel.Name))
 			}
-			r.Report(sel.Pos(), "atomic-counter",
-				fmt.Sprintf("atomic field %s used outside its method set; call Load/Store/Add on it directly", sel.Sel.Name))
 			return true
 		})
 	}
+}
+
+// isMethodReceiver reports whether expr appears as x in the legitimate
+// shape x.Method(...): the X of a SelectorExpr that is the Fun of a
+// call.
+func isMethodReceiver(expr ast.Expr, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	parent, ok := stack[len(stack)-1].(*ast.SelectorExpr)
+	if !ok || parent.X != expr {
+		return false
+	}
+	call, ok := stack[len(stack)-2].(*ast.CallExpr)
+	return ok && call.Fun == parent
 }
 
 // isAtomicType reports whether t is a named type from sync/atomic.
@@ -72,6 +102,18 @@ func isAtomicType(t types.Type) bool {
 	}
 	pkg := named.Obj().Pkg()
 	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// isAtomicElemType reports whether t is a slice or array whose element
+// type is a sync/atomic type.
+func isAtomicElemType(t types.Type) bool {
+	switch t := t.Underlying().(type) {
+	case *types.Slice:
+		return isAtomicType(t.Elem())
+	case *types.Array:
+		return isAtomicType(t.Elem())
+	}
+	return false
 }
 
 // checkMixedAtomicAccess flags non-atomic reads/writes of plain fields

@@ -1,0 +1,92 @@
+package metrics
+
+import "sync/atomic"
+
+// ShardSet is a bank of per-shard write-path counters for a sharded
+// engine: one slot per LBA-range shard, indexed by shard id. Slots are
+// slices of atomics so the hot write path touches only its own shard's
+// counter — no shared cache line contention between shards. All
+// methods are safe for concurrent use; out-of-range shard indices are
+// ignored rather than panicking, since the wire carries shard ids from
+// peers.
+type ShardSet struct {
+	writes  []atomic.Int64
+	skipped []atomic.Int64
+	shipped []atomic.Int64
+	dropped []atomic.Int64
+}
+
+// NewShardSet allocates a counter bank for n shards.
+func NewShardSet(n int) *ShardSet {
+	if n < 1 {
+		n = 1
+	}
+	return &ShardSet{
+		writes:  make([]atomic.Int64, n),
+		skipped: make([]atomic.Int64, n),
+		shipped: make([]atomic.Int64, n),
+		dropped: make([]atomic.Int64, n),
+	}
+}
+
+// Shards returns the number of shard slots.
+func (s *ShardSet) Shards() int { return len(s.writes) }
+
+// AddWrite records one intercepted block write on shard i.
+func (s *ShardSet) AddWrite(i int) {
+	if i >= 0 && i < len(s.writes) {
+		s.writes[i].Add(1)
+	}
+}
+
+// AddSkipped records one elided (unchanged) write on shard i.
+func (s *ShardSet) AddSkipped(i int) {
+	if i >= 0 && i < len(s.skipped) {
+		s.skipped[i].Add(1)
+	}
+}
+
+// AddShipped records one frame delivered and acknowledged from shard
+// i's pipelines (logical pushes, so a coalesced batch counts each
+// source message).
+func (s *ShardSet) AddShipped(i int, n int64) {
+	if i >= 0 && i < len(s.shipped) {
+		s.shipped[i].Add(n)
+	}
+}
+
+// AddDropped records one frame elided from shard i's pipelines because
+// its replica was degraded.
+func (s *ShardSet) AddDropped(i int) {
+	if i >= 0 && i < len(s.dropped) {
+		s.dropped[i].Add(1)
+	}
+}
+
+// ShardSnapshot is a point-in-time copy of one shard's counters.
+type ShardSnapshot struct {
+	// Writes is the number of block writes routed to this shard.
+	Writes int64
+	// Skipped counts writes the shard elided because nothing changed.
+	Skipped int64
+	// Shipped counts frames this shard's pipelines delivered (across
+	// all replicas).
+	Shipped int64
+	// Dropped counts frames this shard's pipelines elided while a
+	// replica was degraded.
+	Dropped int64
+}
+
+// Snapshot copies every shard's counters, indexed by shard id.
+func (s *ShardSet) Snapshot() []ShardSnapshot {
+	out := make([]ShardSnapshot, len(s.writes))
+	for i := range out {
+		out[i] = ShardSnapshot{
+			Writes:  s.writes[i].Load(),
+			Skipped: s.skipped[i].Load(),
+			Shipped: s.shipped[i].Load(),
+			Dropped: s.dropped[i].Load(),
+		}
+	}
+	return out
+}

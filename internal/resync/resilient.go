@@ -65,11 +65,34 @@ func (c *ResilientClient) dial() (*iscsi.Initiator, error) {
 // the refused push redundant; it must NOT be re-applied on top of the
 // repair in PRINS mode, where the extra XOR would corrupt the block).
 func (c *ResilientClient) ReplicaWrite(mode uint8, seq, lba, hash uint64, frame []byte) error {
+	return c.push(lba, func(conn *iscsi.Initiator) error {
+		return conn.ReplicaWrite(mode, seq, lba, hash, frame)
+	})
+}
+
+// ReplicaWriteStream implements the engine's StreamReplicaClient
+// contract with the same reconnect-resync-resume behaviour as
+// ReplicaWrite, so sharded and multi-volume engines can attach a
+// resilient session. The post-reconnect resync covers the whole local
+// device, which heals every stream's gap at once; the per-stream
+// dedupe cursors on the replica make the subsequent redeliveries
+// no-ops.
+func (c *ResilientClient) ReplicaWriteStream(mode, shard uint8, vol uint16, seq, lba, hash uint64, frame []byte) error {
+	return c.push(lba, func(conn *iscsi.Initiator) error {
+		return conn.ReplicaWriteStream(mode, shard, vol, seq, lba, hash, frame)
+	})
+}
+
+// push runs one delivery attempt through the live session, healing a
+// diverged refusal in place and a transport failure by
+// reconnect + full resync (after which the push is redundant — see
+// ReplicaWrite).
+func (c *ResilientClient) push(lba uint64, send func(*iscsi.Initiator) error) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
 	if c.conn != nil {
-		err := c.conn.ReplicaWrite(mode, seq, lba, hash, frame)
+		err := send(c.conn)
 		if err == nil {
 			return nil
 		}

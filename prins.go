@@ -88,6 +88,16 @@ type Config struct {
 	// ships whichever frame is smaller, trading CPU for bytes.
 	AggressiveEncoding bool
 
+	// Shards splits the device into that many contiguous LBA ranges,
+	// each with its own write lock, sequence space, dirty maps, and
+	// per-replica ship pipelines, so concurrent writers to different
+	// regions of the device never contend and their replication round
+	// trips overlap. Same-LBA write ordering is preserved (an LBA
+	// always maps to the same shard). Zero or one keeps the classic
+	// single-lock engine and a wire format identical to pre-sharding
+	// peers; maximum 256.
+	Shards int
+
 	// BatchFrames caps how many queued frames a replica pipeline worker
 	// drains into one wire-level batch. Batching is opportunistic: a
 	// worker never waits for a batch to fill, it just takes whatever has
@@ -207,6 +217,7 @@ func NewPrimary(local Store, cfg Config) (*Primary, error) {
 		DisableVerify: cfg.DisableVerify,
 		BatchFrames:   cfg.BatchFrames,
 		BatchBytes:    cfg.BatchBytes,
+		Shards:        cfg.Shards,
 	})
 	if err != nil {
 		return nil, err
@@ -231,14 +242,17 @@ func (p *Primary) AttachReplicaAddr(addr, exportName string) error {
 		return fmt.Errorf("prins: replica %s geometry %dx%d incompatible with primary %dx%d",
 			addr, init.NumBlocks(), init.BlockSize(), nb, bs)
 	}
+	if err := p.engine.AttachReplica(init); err != nil {
+		_ = init.Close()
+		return err
+	}
 	p.conns = append(p.conns, init)
-	p.engine.AttachReplica(init)
 	return nil
 }
 
 // AttachReplica attaches an in-process replica.
-func (p *Primary) AttachReplica(r *Replica) {
-	p.engine.AttachReplica(&core.Loopback{Replica: r.engine})
+func (p *Primary) AttachReplica(r *Replica) error {
+	return p.engine.AttachReplica(&core.Loopback{Replica: r.engine})
 }
 
 // AttachReplicaResilient connects to a replica like AttachReplicaAddr
@@ -250,8 +264,11 @@ func (p *Primary) AttachReplicaResilient(addr, exportName string) error {
 	if err != nil {
 		return err
 	}
+	if err := p.engine.AttachReplica(rc); err != nil {
+		_ = rc.Close()
+		return err
+	}
 	p.resilient = append(p.resilient, rc)
-	p.engine.AttachReplica(rc)
 	return nil
 }
 
@@ -323,6 +340,51 @@ func (p *Primary) DirtyRanges(i int) []Range {
 // been repaired; with no runs it forgets all of them.
 func (p *Primary) ClearDirty(i int, ranges ...Range) {
 	p.engine.ClearDirty(i, toBlockRanges(ranges)...)
+}
+
+// Shards returns how many LBA-range shards the primary's write path
+// runs (see Config.Shards).
+func (p *Primary) Shards() int { return p.engine.Shards() }
+
+// ShardRange returns the LBA range shard s owns.
+func (p *Primary) ShardRange(s int) Range {
+	r := p.engine.ShardRange(s)
+	return Range{Start: r.Start, Count: r.Count}
+}
+
+// ShardStat is a snapshot of one shard's write-path counters.
+type ShardStat struct {
+	// Writes is the number of block writes routed to this shard.
+	Writes int64
+	// Skipped counts writes the shard elided because nothing changed.
+	Skipped int64
+	// Shipped counts frames this shard's pipelines delivered across all
+	// replicas.
+	Shipped int64
+	// Dropped counts frames this shard's pipelines elided while a
+	// replica was degraded.
+	Dropped int64
+}
+
+// ShardStats reports each shard's counters, indexed by shard id.
+func (p *Primary) ShardStats() []ShardStat {
+	snaps := p.engine.ShardStats()
+	out := make([]ShardStat, len(snaps))
+	for i, s := range snaps {
+		out[i] = ShardStat{Writes: s.Writes, Skipped: s.Skipped, Shipped: s.Shipped, Dropped: s.Dropped}
+	}
+	return out
+}
+
+// ShardDirtyRanges returns replica i's dirty runs restricted to shard
+// s — the unit a per-shard ranged resync repairs.
+func (p *Primary) ShardDirtyRanges(i, s int) []Range {
+	rs := p.engine.ShardDirtyRanges(i, s)
+	out := make([]Range, len(rs))
+	for j, r := range rs {
+		out[j] = Range{Start: r.Start, Count: r.Count}
+	}
+	return out
 }
 
 func toBlockRanges(ranges []Range) []block.Range {
