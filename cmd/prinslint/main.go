@@ -1,19 +1,24 @@
 // Command prinslint runs the PRINS invariant analyzer over the module:
 // a from-scratch static-analysis pass (internal/lint) enforcing the
-// data-path invariants go vet cannot see — dropped I/O errors, XOR
-// parity aliasing and buffer retention, nondeterministic chaos
-// machinery, non-atomic counter access, and unguarded wire-buffer
-// decoding.
+// data-path and concurrency invariants go vet cannot see — dropped I/O
+// errors, XOR parity aliasing and buffer retention, nondeterministic
+// chaos machinery, non-atomic counter access, unguarded wire-buffer
+// decoding, lock-order cycles and inversions, blocking operations
+// under held mutexes, pooled ref-counted frame misuse, and stop-less
+// goroutines.
 //
 // Usage:
 //
-//	prinslint [-json] [packages...]
+//	prinslint [-json] [-rules id,id,...] [-list] [packages...]
 //
-// Packages default to ./... relative to the enclosing module. Exit
-// status is 0 when the tree is clean, 1 when findings exist, and 2
-// when the tree fails to load or type-check. Findings are suppressed
-// in source with `//lint:ignore rule-id reason` on or directly above
-// the offending line.
+// Packages default to ./... relative to the enclosing module. -list
+// prints the rule set and exits. -rules restricts the run to a
+// comma-separated subset of rule ids (an unknown id is an error).
+// Exit status is 0 when the tree is clean, 1 when findings exist, and
+// 2 when the tree fails to load or type-check. Findings are
+// suppressed in source with `//lint:ignore rule-id[,rule-id...]
+// reason` on or directly above the offending line; lock orderings are
+// declared with `//lint:lockorder lock-a < lock-b rationale`.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"prins/internal/lint"
 )
@@ -34,16 +40,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("prinslint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON diagnostics")
-	rules := fs.Bool("rules", false, "list the rule set and exit")
+	list := fs.Bool("list", false, "list the rule set and exit")
+	subset := fs.String("rules", "", "comma-separated rule ids to run (default: all)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	if *rules {
+	if *list {
 		for _, r := range lint.DefaultRules() {
 			fmt.Fprintf(stdout, "%-18s %s\n", r.Name(), r.Doc())
 		}
 		return 0
+	}
+
+	rules := lint.DefaultRules()
+	if *subset != "" {
+		byName := make(map[string]lint.Rule, len(rules))
+		for _, r := range rules {
+			byName[r.Name()] = r
+		}
+		rules = rules[:0]
+		for _, name := range strings.Split(*subset, ",") {
+			r, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(stderr, "prinslint: unknown rule %q (see -list)\n", name)
+				return 2
+			}
+			rules = append(rules, r)
+		}
 	}
 
 	patterns := fs.Args()
@@ -60,6 +84,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "prinslint:", err)
 		return 2
 	}
+	runner.Rules = rules
 	diags, err := runner.Run(patterns)
 	if err != nil {
 		fmt.Fprintln(stderr, "prinslint:", err)

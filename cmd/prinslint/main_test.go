@@ -61,15 +61,45 @@ func TestRunJSONCleanIsEmptyArray(t *testing.T) {
 	}
 }
 
-func TestRunRulesFlag(t *testing.T) {
+func TestRunListFlag(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run([]string{"-rules"}, &out, &errb); code != 0 {
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
 	for _, r := range lint.DefaultRules() {
 		if !strings.Contains(out.String(), r.Name()) {
-			t.Errorf("-rules output misses %s:\n%s", r.Name(), out.String())
+			t.Errorf("-list output misses %s:\n%s", r.Name(), out.String())
 		}
+	}
+}
+
+func TestRunRulesSubset(t *testing.T) {
+	// The goroutineleak fixture is dirty under goroutine-leak but clean
+	// under unrelated rules, so the subset decides the exit code.
+	var out, errb bytes.Buffer
+	code := run([]string{"-rules", "goroutine-leak", "internal/lint/testdata/src/goroutineleak"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d with the matching rule, want 1\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "goroutine-leak") {
+		t.Errorf("subset run misses its rule's findings:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	code = run([]string{"-rules", "unchecked-error,xor-alias", "internal/lint/testdata/src/goroutineleak"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d with unrelated rules, want 0\n%s%s", code, out.String(), errb.String())
+	}
+}
+
+func TestRunRulesUnknownExitTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-rules", "no-such-rule"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d on an unknown rule, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "no-such-rule") {
+		t.Errorf("error should name the unknown rule: %q", errb.String())
 	}
 }
 

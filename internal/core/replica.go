@@ -75,6 +75,9 @@ type ReplicaEngine struct {
 	// jmu across all streams (the durable write per apply is the
 	// bottleneck anyway); jmu is always acquired before any stream
 	// lock.
+	//
+	//lint:lockorder core.ReplicaEngine.jmu < core.ReplicaEngine.streamsMu the journal serializes applies; the stream table is looked up inside the journaled section
+	//lint:lockorder core.ReplicaEngine.jmu < core.replicaStream.mu per-stream state is updated inside the journaled apply
 	jrnl *journal.Journal
 	jmu  sync.Mutex
 	// replay is set when a Begin landed but the store write or Commit

@@ -57,6 +57,20 @@ func (vm *VolumeManager) AddVolume(id uint16, store block.Store) (*Engine, error
 	if id == 0 {
 		return nil, fmt.Errorf("core: volume id 0 is reserved for the untagged default stream")
 	}
+	eng, err := vm.addVolumeLocked(id, store)
+	if err != nil {
+		if eng != nil {
+			// The half-built engine was never published in vm.vols, so
+			// nothing else can reach it; close it outside vm.mu because
+			// Close waits on the engine's pipeline goroutines.
+			_ = eng.Close()
+		}
+		return nil, err
+	}
+	return eng, nil
+}
+
+func (vm *VolumeManager) addVolumeLocked(id uint16, store block.Store) (*Engine, error) {
 	vm.mu.Lock()
 	defer vm.mu.Unlock()
 	if _, ok := vm.vols[id]; ok {
@@ -70,8 +84,7 @@ func (vm *VolumeManager) AddVolume(id uint16, store block.Store) (*Engine, error
 	}
 	for _, rc := range vm.clients {
 		if err := eng.AttachReplica(rc); err != nil {
-			_ = eng.Close()
-			return nil, err
+			return eng, err
 		}
 	}
 	vm.vols[id] = eng

@@ -305,11 +305,14 @@ func (i *Initiator) ReplicaWriteBatchStream(mode, shard uint8, vol uint16, entri
 	i.mu.Lock()
 	defer i.mu.Unlock()
 
+	//lint:ignore hold-blocking i.mu serializes the session to one in-flight batch; wire I/O under it is the session model
 	resp, err := i.doBatch(mode, shard, vol, entries)
 	if err != nil && i.redial != nil {
+		//lint:ignore hold-blocking reconnect reuses the same single-command session lock
 		if rerr := i.reconnectLocked(); rerr != nil {
 			return nil, fmt.Errorf("iscsi: reconnect after %v: %w", err, rerr)
 		}
+		//lint:ignore hold-blocking retry of the serialized batch after reconnect
 		resp, err = i.doBatch(mode, shard, vol, entries)
 	}
 	if err != nil {

@@ -17,6 +17,7 @@ const HashSize = 8
 // unit of comparison for delta resync.
 func HashBlock(data []byte) uint64 {
 	h := fnv.New64a()
+	//lint:ignore hold-blocking fnv.Hash writes are in-memory compute, not a blocking sink
 	h.Write(data)
 	return h.Sum64()
 }

@@ -25,6 +25,8 @@ type Initiator struct {
 	// connMu guards the live connection separately from mu so Close can
 	// sever a session (unblocking a stuck round trip) without waiting
 	// for the request lock.
+	//
+	//lint:lockorder iscsi.Initiator.mu < iscsi.Initiator.connMu Close takes connMu alone; the session path takes connMu inside mu
 	connMu sync.Mutex
 	conn   net.Conn
 	closed bool
@@ -133,13 +135,16 @@ func (i *Initiator) roundTrip(req *PDU) (*PDU, error) {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 
+	//lint:ignore hold-blocking i.mu serializes the session to one in-flight command; wire I/O under it is the session model
 	resp, err := i.do(req)
 	if err == nil || i.redial == nil {
 		return resp, err
 	}
+	//lint:ignore hold-blocking reconnect reuses the same single-command session lock
 	if rerr := i.reconnectLocked(); rerr != nil {
 		return nil, fmt.Errorf("iscsi: reconnect after %v: %w", err, rerr)
 	}
+	//lint:ignore hold-blocking retry of the serialized command after reconnect
 	return i.do(req)
 }
 

@@ -3,17 +3,23 @@
 // go/ast and go/types. It enforces the data-path invariants the
 // compiler and go vet cannot see: dropped I/O errors, XOR parity
 // aliasing and buffer retention, nondeterminism in the chaos
-// machinery, non-atomic counter access, and unguarded wire-buffer
-// decoding.
+// machinery, non-atomic counter access, unguarded wire-buffer
+// decoding — and, through flow-aware program rules that summarize
+// every function over a module-wide call graph, lock-ordering cycles
+// and inversions, blocking operations under held mutexes, pooled
+// ref-counted frame misuse, and stop-less goroutines.
 //
 // Findings render as "file:line:col: rule-id: message" and can be
 // suppressed with a trailing or preceding comment of the form
 //
-//	//lint:ignore rule-id reason
+//	//lint:ignore rule-id[,rule-id...] reason
 //
 // The reason is mandatory: a suppression without one is itself
 // reported (rule "directive"), as is a suppression naming an unknown
-// rule.
+// rule. The lock-order rule additionally reads machine-readable
+// ordering declarations:
+//
+//	//lint:lockorder pkg.Type.lockA < pkg.Type.lockB rationale
 package lint
 
 import (
@@ -51,6 +57,16 @@ type Rule interface {
 	Check(p *Package, r *Reporter)
 }
 
+// ProgramRule is the extension interface for flow-aware rules that
+// need the whole module at once: per-function summaries linked into a
+// call graph span package boundaries. For these rules Check is a
+// no-op and CheckProgram runs exactly once per lint run, after every
+// target package has been loaded.
+type ProgramRule interface {
+	Rule
+	CheckProgram(prog *Program, r *Reporter)
+}
+
 // DefaultRules returns the full prinslint rule set.
 func DefaultRules() []Rule {
 	return []Rule{
@@ -59,6 +75,10 @@ func DefaultRules() []Rule {
 		nondeterminismRule{},
 		atomicCounterRule{},
 		unboundedDecodeRule{},
+		lockOrderRule{},
+		holdBlockingRule{},
+		poolRefcountRule{},
+		goroutineLeakRule{},
 	}
 }
 
@@ -66,10 +86,12 @@ func DefaultRules() []Rule {
 // lint:ignore comments.
 const directiveRule = "directive"
 
-// Reporter collects diagnostics for one package, applying lint:ignore
-// suppression.
+// Reporter collects diagnostics, applying lint:ignore suppression. A
+// per-package reporter covers one package; the program-rule pass uses
+// one reporter spanning every loaded package (they all share the
+// loader's file set).
 type Reporter struct {
-	pkg   *Package
+	fset  *token.FileSet
 	base  string // diagnostics render paths relative to this
 	skip  map[suppressKey]bool
 	diags []Diagnostic
@@ -83,38 +105,78 @@ type suppressKey struct {
 
 const ignorePrefix = "//lint:ignore"
 
-// newReporter scans the package's comments for lint:ignore directives.
-// known maps valid rule ids; a directive naming anything else is
-// reported immediately.
-func newReporter(p *Package, base string, known map[string]bool) *Reporter {
-	r := &Reporter{pkg: p, base: base, skip: make(map[suppressKey]bool)}
+// parseIgnoreRules splits the text following //lint:ignore into its
+// comma-separated rule list. problem is non-empty for a malformed
+// directive.
+func parseIgnoreRules(rest string) (rules []string, problem string) {
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return nil, "malformed directive: want //lint:ignore rule-id[,rule-id...] reason"
+	}
+	for _, rule := range strings.Split(fields[0], ",") {
+		if rule == "" {
+			return nil, "malformed directive: empty rule id in list"
+		}
+		rules = append(rules, rule)
+	}
+	return rules, ""
+}
+
+// scanDirectives reads a package's lint:ignore comments into the skip
+// map. Directive problems (malformed, unknown rule) are emitted only
+// when emit is set, so the program-wide pass does not duplicate the
+// diagnostics the per-package pass already produced.
+func (r *Reporter) scanDirectives(p *Package, known map[string]bool, emit bool) {
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, ignorePrefix) {
+				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok {
 					continue
 				}
-				rest := strings.TrimPrefix(c.Text, ignorePrefix)
-				fields := strings.Fields(rest)
-				pos := p.Fset.Position(c.Pos())
-				if len(fields) < 2 {
-					r.emit(pos, directiveRule,
-						"malformed directive: want //lint:ignore rule-id reason")
+				pos := r.fset.Position(c.Pos())
+				rules, problem := parseIgnoreRules(rest)
+				if problem != "" {
+					if emit {
+						r.emit(pos, directiveRule, problem)
+					}
 					continue
 				}
-				rule := fields[0]
-				if !known[rule] {
-					r.emit(pos, directiveRule,
-						fmt.Sprintf("unknown rule %q in lint:ignore", rule))
-					continue
+				for _, rule := range rules {
+					if !known[rule] {
+						if emit {
+							r.emit(pos, directiveRule,
+								fmt.Sprintf("unknown rule %q in lint:ignore", rule))
+						}
+						continue
+					}
+					// The directive silences the rule on its own line
+					// (a trailing comment) and on the following line (a
+					// comment above the offending statement).
+					r.skip[suppressKey{pos.Filename, pos.Line, rule}] = true
+					r.skip[suppressKey{pos.Filename, pos.Line + 1, rule}] = true
 				}
-				// The directive silences the rule on its own line (a
-				// trailing comment) and on the following line (a
-				// comment above the offending statement).
-				r.skip[suppressKey{pos.Filename, pos.Line, rule}] = true
-				r.skip[suppressKey{pos.Filename, pos.Line + 1, rule}] = true
 			}
 		}
+	}
+}
+
+// newReporter builds the per-package reporter, scanning the package's
+// comments for lint:ignore directives. known maps valid rule ids; a
+// directive naming anything else is reported immediately.
+func newReporter(p *Package, base string, known map[string]bool) *Reporter {
+	r := &Reporter{fset: p.Fset, base: base, skip: make(map[suppressKey]bool)}
+	r.scanDirectives(p, known, true)
+	return r
+}
+
+// newProgramReporter builds the reporter for the program-rule pass: it
+// honors suppressions from every package but re-emits no directive
+// diagnostics.
+func newProgramReporter(fset *token.FileSet, pkgs []*Package, base string, known map[string]bool) *Reporter {
+	r := &Reporter{fset: fset, base: base, skip: make(map[suppressKey]bool)}
+	for _, p := range pkgs {
+		r.scanDirectives(p, known, false)
 	}
 	return r
 }
@@ -122,11 +184,29 @@ func newReporter(p *Package, base string, known map[string]bool) *Reporter {
 // Report files a finding at pos unless a lint:ignore directive covers
 // it.
 func (r *Reporter) Report(pos token.Pos, rule, msg string) {
-	position := r.pkg.Fset.Position(pos)
+	position := r.fset.Position(pos)
 	if r.skip[suppressKey{position.Filename, position.Line, rule}] {
 		return
 	}
 	r.emit(position, rule, msg)
+}
+
+// suppressedAt reports whether a lint:ignore directive covers pos for
+// rule. Program summaries use it to drop facts at their origin.
+func (r *Reporter) suppressedAt(pos token.Pos, rule string) bool {
+	p := r.fset.Position(pos)
+	return r.skip[suppressKey{p.Filename, p.Line, rule}]
+}
+
+// Position renders pos as a base-relative "file:line" string for
+// messages that cite a second location.
+func (r *Reporter) Position(pos token.Pos) string {
+	p := r.fset.Position(pos)
+	file := p.Filename
+	if rel, err := filepath.Rel(r.base, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return fmt.Sprintf("%s:%d", file, p.Line)
 }
 
 func (r *Reporter) emit(pos token.Position, rule, msg string) {
@@ -167,11 +247,18 @@ func (r *Runner) Run(patterns []string) ([]Diagnostic, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A directive may name any registered rule, not just the ones
+	// running: a -rules subset must not turn the other rules' ignores
+	// into unknown-rule findings.
 	known := make(map[string]bool)
+	for _, rule := range DefaultRules() {
+		known[rule.Name()] = true
+	}
 	for _, rule := range r.Rules {
 		known[rule.Name()] = true
 	}
 	var all []Diagnostic
+	var loaded []*Package
 	for _, dir := range dirs {
 		pkgs, err := r.Loader.LoadTarget(dir)
 		if err != nil {
@@ -180,10 +267,30 @@ func (r *Runner) Run(patterns []string) ([]Diagnostic, error) {
 		for _, pkg := range pkgs {
 			rep := newReporter(pkg, r.Loader.Root, known)
 			for _, rule := range r.Rules {
+				if _, isProgram := rule.(ProgramRule); isProgram {
+					continue
+				}
 				rule.Check(pkg, rep)
 			}
 			all = append(all, rep.diags...)
+			loaded = append(loaded, pkg)
 		}
+	}
+	// Program rules run once over everything loaded: their summaries
+	// propagate across package boundaries.
+	var progRules []ProgramRule
+	for _, rule := range r.Rules {
+		if pr, ok := rule.(ProgramRule); ok {
+			progRules = append(progRules, pr)
+		}
+	}
+	if len(progRules) > 0 {
+		rep := newProgramReporter(r.Loader.Fset(), loaded, r.Loader.Root, known)
+		prog := buildProgram(loaded, r.Loader.ModPath, rep.suppressedAt)
+		for _, rule := range progRules {
+			rule.CheckProgram(prog, rep)
+		}
+		all = append(all, rep.diags...)
 	}
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]
@@ -196,15 +303,27 @@ func (r *Runner) Run(patterns []string) ([]Diagnostic, error) {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
 	})
-	return all, nil
+	// Program rules can derive the same fact along several call paths;
+	// identical diagnostics collapse to one.
+	dedup := all[:0]
+	for i, d := range all {
+		if i > 0 && d == all[i-1] {
+			continue
+		}
+		dedup = append(dedup, d)
+	}
+	return dedup, nil
 }
 
-// inspectWithStack walks the file like ast.Inspect but hands the
+// inspectWithStack walks the subtree like ast.Inspect but hands the
 // visitor the stack of enclosing nodes (outermost first, current node
 // excluded). Several rules need the parent to classify an expression.
-func inspectWithStack(f *ast.File, visit func(n ast.Node, stack []ast.Node) bool) {
+func inspectWithStack(f ast.Node, visit func(n ast.Node, stack []ast.Node) bool) {
 	var stack []ast.Node
 	ast.Inspect(f, func(n ast.Node) bool {
 		if n == nil {

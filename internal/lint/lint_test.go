@@ -21,6 +21,10 @@ var fixtures = []string{
 	"atomiccounter",
 	"unboundeddecode",
 	"suppress",
+	"lockorder",
+	"holdblocking",
+	"poolrefcount",
+	"goroutineleak",
 }
 
 func TestFixtures(t *testing.T) {
@@ -118,5 +122,69 @@ func TestExpandRejectsMissingDir(t *testing.T) {
 	}
 	if _, err := runner.Run([]string{"internal/does-not-exist"}); err == nil {
 		t.Error("linting a missing directory should fail, not pass")
+	}
+}
+
+// TestParseIgnoreRules pins the directive grammar: a single rule, a
+// comma-separated list, and the malformed shapes.
+func TestParseIgnoreRules(t *testing.T) {
+	cases := []struct {
+		rest    string
+		rules   []string
+		problem bool
+	}{
+		{" xor-alias deliberate aliasing", []string{"xor-alias"}, false},
+		{" xor-alias,hold-blocking one reason covers both", []string{"xor-alias", "hold-blocking"}, false},
+		{" a,b,c reason", []string{"a", "b", "c"}, false},
+		{"", nil, true},             // no rule, no reason
+		{" xor-alias", nil, true},   // rule but no reason
+		{" a,,b reason", nil, true}, // empty element in the list
+		{" ,a reason", nil, true},   // leading comma
+	}
+	for _, c := range cases {
+		rules, problem := parseIgnoreRules(c.rest)
+		if (problem != "") != c.problem {
+			t.Errorf("parseIgnoreRules(%q) problem = %q, want problem=%v", c.rest, problem, c.problem)
+			continue
+		}
+		if c.problem {
+			continue
+		}
+		if len(rules) != len(c.rules) {
+			t.Errorf("parseIgnoreRules(%q) = %v, want %v", c.rest, rules, c.rules)
+			continue
+		}
+		for i := range rules {
+			if rules[i] != c.rules[i] {
+				t.Errorf("parseIgnoreRules(%q) = %v, want %v", c.rest, rules, c.rules)
+				break
+			}
+		}
+	}
+}
+
+// TestEveryRuleHasFixture is the coverage meta-test: every registered
+// rule id must appear in at least one fixture golden, so no rule can
+// silently stop firing.
+func TestEveryRuleHasFixture(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, name := range fixtures {
+		golden := filepath.Join("testdata", "src", name, "expected.txt")
+		data, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("reading %s: %v", golden, err)
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			// file:line:col: rule-id: message
+			parts := strings.SplitN(line, ": ", 3)
+			if len(parts) >= 2 {
+				seen[parts[1]] = true
+			}
+		}
+	}
+	for _, rule := range DefaultRules() {
+		if !seen[rule.Name()] {
+			t.Errorf("rule %q has no fixture finding in any expected.txt golden", rule.Name())
+		}
 	}
 }

@@ -1,0 +1,910 @@
+package lint
+
+// program.go builds the whole-module view the flow-aware concurrency
+// rules (lock-order, hold-blocking, pool-refcount, goroutine-leak) run
+// over: every loaded non-test package, plus a per-function summary of
+// lock acquisitions, blocking operations, module-internal calls and
+// goroutine spawns, linked into a call graph and closed over by a
+// fixpoint. Functions are keyed by stable string ids (package path +
+// receiver + name) rather than types.Object identity, because the same
+// package type-checked once as a dependency and once as a lint target
+// yields two distinct object graphs.
+//
+// The summaries deliberately analyze only non-test files: test
+// helpers hold locks and spawn goroutines in patterns (barriers,
+// chaos injectors) that are stop-gated by the test harness itself.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Program is the module-wide analysis input handed to program rules.
+type Program struct {
+	Pkgs    []*Package
+	Funcs   map[string]*funcInfo
+	modPath string
+	order   []string // sorted func ids, for deterministic iteration
+	// skip reports whether a lint:ignore directive covers the given
+	// position for a rule. Facts suppressed at their origin (a hash
+	// write that can never block, say) are dropped from the summaries
+	// so they do not propagate to every caller.
+	skip func(pos token.Pos, rule string) bool
+}
+
+// funcInfo is one function's concurrency summary. The direct fields
+// are filled by the summarizer walking the body; the may* fields by
+// the fixpoint in buildProgram.
+type funcInfo struct {
+	id   string
+	pkg  *Package
+	decl *ast.FuncDecl // nil for synthesized function-literal bodies
+
+	acquires map[string]token.Pos // lock key -> first direct acquisition
+	edges    []lockEdge           // direct "acquired while held" pairs
+	blocking []blockOp            // direct blocking operations
+	calls    []callSite           // statically resolved module-internal calls
+	spawns   []goSpawn            // go statements in the body
+	endless  token.Pos            // a for{} loop with no way out (NoPos if none)
+
+	mayAcquire map[string]bool // locks acquired here or in any callee
+	mayBlock   *blockOp        // a reachable blocking op (nil if none)
+	mayHang    token.Pos       // a reachable endless loop (NoPos if none)
+}
+
+// lockEdge records that `acquired` was taken at pos while `held` was
+// already held. via names the callee for edges propagated through a
+// call site ("" for direct acquisitions).
+type lockEdge struct {
+	held     string
+	acquired string
+	pos      token.Pos
+	via      string
+}
+
+// blockOp is one operation that can block the goroutine: a channel
+// send/receive, a default-less select, net or io stream I/O, a
+// WaitGroup/Cond Wait, or time.Sleep.
+type blockOp struct {
+	pos  token.Pos
+	what string
+	held []string // lock keys held at the op, in acquisition order
+}
+
+// callSite is a statically resolved call to a module function,
+// snapshotting the locks held when it runs.
+type callSite struct {
+	callee string
+	pos    token.Pos
+	held   []string
+}
+
+// goSpawn is one go statement. target is the func id of the goroutine
+// body — a declared function or a synthesized literal — or "" when the
+// callee is a dynamic value the analyzer cannot follow.
+type goSpawn struct {
+	pos    token.Pos
+	target string
+}
+
+func newFuncInfo(id string, p *Package, decl *ast.FuncDecl) *funcInfo {
+	return &funcInfo{
+		id:       id,
+		pkg:      p,
+		decl:     decl,
+		acquires: make(map[string]token.Pos),
+	}
+}
+
+// buildProgram summarizes every function of the non-test packages and
+// closes the summaries over the call graph.
+func buildProgram(pkgs []*Package, modPath string, skip func(pos token.Pos, rule string) bool) *Program {
+	if skip == nil {
+		skip = func(token.Pos, string) bool { return false }
+	}
+	prog := &Program{Funcs: make(map[string]*funcInfo), modPath: modPath, skip: skip}
+	for _, p := range pkgs {
+		if strings.HasSuffix(p.Path, "_test") {
+			continue
+		}
+		prog.Pkgs = append(prog.Pkgs, p)
+	}
+	var roots []*funcInfo
+	for _, p := range prog.Pkgs {
+		for _, f := range p.Files {
+			if p.IsTestFile(f) {
+				continue
+			}
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				id := declFuncID(p, fd)
+				for n := 2; ; n++ { // disambiguate init() and redeclarations
+					if _, taken := prog.Funcs[id]; !taken {
+						break
+					}
+					id = fmt.Sprintf("%s#%d", declFuncID(p, fd), n)
+				}
+				fi := newFuncInfo(id, p, fd)
+				prog.Funcs[id] = fi
+				roots = append(roots, fi)
+			}
+		}
+	}
+	// Summarize bodies. Function literals met along the way register
+	// additional synthesized entries in prog.Funcs.
+	for _, fi := range roots {
+		s := &summarizer{prog: prog, fi: fi, p: fi.pkg}
+		s.stmt(fi.decl.Body, &lockState{})
+	}
+
+	prog.order = make([]string, 0, len(prog.Funcs))
+	for id := range prog.Funcs {
+		prog.order = append(prog.order, id)
+	}
+	sort.Strings(prog.order)
+
+	// Seed the transitive facts, then propagate to a fixpoint.
+	for _, id := range prog.order {
+		fi := prog.Funcs[id]
+		fi.mayAcquire = make(map[string]bool, len(fi.acquires))
+		for k := range fi.acquires {
+			fi.mayAcquire[k] = true
+		}
+		if len(fi.blocking) > 0 {
+			fi.mayBlock = &fi.blocking[0]
+		}
+		fi.mayHang = fi.endless
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, id := range prog.order {
+			fi := prog.Funcs[id]
+			for _, cs := range fi.calls {
+				callee := prog.Funcs[cs.callee]
+				if callee == nil {
+					continue
+				}
+				for k := range callee.mayAcquire {
+					if !fi.mayAcquire[k] {
+						fi.mayAcquire[k] = true
+						changed = true
+					}
+				}
+				if fi.mayBlock == nil && callee.mayBlock != nil {
+					fi.mayBlock = callee.mayBlock
+					changed = true
+				}
+				if !fi.mayHang.IsValid() && callee.mayHang.IsValid() {
+					fi.mayHang = callee.mayHang
+					changed = true
+				}
+			}
+		}
+	}
+	return prog
+}
+
+// lockEdges returns every observed "acquired while held" pair: direct
+// acquisitions plus, for each call site executed under locks, the
+// locks the callee may transitively acquire.
+func (prog *Program) lockEdges() []lockEdge {
+	var edges []lockEdge
+	for _, id := range prog.order {
+		fi := prog.Funcs[id]
+		edges = append(edges, fi.edges...)
+		for _, cs := range fi.calls {
+			if len(cs.held) == 0 {
+				continue
+			}
+			callee := prog.Funcs[cs.callee]
+			if callee == nil {
+				continue
+			}
+			keys := make([]string, 0, len(callee.mayAcquire))
+			for k := range callee.mayAcquire {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				for _, h := range cs.held {
+					edges = append(edges, lockEdge{held: h, acquired: k, pos: cs.pos, via: shortFuncID(cs.callee)})
+				}
+			}
+		}
+	}
+	return edges
+}
+
+// declFuncID builds "<pkgpath>.<Recv>.<Name>" (or "<pkgpath>.<Name>"
+// for plain functions).
+func declFuncID(p *Package, fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		if name := recvTypeName(fd.Recv.List[0].Type); name != "" {
+			return p.Types.Path() + "." + name + "." + fd.Name.Name
+		}
+	}
+	return p.Types.Path() + "." + fd.Name.Name
+}
+
+func recvTypeName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(e.X)
+	case *ast.Ident:
+		return e.Name
+	case *ast.IndexExpr:
+		return recvTypeName(e.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(e.X)
+	case *ast.ParenExpr:
+		return recvTypeName(e.X)
+	}
+	return ""
+}
+
+// funcIDOf maps a resolved callee to the id of its declaration, or ""
+// for functions outside the module.
+func funcIDOf(fn *types.Func, modPath string) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	path := pkg.Path()
+	if path != modPath && !strings.HasPrefix(path, modPath+"/") {
+		return ""
+	}
+	id := path + "."
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := types.Unalias(sig.Recv().Type())
+		if ptr, isPtr := t.(*types.Pointer); isPtr {
+			t = types.Unalias(ptr.Elem())
+		}
+		named, isNamed := t.(*types.Named)
+		if !isNamed {
+			return "" // interface or anonymous receiver: no declaration to match
+		}
+		id += named.Obj().Name() + "."
+	}
+	return id + fn.Name()
+}
+
+// shortFuncID trims the module path off a func id for human-readable
+// messages: "prins/internal/core.Engine.Close" -> "core.Engine.Close".
+func shortFuncID(id string) string {
+	if i := strings.LastIndex(id, "/"); i >= 0 {
+		return id[i+1:]
+	}
+	return id
+}
+
+// lockState is the set of lock keys held at a program point, in
+// acquisition order.
+type lockState struct {
+	held []string
+}
+
+func (st *lockState) clone() *lockState {
+	return &lockState{held: append([]string(nil), st.held...)}
+}
+
+func (st *lockState) snapshot() []string {
+	if len(st.held) == 0 {
+		return nil
+	}
+	return append([]string(nil), st.held...)
+}
+
+func (st *lockState) release(key string) {
+	for i := len(st.held) - 1; i >= 0; i-- {
+		if st.held[i] == key {
+			st.held = append(st.held[:i], st.held[i+1:]...)
+			return
+		}
+	}
+}
+
+// mergeState unions two branch exit states: a lock held on either
+// branch may be held afterwards (the conditional defer-Unlock pattern
+// relies on exactly this).
+func mergeState(a, b *lockState) *lockState {
+	m := a.clone()
+	seen := make(map[string]bool, len(m.held))
+	for _, k := range m.held {
+		seen[k] = true
+	}
+	for _, k := range b.held {
+		if !seen[k] {
+			m.held = append(m.held, k)
+		}
+	}
+	return m
+}
+
+// summarizer walks one function body collecting the direct summary
+// facts under a flow-sensitive held-lock set.
+type summarizer struct {
+	prog *Program
+	fi   *funcInfo
+	p    *Package
+	anon int // function-literal counter for synthesized ids
+}
+
+// stmt walks one statement. It returns true when control cannot flow
+// past it on any path (return, break/continue/goto out of this block,
+// or an inescapable loop).
+func (s *summarizer) stmt(n ast.Stmt, st *lockState) bool {
+	switch n := n.(type) {
+	case nil:
+		return false
+	case *ast.BlockStmt:
+		for _, sub := range n.List {
+			if s.stmt(sub, st) {
+				return true
+			}
+		}
+		return false
+	case *ast.ExprStmt:
+		s.expr(n.X, st)
+		return false
+	case *ast.SendStmt:
+		s.expr(n.Chan, st)
+		s.expr(n.Value, st)
+		s.blockingOp(n.Arrow, "channel send", st)
+		return false
+	case *ast.AssignStmt:
+		for _, e := range n.Rhs {
+			s.expr(e, st)
+		}
+		for _, e := range n.Lhs {
+			s.expr(e, st)
+		}
+		return false
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						s.expr(e, st)
+					}
+				}
+			}
+		}
+		return false
+	case *ast.IncDecStmt:
+		s.expr(n.X, st)
+		return false
+	case *ast.ReturnStmt:
+		for _, e := range n.Results {
+			s.expr(e, st)
+		}
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto leave this block; fallthrough does not.
+		return n.Tok != token.FALLTHROUGH
+	case *ast.LabeledStmt:
+		return s.stmt(n.Stmt, st)
+	case *ast.IfStmt:
+		s.stmt(n.Init, st)
+		s.expr(n.Cond, st)
+		thenSt := st.clone()
+		thenTerm := s.stmt(n.Body, thenSt)
+		elseSt := st.clone()
+		elseTerm := false
+		if n.Else != nil {
+			elseTerm = s.stmt(n.Else, elseSt)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			*st = *elseSt
+		case elseTerm:
+			*st = *thenSt
+		default:
+			*st = *mergeState(thenSt, elseSt)
+		}
+		return false
+	case *ast.ForStmt:
+		s.stmt(n.Init, st)
+		s.expr(n.Cond, st)
+		body := st.clone()
+		s.stmt(n.Body, body)
+		s.stmt(n.Post, body)
+		*st = *mergeState(st, body)
+		if n.Cond == nil && !hasStopPath(n) {
+			if !s.fi.endless.IsValid() {
+				s.fi.endless = n.For
+			}
+			return true // control never leaves the loop
+		}
+		return false
+	case *ast.RangeStmt:
+		s.expr(n.X, st)
+		if tv, ok := s.p.Info.Types[n.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				s.blockingOp(n.For, "range over channel", st)
+			}
+		}
+		body := st.clone()
+		s.stmt(n.Body, body)
+		*st = *mergeState(st, body)
+		return false
+	case *ast.SwitchStmt:
+		s.stmt(n.Init, st)
+		s.expr(n.Tag, st)
+		s.caseClauses(n.Body, st)
+		return false
+	case *ast.TypeSwitchStmt:
+		s.stmt(n.Init, st)
+		s.stmt(n.Assign, st)
+		s.caseClauses(n.Body, st)
+		return false
+	case *ast.SelectStmt:
+		if !selectHasDefault(n) {
+			s.blockingOp(n.Select, "select with no default case", st)
+		}
+		return s.selectClauses(n, st)
+	case *ast.GoStmt:
+		s.spawn(n, st)
+		return false
+	case *ast.DeferStmt:
+		s.deferCall(n, st)
+		return false
+	}
+	return false
+}
+
+// caseClauses merges the case bodies of a switch: the exit state is
+// the union of the entry state (no case matched) and every
+// non-terminating case exit.
+func (s *summarizer) caseClauses(body *ast.BlockStmt, st *lockState) {
+	merged := st.clone()
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			s.expr(e, st)
+		}
+		branch := st.clone()
+		term := false
+		for _, sub := range cc.Body {
+			if s.stmt(sub, branch) {
+				term = true
+				break
+			}
+		}
+		if !term {
+			merged = mergeState(merged, branch)
+		}
+	}
+	*st = *merged
+}
+
+// selectClauses walks a select's comm clauses. The channel operations
+// in the comm positions are part of the select (already accounted for
+// as one blocking op), so they are walked without re-recording.
+// Returns true when every clause terminates: a default-less select
+// with all-returning cases never falls through.
+func (s *summarizer) selectClauses(n *ast.SelectStmt, st *lockState) bool {
+	if len(n.Body.List) == 0 {
+		return !selectHasDefault(n) // select{} blocks forever
+	}
+	var merged *lockState
+	allTerm := true
+	for _, c := range n.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		branch := st.clone()
+		s.commStmt(cc.Comm, branch)
+		term := false
+		for _, sub := range cc.Body {
+			if s.stmt(sub, branch) {
+				term = true
+				break
+			}
+		}
+		if !term {
+			allTerm = false
+			if merged == nil {
+				merged = branch
+			} else {
+				merged = mergeState(merged, branch)
+			}
+		}
+	}
+	if merged != nil {
+		*st = *merged
+	}
+	return allTerm
+}
+
+// commStmt walks a select comm statement's sub-expressions without
+// recording its send/receive as a separate blocking op.
+func (s *summarizer) commStmt(n ast.Stmt, st *lockState) {
+	switch n := n.(type) {
+	case nil: // default clause
+	case *ast.SendStmt:
+		s.expr(n.Chan, st)
+		s.expr(n.Value, st)
+	case *ast.ExprStmt:
+		if u, ok := ast.Unparen(n.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			s.expr(u.X, st)
+			return
+		}
+		s.expr(n.X, st)
+	case *ast.AssignStmt:
+		for _, e := range n.Rhs {
+			if u, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				s.expr(u.X, st)
+				continue
+			}
+			s.expr(e, st)
+		}
+		for _, e := range n.Lhs {
+			s.expr(e, st)
+		}
+	}
+}
+
+func selectHasDefault(n *ast.SelectStmt) bool {
+	for _, c := range n.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *summarizer) expr(e ast.Expr, st *lockState) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.FuncLit:
+		s.funcLit(e)
+	case *ast.UnaryExpr:
+		s.expr(e.X, st)
+		if e.Op == token.ARROW {
+			s.blockingOp(e.OpPos, "channel receive", st)
+		}
+	case *ast.CallExpr:
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			s.expr(sel.X, st)
+		} else if lit, ok := ast.Unparen(e.Fun).(*ast.FuncLit); ok {
+			// Immediately invoked literal: runs inline under the
+			// current held set, so record it as a call site.
+			id := s.funcLit(lit)
+			for _, a := range e.Args {
+				s.expr(a, st)
+			}
+			s.fi.calls = append(s.fi.calls, callSite{callee: id, pos: e.Lparen, held: st.snapshot()})
+			return
+		} else if _, ok := ast.Unparen(e.Fun).(*ast.Ident); !ok {
+			s.expr(e.Fun, st)
+		}
+		for _, a := range e.Args {
+			s.expr(a, st)
+		}
+		s.call(e, st)
+	case *ast.BinaryExpr:
+		s.expr(e.X, st)
+		s.expr(e.Y, st)
+	case *ast.ParenExpr:
+		s.expr(e.X, st)
+	case *ast.SelectorExpr:
+		s.expr(e.X, st)
+	case *ast.IndexExpr:
+		s.expr(e.X, st)
+		s.expr(e.Index, st)
+	case *ast.IndexListExpr:
+		s.expr(e.X, st)
+		for _, i := range e.Indices {
+			s.expr(i, st)
+		}
+	case *ast.SliceExpr:
+		s.expr(e.X, st)
+		s.expr(e.Low, st)
+		s.expr(e.High, st)
+		s.expr(e.Max, st)
+	case *ast.StarExpr:
+		s.expr(e.X, st)
+	case *ast.TypeAssertExpr:
+		s.expr(e.X, st)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			s.expr(el, st)
+		}
+	case *ast.KeyValueExpr:
+		s.expr(e.Key, st)
+		s.expr(e.Value, st)
+	}
+}
+
+// call classifies a call: a mutex operation mutates the held set, a
+// known-blocking standard-library call records a blockOp, and a
+// module-internal call records a call-graph edge.
+func (s *summarizer) call(call *ast.CallExpr, st *lockState) {
+	fn := calleeFunc(s.p, call)
+	if fn == nil {
+		return // builtin, conversion, or dynamic call
+	}
+	pkgPath := ""
+	if fn.Pkg() != nil {
+		pkgPath = fn.Pkg().Path()
+	}
+	sig, _ := fn.Type().(*types.Signature)
+
+	if pkgPath == "sync" && sig != nil && sig.Recv() != nil {
+		switch fn.Name() {
+		case "Lock", "RLock":
+			s.acquire(call, st)
+		case "Unlock", "RUnlock":
+			if key := s.lockKeyOfCall(call); key != "" {
+				st.release(key)
+			}
+		case "Wait":
+			s.blockingOp(call.Pos(), "sync."+recvTypeShort(sig)+".Wait", st)
+		}
+		return
+	}
+	if what := blockingStdCall(fn, pkgPath, sig); what != "" {
+		s.blockingOp(call.Pos(), what, st)
+		return
+	}
+	if id := funcIDOf(fn, s.prog.modPath); id != "" {
+		s.fi.calls = append(s.fi.calls, callSite{callee: id, pos: call.Pos(), held: st.snapshot()})
+	}
+}
+
+// acquire records a Lock/RLock of a resolvable mutex: an ordering edge
+// from every currently held lock, then the new key joins the held set.
+// A key acquired while already held produces a self-edge — the
+// self-deadlock shape.
+func (s *summarizer) acquire(call *ast.CallExpr, st *lockState) {
+	key := s.lockKeyOfCall(call)
+	if key == "" {
+		return
+	}
+	if _, ok := s.fi.acquires[key]; !ok {
+		s.fi.acquires[key] = call.Pos()
+	}
+	for _, h := range st.held {
+		s.fi.edges = append(s.fi.edges, lockEdge{held: h, acquired: key, pos: call.Pos()})
+	}
+	st.held = append(st.held, key)
+}
+
+func (s *summarizer) lockKeyOfCall(call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	return lockKey(s.p, sel.X)
+}
+
+// lockKey names the mutex a Lock/Unlock call operates on:
+// "pkg.Type.field" for a struct-field mutex (the same key regardless
+// of the access path to the instance), "pkg.var" for a package-level
+// mutex. Locals, embedded mutexes, and dynamic shapes return "" and
+// are not tracked.
+func lockKey(p *Package, e ast.Expr) string {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if selection, ok := p.Info.Selections[e]; ok && selection.Kind() == types.FieldVal {
+			t := types.Unalias(selection.Recv())
+			if ptr, isPtr := t.(*types.Pointer); isPtr {
+				t = types.Unalias(ptr.Elem())
+			}
+			named, isNamed := t.(*types.Named)
+			if !isNamed || named.Obj().Pkg() == nil {
+				return ""
+			}
+			return named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + e.Sel.Name
+		}
+		// pkgname.Var: a qualified package-level mutex.
+		if id, ok := e.X.(*ast.Ident); ok {
+			if _, isPkg := p.Info.Uses[id].(*types.PkgName); isPkg {
+				if v, ok := p.Info.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil {
+					return v.Pkg().Name() + "." + v.Name()
+				}
+			}
+		}
+		return ""
+	case *ast.Ident:
+		v, ok := p.Info.Uses[e].(*types.Var)
+		if !ok || v.Pkg() == nil {
+			return ""
+		}
+		if v.Parent() != v.Pkg().Scope() {
+			return "" // local variable: instance identity is unknowable here
+		}
+		return v.Pkg().Name() + "." + v.Name()
+	}
+	return ""
+}
+
+// blockingStdCall classifies standard-library calls that can park the
+// goroutine. Disk I/O (package os, and the module's block.Store
+// implementations) is deliberately absent: synchronous store writes
+// under a shard lock are the storage engine's job, not a hazard.
+func blockingStdCall(fn *types.Func, pkgPath string, sig *types.Signature) string {
+	name := fn.Name()
+	qual := func() string {
+		if sig != nil && sig.Recv() != nil {
+			return pkgPath + "." + recvTypeShort(sig) + "." + name
+		}
+		return pkgPath + "." + name
+	}
+	switch pkgPath {
+	case "time":
+		if name == "Sleep" {
+			return "time.Sleep"
+		}
+	case "io":
+		switch name {
+		case "Read", "Write", "ReadFrom", "WriteTo", "ReadFull", "ReadAll",
+			"ReadAtLeast", "Copy", "CopyN", "CopyBuffer", "WriteString":
+			return qual()
+		}
+	case "net":
+		switch name {
+		case "Read", "Write", "ReadFrom", "WriteTo", "Accept",
+			"Dial", "DialTimeout", "Listen", "ListenPacket":
+			return qual()
+		}
+	}
+	return ""
+}
+
+func recvTypeShort(sig *types.Signature) string {
+	t := types.Unalias(sig.Recv().Type())
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return "?"
+}
+
+func (s *summarizer) blockingOp(pos token.Pos, what string, st *lockState) {
+	// An origin-level lint:ignore kills the fact before it enters the
+	// summary, so it neither reports here nor propagates to callers.
+	if s.prog.skip(pos, "hold-blocking") {
+		return
+	}
+	s.fi.blocking = append(s.fi.blocking, blockOp{pos: pos, what: what, held: st.snapshot()})
+}
+
+// spawn records a go statement and resolves its body for the
+// goroutine-leak rule.
+func (s *summarizer) spawn(n *ast.GoStmt, st *lockState) {
+	call := n.Call
+	target := ""
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		target = s.funcLit(lit)
+	} else {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			s.expr(sel.X, st)
+		}
+		if fn := calleeFunc(s.p, call); fn != nil {
+			target = funcIDOf(fn, s.prog.modPath)
+		}
+	}
+	for _, a := range call.Args {
+		s.expr(a, st)
+	}
+	s.fi.spawns = append(s.fi.spawns, goSpawn{pos: n.Go, target: target})
+}
+
+// funcLit summarizes a function literal as its own synthesized
+// function. The body starts with an empty held set: the literal runs
+// on its own goroutine or at an unknowable later time, not under the
+// locks of the point where it is written.
+func (s *summarizer) funcLit(lit *ast.FuncLit) string {
+	s.anon++
+	id := fmt.Sprintf("%s$%d", s.fi.id, s.anon)
+	fi := newFuncInfo(id, s.fi.pkg, nil)
+	s.prog.Funcs[id] = fi
+	sub := &summarizer{prog: s.prog, fi: fi, p: s.p}
+	sub.stmt(lit.Body, &lockState{})
+	return id
+}
+
+// deferCall handles defer statements. A deferred Unlock keeps the lock
+// held to function exit, which is exactly what the held set already
+// says, so it needs no state change. Other deferred work runs at exit
+// under an unknowable lock state and is not attributed to the current
+// held set.
+func (s *summarizer) deferCall(n *ast.DeferStmt, st *lockState) {
+	call := n.Call
+	if fn := calleeFunc(s.p, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+		switch fn.Name() {
+		case "Lock", "RLock", "Unlock", "RUnlock":
+			return
+		}
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		s.funcLit(lit)
+	}
+	for _, a := range call.Args {
+		s.expr(a, st)
+	}
+}
+
+// hasStopPath reports whether a condition-less for loop can be left:
+// a return, a break that targets it (bare at loop depth, or labeled),
+// a goto, or a no-return call (panic, os.Exit, ...) inside the body.
+// Function literals nested in the body run on their own and do not
+// count.
+func hasStopPath(loop *ast.ForStmt) bool {
+	found := false
+	inspectWithStack(loop.Body, func(n ast.Node, stack []ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			found = true
+		case *ast.BranchStmt:
+			switch n.Tok {
+			case token.BREAK:
+				// A bare break inside a nested loop, switch, or select
+				// exits that construct, not this loop.
+				if n.Label != nil || !insideBreakable(stack) {
+					found = true
+				}
+			case token.GOTO:
+				found = true
+			}
+		case *ast.CallExpr:
+			if isNoReturnCall(n) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func insideBreakable(stack []ast.Node) bool {
+	for _, n := range stack {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			return true
+		}
+	}
+	return false
+}
+
+// isNoReturnCall recognizes panic and the conventional process-exit
+// calls syntactically (no type information is needed for these).
+func isNoReturnCall(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch pkg.Name + "." + fun.Sel.Name {
+		case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,46 @@
+package lint
+
+import "fmt"
+
+// goroutineLeakRule requires every go statement in non-test code to
+// have a reachable stop path: the spawned body (a function literal or
+// a statically resolved function, followed transitively through
+// module-internal calls) must not sit in an unconditional for loop
+// with no return, no break that targets it, and no terminating call.
+// A shipper or scrubber goroutine without such a path outlives its
+// owner silently — a done/ctx channel receive, a Close-flag check, or
+// a bounded loop condition all satisfy the rule.
+//
+// Goroutines whose body is a dynamic value (a stored function, an
+// interface method) are not analyzable and are not reported.
+type goroutineLeakRule struct{}
+
+func (goroutineLeakRule) Name() string { return "goroutine-leak" }
+
+func (goroutineLeakRule) Doc() string {
+	return "every goroutine needs a reachable stop path (done receive, Close check, or bounded loop)"
+}
+
+func (goroutineLeakRule) Check(p *Package, r *Reporter) {} // flow rule; see CheckProgram
+
+func (goroutineLeakRule) CheckProgram(prog *Program, r *Reporter) {
+	for _, id := range prog.order {
+		fi := prog.Funcs[id]
+		for _, sp := range fi.spawns {
+			if sp.target == "" {
+				continue
+			}
+			t := prog.Funcs[sp.target]
+			if t == nil || !t.mayHang.IsValid() {
+				continue
+			}
+			what := "the goroutine body"
+			if t.decl != nil {
+				what = shortFuncID(sp.target)
+			}
+			r.Report(sp.pos, "goroutine-leak", fmt.Sprintf(
+				"goroutine has no stop path: %s loops forever (unconditional for at %s with no return or break); add a done/ctx case or bound the loop",
+				what, r.Position(t.mayHang)))
+		}
+	}
+}

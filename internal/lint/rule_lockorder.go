@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// lockOrderRule checks that the module's lock-acquisition order is
+// consistent. It consumes the program-wide edge set ("lock B taken
+// while lock A is held", both directly and through calls) and reports:
+//
+//  1. Any edge contradicting a machine-readable declaration
+//
+//     //lint:lockorder pkg.Type.lockA < pkg.Type.lockB rationale
+//
+//     which states that lockA must always be acquired before lockB.
+//     Declarations compose transitively (a < b and b < c imply a < c).
+//
+//  2. Any cycle in the observed acquisition graph — two code paths
+//     that nest the same locks in opposite orders can deadlock even
+//     if no declaration exists, so cycles are findings on their own.
+//
+// Lock identity is by field within a named type ("core.shard.mu") or
+// by package-level variable ("core.pwMu"): acquiring the same field
+// of two *different* instances nested is reported as a self-cycle,
+// which is exactly the hand-over-hand shape that needs an explicit
+// //lint:ignore with the instance-ordering argument.
+type lockOrderRule struct{}
+
+func (lockOrderRule) Name() string { return "lock-order" }
+
+func (lockOrderRule) Doc() string {
+	return "lock acquisition order must be acyclic and respect //lint:lockorder declarations"
+}
+
+func (lockOrderRule) Check(p *Package, r *Reporter) {} // flow rule; see CheckProgram
+
+const lockOrderPrefix = "//lint:lockorder"
+
+type lockDecl struct {
+	before, after string
+	pos           token.Pos
+}
+
+func (lockOrderRule) CheckProgram(prog *Program, r *Reporter) {
+	decls := collectLockDecls(prog, r)
+	declared := transitiveOrder(decls, r)
+	edges := prog.lockEdges()
+
+	// Contradictions: an edge held->acquired means "held came first";
+	// a declaration acquired < held says the opposite.
+	for _, e := range edges {
+		declPos, ok := declared[e.acquired][e.held]
+		if !ok {
+			continue
+		}
+		via := ""
+		if e.via != "" {
+			via = fmt.Sprintf(" (via call to %s)", e.via)
+		}
+		r.Report(e.pos, "lock-order", fmt.Sprintf(
+			"%s acquired while %s is held%s, contradicting declared order %q (%s)",
+			e.acquired, e.held, via, e.acquired+" < "+e.held, r.Position(declPos)))
+	}
+
+	reportEdgeCycles(edges, r)
+}
+
+// collectLockDecls parses every //lint:lockorder comment in the
+// program's non-test files.
+func collectLockDecls(prog *Program, r *Reporter) []lockDecl {
+	var decls []lockDecl
+	for _, p := range prog.Pkgs {
+		for _, f := range p.Files {
+			if p.IsTestFile(f) {
+				continue
+			}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, lockOrderPrefix)
+					if !ok {
+						continue
+					}
+					fields := strings.Fields(rest)
+					if len(fields) < 3 || fields[1] != "<" {
+						r.Report(c.Pos(), "lock-order",
+							"malformed declaration: want //lint:lockorder lock-a < lock-b [rationale]")
+						continue
+					}
+					decls = append(decls, lockDecl{before: fields[0], after: fields[2], pos: c.Pos()})
+				}
+			}
+		}
+	}
+	return decls
+}
+
+// transitiveOrder closes the declarations transitively and returns
+// order[a][b] = declaration position meaning "a must be acquired
+// before b". Contradictory declarations (a < ... < a) are reported.
+func transitiveOrder(decls []lockDecl, r *Reporter) map[string]map[string]token.Pos {
+	order := make(map[string]map[string]token.Pos)
+	add := func(a, b string, pos token.Pos) bool {
+		if order[a] == nil {
+			order[a] = make(map[string]token.Pos)
+		}
+		if _, ok := order[a][b]; ok {
+			return false
+		}
+		order[a][b] = pos
+		return true
+	}
+	for _, d := range decls {
+		add(d.before, d.after, d.pos)
+	}
+	for changed := true; changed; {
+		changed = false
+		for a, outs := range order {
+			for b := range outs {
+				for c := range order[b] {
+					if add(a, c, outs[b]) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for _, d := range decls {
+		if _, ok := order[d.after][d.before]; ok {
+			r.Report(d.pos, "lock-order", fmt.Sprintf(
+				"declarations are cyclic: %s < %s contradicts other //lint:lockorder declarations",
+				d.before, d.after))
+		}
+	}
+	return order
+}
+
+type lockPair struct{ held, acquired string }
+
+// reportEdgeCycles finds cycles in the observed acquisition graph.
+// Every distinct ordered pair is reported once, at its earliest
+// witness, when the reverse direction is also reachable.
+func reportEdgeCycles(edges []lockEdge, r *Reporter) {
+	witness := make(map[lockPair]lockEdge)
+	adj := make(map[string]map[string]bool)
+	for _, e := range edges {
+		p := lockPair{e.held, e.acquired}
+		if w, ok := witness[p]; !ok || e.pos < w.pos {
+			witness[p] = e
+		}
+		if adj[e.held] == nil {
+			adj[e.held] = make(map[string]bool)
+		}
+		adj[e.held][e.acquired] = true
+	}
+	// Transitive reachability over the small lock graph.
+	reach := make(map[string]map[string]bool)
+	for a, outs := range adj {
+		reach[a] = make(map[string]bool)
+		for b := range outs {
+			reach[a][b] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for a := range reach {
+			for b := range reach[a] {
+				for c := range reach[b] {
+					if !reach[a][c] {
+						reach[a][c] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	pairs := make([]lockPair, 0, len(witness))
+	for p := range witness {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].held != pairs[j].held {
+			return pairs[i].held < pairs[j].held
+		}
+		return pairs[i].acquired < pairs[j].acquired
+	})
+	for _, p := range pairs {
+		e := witness[p]
+		if p.held == p.acquired {
+			r.Report(e.pos, "lock-order", fmt.Sprintf(
+				"%s acquired while an instance of %s is already held (self-deadlock shape)",
+				p.acquired, p.held))
+			continue
+		}
+		if !reach[p.acquired][p.held] {
+			continue
+		}
+		// The reverse direction exists; cite its first hop.
+		back := firstHopToward(p.acquired, p.held, adj, witness)
+		r.Report(e.pos, "lock-order", fmt.Sprintf(
+			"lock-order cycle: %s acquired while %s is held here, but %s is also acquired with %s held (%s)",
+			p.acquired, p.held, reverseDesc(back), back.held, r.Position(back.pos)))
+	}
+}
+
+// firstHopToward returns the witness edge for the first step of a path
+// from src that reaches dst.
+func firstHopToward(src, dst string, adj map[string]map[string]bool, witness map[lockPair]lockEdge) lockEdge {
+	// Prefer the direct edge when it exists.
+	if adj[src][dst] {
+		return witness[lockPair{src, dst}]
+	}
+	nexts := make([]string, 0, len(adj[src]))
+	for n := range adj[src] {
+		nexts = append(nexts, n)
+	}
+	sort.Strings(nexts)
+	for _, n := range nexts {
+		if n == dst || reachable(n, dst, adj) {
+			return witness[lockPair{src, n}]
+		}
+	}
+	// Unreachable in practice: the caller established reachability.
+	return witness[lockPair{src, nexts[0]}]
+}
+
+func reachable(src, dst string, adj map[string]map[string]bool) bool {
+	seen := map[string]bool{src: true}
+	queue := []string{src}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for m := range adj[n] {
+			if m == dst {
+				return true
+			}
+			if !seen[m] {
+				seen[m] = true
+				queue = append(queue, m)
+			}
+		}
+	}
+	return false
+}
+
+func reverseDesc(e lockEdge) string {
+	if e.via != "" {
+		return e.acquired + " (via " + e.via + ")"
+	}
+	return e.acquired
+}

@@ -1,0 +1,976 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// poolRefcountRule tracks sync.Pool-backed ref-counted frames within
+// each function. A pooled type is a named struct with an atomic
+// reference-count field (name containing "ref") and a release/Release
+// method; once such a value's last reference is dropped the pool may
+// hand the buffer to another writer, so:
+//
+//   - any field read of a frame after its release on the same path is
+//     a finding (the PR 5 processBatch wire-accounting race: byte
+//     counts were read from frames already settled back to the pool);
+//   - releasing the elements of a collection (directly in a range
+//     loop, or through a call like finish(msg) whose summary releases
+//     msg.frame) poisons the collection — a later loop reading a
+//     pooled field of its elements is the same race;
+//   - every path of a function that obtains a fresh frame must
+//     balance it: release it, return it, or hand it off (channel
+//     send, struct field, call that takes ownership).
+//
+// Release effects propagate interprocedurally: a function releasing a
+// field of its parameter (or of its parameter's elements) marks the
+// caller's argument released at the call site.
+type poolRefcountRule struct{}
+
+func (poolRefcountRule) Name() string { return "pool-refcount" }
+
+func (poolRefcountRule) Doc() string {
+	return "pooled ref-counted frames must balance retain/release and never be read after release"
+}
+
+func (poolRefcountRule) Check(p *Package, r *Reporter) {} // flow rule; see CheckProgram
+
+func (poolRefcountRule) CheckProgram(prog *Program, r *Reporter) {
+	pooled := pooledTypeSet(prog)
+	if len(pooled) == 0 {
+		return
+	}
+	effects := computeReleaseEffects(prog, pooled)
+	for _, id := range prog.order {
+		fi := prog.Funcs[id]
+		if fi.decl == nil {
+			continue
+		}
+		w := &poolWalker{
+			prog:    prog,
+			p:       fi.pkg,
+			r:       r,
+			pooled:  pooled,
+			effects: effects,
+			res:     &pathResolver{p: fi.pkg, alias: make(map[types.Object]aliasTarget)},
+			errLink: make(map[types.Object]types.Object),
+		}
+		rangeAliases(fi, w.res)
+		st := &poolState{vals: make(map[types.Object]*valState)}
+		terminated := w.stmt(fi.decl.Body, st)
+		if !terminated {
+			w.leakCheck(fi.decl.Body.Rbrace, st)
+		}
+	}
+}
+
+// pooledTypeSet finds named struct types that look like pool-backed
+// ref-counted frames. Keys are "pkgpath.TypeName" strings: the same
+// package loaded as a dependency and as a target yields distinct
+// types.Named identities, strings survive both.
+func pooledTypeSet(prog *Program) map[string]bool {
+	set := make(map[string]bool)
+	for _, p := range prog.Pkgs {
+		scope := p.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			st, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			hasRef := false
+			for i := 0; i < st.NumFields(); i++ {
+				f := st.Field(i)
+				if isAtomicType(f.Type()) && strings.Contains(strings.ToLower(f.Name()), "ref") {
+					hasRef = true
+					break
+				}
+			}
+			if !hasRef {
+				continue
+			}
+			for i := 0; i < named.NumMethods(); i++ {
+				if n := named.Method(i).Name(); n == "release" || n == "Release" {
+					set[p.Types.Path()+"."+name] = true
+					break
+				}
+			}
+		}
+	}
+	return set
+}
+
+// pooledName renders t's named type (through pointers and aliases) as
+// a "pkgpath.TypeName" key, or "".
+func pooledName(t types.Type) string {
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}
+
+// Paths are dot-joined field chains rooted at a local variable, with
+// "[]" as the element step: releasing every msgs[i].frame in a range
+// loop records "[].frame" on msgs.
+
+func joinPath(a, b string) string {
+	if a == "" {
+		return b
+	}
+	if b == "" {
+		return a
+	}
+	return a + "." + b
+}
+
+// pathCovered reports whether a read at path touches memory released
+// at rel: the whole value (""), the exact path, or anything below it.
+func pathCovered(path, rel string) bool {
+	return rel == "" || path == rel || strings.HasPrefix(path, rel+".")
+}
+
+func renderPath(root types.Object, path string) string {
+	s := root.Name()
+	if path == "" {
+		return s
+	}
+	for _, seg := range strings.Split(path, ".") {
+		if seg == "[]" {
+			s += "[]"
+		} else {
+			s += "." + seg
+		}
+	}
+	return s
+}
+
+// aliasTarget records that a variable is another view of root's value
+// at path — a range element, or a local bound to a field chain.
+type aliasTarget struct {
+	root types.Object
+	path string
+}
+
+type pathResolver struct {
+	p     *Package
+	alias map[types.Object]aliasTarget
+}
+
+// resolve maps a selector/index chain to its root variable and path.
+func (pr *pathResolver) resolve(e ast.Expr) (types.Object, string, bool) {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := pr.p.Info.Uses[e]
+		if obj == nil {
+			obj = pr.p.Info.Defs[e]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return nil, "", false
+		}
+		if t, ok := pr.alias[v]; ok {
+			return t.root, t.path, true
+		}
+		return v, "", true
+	case *ast.SelectorExpr:
+		sel, ok := pr.p.Info.Selections[e]
+		if !ok || sel.Kind() != types.FieldVal {
+			return nil, "", false
+		}
+		root, path, ok := pr.resolve(e.X)
+		if !ok {
+			return nil, "", false
+		}
+		return root, joinPath(path, e.Sel.Name), true
+	case *ast.IndexExpr:
+		root, path, ok := pr.resolve(e.X)
+		if !ok {
+			return nil, "", false
+		}
+		return root, joinPath(path, "[]"), true
+	case *ast.StarExpr:
+		return pr.resolve(e.X)
+	}
+	return nil, "", false
+}
+
+// releaseEffect says a function releases (part of) one of its inputs:
+// param -1 is the receiver, path "" the value itself, "[].frame" the
+// frame field of every element.
+type releaseEffect struct {
+	param int
+	path  string
+}
+
+// paramObjects maps a function's receiver (-1) and parameters (0..n)
+// to their variable objects.
+func paramObjects(fi *funcInfo) map[types.Object]int {
+	m := make(map[types.Object]int)
+	bind := func(names []*ast.Ident, idx int) {
+		for _, n := range names {
+			if n.Name == "_" {
+				continue
+			}
+			if obj := fi.pkg.Info.Defs[n]; obj != nil {
+				m[obj] = idx
+			}
+		}
+	}
+	if fi.decl.Recv != nil && len(fi.decl.Recv.List) > 0 {
+		bind(fi.decl.Recv.List[0].Names, -1)
+	}
+	idx := 0
+	if fi.decl.Type.Params != nil {
+		for _, field := range fi.decl.Type.Params.List {
+			if len(field.Names) == 0 {
+				idx++
+				continue
+			}
+			for _, n := range field.Names {
+				if n.Name != "_" {
+					if obj := fi.pkg.Info.Defs[n]; obj != nil {
+						m[obj] = idx
+					}
+				}
+				idx++
+			}
+		}
+	}
+	return m
+}
+
+// rangeAliases prescans a body binding range-element variables to
+// their collection's element path ("[]"). Outer ranges are visited
+// before inner ones, so nested chains resolve in one pass.
+func rangeAliases(fi *funcInfo, pr *pathResolver) {
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		val, ok := rs.Value.(*ast.Ident)
+		if !ok || val.Name == "_" {
+			return true
+		}
+		obj := pr.p.Info.Defs[val]
+		if obj == nil {
+			return true
+		}
+		if root, path, ok := pr.resolve(rs.X); ok {
+			pr.alias[obj] = aliasTarget{root: root, path: joinPath(path, "[]")}
+		}
+		return true
+	})
+}
+
+// computeReleaseEffects closes the per-function release summaries over
+// the call graph to a fixpoint.
+func computeReleaseEffects(prog *Program, pooled map[string]bool) map[string][]releaseEffect {
+	effects := make(map[string][]releaseEffect)
+	add := func(id string, e releaseEffect) bool {
+		for _, x := range effects[id] {
+			if x == e {
+				return false
+			}
+		}
+		effects[id] = append(effects[id], e)
+		return true
+	}
+	type scanned struct {
+		params map[types.Object]int
+		res    *pathResolver
+	}
+	cache := make(map[string]*scanned)
+	for changed := true; changed; {
+		changed = false
+		for _, id := range prog.order {
+			fi := prog.Funcs[id]
+			if fi.decl == nil {
+				continue
+			}
+			sc := cache[id]
+			if sc == nil {
+				sc = &scanned{
+					params: paramObjects(fi),
+					res:    &pathResolver{p: fi.pkg, alias: make(map[types.Object]aliasTarget)},
+				}
+				rangeAliases(fi, sc.res)
+				cache[id] = sc
+			}
+			if len(sc.params) == 0 {
+				continue
+			}
+			for _, site := range releaseSites(fi, sc.res, prog, pooled, effects) {
+				if idx, ok := sc.params[site.root]; ok {
+					if add(id, releaseEffect{param: idx, path: site.path}) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return effects
+}
+
+type releaseSite struct {
+	root types.Object
+	path string
+	pos  token.Pos
+}
+
+// releaseSites lists every resolvable release a function performs:
+// direct pooled release/Release calls, sync.Pool Put, and calls to
+// module functions with known release effects.
+func releaseSites(fi *funcInfo, pr *pathResolver, prog *Program, pooled map[string]bool, effects map[string][]releaseEffect) []releaseSite {
+	var sites []releaseSite
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, site := range callReleases(pr.p, call, pr, prog, pooled, effects) {
+			sites = append(sites, site)
+		}
+		return true
+	})
+	return sites
+}
+
+// callReleases resolves what a single call releases.
+func callReleases(p *Package, call *ast.CallExpr, pr *pathResolver, prog *Program, pooled map[string]bool, effects map[string][]releaseEffect) []releaseSite {
+	fn := calleeFunc(p, call)
+	if fn == nil {
+		return nil
+	}
+	sel, _ := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	var sites []releaseSite
+	resolveInto := func(e ast.Expr, extra string) {
+		if root, path, ok := pr.resolve(e); ok {
+			sites = append(sites, releaseSite{root: root, path: joinPath(path, extra), pos: call.Pos()})
+		}
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	switch {
+	case sel != nil && (fn.Name() == "release" || fn.Name() == "Release") &&
+		sig != nil && sig.Recv() != nil && pooled[pooledName(sig.Recv().Type())]:
+		resolveInto(sel.X, "")
+	case sel != nil && fn.Name() == "Put" && sig != nil && sig.Recv() != nil &&
+		pooledName(sig.Recv().Type()) == "sync.Pool" && len(call.Args) == 1:
+		if tv, ok := p.Info.Types[call.Args[0]]; ok && pooled[pooledName(tv.Type)] {
+			resolveInto(call.Args[0], "")
+		}
+	default:
+		id := funcIDOf(fn, prog.modPath)
+		if id == "" {
+			return nil
+		}
+		for _, eff := range effects[id] {
+			var target ast.Expr
+			if eff.param == -1 {
+				if sel == nil {
+					continue
+				}
+				target = sel.X
+			} else if eff.param < len(call.Args) {
+				target = call.Args[eff.param]
+			} else {
+				continue
+			}
+			resolveInto(target, eff.path)
+		}
+	}
+	return sites
+}
+
+// valState tracks one root variable's frame obligations.
+type valState struct {
+	obtained token.Pos            // a fresh owned reference (NoPos otherwise)
+	released map[string]token.Pos // released paths -> where
+	deferred map[string]bool      // paths released at function exit via defer
+	dead     bool                 // escaped or nil-guarded: no leak obligation
+}
+
+func newValState() *valState {
+	return &valState{released: make(map[string]token.Pos), deferred: make(map[string]bool)}
+}
+
+func (v *valState) clone() *valState {
+	c := newValState()
+	c.obtained = v.obtained
+	c.dead = v.dead
+	for k, p := range v.released {
+		c.released[k] = p
+	}
+	for k := range v.deferred {
+		c.deferred[k] = true
+	}
+	return c
+}
+
+type poolState struct {
+	vals map[types.Object]*valState
+}
+
+func (st *poolState) clone() *poolState {
+	c := &poolState{vals: make(map[types.Object]*valState, len(st.vals))}
+	for o, v := range st.vals {
+		c.vals[o] = v.clone()
+	}
+	return c
+}
+
+func (st *poolState) val(o types.Object) *valState {
+	v := st.vals[o]
+	if v == nil {
+		v = newValState()
+		st.vals[o] = v
+	}
+	return v
+}
+
+// mergePool unions two branch exits: releases on either branch poison
+// later reads, and an escape on either branch clears the obligation.
+func mergePool(a, b *poolState) *poolState {
+	m := a.clone()
+	for o, v := range b.vals {
+		mv := m.vals[o]
+		if mv == nil {
+			m.vals[o] = v.clone()
+			continue
+		}
+		for k, p := range v.released {
+			if _, ok := mv.released[k]; !ok {
+				mv.released[k] = p
+			}
+		}
+		for k := range v.deferred {
+			mv.deferred[k] = true
+		}
+		mv.dead = mv.dead || v.dead
+		if !mv.obtained.IsValid() {
+			mv.obtained = v.obtained
+		}
+	}
+	return m
+}
+
+// poolWalker runs the flow-sensitive per-function pass.
+type poolWalker struct {
+	prog    *Program
+	p       *Package
+	r       *Reporter
+	pooled  map[string]bool
+	effects map[string][]releaseEffect
+	res     *pathResolver
+	errLink map[types.Object]types.Object // error var -> frame var from the same assignment
+}
+
+func (w *poolWalker) stmt(n ast.Stmt, st *poolState) bool {
+	switch n := n.(type) {
+	case nil:
+		return false
+	case *ast.BlockStmt:
+		for _, sub := range n.List {
+			if w.stmt(sub, st) {
+				return true
+			}
+		}
+		return false
+	case *ast.ExprStmt:
+		w.expr(n.X, st)
+		return false
+	case *ast.SendStmt:
+		w.expr(n.Chan, st)
+		w.expr(n.Value, st)
+		w.escapeIdents(n.Value, st)
+		return false
+	case *ast.AssignStmt:
+		w.assign(n, st)
+		return false
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e, st)
+					}
+				}
+			}
+		}
+		return false
+	case *ast.IncDecStmt:
+		w.expr(n.X, st)
+		return false
+	case *ast.ReturnStmt:
+		for _, e := range n.Results {
+			w.expr(e, st)
+			w.escapeIdents(e, st)
+		}
+		w.leakCheck(n.Return, st)
+		return true
+	case *ast.BranchStmt:
+		return n.Tok != token.FALLTHROUGH
+	case *ast.LabeledStmt:
+		return w.stmt(n.Stmt, st)
+	case *ast.IfStmt:
+		w.stmt(n.Init, st)
+		w.expr(n.Cond, st)
+		thenSt := st.clone()
+		elseSt := st.clone()
+		w.applyNilFacts(n.Cond, thenSt, elseSt)
+		thenTerm := w.stmt(n.Body, thenSt)
+		elseTerm := false
+		if n.Else != nil {
+			elseTerm = w.stmt(n.Else, elseSt)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			*st = *elseSt
+		case elseTerm:
+			*st = *thenSt
+		default:
+			*st = *mergePool(thenSt, elseSt)
+		}
+		return false
+	case *ast.ForStmt:
+		w.stmt(n.Init, st)
+		w.expr(n.Cond, st)
+		body := st.clone()
+		w.stmt(n.Body, body)
+		w.stmt(n.Post, body)
+		*st = *mergePool(st, body)
+		return n.Cond == nil && !hasStopPath(n)
+	case *ast.RangeStmt:
+		w.expr(n.X, st)
+		// The element variable was pre-bound as an alias of X's "[]"
+		// path by rangeAliases, so releases and reads through it land
+		// on the collection's state directly.
+		body := st.clone()
+		w.stmt(n.Body, body)
+		*st = *mergePool(st, body)
+		return false
+	case *ast.SwitchStmt:
+		w.stmt(n.Init, st)
+		w.expr(n.Tag, st)
+		w.caseClauses(n.Body, st)
+		return false
+	case *ast.TypeSwitchStmt:
+		w.stmt(n.Init, st)
+		w.stmt(n.Assign, st)
+		w.caseClauses(n.Body, st)
+		return false
+	case *ast.SelectStmt:
+		w.selectClauses(n, st)
+		return false
+	case *ast.GoStmt:
+		// The goroutine captures whatever it references; its lifetime
+		// is unknowable here, so captured frames escape.
+		w.escapeIdents(n.Call, st)
+		for _, a := range n.Call.Args {
+			w.expr(a, st)
+		}
+		return false
+	case *ast.DeferStmt:
+		w.deferCall(n, st)
+		return false
+	}
+	return false
+}
+
+func (w *poolWalker) caseClauses(body *ast.BlockStmt, st *poolState) {
+	merged := st.clone()
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			w.expr(e, st)
+		}
+		branch := st.clone()
+		term := false
+		for _, sub := range cc.Body {
+			if w.stmt(sub, branch) {
+				term = true
+				break
+			}
+		}
+		if !term {
+			merged = mergePool(merged, branch)
+		}
+	}
+	*st = *merged
+}
+
+func (w *poolWalker) selectClauses(n *ast.SelectStmt, st *poolState) {
+	merged := st.clone()
+	for _, c := range n.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		branch := st.clone()
+		if cc.Comm != nil {
+			w.stmt(cc.Comm, branch)
+		}
+		term := false
+		for _, sub := range cc.Body {
+			if w.stmt(sub, branch) {
+				term = true
+				break
+			}
+		}
+		if !term {
+			merged = mergePool(merged, branch)
+		}
+	}
+	*st = *merged
+}
+
+// assign handles tracking starts (a call returning a pooled pointer),
+// alias binding, and the err-pairing used by the nil heuristics.
+func (w *poolWalker) assign(n *ast.AssignStmt, st *poolState) {
+	for _, e := range n.Rhs {
+		w.expr(e, st)
+	}
+	for _, e := range n.Lhs {
+		if _, ok := ast.Unparen(e).(*ast.Ident); !ok {
+			w.expr(e, st)
+		}
+	}
+	if len(n.Rhs) != 1 {
+		return
+	}
+	rhs := ast.Unparen(n.Rhs[0])
+	lhsObj := func(i int) types.Object {
+		if i >= len(n.Lhs) {
+			return nil
+		}
+		id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return nil
+		}
+		if obj := w.p.Info.Defs[id]; obj != nil {
+			return obj
+		}
+		return w.p.Info.Uses[id]
+	}
+	// An obtain source is a call — or, for fb := pool.Get().(*frameBuf),
+	// a type assertion over one.
+	isObtain := false
+	switch rr := rhs.(type) {
+	case *ast.CallExpr:
+		isObtain = true
+	case *ast.TypeAssertExpr:
+		if _, isCall := ast.Unparen(rr.X).(*ast.CallExpr); isCall && rr.Type != nil {
+			isObtain = true
+		}
+	}
+	if isObtain {
+		tv, ok := w.p.Info.Types[rhs]
+		if !ok {
+			return
+		}
+		// Which results are pooled pointers / errors?
+		results := []types.Type{tv.Type}
+		if tuple, ok := tv.Type.(*types.Tuple); ok {
+			results = results[:0]
+			for i := 0; i < tuple.Len(); i++ {
+				results = append(results, tuple.At(i).Type())
+			}
+		}
+		var frameObj types.Object
+		for i, t := range results {
+			obj := lhsObj(i)
+			if obj == nil {
+				continue
+			}
+			if _, isPtr := types.Unalias(t).(*types.Pointer); isPtr && w.pooled[pooledName(t)] {
+				delete(w.res.alias, obj)
+				v := newValState()
+				v.obtained = rhs.Pos()
+				st.vals[obj] = v
+				frameObj = obj
+			}
+		}
+		if frameObj != nil {
+			for i, t := range results {
+				if types.Identical(t, types.Universe.Lookup("error").Type()) {
+					if errObj := lhsObj(i); errObj != nil {
+						w.errLink[errObj] = frameObj
+					}
+				}
+			}
+		}
+		return
+	}
+	// A pure field-chain RHS makes the LHS an alias view of it.
+	if obj := lhsObj(0); obj != nil && len(n.Lhs) == 1 {
+		if root, path, ok := w.res.resolve(rhs); ok && path != "" {
+			w.res.alias[obj] = aliasTarget{root: root, path: path}
+			return
+		}
+		// Reassignment from anything else drops prior tracking.
+		delete(w.res.alias, obj)
+		delete(st.vals, obj)
+	}
+}
+
+// applyNilFacts narrows branch states for the common guard shapes:
+// `if err != nil` (the paired frame is nil on the then-branch) and
+// `if frame ==/!= nil`.
+func (w *poolWalker) applyNilFacts(cond ast.Expr, thenSt, elseSt *poolState) {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return
+	}
+	operand := bin.X
+	if id, ok := ast.Unparen(bin.Y).(*ast.Ident); !ok || id.Name != "nil" {
+		if id, ok := ast.Unparen(bin.X).(*ast.Ident); ok && id.Name == "nil" {
+			operand = bin.Y
+		} else {
+			return
+		}
+	}
+	id, ok := ast.Unparen(operand).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := w.p.Info.Uses[id]
+	if obj == nil {
+		return
+	}
+	target := obj
+	if linked, ok := w.errLink[obj]; ok {
+		// err != nil  =>  the paired frame is invalid on that branch.
+		target = linked
+	} else if _, tracked := thenSt.vals[obj]; !tracked {
+		return
+	}
+	nilBranch := thenSt // x == nil / err != nil… resolved below
+	if _, isErr := w.errLink[obj]; isErr {
+		if bin.Op == token.EQL { // err == nil: frame valid on then
+			nilBranch = elseSt
+		}
+	} else {
+		if bin.Op == token.NEQ { // x != nil: x nil on else
+			nilBranch = elseSt
+		}
+	}
+	if v := nilBranch.vals[target]; v != nil {
+		v.dead = true
+	} else {
+		v := newValState()
+		v.dead = true
+		nilBranch.vals[target] = v
+	}
+}
+
+// expr walks an expression, checking reads against released paths and
+// classifying calls.
+func (w *poolWalker) expr(e ast.Expr, st *poolState) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.FuncLit:
+		w.escapeIdents(e.Body, st)
+	case *ast.CallExpr:
+		w.call(e, st)
+	case *ast.SelectorExpr:
+		if !w.checkUse(e, st) {
+			w.expr(e.X, st)
+		}
+	case *ast.IndexExpr:
+		if !w.checkUse(e, st) {
+			w.expr(e.X, st)
+		}
+		w.expr(e.Index, st)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			w.escapeIdents(e.X, st)
+		}
+		w.expr(e.X, st)
+	case *ast.BinaryExpr:
+		w.expr(e.X, st)
+		w.expr(e.Y, st)
+	case *ast.ParenExpr:
+		w.expr(e.X, st)
+	case *ast.SliceExpr:
+		w.expr(e.X, st)
+		w.expr(e.Low, st)
+		w.expr(e.High, st)
+		w.expr(e.Max, st)
+	case *ast.StarExpr:
+		w.expr(e.X, st)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X, st)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			w.expr(el, st)
+		}
+		w.escapeIdents(e, st)
+	case *ast.KeyValueExpr:
+		w.expr(e.Key, st)
+		w.expr(e.Value, st)
+	}
+}
+
+// checkUse reports a read through a released path. Returns true when
+// the expression resolved (whether or not it was a finding), so the
+// caller does not descend and double-report the chain.
+func (w *poolWalker) checkUse(e ast.Expr, st *poolState) bool {
+	root, path, ok := w.res.resolve(e)
+	if !ok || path == "" {
+		return false
+	}
+	v := st.vals[root]
+	if v == nil {
+		return true
+	}
+	for rel, relPos := range v.released {
+		if pathCovered(path, rel) {
+			w.r.Report(e.Pos(), "pool-refcount", fmt.Sprintf(
+				"use of %s after release of %s (released at %s): the pool may already have reused the frame",
+				renderPath(root, path), renderPath(root, rel), w.r.Position(relPos)))
+			return true
+		}
+	}
+	return true
+}
+
+// call walks a call's receiver and arguments (reads happen before the
+// call's effect), then applies its release effects or escapes.
+func (w *poolWalker) call(call *ast.CallExpr, st *poolState) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		w.expr(sel.X, st)
+	} else if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		w.escapeIdents(lit.Body, st)
+	}
+	for _, a := range call.Args {
+		w.expr(a, st)
+		// Passing a bare variable whose released region covers it is a
+		// use (field-chain args were already checked by expr above).
+		if _, bare := ast.Unparen(a).(*ast.Ident); !bare {
+			continue
+		}
+		if root, path, ok := w.res.resolve(a); ok {
+			if v := st.vals[root]; v != nil {
+				for rel, relPos := range v.released {
+					if pathCovered(path, rel) {
+						w.r.Report(a.Pos(), "pool-refcount", fmt.Sprintf(
+							"%s passed to a call after release (released at %s)",
+							renderPath(root, path), w.r.Position(relPos)))
+						break
+					}
+				}
+			}
+		}
+	}
+	sites := callReleases(w.p, call, w.res, w.prog, w.pooled, w.effects)
+	if len(sites) > 0 {
+		for _, site := range sites {
+			v := st.val(site.root)
+			if prev, ok := v.released[site.path]; ok {
+				w.r.Report(call.Pos(), "pool-refcount", fmt.Sprintf(
+					"%s released twice on this path (first at %s)",
+					renderPath(site.root, site.path), w.r.Position(prev)))
+			} else {
+				v.released[site.path] = call.Pos()
+			}
+		}
+		return
+	}
+	// An unknown call neither releases nor is guaranteed to retain:
+	// treat whole tracked values passed in as handed off (no leak
+	// obligation), but keep their released state for later reads.
+	for _, a := range call.Args {
+		if root, path, ok := w.res.resolve(a); ok && path == "" {
+			if v := st.vals[root]; v != nil {
+				v.dead = true
+			}
+		}
+	}
+}
+
+// deferCall credits deferred releases against the leak obligation
+// without poisoning reads that happen before function exit.
+func (w *poolWalker) deferCall(n *ast.DeferStmt, st *poolState) {
+	sites := callReleases(w.p, n.Call, w.res, w.prog, w.pooled, w.effects)
+	if len(sites) > 0 {
+		for _, site := range sites {
+			st.val(site.root).deferred[site.path] = true
+		}
+		return
+	}
+	for _, a := range n.Call.Args {
+		w.expr(a, st)
+	}
+	if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+		w.escapeIdents(lit.Body, st)
+	}
+}
+
+// escapeIdents marks every tracked variable referenced in the subtree
+// as handed off: stored, captured, sent, or returned.
+func (w *poolWalker) escapeIdents(n ast.Node, st *poolState) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := w.p.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if t, ok := w.res.alias[obj]; ok {
+			obj = t.root
+		}
+		if v := st.vals[obj]; v != nil {
+			v.dead = true
+		}
+		return true
+	})
+}
+
+// leakCheck fires at every function exit: a fresh frame neither
+// released (including deferred) nor handed off leaks back pressure on
+// the pool.
+func (w *poolWalker) leakCheck(pos token.Pos, st *poolState) {
+	for _, v := range st.vals {
+		if !v.obtained.IsValid() || v.dead {
+			continue
+		}
+		if _, whole := v.released[""]; whole || v.deferred[""] {
+			continue
+		}
+		w.r.Report(pos, "pool-refcount", fmt.Sprintf(
+			"pooled frame obtained at %s is neither released nor handed off on this return path",
+			w.r.Position(v.obtained)))
+	}
+}

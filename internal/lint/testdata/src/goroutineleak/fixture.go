@@ -1,0 +1,52 @@
+// Package goroutineleak exercises the goroutine-leak rule: every go
+// statement needs a reachable stop path in the spawned body.
+package goroutineleak
+
+type pipe struct {
+	queue chan []byte
+	done  chan struct{}
+}
+
+// shipBad drains the queue forever with no way to stop.
+func (p *pipe) shipBad() {
+	for {
+		b := <-p.queue
+		_ = b
+	}
+}
+
+func (p *pipe) startBad() {
+	go p.shipBad() // finding: the shipper loops forever with no stop path
+}
+
+// shipGood exits when done closes.
+func (p *pipe) shipGood() {
+	for {
+		select {
+		case b := <-p.queue:
+			_ = b
+		case <-p.done:
+			return // ok: the done receive is the stop path
+		}
+	}
+}
+
+func (p *pipe) startGood() {
+	go p.shipGood() // ok
+}
+
+func (p *pipe) startAnonBad() {
+	go func() { // finding: the anonymous body loops forever
+		for {
+			<-p.queue
+		}
+	}()
+}
+
+func (p *pipe) startBounded(n int) {
+	go func() { // ok: the loop is bounded
+		for i := 0; i < n; i++ {
+			<-p.queue
+		}
+	}()
+}

@@ -1,0 +1,75 @@
+// Package holdblocking exercises the hold-blocking rule: channel
+// operations, net I/O, Wait and Sleep reached while a mutex is held,
+// directly or through a call.
+package holdblocking
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type shard struct {
+	mu    sync.Mutex
+	queue chan []byte
+	done  chan struct{}
+}
+
+func (s *shard) enqueue(b []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queue <- b // finding: channel send while the shard mutex is held
+}
+
+func (s *shard) enqueueSelect(b []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // finding: a default-less select parks under the lock
+	case s.queue <- b:
+	case <-s.done:
+	}
+}
+
+func (s *shard) enqueueNonBlocking(b []byte) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // ok: the default case makes this non-blocking
+	case s.queue <- b:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *shard) waitDrain(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	wg.Wait() // finding: WaitGroup wait under the lock
+	s.mu.Unlock()
+}
+
+func (s *shard) sleepOutside() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond) // ok: lock released first
+}
+
+func (s *shard) flush(conn net.Conn, b []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := conn.Write(b) // finding: network write under the lock
+	return err
+}
+
+func (s *shard) send(b []byte) {
+	s.queue <- b // ok here: no lock held in this function
+}
+
+func (s *shard) enqueueViaCall(b []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.send(b) // finding: the callee blocks on a channel send
+}
+
+func (s *shard) enqueueUnlocked(b []byte) {
+	s.send(b) // ok: nothing held
+}

@@ -1,0 +1,97 @@
+// Package lockorder exercises the lock-order rule: inversions of a
+// declared ordering, observed acquisition cycles with no declaration,
+// and the nested-same-lock self-deadlock shape.
+package lockorder
+
+import "sync"
+
+// The journal/stream ordering mirrors the replica engine: journaled
+// applies serialize on jmu before any per-stream lock.
+//
+//lint:lockorder lockorder.journal.jmu < lockorder.stream.mu journaled applies take the stream lock inside the journal section
+
+type journal struct {
+	jmu sync.Mutex
+}
+
+type stream struct {
+	mu sync.Mutex
+}
+
+type engine struct {
+	j  journal
+	st stream
+}
+
+func (e *engine) applyOK() {
+	e.j.jmu.Lock() // ok: declared order, journal before stream
+	defer e.j.jmu.Unlock()
+	e.st.mu.Lock()
+	e.st.mu.Unlock()
+}
+
+func (e *engine) applyInverted() {
+	e.st.mu.Lock()
+	defer e.st.mu.Unlock()
+	e.j.jmu.Lock() // finding: contradicts the declared order
+	e.j.jmu.Unlock()
+}
+
+func (e *engine) lockStream() {
+	e.st.mu.Lock()
+	e.st.mu.Unlock()
+}
+
+func (e *engine) applyViaCall() {
+	e.j.jmu.Lock() // ok: the stream lock is taken via a call, in order
+	defer e.j.jmu.Unlock()
+	e.lockStream()
+}
+
+// An undeclared pair nested in opposite orders is a cycle finding on
+// its own.
+
+type left struct{ mu sync.Mutex }
+type right struct{ mu sync.Mutex }
+
+type pairLR struct {
+	l left
+	r right
+}
+
+func (p *pairLR) lockLR() {
+	p.l.mu.Lock()
+	defer p.l.mu.Unlock()
+	p.r.mu.Lock() // finding: cycle — lockRL nests the same pair reversed
+	p.r.mu.Unlock()
+}
+
+func (p *pairLR) lockRL() {
+	p.r.mu.Lock()
+	defer p.r.mu.Unlock()
+	p.l.mu.Lock() // finding: the other half of the cycle
+	p.l.mu.Unlock()
+}
+
+// Nesting the same lock field of two instances is the hand-over-hand
+// shape; without an instance ordering argument it can deadlock.
+
+type node struct {
+	mu   sync.Mutex
+	next *node
+}
+
+func (n *node) lockChain() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.next.mu.Lock() // finding: self-deadlock shape
+	n.next.mu.Unlock()
+}
+
+func (n *node) lockOne() {
+	n.mu.Lock() // ok: no nesting
+	defer n.mu.Unlock()
+}
+
+//lint:lockorder misordered
+// The declaration above is malformed: finding.

@@ -1,0 +1,97 @@
+// Package poolrefcount exercises the pool-refcount rule: pooled
+// ref-counted frames must balance obtain/release, and no path may read
+// a frame after its release — including the batch-settlement shape
+// where a loop releases every element's frame and a later loop reads
+// the frames again for accounting.
+package poolrefcount
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type frameBuf struct {
+	buf  []byte
+	refs atomic.Int32
+}
+
+var framePool = sync.Pool{New: func() any { return new(frameBuf) }}
+
+func getFrame() *frameBuf {
+	f := framePool.Get().(*frameBuf)
+	f.refs.Store(1)
+	return f
+}
+
+func (f *frameBuf) release(n int32) {
+	if f.refs.Add(-n) == 0 {
+		framePool.Put(f)
+	}
+}
+
+type msg struct {
+	lba   uint64
+	frame *frameBuf
+}
+
+// finish settles one message, dropping its frame reference.
+func finish(m *msg) {
+	m.frame.release(1)
+}
+
+// processBatchBad is the wire-accounting race: byte counts are read
+// from frames a previous loop already settled back to the pool.
+func processBatchBad(msgs []*msg) int {
+	for _, m := range msgs {
+		finish(m)
+	}
+	total := 0
+	for _, m := range msgs {
+		total += len(m.frame.buf) // finding: frame read after release
+	}
+	return total
+}
+
+// processBatchGood reads the sizes before settling.
+func processBatchGood(msgs []*msg) int {
+	total := 0
+	for _, m := range msgs {
+		total += len(m.frame.buf) // ok: the read precedes every release
+	}
+	for _, m := range msgs {
+		finish(m)
+	}
+	return total
+}
+
+func useAfterRelease() int {
+	fb := getFrame()
+	n := len(fb.buf) // ok: still owned
+	fb.release(1)
+	return n + len(fb.buf) // finding: read after release
+}
+
+func doubleRelease() {
+	fb := getFrame()
+	fb.release(1)
+	fb.release(1) // finding: released twice on the same path
+}
+
+func leakOnEarlyReturn(fail bool) {
+	fb := getFrame()
+	if fail {
+		return // finding: fb neither released nor handed off
+	}
+	fb.release(1)
+}
+
+func deferredRelease() int {
+	fb := getFrame()
+	defer fb.release(1)
+	return len(fb.buf) // ok: the deferred release runs after this read
+}
+
+func handOff(ch chan *frameBuf) {
+	fb := getFrame()
+	ch <- fb // ok: ownership moves to the receiver
+}

@@ -10,6 +10,16 @@ func suppressed(p []byte) {
 	_ = parity.XORInPlace(p, p) // ok: suppressed by the directive above
 }
 
+func suppressedList(p []byte) {
+	//lint:ignore xor-alias,unchecked-error fixture: a comma list silences every named rule
+	_ = parity.XORInPlace(p, p) // ok: suppressed via the list form
+}
+
+func emptyListElement(p []byte) []byte {
+	//lint:ignore xor-alias,,unchecked-error the empty element makes this malformed: finding
+	return p
+}
+
 func malformed(p []byte) []byte {
 	//lint:ignore
 	return p // the directive above lacks a rule id and reason: finding

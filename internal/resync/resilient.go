@@ -97,6 +97,7 @@ func (c *ResilientClient) push(lba uint64, send func(*iscsi.Initiator) error) er
 			return nil
 		}
 		if errors.Is(err, iscsi.ErrDiverged) {
+			//lint:ignore hold-blocking c.mu serializes push and heal on one session; repair I/O under it is the design
 			stats, rerr := RunRanges(c.local, c.conn, Config{}, block.Range{Start: lba, Count: 1})
 			if rerr == nil {
 				c.repaired += int64(stats.BlocksRepaired)
@@ -114,11 +115,13 @@ func (c *ResilientClient) push(lba uint64, send func(*iscsi.Initiator) error) er
 	// on top of the repaired state in PRINS mode, where re-XORing a
 	// parity would corrupt the block. Resync-then-skip is the correct
 	// sequence.
+	//lint:ignore hold-blocking reconnect is serialized under the session lock so pushes cannot interleave with the heal
 	conn, err := c.dial()
 	if err != nil {
 		return fmt.Errorf("resync: reconnect %s: %w", c.addr, err)
 	}
 	c.reconnect++
+	//lint:ignore hold-blocking the full resync runs under the session lock for the same reason
 	stats, err := Run(c.local, conn, Config{})
 	if err != nil {
 		_ = conn.Close()

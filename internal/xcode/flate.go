@@ -48,6 +48,7 @@ func flateDecode(body []byte, maxLen int) ([]byte, error) {
 	r := flate.NewReader(bytes.NewReader(body))
 	defer r.Close()
 	var buf bytes.Buffer
+	//lint:ignore hold-blocking inflates an in-memory buffer into a bytes.Buffer, no I/O wait
 	n, err := io.Copy(&buf, io.LimitReader(r, int64(maxLen)+1))
 	if err != nil {
 		return nil, fmt.Errorf("%w: inflate: %v", ErrBadFrame, err)
