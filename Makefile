@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-json stress fuzz chaos lint check repro examples fmt vet clean
+.PHONY: all build test race bench bench-json bench-guard stress fuzz chaos lint check repro examples fmt vet clean
 
 # How long each fuzzer runs under `make fuzz` / `make check`.
 FUZZTIME ?= 10s
@@ -28,6 +28,7 @@ bench:
 # startup noise, and the default 1000x still finishes in seconds.
 BENCHTIME ?= 100x
 SHARDTIME ?= 1000x
+HOTTIME ?= 500x
 bench-json:
 	$(GO) test -run='^$$' -bench='BatchShip|AblationCoalesce' -benchtime=$(BENCHTIME) . \
 		| $(GO) run ./cmd/benchjson -out BENCH_batch.json
@@ -35,6 +36,20 @@ bench-json:
 		| $(GO) run ./cmd/benchjson -out BENCH_nonzero.json
 	$(GO) test -run='^$$' -bench='ShardScaling' -benchtime=$(SHARDTIME) . \
 		| $(GO) run ./cmd/benchjson -out BENCH_shard.json
+	$(GO) test -run='^$$' -bench='Hotpath' -benchtime=$(HOTTIME) . \
+		| $(GO) run ./cmd/benchjson -out BENCH_hotpath.json
+
+# Hot-path regression guard: re-run the sync-ship benches and fail if
+# writes/s fell more than REGRESS percent below the committed
+# BENCH_hotpath.json baseline (see cmd/benchjson guard mode). Only the
+# link-latency-dominated SyncShip benches are compared: they repeat
+# within a few percent, while the CPU-bound shard benches swing too
+# much run to run to gate on.
+REGRESS ?= 10
+bench-guard:
+	$(GO) test -run='^$$' -bench='HotpathSyncShip' -benchtime=$(HOTTIME) . \
+		| $(GO) run ./cmd/benchjson -baseline BENCH_hotpath.json \
+			-metric writes/s -max-regress $(REGRESS)
 
 # The sharded-engine and multi-volume concurrency battery, repeated
 # under the race detector: cross-shard parallel writers, same-LBA

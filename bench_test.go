@@ -844,3 +844,260 @@ func BenchmarkAblationAggressive(b *testing.B) {
 		})
 	}
 }
+
+// --- hot path: group commit + zero-copy encode (DESIGN.md section 4) ---
+
+// hotpathEncode is the primary's per-write encode work exactly as the
+// pipeline composes it: fused XOR+density kernel into a scratch parity
+// block, ZRL append-encode into a pooled frame buffer with header
+// headroom, header stamped in place over the finished frame. Returns
+// the full framed PDU (headroom + frame) for wire-length accounting.
+func hotpathEncode(fp, newData, oldData, buf []byte, seq uint64) ([]byte, error) {
+	if _, err := parity.XORCountNonZero(fp, newData, oldData); err != nil {
+		return nil, err
+	}
+	hash := iscsi.HashBlock(newData)
+	pdu, err := xcode.AppendEncodeBest(buf[:iscsi.FrameHeadroom], fp, xcode.CodecZRL)
+	if err != nil {
+		return nil, err
+	}
+	if err := iscsi.StampReplicaHeader(pdu, 1, 0, 0, uint32(seq), seq, seq%64, hash); err != nil {
+		return nil, err
+	}
+	return pdu, nil
+}
+
+// hotpathBlocks builds a representative (old, new) block pair: 10%
+// changed in one clustered run, like a database page update.
+func hotpathBlocks(blockSize int) (oldData, newData []byte) {
+	rng := rand.New(rand.NewSource(11))
+	oldData = make([]byte, blockSize)
+	rng.Read(oldData)
+	newData = append([]byte(nil), oldData...)
+	off := rng.Intn(blockSize * 9 / 10)
+	rng.Read(newData[off : off+blockSize/10])
+	return oldData, newData
+}
+
+// TestEncodePathZeroAllocs pins the zero-copy encode contract: with a
+// warmed pooled buffer, one write's parity + density + hash + ZRL
+// encode + in-place header stamp allocates nothing. A regression here
+// means a per-write allocation crept back into the hot path.
+func TestEncodePathZeroAllocs(t *testing.T) {
+	const blockSize = 8 << 10
+	oldData, newData := hotpathBlocks(blockSize)
+	fp := make([]byte, blockSize)
+	buf := make([]byte, iscsi.FrameHeadroom, iscsi.FrameHeadroom+64)
+	// Warm the buffer to its steady-state capacity, as the frame pool
+	// does after the first write.
+	pdu, err := hotpathEncode(fp, newData, oldData, buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = pdu[:iscsi.FrameHeadroom]
+
+	var seq uint64
+	allocs := testing.AllocsPerRun(100, func() {
+		seq++
+		if _, err := hotpathEncode(fp, newData, oldData, buf, seq); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("encode hot path allocates: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkHotpathEncode measures the per-write CPU cost of the
+// zero-copy encode path (fused parity kernel, block hash, ZRL encode,
+// in-place header stamp) with allocation reporting; allocs/op must
+// read 0 (asserted by TestEncodePathZeroAllocs).
+func BenchmarkHotpathEncode(b *testing.B) {
+	const blockSize = 8 << 10
+	oldData, newData := hotpathBlocks(blockSize)
+	fp := make([]byte, blockSize)
+	buf := make([]byte, iscsi.FrameHeadroom, iscsi.FrameHeadroom+2*blockSize)
+	pdu, err := hotpathEncode(fp, newData, oldData, buf, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf = pdu[:iscsi.FrameHeadroom]
+
+	b.SetBytes(blockSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var frameLen int
+	for i := 0; i < b.N; i++ {
+		pdu, err := hotpathEncode(fp, newData, oldData, buf, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		frameLen = len(pdu) - iscsi.FrameHeadroom
+	}
+	b.ReportMetric(float64(frameLen), "frameB")
+}
+
+// BenchmarkHotpathSyncShip measures synchronous replication throughput
+// of 8 concurrent writers through a real initiator/target session over
+// a metro-latency shaped link, with group commit off versus on.
+// Ungrouped, every writer takes the shard lock, applies, and enqueues
+// its own message, and the staggered arrivals split across wire
+// pushes; grouped, a queue-full of same-shard writes commits under
+// one lock pass (the early-flush trigger fires at FlushFrames, so the
+// window never idles a saturated shard) and drains to the replica as
+// one aligned wire batch per group. This is the writes/s figure the
+// CI regression guard tracks (BENCH_hotpath.json).
+func BenchmarkHotpathSyncShip(b *testing.B) {
+	const (
+		blockSize = 8 << 10
+		numBlocks = 256
+		latency   = 500 * time.Microsecond
+		writers   = 8
+	)
+	for _, grouped := range []bool{false, true} {
+		name := "group-off"
+		cfg := core.Config{
+			Mode:        core.ModePRINS,
+			QueueDepth:  256,
+			BatchFrames: 64,
+		}
+		if grouped {
+			name = "group-on"
+			// Window >= the link round trip: in-flight writers' acks
+			// return inside the window, so their next writes rejoin
+			// the forming group instead of phase-splitting into
+			// half-size groups. The early-flush trigger still commits
+			// the moment all writers have queued.
+			cfg.FlushWindow = 4 * latency
+			cfg.FlushFrames = writers
+		}
+		b.Run(name, func(b *testing.B) {
+			sink, err := block.NewMem(blockSize, numBlocks)
+			if err != nil {
+				b.Fatal(err)
+			}
+			target := iscsi.NewTarget()
+			target.Export("replica", core.NewReplicaEngine(sink))
+			addr, err := target.Listen("127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer target.Close()
+			raw, err := net.Dial("tcp", addr.String())
+			if err != nil {
+				b.Fatal(err)
+			}
+			client := iscsi.NewInitiator(wan.Shape(raw, wan.LinkConfig{Latency: latency}))
+			defer client.Close()
+			if err := client.Login("replica"); err != nil {
+				b.Fatal(err)
+			}
+
+			primary, err := block.NewMem(blockSize, numBlocks)
+			if err != nil {
+				b.Fatal(err)
+			}
+			engine, err := core.NewEngine(primary, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer engine.Close()
+			if err := engine.AttachReplica(client); err != nil {
+				b.Fatal(err)
+			}
+
+			var seed, writeErr atomic.Int64
+			var firstErr atomic.Value
+			b.SetParallelism(writers)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(seed.Add(1)))
+				buf := make([]byte, blockSize)
+				rng.Read(buf)
+				for pb.Next() {
+					buf[rng.Intn(blockSize)] = byte(rng.Intn(256))
+					if err := engine.WriteBlock(uint64(rng.Intn(numBlocks)), buf); err != nil {
+						if writeErr.Add(1) == 1 {
+							firstErr.Store(err)
+						}
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			if err, _ := firstErr.Load().(error); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "writes/s")
+			if s := engine.Traffic().Snapshot(); s.GroupCommits > 0 {
+				b.ReportMetric(float64(s.GroupedWrites)/float64(s.GroupCommits), "writes/group")
+			}
+		})
+	}
+}
+
+// BenchmarkHotpathShards measures the pure CPU hot path — fused
+// parity kernel, zero-copy encode, sharded metrics banks — under 8
+// concurrent writers as the shard count grows 1 -> 8: one shard
+// serializes every encode behind one lock, N shards let encodes
+// overlap while the per-shard counter banks keep the metrics
+// cachelines from bouncing between them.
+func BenchmarkHotpathShards(b *testing.B) {
+	const (
+		blockSize = 4 << 10
+		numBlocks = 1 << 10
+		writers   = 8
+	)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			mem, err := block.NewMem(blockSize, numBlocks)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink, err := block.NewMem(blockSize, numBlocks)
+			if err != nil {
+				b.Fatal(err)
+			}
+			engine, err := core.NewEngine(mem, core.Config{
+				Mode:       core.ModePRINS,
+				Async:      true,
+				QueueDepth: 256,
+				Shards:     shards,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer engine.Close()
+			if err := engine.AttachReplica(&core.Loopback{Replica: core.NewReplicaEngine(sink)}); err != nil {
+				b.Fatal(err)
+			}
+
+			var seed, writeErr atomic.Int64
+			var firstErr atomic.Value
+			b.SetParallelism(writers)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(seed.Add(1)))
+				buf := make([]byte, blockSize)
+				rng.Read(buf)
+				for pb.Next() {
+					buf[rng.Intn(blockSize)] = byte(rng.Intn(256))
+					if err := engine.WriteBlock(uint64(rng.Intn(numBlocks)), buf); err != nil {
+						if writeErr.Add(1) == 1 {
+							firstErr.Store(err)
+						}
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			if err, _ := firstErr.Load().(error); err != nil {
+				b.Fatal(err)
+			}
+			if err := engine.Drain(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "writes/s")
+		})
+	}
+}

@@ -9,6 +9,15 @@
 // and, per benchmark, the iteration count and every value/unit metric
 // pair — both the standard ns/op style metrics and the custom ones
 // emitted with b.ReportMetric (writes/s, frames/batch, ratio, ...).
+//
+// With -baseline it doubles as a regression guard: after parsing, the
+// fresh run is compared against a committed report and the process
+// exits nonzero if any shared benchmark's named metric (higher =
+// better, e.g. writes/s) fell more than -max-regress percent below the
+// baseline:
+//
+//	go test -bench=Hotpath . | go run ./cmd/benchjson \
+//	    -baseline BENCH_hotpath.json -metric writes/s -max-regress 10
 package main
 
 import (
@@ -38,6 +47,9 @@ type Report struct {
 
 func main() {
 	out := flag.String("out", "", "file to write the JSON report to (empty = stdout only)")
+	baseline := flag.String("baseline", "", "committed report to compare against (enables guard mode)")
+	metric := flag.String("metric", "writes/s", "higher-is-better metric the guard compares")
+	maxRegress := flag.Float64("max-regress", 10, "max tolerated drop below baseline, percent")
 	flag.Parse()
 
 	report, err := parse(os.Stdin, os.Stdout)
@@ -45,24 +57,81 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	enc, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-	enc = append(enc, '\n')
-	if *out == "" {
-		if _, err := os.Stdout.Write(enc); err != nil {
+	if *out != "" || *baseline == "" {
+		enc, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
-		return
+		enc = append(enc, '\n')
+		if *out == "" {
+			if _, err := os.Stdout.Write(enc); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+		} else {
+			if err := os.WriteFile(*out, enc, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(report.Benchmarks), *out)
+		}
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	if *baseline != "" {
+		if err := guard(report, *baseline, *metric, *maxRegress, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(report.Benchmarks), *out)
+}
+
+// guard compares the fresh report against the baseline file: every
+// benchmark present in both with the named metric must not have fallen
+// more than maxRegress percent below its committed value. The metric
+// is treated as higher-is-better.
+func guard(fresh *Report, baselinePath, metric string, maxRegress float64, w io.Writer) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	baseBy := map[string]float64{}
+	for _, b := range base.Benchmarks {
+		if v, ok := b.Metrics[metric]; ok && v > 0 {
+			baseBy[b.Name] = v
+		}
+	}
+	compared := 0
+	var failures []string
+	for _, b := range fresh.Benchmarks {
+		got, ok := b.Metrics[metric]
+		if !ok {
+			continue
+		}
+		want, ok := baseBy[b.Name]
+		if !ok {
+			continue
+		}
+		compared++
+		dropPct := (want - got) / want * 100
+		fmt.Fprintf(w, "benchjson: guard %-40s %s %12.1f baseline %12.1f (%+.1f%%)\n",
+			b.Name, metric, got, want, -dropPct)
+		if dropPct > maxRegress {
+			failures = append(failures,
+				fmt.Sprintf("%s: %s %.1f is %.1f%% below baseline %.1f (max %.0f%%)",
+					b.Name, metric, got, dropPct, want, maxRegress))
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("guard compared no benchmarks: no shared %q metric with %s", metric, baselinePath)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("performance regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
 }
 
 // parse reads `go test -bench` output from r, echoing every line to

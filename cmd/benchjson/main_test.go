@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -70,5 +73,53 @@ func TestParseIgnoresMalformedLines(t *testing.T) {
 	}
 	if len(report.Benchmarks) != 1 || report.Benchmarks[0].Name != "BenchmarkGood" {
 		t.Errorf("benchmarks = %+v, want just BenchmarkGood", report.Benchmarks)
+	}
+}
+
+func TestGuard(t *testing.T) {
+	writeBaseline := func(t *testing.T, writesPerSec float64) string {
+		t.Helper()
+		base := &Report{Benchmarks: []Benchmark{
+			{Name: "BenchmarkHotpathSyncShip/group-on-8", Iterations: 100,
+				Metrics: map[string]float64{"writes/s": writesPerSec, "ns/op": 1}},
+			{Name: "BenchmarkOther", Iterations: 10,
+				Metrics: map[string]float64{"ns/op": 5}},
+		}}
+		enc, err := json.Marshal(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "base.json")
+		if err := os.WriteFile(path, enc, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	fresh := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkHotpathSyncShip/group-on-8", Iterations: 100,
+			Metrics: map[string]float64{"writes/s": 900}},
+	}}
+
+	// 900 vs baseline 950 is a 5.3% drop: inside a 10% budget,
+	// outside a 2% budget.
+	path := writeBaseline(t, 950)
+	if err := guard(fresh, path, "writes/s", 10, &bytes.Buffer{}); err != nil {
+		t.Errorf("5%% drop failed a 10%% guard: %v", err)
+	}
+	err := guard(fresh, path, "writes/s", 2, &bytes.Buffer{})
+	if err == nil {
+		t.Error("5% drop passed a 2% guard")
+	} else if !strings.Contains(err.Error(), "BenchmarkHotpathSyncShip/group-on-8") {
+		t.Errorf("guard error does not name the regressed benchmark: %v", err)
+	}
+
+	// Improvements never fail.
+	if err := guard(fresh, writeBaseline(t, 100), "writes/s", 10, &bytes.Buffer{}); err != nil {
+		t.Errorf("improvement failed the guard: %v", err)
+	}
+
+	// Nothing to compare is an error, not a silent pass.
+	if err := guard(fresh, path, "no-such-metric", 10, &bytes.Buffer{}); err == nil {
+		t.Error("guard with no shared metric passed silently")
 	}
 }

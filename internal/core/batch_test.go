@@ -417,3 +417,84 @@ func TestBatchConfigDefaults(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchSavedWireExcludesFailedCoalesced: the batch savings counter
+// measures delivered messages against single-frame shipping, so a
+// coalesced entry the replica refuses must not credit its merged-away
+// frames as savings. Regression test: two LBA-5 writes coalesce into
+// one entry, the replica's LBA-5 pre-image is corrupted so that entry
+// comes back StatusDiverged, and BatchSavedWire must be computed from
+// the OK entries alone (it can go negative — the refused entry's wire
+// bytes were spent without delivering anything).
+func TestBatchSavedWireExcludesFailedCoalesced(t *testing.T) {
+	const bs, nb = 512, 16
+	e, _, _, replicaStore, g := batchPair(t, Config{
+		Mode:        ModePRINS,
+		Async:       true,
+		BatchFrames: 64,
+	}, bs, nb)
+
+	// First write: the shipper picks it up alone and blocks at the gate.
+	if err := e.WriteBlock(0, fillBlock(bs, 1)); err != nil {
+		t.Fatal(err)
+	}
+	<-g.started
+
+	// Backlog behind the gate: two LBA-5 writes (the coalescing pair)
+	// plus two healthy blocks.
+	for _, w := range []struct {
+		lba  uint64
+		fill byte
+	}{{5, 2}, {6, 3}, {5, 4}, {7, 5}} {
+		if err := e.WriteBlock(w.lba, fillBlock(bs, w.fill)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt the replica's LBA-5 pre-image so the merged entry's
+	// backward XOR recovers garbage and fails its hash check.
+	bad := make([]byte, bs)
+	for i := range bad {
+		bad[i] = 0xee
+	}
+	if err := replicaStore.WriteBlock(5, bad); err != nil {
+		t.Fatal(err)
+	}
+	close(g.gate)
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	g.mu.Lock()
+	if len(g.batches) != 1 {
+		g.mu.Unlock()
+		t.Fatalf("got %d batches, want 1", len(g.batches))
+	}
+	batch := g.batches[0]
+	g.mu.Unlock()
+	if len(batch) != 3 {
+		t.Fatalf("batch carries %d entries, want 3 (two LBA-5 frames merged)", len(batch))
+	}
+
+	// Expected savings: only the delivered (OK) entries count toward
+	// the unbatched baseline; the whole batch's wire cost counts
+	// against. The diverged LBA-5 group contributes nothing.
+	var unbatchedOK int64
+	for _, be := range batch {
+		if be.LBA == 5 {
+			continue
+		}
+		unbatchedOK += int64(wan.WireBytesDiscrete(len(be.Frame)))
+	}
+	want := unbatchedOK - int64(wan.WireBytesDiscrete(iscsi.BatchWireLen(batch)))
+
+	s := e.Traffic().Snapshot()
+	if s.Diverged != 1 {
+		t.Fatalf("Diverged = %d, want 1 (the merged LBA-5 entry)", s.Diverged)
+	}
+	if s.BatchSavedWire != want {
+		t.Errorf("BatchSavedWire = %d, want %d (OK entries only)", s.BatchSavedWire, want)
+	}
+	if rs := e.ReplicaStats(); rs[0].Metrics.BatchSavedWire != want {
+		t.Errorf("per-replica BatchSavedWire = %d, want %d", rs[0].Metrics.BatchSavedWire, want)
+	}
+}

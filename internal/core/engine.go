@@ -60,6 +60,21 @@ type StreamBatchReplicaClient interface {
 
 var _ StreamBatchReplicaClient = (*iscsi.Initiator)(nil)
 
+// FramedReplicaClient is the zero-copy extension of ReplicaClient: the
+// engine hands over the pre-assembled PDU — iscsi.FrameHeadroom
+// reserved header bytes followed by the encoded frame — and the client
+// stamps the header in place and sends the buffer as one write, so a
+// single-frame ship performs no staging copy of the frame. The client
+// overwrites the headroom bytes, so the pipeline only takes this path
+// while it holds the buffer exclusively. The wire bytes are identical
+// to ReplicaWriteStream (v3 framing for a zero shard/vol tag).
+type FramedReplicaClient interface {
+	ReplicaClient
+	ReplicaWriteFramed(mode, shard uint8, vol uint16, seq, lba, hash uint64, pdu []byte) error
+}
+
+var _ FramedReplicaClient = (*iscsi.Initiator)(nil)
+
 // ParityWriter is the optional fast path a RAID array provides: a
 // write that returns the forward parity it computed anyway while
 // updating the parity disk. When the primary store implements it and
@@ -149,6 +164,27 @@ type Config struct {
 	// untagged and wire-compatible with pre-sharding peers; nonzero
 	// requires stream-capable replica clients.
 	Volume uint16
+	// FlushWindow enables primary-side group commit: writers landing on
+	// the same shard within the window are drained as one unit — a
+	// single shard-lock pass covers every queued write's local apply,
+	// seq allocation, and pipeline enqueue, amortizing the fixed
+	// per-write costs over the group. The first writer to arrive leads:
+	// it waits (no locks held) until the window elapses or the queue
+	// fills a whole FlushFrames chunk — whichever comes first — then
+	// commits the whole queue; followers just wait for their result.
+	// The window is a latency deadline, not a mandatory delay: a
+	// saturated shard groups at arrival speed. Per-write latency is
+	// bounded by the window plus the commit itself. Zero (the default)
+	// disables group commit and keeps the per-write path.
+	FlushWindow time.Duration
+	// FlushFrames caps how many queued writes one group-commit flush
+	// drains per shard-lock pass (a larger backlog commits in
+	// successive passes, so the lock is never held for an unbounded
+	// batch) and doubles as the early-flush trigger: a queue that
+	// fills to FlushFrames commits without waiting out the window.
+	// Zero means the default (64), capped at iscsi.MaxBatchFrames.
+	// Ignored unless FlushWindow is set.
+	FlushFrames int
 }
 
 func (c Config) withDefaults() Config {
@@ -172,6 +208,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Shards < 1 {
 		c.Shards = 1
+	}
+	if c.FlushWindow > 0 {
+		if c.FlushFrames <= 0 {
+			c.FlushFrames = 64
+		}
+		if c.FlushFrames > iscsi.MaxBatchFrames {
+			c.FlushFrames = iscsi.MaxBatchFrames
+		}
 	}
 	return c
 }
@@ -209,6 +253,35 @@ type shard struct {
 	oldBuf []byte
 	fpBuf  []byte
 	pipes  []*pipe // one per replica, attach order
+
+	// Group-commit state (Config.FlushWindow > 0). Writers append to
+	// gcQueue under gcMu; the first writer of a window becomes the
+	// leader, waits out the flush window with no locks held, then
+	// commits the whole queue under a single s.mu pass. gcMu is a leaf
+	// lock: never acquired with s.mu held. gcWake carries the early
+	// flush signal: the follower whose arrival fills the queue to
+	// FlushFrames nudges the leader instead of letting it sleep out
+	// the rest of the window — the window is a latency deadline, not a
+	// mandatory wait, so a saturated shard groups at arrival speed. A
+	// stale token (leader already woken by the timer) at worst wakes
+	// the next leader into a smaller group, which is always safe.
+	gcMu     sync.Mutex
+	gcQueue  []*gcReq
+	gcLeader bool
+	gcWake   chan struct{}
+}
+
+// gcReq is one writer's slot in a shard's group-commit queue. The
+// leader fills err/ack/n during the commit pass and closes done; the
+// owning writer then collects its own acks outside every lock, exactly
+// like the ungrouped path.
+type gcReq struct {
+	lba  uint64
+	data []byte
+	done chan struct{}
+	err  error
+	ack  chan error
+	n    int // acks to await (sync mode)
 }
 
 // Engine is the primary-side PRINS engine. It wraps the local block
@@ -278,11 +351,13 @@ func NewEngine(local block.Store, cfg Config) (*Engine, error) {
 		shardSize: shardSize,
 		done:      make(chan struct{}),
 	}
+	e.traffic.AttachShards(e.shardM)
 	for i := range e.shards {
 		e.shards[i] = &shard{
 			id:     uint8(i),
 			oldBuf: make([]byte, local.BlockSize()),
 			fpBuf:  make([]byte, local.BlockSize()),
+			gcWake: make(chan struct{}, 1),
 		}
 	}
 	if pw, ok := local.(ParityWriter); ok {
@@ -354,6 +429,9 @@ func (e *Engine) AttachReplica(rc ReplicaClient) error {
 	}
 	if sbc, ok := rc.(StreamBatchReplicaClient); ok {
 		rs.sbatch = sbc
+	}
+	if fc, ok := rc.(FramedReplicaClient); ok {
+		rs.framed = fc
 	}
 	e.replicas = append(e.replicas, rs)
 	rs.pipes = make([]*pipe, len(e.shards))
@@ -521,6 +599,9 @@ func (e *Engine) NumBlocks() uint64 { return e.local.NumBlocks() }
 // trips behind a lock.
 func (e *Engine) WriteBlock(lba uint64, data []byte) error {
 	s := e.shardOf(lba)
+	if e.cfg.FlushWindow > 0 {
+		return e.writeGrouped(s, lba, data)
+	}
 	s.mu.Lock()
 	if e.closed.Load() {
 		s.mu.Unlock()
@@ -585,6 +666,158 @@ func (e *Engine) WriteBlock(lba uint64, data []byte) error {
 	return firstErr
 }
 
+// writeGrouped is the group-commit write path (Config.FlushWindow >
+// 0). The writer queues its request on the shard; the first writer of
+// a window becomes the leader, waits — at most one flush window, less
+// if the queue fills a whole chunk first — with no locks held, then
+// commits everything queued meanwhile under a single shard-lock pass:
+// one lock acquisition, one contiguous seq range, one metrics pass
+// for the whole group instead of one per write.
+// Followers block until the leader settles their request, then await
+// their own replica acks exactly like the ungrouped path, so sync-mode
+// semantics (write returns once every replica acknowledged) are
+// preserved.
+func (e *Engine) writeGrouped(s *shard, lba uint64, data []byte) error {
+	req := &gcReq{lba: lba, data: data, done: make(chan struct{})}
+	s.gcMu.Lock()
+	if e.closed.Load() {
+		s.gcMu.Unlock()
+		return ErrEngineClosed
+	}
+	s.gcQueue = append(s.gcQueue, req)
+	leader := !s.gcLeader
+	if leader {
+		s.gcLeader = true
+	} else if len(s.gcQueue) >= e.cfg.FlushFrames {
+		// The queue just filled a whole flush chunk: wake the leader
+		// now rather than letting it sleep out the rest of the window.
+		select {
+		case s.gcWake <- struct{}{}:
+		default:
+		}
+	}
+	s.gcMu.Unlock()
+
+	if leader {
+		timer := time.NewTimer(e.cfg.FlushWindow)
+		select {
+		case <-timer.C:
+		case <-s.gcWake:
+			timer.Stop()
+		}
+		s.gcMu.Lock()
+		batch := s.gcQueue
+		s.gcQueue = nil
+		s.gcLeader = false
+		// Drop any wake token that raced with the timer so it cannot
+		// cut the next window short.
+		select {
+		case <-s.gcWake:
+		default:
+		}
+		s.gcMu.Unlock()
+		e.commitGroup(s, batch)
+	}
+
+	<-req.done
+	if req.err != nil {
+		return req.err
+	}
+	var firstErr error
+	for i := 0; i < req.n; i++ {
+		if err := <-req.ack; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// commitGroup commits one drained group-commit batch in chunks of at
+// most FlushFrames, so the shard lock is never held across an
+// unbounded backlog.
+func (e *Engine) commitGroup(s *shard, batch []*gcReq) {
+	e.traffic.AddGroupCommit(len(batch))
+	for len(batch) > 0 {
+		chunk := batch
+		if len(chunk) > e.cfg.FlushFrames {
+			chunk = batch[:e.cfg.FlushFrames]
+		}
+		batch = batch[len(chunk):]
+		e.commitChunk(s, chunk)
+	}
+}
+
+// commitChunk applies and enqueues one chunk of grouped writes under a
+// single s.mu acquisition: every request's local apply, its slot in
+// the shard's contiguous seq range, and its fan-out onto the shard's
+// pipelines happen in one critical section. Requests are settled
+// (done closed) only after the lock is released.
+func (e *Engine) commitChunk(s *shard, chunk []*gcReq) {
+	s.mu.Lock()
+	if e.closed.Load() {
+		s.mu.Unlock()
+		for _, r := range chunk {
+			r.err = ErrEngineClosed
+			close(r.done)
+		}
+		return
+	}
+	n := len(s.pipes)
+	closing := false
+	for _, r := range chunk {
+		if closing {
+			r.err = ErrEngineClosed
+			continue
+		}
+		fb, err := e.applyLocal(s, r.lba, r.data)
+		if err != nil {
+			r.err = err
+			continue
+		}
+		if fb == nil { // unchanged block elided
+			continue
+		}
+		s.seq++
+		seq := s.seq
+		var hash uint64
+		if !e.cfg.DisableVerify {
+			hash = iscsi.HashBlock(r.data)
+		}
+		if n == 0 {
+			framePool.Put(fb)
+			continue
+		}
+		fb.refs.Store(int32(n))
+		if !e.cfg.Async {
+			r.ack = make(chan error, n)
+			r.n = n
+		}
+		enqueued := 0
+		for _, p := range s.pipes {
+			p.rs.pending.Add(1)
+			//lint:ignore hold-blocking bounded backpressure: a full replication queue must stall writers on this shard
+			select {
+			case p.queue <- repMsg{seq: seq, lba: r.lba, hash: hash, frame: fb, ack: r.ack}:
+				enqueued++
+			case <-e.done:
+				p.rs.pending.Done()
+				fb.release(int32(n - enqueued))
+				r.err = ErrEngineClosed
+				r.ack = nil
+				r.n = 0
+				closing = true
+			}
+			if closing {
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+	for _, r := range chunk {
+		close(r.done)
+	}
+}
+
 // applyLocal performs the local write and produces the encoded frame
 // to replicate in a pooled buffer, or nil if the write needs no
 // replication. Called with s.mu held; scratch buffers are the shard's
@@ -594,8 +827,10 @@ func (e *Engine) applyLocal(s *shard, lba uint64, data []byte) (*frameBuf, error
 	if len(data) != bs {
 		return nil, fmt.Errorf("%w: %d != %d", block.ErrBadBufSize, len(data), bs)
 	}
-	e.traffic.AddWrite(bs)
-	e.shardM.AddWrite(int(s.id))
+	// Hot-path counters live in the shard's own cache-line-sized bank;
+	// Traffic folds the banks into its totals on Snapshot, so the write
+	// path never touches a cache line shared with another shard.
+	e.shardM.AddWrite(int(s.id), bs)
 
 	switch e.cfg.Mode {
 	case ModeTraditional, ModeCompressed:
@@ -609,7 +844,7 @@ func (e *Engine) applyLocal(s *shard, lba uint64, data []byte) (*frameBuf, error
 		}
 		fb := getFrame()
 		buf, err := xcode.AppendEncode(fb.buf, codec, data)
-		e.traffic.AddEncodeTime(time.Since(start))
+		e.shardM.AddEncodeTime(int(s.id), time.Since(start))
 		if err != nil {
 			framePool.Put(fb)
 			return nil, fmt.Errorf("core: encode: %w", err)
@@ -620,6 +855,10 @@ func (e *Engine) applyLocal(s *shard, lba uint64, data []byte) (*frameBuf, error
 	case ModePRINS:
 		start := time.Now()
 		fp := s.fpBuf
+		// nz is the parity's non-zero byte count when a consumer needs
+		// it (density recording or skip detection); -1 otherwise.
+		nz := -1
+		wantNZ := e.cfg.RecordDensity || e.cfg.SkipUnchanged
 		if e.pw != nil {
 			// RAID fast path: the array hands us P' it computed anyway.
 			// The array's parity buffer is shared, so the call serializes
@@ -633,11 +872,22 @@ func (e *Engine) applyLocal(s *shard, lba uint64, data []byte) (*frameBuf, error
 			}
 			copy(fp, res)
 			e.pwMu.Unlock()
+			if wantNZ {
+				nz = parity.NonZeroBytes(fp)
+			}
 		} else {
 			if err := e.local.ReadBlock(lba, s.oldBuf); err != nil {
 				return nil, fmt.Errorf("core: read pre-image: %w", err)
 			}
-			if err := parity.ForwardInto(fp, data, s.oldBuf); err != nil {
+			if wantNZ {
+				// Fused kernel: the XOR and the non-zero scan share one
+				// pass over the block, so density recording and
+				// skip-unchanged detection cost no second walk.
+				var err error
+				if nz, err = parity.XORCountNonZero(fp, data, s.oldBuf); err != nil {
+					return nil, err
+				}
+			} else if err := parity.ForwardInto(fp, data, s.oldBuf); err != nil {
 				return nil, err
 			}
 			if err := e.local.WriteBlock(lba, data); err != nil {
@@ -645,17 +895,16 @@ func (e *Engine) applyLocal(s *shard, lba uint64, data []byte) (*frameBuf, error
 			}
 		}
 		if e.cfg.RecordDensity {
-			e.density.Record(parity.MeasureDensity(fp))
+			e.density.Record(parity.Density{ChangedBytes: nz, BlockBytes: bs})
 		}
-		if e.cfg.SkipUnchanged && parity.IsZero(fp) {
-			e.traffic.AddSkipped()
+		if e.cfg.SkipUnchanged && nz == 0 {
 			e.shardM.AddSkipped(int(s.id))
-			e.traffic.AddEncodeTime(time.Since(start))
+			e.shardM.AddEncodeTime(int(s.id), time.Since(start))
 			return nil, nil
 		}
 		fb := getFrame()
 		buf, err := xcode.AppendEncodeBest(fb.buf, fp, e.cfg.Codecs...)
-		e.traffic.AddEncodeTime(time.Since(start))
+		e.shardM.AddEncodeTime(int(s.id), time.Since(start))
 		if err != nil {
 			framePool.Put(fb)
 			return nil, fmt.Errorf("core: encode parity: %w", err)

@@ -57,6 +57,10 @@ type replicaState struct {
 	stream StreamReplicaClient
 	// sbatch combines both; nil disables batching on tagged pipes.
 	sbatch StreamBatchReplicaClient
+	// framed is client's zero-copy extension; when set, a single-frame
+	// ship whose pipeline holds the pooled buffer exclusively hands the
+	// whole pre-assembled PDU over instead of staging a copy.
+	framed FramedReplicaClient
 
 	m     metrics.Replica
 	pipes []*pipe // one per shard, shard order
@@ -116,6 +120,12 @@ func (e *Engine) tagged(p *pipe) bool {
 // frameBuf is a pooled, reference-counted encode buffer. One frame is
 // shared by every replica's queue; the last pipeline to finish with it
 // returns it to the pool, killing the per-write frame allocation.
+//
+// buf is a complete wire PDU in the making: iscsi.FrameHeadroom bytes
+// reserved for the replica-write header, then the encoded frame. The
+// encode path appends the frame after the headroom, frame() exposes
+// just the frame, and a FramedReplicaClient stamps the header into the
+// headroom and sends buf whole — zero copies between encode and wire.
 type frameBuf struct {
 	buf  []byte
 	refs atomic.Int32
@@ -123,15 +133,23 @@ type frameBuf struct {
 
 var framePool = sync.Pool{New: func() any { return new(frameBuf) }}
 
-// getFrame fetches an empty frame buffer from the pool.
+// getFrame fetches a frame buffer from the pool with the header
+// headroom reserved and no frame bytes.
 func getFrame() *frameBuf {
 	fb, ok := framePool.Get().(*frameBuf)
 	if !ok {
 		fb = new(frameBuf)
 	}
-	fb.buf = fb.buf[:0]
+	if cap(fb.buf) < iscsi.FrameHeadroom {
+		fb.buf = make([]byte, iscsi.FrameHeadroom, iscsi.FrameHeadroom+512)
+	} else {
+		fb.buf = fb.buf[:iscsi.FrameHeadroom]
+	}
 	return fb
 }
+
+// frame returns the encoded frame, without the reserved header bytes.
+func (fb *frameBuf) frame() []byte { return fb.buf[iscsi.FrameHeadroom:] }
 
 // release drops n references and returns the buffer to the pool when
 // none remain.
@@ -192,7 +210,7 @@ func (e *Engine) deliver(p *pipe, msg repMsg) {
 // if degraded), account, then report — to the waiting writer in sync
 // mode, to the sticky per-replica error in async mode.
 func (e *Engine) process(p *pipe, msg repMsg) {
-	e.finish(p.rs, msg, e.shipTo(p, msg.seq, msg.lba, msg.hash, msg.frame.buf))
+	e.finish(p.rs, msg, e.shipTo(p, msg.seq, msg.lba, msg.hash, msg.frame))
 }
 
 // finish settles one queued message exactly once: report the delivery
@@ -216,12 +234,12 @@ func (e *Engine) finish(rs *replicaState, msg repMsg, err error) {
 // amortizes its round trips over everything that queued up meanwhile.
 func (e *Engine) drainBatch(p *pipe, first repMsg) []repMsg {
 	msgs := []repMsg{first}
-	bytes := len(first.frame.buf)
+	bytes := len(first.frame.frame())
 	for len(msgs) < e.cfg.BatchFrames && bytes < e.cfg.BatchBytes {
 		select {
 		case msg := <-p.queue:
 			msgs = append(msgs, msg)
-			bytes += len(msg.frame.buf)
+			bytes += len(msg.frame.frame())
 		default:
 			return msgs
 		}
@@ -239,7 +257,7 @@ type batchGroup struct {
 
 func singleGroup(m repMsg) batchGroup {
 	return batchGroup{
-		entry: iscsi.BatchEntry{Seq: m.seq, LBA: m.lba, Hash: m.hash, Frame: m.frame.buf},
+		entry: iscsi.BatchEntry{Seq: m.seq, LBA: m.lba, Hash: m.hash, Frame: m.frame.frame()},
 		msgs:  []repMsg{m},
 	}
 }
@@ -305,26 +323,25 @@ func (e *Engine) processBatch(p *pipe, msgs []repMsg) {
 		return
 	}
 
-	// Per-frame wire sizes must be read before any message is settled:
-	// finish releases each message's pooled frame, and a released
-	// frameBuf may be concurrently reused by a writer's getFrame.
-	var unbatched int64
-	for _, m := range msgs {
-		unbatched += int64(wan.WireBytesDiscrete(len(m.frame.buf)))
-	}
-
 	// The round trip succeeded; settle each entry on its own status.
 	// okMsgs counts settled source messages, not wire entries, so
 	// Replicated keeps the "logical pushes delivered" meaning the
 	// Replicated+Dropped accounting identity depends on.
 	var okMsgs int
-	var payload int64
+	var payload, unbatchedOK int64
 	for k, g := range groups {
 		switch statuses[k] {
 		case iscsi.StatusOK:
 			okMsgs += len(g.msgs)
 			payload += int64(len(g.entry.Frame))
 			for _, m := range g.msgs {
+				// The per-frame wire size must be read before this message
+				// settles: finish releases the pooled frame, and a released
+				// frameBuf may be concurrently reused by a writer's
+				// getFrame. Only delivered messages count toward the
+				// savings baseline — a coalesced-then-refused entry saved
+				// nothing, since its frames were never shipped at all.
+				unbatchedOK += int64(wan.WireBytesDiscrete(len(m.frame.frame())))
 				e.finish(rs, m, nil)
 			}
 		case iscsi.StatusDiverged:
@@ -357,10 +374,13 @@ func (e *Engine) processBatch(p *pipe, msgs []repMsg) {
 	// Batch wire accounting covers every entry the replica processed
 	// (matching the single-frame convention of modelling the data
 	// segment, not the PDU header); saved is measured against shipping
-	// each original frame as its own PDU, coalescing elisions included.
+	// each DELIVERED original frame as its own PDU, coalescing elisions
+	// included. Refused entries' frames are excluded from the baseline:
+	// counting a coalesced-then-failed entry's frames as savings would
+	// credit wire bytes that were never going to be shipped.
 	wire := int64(wan.WireBytesDiscrete(iscsi.BatchWireLen(entries)))
-	rs.m.AddBatch(okMsgs, payload, wire, unbatched-wire)
-	e.traffic.AddBatch(okMsgs, payload, wire, unbatched-wire)
+	rs.m.AddBatch(okMsgs, payload, wire, unbatchedOK-wire)
+	e.traffic.AddBatch(okMsgs, payload, wire, unbatchedOK-wire)
 	e.shardM.AddShipped(int(p.shard.id), int64(okMsgs))
 }
 
@@ -403,7 +423,7 @@ func (e *Engine) coalesce(msgs []repMsg) []batchGroup {
 			}
 			acc = dec
 		}
-		add, err := xcode.Decode(m.frame.buf)
+		add, err := xcode.Decode(m.frame.frame())
 		if err != nil || len(add) != len(acc) || parity.XORInPlace(acc, add) != nil {
 			idx[m.lba] = len(groups)
 			groups = append(groups, singleGroup(m))
@@ -471,13 +491,14 @@ func (e *Engine) shipBatch(p *pipe, entries []iscsi.BatchEntry) ([]iscsi.Status,
 // Traffic is counted only on successful delivery, so
 // PayloadBytes/WireBytes measure what the replica actually
 // acknowledged.
-func (e *Engine) shipTo(p *pipe, seq, lba, hash uint64, frame []byte) error {
+func (e *Engine) shipTo(p *pipe, seq, lba, hash uint64, fb *frameBuf) error {
 	rs := p.rs
 	if rs.degraded.Load() {
 		e.dropFrame(p, lba)
 		return nil
 	}
-	if err := e.shipOne(p, seq, lba, hash, frame); err != nil {
+	frame := fb.frame()
+	if err := e.shipOne(p, seq, lba, hash, fb); err != nil {
 		if errors.Is(err, iscsi.ErrDiverged) {
 			p.dirty.mark(lba)
 			rs.m.AddDiverged()
@@ -505,15 +526,30 @@ func (e *Engine) shipTo(p *pipe, seq, lba, hash uint64, frame []byte) error {
 // the identical frame is deterministic failure, not transient loss.
 // Tagged pipes ship through the stream client so the frame lands on
 // this pipe's (vol, shard) dedupe cursor.
-func (e *Engine) shipOne(p *pipe, seq, lba, hash uint64, frame []byte) error {
+//
+// When the client supports framed sends and this pipeline holds the
+// pooled buffer exclusively (refs == 1: every other replica's shipper
+// already released its reference, and the pool cannot reuse the buffer
+// while we still hold ours), the pre-assembled PDU ships zero-copy —
+// the client stamps the header into the buffer's headroom and writes
+// it whole. The bytes on the wire are identical either way.
+func (e *Engine) shipOne(p *pipe, seq, lba, hash uint64, fb *frameBuf) error {
 	rs := p.rs
 	tagged := e.tagged(p)
+	var shardID uint8
+	var vol uint16
+	if tagged {
+		shardID, vol = p.shard.id, e.cfg.Volume
+	}
 	var err error
 	for attempt := 1; ; attempt++ {
-		if tagged {
-			err = rs.stream.ReplicaWriteStream(uint8(e.cfg.Mode), p.shard.id, e.cfg.Volume, seq, lba, hash, frame)
-		} else {
-			err = rs.client.ReplicaWrite(uint8(e.cfg.Mode), seq, lba, hash, frame)
+		switch {
+		case rs.framed != nil && fb.refs.Load() == 1:
+			err = rs.framed.ReplicaWriteFramed(uint8(e.cfg.Mode), shardID, vol, seq, lba, hash, fb.buf)
+		case tagged:
+			err = rs.stream.ReplicaWriteStream(uint8(e.cfg.Mode), shardID, vol, seq, lba, hash, fb.frame())
+		default:
+			err = rs.client.ReplicaWrite(uint8(e.cfg.Mode), seq, lba, hash, fb.frame())
 		}
 		if err == nil || errors.Is(err, iscsi.ErrDiverged) || attempt >= e.retry.Attempts {
 			return err

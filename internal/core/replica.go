@@ -136,43 +136,53 @@ func (r *ReplicaEngine) stream(shard uint8, vol uint16) *replicaStream {
 	return st
 }
 
-// replayJournal redoes the journaled intent, if any. Called with r.jmu
-// held (or before the engine is shared) and no stream lock held — the
+// replayJournal redoes the journaled intent, if any — one entry for a
+// single-slot record, every entry of a group record. Called with r.jmu
+// held (or before the engine is shared) and no stream lock held — each
 // entry's stream cursor is advanced under that stream's own lock.
 // Replay is an idempotent whole-block rewrite, so replaying an intent
-// whose store write had in fact completed is harmless.
+// whose store writes had in fact completed (in full or in part) is
+// harmless.
 func (r *ReplicaEngine) replayJournal() error {
-	e, err := r.jrnl.Pending()
+	entries, err := r.jrnl.PendingEntries()
 	if err != nil {
 		return fmt.Errorf("core: replica journal: %w", err)
 	}
 	r.replay = false
-	if e == nil {
+	if len(entries) == 0 {
 		return nil
 	}
-	if len(e.Block) != r.store.BlockSize() {
-		return fmt.Errorf("core: replica journal: entry is %d bytes, block size %d",
-			len(e.Block), r.store.BlockSize())
+	for i := range entries {
+		if len(entries[i].Block) != r.store.BlockSize() {
+			return fmt.Errorf("core: replica journal: entry is %d bytes, block size %d",
+				len(entries[i].Block), r.store.BlockSize())
+		}
 	}
-	if err := r.store.WriteBlock(e.LBA, e.Block); err != nil {
-		r.replay = true // keep the intent; try again next apply
-		return fmt.Errorf("core: replica journal replay lba %d: %w: %w",
-			e.LBA, iscsi.ErrReplicaStore, err)
+	for i := range entries {
+		e := &entries[i]
+		if err := r.store.WriteBlock(e.LBA, e.Block); err != nil {
+			r.replay = true // keep the intent; try again next apply
+			return fmt.Errorf("core: replica journal replay lba %d: %w: %w",
+				e.LBA, iscsi.ErrReplicaStore, err)
+		}
 	}
 	if err := r.jrnl.Commit(); err != nil {
 		r.replay = true
-		return fmt.Errorf("core: replica journal replay lba %d: %w", e.LBA, err)
+		return fmt.Errorf("core: replica journal replay: %w", err)
 	}
-	// The journaled seq was applied; advancing its stream's lastSeq
-	// makes the primary's redelivery of it dedupe instead of
+	// The journaled seqs were applied; advancing each stream's lastSeq
+	// makes the primary's redelivery of them dedupe instead of
 	// double-XORing.
-	st := r.stream(e.Shard, e.Vol)
-	st.mu.Lock()
-	if e.Seq > st.lastSeq {
-		st.lastSeq = e.Seq
+	for i := range entries {
+		e := &entries[i]
+		st := r.stream(e.Shard, e.Vol)
+		st.mu.Lock()
+		if e.Seq > st.lastSeq {
+			st.lastSeq = e.Seq
+		}
+		st.mu.Unlock()
+		r.traffic.AddReplicaWrite()
 	}
-	st.mu.Unlock()
-	r.traffic.AddReplicaWrite()
 	return nil
 }
 
@@ -312,24 +322,26 @@ func (r *ReplicaEngine) ApplyBatch(mode Mode, entries []iscsi.BatchEntry) []iscs
 
 // ApplyBatchStream applies a batched push against the (vol, shard)
 // stream and returns one status per entry, in the caller's order.
-// Entries are walked in ascending seq order through the same
-// verify/journal ApplyStream path as single pushes — the primary ships
-// batches seq-sorted already, so the stable re-sort is normally a
-// no-op — and each entry dedupes by seq exactly like a retried single
-// push: when a connection drops mid-batch and the whole batch is
-// redelivered, the already-applied prefix is acknowledged instead of
-// double-XORed. One refused entry (diverged, decode, store) reports
-// its own status without failing its batch-mates.
+// Entries apply in ascending seq order (the primary ships batches
+// seq-sorted already, so the stable re-sort is normally a no-op) with
+// exactly the semantics of walking ApplyStream per entry: each entry
+// dedupes by seq like a retried single push — when a connection drops
+// mid-batch and the whole batch is redelivered, the already-applied
+// prefix is acknowledged instead of double-XORed — and one refused
+// entry (diverged, decode, store) reports its own status without
+// failing its batch-mates.
+//
+// A multi-entry batch applies as one group: the journal lock and the
+// stream lock are each taken once for the whole batch, and a journaled
+// engine persists one group intent record (single write + sync + CRC
+// pass) instead of a Begin/Commit pair per entry. See
+// applyBatchGrouped for the crash-safety contract.
 func (r *ReplicaEngine) ApplyBatchStream(mode Mode, shard uint8, vol uint16, entries []iscsi.BatchEntry) []iscsi.Status {
-	order := make([]int, len(entries))
-	for i := range order {
-		order[i] = i
+	if len(entries) > 1 {
+		return r.applyBatchGrouped(mode, shard, vol, entries)
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return entries[order[a]].Seq < entries[order[b]].Seq
-	})
 	statuses := make([]iscsi.Status, len(entries))
-	for _, k := range order {
+	for k := range entries {
 		e := entries[k]
 		if err := r.ApplyStream(mode, shard, vol, e.Seq, e.LBA, e.Hash, e.Frame); err != nil {
 			statuses[k] = statusOf(err)
@@ -337,6 +349,211 @@ func (r *ReplicaEngine) ApplyBatchStream(mode Mode, shard uint8, vol uint16, ent
 			statuses[k] = iscsi.StatusOK
 		}
 	}
+	return statuses
+}
+
+// applyBatchGrouped is the group-commit apply path for a multi-entry
+// batch. It stages every entry in memory first, then makes the batch
+// durable as one unit:
+//
+//  1. In seq order: dedupe against the stream cursor, decode, recover
+//     the full new block (a staged same-LBA predecessor in the same
+//     batch serves as the PRINS pre-image, exactly as if it had
+//     already landed), and verify the content hash. Refused entries
+//     get their status here and drop out; nothing has touched the
+//     store or journal yet.
+//  2. One journal Begin covers every surviving entry — a single group
+//     record with one CRC pass and one sync.
+//  3. In-place store writes in seq order.
+//  4. One journal Commit clears the group.
+//
+// Crash safety is all-commit-or-all-replay: after the group Begin, a
+// crash (or store failure) anywhere before Commit leaves the whole
+// group journaled, and the next apply — or restart — replays every
+// entry as an idempotent whole-block rewrite, so the store can never
+// be left holding a torn suffix of the batch.
+func (r *ReplicaEngine) applyBatchGrouped(mode Mode, shard uint8, vol uint16, entries []iscsi.BatchEntry) []iscsi.Status {
+	statuses := make([]iscsi.Status, len(entries))
+	fail := func(s iscsi.Status) []iscsi.Status {
+		for i := range statuses {
+			statuses[i] = s
+		}
+		return statuses
+	}
+
+	order := make([]int, len(entries))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return entries[order[a]].Seq < entries[order[b]].Seq
+	})
+
+	if r.jrnl != nil {
+		r.jmu.Lock()
+		defer r.jmu.Unlock()
+		if r.replay {
+			if err := r.replayJournal(); err != nil {
+				return fail(statusOf(err))
+			}
+		}
+	}
+
+	st := r.stream(shard, vol)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+
+	start := time.Now()
+	bs := r.store.BlockSize()
+
+	// Phase 1: stage. cursor advances past staged seqs so an in-batch
+	// duplicate dedupes exactly as it would against an applied single
+	// push; st.lastSeq itself only moves once the batch is durable.
+	type stagedEntry struct {
+		k     int // index into entries/statuses
+		seq   uint64
+		lba   uint64
+		block []byte
+	}
+	var pass []stagedEntry
+	pendingNew := make(map[uint64][]byte)
+	cursor := st.lastSeq
+	for _, k := range order {
+		e := entries[k]
+		if e.Seq != 0 && e.Seq <= cursor {
+			r.traffic.AddDuplicate()
+			statuses[k] = iscsi.StatusOK
+			continue
+		}
+		payload, err := xcode.Decode(e.Frame)
+		if err != nil {
+			statuses[k] = iscsi.StatusDecodeError
+			continue
+		}
+		if len(payload) != bs {
+			statuses[k] = iscsi.StatusBadRequest
+			continue
+		}
+		newBlock := payload
+		switch mode {
+		case ModeTraditional, ModeCompressed:
+		case ModePRINS:
+			pre := pendingNew[e.LBA]
+			if pre == nil {
+				if err := r.store.ReadBlock(e.LBA, st.oldBuf); err != nil {
+					statuses[k] = statusOf(err)
+					continue
+				}
+				pre = st.oldBuf
+			}
+			// Decode never aliases its input, so the backward XOR can
+			// fold the pre-image into the decoded parity in place.
+			if err := parity.XORInPlace(newBlock, pre); err != nil {
+				statuses[k] = statusOf(err)
+				continue
+			}
+		default:
+			return fail(iscsi.StatusError)
+		}
+		if e.Hash != 0 {
+			if got := iscsi.HashBlock(newBlock); got != e.Hash {
+				r.traffic.AddDiverged()
+				statuses[k] = iscsi.StatusDiverged
+				continue
+			}
+		}
+		if e.Seq > cursor {
+			cursor = e.Seq
+		}
+		pendingNew[e.LBA] = newBlock
+		pass = append(pass, stagedEntry{k: k, seq: e.Seq, lba: e.LBA, block: newBlock})
+	}
+	if len(pass) == 0 {
+		r.traffic.AddDecodeTime(time.Since(start))
+		return statuses
+	}
+
+	// Phase 2: one group intent for the whole batch.
+	if r.jrnl != nil {
+		jes := make([]journal.Entry, len(pass))
+		for i, p := range pass {
+			jes[i] = journal.Entry{
+				Seq: p.seq, LBA: p.lba, Hash: entries[p.k].Hash,
+				Shard: shard, Vol: vol, Block: p.block,
+			}
+		}
+		if err := r.jrnl.BeginGroupStream(shard, vol, jes); err != nil {
+			// The intent never landed (a torn Begin is discarded by
+			// replay), so nothing was written: fail the survivors with no
+			// replay owed.
+			for _, p := range pass {
+				statuses[p.k] = iscsi.StatusStoreError
+			}
+			r.traffic.AddDecodeTime(time.Since(start))
+			return statuses
+		}
+	}
+
+	// Phase 3: in-place writes, seq order.
+	var maxApplied uint64
+	journalTorn := false
+	for i, p := range pass {
+		if err := r.store.WriteBlock(p.lba, p.block); err != nil {
+			werr := fmt.Errorf("%w: %w", iscsi.ErrReplicaStore, err)
+			if r.jrnl != nil {
+				// The group intent stays journaled: the written prefix is
+				// durable, and every entry — this one included — is
+				// replayed before the next apply touches the store.
+				r.replay = true
+				journalTorn = true
+				for _, q := range pass[i:] {
+					statuses[q.k] = statusOf(werr)
+				}
+				break
+			}
+			// Unjournaled applies keep per-entry independence: each
+			// staged block is a full rewrite, so a failed batch-mate
+			// cannot corrupt a later one.
+			statuses[p.k] = statusOf(werr)
+			continue
+		}
+		statuses[p.k] = iscsi.StatusOK
+		if p.seq > maxApplied {
+			maxApplied = p.seq
+		}
+	}
+
+	if journalTorn {
+		// Counters and the cursor advance when replay makes the group
+		// durable — counting the written prefix here would double-count
+		// it against the replay.
+		r.traffic.AddDecodeTime(time.Since(start))
+		return statuses
+	}
+
+	// Phase 4: one Commit clears the group.
+	if r.jrnl != nil {
+		if err := r.jrnl.Commit(); err != nil {
+			// The intent stays; replay rewrites the group and advances the
+			// cursor, after which redelivery dedupes.
+			r.replay = true
+			for _, p := range pass {
+				statuses[p.k] = iscsi.StatusStoreError
+			}
+			r.traffic.AddDecodeTime(time.Since(start))
+			return statuses
+		}
+	}
+
+	for _, p := range pass {
+		if statuses[p.k] == iscsi.StatusOK {
+			r.traffic.AddReplicaWrite()
+		}
+	}
+	if maxApplied > st.lastSeq {
+		st.lastSeq = maxApplied
+	}
+	r.traffic.AddDecodeTime(time.Since(start))
 	return statuses
 }
 

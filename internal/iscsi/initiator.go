@@ -132,11 +132,17 @@ func (i *Initiator) Reconnects() int64 {
 // With reconnection armed, a transport failure triggers one
 // redial + re-login + resend before giving up.
 func (i *Initiator) roundTrip(req *PDU) (*PDU, error) {
+	return i.roundTripInto(req, nil)
+}
+
+// roundTripInto is roundTrip with a caller-supplied destination buffer
+// for the response data segment (see ReadPDUInto).
+func (i *Initiator) roundTripInto(req *PDU, dst []byte) (*PDU, error) {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 
 	//lint:ignore hold-blocking i.mu serializes the session to one in-flight command; wire I/O under it is the session model
-	resp, err := i.do(req)
+	resp, err := i.doInto(req, dst)
 	if err == nil || i.redial == nil {
 		return resp, err
 	}
@@ -145,7 +151,7 @@ func (i *Initiator) roundTrip(req *PDU) (*PDU, error) {
 		return nil, fmt.Errorf("iscsi: reconnect after %v: %w", err, rerr)
 	}
 	//lint:ignore hold-blocking retry of the serialized command after reconnect
-	return i.do(req)
+	return i.doInto(req, dst)
 }
 
 // currentConn returns the live connection, or nil after Close.
@@ -161,6 +167,14 @@ func (i *Initiator) currentConn() net.Conn {
 // do performs one tagged request/response on the current connection.
 // Called with i.mu held.
 func (i *Initiator) do(req *PDU) (*PDU, error) {
+	return i.doInto(req, nil)
+}
+
+// doInto is do with a caller-supplied destination for the response
+// data segment: when the response carries exactly len(dst) bytes they
+// are read directly into dst (resp.Data aliases it), eliminating the
+// staging allocation on the block read path. Called with i.mu held.
+func (i *Initiator) doInto(req *PDU, dst []byte) (*PDU, error) {
 	conn := i.currentConn()
 	if conn == nil {
 		return nil, net.ErrClosed
@@ -180,7 +194,7 @@ func (i *Initiator) do(req *PDU) (*PDU, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp, err := ReadPDU(conn)
+	resp, err := ReadPDUInto(conn, dst)
 	if err != nil {
 		return nil, err
 	}
@@ -237,16 +251,28 @@ func (i *Initiator) reconnectLocked() error {
 	return nil
 }
 
-// ReadBlock implements block.Store.
+// ReadBlock implements block.Store. The response data segment is read
+// directly into buf (no staging allocation + copy); on error buf's
+// contents are unspecified.
 func (i *Initiator) ReadBlock(lba uint64, buf []byte) error {
 	if len(buf) != i.BlockSize() {
 		return block.ErrBadBufSize
 	}
-	data, err := i.ReadBlocks(lba, 1)
+	resp, err := i.roundTripInto(&PDU{Op: OpReadCmd, LBA: lba, Blocks: 1}, buf)
 	if err != nil {
 		return err
 	}
-	copy(buf, data)
+	if resp.Status != StatusOK {
+		return statusErr("read", lba, resp.Status)
+	}
+	if len(resp.Data) != len(buf) {
+		return fmt.Errorf("%w: read response carries %d bytes, want %d", ErrShortFrame, len(resp.Data), len(buf))
+	}
+	if len(buf) > 0 && &resp.Data[0] != &buf[0] {
+		// Defensive: a response whose length didn't match dst was read
+		// into a fresh slice (only possible if geometry changed mid-read).
+		copy(buf, resp.Data)
+	}
 	return nil
 }
 
@@ -310,6 +336,76 @@ func (i *Initiator) ReplicaWriteStream(mode, shard uint8, vol uint16, seq, lba, 
 		return statusErr("replica-write", lba, resp.Status)
 	}
 	return nil
+}
+
+// ReplicaWriteFramed is ReplicaWriteStream for a pre-assembled PDU:
+// pdu is FrameHeadroom reserved header bytes followed by the encoded
+// frame, built in place by the caller so nothing is staged or copied
+// here. The header — fresh ITT and digest included — is stamped into
+// pdu per attempt (see StampReplicaHeader), and the whole PDU goes out
+// as one write. The bytes on the wire are identical to
+// ReplicaWriteStream with the same tuple; a zero (shard, vol) tag
+// produces the v3 framing ReplicaWrite would have sent. pdu is
+// modified (its first FrameHeadroom bytes are overwritten), so the
+// caller must hold exclusive ownership of the buffer for the call.
+func (i *Initiator) ReplicaWriteFramed(mode, shard uint8, vol uint16, seq, lba, hash uint64, pdu []byte) error {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+
+	//lint:ignore hold-blocking i.mu serializes the session to one in-flight command; wire I/O under it is the session model
+	resp, err := i.doFramed(mode, shard, vol, seq, lba, hash, pdu)
+	if err != nil && i.redial != nil {
+		//lint:ignore hold-blocking reconnect reuses the same single-command session lock
+		if rerr := i.reconnectLocked(); rerr != nil {
+			return fmt.Errorf("iscsi: reconnect after %v: %w", err, rerr)
+		}
+		//lint:ignore hold-blocking retry of the serialized command after reconnect
+		resp, err = i.doFramed(mode, shard, vol, seq, lba, hash, pdu)
+	}
+	if err != nil {
+		return err
+	}
+	if resp.Status != StatusOK {
+		return statusErr("replica-write", lba, resp.Status)
+	}
+	return nil
+}
+
+// doFramed stamps the in-place replica-write header (fresh ITT each
+// attempt, so a reconnect retry re-tags and re-digests correctly) and
+// sends the pre-assembled PDU as a single write. Called with i.mu
+// held.
+func (i *Initiator) doFramed(mode, shard uint8, vol uint16, seq, lba, hash uint64, pdu []byte) (*PDU, error) {
+	conn := i.currentConn()
+	if conn == nil {
+		return nil, net.ErrClosed
+	}
+	i.itt++
+	itt := i.itt
+	if err := StampReplicaHeader(pdu, mode, shard, vol, itt, seq, lba, hash); err != nil {
+		return nil, err
+	}
+
+	if i.timeout > 0 {
+		if err := conn.SetDeadline(time.Now().Add(i.timeout)); err != nil {
+			return nil, fmt.Errorf("iscsi: set deadline: %w", err)
+		}
+		defer conn.SetDeadline(time.Time{}) //nolint:errcheck // best-effort clear
+	}
+
+	n, err := conn.Write(pdu)
+	i.wireSent += int64(n)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := ReadPDU(conn)
+	if err != nil {
+		return nil, err
+	}
+	if resp.ITT != itt {
+		return nil, fmt.Errorf("iscsi: response tag %d for request %d", resp.ITT, itt)
+	}
+	return resp, nil
 }
 
 // Ping sends a NOP and returns the round-trip time.

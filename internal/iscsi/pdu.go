@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"net"
 )
 
 // Opcode identifies the PDU type.
@@ -176,6 +177,11 @@ const (
 	// MaxDataSegment bounds a PDU's data segment; larger is rejected
 	// before allocation.
 	MaxDataSegment = 17 << 20
+	// FrameHeadroom is the header space a caller reserves at the front
+	// of a pooled frame buffer so StampReplicaHeader can write the PDU
+	// header in place and the whole PDU goes out as one contiguous
+	// zero-copy send (see Initiator.ReplicaWriteFramed).
+	FrameHeadroom = headerLen
 )
 
 // Protocol error values.
@@ -278,25 +284,83 @@ func (p *PDU) WriteTo(w io.Writer) (int64, error) {
 	binary.BigEndian.PutUint64(hdr[36:], p.Hash)
 	binary.BigEndian.PutUint32(hdr[44:], digest(hdr[:], p.Data))
 
-	n, err := w.Write(hdr[:])
-	if err != nil {
-		return int64(n), fmt.Errorf("iscsi: write header: %w", err)
-	}
-	total := int64(n)
-	if len(p.Data) > 0 {
-		m, err := w.Write(p.Data)
-		total += int64(m)
+	if len(p.Data) == 0 {
+		n, err := w.Write(hdr[:])
 		if err != nil {
-			return total, fmt.Errorf("iscsi: write data: %w", err)
+			return int64(n), fmt.Errorf("iscsi: write header: %w", err)
 		}
+		return int64(n), nil
 	}
-	return total, nil
+	// Header and data go out as one vectored send: a shaped link
+	// (wan.ShapedConn) charges its one-way latency once per call, so
+	// splitting them into two Writes would double the modelled latency
+	// of every data-carrying PDU.
+	bufs := net.Buffers{hdr[:], p.Data}
+	if bw, ok := w.(buffersWriter); ok {
+		n, err := bw.WriteBuffers(bufs)
+		if err != nil {
+			return n, fmt.Errorf("iscsi: write pdu: %w", err)
+		}
+		return n, nil
+	}
+	n, err := bufs.WriteTo(w)
+	if err != nil {
+		return n, fmt.Errorf("iscsi: write pdu: %w", err)
+	}
+	return n, nil
+}
+
+// StampReplicaHeader writes a complete OpReplicaWrite header into the
+// first FrameHeadroom bytes of pdu — whose remainder is the encoded
+// frame — and stamps the CRC-32C digest in a single pass over the now
+// contiguous PDU. No staging copy, no allocation: the caller's pooled
+// buffer becomes the wire image in place. The framing is byte-for-byte
+// what PDU.WriteTo produces for the same fields (v3 for an untagged
+// stream, v5 when shard or vol is nonzero).
+func StampReplicaHeader(pdu []byte, mode, shard uint8, vol uint16, itt uint32, seq, lba, hash uint64) error {
+	if len(pdu) < FrameHeadroom {
+		return fmt.Errorf("%w: framed pdu of %d bytes lacks header room", ErrShortFrame, len(pdu))
+	}
+	dataLen := len(pdu) - FrameHeadroom
+	if dataLen > MaxDataSegment {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, dataLen)
+	}
+	hdr := pdu[:FrameHeadroom]
+	hdr[0] = protoMagic
+	hdr[1] = baseVersion
+	if shard != 0 || vol != 0 {
+		hdr[1] = streamVersion
+	}
+	hdr[2] = byte(OpReplicaWrite)
+	hdr[3] = 0
+	hdr[4] = mode
+	hdr[5] = shard
+	binary.BigEndian.PutUint16(hdr[6:], vol)
+	binary.BigEndian.PutUint32(hdr[8:], itt)
+	binary.BigEndian.PutUint64(hdr[12:], lba)
+	binary.BigEndian.PutUint32(hdr[20:], 0)
+	binary.BigEndian.PutUint32(hdr[24:], uint32(dataLen))
+	binary.BigEndian.PutUint64(hdr[28:], seq)
+	binary.BigEndian.PutUint64(hdr[36:], hash)
+	// Digest with the field zeroed, then stamp — one streamed CRC over
+	// header+data, matching digest().
+	hdr[44], hdr[45], hdr[46], hdr[47] = 0, 0, 0, 0
+	binary.BigEndian.PutUint32(hdr[44:], crc32.Checksum(pdu, castagnoli))
+	return nil
 }
 
 // ReadPDU reads and decodes one PDU from r. It returns io.EOF on a
 // clean end of stream before any header byte, and wraps other short
 // reads as io.ErrUnexpectedEOF.
-func ReadPDU(r io.Reader) (*PDU, error) {
+func ReadPDU(r io.Reader) (*PDU, error) { return ReadPDUInto(r, nil) }
+
+// ReadPDUInto is ReadPDU with a caller-supplied destination for the
+// data segment: when the incoming segment's length equals len(dst)
+// exactly, it is read directly into dst and the returned PDU's Data
+// aliases dst — no staging allocation and no copy. Any other segment
+// length (including zero) falls back to allocating, so error responses
+// and mismatched geometries still decode.
+func ReadPDUInto(r io.Reader, dst []byte) (*PDU, error) {
 	var hdr [headerLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if errors.Is(err, io.EOF) {
@@ -327,7 +391,11 @@ func ReadPDU(r io.Reader) (*PDU, error) {
 		Hash:   binary.BigEndian.Uint64(hdr[36:]),
 	}
 	if dataLen > 0 {
-		p.Data = make([]byte, dataLen)
+		if int(dataLen) == len(dst) {
+			p.Data = dst
+		} else {
+			p.Data = make([]byte, dataLen)
+		}
 		if _, err := io.ReadFull(r, p.Data); err != nil {
 			return nil, fmt.Errorf("iscsi: read data segment: %w", err)
 		}
@@ -340,15 +408,15 @@ func ReadPDU(r io.Reader) (*PDU, error) {
 }
 
 // digest computes the PDU's CRC-32C over the header (with the digest
-// field zeroed) and the data segment.
+// field zeroed) and the data segment. The scratch header copy stays on
+// the stack and the CRC streams via Checksum/Update — no hash.Hash
+// allocation on the per-PDU path.
 func digest(hdr, data []byte) uint32 {
 	var scratch [headerLen]byte
 	copy(scratch[:], hdr)
 	scratch[44], scratch[45], scratch[46], scratch[47] = 0, 0, 0, 0
-	crc := crc32.New(castagnoli)
-	crc.Write(scratch[:])
-	crc.Write(data)
-	return crc.Sum32()
+	crc := crc32.Checksum(scratch[:], castagnoli)
+	return crc32.Update(crc, castagnoli, data)
 }
 
 // castagnoli is the CRC-32C table iSCSI digests use.

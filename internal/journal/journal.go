@@ -57,6 +57,30 @@ const (
 	hdrLen      = 44
 	stateEmpty  = 0
 	stateIntent = 1
+	stateGroup  = 2
+)
+
+// Group record layout (big endian). A group is one durable intent
+// covering a whole batch of applies to the same (shard, vol) stream:
+// one WriteAt, one Sync, and one CRC pass over the concatenated
+// entries, instead of a Begin→Commit round per entry. The state byte
+// shares offset 4 with the single-entry format, so Commit clears both
+// record kinds the same way.
+//
+//	off 0  : magic "PJN1" (4)
+//	off 4  : state (1): stateGroup
+//	off 5  : shard (uint8)
+//	off 6-7: vol (uint16)
+//	off 8  : entry count (uint32)
+//	off 12 : body length (uint32)
+//	off 16 : body CRC-32C (uint32)
+//	off 20 : header CRC-32C over bytes 0..19 (uint32)
+//	off 24 : body — per entry:
+//	         seq (uint64), lba (uint64), hash (uint64),
+//	         payload length (uint32), payload
+const (
+	groupHdrLen   = 24
+	groupEntryLen = 28
 )
 
 var journalMagic = [4]byte{'P', 'J', 'N', '1'}
@@ -141,6 +165,52 @@ func (j *Journal) BeginStream(shard uint8, vol uint16, seq, lba, hash uint64, bl
 	return nil
 }
 
+// BeginGroupStream persists one durable intent covering every entry of
+// a batch apply to the (shard, vol) stream: a single WriteAt, a single
+// Sync, and a single streamed CRC over the concatenated entries. The
+// per-entry Shard/Vol fields are ignored — the group header carries
+// the stream identity once. Commit clears the whole group; a crash
+// before Commit replays every entry (idempotent whole-block rewrites).
+func (j *Journal) BeginGroupStream(shard uint8, vol uint16, entries []Entry) error {
+	if len(entries) == 0 {
+		return errors.New("journal: empty group")
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+
+	bodyLen := 0
+	for i := range entries {
+		bodyLen += groupEntryLen + len(entries[i].Block)
+	}
+	buf := make([]byte, groupHdrLen+bodyLen)
+	copy(buf[0:4], journalMagic[:])
+	buf[4] = stateGroup
+	buf[5] = shard
+	binary.BigEndian.PutUint16(buf[6:], vol)
+	binary.BigEndian.PutUint32(buf[8:], uint32(len(entries)))
+	binary.BigEndian.PutUint32(buf[12:], uint32(bodyLen))
+	off := groupHdrLen
+	for i := range entries {
+		e := &entries[i]
+		binary.BigEndian.PutUint64(buf[off:], e.Seq)
+		binary.BigEndian.PutUint64(buf[off+8:], e.LBA)
+		binary.BigEndian.PutUint64(buf[off+16:], e.Hash)
+		binary.BigEndian.PutUint32(buf[off+24:], uint32(len(e.Block)))
+		copy(buf[off+groupEntryLen:], e.Block)
+		off += groupEntryLen + len(e.Block)
+	}
+	binary.BigEndian.PutUint32(buf[16:], crc32.Checksum(buf[groupHdrLen:], castagnoli))
+	binary.BigEndian.PutUint32(buf[20:], crc32.Checksum(buf[:20], castagnoli))
+
+	if _, err := j.b.WriteAt(buf, 0); err != nil {
+		return fmt.Errorf("journal: write group intent: %w", err)
+	}
+	if err := j.b.Sync(); err != nil {
+		return fmt.Errorf("journal: sync group intent: %w", err)
+	}
+	return nil
+}
+
 // Commit marks the slot clear after the in-place store write
 // succeeded, durably.
 func (j *Journal) Commit() error {
@@ -155,36 +225,112 @@ func (j *Journal) Commit() error {
 	return nil
 }
 
-// Pending returns the outstanding intent entry, or nil when the slot
-// is clear. A torn Begin (header or payload CRC mismatch) is reported
-// as nil: the in-place write never started, so the device still holds
-// the pre-image and there is nothing to redo.
+// Pending returns the first outstanding intent entry, or nil when the
+// slot is clear. A torn Begin (header or payload CRC mismatch) is
+// reported as nil: the in-place write never started, so the device
+// still holds the pre-image and there is nothing to redo. For group
+// records only the first entry is returned; replayers should prefer
+// PendingEntries.
 func (j *Journal) Pending() (*Entry, error) {
+	entries, err := j.PendingEntries()
+	if err != nil || len(entries) == 0 {
+		return nil, err
+	}
+	return &entries[0], nil
+}
+
+// PendingEntries returns every outstanding intent entry — one for a
+// single-entry record, the whole batch for a group record — or nil
+// when the slot is clear. A torn Begin of either kind (header or body
+// CRC mismatch, truncated payload) is reported as nil, because the
+// in-place writes it guarded never started.
+func (j *Journal) PendingEntries() ([]Entry, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 
 	var hdr [hdrLen]byte
-	if n, err := j.b.ReadAt(hdr[:], 0); err != nil {
-		if errors.Is(err, io.EOF) && n < hdrLen {
-			return nil, nil // fresh or truncated journal: empty slot
-		}
+	n, err := j.b.ReadAt(hdr[:], 0)
+	if err != nil && !errors.Is(err, io.EOF) {
 		return nil, fmt.Errorf("journal: read header: %w", err)
 	}
-	e, plen, ok := decodeHeader(hdr[:])
-	if !ok {
-		return nil, nil // empty, foreign, or torn header
+	if n < groupHdrLen || [4]byte(hdr[0:4]) != journalMagic {
+		return nil, nil // fresh, truncated, or foreign journal: empty slot
 	}
-	e.Block = make([]byte, plen)
-	if _, err := j.b.ReadAt(e.Block, hdrLen); err != nil {
-		if errors.Is(err, io.EOF) {
-			return nil, nil // payload torn off: Begin never completed
+	switch hdr[4] {
+	case stateIntent:
+		if n < hdrLen {
+			return nil, nil // torn single-entry header
 		}
-		return nil, fmt.Errorf("journal: read payload: %w", err)
+		e, plen, ok := decodeHeader(hdr[:])
+		if !ok {
+			return nil, nil // empty, foreign, or torn header
+		}
+		e.Block = make([]byte, plen)
+		if _, err := j.b.ReadAt(e.Block, hdrLen); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil, nil // payload torn off: Begin never completed
+			}
+			return nil, fmt.Errorf("journal: read payload: %w", err)
+		}
+		if crc32.Checksum(e.Block, castagnoli) != binary.BigEndian.Uint32(hdr[36:]) {
+			return nil, nil // torn payload within a full-length file
+		}
+		return []Entry{*e}, nil
+	case stateGroup:
+		return j.pendingGroupLocked(hdr[:])
+	default:
+		return nil, nil // cleared slot (stateEmpty) or unknown state
 	}
-	if crc32.Checksum(e.Block, castagnoli) != binary.BigEndian.Uint32(hdr[36:]) {
-		return nil, nil // torn payload within a full-length file
+}
+
+// pendingGroupLocked decodes an outstanding group record. Torn writes
+// (header or body CRC mismatch, truncated body) report nil; internal
+// inconsistency behind a valid CRC reports ErrCorrupt.
+func (j *Journal) pendingGroupLocked(hdr []byte) ([]Entry, error) {
+	if crc32.Checksum(hdr[:20], castagnoli) != binary.BigEndian.Uint32(hdr[20:]) {
+		return nil, nil // torn group header
 	}
-	return e, nil
+	count := binary.BigEndian.Uint32(hdr[8:])
+	bodyLen := binary.BigEndian.Uint32(hdr[12:])
+	if count == 0 || uint64(count)*groupEntryLen > uint64(bodyLen) {
+		return nil, fmt.Errorf("%w: group count %d exceeds body %d", ErrCorrupt, count, bodyLen)
+	}
+	body := make([]byte, bodyLen)
+	if _, err := j.b.ReadAt(body, groupHdrLen); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, nil // body torn off: Begin never completed
+		}
+		return nil, fmt.Errorf("journal: read group body: %w", err)
+	}
+	if crc32.Checksum(body, castagnoli) != binary.BigEndian.Uint32(hdr[16:]) {
+		return nil, nil // torn body within a full-length file
+	}
+	shard := hdr[5]
+	vol := binary.BigEndian.Uint16(hdr[6:])
+	entries := make([]Entry, 0, count)
+	off := 0
+	for i := uint32(0); i < count; i++ {
+		if off+groupEntryLen > len(body) {
+			return nil, fmt.Errorf("%w: group entry %d truncated", ErrCorrupt, i)
+		}
+		plen := int(binary.BigEndian.Uint32(body[off+24:]))
+		if off+groupEntryLen+plen > len(body) {
+			return nil, fmt.Errorf("%w: group entry %d payload truncated", ErrCorrupt, i)
+		}
+		entries = append(entries, Entry{
+			Seq:   binary.BigEndian.Uint64(body[off:]),
+			LBA:   binary.BigEndian.Uint64(body[off+8:]),
+			Hash:  binary.BigEndian.Uint64(body[off+16:]),
+			Shard: shard,
+			Vol:   vol,
+			Block: body[off+groupEntryLen : off+groupEntryLen+plen : off+groupEntryLen+plen],
+		})
+		off += groupEntryLen + plen
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("%w: group body has %d trailing bytes", ErrCorrupt, len(body)-off)
+	}
+	return entries, nil
 }
 
 // decodeHeader validates a slot header and returns the decoded entry

@@ -159,3 +159,153 @@ func TestDecodeHeaderShortBuffer(t *testing.T) {
 		t.Fatal("short header decoded")
 	}
 }
+
+// TestGroupBeginPendingCommit round-trips a multi-entry group record:
+// every entry comes back with the group's stream identity, in order,
+// and Commit clears the whole batch at once.
+func TestGroupBeginPendingCommit(t *testing.T) {
+	j := NewMem()
+
+	entries := []Entry{
+		{Seq: 10, LBA: 4, Hash: 0x11, Block: bytes.Repeat([]byte{0xAA}, 64)},
+		{Seq: 11, LBA: 9, Hash: 0x22, Block: bytes.Repeat([]byte{0xBB}, 32)},
+		{Seq: 12, LBA: 4, Hash: 0x33, Block: bytes.Repeat([]byte{0xCC}, 64)},
+	}
+	if err := j.BeginGroupStream(3, 7, entries); err != nil {
+		t.Fatal(err)
+	}
+	got, err := j.PendingEntries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("PendingEntries returned %d entries, want %d", len(got), len(entries))
+	}
+	for i, e := range got {
+		want := entries[i]
+		if e.Seq != want.Seq || e.LBA != want.LBA || e.Hash != want.Hash || !bytes.Equal(e.Block, want.Block) {
+			t.Errorf("entry %d = %+v, want %+v", i, e, want)
+		}
+		if e.Shard != 3 || e.Vol != 7 {
+			t.Errorf("entry %d stream = (%d,%d), want (3,7)", i, e.Shard, e.Vol)
+		}
+	}
+
+	// Pending degrades to the first entry of the group.
+	if first, err := j.Pending(); err != nil || first == nil || first.Seq != 10 {
+		t.Fatalf("Pending on group = %+v, %v", first, err)
+	}
+
+	if err := j.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := j.PendingEntries(); err != nil || got != nil {
+		t.Fatalf("PendingEntries after Commit = %v, %v", got, err)
+	}
+
+	// The slot is reusable across record kinds: a single-entry Begin
+	// over a stale (longer) group record decodes cleanly.
+	if err := j.Begin(20, 5, 6, bytes.Repeat([]byte{0x42}, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := j.PendingEntries(); err != nil || len(got) != 1 || got[0].Seq != 20 {
+		t.Fatalf("single Begin over stale group = %v, %v", got, err)
+	}
+
+	// And the other direction: a group over a stale single record.
+	if err := j.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.BeginGroupStream(1, 2, entries[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := j.PendingEntries(); err != nil || len(got) != 2 {
+		t.Fatalf("group over stale single = %v, %v", got, err)
+	}
+}
+
+// A group Begin torn mid-header must read as an empty slot.
+func TestGroupTornHeaderDiscarded(t *testing.T) {
+	m := &Mem{}
+	j := New(m)
+	entries := []Entry{{Seq: 1, LBA: 2, Hash: 3, Block: make([]byte, 32)}}
+	if err := j.BeginGroupStream(0, 0, entries); err != nil {
+		t.Fatal(err)
+	}
+	m.Corrupt(9) // flip a bit inside the count field
+	if got, err := j.PendingEntries(); err != nil || got != nil {
+		t.Fatalf("torn group header = %v, %v; want nil, nil", got, err)
+	}
+}
+
+// A group Begin torn mid-body must likewise be discarded — no partial
+// replay of a half-persisted batch.
+func TestGroupTornBodyDiscarded(t *testing.T) {
+	m := &Mem{}
+	j := New(m)
+	entries := []Entry{
+		{Seq: 1, LBA: 2, Hash: 3, Block: make([]byte, 32)},
+		{Seq: 2, LBA: 5, Hash: 4, Block: make([]byte, 32)},
+	}
+	if err := j.BeginGroupStream(0, 0, entries); err != nil {
+		t.Fatal(err)
+	}
+	m.Corrupt(groupHdrLen + groupEntryLen + 40) // inside the second entry
+	if got, err := j.PendingEntries(); err != nil || got != nil {
+		t.Fatalf("torn group body = %v, %v; want nil, nil", got, err)
+	}
+}
+
+// A group whose body is truncated by a crash mid-write reads as empty.
+func TestGroupTruncatedBodyDiscarded(t *testing.T) {
+	m := &Mem{}
+	j := New(m)
+	entries := []Entry{{Seq: 1, LBA: 2, Hash: 3, Block: make([]byte, 64)}}
+	if err := j.BeginGroupStream(0, 0, entries); err != nil {
+		t.Fatal(err)
+	}
+	m.mu.Lock()
+	m.buf = m.buf[:groupHdrLen+20] // body cut short
+	m.mu.Unlock()
+	if got, err := j.PendingEntries(); err != nil || got != nil {
+		t.Fatalf("truncated group body = %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestGroupEmptyRejected(t *testing.T) {
+	if err := NewMem().BeginGroupStream(0, 0, nil); err == nil {
+		t.Fatal("empty group Begin: want error, got nil")
+	}
+}
+
+// A file-backed group journal must survive close-and-reopen intact.
+func TestGroupFileReopenKeepsIntent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "apply.jnl")
+	j, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := []Entry{
+		{Seq: 5, LBA: 1, Hash: 9, Block: bytes.Repeat([]byte{0x01}, 16)},
+		{Seq: 6, LBA: 2, Hash: 8, Block: bytes.Repeat([]byte{0x02}, 16)},
+	}
+	if err := j.BeginGroupStream(2, 4, entries); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	got, err := j2.PendingEntries()
+	if err != nil || len(got) != 2 {
+		t.Fatalf("reopened group = %v, %v", got, err)
+	}
+	if got[1].Seq != 6 || got[1].Shard != 2 || got[1].Vol != 4 || !bytes.Equal(got[1].Block, entries[1].Block) {
+		t.Fatalf("reopened entry 1 = %+v", got[1])
+	}
+	_ = os.Remove(path)
+}

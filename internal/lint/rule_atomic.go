@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -65,14 +66,27 @@ func checkAtomicTypedFields(p *Package, r *Reporter) {
 				if !ok || selection.Kind() != types.FieldVal {
 					return true
 				}
-				if !isAtomicElemType(selection.Type()) {
+				if isAtomicElemType(selection.Type()) {
+					if isMethodReceiver(n, stack) {
+						return true
+					}
+					r.Report(n.Pos(), "atomic-counter",
+						fmt.Sprintf("atomic element of field %s used outside its method set; call Load/Store/Add on it directly", sel.Sel.Name))
 					return true
 				}
-				if isMethodReceiver(n, stack) {
+				// s.banks[i] where banks is a slice/array of counter
+				// bank structs (structs holding atomics, the per-shard
+				// metrics shape): selecting a field in place or taking
+				// the element's address is fine, but assigning or
+				// passing the element copies every atomic inside it.
+				if !isAtomicStructElemType(selection.Type()) {
+					return true
+				}
+				if isFieldAccess(n, stack) || isAddressed(n, stack) {
 					return true
 				}
 				r.Report(n.Pos(), "atomic-counter",
-					fmt.Sprintf("atomic element of field %s used outside its method set; call Load/Store/Add on it directly", sel.Sel.Name))
+					fmt.Sprintf("element of counter-bank field %s copied; access its fields in place or take its address", sel.Sel.Name))
 			}
 			return true
 		})
@@ -114,6 +128,51 @@ func isAtomicElemType(t types.Type) bool {
 		return isAtomicType(t.Elem())
 	}
 	return false
+}
+
+// isAtomicStructElemType reports whether t is a slice or array whose
+// element type is a struct with at least one sync/atomic field — the
+// padded per-shard counter-bank shape.
+func isAtomicStructElemType(t types.Type) bool {
+	var elem types.Type
+	switch t := t.Underlying().(type) {
+	case *types.Slice:
+		elem = t.Elem()
+	case *types.Array:
+		elem = t.Elem()
+	default:
+		return false
+	}
+	st, ok := elem.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isAtomicType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isFieldAccess reports whether expr appears as the X of a selector —
+// s.banks[i].field — so the element itself is never copied.
+func isFieldAccess(expr ast.Expr, stack []ast.Node) bool {
+	if len(stack) < 1 {
+		return false
+	}
+	parent, ok := stack[len(stack)-1].(*ast.SelectorExpr)
+	return ok && parent.X == expr
+}
+
+// isAddressed reports whether expr appears under &: taking a pointer
+// to a bank element (b := &s.banks[i]) accesses it in place.
+func isAddressed(expr ast.Expr, stack []ast.Node) bool {
+	if len(stack) < 1 {
+		return false
+	}
+	parent, ok := stack[len(stack)-1].(*ast.UnaryExpr)
+	return ok && parent.Op == token.AND && parent.X == expr
 }
 
 // checkMixedAtomicAccess flags non-atomic reads/writes of plain fields

@@ -43,3 +43,31 @@ func (s *shardCounters) snapshot() []int64 {
 	}
 	return out
 }
+
+// bank is the padded per-shard counter-bank shape: a struct of atomics
+// sized to a cacheline, kept in a slice indexed by shard id.
+type bank struct {
+	writes atomic.Int64
+	raw    atomic.Int64
+	_      [48]byte
+}
+
+type bankSet struct {
+	banks []bank
+}
+
+func (s *bankSet) bump(i int) {
+	s.banks[i].writes.Add(1) // ok: field accessed in place
+	b := &s.banks[i]         // ok: address of the element, no copy
+	b.raw.Add(2)
+	c := s.banks[i] // finding: copying the bank copies its atomics
+	_ = c
+}
+
+func (s *bankSet) total() int64 {
+	var sum int64
+	for i := range s.banks {
+		sum += s.banks[i].writes.Load() // ok
+	}
+	return sum
+}

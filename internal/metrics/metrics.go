@@ -33,10 +33,25 @@ type Traffic struct {
 	coalesced     atomic.Int64 // frames XOR-merged away inside batches
 	batchSaved    atomic.Int64 // modelled wire bytes saved vs single-frame shipping
 
+	groupCommits  atomic.Int64 // group-commit flushes on the primary
+	groupedWrites atomic.Int64 // writes that rode a group commit
+
 	// batchHist is the frames-per-delivery histogram of the batching
 	// shippers, power-of-two buckets: 1, 2, ≤4, ≤8, ≤16, ≤32, ≤64, >64.
 	batchHist [BatchHistBuckets]atomic.Int64
+
+	// shards, when attached, holds the per-shard counter banks the
+	// sharded engine's write path bumps instead of the shared counters
+	// above. Snapshot folds the banks into the engine-wide totals, so
+	// readers see one view while writers never share a cache line.
+	shards atomic.Pointer[ShardSet]
 }
+
+// AttachShards hands Traffic the per-shard counter banks to fold into
+// its totals on Snapshot. The engine attaches its ShardSet once at
+// construction; per-shard Writes/RawBytes/Skipped/EncodeTime then live
+// only in the banks.
+func (t *Traffic) AttachShards(s *ShardSet) { t.shards.Store(s) }
 
 // BatchHistBuckets is the number of power-of-two buckets in the
 // frames-per-batch histogram: 1, 2, ≤4, ≤8, ≤16, ≤32, ≤64, >64.
@@ -128,6 +143,13 @@ func (t *Traffic) AddBatch(frames int, payloadBytes, wireBytes, saved int64) {
 // same-LBA parities combined into one wire frame).
 func (t *Traffic) AddCoalesced(n int64) { t.coalesced.Add(n) }
 
+// AddGroupCommit records one group-commit flush that drained n queued
+// writes under a single shard-lock pass.
+func (t *Traffic) AddGroupCommit(n int) {
+	t.groupCommits.Add(1)
+	t.groupedWrites.Add(int64(n))
+}
+
 // ObserveBatch records one shipper delivery of n frames in the
 // frames-per-batch histogram (single-frame deliveries included, so the
 // histogram shows how often batching actually engages).
@@ -160,6 +182,10 @@ type Snapshot struct {
 	// BatchSavedWire is the modelled wire bytes batching saved versus
 	// single-frame shipping.
 	BatchSavedWire int64
+	// GroupCommits counts group-commit flushes on the primary;
+	// GroupedWrites counts the writes they drained.
+	GroupCommits  int64
+	GroupedWrites int64
 	// FramesPerBatch is the delivery-size histogram; see ObserveBatch.
 	FramesPerBatch [BatchHistBuckets]int64
 }
@@ -184,9 +210,19 @@ func (t *Traffic) Snapshot() Snapshot {
 		Batches:        t.batches.Load(),
 		Coalesced:      t.coalesced.Load(),
 		BatchSavedWire: t.batchSaved.Load(),
+		GroupCommits:   t.groupCommits.Load(),
+		GroupedWrites:  t.groupedWrites.Load(),
 	}
 	for i := 0; i < BatchHistBuckets; i++ {
 		s.FramesPerBatch[i] = t.batchHist[i].Load()
+	}
+	if banks := t.shards.Load(); banks != nil {
+		for _, b := range banks.Snapshot() {
+			s.Writes += b.Writes
+			s.Skipped += b.Skipped
+			s.RawBytes += b.RawBytes
+			s.EncodeTime += b.EncodeTime
+		}
 	}
 	return s
 }
@@ -210,8 +246,13 @@ func (t *Traffic) Reset() {
 	t.batches.Store(0)
 	t.coalesced.Store(0)
 	t.batchSaved.Store(0)
+	t.groupCommits.Store(0)
+	t.groupedWrites.Store(0)
 	for i := 0; i < BatchHistBuckets; i++ {
 		t.batchHist[i].Store(0)
+	}
+	if banks := t.shards.Load(); banks != nil {
+		banks.reset()
 	}
 }
 

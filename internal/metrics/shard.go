@@ -1,19 +1,32 @@
 package metrics
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"time"
+)
+
+// shardBank is one shard's write-path counter bank. The struct is
+// padded out to a 64-byte cache line so adjacent shards never share a
+// line: the hot write path touches only its own shard's bank, and the
+// engine-wide totals are aggregated from the banks on read instead of
+// bumping a shared counter per write.
+type shardBank struct {
+	writes      atomic.Int64 // block writes routed to this shard
+	skipped     atomic.Int64 // writes elided (no-change parity)
+	shipped     atomic.Int64 // frames delivered from this shard's pipelines
+	dropped     atomic.Int64 // frames elided while a replica was degraded
+	rawBytes    atomic.Int64 // block bytes traditional replication would ship
+	encodeNanos atomic.Int64 // time in parity+encode on this shard
+	_           [16]byte     // pad 6×8 counter bytes out to one cache line
+}
 
 // ShardSet is a bank of per-shard write-path counters for a sharded
-// engine: one slot per LBA-range shard, indexed by shard id. Slots are
-// slices of atomics so the hot write path touches only its own shard's
-// counter — no shared cache line contention between shards. All
-// methods are safe for concurrent use; out-of-range shard indices are
-// ignored rather than panicking, since the wire carries shard ids from
-// peers.
+// engine: one cache-line-sized slot per LBA-range shard, indexed by
+// shard id. All methods are safe for concurrent use; out-of-range
+// shard indices are ignored rather than panicking, since the wire
+// carries shard ids from peers.
 type ShardSet struct {
-	writes  []atomic.Int64
-	skipped []atomic.Int64
-	shipped []atomic.Int64
-	dropped []atomic.Int64
+	banks []shardBank
 }
 
 // NewShardSet allocates a counter bank for n shards.
@@ -21,28 +34,33 @@ func NewShardSet(n int) *ShardSet {
 	if n < 1 {
 		n = 1
 	}
-	return &ShardSet{
-		writes:  make([]atomic.Int64, n),
-		skipped: make([]atomic.Int64, n),
-		shipped: make([]atomic.Int64, n),
-		dropped: make([]atomic.Int64, n),
-	}
+	return &ShardSet{banks: make([]shardBank, n)}
 }
 
 // Shards returns the number of shard slots.
-func (s *ShardSet) Shards() int { return len(s.writes) }
+func (s *ShardSet) Shards() int { return len(s.banks) }
 
-// AddWrite records one intercepted block write on shard i.
-func (s *ShardSet) AddWrite(i int) {
-	if i >= 0 && i < len(s.writes) {
-		s.writes[i].Add(1)
+// AddWrite records one intercepted block write of blockBytes on shard
+// i. The raw byte total feeds the engine-wide RawBytes aggregate, so
+// the write path touches only this shard's bank.
+func (s *ShardSet) AddWrite(i, blockBytes int) {
+	if i >= 0 && i < len(s.banks) {
+		s.banks[i].writes.Add(1)
+		s.banks[i].rawBytes.Add(int64(blockBytes))
 	}
 }
 
 // AddSkipped records one elided (unchanged) write on shard i.
 func (s *ShardSet) AddSkipped(i int) {
-	if i >= 0 && i < len(s.skipped) {
-		s.skipped[i].Add(1)
+	if i >= 0 && i < len(s.banks) {
+		s.banks[i].skipped.Add(1)
+	}
+}
+
+// AddEncodeTime accumulates parity+encode compute time on shard i.
+func (s *ShardSet) AddEncodeTime(i int, d time.Duration) {
+	if i >= 0 && i < len(s.banks) {
+		s.banks[i].encodeNanos.Add(int64(d))
 	}
 }
 
@@ -50,16 +68,29 @@ func (s *ShardSet) AddSkipped(i int) {
 // i's pipelines (logical pushes, so a coalesced batch counts each
 // source message).
 func (s *ShardSet) AddShipped(i int, n int64) {
-	if i >= 0 && i < len(s.shipped) {
-		s.shipped[i].Add(n)
+	if i >= 0 && i < len(s.banks) {
+		s.banks[i].shipped.Add(n)
 	}
 }
 
 // AddDropped records one frame elided from shard i's pipelines because
 // its replica was degraded.
 func (s *ShardSet) AddDropped(i int) {
-	if i >= 0 && i < len(s.dropped) {
-		s.dropped[i].Add(1)
+	if i >= 0 && i < len(s.banks) {
+		s.banks[i].dropped.Add(1)
+	}
+}
+
+// reset zeroes every bank (for Traffic.Reset on an attached set).
+func (s *ShardSet) reset() {
+	for i := range s.banks {
+		b := &s.banks[i]
+		b.writes.Store(0)
+		b.skipped.Store(0)
+		b.shipped.Store(0)
+		b.dropped.Store(0)
+		b.rawBytes.Store(0)
+		b.encodeNanos.Store(0)
 	}
 }
 
@@ -75,17 +106,25 @@ type ShardSnapshot struct {
 	// Dropped counts frames this shard's pipelines elided while a
 	// replica was degraded.
 	Dropped int64
+	// RawBytes is the block bytes written to this shard — what
+	// traditional replication would ship.
+	RawBytes int64
+	// EncodeTime is the parity+encode compute time spent on this shard.
+	EncodeTime time.Duration
 }
 
 // Snapshot copies every shard's counters, indexed by shard id.
 func (s *ShardSet) Snapshot() []ShardSnapshot {
-	out := make([]ShardSnapshot, len(s.writes))
+	out := make([]ShardSnapshot, len(s.banks))
 	for i := range out {
+		b := &s.banks[i]
 		out[i] = ShardSnapshot{
-			Writes:  s.writes[i].Load(),
-			Skipped: s.skipped[i].Load(),
-			Shipped: s.shipped[i].Load(),
-			Dropped: s.dropped[i].Load(),
+			Writes:     b.writes.Load(),
+			Skipped:    b.skipped.Load(),
+			Shipped:    b.shipped.Load(),
+			Dropped:    b.dropped.Load(),
+			RawBytes:   b.rawBytes.Load(),
+			EncodeTime: time.Duration(b.encodeNanos.Load()),
 		}
 	}
 	return out

@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 )
 
 // ErrLengthMismatch is returned when operands of an XOR operation have
@@ -142,6 +143,66 @@ func NonZeroBytes(p []byte) int {
 		}
 	}
 	return count
+}
+
+// XORCountNonZero computes dst = a XOR b and returns the number of
+// non-zero bytes in the result, in a single pass over the block. It
+// fuses the forward-parity XOR (Eq. 1) with the density scan that
+// NonZeroBytes would otherwise perform as a second walk: the word is
+// already in a register after the XOR, so counting its non-zero bytes
+// costs a handful of ALU ops instead of a second memory sweep. dst may
+// alias a or b. The loop is unrolled two words at a time; an all-zero
+// word — the common case for sparse parity — short-circuits, and
+// non-zero words are counted branch-free with a SWAR zero-byte mask
+// and math/bits.OnesCount64.
+func XORCountNonZero(dst, a, b []byte) (int, error) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		return 0, fmt.Errorf("%w: dst=%d a=%d b=%d", ErrLengthMismatch, len(dst), len(a), len(b))
+	}
+	count := 0
+	n := len(a)
+	i := 0
+	for ; i+2*wordSize <= n; i += 2 * wordSize {
+		w0 := binary.LittleEndian.Uint64(a[i:]) ^ binary.LittleEndian.Uint64(b[i:])
+		w1 := binary.LittleEndian.Uint64(a[i+wordSize:]) ^ binary.LittleEndian.Uint64(b[i+wordSize:])
+		binary.LittleEndian.PutUint64(dst[i:], w0)
+		binary.LittleEndian.PutUint64(dst[i+wordSize:], w1)
+		if w0 != 0 {
+			count += bits.OnesCount64(nonZeroByteMask(w0))
+		}
+		if w1 != 0 {
+			count += bits.OnesCount64(nonZeroByteMask(w1))
+		}
+	}
+	for ; i+wordSize <= n; i += wordSize {
+		w := binary.LittleEndian.Uint64(a[i:]) ^ binary.LittleEndian.Uint64(b[i:])
+		binary.LittleEndian.PutUint64(dst[i:], w)
+		if w != 0 {
+			count += bits.OnesCount64(nonZeroByteMask(w))
+		}
+	}
+	for ; i < n; i++ {
+		v := a[i] ^ b[i]
+		dst[i] = v
+		if v != 0 {
+			count++
+		}
+	}
+	return count, nil
+}
+
+// nonZeroByteMask returns a word with bit 7 set in every byte lane of
+// w that is non-zero, so popcount of the mask is the number of
+// non-zero bytes. Pre-setting each lane's high bit before the
+// subtraction blocks inter-lane borrow, which makes the per-lane test
+// exact — the classic `(w - lows) &^ w & highs` haszero mask is only
+// exact as an any-zero test, not as a per-byte count.
+func nonZeroByteMask(w uint64) uint64 {
+	const (
+		lows  = 0x0101010101010101
+		highs = 0x8080808080808080
+	)
+	return (w | ((w | highs) - lows)) & highs
 }
 
 // nonZeroBytesBytewise is the reference kernel kept as the test oracle

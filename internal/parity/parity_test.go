@@ -330,3 +330,97 @@ func TestStripeParityLengthMismatch(t *testing.T) {
 		t.Error("StripeParity with ragged blocks: want error")
 	}
 }
+
+// TestXORCountNonZeroMatchesOracle cross-checks the fused XOR+count
+// kernel against the two reference kernels composed: the result bytes
+// must equal the byte-wise XOR and the count must equal the byte-wise
+// scan of that result, across word boundaries, unaligned tails, and
+// the sparse densities the zero-word fast path targets.
+func TestXORCountNonZeroMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{0, 1, 7, 8, 9, 15, 16, 17, 63, 64, 65, 4096, 4099} {
+		a := make([]byte, n)
+		rng.Read(a)
+		sparse := append([]byte(nil), a...)
+		for i := 0; i < n; i += 13 {
+			sparse[i] ^= byte(1 + rng.Intn(255))
+		}
+		dense := make([]byte, n)
+		rng.Read(dense)
+		for name, b := range map[string][]byte{
+			"identical": append([]byte(nil), a...), "sparse": sparse, "dense": dense,
+		} {
+			got := make([]byte, n)
+			count, err := XORCountNonZero(got, a, b)
+			if err != nil {
+				t.Fatalf("n=%d %s: %v", n, name, err)
+			}
+			want := make([]byte, n)
+			xorBytewise(want, a, b)
+			if !bytes.Equal(got, want) {
+				t.Errorf("n=%d %s: fused XOR diverged from bytewise oracle", n, name)
+			}
+			if oracle := nonZeroBytesBytewise(want); count != oracle {
+				t.Errorf("n=%d %s: count = %d, oracle = %d", n, name, count, oracle)
+			}
+		}
+	}
+}
+
+// TestXORCountNonZeroAliasing proves the fused kernel tolerates dst
+// aliasing either operand, which the engine relies on when the parity
+// scratch doubles as an input.
+func TestXORCountNonZeroAliasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := make([]byte, 100)
+	b := make([]byte, 100)
+	rng.Read(a)
+	rng.Read(b)
+	want, _ := XORBytes(a, b)
+	wantCount := nonZeroBytesBytewise(want)
+
+	aCopy := append([]byte(nil), a...)
+	if count, err := XORCountNonZero(aCopy, aCopy, b); err != nil || count != wantCount || !bytes.Equal(aCopy, want) {
+		t.Errorf("dst aliasing a: count=%d err=%v", count, err)
+	}
+	bCopy := append([]byte(nil), b...)
+	if count, err := XORCountNonZero(bCopy, a, bCopy); err != nil || count != wantCount || !bytes.Equal(bCopy, want) {
+		t.Errorf("dst aliasing b: count=%d err=%v", count, err)
+	}
+}
+
+func TestXORCountNonZeroLengthMismatch(t *testing.T) {
+	if _, err := XORCountNonZero(make([]byte, 3), []byte{1, 2}, []byte{1, 2}); err == nil {
+		t.Error("short dst: want error, got nil")
+	}
+	if _, err := XORCountNonZero(make([]byte, 2), []byte{1, 2}, []byte{1}); err == nil {
+		t.Error("ragged operands: want error, got nil")
+	}
+}
+
+// BenchmarkXORCountNonZero pins the fused kernel against the two-pass
+// ForwardInto+NonZeroBytes composition it replaces on the encode path.
+func BenchmarkXORCountNonZero(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	const size = 4 << 10
+	oldData := make([]byte, size)
+	rng.Read(oldData)
+	newData := append([]byte(nil), oldData...)
+	for i := 0; i < size/10; i++ {
+		newData[rng.Intn(size)] ^= byte(1 + rng.Intn(255))
+	}
+	dst := make([]byte, size)
+	b.Run("fused", func(b *testing.B) {
+		b.SetBytes(size)
+		for i := 0; i < b.N; i++ {
+			benchCount, _ = XORCountNonZero(dst, newData, oldData)
+		}
+	})
+	b.Run("two-pass", func(b *testing.B) {
+		b.SetBytes(size)
+		for i := 0; i < b.N; i++ {
+			_ = ForwardInto(dst, newData, oldData)
+			benchCount = NonZeroBytes(dst)
+		}
+	})
+}

@@ -110,6 +110,22 @@ type Config struct {
 	// the default (1 MiB).
 	BatchBytes int
 
+	// FlushWindow enables primary-side group commit: writers landing on
+	// the same shard are drained as one unit — one shard-lock pass
+	// covers every queued write's local apply, sequence allocation, and
+	// pipeline enqueue. The first writer of a window leads; it waits
+	// until the window elapses or the queue fills a whole FlushFrames
+	// chunk, whichever comes first, then commits the group. Per-write
+	// latency is bounded by the window plus the commit. Zero (the
+	// default) keeps the per-write path.
+	FlushWindow time.Duration
+	// FlushFrames caps how many grouped writes one flush commits per
+	// shard-lock pass and doubles as the early-flush trigger (a queue
+	// that fills to FlushFrames commits without waiting out the
+	// window). Zero selects the default (64). Ignored unless
+	// FlushWindow is set.
+	FlushFrames int
+
 	// RetryAttempts is how many times a replication push is tried before
 	// the engine gives up on it (default 1 = no retry).
 	RetryAttempts int
@@ -218,6 +234,8 @@ func NewPrimary(local Store, cfg Config) (*Primary, error) {
 		BatchFrames:   cfg.BatchFrames,
 		BatchBytes:    cfg.BatchBytes,
 		Shards:        cfg.Shards,
+		FlushWindow:   cfg.FlushWindow,
+		FlushFrames:   cfg.FlushFrames,
 	})
 	if err != nil {
 		return nil, err
