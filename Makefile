@@ -20,7 +20,7 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable reports for the replication benches: runs the
-# batching/coalescing/counting/sharding benchmarks and converts the
+# batching/coalescing/counting/sharding/repair benchmarks and converts the
 # output to BENCH_*.json via cmd/benchjson. CI smoke-runs this with
 # BENCHTIME=1x SHARDTIME=50x; use the defaults for numbers worth
 # comparing. The shard-scaling bench gets its own iteration count
@@ -38,6 +38,8 @@ bench-json:
 		| $(GO) run ./cmd/benchjson -out BENCH_shard.json
 	$(GO) test -run='^$$' -bench='Hotpath' -benchtime=$(HOTTIME) . \
 		| $(GO) run ./cmd/benchjson -out BENCH_hotpath.json
+	$(GO) test -run='^$$' -bench='GroupRepair' -benchtime=$(BENCHTIME) . \
+		| $(GO) run ./cmd/benchjson -out BENCH_repair.json
 
 # Hot-path regression guard: re-run the sync-ship benches and fail if
 # writes/s fell more than REGRESS percent below the committed
@@ -57,7 +59,7 @@ bench-guard:
 # lifecycle and shared-session isolation.
 STRESSCOUNT ?= 3
 stress:
-	$(GO) test -race -count=$(STRESSCOUNT) -run 'Shard|Volume' ./internal/core .
+	$(GO) test -race -count=$(STRESSCOUNT) -run 'Shard|Volume|Group' ./internal/core .
 
 # Short fuzz passes over the wire-facing decoders, seeded from the
 # checked-in corpora (regenerate with PRINS_REGEN_CORPUS=1 go test
@@ -65,14 +67,16 @@ stress:
 fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzReadPDU$$' -fuzztime=$(FUZZTIME) ./internal/iscsi
 	$(GO) test -run='^$$' -fuzz='^FuzzDecodeBatch$$' -fuzztime=$(FUZZTIME) ./internal/iscsi
+	$(GO) test -run='^$$' -fuzz='^FuzzDecodeStripe$$' -fuzztime=$(FUZZTIME) ./internal/iscsi
 	$(GO) test -run='^$$' -fuzz='^FuzzDecode$$' -fuzztime=$(FUZZTIME) ./internal/xcode
 
 # The fault-injection suites under the race detector: connection and
 # store chaos, torn-write journal recovery, divergence detection and
-# dirty-range repair, resync cancellation, scrubbing.
+# dirty-range repair, resync cancellation, scrubbing, and the group
+# replica-kill / chain-repair drill.
 chaos:
 	$(GO) test -race -run 'Chaos|Torn|Diverged|Journal|Resync|Scrub|Fault' \
-		./internal/core ./internal/faults ./internal/journal ./internal/resync
+		./internal/core ./internal/faults ./internal/journal ./internal/resync .
 
 # prinslint is the project's own invariant analyzer (see DESIGN.md,
 # "Static analysis & invariants"): dropped I/O errors, parity aliasing,

@@ -1,0 +1,118 @@
+// BenchmarkGroupRepair measures the pipelined partial-sum chain that
+// rebuilds a lost stripe unit, and reports its wire cost next to the
+// full-copy mirror resync a traditional deployment would pay for the
+// same loss. Feeds BENCH_repair.json via `make bench-json`.
+package prins_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"prins"
+	"prins/internal/parity"
+)
+
+func BenchmarkGroupRepair(b *testing.B) {
+	const (
+		k  = 2
+		n  = 4
+		bs = 8 << 10
+		nb = 256
+	)
+	rs, err := parity.NewRS(k, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := rs.UnitSize(bs)
+
+	// A populated logical device and its RS encoding spread over n
+	// unit stores — the state a healthy group would hold.
+	local, err := prins.NewMemStore(bs, nb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	units := make([]prins.Store, n)
+	for i := range units {
+		if units[i], err = prins.NewMemStore(u, nb); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(11))
+	blk := make([]byte, bs)
+	enc := make([][]byte, n)
+	for i := range enc {
+		enc[i] = make([]byte, u)
+	}
+	for lba := uint64(0); lba < nb; lba++ {
+		rng.Read(blk)
+		if err := local.WriteBlock(lba, blk); err != nil {
+			b.Fatal(err)
+		}
+		if err := rs.EncodeInto(enc, blk); err != nil {
+			b.Fatal(err)
+		}
+		for i := range units {
+			if err := units[i].WriteBlock(lba, enc[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	// Serve two survivors and the replacement for the lost unit 1 on
+	// loopback TCP. The chain rewrites the sink in place, so one sink
+	// serves every iteration.
+	serve := func(store prins.Store, idx int) prins.GroupMember {
+		rep := prins.NewReplica(store)
+		if err := rep.SetGroupUnit(k, n, idx); err != nil {
+			b.Fatal(err)
+		}
+		addr, err := rep.Serve("127.0.0.1:0", "u")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { rep.Close() })
+		return prins.GroupMember{Addr: addr.String(), Export: "u", Unit: idx}
+	}
+	const lost = 1
+	survivors := []prins.GroupMember{serve(units[0], 0), serve(units[3], 3)}
+	sinkStore, err := prins.NewMemStore(u, nb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink := serve(sinkStore, lost)
+
+	// Mirror baseline: re-seeding one full-copy replica after the same
+	// loss, with the delta resync both sides' wire models share.
+	mirrorStore, err := prins.NewMemStore(bs, nb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mirror := prins.NewReplica(mirrorStore)
+	defer mirror.Close()
+	maddr, err := mirror.Serve("127.0.0.1:0", "m")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mirrorStats, err := prins.Resync(local, maddr.String(), "m", false)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.SetBytes(int64(nb) * int64(u))
+	b.ResetTimer()
+	var last prins.RepairStats
+	for i := 0; i < b.N; i++ {
+		last, err = prins.RepairChain(k, n, lost, nb, survivors, sink)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if last.Blocks != nb {
+		b.Fatalf("rebuilt %d blocks, want %d", last.Blocks, nb)
+	}
+	b.ReportMetric(float64(last.ModelWireBytes), "wireB")
+	b.ReportMetric(float64(last.WireBytes), "measuredB")
+	b.ReportMetric(float64(mirrorStats.WireBytes), "mirrorWireB")
+	b.ReportMetric(float64(mirrorStats.WireBytes)/float64(last.ModelWireBytes), "mirror/chain")
+}

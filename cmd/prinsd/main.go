@@ -21,6 +21,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -64,6 +65,13 @@ func run(args []string) error {
 		journalPath   = fs.String("journal", "", "replica role: crash-safe apply journal file (empty = no journal)")
 		scrubEvery    = fs.Duration("scrub-interval", 0, "primary role: background scrub pass interval per replica (0 = off)")
 		scrubPause    = fs.Duration("scrub-pause", 2*time.Millisecond, "pause between scrub hash batches (rate limit)")
+
+		group     = fs.String("group", "", "erasure-coded replica group shape k,n: writes stripe k-of-n across the replicas and commit on a k quorum (empty = mirror full copies)")
+		groupUnit = fs.Int("group-unit", -1, "replica role with -group: this replica's stripe-unit index in [0,n); its device must be unit-sized")
+
+		repairChain = fs.String("repair-chain", "", "one-shot pipelined repair then exit: comma-separated k survivor endpoints host:port/export@unit, chained in order (requires -group, -size, -repair-lost, -repair-sink)")
+		repairLost  = fs.Int("repair-lost", -1, "unit index to rebuild with -repair-chain")
+		repairSink  = fs.String("repair-sink", "", "replacement replica endpoint host:port/export for -repair-chain")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,6 +79,18 @@ func run(args []string) error {
 
 	if *volumes < 1 || *volumes > 65535 {
 		return fmt.Errorf("bad -volumes %d (want 1..65535)", *volumes)
+	}
+
+	groupK, groupN, err := parseGroup(*group)
+	if err != nil {
+		return err
+	}
+	if groupN > 0 && *volumes > 1 {
+		return fmt.Errorf("-group does not combine with -volumes %d", *volumes)
+	}
+
+	if *repairChain != "" {
+		return runRepairChain(groupK, groupN, *repairLost, *size, *repairChain, *repairSink)
 	}
 
 	stop := make(chan os.Signal, 1)
@@ -122,6 +142,15 @@ func run(args []string) error {
 		} else {
 			replica = prins.NewReplica(store)
 		}
+		if groupN > 0 {
+			if *groupUnit < 0 {
+				return fmt.Errorf("-group %s needs -group-unit on the replica role", *group)
+			}
+			if err := replica.SetGroupUnit(groupK, groupN, *groupUnit); err != nil {
+				return err
+			}
+			log.Printf("prinsd: group unit %d of %d-of-%d (chain-repair capable)", *groupUnit, groupK, groupN)
+		}
 		addr, err := replica.Serve(*listen, *exportName)
 		if err != nil {
 			return err
@@ -153,11 +182,17 @@ func run(args []string) error {
 			Shards:        *shards,
 			FlushWindow:   *flushWindow,
 			FlushFrames:   *flushFrames,
+			GroupK:        groupK,
+			GroupN:        groupN,
 		})
 		if err != nil {
 			return err
 		}
 		defer primary.Close()
+		if groupN > 0 {
+			log.Printf("prinsd: %d-of-%d replica group, %dB stripe units, quorum commit at %d",
+				groupK, groupN, primary.GroupUnitSize(), groupK)
+		}
 
 		if *replicas != "" {
 			for _, ep := range strings.Split(*replicas, ",") {
@@ -384,6 +419,64 @@ func parseMode(s string) (prins.Mode, error) {
 	default:
 		return 0, fmt.Errorf("unknown mode %q", s)
 	}
+}
+
+// parseGroup parses "-group k,n"; empty means mirroring (0, 0).
+func parseGroup(s string) (k, n int, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	if _, err := fmt.Sscanf(s, "%d,%d", &k, &n); err != nil {
+		return 0, 0, fmt.Errorf("bad -group %q (want k,n)", s)
+	}
+	if k < 1 || k > n {
+		return 0, 0, fmt.Errorf("bad -group %q (want 1 <= k <= n)", s)
+	}
+	return k, n, nil
+}
+
+// runRepairChain drives one pipelined rebuild of a lost stripe unit
+// through the listed survivors and exits.
+func runRepairChain(k, n, lost int, size uint64, survivorList, sink string) error {
+	if n == 0 {
+		return fmt.Errorf("-repair-chain needs -group k,n")
+	}
+	if lost < 0 || lost >= n {
+		return fmt.Errorf("-repair-lost %d out of group [0,%d)", lost, n)
+	}
+	sinkAddr, sinkExport, err := splitEndpoint(sink)
+	if err != nil {
+		return fmt.Errorf("-repair-sink: %w", err)
+	}
+	var survivors []prins.GroupMember
+	for _, ep := range strings.Split(survivorList, ",") {
+		at := strings.LastIndex(ep, "@")
+		if at <= 0 || at == len(ep)-1 {
+			return fmt.Errorf("bad survivor %q (want host:port/export@unit)", ep)
+		}
+		unit, err := strconv.Atoi(ep[at+1:])
+		if err != nil || unit < 0 || unit >= n {
+			return fmt.Errorf("bad survivor unit in %q", ep)
+		}
+		addr, export, err := splitEndpoint(ep[:at])
+		if err != nil {
+			return err
+		}
+		survivors = append(survivors, prins.GroupMember{Addr: addr, Export: export, Unit: unit})
+	}
+	if len(survivors) != k {
+		return fmt.Errorf("-repair-chain lists %d survivors, group needs exactly k=%d", len(survivors), k)
+	}
+	start := time.Now()
+	st, err := prins.RepairChain(k, n, lost, size, survivors,
+		prins.GroupMember{Addr: sinkAddr, Export: sinkExport, Unit: lost})
+	if err != nil {
+		return err
+	}
+	log.Printf("prinsd: rebuilt unit %d: %d blocks in %d chain rounds, %s on the wire (%s ingested) in %s",
+		lost, st.Blocks, st.Chains, formatBytes(st.WireBytes), formatBytes(st.IngestBytes),
+		time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 func splitEndpoint(ep string) (addr, export string, err error) {

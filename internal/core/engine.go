@@ -75,6 +75,19 @@ type FramedReplicaClient interface {
 
 var _ FramedReplicaClient = (*iscsi.Initiator)(nil)
 
+// StripeReplicaClient is the k-of-n replica-group extension of
+// ReplicaClient: ship the stripe units queued for one replica in one
+// round trip, tagged with the group geometry, and get one status per
+// entry back. A GroupMode engine requires it — unit frames decode to
+// unit-sized payloads a plain replica push would misapply — so
+// AttachReplica refuses clients without it when Config.Group is set.
+type StripeReplicaClient interface {
+	ReplicaClient
+	ReplicaWriteStripe(mode, shard uint8, vol uint16, hdr iscsi.StripeHeader, entries []iscsi.BatchEntry) ([]iscsi.Status, error)
+}
+
+var _ StripeReplicaClient = (*iscsi.Initiator)(nil)
+
 // ParityWriter is the optional fast path a RAID array provides: a
 // write that returns the forward parity it computed anyway while
 // updating the parity disk. When the primary store implements it and
@@ -87,6 +100,29 @@ type ParityWriter interface {
 // MaxShards bounds Config.Shards: the wire protocol carries the shard
 // index as a uint8.
 const MaxShards = 256
+
+// GroupConfig selects erasure-coded replica groups (GroupMode): each
+// replicated block is Reed-Solomon-striped into N unit frames, one per
+// attached replica, and any K of them reconstruct the block. The zero
+// value keeps mirroring. With GroupMode on:
+//
+//   - Exactly N replicas must be attached, in unit order: replica i
+//     (attach order) stores unit i. Each replica's store is unit-sized
+//     (parity.RS.UnitSize of the primary block size), so the group's
+//     total replica footprint is N/K blocks instead of N.
+//   - A synchronous write acknowledges at quorum: it succeeds once any
+//     K of the N stripe units are durably applied (journaled, when the
+//     replicas journal); the remaining units settle asynchronously and
+//     per-replica lag/dirty tracking names what is still owed.
+//   - In ModePRINS the stripe carries RS(P'), the code applied to the
+//     forward parity — RS is linear over XOR, so the replica's usual
+//     backward XOR against its old unit recovers its new unit exactly.
+type GroupConfig struct {
+	K, N int
+}
+
+// enabled reports whether GroupMode is on.
+func (g GroupConfig) enabled() bool { return g.N > 0 }
 
 // Config parameterizes an Engine.
 type Config struct {
@@ -177,6 +213,12 @@ type Config struct {
 	// bounded by the window plus the commit itself. Zero (the default)
 	// disables group commit and keeps the per-write path.
 	FlushWindow time.Duration
+	// Group, when set (N > 0), runs the engine in GroupMode: writes are
+	// RS-striped K-of-N across the replica set with quorum commit and
+	// unit-sized replica stores. See GroupConfig. Incompatible with
+	// FlushWindow (group commit batches whole-block frames; a striped
+	// write already fans out per unit).
+	Group GroupConfig
 	// FlushFrames caps how many queued writes one group-commit flush
 	// drains per shard-lock pass (a larger backlog commits in
 	// successive passes, so the lock is never held for an unbounded
@@ -233,6 +275,14 @@ func (c Config) Validate() error {
 	if c.Shards > MaxShards {
 		return fmt.Errorf("core: %d shards exceeds the maximum %d", c.Shards, MaxShards)
 	}
+	if c.Group.enabled() {
+		if c.Group.K < 1 || c.Group.K > c.Group.N || c.Group.N > parity.MaxGroupUnits {
+			return fmt.Errorf("core: invalid replica group k=%d n=%d", c.Group.K, c.Group.N)
+		}
+		if c.FlushWindow > 0 {
+			return fmt.Errorf("core: GroupMode is incompatible with FlushWindow group commit")
+		}
+	}
 	return nil
 }
 
@@ -242,6 +292,21 @@ var ErrEngineClosed = errors.New("core: engine closed")
 // ErrStreamClient reports a replica client attached to a sharded or
 // multi-volume engine without stream-tagging support.
 var ErrStreamClient = errors.New("core: sharded engine requires a stream-capable replica client")
+
+// ErrStripeClient reports a replica client attached to a GroupMode
+// engine without stripe support.
+var ErrStripeClient = errors.New("core: GroupMode engine requires a stripe-capable replica client")
+
+// ErrGroupReplicas reports a GroupMode write attempted without exactly
+// N attached replicas, or an attach beyond the group size.
+var ErrGroupReplicas = errors.New("core: GroupMode engine requires exactly n attached replicas")
+
+// errUnitDropped reports a stripe unit elided because its replica is
+// degraded. Unlike a mirror-mode drop — where the block still lands
+// whole on every healthy replica — a dropped unit is redundancy the
+// group genuinely lost, so a synchronous writer counts it against the
+// quorum instead of treating it as delivered.
+var errUnitDropped = errors.New("core: stripe unit dropped (replica degraded)")
 
 // shard is one contiguous LBA range's independent write path: its own
 // lock (write order = seq order within the shard), sequence space,
@@ -253,6 +318,16 @@ type shard struct {
 	oldBuf []byte
 	fpBuf  []byte
 	pipes  []*pipe // one per replica, attach order
+
+	// GroupMode scratch (Config.Group set), guarded by mu like the
+	// other per-shard buffers: the n unit slices a striped write RS-
+	// encodes its payload into, a second bank for the new-data units a
+	// PRINS stripe hashes (the shipped payload is RS of the delta, but
+	// the replica verifies the unit it recovers), and the per-unit
+	// frame pointers of the write in flight.
+	gUnits [][]byte
+	gNew   [][]byte
+	gFrame []*frameBuf
 
 	// Group-commit state (Config.FlushWindow > 0). Writers append to
 	// gcQueue under gcMu; the first writer of a window becomes the
@@ -309,6 +384,11 @@ type Engine struct {
 	density *parity.DensityStats
 	shardM  *metrics.ShardSet
 
+	// rsCodec is the group's Reed-Solomon code; non-nil exactly when
+	// Config.Group is set, and doubles as the GroupMode discriminator
+	// on the hot path.
+	rsCodec *parity.RS
+
 	replicas []*replicaState
 
 	shards    []*shard
@@ -352,13 +432,31 @@ func NewEngine(local block.Store, cfg Config) (*Engine, error) {
 		done:      make(chan struct{}),
 	}
 	e.traffic.AttachShards(e.shardM)
+	if cfg.Group.enabled() {
+		rs, err := parity.NewRS(cfg.Group.K, cfg.Group.N)
+		if err != nil {
+			return nil, fmt.Errorf("core: replica group: %w", err)
+		}
+		e.rsCodec = rs
+	}
 	for i := range e.shards {
-		e.shards[i] = &shard{
+		s := &shard{
 			id:     uint8(i),
 			oldBuf: make([]byte, local.BlockSize()),
 			fpBuf:  make([]byte, local.BlockSize()),
 			gcWake: make(chan struct{}, 1),
 		}
+		if e.rsCodec != nil {
+			u := e.rsCodec.UnitSize(local.BlockSize())
+			s.gUnits = make([][]byte, cfg.Group.N)
+			s.gNew = make([][]byte, cfg.Group.N)
+			for j := range s.gUnits {
+				s.gUnits[j] = make([]byte, u)
+				s.gNew[j] = make([]byte, u)
+			}
+			s.gFrame = make([]*frameBuf, cfg.Group.N)
+		}
+		e.shards[i] = s
 	}
 	if pw, ok := local.(ParityWriter); ok {
 		e.pw = pw
@@ -418,6 +516,18 @@ func (e *Engine) AttachReplica(rc ReplicaClient) error {
 	}
 	if e.needsStream() && rs.stream == nil {
 		return ErrStreamClient
+	}
+	if e.rsCodec != nil {
+		if len(e.replicas) >= e.cfg.Group.N {
+			return fmt.Errorf("%w: group is n=%d, replica %d refused",
+				ErrGroupReplicas, e.cfg.Group.N, len(e.replicas))
+		}
+		stc, ok := rc.(StripeReplicaClient)
+		if !ok {
+			return ErrStripeClient
+		}
+		rs.stripeC = stc
+		rs.unitIdx = uint8(len(e.replicas)) // attach order = unit index
 	}
 	if e.retry.Timeout > 0 {
 		if rt, ok := rc.(requestTimeouter); ok {
@@ -599,6 +709,9 @@ func (e *Engine) NumBlocks() uint64 { return e.local.NumBlocks() }
 // trips behind a lock.
 func (e *Engine) WriteBlock(lba uint64, data []byte) error {
 	s := e.shardOf(lba)
+	if e.rsCodec != nil {
+		return e.writeStriped(s, lba, data)
+	}
 	if e.cfg.FlushWindow > 0 {
 		return e.writeGrouped(s, lba, data)
 	}
@@ -664,6 +777,235 @@ func (e *Engine) WriteBlock(lba uint64, data []byte) error {
 		}
 	}
 	return firstErr
+}
+
+// Group returns the replica-group configuration (zero when mirroring).
+func (e *Engine) Group() GroupConfig { return e.cfg.Group }
+
+// GroupUnitSize returns the stripe unit size in bytes, or zero when
+// the engine mirrors. Each attached replica's store must use it as its
+// block size: a replica in a k-of-n group holds one unit per primary
+// block, not the block.
+func (e *Engine) GroupUnitSize() int {
+	if e.rsCodec == nil {
+		return 0
+	}
+	return e.rsCodec.UnitSize(e.local.BlockSize())
+}
+
+// unitCodecs returns the candidate codecs for stripe unit frames,
+// mirroring applyLocal's per-mode framing: raw for Traditional, flate
+// for Compressed, the configured parity codecs for PRINS (where a
+// quiet region of the delta stripes into near-zero units that ZRL
+// collapses).
+func (e *Engine) unitCodecs() []xcode.Codec {
+	switch e.cfg.Mode {
+	case ModeTraditional:
+		return unitRawCodecs
+	case ModeCompressed:
+		return unitFlateCodecs
+	default:
+		return e.cfg.Codecs
+	}
+}
+
+var (
+	unitRawCodecs   = []xcode.Codec{xcode.CodecRaw}
+	unitFlateCodecs = []xcode.Codec{xcode.CodecFlate}
+)
+
+// holdUnitFrame takes ownership of an encoded unit frame into the
+// shard's group scratch slot i. The caller must, before releasing
+// s.mu, either enqueue every held frame to its pipe or release it.
+func (s *shard) holdUnitFrame(i int, fb *frameBuf) { s.gFrame[i] = fb }
+
+// writeStriped is the GroupMode write path: the local apply is the
+// same as mirroring, but what ships is n unit frames — the block (or
+// its PRINS delta) RS-striped k-of-n — one to each replica's pipeline,
+// each in its own refcounted buffer since every unit's bytes differ.
+// A synchronous write then waits at the quorum, not the fan-out: it
+// succeeds once any k units acknowledge durably applied, and fails
+// only when more than n-k units failed — at which point no k-survivor
+// subset can ever reconstruct this write. Units that settle after the
+// quorum returned surface through the usual channels (dirty maps, lag
+// gauges, degraded flags), exactly like mirror-mode stragglers.
+func (e *Engine) writeStriped(s *shard, lba uint64, data []byte) error {
+	k, n := e.cfg.Group.K, e.cfg.Group.N
+	s.mu.Lock()
+	if e.closed.Load() {
+		s.mu.Unlock()
+		return ErrEngineClosed
+	}
+	if len(s.pipes) != n {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: have %d, group is n=%d", ErrGroupReplicas, len(s.pipes), n)
+	}
+	src, err := e.stripeSource(s, lba, data)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	if src == nil { // unchanged block elided
+		s.mu.Unlock()
+		return nil
+	}
+	start := time.Now()
+	if err := e.rsCodec.EncodeInto(s.gUnits, src); err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("core: stripe encode: %w", err)
+	}
+	// The replica verifies the NEW unit it recovers. For PRINS the
+	// shipped payload is RS of the delta, and by linearity the new unit
+	// is RS of the new data — encode it once more just for the hashes.
+	// Trad/Compressed ship the new units themselves.
+	hashUnits := s.gUnits
+	if !e.cfg.DisableVerify && e.cfg.Mode == ModePRINS {
+		if err := e.rsCodec.EncodeInto(s.gNew, data); err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("core: stripe encode: %w", err)
+		}
+		hashUnits = s.gNew
+	}
+	codecs := e.unitCodecs()
+	for i := 0; i < n; i++ {
+		fb := getFrame()
+		buf, encErr := xcode.AppendEncodeBest(fb.buf, s.gUnits[i], codecs...)
+		if encErr != nil {
+			framePool.Put(fb)
+			for j := 0; j < i; j++ {
+				s.gFrame[j].release(1)
+			}
+			s.mu.Unlock()
+			return fmt.Errorf("core: encode unit %d: %w", i, encErr)
+		}
+		fb.buf = buf
+		fb.refs.Store(1) // each unit frame is owned by exactly one pipe
+		s.holdUnitFrame(i, fb)
+	}
+	e.shardM.AddEncodeTime(int(s.id), time.Since(start))
+	s.seq++
+	seq := s.seq
+
+	var ack chan error
+	if !e.cfg.Async {
+		ack = make(chan error, n)
+	}
+	for i, p := range s.pipes {
+		var hash uint64
+		if !e.cfg.DisableVerify {
+			hash = iscsi.HashBlock(hashUnits[i])
+		}
+		p.rs.pending.Add(1)
+		//lint:ignore hold-blocking bounded backpressure: a full replication queue must stall writers on this shard
+		select {
+		case p.queue <- repMsg{seq: seq, lba: lba, hash: hash, frame: s.gFrame[i], ack: ack, unit: true}:
+		case <-e.done:
+			p.rs.pending.Done()
+			for j := i; j < n; j++ {
+				s.gFrame[j].release(1)
+			}
+			s.mu.Unlock()
+			return ErrEngineClosed
+		}
+	}
+	s.mu.Unlock()
+
+	if ack == nil {
+		return nil
+	}
+	// Quorum commit: success at the k-th durable unit; failure once
+	// more than n-k units are lost (dropped, diverged, or undeliverable
+	// — see finishUnit for why those settle as errors here). Acks that
+	// arrive after this returns land in the buffered channel and are
+	// collected with it; their delivery state already lives in the
+	// dirty maps and lag gauges.
+	var firstErr error
+	oks, fails := 0, 0
+	for i := 0; i < n; i++ {
+		err := <-ack
+		if err == nil {
+			if oks++; oks >= k {
+				return nil
+			}
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if fails++; fails > n-k {
+			return fmt.Errorf("core: stripe quorum %d/%d lost at lba %d: %w", k, n, lba, firstErr)
+		}
+	}
+	return firstErr // unreachable: a branch above always returns first
+}
+
+// stripeSource performs the local apply of a GroupMode write and
+// returns the byte source the stripe units code over — the forward
+// parity in ModePRINS, the new data otherwise — or nil when the write
+// is elided (SkipUnchanged and nothing changed). Called with s.mu
+// held; the returned slice aliases shard scratch (or the caller's
+// data) and is valid until the lock is released.
+func (e *Engine) stripeSource(s *shard, lba uint64, data []byte) ([]byte, error) {
+	bs := e.local.BlockSize()
+	if len(data) != bs {
+		return nil, fmt.Errorf("%w: %d != %d", block.ErrBadBufSize, len(data), bs)
+	}
+	e.shardM.AddWrite(int(s.id), bs)
+	switch e.cfg.Mode {
+	case ModeTraditional, ModeCompressed:
+		if err := e.local.WriteBlock(lba, data); err != nil {
+			return nil, err
+		}
+		return data, nil
+
+	case ModePRINS:
+		start := time.Now()
+		fp := s.fpBuf
+		nz := -1
+		wantNZ := e.cfg.RecordDensity || e.cfg.SkipUnchanged
+		if e.pw != nil {
+			// RAID fast path, exactly as in applyLocal: copy the shared
+			// parity result into shard scratch under pwMu.
+			e.pwMu.Lock()
+			res, err := e.pw.WriteBlockWithParity(lba, data)
+			if err != nil {
+				e.pwMu.Unlock()
+				return nil, err
+			}
+			copy(fp, res)
+			e.pwMu.Unlock()
+			if wantNZ {
+				nz = parity.NonZeroBytes(fp)
+			}
+		} else {
+			if err := e.local.ReadBlock(lba, s.oldBuf); err != nil {
+				return nil, fmt.Errorf("core: read pre-image: %w", err)
+			}
+			if wantNZ {
+				var err error
+				if nz, err = parity.XORCountNonZero(fp, data, s.oldBuf); err != nil {
+					return nil, err
+				}
+			} else if err := parity.ForwardInto(fp, data, s.oldBuf); err != nil {
+				return nil, err
+			}
+			if err := e.local.WriteBlock(lba, data); err != nil {
+				return nil, err
+			}
+		}
+		if e.cfg.RecordDensity {
+			e.density.Record(parity.Density{ChangedBytes: nz, BlockBytes: bs})
+		}
+		e.shardM.AddEncodeTime(int(s.id), time.Since(start))
+		if e.cfg.SkipUnchanged && nz == 0 {
+			e.shardM.AddSkipped(int(s.id))
+			return nil, nil
+		}
+		return fp, nil
+
+	default:
+		return nil, fmt.Errorf("core: invalid mode %d", uint8(e.cfg.Mode))
+	}
 }
 
 // writeGrouped is the group-commit write path (Config.FlushWindow >

@@ -41,6 +41,12 @@ type repMsg struct {
 	// ack receives the delivery result in synchronous mode; nil in
 	// async mode, where errors stick to the replica until Drain.
 	ack chan<- error
+	// unit marks a GroupMode stripe unit: the frame is this replica's
+	// RS unit of the write, not the whole block, and settlement feeds
+	// a quorum count instead of an all-replicas wait — so a dropped or
+	// diverged unit must settle as an error (redundancy the group
+	// lost), where a mirror-mode drop settles nil. See finishUnit.
+	unit bool
 }
 
 // replicaState is one attached replica's shared delivery health and
@@ -61,6 +67,11 @@ type replicaState struct {
 	// ship whose pipeline holds the pooled buffer exclusively hands the
 	// whole pre-assembled PDU over instead of staging a copy.
 	framed FramedReplicaClient
+	// stripeC is client's k-of-n stripe extension; required (non-nil)
+	// when the engine runs in GroupMode, in which case unitIdx is the
+	// stripe unit this replica stores (= attach order).
+	stripeC StripeReplicaClient
+	unitIdx uint8
 
 	m     metrics.Replica
 	pipes []*pipe // one per shard, shard order
@@ -199,6 +210,14 @@ func (e *Engine) batcher(p *pipe) bool {
 // queue behind it into one wire PDU; clients without batching support
 // keep the original single-frame path.
 func (e *Engine) deliver(p *pipe, msg repMsg) {
+	if e.rsCodec != nil {
+		// GroupMode: everything queued is a stripe unit, and the stripe
+		// PDU is inherently batched (one entry is just a batch of one),
+		// so the backlog drains through the stripe path regardless of
+		// the batching knobs' mirror-mode meaning.
+		e.processStripe(p, e.drainBatch(p, msg))
+		return
+	}
 	if !e.batcher(p) {
 		e.process(p, msg)
 		return
@@ -382,6 +401,145 @@ func (e *Engine) processBatch(p *pipe, msgs []repMsg) {
 	rs.m.AddBatch(okMsgs, payload, wire, unbatchedOK-wire)
 	e.traffic.AddBatch(okMsgs, payload, wire, unbatchedOK-wire)
 	e.shardM.AddShipped(int(p.shard.id), int64(okMsgs))
+}
+
+// finishUnit settles one stripe-unit message. In synchronous mode the
+// error reaches the writer's quorum count verbatim: a unit that was
+// dropped (degraded replica) or refused as diverged is redundancy the
+// group genuinely lost, so unlike a mirror-mode drop it must count
+// against the quorum, not masquerade as delivered. In async mode those
+// same outcomes settle nil exactly like mirroring — the dirty maps and
+// lag gauges carry the signal, and AllowDegraded's contract (writes
+// keep succeeding; heal via Drain → repair → ClearDegraded) holds for
+// groups too.
+func (e *Engine) finishUnit(rs *replicaState, m repMsg, err error) {
+	if m.ack == nil {
+		err = nil
+	}
+	e.finish(rs, m, err)
+}
+
+// processStripe delivers one drained run of stripe-unit messages as a
+// single OpReplicaWriteStripe round trip — the group geometry plus one
+// entry per write, each entry's frame being this replica's unit.
+// Same-LBA PRINS units coalesce exactly like whole-block parities: RS
+// is linear over XOR, so the XOR of two writes' delta units is the
+// delta unit of the combined delta. Settlement mirrors processBatch
+// except for the unit semantics (see finishUnit): one diverged or
+// failed entry feeds its own writes' quorum counts without failing its
+// batch-mates.
+func (e *Engine) processStripe(p *pipe, msgs []repMsg) {
+	rs := p.rs
+	e.traffic.ObserveBatch(len(msgs))
+	if rs.degraded.Load() {
+		for _, m := range msgs {
+			e.dropFrame(p, m.lba)
+			e.finishUnit(rs, m, errUnitDropped)
+		}
+		return
+	}
+
+	groups := e.coalesce(msgs)
+	if merged := int64(len(msgs) - len(groups)); merged > 0 {
+		rs.m.AddCoalesced(merged)
+		e.traffic.AddCoalesced(merged)
+	}
+	entries := make([]iscsi.BatchEntry, len(groups))
+	for k, g := range groups {
+		entries[k] = g.entry
+	}
+
+	statuses, err := e.shipStripe(p, entries)
+	if err != nil {
+		// Transport-level failure: the replica acknowledged nothing.
+		for _, g := range groups {
+			p.dirty.mark(g.entry.LBA)
+		}
+		if e.cfg.AllowDegraded {
+			rs.degraded.Store(true)
+			for _, m := range msgs {
+				e.dropFrame(p, m.lba)
+				e.finishUnit(rs, m, errUnitDropped)
+			}
+			return
+		}
+		werr := fmt.Errorf("core: replicate stripe of %d: %w", len(entries), err)
+		for _, m := range msgs {
+			e.finish(rs, m, werr)
+		}
+		return
+	}
+
+	var okMsgs int
+	var payload, unbatchedOK int64
+	for k, g := range groups {
+		switch statuses[k] {
+		case iscsi.StatusOK:
+			okMsgs += len(g.msgs)
+			payload += int64(len(g.entry.Frame))
+			for _, m := range g.msgs {
+				// The per-frame wire size must be read before this message
+				// settles: finish releases the pooled frame, and a released
+				// frameBuf may be concurrently reused by a writer's
+				// getFrame.
+				unbatchedOK += int64(wan.WireBytesDiscrete(len(m.frame.frame())))
+				e.finish(rs, m, nil)
+			}
+		case iscsi.StatusDiverged:
+			// The replica's recovered unit failed its hash: that unit is
+			// not durable, so the writer's quorum must not count it.
+			// Recovery is the same as mirroring — the LBA is dirty-mapped
+			// and a ranged repair re-derives the unit.
+			p.dirty.mark(g.entry.LBA)
+			rs.m.AddDiverged()
+			e.traffic.AddDiverged()
+			for _, m := range g.msgs {
+				e.finishUnit(rs, m, fmt.Errorf("core: stripe unit %d seq %d lba %d: %w",
+					rs.unitIdx, m.seq, m.lba, iscsi.ErrDiverged))
+			}
+		default:
+			p.dirty.mark(g.entry.LBA)
+			if e.cfg.AllowDegraded {
+				rs.degraded.Store(true)
+				for _, m := range g.msgs {
+					e.dropFrame(p, m.lba)
+					e.finishUnit(rs, m, errUnitDropped)
+				}
+				continue
+			}
+			werr := fmt.Errorf("core: replicate stripe seq %d lba %d: %w",
+				g.entry.Seq, g.entry.LBA, iscsi.ReplicaStatusErr(g.entry.LBA, statuses[k]))
+			for _, m := range g.msgs {
+				e.finish(rs, m, werr)
+			}
+		}
+	}
+
+	wire := int64(wan.WireBytesDiscrete(iscsi.StripeWireLen(entries)))
+	rs.m.AddBatch(okMsgs, payload, wire, unbatchedOK-wire)
+	e.traffic.AddBatch(okMsgs, payload, wire, unbatchedOK-wire)
+	e.shardM.AddShipped(int(p.shard.id), int64(okMsgs))
+}
+
+// shipStripe performs the delivery attempts for one stripe push under
+// the retry policy — the same transport-retry/status-vector split as
+// shipBatch, with the group geometry riding every attempt. Redelivery
+// is safe: entries the replica already applied dedupe by seq on the
+// pipe's (vol, shard) stream cursor.
+func (e *Engine) shipStripe(p *pipe, entries []iscsi.BatchEntry) ([]iscsi.Status, error) {
+	rs := p.rs
+	hdr := iscsi.StripeHeader{K: uint8(e.cfg.Group.K), N: uint8(e.cfg.Group.N), Idx: rs.unitIdx}
+	for attempt := 1; ; attempt++ {
+		statuses, err := rs.stripeC.ReplicaWriteStripe(uint8(e.cfg.Mode), p.shard.id, e.cfg.Volume, hdr, entries)
+		if err == nil || attempt >= e.retry.Attempts {
+			return statuses, err
+		}
+		rs.m.AddRetry()
+		e.traffic.AddRetry()
+		if d := e.retry.backoff(attempt); d > 0 {
+			e.retry.Sleep(d)
+		}
+	}
 }
 
 // coalesce folds a drained batch into wire entries. In ModePRINS,

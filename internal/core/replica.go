@@ -84,12 +84,19 @@ type ReplicaEngine struct {
 	// did not; the next Apply replays the journal before proceeding.
 	// Guarded by jmu.
 	replay bool
+
+	// Replica-group membership (SetGroupUnit): the k-of-n geometry and
+	// unit index stripe pushes must match to be applied. Set before the
+	// engine is shared; read-only afterwards.
+	gHdr    iscsi.StripeHeader
+	inGroup bool
 }
 
 var _ iscsi.Backend = (*ReplicaEngine)(nil)
 var _ iscsi.BatchBackend = (*ReplicaEngine)(nil)
 var _ iscsi.StreamBackend = (*ReplicaEngine)(nil)
 var _ iscsi.StreamBatchBackend = (*ReplicaEngine)(nil)
+var _ iscsi.StripeBackend = (*ReplicaEngine)(nil)
 
 // NewReplicaEngine wraps the replica's local store with no journal;
 // applies are not crash-safe. Use NewReplicaEngineJournaled for the
@@ -557,6 +564,44 @@ func (r *ReplicaEngine) applyBatchGrouped(mode Mode, shard uint8, vol uint16, en
 	return statuses
 }
 
+// SetGroupUnit declares this replica a member of a k-of-n replica
+// group storing unit idx. Its store must be unit-sized (the primary's
+// Engine.GroupUnitSize), and a stripe push whose geometry does not
+// match is refused wholesale — applying unit bytes under the wrong
+// code would silently corrupt the copy. Call before the engine is
+// shared; a replica that never calls it refuses every stripe push.
+func (r *ReplicaEngine) SetGroupUnit(k, n, idx int) error {
+	if k < 1 || k > n || n > parity.MaxGroupUnits || idx < 0 || idx >= n {
+		return fmt.Errorf("core: invalid group unit k=%d n=%d idx=%d", k, n, idx)
+	}
+	r.gHdr = iscsi.StripeHeader{K: uint8(k), N: uint8(n), Idx: uint8(idx)}
+	r.inGroup = true
+	return nil
+}
+
+// GroupUnit returns the replica's group geometry and whether it is a
+// group member.
+func (r *ReplicaEngine) GroupUnit() (iscsi.StripeHeader, bool) {
+	return r.gHdr, r.inGroup
+}
+
+// HandleReplicaStripe implements iscsi.StripeBackend: the wire entry
+// point for k-of-n stripe pushes. After the geometry gate, a stripe
+// push is exactly a batched push of unit-sized frames — same per-
+// stream seq-dedupe, same group journaling, same per-entry statuses —
+// so it delegates to ApplyBatchStream and inherits its crash-safety
+// contract (the intent journal guards each unit apply).
+func (r *ReplicaEngine) HandleReplicaStripe(mode, shard uint8, vol uint16, hdr iscsi.StripeHeader, entries []iscsi.BatchEntry) []iscsi.Status {
+	if !r.inGroup || hdr != r.gHdr {
+		statuses := make([]iscsi.Status, len(entries))
+		for i := range statuses {
+			statuses[i] = iscsi.StatusBadRequest
+		}
+		return statuses
+	}
+	return r.ApplyBatchStream(Mode(mode), shard, vol, entries)
+}
+
 // HandleReplicaBatch implements iscsi.BatchBackend: the wire entry
 // point for untagged batched pushes from the primary's engine.
 func (r *ReplicaEngine) HandleReplicaBatch(mode uint8, entries []iscsi.BatchEntry) []iscsi.Status {
@@ -634,6 +679,7 @@ var _ ReplicaClient = (*Loopback)(nil)
 var _ BatchReplicaClient = (*Loopback)(nil)
 var _ StreamReplicaClient = (*Loopback)(nil)
 var _ StreamBatchReplicaClient = (*Loopback)(nil)
+var _ StripeReplicaClient = (*Loopback)(nil)
 
 // ReplicaWrite implements ReplicaClient.
 func (l *Loopback) ReplicaWrite(mode uint8, seq, lba, hash uint64, frame []byte) error {
@@ -653,4 +699,9 @@ func (l *Loopback) ReplicaWriteStream(mode, shard uint8, vol uint16, seq, lba, h
 // ReplicaWriteBatchStream implements StreamReplicaClient.
 func (l *Loopback) ReplicaWriteBatchStream(mode, shard uint8, vol uint16, entries []iscsi.BatchEntry) ([]iscsi.Status, error) {
 	return l.Replica.ApplyBatchStream(Mode(mode), shard, vol, entries), nil
+}
+
+// ReplicaWriteStripe implements StripeReplicaClient.
+func (l *Loopback) ReplicaWriteStripe(mode, shard uint8, vol uint16, hdr iscsi.StripeHeader, entries []iscsi.BatchEntry) ([]iscsi.Status, error) {
+	return l.Replica.HandleReplicaStripe(mode, shard, vol, hdr, entries), nil
 }

@@ -1,7 +1,9 @@
 package iscsi
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -44,6 +46,19 @@ type Initiator struct {
 	redial       func() (net.Conn, error)
 	redialTarget string
 	reconnects   int64
+
+	// Reconnect backoff: the first reconnect after a healthy period is
+	// immediate, but CONSECUTIVE failed reconnect cycles back off
+	// exponentially (base << fails, capped, jittered) before redialing,
+	// so a dead peer is probed at a decaying rate instead of a tight
+	// dial loop. A successful reconnect resets the streak. rbJitter and
+	// rbSleep are test hooks (deterministic schedules); zero rbBase
+	// applies the defaults.
+	rbFails  int
+	rbBase   time.Duration
+	rbCap    time.Duration
+	rbJitter func(time.Duration) time.Duration
+	rbSleep  func(time.Duration)
 
 	// wireSent accumulates bytes written to the connection, for
 	// measuring real (not modelled) protocol overhead.
@@ -119,6 +134,65 @@ func (i *Initiator) EnableReconnectTCP(addr, targetName string) {
 	i.EnableReconnect(targetName, func() (net.Conn, error) {
 		return net.DialTimeout("tcp", addr, 10*time.Second)
 	})
+}
+
+// Reconnect backoff defaults: the delay before the second consecutive
+// reconnect attempt, and the cap the exponential growth saturates at.
+const (
+	defaultReconnectBackoff = 25 * time.Millisecond
+	defaultReconnectCap     = 2 * time.Second
+)
+
+// SetReconnectBackoff tunes the delay schedule between CONSECUTIVE
+// failed reconnect cycles: the first reconnect of a streak is
+// immediate, the next waits ~base, then ~2·base, doubling up to cap,
+// each delay equal-jittered (half fixed, half uniformly random) so
+// concurrent sessions do not redial a recovering peer in lockstep. A
+// successful reconnect resets the streak. Zero values keep the
+// defaults (25ms base, 2s cap).
+func (i *Initiator) SetReconnectBackoff(base, cap time.Duration) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.rbBase = base
+	i.rbCap = cap
+}
+
+// reconnectDelay returns the pause owed before the next redial, given
+// the current streak of consecutive reconnect failures. Called with
+// i.mu held.
+func (i *Initiator) reconnectDelay() time.Duration {
+	if i.rbFails == 0 {
+		return 0
+	}
+	base := i.rbBase
+	if base <= 0 {
+		base = defaultReconnectBackoff
+	}
+	max := i.rbCap
+	if max <= 0 {
+		max = defaultReconnectCap
+	}
+	d := base
+	for f := 1; f < i.rbFails && d < max; f++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	if i.rbJitter != nil {
+		return i.rbJitter(d)
+	}
+	return equalJitter(d)
+}
+
+// equalJitter perturbs a backoff delay: half fixed, half uniformly
+// random, never more than halving the pause.
+func equalJitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)))
 }
 
 // Reconnects reports how many times the session was re-established.
@@ -206,13 +280,32 @@ func (i *Initiator) doInto(req *PDU, dst []byte) (*PDU, error) {
 
 // reconnectLocked rebuilds the session: fresh conn, then a login on it
 // so the target binding and geometry are restored. Called with i.mu
-// held.
+// held. Consecutive failed cycles back off exponentially with jitter
+// before the redial (see SetReconnectBackoff); success resets the
+// streak.
 func (i *Initiator) reconnectLocked() error {
+	err := i.reconnectOnceLocked()
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		i.rbFails++
+	}
+	return err
+}
+
+func (i *Initiator) reconnectOnceLocked() error {
 	i.connMu.Lock()
 	closed, old := i.closed, i.conn
 	i.connMu.Unlock()
 	if closed {
 		return net.ErrClosed
+	}
+
+	if d := i.reconnectDelay(); d > 0 {
+		sleep := i.rbSleep
+		if sleep == nil {
+			sleep = time.Sleep
+		}
+		//lint:ignore hold-blocking the backoff pause is the point: the session is down and serialized behind i.mu anyway
+		sleep(d)
 	}
 
 	conn, err := i.redial()
@@ -248,6 +341,7 @@ func (i *Initiator) reconnectLocked() error {
 	}
 	i.blockSize, i.numBlocks, i.loggedIn = bs, nb, true
 	i.reconnects++
+	i.rbFails = 0
 	return nil
 }
 

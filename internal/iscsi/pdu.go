@@ -48,6 +48,21 @@ const (
 	// batch-mates. The only proto-v4 opcode; a batch of one is sent as
 	// a plain OpReplicaWrite so v3 peers interoperate.
 	OpReplicaWriteBatch
+	// OpReplicaWriteStripe ships erasure-coded stripe units for a
+	// k-of-n replica group (proto v6): a {k, n, idx} group prefix
+	// followed by batch-style {seq, lba, hash, frameLen, frame}
+	// entries, each frame an xcode-encoded stripe unit for this
+	// replica's unit index (see DecodeStripe). The response carries one
+	// status byte per entry, exactly like a batch. Stream tags (shard,
+	// vol) ride in the header as in v5. Only GroupMode traffic uses
+	// this opcode — v3-v5 framing is untouched when striping is off.
+	OpReplicaWriteStripe
+	// OpRepairChain carries one hop of a pipelined repair chain (proto
+	// v6): an opaque request the repair coordinator or the previous
+	// survivor built (see internal/repair), containing the accumulating
+	// partial sums plus the remaining hop list. The response payload
+	// reports downstream wire/ingest accounting.
+	OpRepairChain
 )
 
 // String returns the opcode mnemonic.
@@ -77,6 +92,10 @@ func (o Opcode) String() string {
 		return "HASH"
 	case OpReplicaWriteBatch:
 		return "REPLICA-WRITE-BATCH"
+	case OpReplicaWriteStripe:
+		return "REPLICA-WRITE-STRIPE"
+	case OpRepairChain:
+		return "REPAIR-CHAIN"
 	default:
 		return fmt.Sprintf("OP(%d)", uint8(o))
 	}
@@ -174,6 +193,12 @@ const (
 	// byte-identical to v3/v4 framing, so un-sharded nodes interoperate
 	// until the first tagged push.
 	streamVersion = 5
+	// stripeVersion (v6) adds the k-of-n replica-group opcodes
+	// (OpReplicaWriteStripe, OpRepairChain). Only those opcodes are
+	// stamped 6; every pre-stripe opcode keeps its v3-v5 framing
+	// byte-identically, so mixed-version nodes interoperate until the
+	// first stripe push.
+	stripeVersion = 6
 	// MaxDataSegment bounds a PDU's data segment; larger is rejected
 	// before allocation.
 	MaxDataSegment = 17 << 20
@@ -270,6 +295,9 @@ func (p *PDU) WriteTo(w io.Writer) (int64, error) {
 	}
 	if p.Shard != 0 || p.Vol != 0 {
 		hdr[1] = streamVersion
+	}
+	if p.Op == OpReplicaWriteStripe || p.Op == OpRepairChain {
+		hdr[1] = stripeVersion
 	}
 	hdr[2] = byte(p.Op)
 	hdr[3] = byte(p.Status)
@@ -371,7 +399,7 @@ func ReadPDUInto(r io.Reader, dst []byte) (*PDU, error) {
 	if hdr[0] != protoMagic {
 		return nil, fmt.Errorf("%w: 0x%02x", ErrBadMagic, hdr[0])
 	}
-	if hdr[1] != baseVersion && hdr[1] != protoVersion && hdr[1] != streamVersion {
+	if hdr[1] != baseVersion && hdr[1] != protoVersion && hdr[1] != streamVersion && hdr[1] != stripeVersion {
 		return nil, fmt.Errorf("%w: %d", ErrBadVersion, hdr[1])
 	}
 	dataLen := binary.BigEndian.Uint32(hdr[24:])

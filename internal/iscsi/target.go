@@ -365,6 +365,44 @@ func (t *Target) ServeConn(conn net.Conn) {
 			resp.Status = StatusOK
 			resp.Data = EncodeBatchStatuses(applyBatch(backend, pdu.Mode, pdu.Shard, pdu.Vol, entries))
 
+		case OpReplicaWriteStripe:
+			resp.Op = OpResp
+			if backend == nil {
+				resp.Status = StatusNotLoggedIn
+				break
+			}
+			shdr, entries, err := DecodeStripe(pdu.Data)
+			if err != nil {
+				resp.Status = StatusBadRequest
+				break
+			}
+			sb, ok := backend.(StripeBackend)
+			if !ok {
+				// A stripe unit pushed at a whole-block replica would be
+				// stored as if it were a block: refuse rather than corrupt.
+				resp.Status = StatusBadRequest
+				break
+			}
+			resp.Status = StatusOK
+			resp.Data = EncodeBatchStatuses(sb.HandleReplicaStripe(pdu.Mode, pdu.Shard, pdu.Vol, shdr, entries))
+
+		case OpRepairChain:
+			resp.Op = OpResp
+			if backend == nil {
+				resp.Status = StatusNotLoggedIn
+				break
+			}
+			cb, ok := backend.(ChainBackend)
+			if !ok {
+				resp.Status = StatusBadRequest
+				break
+			}
+			data, st := cb.HandleRepairChain(pdu.Data)
+			resp.Status = st
+			if st == StatusOK {
+				resp.Data = data
+			}
+
 		case OpHashCmd:
 			resp.Op = OpResp
 			if backend == nil {

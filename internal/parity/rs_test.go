@@ -1,0 +1,196 @@
+package parity
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// subsets enumerates every k-subset of [0, n).
+func subsets(n, k int) [][]int {
+	var out [][]int
+	var rec func(start int, cur []int)
+	rec = func(start int, cur []int) {
+		if len(cur) == k {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := start; i < n; i++ {
+			rec(i+1, append(cur, i))
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+func TestRSRoundTripAllSurvivorSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range []struct{ k, n, bs int }{
+		{1, 1, 512}, {1, 3, 512}, {2, 2, 512}, {2, 4, 512},
+		{3, 5, 1000}, {4, 4, 4096}, {3, 7, 777},
+	} {
+		rs, err := NewRS(tc.k, tc.n)
+		if err != nil {
+			t.Fatalf("NewRS(%d,%d): %v", tc.k, tc.n, err)
+		}
+		block := make([]byte, tc.bs)
+		rng.Read(block)
+		units, err := rs.Encode(block)
+		if err != nil {
+			t.Fatalf("encode k=%d n=%d: %v", tc.k, tc.n, err)
+		}
+		for _, set := range subsets(tc.n, tc.k) {
+			got := make([]byte, tc.bs)
+			su := make([][]byte, tc.k)
+			for m, s := range set {
+				su[m] = units[s]
+			}
+			if err := rs.ReconstructInto(got, set, su); err != nil {
+				t.Fatalf("reconstruct k=%d n=%d from %v: %v", tc.k, tc.n, set, err)
+			}
+			if !bytes.Equal(got, block) {
+				t.Fatalf("k=%d n=%d survivors %v: reconstructed block differs", tc.k, tc.n, set)
+			}
+		}
+	}
+}
+
+// The code must be linear over XOR: Encode(a^b) == Encode(a)^Encode(b)
+// unit-wise. PRINS delta-striping depends on it — the primary ships
+// RS-encoded deltas and the replica folds them into stored units.
+func TestRSLinearity(t *testing.T) {
+	rs, err := NewRS(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	a := make([]byte, 4096)
+	b := make([]byte, 4096)
+	rng.Read(a)
+	rng.Read(b)
+	ab := make([]byte, 4096)
+	for i := range ab {
+		ab[i] = a[i] ^ b[i]
+	}
+	ua, _ := rs.Encode(a)
+	ub, _ := rs.Encode(b)
+	uab, _ := rs.Encode(ab)
+	for j := range uab {
+		for i := range uab[j] {
+			if uab[j][i] != ua[j][i]^ub[j][i] {
+				t.Fatalf("unit %d byte %d: encode not linear", j, i)
+			}
+		}
+	}
+}
+
+// Chain repair: the coefficient vector must rebuild the lost unit as a
+// running partial sum, survivor by survivor, for every (lost,
+// survivors) choice.
+func TestRSRepairCoeffsChain(t *testing.T) {
+	rs, err := NewRS(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	block := make([]byte, 1024)
+	rng.Read(block)
+	units, err := rs.Encode(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := rs.UnitSize(len(block))
+	for lost := 0; lost < 4; lost++ {
+		for _, set := range subsets(4, 2) {
+			skip := false
+			for _, s := range set {
+				if s == lost {
+					skip = true
+				}
+			}
+			if skip {
+				continue
+			}
+			coeffs, err := rs.RepairCoeffs(lost, set)
+			if err != nil {
+				t.Fatalf("coeffs lost=%d set=%v: %v", lost, set, err)
+			}
+			// Simulate the chain: one accumulating partial.
+			partial := make([]byte, u)
+			for m, s := range set {
+				if err := GFMulAdd(partial, units[s], coeffs[m]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !bytes.Equal(partial, units[lost]) {
+				t.Fatalf("lost=%d set=%v: chained partial != lost unit", lost, set)
+			}
+		}
+	}
+}
+
+func TestRSRejectsBadShapes(t *testing.T) {
+	if _, err := NewRS(0, 4); err == nil {
+		t.Fatal("NewRS(0,4) accepted")
+	}
+	if _, err := NewRS(5, 4); err == nil {
+		t.Fatal("NewRS(5,4) accepted")
+	}
+	if _, err := NewRS(2, 300); err == nil {
+		t.Fatal("NewRS(2,300) accepted")
+	}
+	rs, _ := NewRS(2, 3)
+	if _, err := rs.RepairCoeffs(1, []int{1, 2}); err == nil {
+		t.Fatal("lost unit in survivor set accepted")
+	}
+	if _, err := rs.RepairCoeffs(0, []int{1, 1}); err == nil {
+		t.Fatal("duplicate survivor accepted")
+	}
+	if _, err := rs.RepairCoeffs(3, []int{1, 2}); err == nil {
+		t.Fatal("out-of-range lost unit accepted")
+	}
+	if err := GFMulAdd(make([]byte, 3), make([]byte, 4), 2); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestRSUnitSizePadding(t *testing.T) {
+	rs, _ := NewRS(3, 4)
+	if got := rs.UnitSize(10); got != 4 {
+		t.Fatalf("UnitSize(10) = %d, want 4", got)
+	}
+	block := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	units, err := rs.Encode(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Last data unit carries the 2-byte pad.
+	if !bytes.Equal(units[2], []byte{9, 10, 0, 0}) {
+		t.Fatalf("padded data unit = %v", units[2])
+	}
+	got := make([]byte, len(block))
+	if err := rs.ReconstructInto(got, []int{0, 1, 3}, [][]byte{units[0], units[1], units[3]}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, block) {
+		t.Fatalf("padded reconstruction differs: %v", got)
+	}
+}
+
+func BenchmarkRSEncode(b *testing.B) {
+	rs, _ := NewRS(2, 4)
+	block := make([]byte, 64<<10)
+	rand.New(rand.NewSource(1)).Read(block)
+	u := rs.UnitSize(len(block))
+	units := make([][]byte, 4)
+	for j := range units {
+		units[j] = make([]byte, u)
+	}
+	b.SetBytes(int64(len(block)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rs.EncodeInto(units, block); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package repair
+
+import (
+	"fmt"
+	"sync"
+
+	"prins/internal/parity"
+)
+
+// UnitReader is the read side of a stripe-unit source: a local
+// block.Store, a dialed iscsi.Initiator, or anything else that can
+// produce unit blocks by LBA.
+type UnitReader interface {
+	ReadBlock(lba uint64, buf []byte) error
+}
+
+// Reconstructor serves logical blocks of a k-of-n group from any k
+// survivor units while the group is degraded: each read pulls the
+// matching unit block from every survivor and inverts the code, so
+// reads stay available through n-k failures without waiting for chain
+// repair to land. It is safe for concurrent ReadBlock calls.
+type Reconstructor struct {
+	rs        *parity.RS
+	blockSize int
+	numBlocks uint64
+	idx       []int
+	units     []UnitReader
+
+	mu      sync.Mutex
+	scratch [][]byte
+}
+
+// NewReconstructor builds a degraded reader over the survivor units,
+// keyed by unit index in [0, n). Exactly k survivors are required;
+// blockSize and numBlocks describe the LOGICAL device, and every
+// survivor must hold numBlocks unit blocks of rs.UnitSize(blockSize)
+// bytes.
+func NewReconstructor(rs *parity.RS, blockSize int, numBlocks uint64, units map[int]UnitReader) (*Reconstructor, error) {
+	if rs == nil {
+		return nil, fmt.Errorf("repair: reconstructor needs a code")
+	}
+	if len(units) != rs.K() {
+		return nil, fmt.Errorf("repair: %d survivor units for k=%d", len(units), rs.K())
+	}
+	if blockSize <= 0 || numBlocks == 0 {
+		return nil, fmt.Errorf("repair: geometry %dx%d", blockSize, numBlocks)
+	}
+	r := &Reconstructor{
+		rs:        rs,
+		blockSize: blockSize,
+		numBlocks: numBlocks,
+		scratch:   make([][]byte, 0, rs.K()),
+	}
+	for i := 0; i < rs.N(); i++ {
+		u, ok := units[i]
+		if !ok {
+			continue
+		}
+		if u == nil {
+			return nil, fmt.Errorf("repair: nil unit reader at index %d", i)
+		}
+		r.idx = append(r.idx, i)
+		r.units = append(r.units, u)
+		r.scratch = append(r.scratch, make([]byte, rs.UnitSize(blockSize)))
+	}
+	if len(r.idx) != rs.K() {
+		return nil, fmt.Errorf("repair: survivor index out of range [0,%d)", rs.N())
+	}
+	return r, nil
+}
+
+// BlockSize returns the logical block size.
+func (r *Reconstructor) BlockSize() int { return r.blockSize }
+
+// NumBlocks returns the logical device size in blocks.
+func (r *Reconstructor) NumBlocks() uint64 { return r.numBlocks }
+
+// ReadBlock reconstructs logical block lba into buf (blockSize bytes)
+// from the k survivor units.
+func (r *Reconstructor) ReadBlock(lba uint64, buf []byte) error {
+	if lba >= r.numBlocks {
+		return fmt.Errorf("repair: lba %d out of %d", lba, r.numBlocks)
+	}
+	if len(buf) != r.blockSize {
+		return fmt.Errorf("repair: buffer %d for block size %d", len(buf), r.blockSize)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, u := range r.units {
+		if err := u.ReadBlock(lba, r.scratch[i]); err != nil {
+			return fmt.Errorf("repair: unit %d: %w", r.idx[i], err)
+		}
+	}
+	return r.rs.ReconstructInto(buf, r.idx, r.scratch)
+}

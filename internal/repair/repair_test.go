@@ -1,0 +1,410 @@
+package repair
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"prins/internal/block"
+	"prins/internal/iscsi"
+	"prins/internal/metrics"
+	"prins/internal/parity"
+)
+
+// chainNode is a survivor export for tests: plain store reads/writes
+// plus repair-chain hops over its unit store.
+type chainNode struct {
+	iscsi.StoreBackend
+	Node
+}
+
+// groupFixture builds a striped device: nb logical blocks of bs bytes
+// encoded into n unit stores with the (k,n) code.
+type groupFixture struct {
+	rs     *parity.RS
+	bs     int
+	nb     uint64
+	device []byte // logical image, nb*bs bytes
+	units  []*block.MemStore
+}
+
+func newGroupFixture(t *testing.T, k, n, bs int, nb uint64, seed int64) *groupFixture {
+	t.Helper()
+	rs, err := parity.NewRS(k, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &groupFixture{rs: rs, bs: bs, nb: nb}
+	f.device = make([]byte, int(nb)*bs)
+	rand.New(rand.NewSource(seed)).Read(f.device)
+	u := rs.UnitSize(bs)
+	scratch := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		ms, err := block.NewMem(u, nb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.units = append(f.units, ms)
+		scratch[i] = make([]byte, u)
+	}
+	for lba := uint64(0); lba < nb; lba++ {
+		if err := rs.EncodeInto(scratch, f.device[int(lba)*bs:int(lba+1)*bs]); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if err := f.units[i].WriteBlock(lba, scratch[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return f
+}
+
+// serveUnit exports one unit store as a chain-capable TCP target and
+// returns its address.
+func serveUnit(t *testing.T, store block.Store, export string) string {
+	t.Helper()
+	target := iscsi.NewTarget()
+	node := &chainNode{StoreBackend: iscsi.StoreBackend{Store: store}}
+	node.Unit = store
+	target.Export(export, node)
+	addr, err := target.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { target.Close() })
+	return addr.String()
+}
+
+// serveSink exports a plain store (the replacement replica).
+func serveSink(t *testing.T, store block.Store, export string) string {
+	t.Helper()
+	target := iscsi.NewTarget()
+	target.Export(export, &iscsi.StoreBackend{Store: store})
+	addr, err := target.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { target.Close() })
+	return addr.String()
+}
+
+func TestChainReqCodecRoundTrip(t *testing.T) {
+	req := &chainReq{
+		unitSize: 512,
+		lba:      7,
+		count:    3,
+		coeff:    0x53,
+		hops: []hop{
+			{coeff: 1, addr: "127.0.0.1:1234", export: "u2"},
+			{coeff: 0xfe, addr: "127.0.0.1:9", export: "u3"},
+		},
+		sinkAddr: "127.0.0.1:77",
+		sinkName: "fresh",
+		partial:  bytes.Repeat([]byte{0xaa}, 3*512),
+	}
+	data, err := req.encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeChainReq(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.unitSize != req.unitSize || got.lba != req.lba || got.count != req.count ||
+		got.coeff != req.coeff || got.sinkAddr != req.sinkAddr || got.sinkName != req.sinkName {
+		t.Fatalf("fixed fields mismatch: %+v", got)
+	}
+	if len(got.hops) != 2 || got.hops[0] != req.hops[0] || got.hops[1] != req.hops[1] {
+		t.Fatalf("hops mismatch: %+v", got.hops)
+	}
+	if !bytes.Equal(got.partial, req.partial) {
+		t.Fatal("partial mismatch")
+	}
+
+	// Head-of-chain shape: no partial at all.
+	req.partial = nil
+	data, err = req.encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err = decodeChainReq(data); err != nil || got.partial != nil {
+		t.Fatalf("headless decode: partial=%v err=%v", got.partial, err)
+	}
+}
+
+func TestChainReqDecodeStrict(t *testing.T) {
+	good, err := (&chainReq{
+		unitSize: 64, lba: 1, count: 2, coeff: 9,
+		hops:     []hop{{coeff: 3, addr: "a", export: "b"}},
+		sinkAddr: "s", sinkName: "n",
+		partial: make([]byte, 128),
+	}).encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := func(f func(b []byte) []byte) []byte {
+		return f(append([]byte(nil), good...))
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"short", good[:10]},
+		{"bad magic", mut(func(b []byte) []byte { b[0] = 'X'; return b })},
+		{"zero unit size", mut(func(b []byte) []byte { b[4], b[5], b[6], b[7] = 0, 0, 0, 0; return b })},
+		{"zero count", mut(func(b []byte) []byte { b[16], b[17], b[18], b[19] = 0, 0, 0, 0; return b })},
+		{"huge count", mut(func(b []byte) []byte { b[16] = 0xff; return b })},
+		{"truncated hop", good[:reqFixedLen]},
+		{"ragged partial", good[:len(good)-1]},
+		{"oversize partial", append(append([]byte(nil), good...), 0)},
+	}
+	for _, tc := range cases {
+		if _, err := decodeChainReq(tc.data); !errors.Is(err, ErrBadRequest) {
+			t.Fatalf("%s: err %v, want ErrBadRequest", tc.name, err)
+		}
+	}
+	if _, err := decodeChainResp([]byte("nope")); !errors.Is(err, ErrBadRequest) {
+		t.Fatal("short response accepted")
+	}
+	resp := chainResp{wire: 1 << 40, blocks: 77}
+	back, err := decodeChainResp(resp.encode())
+	if err != nil || back != resp {
+		t.Fatalf("response round trip: %+v err=%v", back, err)
+	}
+}
+
+// TestChainRepairRebuildsUnit runs the full pipelined chain over TCP:
+// k survivors accumulate coeff·unit partial sums hop to hop and the
+// tail lands the lost unit on a fresh replacement, byte-identically.
+func TestChainRepairRebuildsUnit(t *testing.T) {
+	const (
+		k, n = 2, 4
+		bs   = 1024
+		nb   = uint64(48)
+		lost = 1
+	)
+	f := newGroupFixture(t, k, n, bs, nb, 1)
+	u := f.rs.UnitSize(bs)
+
+	// Survivor chain: units 3 and 0 (deliberately out of order to
+	// exercise coefficient/survivor alignment).
+	survIdx := []int{3, 0}
+	var survivors []Hop
+	for _, si := range survIdx {
+		addr := serveUnit(t, f.units[si], "unit")
+		survivors = append(survivors, Hop{Addr: addr, Export: "unit", Unit: si})
+	}
+	fresh, err := block.NewMem(u, nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinkAddr := serveSink(t, fresh, "fresh")
+
+	var m metrics.Repair
+	c := &Chain{
+		RS:        f.rs,
+		Lost:      lost,
+		Survivors: survivors,
+		Sink:      Hop{Addr: sinkAddr, Export: "fresh"},
+		Batch:     16,
+		M:         &m,
+	}
+	st, err := c.Run(nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq, err := block.Equal(fresh, f.units[lost]); err != nil || !eq {
+		lba, _, _ := block.FirstDiff(fresh, f.units[lost])
+		t.Fatalf("rebuilt unit differs at lba %d (err=%v)", lba, err)
+	}
+	if st.Blocks != nb {
+		t.Fatalf("rebuilt %d blocks, want %d", st.Blocks, nb)
+	}
+	if want := int64(3); st.Chains != want {
+		t.Fatalf("%d chain rounds, want %d", st.Chains, want)
+	}
+	if st.IngestBytes != int64(nb)*int64(u) {
+		t.Fatalf("ingest %d, want %d", st.IngestBytes, int64(nb)*int64(u))
+	}
+	if st.WireBytes <= st.IngestBytes {
+		t.Fatalf("wire %d should exceed ingest %d (headers + k partial payloads)", st.WireBytes, st.IngestBytes)
+	}
+	if st.ModelWireBytes <= 0 {
+		t.Fatal("no modelled wire bytes")
+	}
+	snap := m.Snapshot()
+	if snap.Chains != st.Chains || snap.Blocks != int64(st.Blocks) ||
+		snap.WireBytes != st.WireBytes || snap.IngestBytes != st.IngestBytes {
+		t.Fatalf("metrics %+v disagree with stats %+v", snap, st)
+	}
+}
+
+// TestChainRepairRanges rebuilds only the dirty ranges and leaves the
+// rest of the replacement untouched.
+func TestChainRepairRanges(t *testing.T) {
+	const (
+		k, n = 3, 5
+		bs   = 900 // deliberately not divisible by k: padded units
+		nb   = uint64(32)
+		lost = 4 // a parity unit
+	)
+	f := newGroupFixture(t, k, n, bs, nb, 2)
+	u := f.rs.UnitSize(bs)
+
+	var survivors []Hop
+	for _, si := range []int{0, 2, 3} {
+		addr := serveUnit(t, f.units[si], "unit")
+		survivors = append(survivors, Hop{Addr: addr, Export: "unit", Unit: si})
+	}
+	fresh, err := block.NewMem(u, nb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinkAddr := serveSink(t, fresh, "fresh")
+
+	c := &Chain{
+		RS:        f.rs,
+		Lost:      lost,
+		Survivors: survivors,
+		Sink:      Hop{Addr: sinkAddr, Export: "fresh"},
+		Batch:     8,
+	}
+	// Overlapping + out-of-order + clipped ranges.
+	st, err := c.Run(nb,
+		block.Range{Start: 20, Count: 100},
+		block.Range{Start: 4, Count: 6},
+		block.Range{Start: 8, Count: 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// {8,2} is subsumed by {4,6}; {20,100} clips to {20,12}.
+	if want := uint64(6 + (32 - 20)); st.Blocks != want {
+		t.Fatalf("rebuilt %d blocks, want %d", st.Blocks, want)
+	}
+	zero := make([]byte, u)
+	buf := make([]byte, u)
+	want := make([]byte, u)
+	for lba := uint64(0); lba < nb; lba++ {
+		if err := fresh.ReadBlock(lba, buf); err != nil {
+			t.Fatal(err)
+		}
+		repaired := (lba >= 4 && lba < 10) || lba >= 20
+		if repaired {
+			if err := f.units[lost].ReadBlock(lba, want); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf, want) {
+				t.Fatalf("lba %d not rebuilt", lba)
+			}
+		} else if !bytes.Equal(buf, zero) {
+			t.Fatalf("lba %d written outside dirty ranges", lba)
+		}
+	}
+}
+
+func TestChainConfigErrors(t *testing.T) {
+	rs, err := parity.NewRS(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (&Chain{}).Run(8); !errors.Is(err, ErrChain) {
+		t.Fatalf("no code: %v", err)
+	}
+	c := &Chain{RS: rs, Survivors: []Hop{{Unit: 0}}}
+	if _, err := c.Run(8); !errors.Is(err, ErrChain) {
+		t.Fatalf("wrong survivor count: %v", err)
+	}
+	c.Survivors = []Hop{{Unit: 0}, {Unit: 0}}
+	if _, err := c.Run(8); !errors.Is(err, ErrChain) {
+		t.Fatalf("duplicate survivors: %v", err)
+	}
+	c.Survivors = []Hop{{Unit: 0, Addr: "127.0.0.1:1", Export: "x"}, {Unit: 2}}
+	c.Lost = 1
+	if _, err := c.Run(8); !errors.Is(err, ErrChain) {
+		t.Fatalf("unreachable head: %v", err)
+	}
+}
+
+func TestNodeHandleRepairChainStrict(t *testing.T) {
+	store, err := block.NewMem(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := &Node{Unit: store}
+	if _, st := n.HandleRepairChain([]byte("garbage")); st != iscsi.StatusBadRequest {
+		t.Fatalf("garbage accepted: %v", st)
+	}
+	enc := func(r *chainReq) []byte {
+		data, err := r.encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	// Wrong unit size for this store.
+	if _, st := n.HandleRepairChain(enc(&chainReq{unitSize: 32, lba: 0, count: 1, sinkAddr: "a", sinkName: "b"})); st != iscsi.StatusBadRequest {
+		t.Fatalf("unit-size mismatch accepted: %v", st)
+	}
+	// Run beyond the unit's end.
+	if _, st := n.HandleRepairChain(enc(&chainReq{unitSize: 64, lba: 6, count: 4, sinkAddr: "a", sinkName: "b"})); st != iscsi.StatusBadRequest {
+		t.Fatalf("out-of-range run accepted: %v", st)
+	}
+}
+
+func TestReconstructorDegradedRead(t *testing.T) {
+	const (
+		k, n = 2, 4
+		bs   = 512
+		nb   = uint64(24)
+	)
+	f := newGroupFixture(t, k, n, bs, nb, 3)
+	// Every k-subset of survivors must serve identical logical bytes.
+	subsets := [][]int{{0, 1}, {0, 3}, {2, 3}, {1, 2}}
+	for _, sub := range subsets {
+		units := make(map[int]UnitReader, k)
+		for _, i := range sub {
+			units[i] = f.units[i]
+		}
+		r, err := NewReconstructor(f.rs, bs, nb, units)
+		if err != nil {
+			t.Fatalf("subset %v: %v", sub, err)
+		}
+		if r.BlockSize() != bs || r.NumBlocks() != nb {
+			t.Fatalf("geometry %dx%d", r.BlockSize(), r.NumBlocks())
+		}
+		buf := make([]byte, bs)
+		for lba := uint64(0); lba < nb; lba++ {
+			if err := r.ReadBlock(lba, buf); err != nil {
+				t.Fatalf("subset %v lba %d: %v", sub, lba, err)
+			}
+			if !bytes.Equal(buf, f.device[int(lba)*bs:int(lba+1)*bs]) {
+				t.Fatalf("subset %v lba %d: reconstructed bytes differ", sub, lba)
+			}
+		}
+	}
+
+	// Config errors.
+	if _, err := NewReconstructor(nil, bs, nb, nil); err == nil {
+		t.Fatal("nil code accepted")
+	}
+	if _, err := NewReconstructor(f.rs, bs, nb, map[int]UnitReader{0: f.units[0]}); err == nil {
+		t.Fatal("too few survivors accepted")
+	}
+	if _, err := NewReconstructor(f.rs, bs, nb, map[int]UnitReader{0: f.units[0], 9: f.units[1]}); err == nil {
+		t.Fatal("out-of-range survivor index accepted")
+	}
+	r, err := NewReconstructor(f.rs, bs, nb, map[int]UnitReader{0: f.units[0], 1: f.units[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ReadBlock(nb, make([]byte, bs)); err == nil {
+		t.Fatal("out-of-range lba accepted")
+	}
+	if err := r.ReadBlock(0, make([]byte, bs-1)); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+}

@@ -60,19 +60,40 @@ func (s *Scrubber) Metrics() metrics.ScrubSnapshot { return s.m.Snapshot() }
 // cfg.Cancel (and Stop, while running in the background) between
 // batches.
 func (s *Scrubber) Pass() (Stats, error) {
+	// Capture the stop channel ONCE: Stop nils s.stop before closing
+	// it, so re-reading it mid-pass would miss the close and let an
+	// in-flight pass run to completion while Stop blocks — racing any
+	// engine shutdown that follows. The channel captured here is the
+	// one Stop closes for exactly this pass.
+	s.mu.Lock()
+	stop := s.stop
+	s.mu.Unlock()
+	return s.pass(stop)
+}
+
+// pass is Pass with the stop channel threaded explicitly: the
+// background loop hands in ITS channel so a pass launched while Stop
+// is nilling s.stop still observes the close.
+func (s *Scrubber) pass(stop <-chan struct{}) (Stats, error) {
 	cfg := s.cfg.withDefaults()
+	// Thread cancellation into the inner runs too, so a batch aborts
+	// at RunRanges' own checkpoints as well as at ours.
+	inner := cfg.Cancel
+	if inner == nil {
+		inner = stop
+	}
 	var stats Stats
 	total := s.local.NumBlocks()
 
 	for base := uint64(0); base < total; base += uint64(cfg.Batch) {
-		if s.canceled(cfg.Cancel) {
+		if s.canceled(cfg.Cancel, stop) {
 			return stats, ErrCanceled
 		}
 		count := uint32(cfg.Batch)
 		if left := total - base; left < uint64(count) {
 			count = uint32(left)
 		}
-		batch, err := RunRanges(s.local, s.remote, Config{Batch: cfg.Batch, DryRun: cfg.DryRun},
+		batch, err := RunRanges(s.local, s.remote, Config{Batch: cfg.Batch, DryRun: cfg.DryRun, Cancel: inner},
 			block.Range{Start: base, Count: uint64(count)})
 		stats.BlocksScanned += batch.BlocksScanned
 		stats.BlocksRepaired += batch.BlocksRepaired
@@ -95,11 +116,9 @@ func (s *Scrubber) Pass() (Stats, error) {
 	return stats, nil
 }
 
-// canceled reports whether cfg.Cancel or Stop fired.
-func (s *Scrubber) canceled(cancel <-chan struct{}) bool {
-	s.mu.Lock()
-	stop := s.stop
-	s.mu.Unlock()
+// canceled reports whether cfg.Cancel or the pass's captured stop
+// channel fired.
+func (s *Scrubber) canceled(cancel, stop <-chan struct{}) bool {
 	select {
 	case <-cancel:
 		return true
@@ -136,7 +155,15 @@ func (s *Scrubber) Start(interval time.Duration) {
 			case <-stop:
 				return
 			case <-ticker.C:
-				if _, err := s.Pass(); err != nil && !errors.Is(err, ErrCanceled) {
+				// A closed stop and a pending tick are both ready;
+				// select picks randomly, so re-check before starting
+				// a pass Stop is already waiting out.
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := s.pass(stop); err != nil && !errors.Is(err, ErrCanceled) {
 					s.mu.Lock()
 					s.runErr = err
 					s.mu.Unlock()

@@ -8,6 +8,55 @@ import (
 	"prins/internal/block"
 )
 
+// TestScrubberStopAbortsInFlightPass pins the shutdown ordering fix:
+// Stop must cancel a pass that is already running, not wait for it to
+// walk the rest of the device. The old code re-read s.stop (nilled by
+// Stop before the close) at every check, so an in-flight pass missed
+// the signal and Stop blocked for a whole device scan — racing any
+// engine teardown sequenced after it.
+func TestScrubberStopAbortsInFlightPass(t *testing.T) {
+	const (
+		bs    = 512
+		nb    = 4096
+		batch = 32
+	)
+	local, replica := seededPair(t, bs, nb, 12, nil)
+	remote := remoteFor(t, replica, "r")
+
+	s := NewScrubber(local, remote, Config{Batch: batch}, time.Millisecond)
+	entered := make(chan struct{}, 1)
+	proceed := make(chan struct{})
+	s.Sleep = func(time.Duration) {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-proceed
+	}
+
+	s.Start(time.Millisecond)
+	<-entered // a pass is in flight, parked at its first batch boundary
+
+	stopped := make(chan error, 1)
+	go func() { stopped <- s.Stop() }()
+	// Give Stop time to close the stop channel, then release the pass:
+	// it must observe the close at the next checkpoint and abort.
+	time.Sleep(20 * time.Millisecond)
+	close(proceed)
+
+	select {
+	case err := <-stopped:
+		if err != nil {
+			t.Fatalf("Stop: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop did not return; in-flight pass was not canceled")
+	}
+	if m := s.Metrics(); m.Scanned >= nb {
+		t.Fatalf("pass scanned %d of %d blocks after Stop; cancellation missed", m.Scanned, nb)
+	}
+}
+
 func TestScrubberPassRepairsAndCounts(t *testing.T) {
 	const (
 		bs    = 512

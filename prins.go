@@ -10,6 +10,8 @@ import (
 	"prins/internal/core"
 	"prins/internal/iscsi"
 	"prins/internal/journal"
+	"prins/internal/parity"
+	"prins/internal/repair"
 	"prins/internal/resync"
 	"prins/internal/xcode"
 )
@@ -147,6 +149,22 @@ type Config struct {
 	// does not match; the primary marks the block dirty and repairs it
 	// with an incremental resync (see DirtyRanges).
 	DisableVerify bool
+
+	// GroupK and GroupN (both set) turn the replica set into an
+	// erasure-coded group: every write is Reed-Solomon striped into
+	// GroupN unit frames of which any GroupK reconstruct the block,
+	// and a synchronous write commits once any GroupK units are
+	// acknowledged (quorum commit). Attach exactly GroupN replicas, in
+	// unit-index order; each must be a unit-sized device (block size
+	// GroupUnitSize, not the primary's block size) whose replica
+	// engine was told its unit index (Replica.SetGroupUnit). The group
+	// survives GroupN-GroupK replica losses: reads reconstruct from
+	// any GroupK survivors and a lost unit is rebuilt with a
+	// bandwidth-efficient pipelined repair chain (internal/repair).
+	// Zero GroupN keeps classic full-copy mirroring. Incompatible with
+	// FlushWindow.
+	GroupK int
+	GroupN int
 }
 
 // Stats is a point-in-time snapshot of a Primary's replication
@@ -236,6 +254,7 @@ func NewPrimary(local Store, cfg Config) (*Primary, error) {
 		Shards:        cfg.Shards,
 		FlushWindow:   cfg.FlushWindow,
 		FlushFrames:   cfg.FlushFrames,
+		Group:         core.GroupConfig{K: cfg.GroupK, N: cfg.GroupN},
 	})
 	if err != nil {
 		return nil, err
@@ -255,6 +274,11 @@ func (p *Primary) AttachReplicaAddr(addr, exportName string) error {
 		return err
 	}
 	bs, nb := p.engine.Geometry()
+	// A group member stores stripe units, not whole blocks: its block
+	// size must match the unit size, one unit block per logical block.
+	if u := p.engine.GroupUnitSize(); u > 0 {
+		bs = u
+	}
 	if init.BlockSize() != bs || init.NumBlocks() < nb {
 		_ = init.Close()
 		return fmt.Errorf("prins: replica %s geometry %dx%d incompatible with primary %dx%d",
@@ -470,6 +494,93 @@ func (p *Primary) ScrubStats() []ScrubStats {
 // against the replica's current content.
 func (p *Primary) ClearDegraded() { p.engine.ClearDegraded() }
 
+// Group returns the erasure-coded group shape, or (0, 0) when the
+// primary mirrors full copies.
+func (p *Primary) Group() (k, n int) {
+	g := p.engine.Group()
+	return g.K, g.N
+}
+
+// GroupUnitSize returns the stripe unit size group replicas must use
+// as their block size, or zero when the primary mirrors.
+func (p *Primary) GroupUnitSize() int { return p.engine.GroupUnitSize() }
+
+// GroupMember names one group replica's export for repair.
+type GroupMember struct {
+	// Addr and Export locate the replica's served unit device.
+	Addr   string
+	Export string
+	// Unit is the replica's stripe-unit index in [0, GroupN).
+	Unit int
+}
+
+// RepairStats summarizes one pipelined group repair.
+type RepairStats struct {
+	// Chains counts chain rounds run.
+	Chains int64
+	// Blocks counts unit blocks rebuilt onto the replacement.
+	Blocks uint64
+	// WireBytes is the measured bytes sent across every chain link.
+	WireBytes int64
+	// IngestBytes is the rebuilt unit bytes the replacement absorbed.
+	IngestBytes int64
+	// ModelWireBytes is the wan-model estimate of the chain traffic,
+	// comparable with resync wire modelling.
+	ModelWireBytes int64
+}
+
+// RepairGroupUnit rebuilds group unit lost onto the replacement
+// replica at sink by threading a pipelined partial-sum chain through
+// exactly GroupK survivor replicas: each survivor folds its
+// coefficient-scaled unit into one accumulating payload and forwards
+// it, so no link ever carries more than unit-sized traffic and the
+// total wire cost per rebuilt block is about one logical block —
+// versus a full mirror resync per block. With no ranges the whole
+// device is rebuilt; pass DirtyRanges output to rebuild only what a
+// partially-synced replacement is missing. The survivors and sink
+// must already be serving (Replica.Serve after SetGroupUnit).
+func (p *Primary) RepairGroupUnit(lost int, survivors []GroupMember, sink GroupMember, ranges ...Range) (RepairStats, error) {
+	g := p.engine.Group()
+	if g.N == 0 {
+		return RepairStats{}, errors.New("prins: RepairGroupUnit on a mirroring primary")
+	}
+	_, nb := p.engine.Geometry()
+	return RepairChain(g.K, g.N, lost, nb, survivors, sink, ranges...)
+}
+
+// RepairChain is RepairGroupUnit without a Primary: any node that
+// knows the group shape (k, n) and the logical device size in blocks
+// can drive the rebuild of unit lost through GroupK serving survivors
+// onto the serving replacement at sink.
+func RepairChain(k, n, lost int, numBlocks uint64, survivors []GroupMember, sink GroupMember, ranges ...Range) (RepairStats, error) {
+	rs, err := parity.NewRS(k, n)
+	if err != nil {
+		return RepairStats{}, err
+	}
+	hops := make([]repair.Hop, len(survivors))
+	for i, m := range survivors {
+		hops[i] = repair.Hop{Addr: m.Addr, Export: m.Export, Unit: m.Unit}
+	}
+	c := &repair.Chain{
+		RS:        rs,
+		Lost:      lost,
+		Survivors: hops,
+		Sink:      repair.Hop{Addr: sink.Addr, Export: sink.Export, Unit: sink.Unit},
+	}
+	rgs := make([]block.Range, len(ranges))
+	for i, r := range ranges {
+		rgs[i] = block.Range{Start: r.Start, Count: r.Count}
+	}
+	st, err := c.Run(numBlocks, rgs...)
+	return RepairStats{
+		Chains:         st.Chains,
+		Blocks:         st.Blocks,
+		WireBytes:      st.WireBytes,
+		IngestBytes:    st.IngestBytes,
+		ModelWireBytes: st.ModelWireBytes,
+	}, err
+}
+
 // ReplicaStat is one attached replica's pipeline health and delivery
 // counters.
 type ReplicaStat struct {
@@ -536,11 +647,13 @@ func (p *Primary) Stats() Stats {
 	}
 }
 
-// Close drains replication, stops the scrubbers, stops serving, and
+// Close stops the scrubbers, drains replication, stops serving, and
 // closes replica connections. The local store remains open (the
-// caller owns it).
+// caller owns it). Scrubbers stop FIRST: a scrub pass reads the
+// engine and repairs over its own session, so tearing the engine down
+// under an in-flight pass would race it.
 func (p *Primary) Close() error {
-	err := p.engine.Close()
+	var err error
 	for _, sc := range p.scrubs {
 		if serr := sc.s.Stop(); err == nil {
 			err = serr
@@ -548,6 +661,9 @@ func (p *Primary) Close() error {
 		_ = sc.conn.Close()
 	}
 	p.scrubs = nil
+	if cerr := p.engine.Close(); err == nil {
+		err = cerr
+	}
 	if p.target != nil {
 		if cerr := p.target.Close(); err == nil {
 			err = cerr
@@ -599,13 +715,30 @@ func NewReplicaJournaled(local Store, journalPath string) (*Replica, error) {
 	return &Replica{engine: engine, jrnl: jrnl}, nil
 }
 
+// SetGroupUnit declares this replica a member of a k-of-n
+// erasure-coded group holding the unit at index idx (0-based, in the
+// primary's attach order). Call it before the first push and before
+// Serve: a group replica only accepts stripe pushes whose geometry
+// matches, and serving after SetGroupUnit additionally exports the
+// repair-chain hop handler so the replica can participate in
+// pipelined rebuilds of a lost sibling.
+func (r *Replica) SetGroupUnit(k, n, idx int) error {
+	return r.engine.SetGroupUnit(k, n, idx)
+}
+
 // Serve exposes the replica on the network: primaries replicate to it
 // and clients may mount it (read-mostly) for verification or failover.
+// A group replica (SetGroupUnit) is additionally served as a
+// repair-chain hop.
 func (r *Replica) Serve(addr, exportName string) (net.Addr, error) {
 	if r.target == nil {
 		r.target = iscsi.NewTarget()
 	}
-	r.target.Export(exportName, r.engine)
+	var backend iscsi.Backend = r.engine
+	if _, grouped := r.engine.GroupUnit(); grouped {
+		backend = repair.NewChainedReplica(r.engine, nil)
+	}
+	r.target.Export(exportName, backend)
 	return r.target.Listen(addr)
 }
 
