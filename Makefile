@@ -29,6 +29,7 @@ bench:
 BENCHTIME ?= 100x
 SHARDTIME ?= 1000x
 HOTTIME ?= 500x
+DEDUPETIME ?= 20x
 bench-json:
 	$(GO) test -run='^$$' -bench='BatchShip|AblationCoalesce' -benchtime=$(BENCHTIME) . \
 		| $(GO) run ./cmd/benchjson -out BENCH_batch.json
@@ -40,18 +41,29 @@ bench-json:
 		| $(GO) run ./cmd/benchjson -out BENCH_hotpath.json
 	$(GO) test -run='^$$' -bench='GroupRepair' -benchtime=$(BENCHTIME) . \
 		| $(GO) run ./cmd/benchjson -out BENCH_repair.json
+	$(GO) test -run='^$$' -bench='Dedupe' -benchtime=$(DEDUPETIME) . \
+		| $(GO) run ./cmd/benchjson -out BENCH_dedupe.json
 
-# Hot-path regression guard: re-run the sync-ship benches and fail if
-# writes/s fell more than REGRESS percent below the committed
-# BENCH_hotpath.json baseline (see cmd/benchjson guard mode). Only the
-# link-latency-dominated SyncShip benches are compared: they repeat
-# within a few percent, while the CPU-bound shard benches swing too
-# much run to run to gate on.
+# Performance regression guards (see cmd/benchjson guard mode):
+#   - hotpath: writes/s must not fall more than REGRESS percent below
+#     the committed BENCH_hotpath.json. Only the link-latency-dominated
+#     SyncShip benches are compared: they repeat within a few percent,
+#     while the CPU-bound shard benches swing too much run to run.
+#   - repair: chain-repair wire bytes (lower is better, hence -lower)
+#     must not rise more than REGRESS percent above BENCH_repair.json.
+#   - dedupe: the by-ref wire-savings ratio (savedx) must not fall more
+#     than REGRESS percent below BENCH_dedupe.json.
 REGRESS ?= 10
 bench-guard:
 	$(GO) test -run='^$$' -bench='HotpathSyncShip' -benchtime=$(HOTTIME) . \
 		| $(GO) run ./cmd/benchjson -baseline BENCH_hotpath.json \
 			-metric writes/s -max-regress $(REGRESS)
+	$(GO) test -run='^$$' -bench='GroupRepair' -benchtime=$(BENCHTIME) . \
+		| $(GO) run ./cmd/benchjson -baseline BENCH_repair.json \
+			-metric wireB -lower -max-regress $(REGRESS)
+	$(GO) test -run='^$$' -bench='Dedupe' -benchtime=$(DEDUPETIME) . \
+		| $(GO) run ./cmd/benchjson -baseline BENCH_dedupe.json \
+			-metric savedx -max-regress $(REGRESS)
 
 # The sharded-engine and multi-volume concurrency battery, repeated
 # under the race detector: cross-shard parallel writers, same-LBA
@@ -68,6 +80,8 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzReadPDU$$' -fuzztime=$(FUZZTIME) ./internal/iscsi
 	$(GO) test -run='^$$' -fuzz='^FuzzDecodeBatch$$' -fuzztime=$(FUZZTIME) ./internal/iscsi
 	$(GO) test -run='^$$' -fuzz='^FuzzDecodeStripe$$' -fuzztime=$(FUZZTIME) ./internal/iscsi
+	$(GO) test -run='^$$' -fuzz='^FuzzDecodeByRef$$' -fuzztime=$(FUZZTIME) ./internal/iscsi
+	$(GO) test -run='^$$' -fuzz='^FuzzDecodeSnapshot$$' -fuzztime=$(FUZZTIME) ./internal/dedupe
 	$(GO) test -run='^$$' -fuzz='^FuzzDecode$$' -fuzztime=$(FUZZTIME) ./internal/xcode
 
 # The fault-injection suites under the race detector: connection and

@@ -18,6 +18,10 @@
 //
 //	go test -bench=Hotpath . | go run ./cmd/benchjson \
 //	    -baseline BENCH_hotpath.json -metric writes/s -max-regress 10
+//
+// For lower-is-better metrics (wire bytes, ns/op), -lower flips the
+// comparison: the guard fails if the fresh value rose more than
+// -max-regress percent above the baseline.
 package main
 
 import (
@@ -48,8 +52,9 @@ type Report struct {
 func main() {
 	out := flag.String("out", "", "file to write the JSON report to (empty = stdout only)")
 	baseline := flag.String("baseline", "", "committed report to compare against (enables guard mode)")
-	metric := flag.String("metric", "writes/s", "higher-is-better metric the guard compares")
-	maxRegress := flag.Float64("max-regress", 10, "max tolerated drop below baseline, percent")
+	metric := flag.String("metric", "writes/s", "metric the guard compares (higher-is-better unless -lower)")
+	maxRegress := flag.Float64("max-regress", 10, "max tolerated regression from baseline, percent")
+	lower := flag.Bool("lower", false, "treat the metric as lower-is-better (guard against rises)")
 	flag.Parse()
 
 	report, err := parse(os.Stdin, os.Stdout)
@@ -78,7 +83,7 @@ func main() {
 		}
 	}
 	if *baseline != "" {
-		if err := guard(report, *baseline, *metric, *maxRegress, os.Stderr); err != nil {
+		if err := guard(report, *baseline, *metric, *maxRegress, *lower, os.Stderr); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -86,10 +91,11 @@ func main() {
 }
 
 // guard compares the fresh report against the baseline file: every
-// benchmark present in both with the named metric must not have fallen
-// more than maxRegress percent below its committed value. The metric
-// is treated as higher-is-better.
-func guard(fresh *Report, baselinePath, metric string, maxRegress float64, w io.Writer) error {
+// benchmark present in both with the named metric must not have
+// regressed more than maxRegress percent from its committed value —
+// fallen below it for higher-is-better metrics, risen above it when
+// lower is set (wire bytes, latencies).
+func guard(fresh *Report, baselinePath, metric string, maxRegress float64, lower bool, w io.Writer) error {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return err
@@ -117,12 +123,17 @@ func guard(fresh *Report, baselinePath, metric string, maxRegress float64, w io.
 		}
 		compared++
 		dropPct := (want - got) / want * 100
+		direction := "below"
+		if lower {
+			dropPct = -dropPct
+			direction = "above"
+		}
 		fmt.Fprintf(w, "benchjson: guard %-40s %s %12.1f baseline %12.1f (%+.1f%%)\n",
 			b.Name, metric, got, want, -dropPct)
 		if dropPct > maxRegress {
 			failures = append(failures,
-				fmt.Sprintf("%s: %s %.1f is %.1f%% below baseline %.1f (max %.0f%%)",
-					b.Name, metric, got, dropPct, want, maxRegress))
+				fmt.Sprintf("%s: %s %.1f is %.1f%% %s baseline %.1f (max %.0f%%)",
+					b.Name, metric, got, dropPct, direction, want, maxRegress))
 		}
 	}
 	if compared == 0 {

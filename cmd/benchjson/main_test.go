@@ -103,10 +103,10 @@ func TestGuard(t *testing.T) {
 	// 900 vs baseline 950 is a 5.3% drop: inside a 10% budget,
 	// outside a 2% budget.
 	path := writeBaseline(t, 950)
-	if err := guard(fresh, path, "writes/s", 10, &bytes.Buffer{}); err != nil {
+	if err := guard(fresh, path, "writes/s", 10, false, &bytes.Buffer{}); err != nil {
 		t.Errorf("5%% drop failed a 10%% guard: %v", err)
 	}
-	err := guard(fresh, path, "writes/s", 2, &bytes.Buffer{})
+	err := guard(fresh, path, "writes/s", 2, false, &bytes.Buffer{})
 	if err == nil {
 		t.Error("5% drop passed a 2% guard")
 	} else if !strings.Contains(err.Error(), "BenchmarkHotpathSyncShip/group-on-8") {
@@ -114,12 +114,58 @@ func TestGuard(t *testing.T) {
 	}
 
 	// Improvements never fail.
-	if err := guard(fresh, writeBaseline(t, 100), "writes/s", 10, &bytes.Buffer{}); err != nil {
+	if err := guard(fresh, writeBaseline(t, 100), "writes/s", 10, false, &bytes.Buffer{}); err != nil {
 		t.Errorf("improvement failed the guard: %v", err)
 	}
 
 	// Nothing to compare is an error, not a silent pass.
-	if err := guard(fresh, path, "no-such-metric", 10, &bytes.Buffer{}); err == nil {
+	if err := guard(fresh, path, "no-such-metric", 10, false, &bytes.Buffer{}); err == nil {
 		t.Error("guard with no shared metric passed silently")
+	}
+}
+
+func TestGuardLowerIsBetter(t *testing.T) {
+	writeBaseline := func(t *testing.T, wireB float64) string {
+		t.Helper()
+		base := &Report{Benchmarks: []Benchmark{
+			{Name: "BenchmarkGroupRepair", Iterations: 100,
+				Metrics: map[string]float64{"wireB": wireB, "ns/op": 1}},
+		}}
+		enc, err := json.Marshal(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "base.json")
+		if err := os.WriteFile(path, enc, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	fresh := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkGroupRepair", Iterations: 100,
+			Metrics: map[string]float64{"wireB": 1050}},
+	}}
+
+	// 1050 vs baseline 1000 is a 5% rise: inside a 10% budget, outside
+	// a 2% budget — but only when the guard knows lower is better.
+	path := writeBaseline(t, 1000)
+	if err := guard(fresh, path, "wireB", 10, true, &bytes.Buffer{}); err != nil {
+		t.Errorf("5%% rise failed a 10%% lower-is-better guard: %v", err)
+	}
+	err := guard(fresh, path, "wireB", 2, true, &bytes.Buffer{})
+	if err == nil {
+		t.Error("5% rise passed a 2% lower-is-better guard")
+	} else if !strings.Contains(err.Error(), "above baseline") {
+		t.Errorf("guard error does not report the rise direction: %v", err)
+	}
+
+	// A drop is an improvement under -lower and never fails.
+	if err := guard(fresh, writeBaseline(t, 5000), "wireB", 10, true, &bytes.Buffer{}); err != nil {
+		t.Errorf("improvement failed the lower-is-better guard: %v", err)
+	}
+	// Without -lower the same rise would (wrongly) read as a pass —
+	// pin that the flag, not the metric name, decides direction.
+	if err := guard(fresh, path, "wireB", 2, false, &bytes.Buffer{}); err != nil {
+		t.Errorf("higher-is-better guard failed on a rise: %v", err)
 	}
 }

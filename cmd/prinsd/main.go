@@ -66,6 +66,9 @@ func run(args []string) error {
 		scrubEvery    = fs.Duration("scrub-interval", 0, "primary role: background scrub pass interval per replica (0 = off)")
 		scrubPause    = fs.Duration("scrub-pause", 2*time.Millisecond, "pause between scrub hash batches (rate limit)")
 
+		dedupe     = fs.Int("dedupe", 0, "primary role: enable ship-by-reference dedupe with this many index entries per replica (0 = off, negative = default bound); replica role: resize its content index (0 = keep the default, negative = disable)")
+		dedupeWarm = fs.Bool("dedupe-warm", false, "replica role: scan the device into the content index at startup so by-ref pushes resolve immediately after a restart")
+
 		group     = fs.String("group", "", "erasure-coded replica group shape k,n: writes stripe k-of-n across the replicas and commit on a k quorum (empty = mirror full copies)")
 		groupUnit = fs.Int("group-unit", -1, "replica role with -group: this replica's stripe-unit index in [0,n); its device must be unit-sized")
 
@@ -105,6 +108,7 @@ func run(args []string) error {
 			listen: *listen, export: *exportName, file: *file, bs: *bs, size: *size,
 			role: *role, volumes: *volumes, journal: *journalPath,
 			replicas: *replicas, statsEvery: *statsEvery, stop: stop,
+			dedupe: *dedupe, dedupeWarm: *dedupeWarm,
 			cfg: prins.Config{
 				Mode:          m,
 				Async:         true,
@@ -115,6 +119,7 @@ func run(args []string) error {
 				RetryBackoff:  *retryBackoff,
 				AllowDegraded: *degraded,
 				DisableVerify: *noVerify,
+				DedupeEntries: *dedupe,
 				BatchFrames:   *batchFrames,
 				BatchBytes:    *batchBytes,
 				Shards:        *shards,
@@ -151,6 +156,15 @@ func run(args []string) error {
 			}
 			log.Printf("prinsd: group unit %d of %d-of-%d (chain-repair capable)", *groupUnit, groupK, groupN)
 		}
+		if *dedupe != 0 {
+			replica.SetDedupe(*dedupe)
+		}
+		if *dedupeWarm {
+			if err := replica.WarmDedupe(); err != nil {
+				return fmt.Errorf("warm dedupe index: %w", err)
+			}
+			log.Printf("prinsd: content index warmed from %d blocks", store.NumBlocks())
+		}
 		addr, err := replica.Serve(*listen, *exportName)
 		if err != nil {
 			return err
@@ -177,6 +191,7 @@ func run(args []string) error {
 			RetryBackoff:  *retryBackoff,
 			AllowDegraded: *degraded,
 			DisableVerify: *noVerify,
+			DedupeEntries: *dedupe,
 			BatchFrames:   *batchFrames,
 			BatchBytes:    *batchBytes,
 			Shards:        *shards,
@@ -240,6 +255,10 @@ func run(args []string) error {
 						log.Printf("prinsd: writes=%d shipped=%s saved=%.1fx",
 							s.Writes, formatBytes(s.PayloadBytes), s.SavingsVsRaw)
 					}
+					if s.DedupeHits+s.DedupeMisses > 0 {
+						log.Printf("prinsd: dedupe hits=%d misses=%d saved=%s",
+							s.DedupeHits, s.DedupeMisses, formatBytes(s.DedupeSavedWireBytes))
+					}
 					if *scrubEvery > 0 {
 						var sc prins.ScrubStats
 						for _, one := range primary.ScrubStats() {
@@ -275,6 +294,8 @@ type volumeOpts struct {
 	replicas             string
 	statsEvery           time.Duration
 	stop                 chan os.Signal
+	dedupe               int
+	dedupeWarm           bool
 	cfg                  prins.Config
 }
 
@@ -319,6 +340,14 @@ func runVolumes(o volumeOpts) error {
 				}
 			} else {
 				r = prins.NewReplica(store)
+			}
+			if o.dedupe != 0 {
+				r.SetDedupe(o.dedupe)
+			}
+			if o.dedupeWarm {
+				if err := r.WarmDedupe(); err != nil {
+					return fmt.Errorf("volume %d warm dedupe index: %w", id, err)
+				}
 			}
 			if err := rv.AddVolume(id, r); err != nil {
 				return err

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"prins/internal/block"
+	"prins/internal/dedupe"
 	"prins/internal/iscsi"
 	"prins/internal/metrics"
 	"prins/internal/parity"
@@ -87,6 +88,20 @@ type StripeReplicaClient interface {
 }
 
 var _ StripeReplicaClient = (*iscsi.Initiator)(nil)
+
+// ByRefReplicaClient is the content-addressed extension of
+// ReplicaClient: ship a mixed by-ref/by-value batch for one (vol,
+// shard) stream — entries whose content the replica is believed to
+// already hold travel as 28-byte references instead of frames — and
+// get one status per entry back, StatusRefMiss marking references the
+// replica could not resolve (the primary re-ships those by value).
+// The dedupe fast path engages only for clients that implement it.
+type ByRefReplicaClient interface {
+	ReplicaClient
+	ReplicaWriteByRef(mode, shard uint8, vol uint16, entries []iscsi.BatchEntry) ([]iscsi.Status, error)
+}
+
+var _ ByRefReplicaClient = (*iscsi.Initiator)(nil)
 
 // ParityWriter is the optional fast path a RAID array provides: a
 // write that returns the forward parity it computed anyway while
@@ -219,6 +234,21 @@ type Config struct {
 	// FlushWindow (group commit batches whole-block frames; a striped
 	// write already fans out per unit).
 	Group GroupConfig
+	// DedupeEntries enables the content-addressed ship-by-reference
+	// fast path and bounds the per-replica index backing it: for each
+	// attached by-ref-capable replica the engine tracks up to this many
+	// (lba -> content hash) pairs it believes the replica holds, fed by
+	// acknowledged ships and resync scans. A batched ship whose entry's
+	// content hash is already indexed sends the 28-byte reference
+	// instead of the parity frame (wire protocol v7); a replica-side
+	// miss falls back to re-shipping the frame, so correctness never
+	// depends on the index. Zero (the default) disables the fast path
+	// entirely; the index is advisory and ineffective when verification
+	// is off (DisableVerify — no content hashes to address by), when
+	// batching is disabled (BatchFrames: 1), or in GroupMode (unit
+	// frames are replica-specific stripes, not content-addressable
+	// blocks). Negative selects the default bound (dedupe.DefaultEntries).
+	DedupeEntries int
 	// FlushFrames caps how many queued writes one group-commit flush
 	// drains per shard-lock pass (a larger backlog commits in
 	// successive passes, so the lock is never held for an unbounded
@@ -543,6 +573,16 @@ func (e *Engine) AttachReplica(rc ReplicaClient) error {
 	if fc, ok := rc.(FramedReplicaClient); ok {
 		rs.framed = fc
 	}
+	if brc, ok := rc.(ByRefReplicaClient); ok {
+		rs.byref = brc
+		// The by-ref fast path lives on the batched ship path (the
+		// fallback re-ship needs the batch extension too) and addresses
+		// whole-block content hashes, which GroupMode's unit frames are
+		// not; outside those conditions the index would only go stale.
+		if e.cfg.DedupeEntries != 0 && e.rsCodec == nil && !e.cfg.DisableVerify {
+			rs.dedupe = dedupe.New(e.cfg.DedupeEntries)
+		}
+	}
 	e.replicas = append(e.replicas, rs)
 	rs.pipes = make([]*pipe, len(e.shards))
 	for i, s := range e.shards {
@@ -672,6 +712,17 @@ func (e *Engine) ClearDegraded() {
 		rs.clearErr()
 	}
 	e.traffic.ResetReplicaLag()
+}
+
+// ReplicaDedupe returns replica i's primary-side dedupe index, or nil
+// when the fast path is off for it (DedupeEntries unset or the client
+// lacks by-ref support). Resync warms it through this handle: a block
+// confirmed equal or repaired is content the replica provably holds.
+func (e *Engine) ReplicaDedupe(i int) *dedupe.Index {
+	if i < 0 || i >= len(e.replicas) {
+		return nil
+	}
+	return e.replicas[i].dedupe
 }
 
 // Traffic returns the engine's traffic counters.

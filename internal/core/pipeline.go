@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"prins/internal/dedupe"
 	"prins/internal/iscsi"
 	"prins/internal/metrics"
 	"prins/internal/parity"
@@ -72,6 +73,14 @@ type replicaState struct {
 	// stripe unit this replica stores (= attach order).
 	stripeC StripeReplicaClient
 	unitIdx uint8
+	// byref is client's content-addressed extension; dedupe, when
+	// non-nil (Config.DedupeEntries set and the client supports by-ref
+	// pushes), is the bounded (lba -> content hash) index of what the
+	// engine believes this replica holds — the ship-by-reference fast
+	// path's consult source, fed by acknowledged ships and resync,
+	// invalidated wherever an LBA goes dirty or the replica degrades.
+	byref  ByRefReplicaClient
+	dedupe *dedupe.Index
 
 	m     metrics.Replica
 	pipes []*pipe // one per shard, shard order
@@ -110,6 +119,16 @@ func (rs *replicaState) clearErr() {
 	rs.errMu.Unlock()
 }
 
+// degrade takes the replica out of the ship path and resets its dedupe
+// index: once frames are being dropped, nothing further about the
+// replica's content can be assumed until a resync re-warms it.
+func (rs *replicaState) degrade() {
+	rs.degraded.Store(true)
+	if rs.dedupe != nil {
+		rs.dedupe.Reset()
+	}
+}
+
 // pipe is one (shard, replica) ship pipeline: the shard's frames to
 // that replica flow through its queue in seq order, and the blocks the
 // replica is missing from that shard accumulate in its dirty map.
@@ -118,6 +137,16 @@ type pipe struct {
 	shard *shard
 	queue chan repMsg
 	dirty *dirtyMap
+}
+
+// markDirty records lba as not-known-held by this pipe's replica and
+// drops it from the primary's dedupe index: whatever the replica holds
+// there is no longer a safe by-ref copy source.
+func (p *pipe) markDirty(lba uint64) {
+	p.dirty.mark(lba)
+	if d := p.rs.dedupe; d != nil {
+		d.Forget(lba)
+	}
 }
 
 // tagged reports whether this pipe's wire frames carry a stream tag.
@@ -299,7 +328,10 @@ func plainGroups(msgs []repMsg) []batchGroup {
 func (e *Engine) processBatch(p *pipe, msgs []repMsg) {
 	rs := p.rs
 	e.traffic.ObserveBatch(len(msgs))
-	if len(msgs) == 1 {
+	// With dedupe on, even a batch of one goes through the entry path:
+	// a consult hit turns the whole frame into a 28-byte reference,
+	// which dwarfs what the single-frame fast path saves.
+	if len(msgs) == 1 && rs.dedupe == nil {
 		e.process(p, msgs[0])
 		return
 	}
@@ -321,14 +353,21 @@ func (e *Engine) processBatch(p *pipe, msgs []repMsg) {
 		entries[k] = g.entry
 	}
 
+	// Consult the dedupe index: entries whose content the replica is
+	// believed to already hold ship by reference (wire protocol v7).
+	if hits := e.byrefHits(rs, entries); len(hits) > 0 {
+		e.processByRef(p, groups, entries, hits)
+		return
+	}
+
 	statuses, err := e.shipBatch(p, entries)
 	if err != nil {
 		// Transport-level failure: the replica acknowledged nothing.
 		for _, g := range groups {
-			p.dirty.mark(g.entry.LBA)
+			p.markDirty(g.entry.LBA)
 		}
 		if e.cfg.AllowDegraded {
-			rs.degraded.Store(true)
+			rs.degrade()
 			for _, m := range msgs {
 				e.dropFrame(p, m.lba)
 				e.finish(rs, m, nil)
@@ -353,6 +392,11 @@ func (e *Engine) processBatch(p *pipe, msgs []repMsg) {
 		case iscsi.StatusOK:
 			okMsgs += len(g.msgs)
 			payload += int64(len(g.entry.Frame))
+			if rs.dedupe != nil {
+				// The replica acknowledged holding this content at this
+				// LBA: future ships of the same content can go by-ref.
+				rs.dedupe.Put(g.entry.LBA, g.entry.Hash)
+			}
 			for _, m := range g.msgs {
 				// The per-frame wire size must be read before this message
 				// settles: finish releases the pooled frame, and a released
@@ -366,16 +410,16 @@ func (e *Engine) processBatch(p *pipe, msgs []repMsg) {
 		case iscsi.StatusDiverged:
 			// Detected corruption at one block: dirty-map it for a ranged
 			// resync; the write stays successful (see shipTo).
-			p.dirty.mark(g.entry.LBA)
+			p.markDirty(g.entry.LBA)
 			rs.m.AddDiverged()
 			e.traffic.AddDiverged()
 			for _, m := range g.msgs {
 				e.finish(rs, m, nil)
 			}
 		default:
-			p.dirty.mark(g.entry.LBA)
+			p.markDirty(g.entry.LBA)
 			if e.cfg.AllowDegraded {
-				rs.degraded.Store(true)
+				rs.degrade()
 				for _, m := range g.msgs {
 					e.dropFrame(p, m.lba)
 					e.finish(rs, m, nil)
@@ -401,6 +445,207 @@ func (e *Engine) processBatch(p *pipe, msgs []repMsg) {
 	rs.m.AddBatch(okMsgs, payload, wire, unbatchedOK-wire)
 	e.traffic.AddBatch(okMsgs, payload, wire, unbatchedOK-wire)
 	e.shardM.AddShipped(int(p.shard.id), int64(okMsgs))
+}
+
+// byrefHits returns the indices of batch entries whose content hash
+// the replica's dedupe index already names — the entries to ship as
+// 28-byte references instead of frames. nil when the fast path is off
+// for this replica. A zero hash (unverified push) never hits: there is
+// nothing the replica could address the content by.
+func (e *Engine) byrefHits(rs *replicaState, entries []iscsi.BatchEntry) []int {
+	if rs.dedupe == nil || rs.byref == nil {
+		return nil
+	}
+	var hits []int
+	for k := range entries {
+		if entries[k].Hash != 0 && rs.dedupe.Contains(entries[k].Hash) {
+			hits = append(hits, k)
+		}
+	}
+	return hits
+}
+
+// processByRef delivers one drained batch through the dedupe fast
+// path: the hit entries ship as references (wire protocol v7), mixed
+// in seq order with the by-value entries. Per the v7 protocol, the
+// first reference the replica cannot resolve refuses the entire
+// remaining suffix with StatusRefMiss — entries applied ahead of it
+// keep their own statuses — and the primary transparently re-ships the
+// refused suffix by value as one ordinary batch (replica seq-dedupe
+// makes the overlap safe, and the queued frames were retained exactly
+// for this). Settlement then mirrors processBatch entry by entry.
+//
+// Dedupe savings are accounted delivered-only: an entry must finally
+// land (StatusOK) before its elided frame counts as saved, and the
+// overhead of failed reference attempts is charged against the
+// saving, so a miss storm reads negative rather than flattering.
+func (e *Engine) processByRef(p *pipe, groups []batchGroup, entries []iscsi.BatchEntry, hits []int) {
+	rs := p.rs
+	byref := make([]bool, len(entries))
+	wireEntries := make([]iscsi.BatchEntry, len(entries))
+	copy(wireEntries, entries)
+	for _, k := range hits {
+		byref[k] = true
+		wireEntries[k].Frame = nil
+	}
+
+	statuses, err := e.shipByRef(p, wireEntries)
+	if err != nil {
+		// Transport-level failure: the replica acknowledged nothing.
+		for _, g := range groups {
+			p.markDirty(g.entry.LBA)
+		}
+		if e.cfg.AllowDegraded {
+			rs.degrade()
+			for _, g := range groups {
+				for _, m := range g.msgs {
+					e.dropFrame(p, m.lba)
+					e.finish(rs, m, nil)
+				}
+			}
+			return
+		}
+		werr := fmt.Errorf("core: replicate by-ref batch of %d: %w", len(entries), err)
+		for _, g := range groups {
+			for _, m := range g.msgs {
+				e.finish(rs, m, werr)
+			}
+		}
+		return
+	}
+
+	// Find where the replica started refusing references; everything
+	// from there was refused unapplied and re-ships by value.
+	missAt := len(entries)
+	for k, st := range statuses {
+		if st == iscsi.StatusRefMiss {
+			missAt = k
+			break
+		}
+	}
+	wire := int64(wan.WireBytesDiscrete(iscsi.ByRefWireLen(wireEntries)))
+	var fberr error
+	if missAt < len(entries) {
+		if byref[missAt] {
+			// Only the first refusal is a genuine miss verdict — the rest
+			// of the suffix is refused unexamined to keep the replica's
+			// seq cursor honest — so only its hash is provably stale.
+			rs.dedupe.ForgetHash(entries[missAt].Hash)
+		}
+		fstat, ferr := e.shipBatch(p, entries[missAt:])
+		if ferr != nil {
+			fberr = fmt.Errorf("core: by-ref fallback batch of %d: %w", len(entries)-missAt, ferr)
+		} else {
+			copy(statuses[missAt:], fstat)
+			wire += int64(wan.WireBytesDiscrete(iscsi.BatchWireLen(entries[missAt:])))
+		}
+	}
+
+	var okMsgs int
+	var payload, unbatchedOK int64
+	var dHits, dMisses, dSaved int64
+	for k, g := range groups {
+		if k >= missAt {
+			if byref[k] {
+				dMisses++
+			}
+			if fberr != nil {
+				// The fallback round trip itself failed: these entries
+				// were never delivered. Same handling as a failed batch.
+				p.markDirty(g.entry.LBA)
+				if e.cfg.AllowDegraded {
+					rs.degrade()
+					for _, m := range g.msgs {
+						e.dropFrame(p, m.lba)
+						e.finish(rs, m, nil)
+					}
+				} else {
+					for _, m := range g.msgs {
+						e.finish(rs, m, fberr)
+					}
+				}
+				continue
+			}
+		}
+		switch statuses[k] {
+		case iscsi.StatusOK:
+			okMsgs += len(g.msgs)
+			frameCost := int64(len(entries[k].Frame))
+			if byref[k] && k < missAt {
+				// Delivered as a reference: the frame stayed home.
+				dHits++
+				dSaved += frameCost
+			} else {
+				payload += frameCost
+				if k >= missAt {
+					// Fallback re-ship: the first attempt's bytes for this
+					// entry — the reference, or the whole frame for a
+					// by-value suffix entry — were pure overhead.
+					if byref[k] {
+						dSaved -= iscsi.BatchEntryOverhead
+					} else {
+						dSaved -= iscsi.BatchEntryOverhead + frameCost
+					}
+				}
+			}
+			if rs.dedupe != nil {
+				rs.dedupe.Put(entries[k].LBA, entries[k].Hash)
+			}
+			for _, m := range g.msgs {
+				// Read before finish releases the pooled frame (see
+				// processBatch); delivered messages only.
+				unbatchedOK += int64(wan.WireBytesDiscrete(len(m.frame.frame())))
+				e.finish(rs, m, nil)
+			}
+		case iscsi.StatusDiverged:
+			p.markDirty(g.entry.LBA)
+			rs.m.AddDiverged()
+			e.traffic.AddDiverged()
+			for _, m := range g.msgs {
+				e.finish(rs, m, nil)
+			}
+		default:
+			p.markDirty(g.entry.LBA)
+			if e.cfg.AllowDegraded {
+				rs.degrade()
+				for _, m := range g.msgs {
+					e.dropFrame(p, m.lba)
+					e.finish(rs, m, nil)
+				}
+				continue
+			}
+			werr := fmt.Errorf("core: replicate seq %d lba %d: %w",
+				g.entry.Seq, g.entry.LBA, iscsi.ReplicaStatusErr(g.entry.LBA, statuses[k]))
+			for _, m := range g.msgs {
+				e.finish(rs, m, werr)
+			}
+		}
+	}
+
+	rs.m.AddBatch(okMsgs, payload, wire, unbatchedOK-wire)
+	e.traffic.AddBatch(okMsgs, payload, wire, unbatchedOK-wire)
+	rs.m.AddDedupe(dHits, dMisses, dSaved)
+	e.traffic.AddDedupe(dHits, dMisses, dSaved)
+	e.shardM.AddShipped(int(p.shard.id), int64(okMsgs))
+}
+
+// shipByRef performs the delivery attempts for one by-ref push under
+// the retry policy — the same transport-retry/status-vector split as
+// shipBatch. Redelivery is safe: entries the replica already applied
+// dedupe by seq on the pipe's (vol, shard) stream cursor.
+func (e *Engine) shipByRef(p *pipe, entries []iscsi.BatchEntry) ([]iscsi.Status, error) {
+	rs := p.rs
+	for attempt := 1; ; attempt++ {
+		statuses, err := rs.byref.ReplicaWriteByRef(uint8(e.cfg.Mode), p.shard.id, e.cfg.Volume, entries)
+		if err == nil || attempt >= e.retry.Attempts {
+			return statuses, err
+		}
+		rs.m.AddRetry()
+		e.traffic.AddRetry()
+		if d := e.retry.backoff(attempt); d > 0 {
+			e.retry.Sleep(d)
+		}
+	}
 }
 
 // finishUnit settles one stripe-unit message. In synchronous mode the
@@ -453,10 +698,10 @@ func (e *Engine) processStripe(p *pipe, msgs []repMsg) {
 	if err != nil {
 		// Transport-level failure: the replica acknowledged nothing.
 		for _, g := range groups {
-			p.dirty.mark(g.entry.LBA)
+			p.markDirty(g.entry.LBA)
 		}
 		if e.cfg.AllowDegraded {
-			rs.degraded.Store(true)
+			rs.degrade()
 			for _, m := range msgs {
 				e.dropFrame(p, m.lba)
 				e.finishUnit(rs, m, errUnitDropped)
@@ -490,7 +735,7 @@ func (e *Engine) processStripe(p *pipe, msgs []repMsg) {
 			// not durable, so the writer's quorum must not count it.
 			// Recovery is the same as mirroring — the LBA is dirty-mapped
 			// and a ranged repair re-derives the unit.
-			p.dirty.mark(g.entry.LBA)
+			p.markDirty(g.entry.LBA)
 			rs.m.AddDiverged()
 			e.traffic.AddDiverged()
 			for _, m := range g.msgs {
@@ -498,9 +743,9 @@ func (e *Engine) processStripe(p *pipe, msgs []repMsg) {
 					rs.unitIdx, m.seq, m.lba, iscsi.ErrDiverged))
 			}
 		default:
-			p.dirty.mark(g.entry.LBA)
+			p.markDirty(g.entry.LBA)
 			if e.cfg.AllowDegraded {
-				rs.degraded.Store(true)
+				rs.degrade()
 				for _, m := range g.msgs {
 					e.dropFrame(p, m.lba)
 					e.finishUnit(rs, m, errUnitDropped)
@@ -658,18 +903,21 @@ func (e *Engine) shipTo(p *pipe, seq, lba, hash uint64, fb *frameBuf) error {
 	frame := fb.frame()
 	if err := e.shipOne(p, seq, lba, hash, fb); err != nil {
 		if errors.Is(err, iscsi.ErrDiverged) {
-			p.dirty.mark(lba)
+			p.markDirty(lba)
 			rs.m.AddDiverged()
 			e.traffic.AddDiverged()
 			return nil
 		}
-		p.dirty.mark(lba)
+		p.markDirty(lba)
 		if e.cfg.AllowDegraded {
-			rs.degraded.Store(true)
+			rs.degrade()
 			e.dropFrame(p, lba)
 			return nil
 		}
 		return fmt.Errorf("core: replicate seq %d lba %d: %w", seq, lba, err)
+	}
+	if rs.dedupe != nil {
+		rs.dedupe.Put(lba, hash)
 	}
 	wire := wan.WireBytesDiscrete(len(frame))
 	rs.m.AddShipped(len(frame), wire)
@@ -726,7 +974,7 @@ func (e *Engine) shipOne(p *pipe, seq, lba, hash uint64, fb *frameBuf) error {
 // advances, and the engine-wide lag gauge is raised to the worst
 // per-replica lag (max, not sum — see metrics.Traffic.RaiseReplicaLag).
 func (e *Engine) dropFrame(p *pipe, lba uint64) {
-	p.dirty.mark(lba)
+	p.markDirty(lba)
 	lag := p.rs.m.AddDropped()
 	e.traffic.AddDropped()
 	e.traffic.RaiseReplicaLag(lag)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"prins/internal/block"
+	"prins/internal/dedupe"
 	"prins/internal/iscsi"
 	"prins/internal/journal"
 	"prins/internal/metrics"
@@ -90,6 +91,15 @@ type ReplicaEngine struct {
 	// engine is shared; read-only afterwards.
 	gHdr    iscsi.StripeHeader
 	inGroup bool
+
+	// dedupe, when non-nil, is the content-addressed index over this
+	// replica's own store: every verified apply records (lba -> hash),
+	// so a by-ref push (proto v7) can be materialized by local copy.
+	// The index is advisory — a candidate block is re-hashed before it
+	// is copied, so a stale entry costs a StatusRefMiss, never a wrong
+	// block. Set before the engine is shared (SetDedupe); the Index has
+	// its own lock.
+	dedupe *dedupe.Index
 }
 
 var _ iscsi.Backend = (*ReplicaEngine)(nil)
@@ -97,6 +107,7 @@ var _ iscsi.BatchBackend = (*ReplicaEngine)(nil)
 var _ iscsi.StreamBackend = (*ReplicaEngine)(nil)
 var _ iscsi.StreamBatchBackend = (*ReplicaEngine)(nil)
 var _ iscsi.StripeBackend = (*ReplicaEngine)(nil)
+var _ iscsi.ByRefBackend = (*ReplicaEngine)(nil)
 
 // NewReplicaEngine wraps the replica's local store with no journal;
 // applies are not crash-safe. Use NewReplicaEngineJournaled for the
@@ -106,6 +117,52 @@ func NewReplicaEngine(store block.Store) *ReplicaEngine {
 		store:   store,
 		traffic: &metrics.Traffic{},
 		streams: make(map[uint32]*replicaStream),
+		dedupe:  dedupe.New(0),
+	}
+}
+
+// SetDedupe bounds (entries > 0) or disables (entries <= 0) the
+// replica's content-addressed index. Call before the engine is shared.
+// A replica without an index refuses every by-ref push with
+// StatusRefMiss, which the primary transparently repairs by re-shipping
+// the frame — so disabling dedupe is always safe, just slower.
+func (r *ReplicaEngine) SetDedupe(entries int) {
+	if entries <= 0 {
+		r.dedupe = nil
+		return
+	}
+	r.dedupe = dedupe.New(entries)
+}
+
+// DedupeIndex returns the replica's content index, or nil when dedupe
+// is disabled.
+func (r *ReplicaEngine) DedupeIndex() *dedupe.Index { return r.dedupe }
+
+// WarmDedupe scans the replica's store and indexes every block's
+// content hash (subject to the index bound), so a freshly restarted
+// replica resolves by-ref pushes without waiting for live applies to
+// repopulate the index. Call before the engine is shared or with
+// applies quiesced.
+func (r *ReplicaEngine) WarmDedupe() error {
+	if r.dedupe == nil {
+		return nil
+	}
+	buf := make([]byte, r.store.BlockSize())
+	for lba := uint64(0); lba < r.store.NumBlocks(); lba++ {
+		if err := r.store.ReadBlock(lba, buf); err != nil {
+			return fmt.Errorf("core: dedupe warm lba %d: %w", lba, err)
+		}
+		r.dedupe.Put(lba, iscsi.HashBlock(buf))
+	}
+	return nil
+}
+
+// indexApply records a verified apply in the content index. A zero
+// hash (unverified push) forgets the LBA instead — its content is no
+// longer something the index can vouch for.
+func (r *ReplicaEngine) indexApply(lba, hash uint64) {
+	if r.dedupe != nil {
+		r.dedupe.Put(lba, hash)
 	}
 }
 
@@ -189,6 +246,7 @@ func (r *ReplicaEngine) replayJournal() error {
 		}
 		st.mu.Unlock()
 		r.traffic.AddReplicaWrite()
+		r.indexApply(e.LBA, e.Hash)
 	}
 	return nil
 }
@@ -315,6 +373,7 @@ func (r *ReplicaEngine) ApplyStream(mode Mode, shard uint8, vol uint16, seq, lba
 
 	r.traffic.AddDecodeTime(time.Since(start))
 	r.traffic.AddReplicaWrite()
+	r.indexApply(lba, hash)
 	if seq > st.lastSeq {
 		st.lastSeq = seq
 	}
@@ -555,6 +614,7 @@ func (r *ReplicaEngine) applyBatchGrouped(mode Mode, shard uint8, vol uint16, en
 	for _, p := range pass {
 		if statuses[p.k] == iscsi.StatusOK {
 			r.traffic.AddReplicaWrite()
+			r.indexApply(p.lba, entries[p.k].Hash)
 		}
 	}
 	if maxApplied > st.lastSeq {
@@ -614,6 +674,240 @@ func (r *ReplicaEngine) HandleReplicaBatchStream(mode, shard uint8, vol uint16, 
 	return r.ApplyBatchStream(Mode(mode), shard, vol, entries)
 }
 
+// HandleReplicaByRef implements iscsi.ByRefBackend: the wire entry
+// point for content-addressed (proto v7) pushes.
+func (r *ReplicaEngine) HandleReplicaByRef(mode, shard uint8, vol uint16, entries []iscsi.BatchEntry) []iscsi.Status {
+	return r.ApplyByRefStream(Mode(mode), shard, vol, entries)
+}
+
+// resolveRef materializes the block whose content hash is hash into
+// dst by copying it from some LBA the content index maps to it. Every
+// candidate is re-hashed after the read, so a stale index entry is
+// corrected (forgotten) and the next candidate tried — the index is
+// advisory, the hash check is the authority. Reports false when no
+// verifiable holder exists.
+func (r *ReplicaEngine) resolveRef(hash uint64, dst []byte) bool {
+	if r.dedupe == nil {
+		return false
+	}
+	// Each failed candidate is forgotten before the retry, so the loop
+	// strictly shrinks the hash's LBA set; the cap just bounds the work
+	// a pathologically stale index can cost one entry.
+	for tries := 0; tries < 4; tries++ {
+		src, ok := r.dedupe.Lookup(hash)
+		if !ok {
+			return false
+		}
+		if err := r.store.ReadBlock(src, dst); err != nil {
+			r.dedupe.Forget(src)
+			continue
+		}
+		if iscsi.HashBlock(dst) != hash {
+			r.dedupe.Forget(src)
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// ApplyByRefStream applies a mixed by-ref/by-value push (proto v7)
+// against the (vol, shard) stream and returns one status per entry,
+// in the caller's order. A by-ref entry (nil frame) is materialized by
+// verified local copy via the content index; a by-value entry applies
+// exactly like its batch counterpart, including same-LBA pre-image
+// chaining against blocks staged earlier in the push.
+//
+// The whole push is journaled and committed as one group, like
+// applyBatchGrouped. The extra rule is ref-miss poisoning: the first
+// entry whose hash the index cannot verifiably resolve is refused with
+// StatusRefMiss — and so is every later entry of the push, applied or
+// not, because the initiator re-ships the refused suffix with the SAME
+// sequence numbers and the stream cursor must not have advanced past
+// them, or seq-dedupe would silently drop the repair.
+func (r *ReplicaEngine) ApplyByRefStream(mode Mode, shard uint8, vol uint16, entries []iscsi.BatchEntry) []iscsi.Status {
+	statuses := make([]iscsi.Status, len(entries))
+	fail := func(s iscsi.Status) []iscsi.Status {
+		for i := range statuses {
+			statuses[i] = s
+		}
+		return statuses
+	}
+	switch mode {
+	case ModeTraditional, ModeCompressed, ModePRINS:
+	default:
+		return fail(iscsi.StatusError)
+	}
+
+	order := make([]int, len(entries))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return entries[order[a]].Seq < entries[order[b]].Seq
+	})
+
+	if r.jrnl != nil {
+		r.jmu.Lock()
+		defer r.jmu.Unlock()
+		if r.replay {
+			if err := r.replayJournal(); err != nil {
+				return fail(statusOf(err))
+			}
+		}
+	}
+
+	st := r.stream(shard, vol)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+
+	start := time.Now()
+	bs := r.store.BlockSize()
+
+	type stagedEntry struct {
+		k     int
+		seq   uint64
+		lba   uint64
+		block []byte
+	}
+	var pass []stagedEntry
+	pendingNew := make(map[uint64][]byte)
+	cursor := st.lastSeq
+	for oi, k := range order {
+		e := entries[k]
+		if e.Seq != 0 && e.Seq <= cursor {
+			r.traffic.AddDuplicate()
+			statuses[k] = iscsi.StatusOK
+			continue
+		}
+		var newBlock []byte
+		if e.ByRef() {
+			newBlock = make([]byte, bs)
+			if !r.resolveRef(e.Hash, newBlock) {
+				// Poison the suffix: refuse this entry and every later one
+				// so the stream cursor stays behind their seqs and the
+				// initiator's by-value re-ship is not deduped away.
+				r.traffic.AddDedupeMiss()
+				for _, rest := range order[oi:] {
+					statuses[rest] = iscsi.StatusRefMiss
+				}
+				break
+			}
+			r.traffic.AddDedupeHit()
+		} else {
+			payload, err := xcode.Decode(e.Frame)
+			if err != nil {
+				statuses[k] = iscsi.StatusDecodeError
+				continue
+			}
+			if len(payload) != bs {
+				statuses[k] = iscsi.StatusBadRequest
+				continue
+			}
+			newBlock = payload
+			if mode == ModePRINS {
+				pre := pendingNew[e.LBA]
+				if pre == nil {
+					if err := r.store.ReadBlock(e.LBA, st.oldBuf); err != nil {
+						statuses[k] = statusOf(err)
+						continue
+					}
+					pre = st.oldBuf
+				}
+				if err := parity.XORInPlace(newBlock, pre); err != nil {
+					statuses[k] = statusOf(err)
+					continue
+				}
+			}
+			if e.Hash != 0 {
+				if got := iscsi.HashBlock(newBlock); got != e.Hash {
+					r.traffic.AddDiverged()
+					statuses[k] = iscsi.StatusDiverged
+					continue
+				}
+			}
+		}
+		if e.Seq > cursor {
+			cursor = e.Seq
+		}
+		pendingNew[e.LBA] = newBlock
+		pass = append(pass, stagedEntry{k: k, seq: e.Seq, lba: e.LBA, block: newBlock})
+	}
+	if len(pass) == 0 {
+		r.traffic.AddDecodeTime(time.Since(start))
+		return statuses
+	}
+
+	// One group intent covers the whole push — a by-ref apply is exactly
+	// as torn-write-safe as a batched frame apply.
+	if r.jrnl != nil {
+		jes := make([]journal.Entry, len(pass))
+		for i, p := range pass {
+			jes[i] = journal.Entry{
+				Seq: p.seq, LBA: p.lba, Hash: entries[p.k].Hash,
+				Shard: shard, Vol: vol, Block: p.block,
+			}
+		}
+		if err := r.jrnl.BeginGroupStream(shard, vol, jes); err != nil {
+			for _, p := range pass {
+				statuses[p.k] = iscsi.StatusStoreError
+			}
+			r.traffic.AddDecodeTime(time.Since(start))
+			return statuses
+		}
+	}
+
+	var maxApplied uint64
+	journalTorn := false
+	for i, p := range pass {
+		if err := r.store.WriteBlock(p.lba, p.block); err != nil {
+			werr := fmt.Errorf("%w: %w", iscsi.ErrReplicaStore, err)
+			if r.jrnl != nil {
+				r.replay = true
+				journalTorn = true
+				for _, q := range pass[i:] {
+					statuses[q.k] = statusOf(werr)
+				}
+				break
+			}
+			statuses[p.k] = statusOf(werr)
+			continue
+		}
+		statuses[p.k] = iscsi.StatusOK
+		if p.seq > maxApplied {
+			maxApplied = p.seq
+		}
+	}
+
+	if journalTorn {
+		r.traffic.AddDecodeTime(time.Since(start))
+		return statuses
+	}
+
+	if r.jrnl != nil {
+		if err := r.jrnl.Commit(); err != nil {
+			r.replay = true
+			for _, p := range pass {
+				statuses[p.k] = iscsi.StatusStoreError
+			}
+			r.traffic.AddDecodeTime(time.Since(start))
+			return statuses
+		}
+	}
+
+	for _, p := range pass {
+		if statuses[p.k] == iscsi.StatusOK {
+			r.traffic.AddReplicaWrite()
+			r.indexApply(p.lba, entries[p.k].Hash)
+		}
+	}
+	if maxApplied > st.lastSeq {
+		st.lastSeq = maxApplied
+	}
+	r.traffic.AddDecodeTime(time.Since(start))
+	return statuses
+}
+
 // Geometry implements iscsi.Backend.
 func (r *ReplicaEngine) Geometry() (int, uint64) {
 	return r.store.BlockSize(), r.store.NumBlocks()
@@ -643,8 +937,14 @@ func (r *ReplicaEngine) HandleWrite(lba uint64, data []byte) iscsi.Status {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for i := 0; i*bs < len(data); i++ {
-		if err := r.store.WriteBlock(lba+uint64(i), data[i*bs:(i+1)*bs]); err != nil {
+		chunk := data[i*bs : (i+1)*bs]
+		if err := r.store.WriteBlock(lba+uint64(i), chunk); err != nil {
 			return statusOf(err)
+		}
+		// Direct writes (initial sync, resync repairs) warm the content
+		// index too: the hash is computed here because none is shipped.
+		if r.dedupe != nil {
+			r.dedupe.Put(lba+uint64(i), iscsi.HashBlock(chunk))
 		}
 	}
 	return iscsi.StatusOK
@@ -680,6 +980,7 @@ var _ BatchReplicaClient = (*Loopback)(nil)
 var _ StreamReplicaClient = (*Loopback)(nil)
 var _ StreamBatchReplicaClient = (*Loopback)(nil)
 var _ StripeReplicaClient = (*Loopback)(nil)
+var _ ByRefReplicaClient = (*Loopback)(nil)
 
 // ReplicaWrite implements ReplicaClient.
 func (l *Loopback) ReplicaWrite(mode uint8, seq, lba, hash uint64, frame []byte) error {
@@ -704,4 +1005,9 @@ func (l *Loopback) ReplicaWriteBatchStream(mode, shard uint8, vol uint16, entrie
 // ReplicaWriteStripe implements StripeReplicaClient.
 func (l *Loopback) ReplicaWriteStripe(mode, shard uint8, vol uint16, hdr iscsi.StripeHeader, entries []iscsi.BatchEntry) ([]iscsi.Status, error) {
 	return l.Replica.HandleReplicaStripe(mode, shard, vol, hdr, entries), nil
+}
+
+// ReplicaWriteByRef implements ByRefReplicaClient.
+func (l *Loopback) ReplicaWriteByRef(mode, shard uint8, vol uint16, entries []iscsi.BatchEntry) ([]iscsi.Status, error) {
+	return l.Replica.ApplyByRefStream(Mode(mode), shard, vol, entries), nil
 }

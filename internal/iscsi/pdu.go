@@ -63,6 +63,16 @@ const (
 	// partial sums plus the remaining hop list. The response payload
 	// reports downstream wire/ingest accounting.
 	OpRepairChain
+	// OpReplicaWriteByRef ships replication pushes by content reference
+	// (proto v7): a count-prefixed sequence of {seq, lba, hash,
+	// frameLen, frame} entries where a zero frameLen means "the replica
+	// already holds a block with this content hash — materialize it by
+	// local copy" and a nonzero frameLen carries a normal xcode frame,
+	// so one PDU mixes by-ref and by-value entries in seq order (see
+	// DecodeByRef). The response carries one status byte per entry; an
+	// entry whose hash the replica's index cannot resolve reports
+	// StatusRefMiss and the initiator re-ships it by value.
+	OpReplicaWriteByRef
 )
 
 // String returns the opcode mnemonic.
@@ -96,6 +106,8 @@ func (o Opcode) String() string {
 		return "REPLICA-WRITE-STRIPE"
 	case OpRepairChain:
 		return "REPAIR-CHAIN"
+	case OpReplicaWriteByRef:
+		return "REPLICA-WRITE-BYREF"
 	default:
 		return fmt.Sprintf("OP(%d)", uint8(o))
 	}
@@ -124,6 +136,12 @@ const (
 	// StatusStoreError reports a replica push that decoded fine but
 	// whose local device read/write failed (including torn writes).
 	StatusStoreError
+	// StatusRefMiss reports a by-ref replica push whose content hash the
+	// replica's dedupe index could not resolve to a block it verifiably
+	// holds. Nothing was stored; the initiator falls back to shipping
+	// the retained parity frame by value, so correctness never depends
+	// on the two indexes agreeing.
+	StatusRefMiss
 )
 
 // String returns the status mnemonic.
@@ -147,6 +165,8 @@ func (s Status) String() string {
 		return "DECODE-ERROR"
 	case StatusStoreError:
 		return "STORE-ERROR"
+	case StatusRefMiss:
+		return "REF-MISS"
 	default:
 		return fmt.Sprintf("STATUS(%d)", uint8(s))
 	}
@@ -163,6 +183,8 @@ func (s Status) sentinel() error {
 		return ErrReplicaDecode
 	case StatusStoreError:
 		return ErrReplicaStore
+	case StatusRefMiss:
+		return ErrRefMiss
 	default:
 		return nil
 	}
@@ -199,6 +221,12 @@ const (
 	// byte-identically, so mixed-version nodes interoperate until the
 	// first stripe push.
 	stripeVersion = 6
+	// dedupeVersion (v7) adds the content-addressed by-ref push
+	// (OpReplicaWriteByRef). Only that opcode is stamped 7; every
+	// pre-dedupe opcode keeps its v3-v6 framing byte-identically, so
+	// mixed-version nodes interoperate until the first by-ref push —
+	// which the engine only attempts against a by-ref-capable client.
+	dedupeVersion = 7
 	// MaxDataSegment bounds a PDU's data segment; larger is rejected
 	// before allocation.
 	MaxDataSegment = 17 << 20
@@ -240,6 +268,9 @@ var (
 	ErrReplicaDecode = errors.New("iscsi: replica frame decode failed")
 	// ErrReplicaStore: the replica's local device failed the apply.
 	ErrReplicaStore = errors.New("iscsi: replica store failed")
+	// ErrRefMiss: a by-ref push named a content hash the replica could
+	// not resolve. Nothing was stored; re-ship the entry by value.
+	ErrRefMiss = errors.New("iscsi: replica dedupe reference miss")
 )
 
 // PDU is one protocol data unit: the decoded header fields plus the
@@ -298,6 +329,9 @@ func (p *PDU) WriteTo(w io.Writer) (int64, error) {
 	}
 	if p.Op == OpReplicaWriteStripe || p.Op == OpRepairChain {
 		hdr[1] = stripeVersion
+	}
+	if p.Op == OpReplicaWriteByRef {
+		hdr[1] = dedupeVersion
 	}
 	hdr[2] = byte(p.Op)
 	hdr[3] = byte(p.Status)
@@ -399,7 +433,8 @@ func ReadPDUInto(r io.Reader, dst []byte) (*PDU, error) {
 	if hdr[0] != protoMagic {
 		return nil, fmt.Errorf("%w: 0x%02x", ErrBadMagic, hdr[0])
 	}
-	if hdr[1] != baseVersion && hdr[1] != protoVersion && hdr[1] != streamVersion && hdr[1] != stripeVersion {
+	if hdr[1] != baseVersion && hdr[1] != protoVersion && hdr[1] != streamVersion &&
+		hdr[1] != stripeVersion && hdr[1] != dedupeVersion {
 		return nil, fmt.Errorf("%w: %d", ErrBadVersion, hdr[1])
 	}
 	dataLen := binary.BigEndian.Uint32(hdr[24:])

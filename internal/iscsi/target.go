@@ -386,6 +386,27 @@ func (t *Target) ServeConn(conn net.Conn) {
 			resp.Status = StatusOK
 			resp.Data = EncodeBatchStatuses(sb.HandleReplicaStripe(pdu.Mode, pdu.Shard, pdu.Vol, shdr, entries))
 
+		case OpReplicaWriteByRef:
+			resp.Op = OpResp
+			if backend == nil {
+				resp.Status = StatusNotLoggedIn
+				break
+			}
+			entries, err := DecodeByRef(pdu.Data)
+			if err != nil {
+				resp.Status = StatusBadRequest
+				break
+			}
+			brb, ok := backend.(ByRefBackend)
+			if !ok {
+				// A by-ref push at a replica without a content index can
+				// not be materialized: refuse the PDU rather than guess.
+				resp.Status = StatusBadRequest
+				break
+			}
+			resp.Status = StatusOK
+			resp.Data = EncodeBatchStatuses(brb.HandleReplicaByRef(pdu.Mode, pdu.Shard, pdu.Vol, entries))
+
 		case OpRepairChain:
 			resp.Op = OpResp
 			if backend == nil {

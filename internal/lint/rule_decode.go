@@ -31,11 +31,14 @@ func (unboundedDecodeRule) Doc() string {
 // decodeScopePkgs are the package names holding wire decoders. The
 // journal package qualifies too: its slot header is parsed from raw
 // bytes read back off disk, which a crash can truncate or tear just
-// like a hostile frame.
+// like a hostile frame. So does dedupe: its index snapshots are
+// persistence records decoded from whatever bytes a restart hands
+// back, and the by-ref wire path trusts the index they rebuild.
 var decodeScopePkgs = map[string]bool{
 	"iscsi": true, "iscsi_test": true,
 	"xcode": true, "xcode_test": true,
 	"journal": true, "journal_test": true,
+	"dedupe": true, "dedupe_test": true,
 }
 
 // decodeNameFragments mark a function as a decode path.

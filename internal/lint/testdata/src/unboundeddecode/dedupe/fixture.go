@@ -1,0 +1,26 @@
+// Package dedupe (a fixture named after the real content-index
+// package, which is what puts it in scope) exercises the
+// unbounded-decode rule over index snapshot records: persistence bytes
+// decoded at startup can be truncated just like a hostile frame, and
+// the by-ref wire path trusts the index they rebuild.
+package dedupe
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+var errShortSnap = errors.New("short snapshot")
+
+func decodeRecord(rec []byte) (uint64, uint64) {
+	lba := binary.BigEndian.Uint64(rec) // finding: fixed-width read without a len guard
+	hash := rec[8]                      // finding: index without a len guard
+	return lba, uint64(hash)
+}
+
+func decodeRecordGuarded(rec []byte) (uint64, error) {
+	if len(rec) < 16 {
+		return 0, errShortSnap
+	}
+	return binary.BigEndian.Uint64(rec[8:]), nil // ok: dominated by the len check
+}

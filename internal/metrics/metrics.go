@@ -36,6 +36,10 @@ type Traffic struct {
 	groupCommits  atomic.Int64 // group-commit flushes on the primary
 	groupedWrites atomic.Int64 // writes that rode a group commit
 
+	dedupeHits   atomic.Int64 // pushes shipped (or applied) by content reference
+	dedupeMisses atomic.Int64 // by-ref pushes refused (ref miss) and fallen back
+	dedupeSaved  atomic.Int64 // modelled wire bytes saved by shipping by reference
+
 	// batchHist is the frames-per-delivery histogram of the batching
 	// shippers, power-of-two buckets: 1, 2, ≤4, ≤8, ≤16, ≤32, ≤64, >64.
 	batchHist [BatchHistBuckets]atomic.Int64
@@ -150,6 +154,37 @@ func (t *Traffic) AddGroupCommit(n int) {
 	t.groupedWrites.Add(int64(n))
 }
 
+// AddDedupeHit records one push shipped (primary) or materialized
+// (replica) by content reference instead of a frame.
+func (t *Traffic) AddDedupeHit() { t.dedupeHits.Add(1) }
+
+// AddDedupeHits records n by-ref pushes at once.
+func (t *Traffic) AddDedupeHits(n int64) { t.dedupeHits.Add(n) }
+
+// AddDedupeMiss records one by-ref push the replica could not resolve
+// (StatusRefMiss) — on the primary, the entry was re-shipped by value.
+func (t *Traffic) AddDedupeMiss() { t.dedupeMisses.Add(1) }
+
+// AddDedupeMisses records n ref misses at once.
+func (t *Traffic) AddDedupeMisses(n int64) { t.dedupeMisses.Add(n) }
+
+// AddDedupeSavedWire records modelled wire bytes saved by shipping
+// delivered entries by reference: what the entries' frames would have
+// cost on the wire minus what the by-ref push (and any fallback
+// re-ship of refused entries) actually cost. Only delivered entries
+// are credited; a miss storm can drive the value negative (the 28-byte
+// references were pure overhead) and it is recorded as-is so the gauge
+// stays honest.
+func (t *Traffic) AddDedupeSavedWire(saved int64) { t.dedupeSaved.Add(saved) }
+
+// AddDedupe records the dedupe outcome of one primary push in one
+// call; see Replica.AddDedupe for the field semantics.
+func (t *Traffic) AddDedupe(hits, misses, saved int64) {
+	t.dedupeHits.Add(hits)
+	t.dedupeMisses.Add(misses)
+	t.dedupeSaved.Add(saved)
+}
+
 // ObserveBatch records one shipper delivery of n frames in the
 // frames-per-batch histogram (single-frame deliveries included, so the
 // histogram shows how often batching actually engages).
@@ -186,6 +221,12 @@ type Snapshot struct {
 	// GroupedWrites counts the writes they drained.
 	GroupCommits  int64
 	GroupedWrites int64
+	// DedupeHits counts pushes shipped/applied by content reference,
+	// DedupeMisses the by-ref pushes that missed and fell back, and
+	// DedupeSavedWire the modelled wire bytes the references saved.
+	DedupeHits      int64
+	DedupeMisses    int64
+	DedupeSavedWire int64
 	// FramesPerBatch is the delivery-size histogram; see ObserveBatch.
 	FramesPerBatch [BatchHistBuckets]int64
 }
@@ -212,6 +253,10 @@ func (t *Traffic) Snapshot() Snapshot {
 		BatchSavedWire: t.batchSaved.Load(),
 		GroupCommits:   t.groupCommits.Load(),
 		GroupedWrites:  t.groupedWrites.Load(),
+
+		DedupeHits:      t.dedupeHits.Load(),
+		DedupeMisses:    t.dedupeMisses.Load(),
+		DedupeSavedWire: t.dedupeSaved.Load(),
 	}
 	for i := 0; i < BatchHistBuckets; i++ {
 		s.FramesPerBatch[i] = t.batchHist[i].Load()
@@ -248,6 +293,9 @@ func (t *Traffic) Reset() {
 	t.batchSaved.Store(0)
 	t.groupCommits.Store(0)
 	t.groupedWrites.Store(0)
+	t.dedupeHits.Store(0)
+	t.dedupeMisses.Store(0)
+	t.dedupeSaved.Store(0)
 	for i := 0; i < BatchHistBuckets; i++ {
 		t.batchHist[i].Store(0)
 	}
@@ -298,6 +346,22 @@ type Replica struct {
 	batches      atomic.Int64 // multi-frame batch PDUs delivered to this replica
 	coalesced    atomic.Int64 // frames XOR-merged away en route to this replica
 	batchSaved   atomic.Int64 // modelled wire bytes saved vs single-frame shipping
+	dedupeHits   atomic.Int64 // pushes this replica accepted by content reference
+	dedupeMisses atomic.Int64 // by-ref pushes this replica refused (ref miss)
+	dedupeSaved  atomic.Int64 // wire bytes dedupe saved shipping to this replica
+}
+
+// AddDedupe records the dedupe outcome of one push to this replica:
+// hits entries delivered by content reference, misses by-ref entries
+// the replica refused (and the primary re-shipped by value), and the
+// data-segment bytes the references saved net of the fallback cost.
+// Only delivered entries are credited toward saved; a miss storm can
+// drive it negative (the references were pure overhead) and it is
+// recorded as-is so the gauge stays honest.
+func (r *Replica) AddDedupe(hits, misses, saved int64) {
+	r.dedupeHits.Add(hits)
+	r.dedupeMisses.Add(misses)
+	r.dedupeSaved.Add(saved)
 }
 
 // AddShipped records one successfully delivered frame.
@@ -357,6 +421,12 @@ type ReplicaSnapshot struct {
 	// BatchSavedWire is the modelled wire bytes batching saved for this
 	// replica versus single-frame shipping.
 	BatchSavedWire int64
+	// DedupeHits counts pushes delivered to this replica by content
+	// reference, DedupeMisses the by-ref pushes it refused, and
+	// DedupeSavedWire the data-segment bytes the references saved.
+	DedupeHits      int64
+	DedupeMisses    int64
+	DedupeSavedWire int64
 }
 
 // Snapshot returns the current per-replica counter values.
@@ -372,6 +442,10 @@ func (r *Replica) Snapshot() ReplicaSnapshot {
 		Batches:        r.batches.Load(),
 		Coalesced:      r.coalesced.Load(),
 		BatchSavedWire: r.batchSaved.Load(),
+
+		DedupeHits:      r.dedupeHits.Load(),
+		DedupeMisses:    r.dedupeMisses.Load(),
+		DedupeSavedWire: r.dedupeSaved.Load(),
 	}
 }
 

@@ -46,6 +46,14 @@ type Config struct {
 	// RunRanges return ErrCanceled with Stats counting exactly the
 	// work completed so far. A nil channel never cancels.
 	Cancel <-chan struct{}
+	// Learn, when non-nil, is invoked with (lba, content hash) for
+	// every block the replica provably holds after the scan: blocks
+	// whose hashes already matched, and blocks the run repaired. The
+	// primary engine feeds this into its per-replica dedupe index
+	// (Engine.ReplicaDedupe), so a resync warms the ship-by-reference
+	// fast path as a free side effect of the comparison it does anyway.
+	// Repairs elided by DryRun are not learned.
+	Learn func(lba, hash uint64)
 }
 
 func (c Config) withDefaults() Config {
@@ -118,7 +126,11 @@ func RunRanges(local block.Store, remote *iscsi.Initiator, cfg Config, ranges ..
 					return stats, fmt.Errorf("resync: local read %d: %w", lba, err)
 				}
 				stats.BlocksScanned++
-				if iscsi.HashBlock(buf) == remoteHashes[i] {
+				localHash := iscsi.HashBlock(buf)
+				if localHash == remoteHashes[i] {
+					if cfg.Learn != nil {
+						cfg.Learn(lba, localHash)
+					}
 					continue
 				}
 				stats.BlocksRepaired++
@@ -129,6 +141,9 @@ func RunRanges(local block.Store, remote *iscsi.Initiator, cfg Config, ranges ..
 					return stats, fmt.Errorf("resync: repair %d: %w", lba, err)
 				}
 				stats.DataBytes += int64(bs)
+				if cfg.Learn != nil {
+					cfg.Learn(lba, localHash)
+				}
 			}
 		}
 	}

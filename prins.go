@@ -150,6 +150,21 @@ type Config struct {
 	// with an incremental resync (see DirtyRanges).
 	DisableVerify bool
 
+	// DedupeEntries enables content-addressed dedupe on the ship path
+	// (wire protocol v7): the primary tracks which (lba, content hash)
+	// pairs each replica provably holds, and when a queued frame's
+	// content is already present on the replica it ships a 28-byte
+	// by-ref entry instead of the parity frame. The replica materializes
+	// the block by local copy after re-hashing the source, and answers
+	// REF-MISS when it cannot — the primary then transparently re-ships
+	// the frame by value, so dedupe never affects correctness, only
+	// bytes. DedupeEntries bounds the per-replica index (LRU beyond it);
+	// zero disables dedupe, negative selects a default bound. Dedupe is
+	// ineffective with DisableVerify (no content hashes to track), with
+	// BatchFrames: 1 (by-ref rides the batch path), and in group mode
+	// (stripe units are not whole blocks).
+	DedupeEntries int
+
 	// GroupK and GroupN (both set) turn the replica set into an
 	// erasure-coded group: every write is Reed-Solomon striped into
 	// GroupN unit frames of which any GroupK reconstruct the block,
@@ -207,6 +222,18 @@ type Stats struct {
 	// what the batched frames would have cost as single pushes minus
 	// what their batches cost.
 	BatchSavedWireBytes int64
+	// DedupeHits counts frames delivered by reference: the replica held
+	// the content already and the wire carried a 28-byte entry instead
+	// of the frame (requires Config.DedupeEntries).
+	DedupeHits int64
+	// DedupeMisses counts by-ref attempts the replica refused with
+	// REF-MISS, forcing a by-value re-ship.
+	DedupeMisses int64
+	// DedupeSavedWireBytes is the net data-segment bytes dedupe saved:
+	// frame bytes elided by delivered by-ref entries minus the overhead
+	// of refused attempts. Only delivered writes are credited; a miss
+	// storm can drive it negative.
+	DedupeSavedWireBytes int64
 }
 
 // Primary is the primary-side replication engine over a local Store.
@@ -249,6 +276,7 @@ func NewPrimary(local Store, cfg Config) (*Primary, error) {
 		},
 		AllowDegraded: cfg.AllowDegraded,
 		DisableVerify: cfg.DisableVerify,
+		DedupeEntries: cfg.DedupeEntries,
 		BatchFrames:   cfg.BatchFrames,
 		BatchBytes:    cfg.BatchBytes,
 		Shards:        cfg.Shards,
@@ -382,6 +410,42 @@ func (p *Primary) DirtyRanges(i int) []Range {
 // been repaired; with no runs it forgets all of them.
 func (p *Primary) ClearDirty(i int, ranges ...Range) {
 	p.engine.ClearDirty(i, toBlockRanges(ranges)...)
+}
+
+// ResyncReplica heals replica i (attach order) over a dedicated
+// session to its export: it compares per-block content hashes
+// restricted to ranges (the whole device with none), rewrites
+// differing blocks from the primary's authoritative store, and — when
+// replica i runs a dedupe index (Config.DedupeEntries) — feeds every
+// block the scan proved present back into that index. A degrade wipes
+// the index (nothing about a dropped replica's content can be
+// assumed), so resyncing through this method re-warms the
+// ship-by-reference fast path as a free side effect of the comparison
+// it does anyway. Quiesce writes first (Drain) and follow with
+// ClearDirty / ClearDegraded as usual.
+func (p *Primary) ResyncReplica(i int, addr, exportName string, ranges ...Range) (ResyncStats, error) {
+	remote, err := iscsi.Dial(addr)
+	if err != nil {
+		return ResyncStats{}, err
+	}
+	defer remote.Close()
+	if err := remote.Login(exportName); err != nil {
+		return ResyncStats{}, err
+	}
+	cfg := resync.Config{}
+	if idx := p.engine.ReplicaDedupe(i); idx != nil {
+		cfg.Learn = idx.Put
+	}
+	var s resync.Stats
+	if len(ranges) == 0 {
+		s, err = resync.Run(p.engine, remote, cfg)
+	} else {
+		s, err = resync.RunRanges(p.engine, remote, cfg, toBlockRanges(ranges)...)
+	}
+	if err != nil {
+		return ResyncStats{}, err
+	}
+	return resyncStats(s), nil
 }
 
 // Shards returns how many LBA-range shards the primary's write path
@@ -603,6 +667,15 @@ type ReplicaStat struct {
 	// Diverged counts applies this replica refused after hash
 	// verification failed; the refused blocks are in DirtyRanges.
 	Diverged int64
+	// DedupeHits counts frames delivered to this replica by reference
+	// instead of by value (requires Config.DedupeEntries).
+	DedupeHits int64
+	// DedupeMisses counts by-ref attempts this replica refused with
+	// REF-MISS.
+	DedupeMisses int64
+	// DedupeSavedWireBytes is the net data-segment bytes dedupe saved
+	// on this replica's wire, crediting delivered writes only.
+	DedupeSavedWireBytes int64
 }
 
 // ReplicaStats reports each attached replica's state in attach order.
@@ -619,6 +692,10 @@ func (p *Primary) ReplicaStats() []ReplicaStat {
 			Dropped:      rs.Metrics.Dropped,
 			Lag:          rs.Metrics.Lag,
 			Diverged:     rs.Metrics.Diverged,
+
+			DedupeHits:           rs.Metrics.DedupeHits,
+			DedupeMisses:         rs.Metrics.DedupeMisses,
+			DedupeSavedWireBytes: rs.Metrics.DedupeSavedWire,
 		}
 	}
 	return out
@@ -644,6 +721,10 @@ func (p *Primary) Stats() Stats {
 		Batches:             s.Batches,
 		CoalescedFrames:     s.Coalesced,
 		BatchSavedWireBytes: s.BatchSavedWire,
+
+		DedupeHits:           s.DedupeHits,
+		DedupeMisses:         s.DedupeMisses,
+		DedupeSavedWireBytes: s.DedupeSavedWire,
 	}
 }
 
@@ -744,6 +825,21 @@ func (r *Replica) Serve(addr, exportName string) (net.Addr, error) {
 
 // Store returns the replica's local device.
 func (r *Replica) Store() Store { return r.engine.Store() }
+
+// SetDedupe bounds (entries > 0) or disables (entries <= 0) the
+// replica's content-addressed index — the table that lets a by-ref
+// push (wire protocol v7) be materialized by local copy. Replicas run
+// a default-sized index out of the box; disabling it forces every
+// by-ref push into a REF-MISS fallback, which the primary heals by
+// re-shipping the frame by value, so it is always safe, just slower.
+// Call before Serve.
+func (r *Replica) SetDedupe(entries int) { r.engine.SetDedupe(entries) }
+
+// WarmDedupe scans the replica's device into its content index so a
+// freshly (re)started or freshly InitialSync'd replica resolves
+// by-ref pushes immediately instead of waiting for live applies to
+// repopulate the index. Call before Serve or with applies quiesced.
+func (r *Replica) WarmDedupe() error { return r.engine.WarmDedupe() }
 
 // AppliedWrites returns how many pushes the replica has applied.
 func (r *Replica) AppliedWrites() int64 {
